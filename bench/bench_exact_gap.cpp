@@ -1,0 +1,106 @@
+// Experiment T8 (extension) — quality of the two-phase heuristic
+// against the exact optimum.
+//
+// The paper evaluates its heuristic only against a *naive* allocator;
+// this bench adds the missing upper reference: an exact
+// branch-and-bound over all register assignments (core/exact.hpp). For
+// small instances it reports the mean heuristic and optimal costs, the
+// mean relative gap, and how often the heuristic is exactly optimal —
+// quantifying how much of the naive-to-optimal interval the two-phase
+// scheme actually captures.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "baselines/baselines.hpp"
+#include "core/exact.hpp"
+#include "eval/patterns.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace dspaddr;
+
+void print_gap_table() {
+  constexpr std::size_t kTrials = 40;
+  const core::CostModel model{1, core::WrapPolicy::kCyclic};
+
+  support::Table table({"N", "K", "naive", "heuristic", "optimal",
+                        "heuristic optimal in", "captured"});
+  for (const std::size_t n : {8u, 10u, 12u, 14u}) {
+    for (const std::size_t k : {2u, 3u}) {
+      support::RunningStats naive_stats, heuristic_stats, optimal_stats;
+      std::size_t hit_optimal = 0;
+      support::Rng rng(0xE8ac7 ^ (n * 1009) ^ k);
+      for (std::size_t trial = 0; trial < kTrials; ++trial) {
+        eval::PatternSpec spec;
+        spec.accesses = n;
+        spec.offset_range = 6;
+        const ir::AccessSequence seq = eval::generate_pattern(spec, rng);
+
+        core::ProblemConfig config;
+        config.modify_range = 1;
+        config.registers = k;
+        config.phase1.mode = core::Phase1Options::Mode::kExact;
+        const int heuristic =
+            core::RegisterAllocator(config).run(seq).cost();
+        const int naive = baselines::naive_allocate(seq, config).cost();
+        const core::ExactResult exact =
+            core::exact_min_cost_allocation(seq, model, k);
+
+        naive_stats.add(naive);
+        heuristic_stats.add(heuristic);
+        optimal_stats.add(exact.cost);
+        if (heuristic == exact.cost) ++hit_optimal;
+      }
+      // Fraction of the naive-to-optimal interval the heuristic closes.
+      const double interval =
+          naive_stats.mean() - optimal_stats.mean();
+      const double captured =
+          interval > 0.0
+              ? 100.0 * (naive_stats.mean() - heuristic_stats.mean()) /
+                    interval
+              : 100.0;
+      table.add_row({
+          std::to_string(n),
+          std::to_string(k),
+          support::format_fixed(naive_stats.mean(), 2),
+          support::format_fixed(heuristic_stats.mean(), 2),
+          support::format_fixed(optimal_stats.mean(), 2),
+          support::format_percent(100.0 * hit_optimal / kTrials, 0),
+          support::format_percent(captured, 0),
+      });
+    }
+  }
+  std::cout << "T8: two-phase heuristic vs exact optimum (" << kTrials
+            << " uniform patterns per row, M = 1)\n\n";
+  table.write(std::cout);
+  std::cout << "\n'captured' = share of the naive-to-optimal cost "
+               "interval closed by the heuristic.\n\n";
+}
+
+void BM_ExactAllocator(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(5);
+  eval::PatternSpec spec;
+  spec.accesses = n;
+  spec.offset_range = 6;
+  const ir::AccessSequence seq = eval::generate_pattern(spec, rng);
+  const core::CostModel model{1, core::WrapPolicy::kCyclic};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::exact_min_cost_allocation(seq, model, 2).cost);
+  }
+}
+BENCHMARK(BM_ExactAllocator)->Arg(8)->Arg(12)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_gap_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Experiment T1 — the paper's Results section (section 4):
+// "We have determined the number of unit-cost address computations for
+//  random access patterns and a variety of parameters N, M, and K. As a
+//  result, we have observed that the address register allocation
+//  determined by path merging reduces the addressing cost by about 40 %
+//  on the average, as compared to the 'naive' solution."
+//
+// This bench regenerates that statistic: for every (N, M, K) cell of
+// the grid it prints the mean unit-cost count of the naive
+// (arbitrary-merge) allocator, of the path-merging heuristic, and the
+// percentage reduction; the grand average is the paper's headline
+// number. Timing of the two allocators is reported via google-benchmark
+// afterwards.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "baselines/baselines.hpp"
+#include "eval/experiment.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace dspaddr;
+
+void print_sweep_table() {
+  eval::SweepConfig config = eval::SweepConfig::paper_grid();
+  const eval::SweepResult result = eval::run_random_pattern_sweep(config);
+
+  support::Table table({"N", "M", "K", "K~ (mean)", "naive cost",
+                        "path-merge cost", "reduction"});
+  std::size_t previous_n = 0;
+  for (const eval::CellResult& cell : result.cells) {
+    if (previous_n != 0 && cell.cell.accesses != previous_n) {
+      table.add_rule();
+    }
+    previous_n = cell.cell.accesses;
+    table.add_row({
+        std::to_string(cell.cell.accesses),
+        std::to_string(cell.cell.modify_range),
+        std::to_string(cell.cell.registers),
+        support::format_fixed(cell.k_tilde.mean(), 1),
+        support::format_fixed(cell.naive_cost.mean(), 2),
+        support::format_fixed(cell.merged_cost.mean(), 2),
+        support::format_percent(cell.mean_reduction_percent),
+    });
+  }
+  std::cout << "T1: random access patterns, path merging vs naive "
+               "allocator\n"
+            << "(" << config.trials << " seeded trials per cell)\n\n";
+  table.write(std::cout);
+  std::cout << "\nGrand average reduction (cells with nonzero naive "
+               "cost): "
+            << support::format_percent(
+                   result.grand_mean_reduction_percent)
+            << "   [paper: ~40 %]\n\n";
+}
+
+void BM_PathMergeAllocator(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(1234);
+  eval::PatternSpec spec;
+  spec.accesses = n;
+  spec.offset_range = 10;
+  const ir::AccessSequence seq = eval::generate_pattern(spec, rng);
+  core::ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 4;
+  const core::RegisterAllocator allocator(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocator.run(seq).cost());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_PathMergeAllocator)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_NaiveAllocator(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(1234);
+  eval::PatternSpec spec;
+  spec.accesses = n;
+  spec.offset_range = 10;
+  const ir::AccessSequence seq = eval::generate_pattern(spec, rng);
+  core::ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baselines::naive_allocate(seq, config).cost());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NaiveAllocator)->Arg(10)->Arg(50)->Arg(100);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Experiment T7 — scalability of the two-phase heuristic. The paper's
+// selling point over exact formulations is that it handles register
+// constraints *and* inter-iteration dependencies while remaining a fast
+// heuristic; this bench shows wall-clock behaviour as N grows well
+// beyond the sizes of the statistical experiment (phase 1 in heuristic
+// mode beyond the exact-search window, as in the auto configuration).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "core/allocator.hpp"
+#include "eval/patterns.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace dspaddr;
+
+void print_scaling_table() {
+  support::Table table({"N", "K", "K~ (upper bd)", "merges", "cost",
+                        "time (ms)"});
+  for (const std::size_t n : {100u, 250u, 500u, 1000u, 2000u}) {
+    for (const std::size_t k : {4u, 16u}) {
+      support::Rng rng(0x5CA1E ^ n);
+      eval::PatternSpec spec;
+      spec.accesses = n;
+      spec.offset_range = static_cast<std::int64_t>(n) / 4;
+      const ir::AccessSequence seq = eval::generate_pattern(spec, rng);
+
+      core::ProblemConfig config;
+      config.modify_range = 1;
+      config.registers = k;
+
+      const auto start = std::chrono::steady_clock::now();
+      const core::Allocation a =
+          core::RegisterAllocator(config).run(seq);
+      const auto stop = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+
+      table.add_row({
+          std::to_string(n),
+          std::to_string(k),
+          a.stats().k_tilde.has_value()
+              ? std::to_string(*a.stats().k_tilde)
+              : std::string("-"),
+          std::to_string(a.stats().merges),
+          std::to_string(a.cost()),
+          support::format_fixed(ms, 2),
+      });
+    }
+  }
+  std::cout << "T7: allocator scalability (uniform patterns, M = 1, "
+               "phase 1 auto)\n\n";
+  table.write(std::cout);
+  std::cout << '\n';
+}
+
+void BM_AllocatorEndToEnd(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(0xBEEF ^ n);
+  eval::PatternSpec spec;
+  spec.accesses = n;
+  spec.offset_range = static_cast<std::int64_t>(n) / 4;
+  const ir::AccessSequence seq = eval::generate_pattern(spec, rng);
+  core::ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 8;
+  const core::RegisterAllocator allocator(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocator.run(seq).cost());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AllocatorEndToEnd)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Arg(800)
+    ->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scaling_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

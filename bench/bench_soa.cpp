@@ -1,0 +1,133 @@
+// Experiment T6 — the complementary scalar-variable optimization the
+// paper positions itself against (section 1): "It is complementary to
+// work done on optimized addressing of scalar program variables
+// [4, 5]."
+//
+// Simple offset assignment (Liao, PLDI'95) and the tie-break refinement
+// (Leupers/Marwedel, ICCAD'96) versus declaration-order and random
+// layouts, plus general offset assignment over k address registers.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "soa/goa.hpp"
+#include "soa/liao.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace dspaddr;
+
+soa::ScalarSequence random_scalar_sequence(support::Rng& rng,
+                                           std::size_t variables,
+                                           std::size_t length) {
+  std::vector<soa::VarId> accesses(length);
+  for (auto& a : accesses) {
+    a = static_cast<soa::VarId>(rng.index(variables));
+  }
+  return soa::ScalarSequence(std::move(accesses), variables);
+}
+
+void print_soa_table() {
+  constexpr std::size_t kTrials = 60;
+  support::Table table({"vars", "accesses", "identity", "random",
+                        "liao", "liao+tiebreak", "liao red. vs identity"});
+  for (const auto& [variables, length] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {6, 30}, {10, 60}, {16, 120}, {24, 200}}) {
+    support::RunningStats identity, random, liao, tiebreak;
+    support::Rng rng(0x50A ^ (variables * 977));
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      const auto seq = random_scalar_sequence(rng, variables, length);
+      identity.add(static_cast<double>(
+          soa::layout_cost(seq, soa::identity_layout(variables))));
+      const soa::Layout rand_layout = soa::random_layout(variables, rng);
+      random.add(
+          static_cast<double>(soa::layout_cost(seq, rand_layout)));
+      liao.add(static_cast<double>(soa::layout_cost(
+          seq, soa::liao_layout(seq, soa::SoaTieBreak::kNone))));
+      tiebreak.add(static_cast<double>(soa::layout_cost(
+          seq, soa::liao_layout(seq, soa::SoaTieBreak::kLeupers))));
+    }
+    table.add_row({
+        std::to_string(variables),
+        std::to_string(length),
+        support::format_fixed(identity.mean(), 2),
+        support::format_fixed(random.mean(), 2),
+        support::format_fixed(liao.mean(), 2),
+        support::format_fixed(tiebreak.mean(), 2),
+        support::format_percent(support::percent_reduction(
+            identity.mean(), liao.mean())),
+    });
+  }
+  std::cout << "T6a: simple offset assignment (" << kTrials
+            << " random sequences per row, auto-inc/dec range 1)\n\n";
+  table.write(std::cout);
+  std::cout << '\n';
+}
+
+void print_goa_table() {
+  constexpr std::size_t kTrials = 30;
+  support::Table table({"vars", "accesses", "k=1 (SOA)", "k=2", "k=3",
+                        "k=4"});
+  for (const auto& [variables, length] :
+       std::vector<std::pair<std::size_t, std::size_t>>{{8, 60},
+                                                        {14, 120}}) {
+    std::vector<support::RunningStats> stats(4);
+    support::Rng rng(0x60A ^ (variables * 31));
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      const auto seq = random_scalar_sequence(rng, variables, length);
+      for (std::size_t k = 1; k <= 4; ++k) {
+        stats[k - 1].add(static_cast<double>(
+            soa::goa_allocate(seq, k).total_cost));
+      }
+    }
+    table.add_row({
+        std::to_string(variables),
+        std::to_string(length),
+        support::format_fixed(stats[0].mean(), 2),
+        support::format_fixed(stats[1].mean(), 2),
+        support::format_fixed(stats[2].mean(), 2),
+        support::format_fixed(stats[3].mean(), 2),
+    });
+  }
+  std::cout << "T6b: general offset assignment over k address registers ("
+            << kTrials << " random sequences per row)\n\n";
+  table.write(std::cout);
+  std::cout << "\nExpected: cost falls monotonically with k "
+               "(more address registers never hurt).\n\n";
+}
+
+void BM_LiaoLayout(benchmark::State& state) {
+  support::Rng rng(4);
+  const auto seq = random_scalar_sequence(
+      rng, static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(0)) * 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        soa::liao_layout(seq, soa::SoaTieBreak::kLeupers));
+  }
+}
+BENCHMARK(BM_LiaoLayout)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_GoaAllocate(benchmark::State& state) {
+  support::Rng rng(4);
+  const auto seq = random_scalar_sequence(rng, 12, 100);
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(soa::goa_allocate(seq, k).total_cost);
+  }
+}
+BENCHMARK(BM_GoaAllocate)->Arg(2)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_soa_table();
+  print_goa_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,201 @@
+// dspaddr_opt — command-line address-computation optimizer.
+//
+// The tool a downstream user actually runs: feed it a kernel (C-like
+// loop file, mini-language file, or a built-in kernel name), pick an
+// AGU (explicit -K/-M/--mrs or a catalog --machine), and get the
+// allocation, the generated address program and the simulator verdict.
+//
+//   $ ./dspaddr_opt fir
+//   $ ./dspaddr_opt -K 2 -M 1 loop.c --asm --sim 100
+//   $ ./dspaddr_opt --machine adsp218x kernel.kern
+//   $ ./dspaddr_opt --unroll 2 fir
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "agu/codegen.hpp"
+#include "agu/machines.hpp"
+#include "agu/metrics.hpp"
+#include "agu/simulator.hpp"
+#include "core/allocator.hpp"
+#include "core/modify_registers.hpp"
+#include "ir/kernels.hpp"
+#include "ir/layout.hpp"
+#include "ir/loop_parser.hpp"
+#include "ir/parser.hpp"
+#include "ir/unroll.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace dspaddr;
+
+struct CliOptions {
+  std::string input;
+  std::size_t registers = 4;
+  std::int64_t modify_range = 1;
+  std::size_t modify_registers = 0;
+  std::size_t unroll_factor = 1;
+  std::uint64_t simulate_iterations = 0;
+  bool print_asm = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [options] <file.c|file.kern|builtin-kernel-name>\n"
+         "  -K <n>            address registers (default 4)\n"
+         "  -M <n>            free post-modify range (default 1)\n"
+         "  --mrs <n>         modify registers (default 0)\n"
+         "  --machine <name>  AGU from the catalog ("
+      << support::join(agu::builtin_machine_names(), ", ")
+      << ")\n"
+         "  --unroll <u>      unroll the loop before allocating\n"
+         "  --sim <T>         simulate T iterations and verify\n"
+         "  --asm             print the generated address program\n";
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "error: cannot open " << path << '\n';
+    std::exit(1);
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  return content.str();
+}
+
+bool ends_with(const std::string& text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(),
+                      suffix) == 0;
+}
+
+ir::Kernel load_kernel(const std::string& input) {
+  if (ends_with(input, ".c") || ends_with(input, ".loop")) {
+    return ir::parse_c_loop(read_file(input), "cli_loop");
+  }
+  if (ends_with(input, ".kern")) {
+    return ir::parse_kernel(read_file(input));
+  }
+  return ir::builtin_kernel(input);
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions options;
+  const auto next_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-K") {
+      options.registers =
+          static_cast<std::size_t>(std::stoll(next_value(i)));
+    } else if (arg == "-M") {
+      options.modify_range = std::stoll(next_value(i));
+    } else if (arg == "--mrs") {
+      options.modify_registers =
+          static_cast<std::size_t>(std::stoll(next_value(i)));
+    } else if (arg == "--machine") {
+      const agu::AguSpec machine = agu::builtin_machine(next_value(i));
+      options.registers = machine.address_registers;
+      options.modify_range = machine.modify_range;
+      options.modify_registers = machine.modify_registers;
+    } else if (arg == "--unroll") {
+      options.unroll_factor =
+          static_cast<std::size_t>(std::stoll(next_value(i)));
+    } else if (arg == "--sim") {
+      options.simulate_iterations =
+          static_cast<std::uint64_t>(std::stoll(next_value(i)));
+    } else if (arg == "--asm") {
+      options.print_asm = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else if (options.input.empty()) {
+      options.input = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (options.input.empty()) usage(argv[0]);
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = parse_cli(argc, argv);
+  try {
+    ir::Kernel kernel = load_kernel(options.input);
+    if (options.unroll_factor > 1) {
+      kernel = ir::unroll(kernel, options.unroll_factor);
+    }
+    const ir::AccessSequence seq = ir::lower(kernel);
+
+    core::ProblemConfig config;
+    config.modify_range = options.modify_range;
+    config.registers = options.registers;
+    const core::Allocation allocation =
+        core::RegisterAllocator(config).run(seq);
+
+    std::cout << "kernel " << kernel.name() << ": " << seq.size()
+              << " accesses/iteration, " << kernel.iterations()
+              << " iterations\n"
+              << "AGU: K = " << options.registers
+              << ", M = " << options.modify_range
+              << ", MRs = " << options.modify_registers << "\n\n";
+    if (allocation.stats().k_tilde.has_value()) {
+      std::cout << "K~ = " << *allocation.stats().k_tilde
+                << " (zero-cost needs that many registers)\n";
+    }
+    std::cout << allocation.to_string(seq) << '\n';
+
+    const core::ModifyRegisterPlan plan = core::plan_modify_registers(
+        seq, allocation, options.modify_registers);
+    if (!plan.values.empty()) {
+      std::cout << "modify registers:";
+      for (std::size_t m = 0; m < plan.values.size(); ++m) {
+        std::cout << "  MR" << m << " = " << plan.values[m].value
+                  << " (covers " << plan.values[m].covered << ")";
+      }
+      std::cout << "\nresidual cost " << plan.residual_cost
+                << " per iteration\n\n";
+    }
+
+    const agu::AddressingComparison comparison =
+        agu::compare_addressing(kernel, config);
+    std::cout << "vs compiler-style addressing: size -"
+              << support::format_percent(
+                     comparison.size_reduction_percent)
+              << ", cycles -"
+              << support::format_percent(
+                     comparison.speed_reduction_percent)
+              << "\n";
+
+    const agu::Program program =
+        agu::generate_code(seq, allocation, plan);
+    if (options.print_asm) {
+      std::cout << '\n' << program.to_string();
+    }
+    if (options.simulate_iterations > 0) {
+      const agu::SimResult result = agu::Simulator{}.run(
+          program, seq, options.simulate_iterations);
+      std::cout << "\nsimulated " << options.simulate_iterations
+                << " iterations: "
+                << (result.verified ? "addresses verified"
+                                    : "VERIFICATION FAILED: " +
+                                          result.failure)
+                << ", " << result.extra_instructions
+                << " extra address instructions\n";
+      return result.verified ? 0 : 1;
+    }
+    return 0;
+  } catch (const dspaddr::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,83 @@
+// Example: optimizing a FIR filter's address computations.
+//
+// Loads the FIR kernel from its textual description (the same format
+// users can ship in .kern files), lowers it onto the linear data
+// memory, allocates address registers for a range of AGU sizes, and
+// reports the code-size / speed effect of the optimization versus a
+// compiler that recomputes every address.
+//
+//   $ ./fir_filter
+#include <iostream>
+
+#include "agu/codegen.hpp"
+#include "agu/metrics.hpp"
+#include "agu/simulator.hpp"
+#include "core/allocator.hpp"
+#include "ir/layout.hpp"
+#include "ir/parser.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+constexpr const char* kFirText = R"(
+# FIR filter tap loop: acc += h[j] * x[i - j]
+# h is scanned forward, the signal window backwards.
+kernel fir "16-tap FIR filter inner loop"
+array h 16
+array x 64
+iterations 16
+dataops 1
+access h 0 stride 1
+access x 0 stride -1
+end
+)";
+
+}  // namespace
+
+int main() {
+  using namespace dspaddr;
+
+  const ir::Kernel kernel = ir::parse_kernel(kFirText);
+  const ir::AccessSequence seq = ir::lower(kernel);
+
+  std::cout << "Kernel: " << kernel.name() << " — "
+            << kernel.description() << "\n"
+            << "Accesses per iteration: " << seq.size() << "\n\n";
+
+  support::Table table({"K", "M", "cost/iter", "size red.", "speed red.",
+                        "sim verified"});
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    for (const std::int64_t m : {1, 2}) {
+      core::ProblemConfig config;
+      config.modify_range = m;
+      config.registers = k;
+      const core::Allocation a =
+          core::RegisterAllocator(config).run(seq);
+      const agu::AddressingComparison c =
+          agu::compare_addressing(kernel, config);
+
+      const agu::Program p = agu::generate_code(seq, a);
+      const agu::SimResult r = agu::Simulator{}.run(
+          p, seq, static_cast<std::uint64_t>(kernel.iterations()));
+
+      table.add_row({
+          std::to_string(k),
+          std::to_string(m),
+          std::to_string(a.cost()),
+          support::format_percent(c.size_reduction_percent),
+          support::format_percent(c.speed_reduction_percent),
+          r.verified ? "yes" : "NO",
+      });
+    }
+  }
+  table.write(std::cout);
+
+  std::cout << "\nAddress code for K = 2, M = 1:\n";
+  core::ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 2;
+  const core::Allocation a = core::RegisterAllocator(config).run(seq);
+  std::cout << agu::generate_code(seq, a).to_string();
+  return 0;
+}

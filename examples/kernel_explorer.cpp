@@ -1,0 +1,112 @@
+// Example: explore every built-in DSP kernel (or one given by name or
+// as a .kern file) across allocator configurations.
+//
+//   $ ./kernel_explorer               # all built-in kernels, summary
+//   $ ./kernel_explorer fir           # one kernel, detailed
+//   $ ./kernel_explorer my_kernel.kern
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "agu/codegen.hpp"
+#include "agu/metrics.hpp"
+#include "core/allocator.hpp"
+#include "ir/kernels.hpp"
+#include "ir/layout.hpp"
+#include "ir/parser.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace dspaddr;
+
+void print_summary() {
+  support::Table table({"kernel", "accesses", "K~", "cost K=2",
+                        "cost K=4", "speed red. K=4"});
+  for (const ir::Kernel& kernel : ir::builtin_kernels()) {
+    const ir::AccessSequence seq = ir::lower(kernel);
+
+    core::ProblemConfig wide;
+    wide.modify_range = 1;
+    wide.registers = seq.size();
+    const auto unconstrained = core::RegisterAllocator(wide).run(seq);
+
+    const auto cost_at = [&](std::size_t k) {
+      core::ProblemConfig config;
+      config.modify_range = 1;
+      config.registers = k;
+      return core::RegisterAllocator(config).run(seq).cost();
+    };
+
+    core::ProblemConfig k4;
+    k4.modify_range = 1;
+    k4.registers = 4;
+    const auto comparison = agu::compare_addressing(kernel, k4);
+
+    table.add_row({
+        kernel.name(),
+        std::to_string(seq.size()),
+        unconstrained.stats().k_tilde.has_value()
+            ? std::to_string(*unconstrained.stats().k_tilde)
+            : std::string("-"),
+        std::to_string(cost_at(2)),
+        std::to_string(cost_at(4)),
+        support::format_percent(comparison.speed_reduction_percent),
+    });
+  }
+  table.write(std::cout);
+  std::cout << "\nRun with a kernel name (e.g. 'fir') or a .kern file "
+               "for the full breakdown.\n";
+}
+
+void print_details(const ir::Kernel& kernel) {
+  std::cout << "Kernel " << kernel.name();
+  if (!kernel.description().empty()) {
+    std::cout << " — " << kernel.description();
+  }
+  std::cout << "\n\n" << ir::to_text(kernel) << '\n';
+
+  const ir::AccessSequence seq = ir::lower(kernel);
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    core::ProblemConfig config;
+    config.modify_range = 1;
+    config.registers = k;
+    const core::Allocation a = core::RegisterAllocator(config).run(seq);
+    std::cout << "--- K = " << k << " ---\n"
+              << a.to_string(seq)
+              << agu::generate_code(seq, a).to_string() << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_summary();
+    return 0;
+  }
+  const std::string argument = argv[1];
+  try {
+    if (argument.size() > 5 &&
+        argument.substr(argument.size() - 5) == ".kern") {
+      std::ifstream file(argument);
+      if (!file) {
+        std::cerr << "cannot open " << argument << '\n';
+        return 1;
+      }
+      std::ostringstream content;
+      content << file.rdbuf();
+      for (const ir::Kernel& kernel :
+           ir::parse_kernels(content.str())) {
+        print_details(kernel);
+      }
+    } else {
+      print_details(ir::builtin_kernel(argument));
+    }
+  } catch (const dspaddr::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Example: how addressing cost degrades as address registers get
+// scarce — the trade-off at the heart of the paper.
+//
+// For one fixed random access pattern, sweeps K from K~ (free) down to
+// 1 and prints the per-iteration cost of the paper's allocator and of
+// the naive baseline, showing where cost-guided merging pays off.
+//
+//   $ ./register_sweep [N] [M] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/baselines.hpp"
+#include "core/allocator.hpp"
+#include "eval/patterns.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dspaddr;
+
+  const std::size_t n =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 30;
+  const std::int64_t m = argc > 2 ? std::atoll(argv[2]) : 1;
+  const std::uint64_t seed =
+      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 7;
+
+  support::Rng rng(seed);
+  eval::PatternSpec spec;
+  spec.accesses = n;
+  spec.offset_range = 10;
+  const ir::AccessSequence seq = eval::generate_pattern(spec, rng);
+
+  std::cout << "Random pattern: N = " << n << ", offsets in [-10, 10], "
+            << "M = " << m << ", seed = " << seed << "\n\n";
+
+  // Find K~ first (phase 1 alone, enough registers).
+  core::ProblemConfig probe;
+  probe.modify_range = m;
+  probe.registers = n;
+  const core::Allocation unconstrained =
+      core::RegisterAllocator(probe).run(seq);
+  const std::size_t k_tilde =
+      unconstrained.stats().k_tilde.value_or(unconstrained.register_count());
+  std::cout << "K~ = " << k_tilde
+            << " virtual registers give a zero-cost allocation.\n\n";
+
+  support::Table table(
+      {"K", "path-merge cost", "naive cost", "reduction"});
+  for (std::size_t k = k_tilde; k >= 1; --k) {
+    core::ProblemConfig config;
+    config.modify_range = m;
+    config.registers = k;
+    const int merged = core::RegisterAllocator(config).run(seq).cost();
+    const int naive = baselines::naive_allocate(seq, config).cost();
+    table.add_row({
+        std::to_string(k),
+        std::to_string(merged),
+        std::to_string(naive),
+        naive > 0 ? support::format_percent(
+                        support::percent_reduction(naive, merged))
+                  : std::string("-"),
+    });
+  }
+  table.write(std::cout);
+  std::cout << "\nAt K = K~ both are free; the gap opens as the "
+               "register constraint bites.\n";
+  return 0;
+}

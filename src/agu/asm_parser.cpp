@@ -1,0 +1,200 @@
+#include "agu/asm_parser.hpp"
+
+#include <charconv>
+#include <string>
+
+#include "support/strings.hpp"
+
+namespace dspaddr::agu {
+
+namespace {
+
+using ir::ParseError;
+
+/// Cursor over one source line.
+struct LineCursor {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::size_t line = 0;
+
+  void skip_spaces() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool at_end() {
+    skip_spaces();
+    return pos >= text.size();
+  }
+
+  bool try_literal(std::string_view literal) {
+    skip_spaces();
+    if (text.substr(pos, literal.size()) != literal) return false;
+    pos += literal.size();
+    return true;
+  }
+
+  void expect_literal(std::string_view literal) {
+    if (!try_literal(literal)) {
+      throw ParseError(line, "expected '" + std::string(literal) +
+                                 "' in '" + std::string(text) + "'");
+    }
+  }
+
+  std::int64_t expect_integer(std::string_view what) {
+    skip_spaces();
+    std::int64_t value = 0;
+    const char* begin = text.data() + pos;
+    const char* end = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{}) {
+      throw ParseError(line, std::string(what) + ": expected an integer");
+    }
+    pos += static_cast<std::size_t>(ptr - begin);
+    return value;
+  }
+
+  std::size_t expect_register(std::string_view prefix,
+                              std::string_view what) {
+    expect_literal(prefix);
+    const std::int64_t index = expect_integer(what);
+    if (index < 0) {
+      throw ParseError(line, std::string(what) + ": negative index");
+    }
+    return static_cast<std::size_t>(index);
+  }
+};
+
+}  // namespace
+
+Program parse_program(std::string_view text) {
+  Program program;
+  bool in_setup = true;
+  bool saw_section = false;
+
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view raw = text.substr(start, end - start);
+    ++line_number;
+    const bool last = end >= text.size();
+    start = end + 1;
+
+    std::string_view trimmed = support::trim(raw);
+    if (trimmed.empty()) {
+      if (last) break;
+      continue;
+    }
+
+    // Section markers.
+    if (trimmed.front() == ';') {
+      const std::string_view marker = support::trim(trimmed.substr(1));
+      if (marker == "setup") {
+        in_setup = true;
+        saw_section = true;
+      } else if (marker == "loop body") {
+        in_setup = false;
+        saw_section = true;
+      } else {
+        throw ParseError(line_number,
+                         "unknown section marker '; " +
+                             std::string(marker) + "'");
+      }
+      if (last) break;
+      continue;
+    }
+
+    LineCursor cursor{trimmed, 0, line_number};
+    Instruction instruction;
+
+    if (cursor.try_literal("LDAR")) {
+      instruction.op = Opcode::kLdar;
+      instruction.reg = cursor.expect_register("AR", "address register");
+      cursor.expect_literal(",");
+      cursor.expect_literal("#");
+      instruction.value = cursor.expect_integer("immediate");
+    } else if (cursor.try_literal("LDMR")) {
+      instruction.op = Opcode::kLdmr;
+      instruction.reg = cursor.expect_register("MR", "modify register");
+      cursor.expect_literal(",");
+      cursor.expect_literal("#");
+      instruction.value = cursor.expect_integer("immediate");
+      program.modify_register_count =
+          std::max(program.modify_register_count, instruction.reg + 1);
+    } else if (cursor.try_literal("ADAR")) {
+      instruction.op = Opcode::kAdar;
+      instruction.reg = cursor.expect_register("AR", "address register");
+      cursor.expect_literal(",");
+      cursor.expect_literal("#");
+      instruction.value = cursor.expect_integer("immediate");
+    } else if (cursor.try_literal("RELOAD")) {
+      instruction.op = Opcode::kReload;
+      instruction.reg = cursor.expect_register("AR", "address register");
+      cursor.expect_literal(",");
+      cursor.expect_literal("&a_");
+      const std::int64_t access = cursor.expect_integer("access id");
+      if (access < 1) {
+        throw ParseError(line_number, "access ids are 1-based");
+      }
+      instruction.access = static_cast<std::size_t>(access - 1);
+      if (cursor.try_literal("(next iteration)")) {
+        instruction.next_iteration = true;
+      }
+    } else if (cursor.try_literal("USE")) {
+      instruction.op = Opcode::kUse;
+      instruction.reg = cursor.expect_register("AR", "address register");
+      cursor.expect_literal(";");
+      cursor.expect_literal("a_");
+      const std::int64_t access = cursor.expect_integer("access id");
+      if (access < 1) {
+        throw ParseError(line_number, "access ids are 1-based");
+      }
+      instruction.access = static_cast<std::size_t>(access - 1);
+      if (cursor.try_literal(",")) {
+        cursor.expect_literal("post-modify");
+        if (cursor.try_literal("+MR")) {
+          const std::int64_t mr = cursor.expect_integer("modify register");
+          if (mr < 0) {
+            throw ParseError(line_number, "negative modify register");
+          }
+          instruction.mr = static_cast<std::int32_t>(mr);
+          program.modify_register_count = std::max(
+              program.modify_register_count,
+              static_cast<std::size_t>(mr) + 1);
+        } else {
+          // to_string prints an explicit sign: "+1" / "-1"; from_chars
+          // only understands '-', so consume a leading '+' manually.
+          cursor.try_literal("+");
+          instruction.value = cursor.expect_integer("post-modify");
+        }
+      }
+    } else {
+      throw ParseError(line_number,
+                       "unknown mnemonic in '" + std::string(trimmed) +
+                           "'");
+    }
+
+    if (!cursor.at_end()) {
+      throw ParseError(line_number,
+                       "trailing input in '" + std::string(trimmed) + "'");
+    }
+    if (instruction.op != Opcode::kLdmr) {
+      program.register_count =
+          std::max(program.register_count, instruction.reg + 1);
+    }
+    (in_setup ? program.setup : program.body).push_back(instruction);
+    if (last) break;
+  }
+
+  if (!saw_section) {
+    throw ParseError(1, "program has no '; setup' / '; loop body' "
+                        "section markers");
+  }
+  return program;
+}
+
+}  // namespace dspaddr::agu

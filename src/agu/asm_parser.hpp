@@ -1,0 +1,31 @@
+// Parser for the textual AGU assembly emitted by Program::to_string().
+//
+// Round-tripping programs through text lets users hand-write or patch
+// address programs and validate them on the simulator, and lets tests
+// treat the listing format as a stable interface:
+//
+//   ; setup
+//     LDAR AR0, #1
+//     LDMR MR0, #5
+//   ; loop body
+//     USE AR0  ; a_1, post-modify +1
+//     USE AR0  ; a_2, post-modify +MR0
+//     ADAR AR0, #-3
+//     RELOAD AR0, &a_3 (next iteration)
+//
+// Comments after ';' are significant for USE (they carry the access id
+// and post-modify) — exactly what to_string() prints. Errors throw
+// ir::ParseError with the 1-based line.
+#pragma once
+
+#include <string_view>
+
+#include "agu/program.hpp"
+#include "ir/parser.hpp"
+
+namespace dspaddr::agu {
+
+/// Parses a textual AGU program; inverse of Program::to_string().
+Program parse_program(std::string_view text);
+
+}  // namespace dspaddr::agu

@@ -1,0 +1,112 @@
+#include "agu/codegen.hpp"
+
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace dspaddr::agu {
+
+namespace {
+
+/// Shared generator; `mr_values` maps a distance to the MR index that
+/// holds it (empty for the plain variant).
+Program generate_impl(
+    const ir::AccessSequence& seq, const core::Allocation& allocation,
+    const std::vector<std::int64_t>& mr_values) {
+  const core::CostModel& model = allocation.model();
+  const auto& paths = allocation.paths();
+
+  const auto mr_holding = [&mr_values](std::int64_t distance) {
+    for (std::size_t m = 0; m < mr_values.size(); ++m) {
+      if (mr_values[m] == distance) return static_cast<std::int32_t>(m);
+    }
+    return std::int32_t{-1};
+  };
+
+  Program program;
+  program.register_count = paths.size();
+  program.modify_register_count = mr_values.size();
+
+  // Setup: point every register at its path's first access
+  // (iteration 0) and load the planned modify registers.
+  for (std::size_t r = 0; r < paths.size(); ++r) {
+    program.setup.push_back(Instruction{
+        .op = Opcode::kLdar,
+        .reg = r,
+        .value = seq[paths[r].first()].offset,
+    });
+  }
+  for (std::size_t m = 0; m < mr_values.size(); ++m) {
+    program.setup.push_back(Instruction{
+        .op = Opcode::kLdmr, .reg = m, .value = mr_values[m]});
+  }
+
+  // Per-register position of the *next* use, to find each access's
+  // successor within its path.
+  std::vector<std::size_t> position_in_path(paths.size(), 0);
+
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const std::size_t r = allocation.register_of(i);
+    const core::Path& path = paths[r];
+    std::size_t& pos = position_in_path[r];
+    check_invariant(pos < path.size() && path[pos] == i,
+                    "generate_code: allocation out of sync with sequence");
+
+    const bool is_last_in_path = (pos + 1 == path.size());
+    const std::size_t next_access = is_last_in_path ? path.first()
+                                                    : path[pos + 1];
+    const auto distance = is_last_in_path
+                              ? seq.wrap_distance(i, next_access)
+                              : seq.intra_distance(i, next_access);
+
+    Instruction use{.op = Opcode::kUse, .reg = r, .value = 0, .access = i};
+    if (distance.has_value() &&
+        std::llabs(*distance) <= model.modify_range) {
+      // Free post-modify straight to the next use.
+      use.value = *distance;
+      program.body.push_back(use);
+    } else if (distance.has_value() && mr_holding(*distance) >= 0) {
+      // A planned modify register holds exactly this distance: the
+      // post-modify rides through it for free.
+      use.mr = mr_holding(*distance);
+      program.body.push_back(use);
+    } else if (distance.has_value()) {
+      // Same stride but beyond the modify range: USE then one ADAR.
+      program.body.push_back(use);
+      program.body.push_back(Instruction{
+          .op = Opcode::kAdar, .reg = r, .value = *distance});
+    } else {
+      // Different strides: no constant modify exists; recompute.
+      program.body.push_back(use);
+      program.body.push_back(Instruction{
+          .op = Opcode::kReload,
+          .reg = r,
+          .value = 0,
+          .access = next_access,
+          .next_iteration = is_last_in_path,
+      });
+    }
+    ++pos;
+  }
+  return program;
+}
+
+}  // namespace
+
+Program generate_code(const ir::AccessSequence& seq,
+                      const core::Allocation& allocation) {
+  return generate_impl(seq, allocation, {});
+}
+
+Program generate_code(const ir::AccessSequence& seq,
+                      const core::Allocation& allocation,
+                      const core::ModifyRegisterPlan& plan) {
+  std::vector<std::int64_t> values;
+  values.reserve(plan.values.size());
+  for (const core::ModifyRegister& mr : plan.values) {
+    values.push_back(mr.value);
+  }
+  return generate_impl(seq, allocation, values);
+}
+
+}  // namespace dspaddr::agu

@@ -1,0 +1,60 @@
+// Catalog of AGU configurations modeled after real DSP families.
+//
+// The paper's cost model is parameterized by the number of address
+// registers K and the free modify range M; real AGUs also differ in how
+// many modify registers they offer. This catalog pins down a handful of
+// representative configurations (approximations of the addressing
+// resources of well-known parts — register counts from the respective
+// family manuals, all normalized to the paper's single-memory model) so
+// benches can answer: *how does the same kernel fare across AGUs?*
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/modify_registers.hpp"
+#include "ir/kernel.hpp"
+
+namespace dspaddr::agu {
+
+/// One AGU configuration.
+struct AguSpec {
+  std::string name;
+  std::string description;
+  /// K: address registers available to the allocator.
+  std::size_t address_registers = 1;
+  /// L: modify registers available to the post-pass planner.
+  std::size_t modify_registers = 0;
+  /// M: free immediate post-modify range.
+  std::int64_t modify_range = 1;
+};
+
+/// Representative AGU configurations.
+std::vector<AguSpec> builtin_machines();
+
+/// Lookup by name; throws InvalidArgument when unknown.
+AguSpec builtin_machine(const std::string& name);
+
+/// Names of all catalog entries.
+std::vector<std::string> builtin_machine_names();
+
+/// Outcome of compiling one kernel for one machine.
+struct MachineRunReport {
+  AguSpec machine;
+  /// Unit-cost address computations per iteration before MR planning.
+  int allocation_cost = 0;
+  /// ... and after using the machine's modify registers.
+  int residual_cost = 0;
+  /// Simulator agreement (addresses verified and instruction counts
+  /// matching the analytic model).
+  bool verified = false;
+};
+
+/// Lowers, allocates, plans MRs, generates code and simulates `kernel`
+/// on `machine` for the kernel's iteration count.
+MachineRunReport run_on_machine(const ir::Kernel& kernel,
+                                const AguSpec& machine);
+
+}  // namespace dspaddr::agu

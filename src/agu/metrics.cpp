@@ -1,0 +1,88 @@
+#include "agu/metrics.hpp"
+
+#include "support/check.hpp"
+#include "support/stats.hpp"
+
+namespace dspaddr::agu {
+
+namespace {
+
+std::int64_t shared_body_words(const ir::Kernel& kernel) {
+  return kernel.data_ops() +
+         static_cast<std::int64_t>(kernel.accesses().size());
+}
+
+}  // namespace
+
+CodeMetrics optimized_metrics(const ir::Kernel& kernel,
+                              const core::Allocation& allocation,
+                              const MachineModel& machine) {
+  const std::int64_t setup =
+      static_cast<std::int64_t>(allocation.register_count());
+  const std::int64_t body = shared_body_words(kernel) + allocation.cost() +
+                            machine.loop_control_words;
+  CodeMetrics metrics;
+  metrics.size_words = machine.function_overhead_words + setup + body;
+  metrics.cycles = machine.function_overhead_words + setup +
+                   body * kernel.iterations();
+  return metrics;
+}
+
+CodeMetrics baseline_metrics(const ir::Kernel& kernel,
+                             const MachineModel& machine) {
+  const std::int64_t accesses =
+      static_cast<std::int64_t>(kernel.accesses().size());
+  const std::int64_t body =
+      shared_body_words(kernel) +
+      accesses * machine.baseline_address_words_per_access +
+      machine.loop_control_words;
+  CodeMetrics metrics;
+  metrics.size_words = machine.function_overhead_words + body;
+  metrics.cycles =
+      machine.function_overhead_words + body * kernel.iterations();
+  return metrics;
+}
+
+namespace {
+
+AddressingComparison finalize(AddressingComparison comparison) {
+  comparison.size_reduction_percent = support::percent_reduction(
+      static_cast<double>(comparison.baseline.size_words),
+      static_cast<double>(comparison.optimized.size_words));
+  comparison.speed_reduction_percent = support::percent_reduction(
+      static_cast<double>(comparison.baseline.cycles),
+      static_cast<double>(comparison.optimized.cycles));
+  return comparison;
+}
+
+}  // namespace
+
+AddressingComparison compare_addressing(const ir::Kernel& kernel,
+                                        const core::ProblemConfig& config,
+                                        const MachineModel& machine) {
+  const ir::AccessSequence seq = ir::lower(kernel);
+  const core::Allocation allocation =
+      core::RegisterAllocator(config).run(seq);
+
+  AddressingComparison comparison;
+  comparison.baseline = baseline_metrics(kernel, machine);
+  comparison.optimized = optimized_metrics(kernel, allocation, machine);
+  return finalize(comparison);
+}
+
+AddressingComparison compare_addressing(const ir::Application& app,
+                                        const core::ProblemConfig& config,
+                                        const MachineModel& machine) {
+  AddressingComparison total;
+  for (const ir::Kernel& kernel : app.kernels()) {
+    const AddressingComparison part =
+        compare_addressing(kernel, config, machine);
+    total.baseline.size_words += part.baseline.size_words;
+    total.baseline.cycles += part.baseline.cycles;
+    total.optimized.size_words += part.optimized.size_words;
+    total.optimized.cycles += part.optimized.cycles;
+  }
+  return finalize(total);
+}
+
+}  // namespace dspaddr::agu

@@ -1,0 +1,82 @@
+#include "agu/program.hpp"
+
+#include <sstream>
+
+namespace dspaddr::agu {
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kLdar:
+      return "LDAR";
+    case Opcode::kAdar:
+      return "ADAR";
+    case Opcode::kUse:
+      return "USE";
+    case Opcode::kReload:
+      return "RELOAD";
+    case Opcode::kLdmr:
+      return "LDMR";
+  }
+  return "?";
+}
+
+std::string Instruction::to_string() const {
+  std::ostringstream out;
+  out << dspaddr::agu::to_string(op)
+      << (op == Opcode::kLdmr ? " MR" : " AR") << reg;
+  switch (op) {
+    case Opcode::kLdar:
+    case Opcode::kAdar:
+    case Opcode::kLdmr:
+      out << ", #" << value;
+      break;
+    case Opcode::kUse:
+      out << "  ; a_" << (access + 1);
+      if (mr >= 0) {
+        out << ", post-modify +MR" << mr;
+      } else if (value != 0) {
+        out << ", post-modify " << (value > 0 ? "+" : "") << value;
+      }
+      break;
+    case Opcode::kReload:
+      out << ", &a_" << (access + 1)
+          << (next_iteration ? " (next iteration)" : "");
+      break;
+  }
+  return out.str();
+}
+
+namespace {
+
+std::size_t address_words(const std::vector<Instruction>& instructions) {
+  std::size_t words = 0;
+  for (const Instruction& instruction : instructions) {
+    if (instruction.op != Opcode::kUse) ++words;
+  }
+  return words;
+}
+
+}  // namespace
+
+std::size_t Program::setup_address_words() const {
+  return address_words(setup);
+}
+
+std::size_t Program::body_address_words() const {
+  return address_words(body);
+}
+
+std::string Program::to_string() const {
+  std::ostringstream out;
+  out << "; setup\n";
+  for (const Instruction& instruction : setup) {
+    out << "  " << instruction.to_string() << '\n';
+  }
+  out << "; loop body\n";
+  for (const Instruction& instruction : body) {
+    out << "  " << instruction.to_string() << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dspaddr::agu

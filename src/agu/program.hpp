@@ -1,0 +1,84 @@
+// The AGU instruction set and address-program representation.
+//
+// The model follows the paper's cost semantics for DSP address
+// generation units:
+//  * LDAR  ARr, #imm  — load an address register (one word / one cycle;
+//                       used for before-loop setup).
+//  * ADAR  ARr, #imm  — add an immediate to an address register: the
+//                       "one extra instruction" of a unit-cost address
+//                       computation (one word / one cycle).
+//  * USE   ARr, +d    — the addressing part of a data instruction: the
+//                       memory operand is *(ARr), post-modified by d
+//                       with |d| <= M in parallel to the data path
+//                       (zero additional words / cycles).
+//  * RELOAD ARr, a_k  — recompute the register to the address of access
+//                       a_k (used when consecutive accesses have
+//                       different strides so no constant modify exists;
+//                       one word / one cycle, like ADAR through a modify
+//                       register).
+//  * LDMR  MRm, #imm  — load a modify register (setup; one word / one
+//                       cycle). A USE carrying an `mr` index
+//                       post-modifies its address register by that MR's
+//                       contents in parallel — free for any distance
+//                       (the modify-register extension, see
+//                       core/modify_registers.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dspaddr::agu {
+
+enum class Opcode {
+  kLdar,
+  kAdar,
+  kUse,
+  kReload,
+  kLdmr,
+};
+
+const char* to_string(Opcode op);
+
+/// One AGU instruction. Field meaning by opcode:
+///   kLdar:   reg <- value
+///   kAdar:   reg <- reg + value
+///   kUse:    memory operand at reg for access `access`, then
+///            reg <- reg + value (|value| <= M), or reg <- reg + MR[mr]
+///            when mr >= 0
+///   kReload: reg <- address of access `access` (in the next iteration
+///            when `next_iteration`), value unused
+///   kLdmr:   MR[reg] <- value
+struct Instruction {
+  Opcode op = Opcode::kUse;
+  std::size_t reg = 0;
+  std::int64_t value = 0;
+  /// Access index this instruction addresses (kUse / kReload).
+  std::size_t access = 0;
+  /// kReload only: target the access's address in iteration t+1.
+  bool next_iteration = false;
+  /// kUse only: post-modify through this modify register (-1 = none).
+  std::int32_t mr = -1;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// Address program of one loop: setup runs once, body once per
+/// iteration.
+struct Program {
+  std::vector<Instruction> setup;
+  std::vector<Instruction> body;
+  std::size_t register_count = 0;
+  std::size_t modify_register_count = 0;
+
+  /// Words occupied by explicit address instructions (kUse is free —
+  /// its addressing rides on the data instruction encoding).
+  std::size_t setup_address_words() const;
+  std::size_t body_address_words() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace dspaddr::agu

@@ -1,0 +1,110 @@
+#include "agu/simulator.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dspaddr::agu {
+
+namespace {
+
+std::int64_t demanded_address(const ir::AccessSequence& seq,
+                              std::size_t access, std::uint64_t iteration) {
+  const ir::Access& a = seq[access];
+  return a.offset + static_cast<std::int64_t>(iteration) * a.stride;
+}
+
+}  // namespace
+
+SimResult Simulator::run(const Program& program,
+                         const ir::AccessSequence& seq,
+                         std::uint64_t iterations) const {
+  check_arg(program.register_count > 0 || seq.empty(),
+            "Simulator: program has no registers");
+  SimResult result;
+  result.iterations = iterations;
+
+  std::vector<std::int64_t> ar(program.register_count, 0);
+  std::vector<std::int64_t> mr(program.modify_register_count, 0);
+
+  const auto fail = [&](const std::string& message) {
+    if (result.verified) {
+      result.verified = false;
+      result.failure = message;
+    }
+  };
+
+  for (const Instruction& instruction : program.setup) {
+    if (instruction.op == Opcode::kLdar) {
+      check_arg(instruction.reg < ar.size(),
+                "Simulator: setup register out of range");
+      ar[instruction.reg] = instruction.value;
+    } else if (instruction.op == Opcode::kLdmr) {
+      check_arg(instruction.reg < mr.size(),
+                "Simulator: setup modify register out of range");
+      mr[instruction.reg] = instruction.value;
+    } else {
+      throw InvalidArgument(
+          "Simulator: setup may only contain LDAR / LDMR");
+    }
+    ++result.setup_instructions;
+    ++result.address_cycles;
+  }
+
+  for (std::uint64_t t = 0; t < iterations; ++t) {
+    for (const Instruction& instruction : program.body) {
+      check_arg(instruction.reg < ar.size(),
+                "Simulator: body register out of range");
+      switch (instruction.op) {
+        case Opcode::kLdar:
+          ar[instruction.reg] = instruction.value;
+          ++result.extra_instructions;
+          ++result.address_cycles;
+          break;
+        case Opcode::kAdar:
+          ar[instruction.reg] += instruction.value;
+          ++result.extra_instructions;
+          ++result.address_cycles;
+          break;
+        case Opcode::kReload:
+          ar[instruction.reg] = demanded_address(
+              seq, instruction.access,
+              instruction.next_iteration ? t + 1 : t);
+          ++result.extra_instructions;
+          ++result.address_cycles;
+          break;
+        case Opcode::kUse: {
+          const std::int64_t demanded =
+              demanded_address(seq, instruction.access, t);
+          if (ar[instruction.reg] != demanded) {
+            std::ostringstream message;
+            message << "iteration " << t << ", access a_"
+                    << (instruction.access + 1) << ": AR"
+                    << instruction.reg << " holds "
+                    << ar[instruction.reg] << ", demanded " << demanded;
+            fail(message.str());
+            if (options_.stop_on_failure) return result;
+          }
+          if (options_.record_trace) {
+            result.trace.push_back(ar[instruction.reg]);
+          }
+          ++result.accesses_executed;
+          if (instruction.mr >= 0) {
+            check_arg(static_cast<std::size_t>(instruction.mr) < mr.size(),
+                      "Simulator: USE references unloaded modify register");
+            ar[instruction.reg] += mr[static_cast<std::size_t>(
+                instruction.mr)];
+          } else {
+            ar[instruction.reg] += instruction.value;
+          }
+          break;
+        }
+        case Opcode::kLdmr:
+          throw InvalidArgument("Simulator: LDMR not allowed in the body");
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dspaddr::agu

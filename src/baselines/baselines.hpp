@@ -1,0 +1,60 @@
+// Baseline address-register allocators the paper's heuristic is
+// evaluated against.
+//
+// * naive_allocate       — the paper's comparator (section 4): phase 1
+//                          as usual, then "repetitively merges two
+//                          arbitrary paths until the register constraint
+//                          is met" (deterministically the first two).
+// * random_merge_allocate — same, but merging a random pair each step;
+//                          averaging over seeds estimates the cost of an
+//                          *expected* arbitrary merge order.
+// * round_robin_allocate — no path model at all: access i goes to
+//                          register i mod K (what a simple compiler
+//                          back-end might do).
+// * greedy_online_allocate — one left-to-right sweep placing each access
+//                          on the register with the cheapest transition
+//                          (nearest endpoint on ties).
+//
+// All baselines return a core::Allocation costed under the same model,
+// so every comparison in the benches is apples-to-apples.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "ir/access_sequence.hpp"
+
+namespace dspaddr::baselines {
+
+/// The paper's "naive" comparator: arbitrary (first-pair) merges.
+core::Allocation naive_allocate(const ir::AccessSequence& seq,
+                                const core::ProblemConfig& config);
+
+/// Arbitrary merges chosen uniformly at random (seeded).
+core::Allocation random_merge_allocate(const ir::AccessSequence& seq,
+                                       const core::ProblemConfig& config,
+                                       std::uint64_t seed);
+
+/// Access i -> register i mod K.
+core::Allocation round_robin_allocate(const ir::AccessSequence& seq,
+                                      const core::ProblemConfig& config);
+
+/// Single online sweep, cheapest-transition-first placement.
+core::Allocation greedy_online_allocate(const ir::AccessSequence& seq,
+                                        const core::ProblemConfig& config);
+
+/// A named allocator for table-driven benches and tests.
+struct NamedAllocator {
+  std::string name;
+  std::function<core::Allocation(const ir::AccessSequence&,
+                                 const core::ProblemConfig&)>
+      run;
+};
+
+/// All baselines plus the paper's allocator ("path-merge"), in a fixed
+/// presentation order.
+std::vector<NamedAllocator> all_allocators(std::uint64_t random_seed = 1);
+
+}  // namespace dspaddr::baselines

@@ -1,0 +1,36 @@
+#include "core/access_graph.hpp"
+
+#include "support/check.hpp"
+
+namespace dspaddr::core {
+
+AccessGraph::AccessGraph(const ir::AccessSequence& seq,
+                         const CostModel& model)
+    : seq_(seq), model_(model), intra_(seq.size()) {
+  check_arg(model.modify_range >= 0,
+            "AccessGraph: modify range must be non-negative");
+  const std::size_t n = seq_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (intra_zero_cost(seq_, i, j, model_)) {
+        intra_.add_edge(static_cast<graph::NodeId>(i),
+                        static_cast<graph::NodeId>(j));
+      }
+    }
+  }
+  wrap_ok_.assign(n * n, false);
+  for (std::size_t last = 0; last < n; ++last) {
+    for (std::size_t first = 0; first < n; ++first) {
+      wrap_ok_[last * n + first] =
+          wrap_zero_cost(seq_, last, first, model_);
+    }
+  }
+}
+
+bool AccessGraph::wrap_edge(std::size_t last, std::size_t first) const {
+  const std::size_t n = seq_.size();
+  check_arg(last < n && first < n, "AccessGraph: node out of range");
+  return wrap_ok_[last * n + first];
+}
+
+}  // namespace dspaddr::core

@@ -1,0 +1,84 @@
+#include "core/allocator.hpp"
+
+#include <sstream>
+
+#include "core/access_graph.hpp"
+#include "core/validate.hpp"
+#include "support/check.hpp"
+
+namespace dspaddr::core {
+
+Allocation::Allocation(const ir::AccessSequence& seq, CostModel model,
+                       std::vector<Path> paths, AllocationStats stats)
+    : model_(model), paths_(std::move(paths)), stats_(stats) {
+  register_of_.assign(seq.size(), 0);
+  for (std::size_t r = 0; r < paths_.size(); ++r) {
+    intra_cost_ += path_intra_cost(seq, paths_[r], model_);
+    wrap_cost_ += path_wrap_cost(seq, paths_[r], model_);
+    for (std::size_t i = 0; i < paths_[r].size(); ++i) {
+      register_of_[paths_[r][i]] = r;
+    }
+  }
+}
+
+std::size_t Allocation::register_of(std::size_t access) const {
+  check_arg(access < register_of_.size(),
+            "Allocation: access index out of range");
+  return register_of_[access];
+}
+
+std::string Allocation::to_string(const ir::AccessSequence& seq) const {
+  std::ostringstream out;
+  for (std::size_t r = 0; r < paths_.size(); ++r) {
+    out << "AR" << r << ": " << paths_[r].to_string()
+        << "  offsets (";
+    for (std::size_t i = 0; i < paths_[r].size(); ++i) {
+      if (i > 0) out << ", ";
+      out << seq[paths_[r][i]].offset;
+    }
+    out << ")  cost " << path_cost(seq, paths_[r], model_) << '\n';
+  }
+  out << "total cost " << cost() << " (intra " << intra_cost_ << ", wrap "
+      << wrap_cost_ << ")\n";
+  return out.str();
+}
+
+RegisterAllocator::RegisterAllocator(ProblemConfig config)
+    : config_(config) {
+  check_arg(config_.modify_range >= 0,
+            "RegisterAllocator: modify range must be non-negative");
+  check_arg(config_.registers >= 1,
+            "RegisterAllocator: need at least one address register");
+}
+
+Allocation RegisterAllocator::run(const ir::AccessSequence& seq) const {
+  const CostModel model = config_.cost_model();
+  AllocationStats stats;
+
+  if (seq.empty()) {
+    return Allocation(seq, model, {}, stats);
+  }
+
+  const AccessGraph graph(seq, model);
+  const Phase1Result phase1 =
+      compute_min_register_cover(graph, config_.phase1);
+  stats.k_tilde = phase1.k_tilde;
+  stats.lower_bound = phase1.lower_bound;
+  stats.upper_bound = phase1.upper_bound;
+  stats.phase1_exact = phase1.exact;
+  stats.search_nodes = phase1.search_nodes;
+
+  std::vector<Path> paths = phase1.cover;
+  if (paths.size() > config_.registers) {
+    std::vector<MergeStep> trace;
+    paths = merge_to_register_limit(seq, model, std::move(paths),
+                                    config_.registers, config_.merge,
+                                    &trace);
+    stats.merges = trace.size();
+  }
+
+  validate_allocation(seq, paths, config_.registers);
+  return Allocation(seq, model, std::move(paths), stats);
+}
+
+}  // namespace dspaddr::core

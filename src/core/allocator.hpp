@@ -1,0 +1,94 @@
+// The two-phase register-constrained address-register allocator — the
+// top-level API of the paper's technique (paper section 3).
+//
+//   core::RegisterAllocator alloc({.modify_range = 1, .registers = 2});
+//   core::Allocation a = alloc.run(seq);
+//
+// Phase 1 computes the minimum zero-cost cover (K~ virtual registers);
+// phase 2 merges paths until the physical register count K is met.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/branch_and_bound.hpp"
+#include "core/cost_model.hpp"
+#include "core/merging.hpp"
+#include "core/path.hpp"
+#include "ir/access_sequence.hpp"
+
+namespace dspaddr::core {
+
+/// Full configuration of one allocation problem.
+struct ProblemConfig {
+  /// AGU maximum modify range M (>= 0).
+  std::int64_t modify_range = 1;
+  /// Number of physical address registers K (>= 1).
+  std::size_t registers = 1;
+  WrapPolicy wrap = WrapPolicy::kCyclic;
+  Phase1Options phase1 = {};
+  MergeOptions merge = {};
+
+  CostModel cost_model() const { return CostModel{modify_range, wrap}; }
+};
+
+/// Diagnostic counters of one allocator run.
+struct AllocationStats {
+  /// K~ (nullopt when no zero-cost cover exists, see Phase1Result).
+  std::optional<std::size_t> k_tilde;
+  std::size_t lower_bound = 0;
+  std::optional<std::size_t> upper_bound;
+  bool phase1_exact = false;
+  std::uint64_t search_nodes = 0;
+  std::size_t merges = 0;
+};
+
+/// The result: an assignment of every access to one address register.
+class Allocation {
+public:
+  Allocation(const ir::AccessSequence& seq, CostModel model,
+             std::vector<Path> paths, AllocationStats stats);
+
+  const std::vector<Path>& paths() const { return paths_; }
+  std::size_t register_count() const { return paths_.size(); }
+
+  /// Register (path) index handling access `i`.
+  std::size_t register_of(std::size_t access) const;
+
+  /// Unit-cost address computations per steady-state iteration.
+  int cost() const { return intra_cost_ + wrap_cost_; }
+  int intra_cost() const { return intra_cost_; }
+  int wrap_cost() const { return wrap_cost_; }
+
+  const AllocationStats& stats() const { return stats_; }
+  const CostModel& model() const { return model_; }
+
+  /// Multi-line human-readable rendering (register -> path -> cost).
+  std::string to_string(const ir::AccessSequence& seq) const;
+
+private:
+  CostModel model_;
+  std::vector<Path> paths_;
+  std::vector<std::size_t> register_of_;
+  int intra_cost_ = 0;
+  int wrap_cost_ = 0;
+  AllocationStats stats_;
+};
+
+/// Two-phase allocator (paper section 3).
+class RegisterAllocator {
+public:
+  explicit RegisterAllocator(ProblemConfig config);
+
+  const ProblemConfig& config() const { return config_; }
+
+  /// Runs both phases on `seq` and returns a validated allocation.
+  Allocation run(const ir::AccessSequence& seq) const;
+
+private:
+  ProblemConfig config_;
+};
+
+}  // namespace dspaddr::core

@@ -1,0 +1,125 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "graph/path_cover.hpp"
+#include "support/check.hpp"
+
+namespace dspaddr::core {
+
+namespace {
+
+std::vector<Path> to_paths(const graph::PathCover& cover) {
+  std::vector<Path> paths;
+  paths.reserve(cover.paths.size());
+  for (const auto& nodes : cover.paths) {
+    std::vector<std::size_t> indices(nodes.begin(), nodes.end());
+    paths.emplace_back(std::move(indices));
+  }
+  return paths;
+}
+
+/// Splits a path whose intra transitions are all zero-cost into the
+/// minimum number of contiguous chunks that each close (wrap) at zero
+/// cost. Returns nullopt when no such partition exists.
+std::optional<std::vector<Path>> split_for_zero_wrap(
+    const AccessGraph& graph, const Path& path) {
+  const std::size_t m = path.size();
+  constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+  // chunks_up_to[j]: min chunks covering path positions [0, j); the
+  // chunk ending at position j-1 must start at some position i with
+  // wrap_edge(path[j-1], path[i]).
+  std::vector<std::size_t> chunks_up_to(m + 1, kInf);
+  std::vector<std::size_t> chunk_start(m + 1, 0);
+  chunks_up_to[0] = 0;
+  for (std::size_t j = 1; j <= m; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      if (chunks_up_to[i] == kInf) continue;
+      if (!graph.wrap_edge(path[j - 1], path[i])) continue;
+      if (chunks_up_to[i] + 1 < chunks_up_to[j]) {
+        chunks_up_to[j] = chunks_up_to[i] + 1;
+        chunk_start[j] = i;
+      }
+    }
+  }
+  if (chunks_up_to[m] == kInf) return std::nullopt;
+
+  std::vector<Path> chunks;
+  std::size_t end = m;
+  while (end > 0) {
+    const std::size_t start = chunk_start[end];
+    std::vector<std::size_t> indices;
+    indices.reserve(end - start);
+    for (std::size_t i = start; i < end; ++i) {
+      indices.push_back(path[i]);
+    }
+    chunks.emplace_back(std::move(indices));
+    end = start;
+  }
+  std::reverse(chunks.begin(), chunks.end());
+  return chunks;
+}
+
+}  // namespace
+
+std::size_t lower_bound_registers(const AccessGraph& graph) {
+  return graph::minimum_path_cover_dag(graph.intra()).path_count();
+}
+
+std::vector<Path> acyclic_optimal_cover(const AccessGraph& graph) {
+  return to_paths(graph::minimum_path_cover_dag(graph.intra()));
+}
+
+std::optional<std::vector<Path>> greedy_zero_cost_cover(
+    const AccessGraph& graph) {
+  const ir::AccessSequence& seq = graph.sequence();
+  const CostModel& model = graph.model();
+  const std::size_t n = seq.size();
+
+  std::vector<Path> open;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t best = open.size();
+    std::int64_t best_distance = std::numeric_limits<std::int64_t>::max();
+    bool best_closable = false;
+    for (std::size_t p = 0; p < open.size(); ++p) {
+      if (!intra_zero_cost(seq, open[p].last(), i, model)) continue;
+      const std::int64_t distance =
+          std::llabs(*seq.intra_distance(open[p].last(), i));
+      const bool closable = graph.wrap_edge(i, open[p].first());
+      // Prefer a path that could close at zero cost if `i` became its
+      // final access; among those, the nearest endpoint.
+      if (best == open.size() || (closable && !best_closable) ||
+          (closable == best_closable && distance < best_distance)) {
+        best = p;
+        best_distance = distance;
+        best_closable = closable;
+      }
+    }
+    if (best == open.size()) {
+      open.push_back(Path::singleton(i));
+    } else {
+      open[best].append(i);
+    }
+  }
+
+  if (model.wrap == WrapPolicy::kAcyclic) return open;
+
+  // Repair: split any path whose wrap transition is unit-cost.
+  std::vector<Path> result;
+  for (const Path& path : open) {
+    if (path_wrap_cost(seq, path, model) == 0) {
+      result.push_back(path);
+      continue;
+    }
+    auto chunks = split_for_zero_wrap(graph, path);
+    if (!chunks.has_value()) return std::nullopt;
+    for (Path& chunk : *chunks) {
+      result.push_back(std::move(chunk));
+    }
+  }
+  return result;
+}
+
+}  // namespace dspaddr::core

@@ -1,0 +1,40 @@
+// Lower and upper bounds on K~, the minimum number of virtual address
+// registers admitting a zero-cost allocation (paper section 3.1).
+//
+// * Lower bound: the minimum path cover of the intra-iteration zero-cost
+//   DAG, computed exactly as N - (maximum bipartite matching) — the
+//   technique of Araujo et al. [2]. Every zero-cost cover under the
+//   cyclic model is in particular a path cover of that DAG, so its size
+//   is bounded below by this value.
+// * Upper bound: a greedy sweep that appends each access to the
+//   zero-cost-compatible open path with the nearest endpoint, followed
+//   by a split-repair pass that restores zero wrap cost. The result is a
+//   valid zero-cost cover (hence an upper bound on K~) whenever one
+//   exists.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/access_graph.hpp"
+#include "core/path.hpp"
+
+namespace dspaddr::core {
+
+/// Matching-based lower bound on K~ (exact minimum under kAcyclic).
+std::size_t lower_bound_registers(const AccessGraph& graph);
+
+/// The acyclic-optimal cover itself (used as the phase-2 starting point
+/// when no zero-cost cyclic cover exists).
+std::vector<Path> acyclic_optimal_cover(const AccessGraph& graph);
+
+/// Greedy zero-cost cover; the size of the returned cover is an upper
+/// bound on K~. Returns nullopt when the greedy cannot produce one —
+/// only possible when some access has |stride| > M (singletons no longer
+/// close for free); a zero-cost cover may still exist in that case and
+/// the branch-and-bound search decides conclusively.
+std::optional<std::vector<Path>> greedy_zero_cost_cover(
+    const AccessGraph& graph);
+
+}  // namespace dspaddr::core

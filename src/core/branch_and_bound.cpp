@@ -1,0 +1,180 @@
+#include "core/branch_and_bound.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dspaddr::core {
+
+namespace {
+
+/// Depth-first branch-and-bound over sequential path assignments.
+class Search {
+public:
+  Search(const AccessGraph& graph, std::size_t incumbent_size,
+         std::size_t lower_bound, std::uint64_t node_limit)
+      : graph_(graph),
+        seq_(graph.sequence()),
+        model_(graph.model()),
+        n_(graph.node_count()),
+        best_size_(incumbent_size),
+        lower_bound_(lower_bound),
+        node_limit_(node_limit) {}
+
+  /// Runs the search; returns the best cover found that improves on the
+  /// incumbent, if any.
+  std::optional<std::vector<Path>> run() {
+    open_.clear();
+    explore(0);
+    return best_;
+  }
+
+  std::uint64_t nodes() const { return nodes_; }
+  bool completed() const { return !aborted_; }
+
+private:
+  void explore(std::size_t next_access) {
+    if (aborted_ || best_size_ <= lower_bound_) return;
+    // The open-path count never decreases, so any subtree at or above
+    // the incumbent cannot improve on it.
+    if (open_.size() >= best_size_) return;
+    if (++nodes_ > node_limit_) {
+      aborted_ = true;
+      return;
+    }
+
+    if (next_access == n_) {
+      // Complete assignment: feasible iff every path wraps for free.
+      for (const Path& path : open_) {
+        if (!graph_.wrap_edge(path.last(), path.first())) return;
+      }
+      best_ = open_;
+      best_size_ = open_.size();
+      return;
+    }
+
+    // Appending to an open path keeps the register count unchanged, so
+    // try appends first (cheapest-first) to reach good incumbents early.
+    std::vector<std::size_t> candidates;
+    candidates.reserve(open_.size());
+    for (std::size_t p = 0; p < open_.size(); ++p) {
+      if (intra_zero_cost(seq_, open_[p].last(), next_access, model_)) {
+        candidates.push_back(p);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](std::size_t a, std::size_t b) {
+                const std::int64_t da = std::llabs(
+                    *seq_.intra_distance(open_[a].last(), next_access));
+                const std::int64_t db = std::llabs(
+                    *seq_.intra_distance(open_[b].last(), next_access));
+                return da < db;
+              });
+    for (std::size_t p : candidates) {
+      open_[p].append(next_access);
+      explore(next_access + 1);
+      // Undo the append (Path has no pop; rebuild cheaply).
+      std::vector<std::size_t> indices = open_[p].indices();
+      indices.pop_back();
+      open_[p] = Path(std::move(indices));
+      if (aborted_) return;
+    }
+
+    // Opening a new path increases the count, which never decreases
+    // again, so the branch can only improve when it stays below the
+    // incumbent.
+    if (open_.size() + 1 < best_size_) {
+      open_.push_back(Path::singleton(next_access));
+      explore(next_access + 1);
+      open_.pop_back();
+    }
+  }
+
+  const AccessGraph& graph_;
+  const ir::AccessSequence& seq_;
+  const CostModel& model_;
+  const std::size_t n_;
+
+  std::vector<Path> open_;
+  std::optional<std::vector<Path>> best_;
+  std::size_t best_size_;
+  const std::size_t lower_bound_;
+  const std::uint64_t node_limit_;
+  std::uint64_t nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+Phase1Result compute_min_register_cover(const AccessGraph& graph,
+                                        const Phase1Options& options) {
+  Phase1Result result;
+  const std::size_t n = graph.node_count();
+  if (n == 0) {
+    result.k_tilde = 0;
+    result.exact = true;
+    return result;
+  }
+
+  result.lower_bound = lower_bound_registers(graph);
+
+  // Under the acyclic model the matching cover is the exact optimum.
+  if (graph.model().wrap == WrapPolicy::kAcyclic) {
+    result.cover = acyclic_optimal_cover(graph);
+    result.k_tilde = result.cover.size();
+    result.upper_bound = result.cover.size();
+    result.exact = true;
+    return result;
+  }
+
+  std::optional<std::vector<Path>> greedy = greedy_zero_cost_cover(graph);
+  if (greedy.has_value()) {
+    result.upper_bound = greedy->size();
+    result.cover = *greedy;
+    result.k_tilde = greedy->size();
+  }
+
+  const bool greedy_is_optimal =
+      greedy.has_value() && greedy->size() == result.lower_bound;
+  const bool run_exact =
+      options.mode == Phase1Options::Mode::kExact ||
+      (options.mode == Phase1Options::Mode::kAuto &&
+       n <= options.exact_node_limit);
+
+  if (greedy_is_optimal) {
+    result.exact = true;
+    return result;
+  }
+  if (!run_exact) {
+    // Heuristic mode: keep the greedy cover (or fall back when it
+    // failed); no optimality claim.
+    if (!greedy.has_value()) {
+      result.cover = acyclic_optimal_cover(graph);
+      result.k_tilde = std::nullopt;
+    }
+    result.exact = false;
+    return result;
+  }
+
+  // Incumbent: the greedy cover size, or "no cover" == n + 1 so that
+  // any feasible assignment improves on it.
+  const std::size_t incumbent =
+      greedy.has_value() ? greedy->size() : n + 1;
+  Search search(graph, incumbent, result.lower_bound,
+                options.max_search_nodes);
+  std::optional<std::vector<Path>> improved = search.run();
+  result.search_nodes = search.nodes();
+  result.exact = search.completed();
+
+  if (improved.has_value()) {
+    result.cover = std::move(*improved);
+    result.k_tilde = result.cover.size();
+  } else if (!greedy.has_value()) {
+    // Search proved (or gave up proving) that no zero-cost cover exists.
+    result.cover = acyclic_optimal_cover(graph);
+    result.k_tilde = std::nullopt;
+  }
+  return result;
+}
+
+}  // namespace dspaddr::core

@@ -1,0 +1,65 @@
+// Phase 1: exact computation of K~, the minimum number of virtual
+// address registers admitting a zero-cost allocation (paper section 3.1
+// and the companion paper [3]).
+//
+// The search assigns accesses in sequence order to open paths; an access
+// may extend any open path reachable by a zero-cost intra edge or open a
+// new path. A complete assignment is feasible iff every path also closes
+// (wraps) at zero cost. Branches are pruned against the best incumbent
+// (seeded by the greedy upper bound) and the search stops early when the
+// incumbent meets the matching lower bound.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/access_graph.hpp"
+#include "core/bounds.hpp"
+#include "core/path.hpp"
+
+namespace dspaddr::core {
+
+/// Controls the phase-1 search.
+struct Phase1Options {
+  enum class Mode {
+    /// Exact B&B up to `exact_node_limit` accesses, greedy beyond.
+    kAuto,
+    /// Always run the exact search (subject to `max_search_nodes`).
+    kExact,
+    /// Only the greedy upper bound (no optimality proof).
+    kHeuristic,
+  };
+
+  Mode mode = Mode::kAuto;
+  /// kAuto switches to the heuristic above this many accesses.
+  std::size_t exact_node_limit = 28;
+  /// Hard cap on explored search nodes; hitting it degrades `exact` to
+  /// false but keeps the best incumbent found.
+  std::uint64_t max_search_nodes = 5'000'000;
+};
+
+/// Result of phase 1.
+struct Phase1Result {
+  /// A zero-cost cover of size k_tilde when one exists; otherwise the
+  /// acyclic-optimal cover (minimum intra-cost paths, wrap possibly
+  /// unit-cost) as the starting point for phase 2.
+  std::vector<Path> cover;
+  /// K~, when a zero-cost cover exists (always under kAcyclic; under
+  /// kCyclic it may not, e.g. when |stride| > M for some access).
+  std::optional<std::size_t> k_tilde;
+  /// Matching lower bound on K~.
+  std::size_t lower_bound = 0;
+  /// Greedy upper bound (cover size), when the greedy found a cover.
+  std::optional<std::size_t> upper_bound;
+  /// True when the result is provably optimal (or provably infeasible).
+  bool exact = false;
+  /// Search nodes explored by the B&B (0 when it did not run).
+  std::uint64_t search_nodes = 0;
+};
+
+/// Runs phase 1 on the access graph.
+Phase1Result compute_min_register_cover(const AccessGraph& graph,
+                                        const Phase1Options& options = {});
+
+}  // namespace dspaddr::core

@@ -1,0 +1,59 @@
+// The zero-cost / unit-cost partitioning of address computations
+// (paper section 2).
+//
+// An AGU post-modify by distance d executes in parallel with the data
+// path iff |d| <= M (the maximum modify range); any longer move costs
+// one extra instruction. The cost of handling two accesses
+// consecutively in the same address register is therefore 0 or 1.
+//
+// Two wrap policies are provided (see DESIGN.md section 1):
+//  * kCyclic  (default): the transition from a register's last access in
+//    iteration t to its first access in iteration t+1 is charged too —
+//    the true steady-state loop cost.
+//  * kAcyclic: only intra-iteration transitions are charged — the model
+//    under which the minimum path cover is exactly solvable in
+//    polynomial time via bipartite matching (Araujo-style bound [2]).
+#pragma once
+
+#include <cstdint>
+
+#include "ir/access_sequence.hpp"
+
+namespace dspaddr::core {
+
+enum class WrapPolicy {
+  kCyclic,
+  kAcyclic,
+};
+
+/// AGU cost parameters: the modify range M and the wrap policy.
+struct CostModel {
+  /// Maximum distance reachable by a free post-modify (M >= 0).
+  std::int64_t modify_range = 1;
+  WrapPolicy wrap = WrapPolicy::kCyclic;
+
+  friend bool operator==(const CostModel&, const CostModel&) = default;
+};
+
+/// Cost (0 or 1) of access `q` directly following access `p` within one
+/// iteration in the same address register; `p` must precede `q` in the
+/// sequence order (not checked here — enforced by Path).
+int intra_transition_cost(const ir::AccessSequence& seq, std::size_t p,
+                          std::size_t q, const CostModel& model);
+
+/// Cost (0 or 1) of access `first` (iteration t+1) directly following
+/// access `last` (iteration t) in the same register. Always 0 under
+/// WrapPolicy::kAcyclic.
+int wrap_transition_cost(const ir::AccessSequence& seq, std::size_t last,
+                         std::size_t first, const CostModel& model);
+
+/// True iff the intra-iteration transition p -> q is free.
+bool intra_zero_cost(const ir::AccessSequence& seq, std::size_t p,
+                     std::size_t q, const CostModel& model);
+
+/// True iff the iteration-boundary transition last -> first is free
+/// (trivially true under kAcyclic).
+bool wrap_zero_cost(const ir::AccessSequence& seq, std::size_t last,
+                    std::size_t first, const CostModel& model);
+
+}  // namespace dspaddr::core

@@ -1,0 +1,178 @@
+#include "core/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/validate.hpp"
+#include "support/check.hpp"
+
+namespace dspaddr::core {
+
+namespace {
+
+class ExactSearch {
+public:
+  ExactSearch(const ir::AccessSequence& seq, const CostModel& model,
+              std::size_t registers, std::uint64_t node_limit)
+      : seq_(seq),
+        model_(model),
+        registers_(registers),
+        node_limit_(node_limit),
+        assignment_(seq.size(), kUnassigned),
+        best_assignment_(seq.size(), 0) {}
+
+  ExactResult run() {
+    seed_incumbent_with_greedy_sweep();
+    states_.assign(registers_, RegisterState{});
+    explore(0, 0);
+
+    ExactResult result;
+    result.proven = !aborted_;
+    result.nodes = nodes_;
+    result.cost = best_cost_;
+    std::vector<std::vector<std::size_t>> groups(registers_);
+    for (std::size_t i = 0; i < seq_.size(); ++i) {
+      groups[best_assignment_[i]].push_back(i);
+    }
+    for (auto& group : groups) {
+      if (!group.empty()) result.paths.emplace_back(std::move(group));
+    }
+    return result;
+  }
+
+private:
+  static constexpr std::size_t kUnassigned =
+      std::numeric_limits<std::size_t>::max();
+
+  struct RegisterState {
+    bool used = false;
+    std::size_t first = 0;
+    std::size_t last = 0;
+  };
+
+  /// Cheap left-to-right sweep (place each access on the register with
+  /// the cheapest transition) to start the search with a finite
+  /// incumbent; dramatically improves pruning.
+  void seed_incumbent_with_greedy_sweep() {
+    std::vector<RegisterState> states(registers_);
+    std::vector<std::size_t> assignment(seq_.size(), 0);
+    int cost = 0;
+    for (std::size_t i = 0; i < seq_.size(); ++i) {
+      std::size_t best_r = 0;
+      int best_step = std::numeric_limits<int>::max();
+      for (std::size_t r = 0; r < registers_; ++r) {
+        const int step =
+            states[r].used
+                ? intra_transition_cost(seq_, states[r].last, i, model_)
+                : 0;
+        if (step < best_step) {
+          best_step = step;
+          best_r = r;
+        }
+      }
+      if (!states[best_r].used) {
+        states[best_r] = RegisterState{true, i, i};
+      } else {
+        cost += best_step;
+        states[best_r].last = i;
+      }
+      assignment[i] = best_r;
+    }
+    for (const RegisterState& s : states) {
+      if (s.used) {
+        cost += wrap_transition_cost(seq_, s.last, s.first, model_);
+      }
+    }
+    // The greedy assignment is achievable, so it is a valid incumbent:
+    // the search then only records strictly better solutions, and an
+    // exhausted search proves the incumbent optimal.
+    best_cost_ = cost;
+    best_assignment_ = assignment;
+  }
+
+  int wrap_total() const {
+    int total = 0;
+    for (const RegisterState& s : states_) {
+      if (s.used) {
+        total += wrap_transition_cost(seq_, s.last, s.first, model_);
+      }
+    }
+    return total;
+  }
+
+  void explore(std::size_t next_access, int partial_cost) {
+    if (aborted_ || partial_cost >= best_cost_) return;
+    if (++nodes_ > node_limit_) {
+      aborted_ = true;
+      return;
+    }
+
+    if (next_access == seq_.size()) {
+      const int total = partial_cost + wrap_total();
+      if (total < best_cost_) {
+        best_cost_ = total;
+        best_assignment_ = assignment_;
+      }
+      return;
+    }
+
+    bool opened_fresh_register = false;
+    for (std::size_t r = 0; r < registers_; ++r) {
+      RegisterState& state = states_[r];
+      if (!state.used) {
+        // All unused registers are interchangeable: try only the first.
+        if (opened_fresh_register) break;
+        opened_fresh_register = true;
+        state = RegisterState{true, next_access, next_access};
+        assignment_[next_access] = r;
+        explore(next_access + 1, partial_cost);
+        assignment_[next_access] = kUnassigned;
+        state = RegisterState{};
+      } else {
+        const int step =
+            intra_transition_cost(seq_, state.last, next_access, model_);
+        const std::size_t saved_last = state.last;
+        state.last = next_access;
+        assignment_[next_access] = r;
+        explore(next_access + 1, partial_cost + step);
+        assignment_[next_access] = kUnassigned;
+        state.last = saved_last;
+      }
+      if (aborted_) return;
+    }
+  }
+
+  const ir::AccessSequence& seq_;
+  const CostModel& model_;
+  const std::size_t registers_;
+  const std::uint64_t node_limit_;
+
+  std::vector<RegisterState> states_;
+  std::vector<std::size_t> assignment_;
+  std::vector<std::size_t> best_assignment_;
+  int best_cost_ = std::numeric_limits<int>::max();
+  std::uint64_t nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+ExactResult exact_min_cost_allocation(const ir::AccessSequence& seq,
+                                      const CostModel& model,
+                                      std::size_t registers,
+                                      const ExactOptions& options) {
+  check_arg(registers >= 1,
+            "exact_min_cost_allocation: need at least one register");
+  if (seq.empty()) {
+    return ExactResult{{}, 0, true, 0};
+  }
+
+  ExactSearch search(seq, model, registers, options.max_nodes);
+  ExactResult result = search.run();
+  check_invariant(result.cost != std::numeric_limits<int>::max(),
+                  "exact_min_cost_allocation: no assignment found");
+  validate_allocation(seq, result.paths, registers);
+  return result;
+}
+
+}  // namespace dspaddr::core

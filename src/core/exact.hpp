@@ -1,0 +1,50 @@
+// Exact minimum-cost allocation by branch-and-bound — the optimality
+// oracle for the two-phase heuristic.
+//
+// The paper's heuristic decomposes the problem (zero-cost cover, then
+// cost-guided merging); this module solves the original problem
+// directly: over all partitions of the access sequence into at most K
+// order-preserving subsequences, find one of minimum total cost under
+// the cost model. Exponential in general (the paper notes phase 1 alone
+// is exponential with inter-iteration dependencies), so intended for
+// small N — property tests and the heuristic-quality study of
+// bench_exact_gap use it as ground truth.
+//
+// Search shape: accesses are assigned in sequence order; a state is the
+// (first, last, accumulated intra cost) triple per register. Symmetry
+// is broken by only ever opening the lowest-numbered unused register,
+// and branches are pruned when the accumulated cost (wrap costs are
+// >= 0 and added at the end) reaches the incumbent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/path.hpp"
+#include "ir/access_sequence.hpp"
+
+namespace dspaddr::core {
+
+struct ExactOptions {
+  /// Hard cap on search nodes; hitting it degrades `proven` to false
+  /// but keeps the best incumbent.
+  std::uint64_t max_nodes = 50'000'000;
+};
+
+struct ExactResult {
+  std::vector<Path> paths;
+  int cost = 0;
+  /// True when the search completed (the cost is provably minimal).
+  bool proven = false;
+  std::uint64_t nodes = 0;
+};
+
+/// Minimum-cost allocation of `seq` onto at most `registers` address
+/// registers under `model`. `registers` must be >= 1.
+ExactResult exact_min_cost_allocation(const ir::AccessSequence& seq,
+                                      const CostModel& model,
+                                      std::size_t registers,
+                                      const ExactOptions& options = {});
+
+}  // namespace dspaddr::core

@@ -1,0 +1,59 @@
+#include "core/modify_registers.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <tuple>
+
+#include "support/check.hpp"
+
+namespace dspaddr::core {
+
+ModifyRegisterPlan plan_modify_registers(const ir::AccessSequence& seq,
+                                         const Allocation& allocation,
+                                         std::size_t mr_count) {
+  const CostModel& model = allocation.model();
+
+  // Histogram of constant distances of unit-cost transitions.
+  std::map<std::int64_t, int> histogram;
+  for (const Path& path : allocation.paths()) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (intra_transition_cost(seq, path[i], path[i + 1], model) == 0) {
+        continue;
+      }
+      const auto d = seq.intra_distance(path[i], path[i + 1]);
+      if (d.has_value()) ++histogram[*d];
+    }
+    if (!path.empty() &&
+        wrap_transition_cost(seq, path.last(), path.first(), model) != 0) {
+      const auto d = seq.wrap_distance(path.last(), path.first());
+      if (d.has_value()) ++histogram[*d];
+    }
+  }
+
+  std::vector<ModifyRegister> candidates;
+  candidates.reserve(histogram.size());
+  for (const auto& [value, count] : histogram) {
+    candidates.push_back(ModifyRegister{value, count});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ModifyRegister& a, const ModifyRegister& b) {
+              return std::make_tuple(-a.covered, std::llabs(a.value),
+                                     a.value) <
+                     std::make_tuple(-b.covered, std::llabs(b.value),
+                                     b.value);
+            });
+  if (candidates.size() > mr_count) candidates.resize(mr_count);
+
+  ModifyRegisterPlan plan;
+  plan.values = std::move(candidates);
+  for (const ModifyRegister& mr : plan.values) {
+    plan.covered_per_iteration += mr.covered;
+  }
+  plan.residual_cost = allocation.cost() - plan.covered_per_iteration;
+  check_invariant(plan.residual_cost >= 0,
+                  "plan_modify_registers: negative residual cost");
+  return plan;
+}
+
+}  // namespace dspaddr::core

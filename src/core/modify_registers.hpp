@@ -1,0 +1,54 @@
+// Modify-register planning — an AGU extension beyond the paper.
+//
+// Real DSP AGUs (TI C5x, ADSP-21xx, ...) pair address registers with
+// *modify registers*: `*(ARr)+MRm` post-modifies ARr by the contents of
+// MRm in parallel with the data path, for free, whatever the distance.
+// Loading an MR costs one setup instruction before the loop. A
+// transition the paper charges as unit-cost (same stride, |d| > M)
+// therefore becomes free if some MR already holds exactly d.
+//
+// Planning which L values to load is a set-cover-by-frequency problem
+// on the multiset of over-range transition distances of an allocation;
+// with each transition covered by exactly one value (its own distance),
+// the greedy top-L-by-frequency choice is optimal for a fixed
+// allocation. (Co-optimizing the allocation itself against available
+// MRs is future work the paper hints at via its AGU generality; the
+// ablation bench quantifies how much the simple post-pass already
+// recovers.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/path.hpp"
+
+namespace dspaddr::core {
+
+/// One planned modify register.
+struct ModifyRegister {
+  std::int64_t value = 0;
+  /// Unit-cost transitions per iteration this value eliminates.
+  int covered = 0;
+};
+
+/// Result of planning `mr_count` modify registers for an allocation.
+struct ModifyRegisterPlan {
+  std::vector<ModifyRegister> values;
+  /// Unit-cost transitions eliminated per iteration (sum of covered).
+  int covered_per_iteration = 0;
+  /// Allocation cost remaining after the plan.
+  int residual_cost = 0;
+};
+
+/// Plans up to `mr_count` modify-register values for `allocation` on
+/// `seq`: collects the distances of all unit-cost transitions with a
+/// constant distance (same-stride intra and wrap moves beyond M;
+/// different-stride reloads cannot be MR-covered) and picks the most
+/// frequent ones. Deterministic: ties broken towards smaller |value|,
+/// then smaller value.
+ModifyRegisterPlan plan_modify_registers(const ir::AccessSequence& seq,
+                                         const Allocation& allocation,
+                                         std::size_t mr_count);
+
+}  // namespace dspaddr::core

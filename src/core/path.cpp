@@ -1,0 +1,90 @@
+#include "core/path.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dspaddr::core {
+
+Path::Path(std::vector<std::size_t> indices) : indices_(std::move(indices)) {
+  check_arg(std::adjacent_find(indices_.begin(), indices_.end(),
+                               std::greater_equal<std::size_t>{}) ==
+                indices_.end(),
+            "Path: indices must be strictly increasing");
+}
+
+Path Path::singleton(std::size_t index) {
+  return Path(std::vector<std::size_t>{index});
+}
+
+std::size_t Path::operator[](std::size_t i) const {
+  check_arg(i < indices_.size(), "Path: position out of range");
+  return indices_[i];
+}
+
+std::size_t Path::first() const {
+  check_arg(!indices_.empty(), "Path: first() on empty path");
+  return indices_.front();
+}
+
+std::size_t Path::last() const {
+  check_arg(!indices_.empty(), "Path: last() on empty path");
+  return indices_.back();
+}
+
+void Path::append(std::size_t index) {
+  check_arg(indices_.empty() || index > indices_.back(),
+            "Path: appended index must exceed the current last index");
+  indices_.push_back(index);
+}
+
+Path merge(const Path& a, const Path& b) {
+  std::vector<std::size_t> merged;
+  merged.reserve(a.size() + b.size());
+  std::merge(a.indices_.begin(), a.indices_.end(), b.indices_.begin(),
+             b.indices_.end(), std::back_inserter(merged));
+  check_arg(std::adjacent_find(merged.begin(), merged.end()) == merged.end(),
+            "merge: paths must be node-disjoint");
+  return Path(std::move(merged));
+}
+
+std::string Path::to_string() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < indices_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "a_" + std::to_string(indices_[i] + 1);
+  }
+  out += ")";
+  return out;
+}
+
+int path_intra_cost(const ir::AccessSequence& seq, const Path& p,
+                    const CostModel& model) {
+  int cost = 0;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    cost += intra_transition_cost(seq, p[i], p[i + 1], model);
+  }
+  return cost;
+}
+
+int path_wrap_cost(const ir::AccessSequence& seq, const Path& p,
+                   const CostModel& model) {
+  if (p.empty()) return 0;
+  return wrap_transition_cost(seq, p.last(), p.first(), model);
+}
+
+int path_cost(const ir::AccessSequence& seq, const Path& p,
+              const CostModel& model) {
+  return path_intra_cost(seq, p, model) + path_wrap_cost(seq, p, model);
+}
+
+int total_cost(const ir::AccessSequence& seq, const std::vector<Path>& paths,
+               const CostModel& model) {
+  int cost = 0;
+  for (const Path& p : paths) {
+    cost += path_cost(seq, p, model);
+  }
+  return cost;
+}
+
+}  // namespace dspaddr::core

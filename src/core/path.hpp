@@ -1,0 +1,74 @@
+// Paths over the access sequence and the order-preserving merge
+// operation "⊕" (paper section 3.2).
+//
+// A Path is the ordered subsequence of accesses assigned to one address
+// register, stored as strictly increasing access indices. Merging two
+// paths interleaves them back into original sequence order:
+//   (a1, a4, a6) ⊕ (a3, a5)  =  (a1, a3, a4, a5, a6)
+// The path cost C(P) is the number of unit-cost address computations the
+// register performs per steady-state iteration: unit-cost intra
+// transitions plus (under WrapPolicy::kCyclic) the unit-cost wrap
+// transition from the path's last access back to its first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "ir/access_sequence.hpp"
+
+namespace dspaddr::core {
+
+/// Ordered subsequence of access indices handled by one register.
+class Path {
+public:
+  Path() = default;
+  /// `indices` must be strictly increasing.
+  explicit Path(std::vector<std::size_t> indices);
+
+  static Path singleton(std::size_t index);
+
+  std::size_t size() const { return indices_.size(); }
+  bool empty() const { return indices_.empty(); }
+  std::size_t operator[](std::size_t i) const;
+  const std::vector<std::size_t>& indices() const { return indices_; }
+
+  std::size_t first() const;
+  std::size_t last() const;
+
+  /// Appends an index greater than last().
+  void append(std::size_t index);
+
+  /// Order-preserving merge; the operand index sets must be disjoint.
+  friend Path merge(const Path& a, const Path& b);
+
+  friend bool operator==(const Path&, const Path&) = default;
+
+  /// "(a_1, a_3, a_5)"-style rendering with 1-based access names.
+  std::string to_string() const;
+
+private:
+  std::vector<std::size_t> indices_;
+};
+
+/// Order-preserving merge of two disjoint paths (declared as friend).
+Path merge(const Path& a, const Path& b);
+
+/// C(P): unit-cost address computations per iteration for path `p`.
+int path_cost(const ir::AccessSequence& seq, const Path& p,
+              const CostModel& model);
+
+/// Number of unit-cost intra-iteration transitions of `p`.
+int path_intra_cost(const ir::AccessSequence& seq, const Path& p,
+                    const CostModel& model);
+
+/// 0/1 wrap cost of `p` (0 under kAcyclic or for empty paths).
+int path_wrap_cost(const ir::AccessSequence& seq, const Path& p,
+                   const CostModel& model);
+
+/// Total cost of a set of paths.
+int total_cost(const ir::AccessSequence& seq, const std::vector<Path>& paths,
+               const CostModel& model);
+
+}  // namespace dspaddr::core

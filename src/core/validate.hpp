@@ -1,0 +1,23 @@
+// Structural validation of allocations (post-conditions of the
+// allocator, also used directly by tests and failure-injection checks).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/path.hpp"
+#include "ir/access_sequence.hpp"
+
+namespace dspaddr::core {
+
+/// Checks that `paths` is a partition of the access sequence into
+/// order-preserving subsequences with at most `register_limit` parts:
+///  * every access index in [0, seq.size()) appears in exactly one path,
+///  * indices inside each path are strictly increasing,
+///  * no path is empty and paths.size() <= register_limit.
+/// Throws InvariantViolation on the first violation.
+void validate_allocation(const ir::AccessSequence& seq,
+                         const std::vector<Path>& paths,
+                         std::size_t register_limit);
+
+}  // namespace dspaddr::core

@@ -1,0 +1,83 @@
+#include "eval/patterns.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dspaddr::eval {
+
+const char* to_string(PatternFamily family) {
+  switch (family) {
+    case PatternFamily::kUniform:
+      return "uniform";
+    case PatternFamily::kClustered:
+      return "clustered";
+    case PatternFamily::kStrided:
+      return "strided";
+    case PatternFamily::kSortedNoise:
+      return "sorted-noise";
+  }
+  return "unknown";
+}
+
+ir::AccessSequence generate_pattern(const PatternSpec& spec,
+                                    support::Rng& rng) {
+  check_arg(spec.accesses > 0, "generate_pattern: need at least one access");
+  check_arg(spec.offset_range >= 0,
+            "generate_pattern: offset range must be non-negative");
+  const std::int64_t r = spec.offset_range;
+  std::vector<std::int64_t> offsets(spec.accesses);
+
+  switch (spec.family) {
+    case PatternFamily::kUniform:
+      for (auto& offset : offsets) {
+        offset = rng.uniform_int(-r, r);
+      }
+      break;
+    case PatternFamily::kClustered: {
+      // A handful of centers; each access picks a center and deviates
+      // by at most 2 — mimics windowed stencil accesses.
+      const std::size_t centers = std::max<std::size_t>(
+          1, spec.accesses / 5);
+      std::vector<std::int64_t> center(centers);
+      for (auto& c : center) {
+        c = rng.uniform_int(-r, r);
+      }
+      for (auto& offset : offsets) {
+        const std::int64_t c = center[rng.index(centers)];
+        offset = std::clamp(c + rng.uniform_int(-2, 2), -r, r);
+      }
+      break;
+    }
+    case PatternFamily::kStrided: {
+      const std::int64_t lattice = std::max<std::int64_t>(2, r / 4);
+      for (auto& offset : offsets) {
+        const std::int64_t steps = lattice == 0 ? 0 : r / lattice;
+        offset = std::clamp(
+            rng.uniform_int(-steps, steps) * lattice +
+                rng.uniform_int(-1, 1),
+            -r, r);
+      }
+      break;
+    }
+    case PatternFamily::kSortedNoise: {
+      for (std::size_t i = 0; i < offsets.size(); ++i) {
+        // Evenly spread ramp from -r to +r.
+        offsets[i] = offsets.size() == 1
+                         ? 0
+                         : -r + static_cast<std::int64_t>(
+                                    (2 * r * i) / (offsets.size() - 1));
+      }
+      // A few random transpositions break monotonicity.
+      const std::size_t swaps = offsets.size() / 4;
+      for (std::size_t s = 0; s < swaps; ++s) {
+        std::swap(offsets[rng.index(offsets.size())],
+                  offsets[rng.index(offsets.size())]);
+      }
+      break;
+    }
+  }
+  return ir::AccessSequence::from_offsets(offsets, spec.stride);
+}
+
+}  // namespace dspaddr::eval

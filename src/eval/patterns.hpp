@@ -1,0 +1,45 @@
+// Random access-pattern generators (experiment workloads).
+//
+// The paper evaluates on "random access patterns and a variety of
+// parameters N, M and K" without fixing a distribution; the uniform
+// generator is the default reproduction, and the clustered / strided /
+// sorted-noise families probe robustness of the conclusions to the
+// workload shape (see DESIGN.md, substitutions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/access_sequence.hpp"
+#include "support/rng.hpp"
+
+namespace dspaddr::eval {
+
+enum class PatternFamily {
+  /// Offsets i.i.d. uniform on [-offset_range, offset_range].
+  kUniform,
+  /// Offsets drawn around a few cluster centers (locality, like
+  /// windowed filters).
+  kClustered,
+  /// Offsets on a coarse lattice plus small jitter (like interleaved
+  /// multi-channel data).
+  kStrided,
+  /// A sorted ramp with random transpositions (almost-monotone sweeps).
+  kSortedNoise,
+};
+
+const char* to_string(PatternFamily family);
+
+/// Specification of one random pattern draw.
+struct PatternSpec {
+  std::size_t accesses = 10;            // N
+  std::int64_t offset_range = 10;       // offsets within [-R, R]
+  std::int64_t stride = 1;              // loop stride
+  PatternFamily family = PatternFamily::kUniform;
+};
+
+/// Draws one access sequence from the family.
+ir::AccessSequence generate_pattern(const PatternSpec& spec,
+                                    support::Rng& rng);
+
+}  // namespace dspaddr::eval

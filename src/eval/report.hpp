@@ -1,0 +1,25 @@
+// Rendering of sweep results to CSV and ASCII tables, so experiment
+// outputs can be archived and diffed across runs.
+#pragma once
+
+#include <string>
+
+#include "eval/experiment.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace dspaddr::eval {
+
+/// CSV with one row per sweep cell:
+/// n,m,k,k_tilde_mean,naive_mean,naive_ci95,merged_mean,merged_ci95,
+/// reduction_percent,constrained_trials.
+support::CsvWriter sweep_to_csv(const SweepResult& result);
+
+/// ASCII table mirroring the CSV (used by bench T1 and tools).
+support::Table sweep_to_table(const SweepResult& result);
+
+/// One-paragraph textual summary with the grand average (the paper's
+/// headline number).
+std::string sweep_summary(const SweepResult& result);
+
+}  // namespace dspaddr::eval

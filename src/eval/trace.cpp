@@ -1,0 +1,65 @@
+#include "eval/trace.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dspaddr::eval {
+
+std::vector<std::int64_t> to_trace(const ir::AccessSequence& seq,
+                                   std::uint64_t iterations) {
+  std::vector<std::int64_t> trace;
+  trace.reserve(seq.size() * iterations);
+  for (std::uint64_t t = 0; t < iterations; ++t) {
+    for (std::size_t k = 0; k < seq.size(); ++k) {
+      trace.push_back(seq[k].offset +
+                      static_cast<std::int64_t>(t) * seq[k].stride);
+    }
+  }
+  return trace;
+}
+
+InferenceResult infer_sequence(const std::vector<std::int64_t>& trace,
+                               std::size_t accesses_per_iteration) {
+  InferenceResult result;
+  if (accesses_per_iteration == 0) {
+    result.error = "accesses_per_iteration must be positive";
+    return result;
+  }
+  if (trace.empty() || trace.size() % accesses_per_iteration != 0) {
+    result.error = "trace length is not a multiple of the body size";
+    return result;
+  }
+  const std::size_t iterations = trace.size() / accesses_per_iteration;
+  if (iterations < 2) {
+    result.error = "need at least two iterations to infer strides";
+    return result;
+  }
+
+  std::vector<ir::Access> accesses(accesses_per_iteration);
+  for (std::size_t k = 0; k < accesses_per_iteration; ++k) {
+    accesses[k].offset = trace[k];
+    accesses[k].stride = trace[accesses_per_iteration + k] - trace[k];
+  }
+  // Verify affinity over the whole trace.
+  for (std::size_t t = 0; t < iterations; ++t) {
+    for (std::size_t k = 0; k < accesses_per_iteration; ++k) {
+      const std::int64_t expected =
+          accesses[k].offset +
+          static_cast<std::int64_t>(t) * accesses[k].stride;
+      const std::int64_t actual = trace[t * accesses_per_iteration + k];
+      if (actual != expected) {
+        std::ostringstream message;
+        message << "trace is not affine: iteration " << t << ", slot "
+                << k << " touches " << actual << ", affine model expects "
+                << expected;
+        result.error = message.str();
+        return result;
+      }
+    }
+  }
+  result.sequence = ir::AccessSequence(std::move(accesses));
+  return result;
+}
+
+}  // namespace dspaddr::eval

@@ -1,0 +1,40 @@
+// Address traces: exporting the addresses a sequence touches and
+// inferring an AccessSequence back from a raw trace.
+//
+// This is the bridge to real-world inputs: profile an existing binary
+// (or a simulator) into "one address per access slot per iteration",
+// and `infer_sequence` reconstructs the offsets and strides the
+// allocator needs — no source required. Inference checks that the trace
+// is affine (each slot advances by a constant per iteration) and
+// reports the first violation otherwise.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/access_sequence.hpp"
+
+namespace dspaddr::eval {
+
+/// The addresses `seq` touches over `iterations` iterations, in
+/// execution order (iteration-major, body order within an iteration).
+std::vector<std::int64_t> to_trace(const ir::AccessSequence& seq,
+                                   std::uint64_t iterations);
+
+/// Result of trace inference.
+struct InferenceResult {
+  std::optional<ir::AccessSequence> sequence;
+  /// Human-readable reason when inference failed.
+  std::string error;
+};
+
+/// Reconstructs the access sequence from a trace of
+/// `accesses_per_iteration`-sized iterations. Needs at least two
+/// iterations to establish strides; the trace length must be a multiple
+/// of `accesses_per_iteration`.
+InferenceResult infer_sequence(const std::vector<std::int64_t>& trace,
+                               std::size_t accesses_per_iteration);
+
+}  // namespace dspaddr::eval

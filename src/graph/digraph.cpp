@@ -1,0 +1,59 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+namespace dspaddr::graph {
+
+Digraph::Digraph(std::size_t node_count)
+    : succ_(node_count), pred_(node_count) {}
+
+void Digraph::add_edge(NodeId from, NodeId to) {
+  check_node(from);
+  check_node(to);
+  if (has_edge(from, to)) return;
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+  ++edge_count_;
+}
+
+bool Digraph::has_edge(NodeId from, NodeId to) const {
+  check_node(from);
+  check_node(to);
+  const auto& out = succ_[from];
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+const std::vector<NodeId>& Digraph::successors(NodeId node) const {
+  check_node(node);
+  return succ_[node];
+}
+
+const std::vector<NodeId>& Digraph::predecessors(NodeId node) const {
+  check_node(node);
+  return pred_[node];
+}
+
+std::size_t Digraph::out_degree(NodeId node) const {
+  return successors(node).size();
+}
+
+std::size_t Digraph::in_degree(NodeId node) const {
+  return predecessors(node).size();
+}
+
+std::vector<std::pair<NodeId, NodeId>> Digraph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> all;
+  all.reserve(edge_count_);
+  for (NodeId from = 0; from < succ_.size(); ++from) {
+    for (NodeId to : succ_[from]) {
+      all.emplace_back(from, to);
+    }
+  }
+  return all;
+}
+
+void Digraph::check_node(NodeId node) const {
+  check_arg(node < succ_.size(), "Digraph: node id out of range");
+}
+
+}  // namespace dspaddr::graph

@@ -1,0 +1,51 @@
+// A small adjacency-list directed graph.
+//
+// Nodes are dense indices [0, node_count). This is the shared substrate
+// for the zero-cost access graph (core), matching-based path-cover bounds
+// (graph), and the SOA access graph (soa).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dspaddr::graph {
+
+using NodeId = std::uint32_t;
+
+/// Directed graph over dense node ids with O(1) amortized edge insertion
+/// and an O(1) edge-existence query backed by a sorted post-pass or a
+/// linear scan (the graphs here are small and sparse).
+class Digraph {
+public:
+  Digraph() = default;
+  explicit Digraph(std::size_t node_count);
+
+  std::size_t node_count() const { return succ_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Adds the edge (from, to). Parallel edges are ignored.
+  void add_edge(NodeId from, NodeId to);
+
+  bool has_edge(NodeId from, NodeId to) const;
+
+  const std::vector<NodeId>& successors(NodeId node) const;
+  const std::vector<NodeId>& predecessors(NodeId node) const;
+
+  std::size_t out_degree(NodeId node) const;
+  std::size_t in_degree(NodeId node) const;
+
+  /// All edges in insertion order as (from, to) pairs.
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+private:
+  void check_node(NodeId node) const;
+
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace dspaddr::graph

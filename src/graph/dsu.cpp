@@ -1,0 +1,48 @@
+#include "graph/dsu.hpp"
+
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace dspaddr::graph {
+
+Dsu::Dsu(std::size_t element_count)
+    : parent_(element_count), size_(element_count, 1),
+      set_count_(element_count) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t Dsu::find(std::size_t element) {
+  check_arg(element < parent_.size(), "Dsu: element out of range");
+  std::size_t root = element;
+  while (parent_[root] != root) {
+    root = parent_[root];
+  }
+  while (parent_[element] != root) {
+    const std::size_t next = parent_[element];
+    parent_[element] = root;
+    element = next;
+  }
+  return root;
+}
+
+bool Dsu::unite(std::size_t a, std::size_t b) {
+  std::size_t ra = find(a);
+  std::size_t rb = find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --set_count_;
+  return true;
+}
+
+bool Dsu::same(std::size_t a, std::size_t b) {
+  return find(a) == find(b);
+}
+
+std::size_t Dsu::size_of(std::size_t element) {
+  return size_[find(element)];
+}
+
+}  // namespace dspaddr::graph

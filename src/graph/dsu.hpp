@@ -1,0 +1,30 @@
+// Disjoint-set union (union-find) with path compression and union by
+// size. Used by the SOA path-construction heuristic to detect cycles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dspaddr::graph {
+
+class Dsu {
+public:
+  explicit Dsu(std::size_t element_count);
+
+  std::size_t find(std::size_t element);
+
+  /// Merges the sets of a and b; returns false if already joined.
+  bool unite(std::size_t a, std::size_t b);
+
+  bool same(std::size_t a, std::size_t b);
+
+  std::size_t set_count() const { return set_count_; }
+  std::size_t size_of(std::size_t element);
+
+private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t set_count_;
+};
+
+}  // namespace dspaddr::graph

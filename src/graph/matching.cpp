@@ -1,0 +1,93 @@
+#include "graph/matching.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace dspaddr::graph {
+
+namespace {
+
+constexpr std::uint32_t kNil = MatchingResult::kUnmatched;
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+struct HopcroftKarp {
+  std::size_t left_count;
+  std::vector<std::vector<std::uint32_t>> adjacency;
+  std::vector<std::uint32_t> match_left;
+  std::vector<std::uint32_t> match_right;
+  std::vector<std::uint32_t> level;
+
+  bool bfs() {
+    std::queue<std::uint32_t> frontier;
+    for (std::uint32_t u = 0; u < left_count; ++u) {
+      if (match_left[u] == kNil) {
+        level[u] = 0;
+        frontier.push(u);
+      } else {
+        level[u] = kInf;
+      }
+    }
+    bool found_augmenting = false;
+    while (!frontier.empty()) {
+      const std::uint32_t u = frontier.front();
+      frontier.pop();
+      for (std::uint32_t v : adjacency[u]) {
+        const std::uint32_t w = match_right[v];
+        if (w == kNil) {
+          found_augmenting = true;
+        } else if (level[w] == kInf) {
+          level[w] = level[u] + 1;
+          frontier.push(w);
+        }
+      }
+    }
+    return found_augmenting;
+  }
+
+  bool dfs(std::uint32_t u) {
+    for (std::uint32_t v : adjacency[u]) {
+      const std::uint32_t w = match_right[v];
+      if (w == kNil || (level[w] == level[u] + 1 && dfs(w))) {
+        match_left[u] = v;
+        match_right[v] = u;
+        return true;
+      }
+    }
+    level[u] = kInf;
+    return false;
+  }
+};
+
+}  // namespace
+
+MatchingResult hopcroft_karp(
+    std::size_t left_count, std::size_t right_count,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
+  HopcroftKarp state;
+  state.left_count = left_count;
+  state.adjacency.resize(left_count);
+  state.match_left.assign(left_count, kNil);
+  state.match_right.assign(right_count, kNil);
+  state.level.assign(left_count, kInf);
+  for (const auto& [u, v] : edges) {
+    check_arg(u < left_count && v < right_count,
+              "hopcroft_karp: edge endpoint out of range");
+    state.adjacency[u].push_back(v);
+  }
+
+  MatchingResult result;
+  while (state.bfs()) {
+    for (std::uint32_t u = 0; u < left_count; ++u) {
+      if (state.match_left[u] == kNil && state.dfs(u)) {
+        ++result.size;
+      }
+    }
+  }
+  result.match_left = std::move(state.match_left);
+  result.match_right = std::move(state.match_right);
+  return result;
+}
+
+}  // namespace dspaddr::graph

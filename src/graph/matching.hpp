@@ -1,0 +1,35 @@
+// Hopcroft-Karp maximum bipartite matching.
+//
+// The minimum path cover of the intra-iteration zero-cost DAG equals
+// N minus the size of a maximum matching in the split bipartite graph
+// (Fulkerson); this is the poly-time lower bound on the number of
+// virtual address registers K~ in the style of Araujo et al. [2].
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dspaddr::graph {
+
+/// Result of a maximum bipartite matching computation.
+struct MatchingResult {
+  /// match_left[u] is the right vertex matched to left vertex u, or
+  /// kUnmatched.
+  std::vector<std::uint32_t> match_left;
+  /// match_right[v] is the left vertex matched to right vertex v, or
+  /// kUnmatched.
+  std::vector<std::uint32_t> match_right;
+  std::size_t size = 0;
+
+  static constexpr std::uint32_t kUnmatched = 0xffffffffu;
+};
+
+/// Maximum matching in the bipartite graph with `left_count` left
+/// vertices, `right_count` right vertices and the given (left, right)
+/// edges. O(E * sqrt(V)).
+MatchingResult hopcroft_karp(
+    std::size_t left_count, std::size_t right_count,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges);
+
+}  // namespace dspaddr::graph

@@ -1,0 +1,70 @@
+#include "graph/path_cover.hpp"
+
+#include <algorithm>
+
+#include "graph/matching.hpp"
+#include "graph/topo.hpp"
+#include "support/check.hpp"
+
+namespace dspaddr::graph {
+
+PathCover minimum_path_cover_dag(const Digraph& g) {
+  check_arg(is_acyclic(g), "minimum_path_cover_dag: graph has a cycle");
+  const std::size_t n = g.node_count();
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> bipartite_edges;
+  bipartite_edges.reserve(g.edge_count());
+  for (const auto& [from, to] : g.edges()) {
+    bipartite_edges.emplace_back(from, to);
+  }
+  const MatchingResult matching = hopcroft_karp(n, n, bipartite_edges);
+
+  // match_left[u] == v means u is directly followed by v in its path.
+  std::vector<bool> has_predecessor(n, false);
+  for (NodeId v = 0; v < n; ++v) {
+    if (matching.match_right[v] != MatchingResult::kUnmatched) {
+      has_predecessor[v] = true;
+    }
+  }
+
+  PathCover cover;
+  for (NodeId start = 0; start < n; ++start) {
+    if (has_predecessor[start]) continue;
+    std::vector<NodeId> path;
+    NodeId node = start;
+    while (true) {
+      path.push_back(node);
+      const std::uint32_t next = matching.match_left[node];
+      if (next == MatchingResult::kUnmatched) break;
+      node = next;
+    }
+    cover.paths.push_back(std::move(path));
+  }
+
+  check_invariant(cover.path_count() == n - matching.size,
+                  "minimum_path_cover_dag: path count mismatch");
+  validate_path_cover(g, cover);
+  return cover;
+}
+
+void validate_path_cover(const Digraph& g, const PathCover& cover) {
+  const std::size_t n = g.node_count();
+  std::vector<std::size_t> appearances(n, 0);
+  for (const auto& path : cover.paths) {
+    check_invariant(!path.empty(), "path cover: empty path");
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      check_invariant(path[i] < n, "path cover: node out of range");
+      ++appearances[path[i]];
+      if (i + 1 < path.size()) {
+        check_invariant(g.has_edge(path[i], path[i + 1]),
+                        "path cover: consecutive pair is not an edge");
+      }
+    }
+  }
+  check_invariant(
+      std::all_of(appearances.begin(), appearances.end(),
+                  [](std::size_t c) { return c == 1; }),
+      "path cover: every node must appear exactly once");
+}
+
+}  // namespace dspaddr::graph

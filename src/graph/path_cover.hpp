@@ -1,0 +1,36 @@
+// Minimum node-disjoint path cover of a DAG via bipartite matching.
+//
+// Fulkerson's reduction: split every node v into v_out (left) and v_in
+// (right); each DAG edge (u, v) becomes a bipartite edge (u_out, v_in).
+// A maximum matching of size m yields a minimum path cover with
+// N - m paths, and the matched pairs are exactly the consecutive node
+// pairs of those paths. This is the exact minimum for the acyclic cost
+// model and the lower bound used by phase 1 of the allocator for the
+// cyclic model.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace dspaddr::graph {
+
+/// A node-disjoint path cover: every node of the graph appears in
+/// exactly one path, and every consecutive pair inside a path is an
+/// edge of the graph.
+struct PathCover {
+  std::vector<std::vector<NodeId>> paths;
+
+  std::size_t path_count() const { return paths.size(); }
+};
+
+/// Exact minimum path cover of a DAG. Requires `g` acyclic (throws
+/// InvalidArgument otherwise).
+PathCover minimum_path_cover_dag(const Digraph& g);
+
+/// Validates `cover` against `g`: every node in exactly one path and
+/// all consecutive pairs are edges. Throws InvariantViolation on
+/// failure (used in tests and as a post-condition in the allocator).
+void validate_path_cover(const Digraph& g, const PathCover& cover);
+
+}  // namespace dspaddr::graph

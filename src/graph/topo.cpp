@@ -1,0 +1,34 @@
+#include "graph/topo.hpp"
+
+#include <queue>
+
+namespace dspaddr::graph {
+
+std::optional<std::vector<NodeId>> topological_order(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::size_t> remaining_preds(n);
+  std::queue<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    remaining_preds[v] = g.in_degree(v);
+    if (remaining_preds[v] == 0) ready.push(v);
+  }
+
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId v = ready.front();
+    ready.pop();
+    order.push_back(v);
+    for (NodeId succ : g.successors(v)) {
+      if (--remaining_preds[succ] == 0) ready.push(succ);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool is_acyclic(const Digraph& g) {
+  return topological_order(g).has_value();
+}
+
+}  // namespace dspaddr::graph

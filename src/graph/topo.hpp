@@ -1,0 +1,18 @@
+// Topological ordering and acyclicity check for Digraph.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace dspaddr::graph {
+
+/// Kahn's algorithm: a topological order of `g`, or nullopt when `g`
+/// contains a cycle.
+std::optional<std::vector<NodeId>> topological_order(const Digraph& g);
+
+/// True when `g` has no directed cycle.
+bool is_acyclic(const Digraph& g);
+
+}  // namespace dspaddr::graph

@@ -1,0 +1,82 @@
+#include "ir/application.hpp"
+
+#include <algorithm>
+
+#include "ir/kernels.hpp"
+#include "support/check.hpp"
+
+namespace dspaddr::ir {
+
+Application::Application(std::string name, std::string description)
+    : name_(std::move(name)), description_(std::move(description)) {
+  check_arg(!name_.empty(), "Application: name must not be empty");
+}
+
+Application& Application::add_kernel(Kernel kernel) {
+  check_arg(!kernel.accesses().empty(),
+            "Application: kernel has no accesses");
+  kernels_.push_back(std::move(kernel));
+  return *this;
+}
+
+Application audio_equalizer_app() {
+  Application app("audio_equalizer",
+                  "5-band biquad cascade with output gain staging");
+  for (int band = 0; band < 5; ++band) {
+    app.add_kernel(biquad_kernel(128));
+  }
+  app.add_kernel(vecadd_kernel(128));
+  app.add_kernel(dotprod_kernel(128));  // output power metering
+  return app;
+}
+
+Application modem_frontend_app() {
+  Application app("modem_frontend",
+                  "Symbol-sync correlator, channel FIR, LMS echo "
+                  "canceller, power estimate");
+  app.add_kernel(correlation_kernel(64, 8));
+  app.add_kernel(fir_kernel(32, 128));
+  app.add_kernel(lms_update_kernel(32));
+  app.add_kernel(dotprod_kernel(64));
+  return app;
+}
+
+Application image_pipeline_app() {
+  Application app("image_pipeline",
+                  "3x3 smoothing, 8x8 DCT blocks, matrix color "
+                  "transform");
+  app.add_kernel(filter2d_3x3_kernel(64));
+  app.add_kernel(dct8_kernel());
+  app.add_kernel(matmul_kernel(8));
+  app.add_kernel(matvec_kernel(16));
+  return app;
+}
+
+Application spectral_analyzer_app() {
+  Application app("spectral_analyzer",
+                  "Windowing, radix-2 FFT stages, magnitude "
+                  "accumulation");
+  app.add_kernel(vecadd_kernel(256));  // window multiply-add stage
+  for (const std::int64_t half : {128, 64, 32}) {
+    app.add_kernel(fft_butterfly_kernel(half));
+  }
+  app.add_kernel(dotprod_kernel(256));
+  return app;
+}
+
+std::vector<Application> builtin_applications() {
+  return {audio_equalizer_app(), modem_frontend_app(),
+          image_pipeline_app(), spectral_analyzer_app()};
+}
+
+Application builtin_application(const std::string& name) {
+  auto apps = builtin_applications();
+  const auto it =
+      std::find_if(apps.begin(), apps.end(),
+                   [&](const Application& a) { return a.name() == name; });
+  check_arg(it != apps.end(),
+            "builtin_application: unknown application '" + name + "'");
+  return *it;
+}
+
+}  // namespace dspaddr::ir

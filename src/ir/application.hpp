@@ -1,0 +1,60 @@
+// Multi-loop DSP applications.
+//
+// The "realistic DSP programs" of the paper's result section (via Liem
+// et al. [1]) are not single loops but programs: chains of filter,
+// transform and update loops. An Application is an ordered collection
+// of kernels (one per loop nest), and the built-in catalog models
+// typical signal-processing pipelines assembled from the kernel suite.
+// Address-register allocation happens per loop (DSP address registers
+// are reassigned between loops); code-size and cycle metrics aggregate
+// across the whole program.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace dspaddr::ir {
+
+/// An ordered multi-loop program.
+class Application {
+public:
+  Application() = default;
+  Application(std::string name, std::string description);
+
+  const std::string& name() const { return name_; }
+  const std::string& description() const { return description_; }
+
+  Application& add_kernel(Kernel kernel);
+
+  const std::vector<Kernel>& kernels() const { return kernels_; }
+  std::size_t size() const { return kernels_.size(); }
+
+private:
+  std::string name_;
+  std::string description_;
+  std::vector<Kernel> kernels_;
+};
+
+/// Audio equalizer: biquad cascade + gain (vector ops).
+Application audio_equalizer_app();
+
+/// Modem front end: correlation sync, FIR channel filter, LMS echo
+/// canceller update, dot-product power estimate.
+Application modem_frontend_app();
+
+/// Image pipeline: 3x3 filter, DCT blocks, matrix ops.
+Application image_pipeline_app();
+
+/// Spectral analyzer: windowing (vector multiply), FFT stages,
+/// magnitude accumulation.
+Application spectral_analyzer_app();
+
+/// All built-in applications.
+std::vector<Application> builtin_applications();
+
+/// Lookup by name; throws InvalidArgument when unknown.
+Application builtin_application(const std::string& name);
+
+}  // namespace dspaddr::ir

@@ -1,0 +1,196 @@
+#include "ir/kernels.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace dspaddr::ir {
+
+Kernel paper_example_kernel() {
+  Kernel k("paper_example",
+           "Worked example of Basu/Leupers/Marwedel DATE'98, Fig. 1");
+  k.add_array("A", 64).set_iterations(32).set_data_ops(3);
+  for (std::int64_t offset : {1, 0, 2, -1, 1, 0, -2}) {
+    k.add_access("A", offset);
+  }
+  return k;
+}
+
+Kernel fir_kernel(std::int64_t taps, std::int64_t block) {
+  check_arg(taps > 0 && block > 0, "fir_kernel: sizes must be positive");
+  Kernel k("fir", "FIR filter tap loop: acc += h[j] * x[i - j]");
+  k.add_array("h", taps).add_array("x", block);
+  k.set_iterations(taps).set_data_ops(1);
+  // Coefficients are scanned forward, the signal window backwards.
+  k.add_access("h", 0, 1);
+  k.add_access("x", 0, -1);
+  return k;
+}
+
+Kernel biquad_kernel(std::int64_t block) {
+  check_arg(block > 2, "biquad_kernel: block must exceed filter order");
+  Kernel k("biquad",
+           "Direct-form IIR biquad: y[i] = b*x[i..i-2] - a*y[i-1..i-2]");
+  k.add_array("x", block).add_array("y", block);
+  k.set_iterations(block - 2).set_data_ops(5);
+  k.add_access("x", 0);
+  k.add_access("x", -1);
+  k.add_access("x", -2);
+  k.add_access("y", -1);
+  k.add_access("y", -2);
+  k.add_access("y", 0, 1, /*is_write=*/true);
+  return k;
+}
+
+Kernel convolution_kernel(std::int64_t signal, std::int64_t taps) {
+  check_arg(signal > 0 && taps > 0,
+            "convolution_kernel: sizes must be positive");
+  Kernel k("convolution", "Convolution inner loop: y[n] += x[k] * h[n - k]");
+  k.add_array("x", signal).add_array("h", taps);
+  k.set_iterations(taps).set_data_ops(1);
+  k.add_access("x", 0, 1);
+  k.add_access("h", 0, -1);
+  return k;
+}
+
+Kernel correlation_kernel(std::int64_t window, std::int64_t lag) {
+  check_arg(window > 0 && lag >= 0,
+            "correlation_kernel: bad window or lag");
+  Kernel k("correlation",
+           "Cross-correlation inner loop: r[k] += x[i] * y[i + k]");
+  k.add_array("x", window).add_array("y", window + lag);
+  k.set_iterations(window).set_data_ops(1);
+  k.add_access("x", 0, 1);
+  k.add_access("y", lag, 1);
+  return k;
+}
+
+Kernel matmul_kernel(std::int64_t n) {
+  check_arg(n > 0, "matmul_kernel: n must be positive");
+  Kernel k("matmul",
+           "Matrix multiply k-loop: C[i][j] += A[i][k] * B[k][j] "
+           "(row-major)");
+  k.add_array("A", n * n).add_array("B", n * n).add_array("C", n * n);
+  k.set_iterations(n).set_data_ops(1);
+  k.add_access("A", 0, 1);    // A[i][k]: consecutive along k
+  k.add_access("B", 0, n);    // B[k][j]: row stride n along k
+  k.add_access("C", 0, 0);    // C[i][j]: loop-invariant accumulator slot
+  return k;
+}
+
+Kernel matvec_kernel(std::int64_t n) {
+  check_arg(n > 0, "matvec_kernel: n must be positive");
+  Kernel k("matvec", "Matrix-vector j-loop: y[i] += A[i][j] * x[j]");
+  k.add_array("A", n * n).add_array("x", n).add_array("y", n);
+  k.set_iterations(n).set_data_ops(1);
+  k.add_access("A", 0, 1);
+  k.add_access("x", 0, 1);
+  k.add_access("y", 0, 0, /*is_write=*/true);
+  return k;
+}
+
+Kernel fft_butterfly_kernel(std::int64_t half) {
+  check_arg(half > 0, "fft_butterfly_kernel: half must be positive");
+  Kernel k("fft_butterfly",
+           "Radix-2 FFT stage: butterfly on x[i], x[i + half] with "
+           "twiddle w[k]");
+  k.add_array("x", 2 * half).add_array("w", half);
+  k.set_iterations(half).set_data_ops(4);
+  k.add_access("x", 0, 1);
+  k.add_access("x", half, 1);
+  k.add_access("w", 0, 1);
+  k.add_access("x", 0, 1, /*is_write=*/true);
+  k.add_access("x", half, 1, /*is_write=*/true);
+  return k;
+}
+
+Kernel dct8_kernel() {
+  Kernel k("dct8", "8-point DCT-II inner loop: y[k] += c[k*8 + j] * x[j]");
+  k.add_array("c", 64).add_array("x", 8).add_array("y", 8);
+  k.set_iterations(8).set_data_ops(1);
+  k.add_access("c", 0, 1);
+  k.add_access("x", 0, 1);
+  k.add_access("y", 0, 0, /*is_write=*/true);
+  return k;
+}
+
+Kernel dotprod_kernel(std::int64_t length) {
+  check_arg(length > 0, "dotprod_kernel: length must be positive");
+  Kernel k("dotprod", "Dot product: acc += x[i] * y[i]");
+  k.add_array("x", length).add_array("y", length);
+  k.set_iterations(length).set_data_ops(1);
+  k.add_access("x", 0, 1);
+  k.add_access("y", 0, 1);
+  return k;
+}
+
+Kernel vecadd_kernel(std::int64_t length) {
+  check_arg(length > 0, "vecadd_kernel: length must be positive");
+  Kernel k("vecadd", "Vector add: c[i] = a[i] + b[i]");
+  k.add_array("a", length).add_array("b", length).add_array("c", length);
+  k.set_iterations(length).set_data_ops(1);
+  k.add_access("a", 0, 1);
+  k.add_access("b", 0, 1);
+  k.add_access("c", 0, 1, /*is_write=*/true);
+  return k;
+}
+
+Kernel lms_update_kernel(std::int64_t taps) {
+  check_arg(taps > 0, "lms_update_kernel: taps must be positive");
+  Kernel k("lms_update",
+           "LMS adaptive filter update: h[j] += mu_e * x[i - j]");
+  k.add_array("h", taps).add_array("x", 4 * taps);
+  k.set_iterations(taps).set_data_ops(2);
+  k.add_access("h", 0, 1);                     // read h[j]
+  k.add_access("x", 0, -1);                    // x window scanned backwards
+  k.add_access("h", 0, 1, /*is_write=*/true);  // write back h[j]
+  return k;
+}
+
+Kernel filter2d_3x3_kernel(std::int64_t width) {
+  check_arg(width >= 3, "filter2d_3x3_kernel: width must be at least 3");
+  const std::int64_t w = width;
+  Kernel k("filter2d_3x3",
+           "3x3 image filter column loop over a row-major image");
+  k.add_array("img", 8 * w).add_array("out", 8 * w);
+  k.set_iterations(w - 2).set_data_ops(9);
+  // Nine taps of the window around img[r][c]; offsets relative to the
+  // moving column position (origin at img[r][c] = img base + r*w + c,
+  // folded to the array-relative form with r = 1, c = 1 at iteration 0).
+  for (std::int64_t dr : {-1, 0, 1}) {
+    for (std::int64_t dc : {-1, 0, 1}) {
+      k.add_access("img", (1 + dr) * w + (1 + dc), 1);
+    }
+  }
+  k.add_access("out", w + 1, 1, /*is_write=*/true);
+  return k;
+}
+
+std::vector<Kernel> builtin_kernels() {
+  return {
+      paper_example_kernel(), fir_kernel(),          biquad_kernel(),
+      convolution_kernel(),   correlation_kernel(),  matmul_kernel(),
+      matvec_kernel(),        fft_butterfly_kernel(), dct8_kernel(),
+      dotprod_kernel(),       vecadd_kernel(),       lms_update_kernel(),
+      filter2d_3x3_kernel(),
+  };
+}
+
+Kernel builtin_kernel(const std::string& name) {
+  auto all = builtin_kernels();
+  const auto it =
+      std::find_if(all.begin(), all.end(),
+                   [&](const Kernel& k) { return k.name() == name; });
+  check_arg(it != all.end(), "builtin_kernel: unknown kernel '" + name + "'");
+  return *it;
+}
+
+std::vector<std::string> builtin_kernel_names() {
+  std::vector<std::string> names;
+  for (const Kernel& k : builtin_kernels()) {
+    names.push_back(k.name());
+  }
+  return names;
+}
+
+}  // namespace dspaddr::ir

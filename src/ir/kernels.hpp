@@ -1,0 +1,66 @@
+// Built-in library of realistic DSP kernels.
+//
+// These are the workloads the paper's introduction motivates ("iterative
+// accesses to data array elements within loops") and the substrate for
+// bench T2 (code-size / speed shape of Liem et al. [1]). Every kernel
+// models the *innermost* loop of the algorithm, which is where DSPs
+// spend their cycles and where AGU post-modify addressing pays off.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace dspaddr::ir {
+
+/// The worked example of the paper (Fig. 1): offsets 1, 0, 2, -1, 1, 0,
+/// -2 on a single array A in a unit-stride loop.
+Kernel paper_example_kernel();
+
+/// FIR filter inner (tap) loop: acc += h[j] * x[i - j].
+Kernel fir_kernel(std::int64_t taps = 16, std::int64_t block = 64);
+
+/// Direct-form-II biquad IIR section over a sample block.
+Kernel biquad_kernel(std::int64_t block = 64);
+
+/// Full convolution inner loop: y[n] += x[k] * h[n - k].
+Kernel convolution_kernel(std::int64_t signal = 64, std::int64_t taps = 16);
+
+/// Cross-correlation inner loop: r[k] += x[i] * y[i + k].
+Kernel correlation_kernel(std::int64_t window = 64, std::int64_t lag = 8);
+
+/// Matrix multiply innermost (k) loop: C[i][j] += A[i][k] * B[k][j].
+Kernel matmul_kernel(std::int64_t n = 8);
+
+/// Matrix-vector product inner loop: y[i] += A[i][j] * x[j].
+Kernel matvec_kernel(std::int64_t n = 16);
+
+/// Radix-2 FFT butterfly loop over one stage.
+Kernel fft_butterfly_kernel(std::int64_t half = 32);
+
+/// 8-point DCT-II inner loop: y[k] += c[k*8 + j] * x[j].
+Kernel dct8_kernel();
+
+/// Dot product: acc += x[i] * y[i].
+Kernel dotprod_kernel(std::int64_t length = 64);
+
+/// Element-wise vector add: c[i] = a[i] + b[i].
+Kernel vecadd_kernel(std::int64_t length = 64);
+
+/// LMS adaptive filter coefficient update: h[j] += mu_e * x[i - j].
+Kernel lms_update_kernel(std::int64_t taps = 16);
+
+/// 3x3 image filter inner (column) loop over a row-major image.
+Kernel filter2d_3x3_kernel(std::int64_t width = 32);
+
+/// All built-in kernels with default parameters, for sweeps.
+std::vector<Kernel> builtin_kernels();
+
+/// Looks up a built-in kernel by name; throws InvalidArgument if absent.
+Kernel builtin_kernel(const std::string& name);
+
+/// Names of all built-in kernels.
+std::vector<std::string> builtin_kernel_names();
+
+}  // namespace dspaddr::ir

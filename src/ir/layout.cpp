@@ -1,0 +1,50 @@
+#include "ir/layout.hpp"
+
+#include "support/check.hpp"
+
+namespace dspaddr::ir {
+
+ArrayLayout ArrayLayout::contiguous(const Kernel& kernel, std::int64_t base) {
+  ArrayLayout layout;
+  std::int64_t next = base;
+  for (const ArrayDecl& array : kernel.arrays()) {
+    layout.place(array.name, next);
+    next += array.size;
+  }
+  layout.extent_ = next - base;
+  return layout;
+}
+
+void ArrayLayout::place(const std::string& array, std::int64_t base) {
+  check_arg(!array.empty(), "ArrayLayout: array name must not be empty");
+  bases_[array] = base;
+}
+
+bool ArrayLayout::contains(const std::string& array) const {
+  return bases_.count(array) != 0;
+}
+
+std::int64_t ArrayLayout::base_of(const std::string& array) const {
+  const auto it = bases_.find(array);
+  check_arg(it != bases_.end(),
+            "ArrayLayout: array '" + array + "' has no placement");
+  return it->second;
+}
+
+AccessSequence lower(const Kernel& kernel, const ArrayLayout& layout) {
+  std::vector<Access> accesses;
+  accesses.reserve(kernel.accesses().size());
+  for (const KernelAccess& ka : kernel.accesses()) {
+    check_arg(layout.contains(ka.array),
+              "lower: array '" + ka.array + "' has no placement");
+    accesses.push_back(
+        Access{layout.base_of(ka.array) + ka.offset, ka.stride});
+  }
+  return AccessSequence(std::move(accesses));
+}
+
+AccessSequence lower(const Kernel& kernel) {
+  return lower(kernel, ArrayLayout::contiguous(kernel));
+}
+
+}  // namespace dspaddr::ir

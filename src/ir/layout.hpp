@@ -1,0 +1,50 @@
+// Array placement and lowering of a Kernel to an AccessSequence.
+//
+// DSPs address data memory linearly; the paper assumes "a linear
+// arrangement of array elements in a contiguous address space". The
+// layout assigns each declared array a base address (contiguously in
+// declaration order by default) and lowering folds those bases into the
+// per-access effective offsets the allocator operates on. Accesses to
+// different arrays then simply have far-apart effective offsets and are
+// naturally never zero-cost neighbours unless the arrays are small and
+// adjacent — exactly the physical situation on hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "ir/access_sequence.hpp"
+#include "ir/kernel.hpp"
+
+namespace dspaddr::ir {
+
+/// Maps array names to base addresses in the linear data memory.
+class ArrayLayout {
+public:
+  /// Contiguous placement in declaration order, starting at `base`.
+  static ArrayLayout contiguous(const Kernel& kernel, std::int64_t base = 0);
+
+  /// Explicit placement; every array of the kernel must be covered when
+  /// used with `lower`.
+  void place(const std::string& array, std::int64_t base);
+
+  bool contains(const std::string& array) const;
+  std::int64_t base_of(const std::string& array) const;
+
+  /// Total extent [min_base, max(base+size)) if built via `contiguous`.
+  std::int64_t extent() const { return extent_; }
+
+private:
+  std::unordered_map<std::string, std::int64_t> bases_;
+  std::int64_t extent_ = 0;
+};
+
+/// Lowers the kernel body to an AccessSequence under `layout`: effective
+/// offset = layout.base_of(array) + access.offset.
+AccessSequence lower(const Kernel& kernel, const ArrayLayout& layout);
+
+/// Lowers with the default contiguous layout.
+AccessSequence lower(const Kernel& kernel);
+
+}  // namespace dspaddr::ir

@@ -1,0 +1,43 @@
+// C-like loop front-end.
+//
+// The paper presents its example as C source:
+//
+//   for (i = 2; i <= N; i++)
+//   { /* a_1 */ A[i+1]  ...  }
+//
+// This parser accepts that style directly, so workloads can be written
+// as (a small subset of) C instead of the line-based mini-language:
+//
+//   int A[64], B[64];
+//   for (i = 2; i <= 61; i += 1) {
+//     B[i] = A[i+1] + A[i] * A[i+2] - A[i-1];
+//     A[i+1] = B[i] + A[i-2];
+//   }
+//
+// Semantics mapped onto ir::Kernel:
+//  * array declarations `int NAME[SIZE], ...;` precede one `for` loop;
+//  * the loop variable is affine: `for (i = S; i <= E; i += D)` (also
+//    `i < E`, `i++`); iterations are derived from S, E, D;
+//  * statement forms: `ref;` (read) or `ref = expr;` (reads of `expr`
+//    left-to-right, then the write of `ref`) — matching the order a DSP
+//    evaluates operands and stores the result;
+//  * index expressions are affine in the loop variable: `i`, `i+2`,
+//    `2*i-1`, `-i`, or a constant; the access offset is the index at
+//    iteration 0 and the stride is (index coefficient) * D;
+//  * each arithmetic operator in an expression counts one data op.
+//
+// Errors throw ir::ParseError carrying the 1-based source line.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ir/kernel.hpp"
+#include "ir/parser.hpp"
+
+namespace dspaddr::ir {
+
+/// Parses one C-like loop into a Kernel named `name`.
+Kernel parse_c_loop(std::string_view source, std::string name = "loop");
+
+}  // namespace dspaddr::ir

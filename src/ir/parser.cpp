@@ -1,0 +1,226 @@
+#include "ir/parser.hpp"
+
+#include <charconv>
+#include <optional>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace dspaddr::ir {
+
+namespace {
+
+/// Tokens of one source line: whitespace-separated words, with one
+/// optional trailing double-quoted string.
+struct Line {
+  std::size_t number = 0;
+  std::vector<std::string> words;
+  std::optional<std::string> quoted;
+};
+
+std::vector<Line> tokenize(std::string_view text) {
+  std::vector<Line> lines;
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view raw = text.substr(start, end - start);
+    ++line_number;
+    start = end + 1;
+
+    // Strip comment (but not inside a quoted string).
+    bool in_quotes = false;
+    std::size_t cut = raw.size();
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] == '"') in_quotes = !in_quotes;
+      if (raw[i] == '#' && !in_quotes) {
+        cut = i;
+        break;
+      }
+    }
+    raw = support::trim(raw.substr(0, cut));
+    if (raw.empty()) {
+      if (start > text.size()) break;
+      continue;
+    }
+
+    Line line;
+    line.number = line_number;
+    std::size_t pos = 0;
+    while (pos < raw.size()) {
+      while (pos < raw.size() && std::isspace(static_cast<unsigned char>(
+                                     raw[pos]))) {
+        ++pos;
+      }
+      if (pos >= raw.size()) break;
+      if (raw[pos] == '"') {
+        const std::size_t close = raw.find('"', pos + 1);
+        if (close == std::string_view::npos) {
+          throw ParseError(line_number, "unterminated string literal");
+        }
+        if (line.quoted.has_value()) {
+          throw ParseError(line_number, "more than one string literal");
+        }
+        line.quoted = std::string(raw.substr(pos + 1, close - pos - 1));
+        pos = close + 1;
+        continue;
+      }
+      const std::size_t word_start = pos;
+      while (pos < raw.size() &&
+             !std::isspace(static_cast<unsigned char>(raw[pos])) &&
+             raw[pos] != '"') {
+        ++pos;
+      }
+      line.words.emplace_back(raw.substr(word_start, pos - word_start));
+    }
+    lines.push_back(std::move(line));
+    if (start > text.size()) break;
+  }
+  return lines;
+}
+
+std::int64_t parse_int(const Line& line, const std::string& word,
+                       std::string_view what) {
+  std::int64_t value = 0;
+  const char* begin = word.data();
+  const char* end = begin + word.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw ParseError(line.number, std::string(what) + ": expected an " +
+                                      "integer, got '" + word + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::vector<Kernel> parse_kernels(std::string_view text) {
+  std::vector<Kernel> kernels;
+  std::optional<Kernel> current;
+  std::size_t last_line = 0;
+
+  for (const Line& line : tokenize(text)) {
+    last_line = line.number;
+    const std::string& keyword = line.words.front();
+
+    if (keyword == "kernel") {
+      if (current.has_value()) {
+        throw ParseError(line.number,
+                         "'kernel' before previous kernel's 'end'");
+      }
+      if (line.words.size() != 2) {
+        throw ParseError(line.number, "usage: kernel <name> [\"description\"]");
+      }
+      current.emplace(line.words[1], line.quoted.value_or(""));
+      continue;
+    }
+
+    if (!current.has_value()) {
+      throw ParseError(line.number,
+                       "'" + keyword + "' outside of a kernel block");
+    }
+
+    try {
+      if (keyword == "array") {
+        if (line.words.size() != 3) {
+          throw ParseError(line.number, "usage: array <name> <size>");
+        }
+        current->add_array(line.words[1],
+                           parse_int(line, line.words[2], "array size"));
+      } else if (keyword == "iterations") {
+        if (line.words.size() != 2) {
+          throw ParseError(line.number, "usage: iterations <count>");
+        }
+        current->set_iterations(
+            parse_int(line, line.words[1], "iteration count"));
+      } else if (keyword == "dataops") {
+        if (line.words.size() != 2) {
+          throw ParseError(line.number, "usage: dataops <count>");
+        }
+        current->set_data_ops(parse_int(line, line.words[1], "dataops"));
+      } else if (keyword == "access") {
+        if (line.words.size() < 3) {
+          throw ParseError(
+              line.number,
+              "usage: access <array> <offset> [stride <s>] [write]");
+        }
+        const std::string& array = line.words[1];
+        const std::int64_t offset =
+            parse_int(line, line.words[2], "access offset");
+        std::int64_t stride = 1;
+        bool is_write = false;
+        std::size_t i = 3;
+        while (i < line.words.size()) {
+          if (line.words[i] == "stride") {
+            if (i + 1 >= line.words.size()) {
+              throw ParseError(line.number, "'stride' needs a value");
+            }
+            stride = parse_int(line, line.words[i + 1], "stride");
+            i += 2;
+          } else if (line.words[i] == "write") {
+            is_write = true;
+            ++i;
+          } else {
+            throw ParseError(line.number,
+                             "unexpected token '" + line.words[i] + "'");
+          }
+        }
+        current->add_access(array, offset, stride, is_write);
+      } else if (keyword == "end") {
+        if (line.words.size() != 1) {
+          throw ParseError(line.number, "'end' takes no arguments");
+        }
+        if (current->accesses().empty()) {
+          throw ParseError(line.number, "kernel has no accesses");
+        }
+        kernels.push_back(std::move(*current));
+        current.reset();
+      } else {
+        throw ParseError(line.number, "unknown keyword '" + keyword + "'");
+      }
+    } catch (const InvalidArgument& e) {
+      // Re-tag semantic errors (duplicate array, bad size, ...) with the
+      // source location.
+      throw ParseError(line.number, e.what());
+    }
+  }
+
+  if (current.has_value()) {
+    throw ParseError(last_line, "missing 'end' for kernel '" +
+                                    current->name() + "'");
+  }
+  return kernels;
+}
+
+Kernel parse_kernel(std::string_view text) {
+  auto kernels = parse_kernels(text);
+  check_arg(kernels.size() == 1,
+            "parse_kernel: expected exactly one kernel, got " +
+                std::to_string(kernels.size()));
+  return std::move(kernels.front());
+}
+
+std::string to_text(const Kernel& kernel) {
+  std::ostringstream out;
+  out << "kernel " << kernel.name();
+  if (!kernel.description().empty()) {
+    out << " \"" << kernel.description() << "\"";
+  }
+  out << '\n';
+  for (const ArrayDecl& array : kernel.arrays()) {
+    out << "array " << array.name << ' ' << array.size << '\n';
+  }
+  out << "iterations " << kernel.iterations() << '\n';
+  out << "dataops " << kernel.data_ops() << '\n';
+  for (const KernelAccess& access : kernel.accesses()) {
+    out << "access " << access.array << ' ' << access.offset;
+    if (access.stride != 1) out << " stride " << access.stride;
+    if (access.is_write) out << " write";
+    out << '\n';
+  }
+  out << "end\n";
+  return out.str();
+}
+
+}  // namespace dspaddr::ir

@@ -1,0 +1,60 @@
+// Parser for the textual kernel mini-language.
+//
+// Kernels can be described in a small line-based format so that
+// examples and benches can load workloads from files or strings:
+//
+//   # FIR filter tap loop
+//   kernel fir "FIR filter tap loop"
+//   array h 16
+//   array x 64
+//   iterations 16
+//   dataops 1
+//   access h 0 stride 1
+//   access x 0 stride -1
+//   end
+//
+// One file may contain several kernels. Grammar (per line):
+//   kernel <name> ["description"]
+//   array <name> <size>
+//   iterations <count>
+//   dataops <count>
+//   access <array> <offset> [stride <s>] [write]
+//   end
+// `#` starts a comment (whole line or trailing); blank lines are
+// ignored. Errors carry the 1-based line number.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "support/check.hpp"
+
+namespace dspaddr::ir {
+
+/// Thrown on malformed kernel text; `line()` is the 1-based source line.
+class ParseError : public Error {
+public:
+  ParseError(std::size_t line, const std::string& message)
+      : Error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+
+  std::size_t line() const { return line_; }
+
+private:
+  std::size_t line_;
+};
+
+/// Parses kernel text; returns all kernels in declaration order.
+std::vector<Kernel> parse_kernels(std::string_view text);
+
+/// Parses text expected to contain exactly one kernel.
+Kernel parse_kernel(std::string_view text);
+
+/// Renders a kernel back to the mini-language (round-trips through
+/// parse_kernel).
+std::string to_text(const Kernel& kernel);
+
+}  // namespace dspaddr::ir

@@ -1,0 +1,51 @@
+#include "ir/unroll.hpp"
+
+#include "support/check.hpp"
+
+namespace dspaddr::ir {
+
+AccessSequence unroll(const AccessSequence& seq, std::size_t factor) {
+  check_arg(factor >= 1, "unroll: factor must be at least 1");
+  std::vector<Access> accesses;
+  accesses.reserve(seq.size() * factor);
+  for (std::size_t copy = 0; copy < factor; ++copy) {
+    for (std::size_t k = 0; k < seq.size(); ++k) {
+      const Access& a = seq[k];
+      accesses.push_back(Access{
+          a.offset + static_cast<std::int64_t>(copy) * a.stride,
+          a.stride * static_cast<std::int64_t>(factor),
+      });
+    }
+  }
+  return AccessSequence(std::move(accesses));
+}
+
+Kernel unroll(const Kernel& kernel, std::size_t factor) {
+  check_arg(factor >= 1, "unroll: factor must be at least 1");
+  check_arg(kernel.iterations() % static_cast<std::int64_t>(factor) == 0,
+            "unroll: iteration count not divisible by the unroll factor");
+  Kernel unrolled(kernel.name() + "_x" + std::to_string(factor),
+                  kernel.description().empty()
+                      ? ""
+                      : kernel.description() + " (unrolled x" +
+                            std::to_string(factor) + ")");
+  for (const ArrayDecl& array : kernel.arrays()) {
+    unrolled.add_array(array.name, array.size);
+  }
+  unrolled.set_iterations(kernel.iterations() /
+                          static_cast<std::int64_t>(factor));
+  unrolled.set_data_ops(kernel.data_ops() *
+                        static_cast<std::int64_t>(factor));
+  for (std::size_t copy = 0; copy < factor; ++copy) {
+    for (const KernelAccess& access : kernel.accesses()) {
+      unrolled.add_access(
+          access.array,
+          access.offset + static_cast<std::int64_t>(copy) * access.stride,
+          access.stride * static_cast<std::int64_t>(factor),
+          access.is_write);
+    }
+  }
+  return unrolled;
+}
+
+}  // namespace dspaddr::ir

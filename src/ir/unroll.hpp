@@ -1,0 +1,29 @@
+// Loop unrolling — a classic DSP transformation that interacts with
+// address-register allocation.
+//
+// Unrolling by factor u concatenates u copies of the body; the t-th
+// copy's access a_k addresses offset o_k + t * s_k, and the unrolled
+// loop advances every access by u * s_k per (unrolled) iteration. The
+// allocator then sees a longer sequence with u times fewer wrap
+// transitions per original iteration and more chances to chain accesses
+// for free — bench_unrolling quantifies the per-original-iteration cost
+// as u grows.
+#pragma once
+
+#include <cstddef>
+
+#include "ir/access_sequence.hpp"
+#include "ir/kernel.hpp"
+
+namespace dspaddr::ir {
+
+/// Unrolls an access sequence by `factor` (>= 1).
+AccessSequence unroll(const AccessSequence& seq, std::size_t factor);
+
+/// Unrolls a kernel by `factor`; the kernel's iteration count must be
+/// divisible by `factor` (throws InvalidArgument otherwise). Array
+/// declarations are preserved, the body is replicated with shifted
+/// offsets, iterations shrink by `factor`, and data ops scale by it.
+Kernel unroll(const Kernel& kernel, std::size_t factor);
+
+}  // namespace dspaddr::ir

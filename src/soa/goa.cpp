@@ -1,0 +1,166 @@
+#include "soa/goa.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+#include "support/check.hpp"
+
+namespace dspaddr::soa {
+
+namespace {
+
+std::int64_t register_soa_cost(const ScalarSequence& seq,
+                               const std::vector<std::uint32_t>& register_of,
+                               std::uint32_t reg, SoaTieBreak tie_break) {
+  std::vector<bool> keep(seq.variable_count(), false);
+  bool any = false;
+  for (VarId v = 0; v < seq.variable_count(); ++v) {
+    if (register_of[v] == reg) {
+      keep[v] = true;
+      any = true;
+    }
+  }
+  if (!any) return 0;
+  const ScalarSequence projected = seq.project(keep);
+  return layout_cost(projected, liao_layout(projected, tie_break));
+}
+
+}  // namespace
+
+std::int64_t partition_cost(const ScalarSequence& seq,
+                            const std::vector<std::uint32_t>& register_of,
+                            std::size_t k, SoaTieBreak tie_break) {
+  check_arg(register_of.size() == seq.variable_count(),
+            "partition_cost: partition size mismatch");
+  std::int64_t total = 0;
+  for (std::uint32_t reg = 0; reg < k; ++reg) {
+    total += register_soa_cost(seq, register_of, reg, tie_break);
+  }
+  return total;
+}
+
+namespace {
+
+/// Round-robin seed + first-improvement local search for exactly
+/// `registers` registers.
+std::vector<std::uint32_t> local_search_partition(
+    const ScalarSequence& seq, std::size_t registers,
+    const GoaOptions& options) {
+  const std::size_t n = seq.variable_count();
+
+  // Seed: variables by descending frequency, round-robin over registers.
+  std::vector<VarId> by_frequency(n);
+  std::iota(by_frequency.begin(), by_frequency.end(), VarId{0});
+  const std::vector<std::size_t> freq = seq.frequencies();
+  std::sort(by_frequency.begin(), by_frequency.end(),
+            [&](VarId a, VarId b) {
+              return std::tie(freq[b], a) < std::tie(freq[a], b);
+            });
+  std::vector<std::uint32_t> register_of(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    register_of[by_frequency[i]] =
+        static_cast<std::uint32_t>(i % registers);
+  }
+
+  std::vector<std::int64_t> cost_of(registers);
+  for (std::uint32_t reg = 0; reg < registers; ++reg) {
+    cost_of[reg] =
+        register_soa_cost(seq, register_of, reg, options.tie_break);
+  }
+  for (std::size_t sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    bool improved = false;
+    for (VarId v = 0; v < n; ++v) {
+      const std::uint32_t from = register_of[v];
+      for (std::uint32_t to = 0; to < registers; ++to) {
+        if (to == from) continue;
+        register_of[v] = to;
+        const std::int64_t new_from = register_soa_cost(
+            seq, register_of, from, options.tie_break);
+        const std::int64_t new_to =
+            register_soa_cost(seq, register_of, to, options.tie_break);
+        if (new_from + new_to < cost_of[from] + cost_of[to]) {
+          cost_of[from] = new_from;
+          cost_of[to] = new_to;
+          improved = true;
+          break;  // v moved; try the next variable
+        }
+        register_of[v] = from;
+      }
+    }
+    if (!improved) break;
+  }
+  return register_of;
+}
+
+}  // namespace
+
+GoaResult goa_allocate(const ScalarSequence& seq, std::size_t k,
+                       const GoaOptions& options) {
+  check_arg(k >= 1, "goa_allocate: need at least one register");
+
+  // Using fewer than k registers is always allowed, so the best
+  // partition over 1 .. k registers is kept: this makes the result
+  // monotone in k by construction (an extra register never hurts).
+  std::vector<std::uint32_t> best;
+  std::int64_t best_cost = 0;
+  for (std::size_t registers = 1; registers <= k; ++registers) {
+    std::vector<std::uint32_t> candidate =
+        local_search_partition(seq, registers, options);
+    const std::int64_t cost =
+        partition_cost(seq, candidate, k, options.tie_break);
+    if (best.empty() || cost < best_cost) {
+      best = std::move(candidate);
+      best_cost = cost;
+    }
+  }
+
+  GoaResult result;
+  result.register_of = std::move(best);
+  result.register_cost.resize(k);
+  for (std::uint32_t reg = 0; reg < k; ++reg) {
+    std::vector<bool> keep(seq.variable_count(), false);
+    for (VarId v = 0; v < seq.variable_count(); ++v) {
+      if (result.register_of[v] == reg) keep[v] = true;
+    }
+    const ScalarSequence projected = seq.project(keep);
+    result.register_cost[reg] =
+        projected.size() == 0
+            ? 0
+            : layout_cost(projected,
+                          liao_layout(projected, options.tie_break));
+  }
+  result.total_cost = std::accumulate(result.register_cost.begin(),
+                                      result.register_cost.end(),
+                                      std::int64_t{0});
+  return result;
+}
+
+std::int64_t exact_goa_cost(const ScalarSequence& seq, std::size_t k,
+                            SoaTieBreak tie_break,
+                            std::uint64_t max_states) {
+  const std::size_t n = seq.variable_count();
+  std::uint64_t states = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    states *= k;
+    check_arg(states <= max_states,
+              "exact_goa_cost: state space too large for enumeration");
+  }
+
+  std::vector<std::uint32_t> register_of(n, 0);
+  std::int64_t best = partition_cost(seq, register_of, k, tie_break);
+  while (true) {
+    // Odometer increment over base-k digits.
+    std::size_t digit = 0;
+    while (digit < n) {
+      if (++register_of[digit] < k) break;
+      register_of[digit] = 0;
+      ++digit;
+    }
+    if (digit == n) break;
+    best = std::min(best, partition_cost(seq, register_of, k, tie_break));
+  }
+  return best;
+}
+
+}  // namespace dspaddr::soa

@@ -1,0 +1,52 @@
+// General offset assignment (GOA): SOA with k address registers
+// (Leupers/Marwedel ICCAD'96 [5]).
+//
+// Variables are partitioned among k address registers; each register
+// serves the subsequence of accesses to its variables, laid out by SOA.
+// The heuristic seeds the partition by descending access frequency
+// (round-robin) and then runs a first-improvement local search that
+// moves single variables between registers while the total cost drops.
+// An exact enumerator over partitions is provided for tiny instances as
+// the property-test oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "soa/liao.hpp"
+#include "soa/scalar_sequence.hpp"
+
+namespace dspaddr::soa {
+
+struct GoaOptions {
+  SoaTieBreak tie_break = SoaTieBreak::kLeupers;
+  /// Local-search sweep limit (each sweep tries every (variable,
+  /// register) move once).
+  std::size_t max_sweeps = 8;
+};
+
+struct GoaResult {
+  /// register_of[v] in [0, k).
+  std::vector<std::uint32_t> register_of;
+  /// Per-register SOA cost of the projected subsequence.
+  std::vector<std::int64_t> register_cost;
+  std::int64_t total_cost = 0;
+};
+
+/// Cost of a fixed partition: sum over registers of the SOA cost of the
+/// projected subsequence (layout via liao_layout with `tie_break`).
+std::int64_t partition_cost(const ScalarSequence& seq,
+                            const std::vector<std::uint32_t>& register_of,
+                            std::size_t k, SoaTieBreak tie_break);
+
+/// Heuristic GOA allocation of `seq` onto `k` registers.
+GoaResult goa_allocate(const ScalarSequence& seq, std::size_t k,
+                       const GoaOptions& options = {});
+
+/// Exact minimum over all partitions (layout still via liao per
+/// register); throws when k^variable_count would exceed `max_states`.
+std::int64_t exact_goa_cost(const ScalarSequence& seq, std::size_t k,
+                            SoaTieBreak tie_break = SoaTieBreak::kLeupers,
+                            std::uint64_t max_states = 2'000'000);
+
+}  // namespace dspaddr::soa

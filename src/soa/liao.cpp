@@ -1,0 +1,135 @@
+#include "soa/liao.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+#include "graph/dsu.hpp"
+#include "support/check.hpp"
+
+namespace dspaddr::soa {
+
+namespace {
+
+using Edge = WeightedAccessGraph::Edge;
+
+/// Weight of still-selectable edges incident to u or v that selecting
+/// (u, v) could exclude (degree saturation).
+std::int64_t exclusion_weight(const WeightedAccessGraph& graph,
+                              const Edge& edge) {
+  std::int64_t total = 0;
+  const std::size_t n = graph.variable_count();
+  for (VarId w = 0; w < n; ++w) {
+    if (w != edge.u && w != edge.v) {
+      total += graph.weight(edge.u, w);
+      total += graph.weight(edge.v, w);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+Layout liao_layout(const ScalarSequence& seq, SoaTieBreak tie_break) {
+  const std::size_t n = seq.variable_count();
+  const WeightedAccessGraph graph(seq);
+  std::vector<Edge> edges = graph.edges();
+
+  if (tie_break == SoaTieBreak::kNone) {
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge& a, const Edge& b) {
+                return std::tie(b.weight, a.u, a.v) <
+                       std::tie(a.weight, b.u, b.v);
+              });
+  } else {
+    std::vector<std::int64_t> exclusion(edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      exclusion[i] = exclusion_weight(graph, edges[i]);
+    }
+    std::vector<std::size_t> order(edges.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (edges[a].weight != edges[b].weight) {
+                  return edges[a].weight > edges[b].weight;
+                }
+                if (exclusion[a] != exclusion[b]) {
+                  return exclusion[a] < exclusion[b];
+                }
+                return std::tie(edges[a].u, edges[a].v) <
+                       std::tie(edges[b].u, edges[b].v);
+              });
+    std::vector<Edge> sorted;
+    sorted.reserve(edges.size());
+    for (std::size_t i : order) sorted.push_back(edges[i]);
+    edges = std::move(sorted);
+  }
+
+  // Kruskal-style chain building.
+  std::vector<int> degree(n, 0);
+  std::vector<std::vector<VarId>> adjacency(n);
+  graph::Dsu components(n);
+  for (const Edge& edge : edges) {
+    if (degree[edge.u] >= 2 || degree[edge.v] >= 2) continue;
+    if (components.same(edge.u, edge.v)) continue;
+    components.unite(edge.u, edge.v);
+    ++degree[edge.u];
+    ++degree[edge.v];
+    adjacency[edge.u].push_back(edge.v);
+    adjacency[edge.v].push_back(edge.u);
+  }
+
+  // Walk each chain from an endpoint; isolated variables become length-1
+  // chains. Concatenate in order of chain discovery.
+  Layout layout(n, -1);
+  std::int64_t next_offset = 0;
+  std::vector<bool> visited(n, false);
+  const auto walk = [&](VarId start) {
+    VarId prev = start;
+    VarId node = start;
+    while (true) {
+      visited[node] = true;
+      layout[node] = next_offset++;
+      VarId next = node;
+      for (VarId neighbor : adjacency[node]) {
+        if (neighbor != prev && !visited[neighbor]) {
+          next = neighbor;
+          break;
+        }
+      }
+      if (next == node) break;
+      prev = node;
+      node = next;
+    }
+  };
+  for (VarId v = 0; v < n; ++v) {
+    if (!visited[v] && degree[v] <= 1) walk(v);
+  }
+  // Defensive: cycles cannot occur (DSU check), but cover stragglers.
+  for (VarId v = 0; v < n; ++v) {
+    if (!visited[v]) walk(v);
+  }
+  return layout;
+}
+
+Layout random_layout(std::size_t variable_count, support::Rng& rng) {
+  std::vector<std::int64_t> offsets(variable_count);
+  std::iota(offsets.begin(), offsets.end(), std::int64_t{0});
+  rng.shuffle(offsets);
+  return offsets;
+}
+
+std::int64_t exact_soa_cost(const ScalarSequence& seq,
+                            std::size_t max_variables) {
+  const std::size_t n = seq.variable_count();
+  check_arg(n <= max_variables,
+            "exact_soa_cost: too many variables for enumeration");
+  Layout layout = identity_layout(n);
+  std::int64_t best = layout_cost(seq, layout);
+  while (std::next_permutation(layout.begin(), layout.end())) {
+    best = std::min(best, layout_cost(seq, layout));
+  }
+  return best;
+}
+
+}  // namespace dspaddr::soa

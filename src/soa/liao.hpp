@@ -1,0 +1,42 @@
+// Liao's simple-offset-assignment heuristic (PLDI'95 [4]) with the
+// Leupers/Marwedel tie-break refinement (ICCAD'96 [5]).
+//
+// SOA seeks a memory layout of scalar variables maximizing the access-
+// graph weight "covered" by layout adjacency: a maximum-weight
+// Hamiltonian path problem, solved greedily in Kruskal style — take
+// edges by descending weight, rejecting any that would give a vertex
+// degree > 2 or close a cycle; the chosen edges form disjoint chains
+// that are concatenated into the final layout order.
+//
+// The tie-break variant orders equal-weight edges by the weight of the
+// still-selectable edges they would exclude (lower exclusion first), a
+// simplified form of the Leupers/Marwedel tie-break that measurably
+// improves over naive ordering on dense graphs.
+#pragma once
+
+#include "soa/scalar_sequence.hpp"
+#include "support/rng.hpp"
+
+namespace dspaddr::soa {
+
+enum class SoaTieBreak {
+  /// Stable order (by vertex ids) among equal weights — plain Liao.
+  kNone,
+  /// Prefer the equal-weight edge excluding the least selectable weight.
+  kLeupers,
+};
+
+/// Computes a layout via the greedy max-weight path cover.
+Layout liao_layout(const ScalarSequence& seq,
+                   SoaTieBreak tie_break = SoaTieBreak::kNone);
+
+/// Uniformly random permutation layout (baseline for bench T6).
+Layout random_layout(std::size_t variable_count, support::Rng& rng);
+
+/// Exact minimum SOA cost by permutation enumeration — only for tiny
+/// variable counts (throws beyond `max_variables`). Reference for
+/// property tests.
+std::int64_t exact_soa_cost(const ScalarSequence& seq,
+                            std::size_t max_variables = 9);
+
+}  // namespace dspaddr::soa

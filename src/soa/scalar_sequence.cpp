@@ -1,0 +1,108 @@
+#include "soa/scalar_sequence.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "support/check.hpp"
+
+namespace dspaddr::soa {
+
+ScalarSequence::ScalarSequence(std::vector<VarId> accesses,
+                               std::size_t variable_count)
+    : accesses_(std::move(accesses)), variable_count_(variable_count) {
+  for (VarId v : accesses_) {
+    check_arg(v < variable_count_,
+              "ScalarSequence: access to undeclared variable");
+  }
+}
+
+ScalarSequence ScalarSequence::from_names(
+    const std::vector<std::string>& names) {
+  std::unordered_map<std::string, VarId> ids;
+  std::vector<VarId> accesses;
+  accesses.reserve(names.size());
+  for (const std::string& name : names) {
+    const auto [it, inserted] =
+        ids.emplace(name, static_cast<VarId>(ids.size()));
+    accesses.push_back(it->second);
+  }
+  return ScalarSequence(std::move(accesses), ids.size());
+}
+
+VarId ScalarSequence::operator[](std::size_t i) const {
+  check_arg(i < accesses_.size(), "ScalarSequence: index out of range");
+  return accesses_[i];
+}
+
+std::vector<std::size_t> ScalarSequence::frequencies() const {
+  std::vector<std::size_t> freq(variable_count_, 0);
+  for (VarId v : accesses_) {
+    ++freq[v];
+  }
+  return freq;
+}
+
+ScalarSequence ScalarSequence::project(const std::vector<bool>& keep) const {
+  check_arg(keep.size() == variable_count_,
+            "project: keep mask size mismatch");
+  std::vector<VarId> projected;
+  for (VarId v : accesses_) {
+    if (keep[v]) projected.push_back(v);
+  }
+  return ScalarSequence(std::move(projected), variable_count_);
+}
+
+WeightedAccessGraph::WeightedAccessGraph(const ScalarSequence& seq)
+    : n_(seq.variable_count()), weights_(n_ * n_, 0) {
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+    const VarId u = seq[i];
+    const VarId v = seq[i + 1];
+    if (u == v) continue;
+    ++weights_[index(u, v)];
+  }
+}
+
+std::size_t WeightedAccessGraph::index(VarId u, VarId v) const {
+  check_arg(u < n_ && v < n_, "WeightedAccessGraph: variable out of range");
+  if (u > v) std::swap(u, v);
+  return static_cast<std::size_t>(u) * n_ + v;
+}
+
+std::int64_t WeightedAccessGraph::weight(VarId u, VarId v) const {
+  if (u == v) return 0;
+  return weights_[index(u, v)];
+}
+
+std::vector<WeightedAccessGraph::Edge> WeightedAccessGraph::edges() const {
+  std::vector<Edge> result;
+  for (VarId u = 0; u < n_; ++u) {
+    for (VarId v = u + 1; v < n_; ++v) {
+      const std::int64_t w = weights_[static_cast<std::size_t>(u) * n_ + v];
+      if (w > 0) result.push_back(Edge{u, v, w});
+    }
+  }
+  return result;
+}
+
+std::int64_t layout_cost(const ScalarSequence& seq, const Layout& layout) {
+  check_arg(layout.size() == seq.variable_count(),
+            "layout_cost: layout size mismatch");
+  std::int64_t cost = 0;
+  for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+    const std::int64_t distance =
+        layout[seq[i + 1]] - layout[seq[i]];
+    if (std::llabs(distance) > 1) ++cost;
+  }
+  return cost;
+}
+
+Layout identity_layout(std::size_t variable_count) {
+  Layout layout(variable_count);
+  for (std::size_t v = 0; v < variable_count; ++v) {
+    layout[v] = static_cast<std::int64_t>(v);
+  }
+  return layout;
+}
+
+}  // namespace dspaddr::soa

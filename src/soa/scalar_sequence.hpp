@@ -1,0 +1,79 @@
+// Scalar-variable access sequences for (simple/general) offset
+// assignment — the complementary optimization the paper cites as
+// [4] (Liao et al., PLDI'95) and [5] (Leupers/Marwedel, ICCAD'96).
+//
+// Where the array problem allocates *accesses* to address registers for
+// a fixed memory layout, the scalar problem chooses the *memory layout*
+// of program variables so that consecutive accesses are reachable by
+// auto-increment/decrement (distance <= 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dspaddr::soa {
+
+using VarId = std::uint32_t;
+
+/// An access sequence over scalar variables 0 .. variable_count-1.
+class ScalarSequence {
+public:
+  ScalarSequence() = default;
+  ScalarSequence(std::vector<VarId> accesses, std::size_t variable_count);
+
+  /// Builds from variable names ("a b c a b"): ids in first-appearance
+  /// order.
+  static ScalarSequence from_names(const std::vector<std::string>& names);
+
+  std::size_t size() const { return accesses_.size(); }
+  std::size_t variable_count() const { return variable_count_; }
+  const std::vector<VarId>& accesses() const { return accesses_; }
+  VarId operator[](std::size_t i) const;
+
+  /// Number of accesses of each variable.
+  std::vector<std::size_t> frequencies() const;
+
+  /// Projection onto a variable subset (keep[v] == true), preserving
+  /// order; ids are *not* renumbered.
+  ScalarSequence project(const std::vector<bool>& keep) const;
+
+private:
+  std::vector<VarId> accesses_;
+  std::size_t variable_count_ = 0;
+};
+
+/// Weighted undirected access graph: w(u, v) = number of adjacent
+/// occurrences of u and v in the sequence (u != v).
+class WeightedAccessGraph {
+public:
+  explicit WeightedAccessGraph(const ScalarSequence& seq);
+
+  std::size_t variable_count() const { return n_; }
+  std::int64_t weight(VarId u, VarId v) const;
+
+  struct Edge {
+    VarId u, v;
+    std::int64_t weight;
+  };
+  /// All positive-weight edges.
+  std::vector<Edge> edges() const;
+
+private:
+  std::size_t n_ = 0;
+  std::vector<std::int64_t> weights_;  // upper triangle, row-major
+  std::size_t index(VarId u, VarId v) const;
+};
+
+/// A memory layout: offset_of[v] is variable v's address. Offsets must
+/// be a permutation of 0 .. n-1.
+using Layout = std::vector<std::int64_t>;
+
+/// Cost of `layout` for `seq`: transitions between consecutive accesses
+/// whose address distance exceeds 1 (the classic auto-inc/dec range).
+std::int64_t layout_cost(const ScalarSequence& seq, const Layout& layout);
+
+/// Declaration-order layout (offset v for variable v).
+Layout identity_layout(std::size_t variable_count);
+
+}  // namespace dspaddr::soa

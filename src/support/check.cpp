@@ -1,0 +1,17 @@
+#include "support/check.hpp"
+
+namespace dspaddr {
+
+void check_arg(bool condition, std::string_view message) {
+  if (!condition) {
+    throw InvalidArgument(std::string(message));
+  }
+}
+
+void check_invariant(bool condition, std::string_view message) {
+  if (!condition) {
+    throw InvariantViolation(std::string(message));
+  }
+}
+
+}  // namespace dspaddr

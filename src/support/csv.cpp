@@ -1,0 +1,53 @@
+#include "support/csv.hpp"
+
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dspaddr::support {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  check_arg(!header_.empty(), "CsvWriter: header must not be empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  check_arg(row.size() == header_.size(),
+            "CsvWriter: row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::write(std::ostream& out) const {
+  const auto write_row = [&out](const std::vector<std::string>& fields) {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out << ',';
+      out << csv_escape(fields[i]);
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) {
+    write_row(row);
+  }
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream out;
+  write(out);
+  return out.str();
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace dspaddr::support

@@ -1,0 +1,33 @@
+// Minimal CSV writer for exporting experiment results.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dspaddr::support {
+
+/// Accumulates rows and writes RFC-4180-style CSV (quotes fields that
+/// contain commas, quotes or newlines).
+class CsvWriter {
+public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many fields as the header.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  void write(std::ostream& out) const;
+  std::string to_string() const;
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes one CSV field per RFC 4180.
+std::string csv_escape(std::string_view field);
+
+}  // namespace dspaddr::support

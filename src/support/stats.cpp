@@ -1,0 +1,65 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dspaddr::support {
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::mean() const {
+  return count_ == 0 ? 0.0 : mean_;
+}
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const {
+  return std::sqrt(variance());
+}
+
+double RunningStats::min() const {
+  return min_;
+}
+
+double RunningStats::max() const {
+  return max_;
+}
+
+double RunningStats::ci95_half_width() const {
+  if (count_ < 2) return 0.0;
+  return 1.959964 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double percentile(std::vector<double> values, double q) {
+  check_arg(!values.empty(), "percentile: empty sample");
+  check_arg(q >= 0.0 && q <= 1.0, "percentile: q outside [0, 1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double percent_reduction(double baseline, double optimized) {
+  if (baseline == 0.0) return 0.0;
+  return 100.0 * (baseline - optimized) / baseline;
+}
+
+}  // namespace dspaddr::support

@@ -1,0 +1,40 @@
+// Streaming statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dspaddr::support {
+
+/// Welford-style accumulator: numerically stable mean/variance over a
+/// stream of doubles, plus min/max.
+class RunningStats {
+public:
+  void add(double value);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Half-width of the normal-approximation 95 % confidence interval.
+  double ci95_half_width() const;
+
+private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile (linear interpolation) of a sample; `q` in [0, 1].
+double percentile(std::vector<double> values, double q);
+
+/// Percentage reduction of `optimized` relative to `baseline`; returns 0
+/// when the baseline is 0 (nothing to reduce).
+double percent_reduction(double baseline, double optimized);
+
+}  // namespace dspaddr::support

@@ -1,0 +1,26 @@
+// Small string-formatting helpers shared by reports and error messages.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dspaddr::support {
+
+/// Joins `parts` with `separator` ("a, b, c").
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Fixed-point formatting with `digits` decimals ("3.14").
+std::string format_fixed(double value, int digits);
+
+/// "41.3 %"-style percentage formatting.
+std::string format_percent(double value, int digits = 1);
+
+/// Splits on a single character, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char separator);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+}  // namespace dspaddr::support

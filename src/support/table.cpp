@@ -1,0 +1,91 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace dspaddr::support {
+
+Table::Table(std::vector<std::string> header, std::vector<Align> alignment)
+    : header_(std::move(header)), alignment_(std::move(alignment)) {
+  check_arg(!header_.empty(), "Table: header must not be empty");
+  if (alignment_.empty()) {
+    alignment_.assign(header_.size(), Align::kRight);
+    alignment_.front() = Align::kLeft;
+  }
+  check_arg(alignment_.size() == header_.size(),
+            "Table: alignment width does not match header");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  check_arg(row.size() == header_.size(),
+            "Table: row width does not match header");
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void Table::add_rule() {
+  rows_.push_back(Row{{}, true});
+}
+
+std::size_t Table::row_count() const {
+  std::size_t count = 0;
+  for (const auto& row : rows_) {
+    if (!row.is_rule) ++count;
+  }
+  return count;
+}
+
+void Table::write(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.is_rule) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  const auto write_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << "  ";
+      const std::string& cell = cells[c];
+      const std::size_t pad = width[c] - cell.size();
+      if (alignment_[c] == Align::kRight) {
+        out << std::string(pad, ' ') << cell;
+      } else {
+        out << cell;
+        if (c + 1 < cells.size()) out << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  const auto write_rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      if (c > 0) out << "  ";
+      out << std::string(width[c], '-');
+    }
+    out << '\n';
+  };
+
+  write_cells(header_);
+  write_rule();
+  for (const auto& row : rows_) {
+    if (row.is_rule) {
+      write_rule();
+    } else {
+      write_cells(row.cells);
+    }
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream out;
+  write(out);
+  return out.str();
+}
+
+}  // namespace dspaddr::support

@@ -1,0 +1,46 @@
+// ASCII table formatter used by benches and examples to print
+// paper-style result tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dspaddr::support {
+
+/// Column alignment inside a Table.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of string cells and renders them with padded,
+/// aligned columns and a header rule:
+///
+///   N    M  K  naive  merged  reduction
+///   ---  -  -  -----  ------  ---------
+///   10   1  2   3.20    1.95     39.1 %
+class Table {
+public:
+  explicit Table(std::vector<std::string> header,
+                 std::vector<Align> alignment = {});
+
+  void add_row(std::vector<std::string> row);
+
+  /// Adds a horizontal rule between row groups.
+  void add_rule();
+
+  std::size_t row_count() const;
+
+  void write(std::ostream& out) const;
+  std::string to_string() const;
+
+private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_rule = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Align> alignment_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dspaddr::support

@@ -1,0 +1,153 @@
+#include "agu/asm_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "agu/codegen.hpp"
+#include "agu/simulator.hpp"
+#include "core/allocator.hpp"
+#include "core/modify_registers.hpp"
+#include "eval/patterns.hpp"
+#include "ir/kernels.hpp"
+#include "ir/layout.hpp"
+#include "support/rng.hpp"
+
+namespace dspaddr::agu {
+namespace {
+
+TEST(AsmParser, ParsesMinimalProgram) {
+  const Program p = parse_program(R"(
+; setup
+  LDAR AR0, #1
+; loop body
+  USE AR0  ; a_1, post-modify +1
+)");
+  EXPECT_EQ(p.register_count, 1u);
+  ASSERT_EQ(p.setup.size(), 1u);
+  EXPECT_EQ(p.setup[0].op, Opcode::kLdar);
+  EXPECT_EQ(p.setup[0].value, 1);
+  ASSERT_EQ(p.body.size(), 1u);
+  EXPECT_EQ(p.body[0].op, Opcode::kUse);
+  EXPECT_EQ(p.body[0].access, 0u);
+  EXPECT_EQ(p.body[0].value, 1);
+}
+
+TEST(AsmParser, ParsesAllOpcodes) {
+  const Program p = parse_program(R"(
+; setup
+  LDAR AR1, #-5
+  LDMR MR0, #42
+; loop body
+  USE AR1  ; a_2
+  ADAR AR1, #-3
+  USE AR1  ; a_3, post-modify +MR0
+  RELOAD AR1, &a_2 (next iteration)
+)");
+  EXPECT_EQ(p.register_count, 2u);
+  EXPECT_EQ(p.modify_register_count, 1u);
+  ASSERT_EQ(p.body.size(), 4u);
+  EXPECT_EQ(p.body[1].op, Opcode::kAdar);
+  EXPECT_EQ(p.body[1].value, -3);
+  EXPECT_EQ(p.body[2].mr, 0);
+  EXPECT_EQ(p.body[3].op, Opcode::kReload);
+  EXPECT_TRUE(p.body[3].next_iteration);
+  EXPECT_EQ(p.body[3].access, 1u);
+}
+
+TEST(AsmParser, ErrorsCarryLineNumbers) {
+  const auto expect_error_line = [](std::string_view text,
+                                    std::size_t line) {
+    try {
+      parse_program(text);
+      FAIL() << "expected ParseError for: " << text;
+    } catch (const ir::ParseError& e) {
+      EXPECT_EQ(e.line(), line) << e.what();
+    }
+  };
+  expect_error_line("; setup\nFROB AR0, #1\n", 2);
+  expect_error_line("; setup\nLDAR AR0 #1\n", 2);        // missing comma
+  expect_error_line("; setup\nLDAR ARx, #1\n", 2);       // bad register
+  expect_error_line("; setup\nLDAR AR0, #1 junk\n", 2);  // trailing
+  expect_error_line("; intro\n", 1);                     // bad marker
+  expect_error_line("LDAR AR0, #1\n", 1);                // no sections
+  expect_error_line("; loop body\nUSE AR0  ; a_0\n", 2);  // 1-based ids
+}
+
+TEST(AsmParser, RoundTripsGeneratedPrograms) {
+  const auto seq =
+      ir::AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  core::ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 2;
+  const core::Allocation a = core::RegisterAllocator(config).run(seq);
+  const Program original = generate_code(seq, a);
+  const Program reparsed = parse_program(original.to_string());
+  EXPECT_EQ(reparsed.setup, original.setup);
+  EXPECT_EQ(reparsed.body, original.body);
+  EXPECT_EQ(reparsed.register_count, original.register_count);
+}
+
+TEST(AsmParser, RoundTripsMrPrograms) {
+  const auto seq = ir::AccessSequence::from_offsets({0, 5, 10, 15});
+  core::ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 1;
+  const core::Allocation a = core::RegisterAllocator(config).run(seq);
+  const auto plan = core::plan_modify_registers(seq, a, 2);
+  const Program original = generate_code(seq, a, plan);
+  const Program reparsed = parse_program(original.to_string());
+  EXPECT_EQ(reparsed.setup, original.setup);
+  EXPECT_EQ(reparsed.body, original.body);
+  EXPECT_EQ(reparsed.modify_register_count,
+            original.modify_register_count);
+}
+
+TEST(AsmParser, HandEditedProgramRunsOnSimulator) {
+  // A hand-written address program for offsets 0, 5 with M = 1: the
+  // author chose an MR instead of ADARs.
+  const auto seq = ir::AccessSequence::from_offsets({0, 5});
+  const Program p = parse_program(R"(
+; setup
+  LDAR AR0, #0
+  LDMR MR0, #5
+  LDMR MR1, #-4
+; loop body
+  USE AR0  ; a_1, post-modify +MR0
+  USE AR0  ; a_2, post-modify +MR1
+)");
+  const SimResult r = Simulator{}.run(p, seq, 10);
+  EXPECT_TRUE(r.verified) << r.failure;
+  EXPECT_EQ(r.extra_instructions, 0u);
+}
+
+class AsmRoundTripPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AsmRoundTripPropertyTest, TextIsAFaithfulEncoding) {
+  support::Rng rng(GetParam() * 271 + 9);
+  eval::PatternSpec spec;
+  spec.accesses = 3 + rng.index(20);
+  spec.offset_range = 1 + rng.uniform_int(0, 12);
+  spec.family = static_cast<eval::PatternFamily>(rng.index(4));
+  const auto seq = eval::generate_pattern(spec, rng);
+
+  core::ProblemConfig config;
+  config.modify_range = 1 + rng.uniform_int(0, 2);
+  config.registers = 1 + rng.index(4);
+  const core::Allocation a = core::RegisterAllocator(config).run(seq);
+  const auto plan = core::plan_modify_registers(seq, a, rng.index(3));
+  const Program original = generate_code(seq, a, plan);
+  const Program reparsed = parse_program(original.to_string());
+
+  EXPECT_EQ(reparsed.setup, original.setup);
+  EXPECT_EQ(reparsed.body, original.body);
+
+  // And the reparsed program still executes correctly.
+  const SimResult r = Simulator{}.run(reparsed, seq, 7);
+  EXPECT_TRUE(r.verified) << r.failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, AsmRoundTripPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace dspaddr::agu

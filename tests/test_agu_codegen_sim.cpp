@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "agu/codegen.hpp"
+#include "agu/simulator.hpp"
+#include "core/allocator.hpp"
+#include "eval/patterns.hpp"
+#include "ir/kernels.hpp"
+#include "ir/layout.hpp"
+#include "support/rng.hpp"
+
+namespace dspaddr::agu {
+namespace {
+
+using core::Allocation;
+using core::ProblemConfig;
+using ir::AccessSequence;
+
+Allocation allocate(const AccessSequence& seq, std::int64_t m,
+                    std::size_t k) {
+  ProblemConfig config;
+  config.modify_range = m;
+  config.registers = k;
+  return core::RegisterAllocator(config).run(seq);
+}
+
+TEST(Codegen, SetupLoadsFirstAddressPerRegister) {
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const Allocation a = allocate(seq, 1, 2);
+  const Program p = generate_code(seq, a);
+  EXPECT_EQ(p.register_count, a.register_count());
+  ASSERT_EQ(p.setup.size(), a.register_count());
+  for (std::size_t r = 0; r < p.setup.size(); ++r) {
+    EXPECT_EQ(p.setup[r].op, Opcode::kLdar);
+    EXPECT_EQ(p.setup[r].value, seq[a.paths()[r].first()].offset);
+  }
+}
+
+TEST(Codegen, BodyHasOneUsePerAccessInOrder) {
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const Allocation a = allocate(seq, 1, 2);
+  const Program p = generate_code(seq, a);
+  std::vector<std::size_t> uses;
+  for (const Instruction& instruction : p.body) {
+    if (instruction.op == Opcode::kUse) uses.push_back(instruction.access);
+  }
+  ASSERT_EQ(uses.size(), seq.size());
+  for (std::size_t i = 0; i < uses.size(); ++i) {
+    EXPECT_EQ(uses[i], i);
+  }
+}
+
+TEST(Codegen, ExtraBodyWordsEqualAnalyticCost) {
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  for (std::size_t k : {1, 2, 3}) {
+    const Allocation a = allocate(seq, 1, k);
+    const Program p = generate_code(seq, a);
+    EXPECT_EQ(p.body_address_words(),
+              static_cast<std::size_t>(a.cost()))
+        << "k = " << k;
+  }
+}
+
+TEST(Simulator, VerifiesPaperExampleAcrossIterations) {
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const Allocation a = allocate(seq, 1, 2);
+  const Program p = generate_code(seq, a);
+  const SimResult r = Simulator{}.run(p, seq, 50);
+  EXPECT_TRUE(r.verified) << r.failure;
+  EXPECT_EQ(r.accesses_executed, 50u * seq.size());
+  EXPECT_EQ(r.extra_instructions,
+            50u * static_cast<std::uint64_t>(a.cost()));
+}
+
+TEST(Simulator, ZeroCostAllocationNeedsNoExtraInstructions) {
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const Allocation a = allocate(seq, 1, seq.size());
+  ASSERT_EQ(a.cost(), 0);
+  const Program p = generate_code(seq, a);
+  const SimResult r = Simulator{}.run(p, seq, 16);
+  EXPECT_TRUE(r.verified) << r.failure;
+  EXPECT_EQ(r.extra_instructions, 0u);
+}
+
+TEST(Simulator, TraceRecordsDemandedAddresses) {
+  const auto seq = AccessSequence::from_offsets({0, 1});
+  const Allocation a = allocate(seq, 1, 1);
+  const Program p = generate_code(seq, a);
+  Simulator::Options options;
+  options.record_trace = true;
+  const SimResult r = Simulator(options).run(p, seq, 2);
+  EXPECT_TRUE(r.verified) << r.failure;
+  // Iteration 0: addresses 0, 1; iteration 1: 1, 2.
+  EXPECT_EQ(r.trace, (std::vector<std::int64_t>{0, 1, 1, 2}));
+}
+
+TEST(Simulator, DetectsCorruptedProgram) {
+  const auto seq = AccessSequence::from_offsets({0, 5});
+  const Allocation a = allocate(seq, 1, 1);
+  Program p = generate_code(seq, a);
+  // Break the ADAR that bridges the distance-5 gap.
+  bool corrupted = false;
+  for (Instruction& instruction : p.body) {
+    if (instruction.op == Opcode::kAdar) {
+      instruction.value += 1;
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  const SimResult r = Simulator{}.run(p, seq, 3);
+  EXPECT_FALSE(r.verified);
+  EXPECT_NE(r.failure.find("demanded"), std::string::npos);
+}
+
+TEST(Simulator, StopOnFailureFalseKeepsCounting) {
+  const auto seq = AccessSequence::from_offsets({0, 5});
+  const Allocation a = allocate(seq, 1, 1);
+  Program p = generate_code(seq, a);
+  for (Instruction& instruction : p.body) {
+    if (instruction.op == Opcode::kAdar) instruction.value += 1;
+  }
+  Simulator::Options options;
+  options.stop_on_failure = false;
+  const SimResult r = Simulator(options).run(p, seq, 4);
+  EXPECT_FALSE(r.verified);
+  EXPECT_EQ(r.accesses_executed, 4u * seq.size());
+}
+
+TEST(Simulator, MixedStrideKernelUsesReloadAndStillVerifies) {
+  // matmul has strides 1, n, 0 — reg transitions across strides need
+  // RELOADs; the simulator must still see correct addresses everywhere.
+  const ir::Kernel kernel = ir::matmul_kernel(6);
+  const AccessSequence seq = ir::lower(kernel);
+  const Allocation a = allocate(seq, 1, 2);
+  const Program p = generate_code(seq, a);
+  const SimResult r = Simulator{}.run(p, seq, 6);
+  EXPECT_TRUE(r.verified) << r.failure;
+}
+
+class CodegenSimPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodegenSimPropertyTest, SimulatedExtraCostMatchesAnalyticCost) {
+  // The end-to-end contract (bench T5): per-iteration extra address
+  // instructions == allocation cost, and every USE sees the demanded
+  // address.
+  support::Rng rng(GetParam() * 419 + 1);
+  eval::PatternSpec spec;
+  spec.accesses = 3 + rng.index(30);
+  spec.offset_range = 1 + rng.uniform_int(0, 15);
+  spec.family = static_cast<eval::PatternFamily>(rng.index(4));
+  const auto seq = eval::generate_pattern(spec, rng);
+
+  const std::int64_t m = 1 + rng.uniform_int(0, 3);
+  const std::size_t k = 1 + rng.index(6);
+  const Allocation a = allocate(seq, m, k);
+  const Program p = generate_code(seq, a);
+
+  const std::uint64_t iterations = 1 + rng.index(20);
+  const SimResult r = Simulator{}.run(p, seq, iterations);
+  EXPECT_TRUE(r.verified) << r.failure;
+  EXPECT_EQ(r.extra_instructions,
+            iterations * static_cast<std::uint64_t>(a.cost()));
+  EXPECT_EQ(r.setup_instructions, a.register_count());
+}
+
+TEST_P(CodegenSimPropertyTest, AllBuiltinKernelsSimulateCorrectly) {
+  const auto kernels = ir::builtin_kernels();
+  const std::size_t index = GetParam() % kernels.size();
+  const ir::Kernel& kernel = kernels[index];
+  SCOPED_TRACE(kernel.name());
+  const AccessSequence seq = ir::lower(kernel);
+
+  support::Rng rng(GetParam());
+  const std::int64_t m = 1 + rng.uniform_int(0, 2);
+  const std::size_t k = 1 + rng.index(4);
+  const Allocation a = allocate(seq, m, k);
+  const Program p = generate_code(seq, a);
+  const SimResult r = Simulator{}.run(
+      p, seq, static_cast<std::uint64_t>(kernel.iterations()));
+  EXPECT_TRUE(r.verified) << r.failure;
+  EXPECT_EQ(r.extra_instructions,
+            static_cast<std::uint64_t>(kernel.iterations()) *
+                static_cast<std::uint64_t>(a.cost()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, CodegenSimPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace dspaddr::agu

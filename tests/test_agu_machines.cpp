@@ -1,0 +1,83 @@
+#include "agu/machines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/kernels.hpp"
+#include "support/check.hpp"
+
+namespace dspaddr::agu {
+namespace {
+
+TEST(Machines, CatalogIsWellFormed) {
+  const auto machines = builtin_machines();
+  EXPECT_GE(machines.size(), 6u);
+  std::set<std::string> names;
+  for (const AguSpec& machine : machines) {
+    SCOPED_TRACE(machine.name);
+    EXPECT_FALSE(machine.name.empty());
+    EXPECT_FALSE(machine.description.empty());
+    EXPECT_GE(machine.address_registers, 1u);
+    EXPECT_GE(machine.modify_range, 1);
+    names.insert(machine.name);
+  }
+  EXPECT_EQ(names.size(), machines.size()) << "duplicate machine names";
+}
+
+TEST(Machines, LookupByName) {
+  const AguSpec c25 = builtin_machine("tms320c25");
+  EXPECT_EQ(c25.address_registers, 8u);
+  EXPECT_EQ(c25.modify_registers, 1u);
+  EXPECT_THROW(builtin_machine("pdp11"), dspaddr::InvalidArgument);
+  EXPECT_EQ(builtin_machine_names().size(), builtin_machines().size());
+}
+
+TEST(Machines, RunOnMachineVerifiesEverywhere) {
+  // Every kernel on every machine must execute correctly and match the
+  // analytic residual cost.
+  for (const ir::Kernel& kernel : ir::builtin_kernels()) {
+    for (const AguSpec& machine : builtin_machines()) {
+      SCOPED_TRACE(kernel.name() + " on " + machine.name);
+      const MachineRunReport report = run_on_machine(kernel, machine);
+      EXPECT_TRUE(report.verified);
+      EXPECT_GE(report.allocation_cost, report.residual_cost);
+      EXPECT_GE(report.residual_cost, 0);
+    }
+  }
+}
+
+TEST(Machines, ModifyRegistersOnlyHelp) {
+  // adsp218x is tms320c54x-shaped with 8 MRs instead of 1: residual
+  // cost can only improve.
+  const ir::Kernel kernel = ir::filter2d_3x3_kernel(32);
+  const MachineRunReport one_mr =
+      run_on_machine(kernel, builtin_machine("tms320c54x"));
+  const MachineRunReport eight_mrs =
+      run_on_machine(kernel, builtin_machine("adsp218x"));
+  EXPECT_EQ(one_mr.allocation_cost, eight_mrs.allocation_cost);
+  EXPECT_LE(eight_mrs.residual_cost, one_mr.residual_cost);
+}
+
+TEST(Machines, SmallMachineCostsMore) {
+  // 2 registers without MRs can't beat 8 registers with MRs.
+  const ir::Kernel kernel = ir::paper_example_kernel();
+  const MachineRunReport small =
+      run_on_machine(kernel, builtin_machine("minimal2"));
+  const MachineRunReport large =
+      run_on_machine(kernel, builtin_machine("adsp218x"));
+  EXPECT_GE(small.residual_cost, large.residual_cost);
+}
+
+TEST(Machines, WiderImmediateRangeLowersAllocationCost) {
+  // wide4 (M = 2, K = 4) vs a hypothetical M = 1, K = 4 machine.
+  const ir::Kernel kernel = ir::paper_example_kernel();
+  const AguSpec narrow{"narrow4", "test", 4, 0, 1};
+  const MachineRunReport n = run_on_machine(kernel, narrow);
+  const MachineRunReport w =
+      run_on_machine(kernel, builtin_machine("wide4"));
+  EXPECT_LE(w.allocation_cost, n.allocation_cost);
+}
+
+}  // namespace
+}  // namespace dspaddr::agu

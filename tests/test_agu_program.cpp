@@ -1,0 +1,69 @@
+#include "agu/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dspaddr::agu {
+namespace {
+
+TEST(Instruction, LdarRendering) {
+  const Instruction i{.op = Opcode::kLdar, .reg = 2, .value = -5};
+  EXPECT_EQ(i.to_string(), "LDAR AR2, #-5");
+}
+
+TEST(Instruction, AdarRendering) {
+  const Instruction i{.op = Opcode::kAdar, .reg = 0, .value = 7};
+  EXPECT_EQ(i.to_string(), "ADAR AR0, #7");
+}
+
+TEST(Instruction, UseRenderingWithAndWithoutModify) {
+  const Instruction plain{.op = Opcode::kUse, .reg = 1, .value = 0,
+                          .access = 3};
+  EXPECT_EQ(plain.to_string(), "USE AR1  ; a_4");
+  const Instruction inc{.op = Opcode::kUse, .reg = 1, .value = 1,
+                        .access = 0};
+  EXPECT_EQ(inc.to_string(), "USE AR1  ; a_1, post-modify +1");
+  const Instruction dec{.op = Opcode::kUse, .reg = 1, .value = -1,
+                        .access = 0};
+  EXPECT_EQ(dec.to_string(), "USE AR1  ; a_1, post-modify -1");
+}
+
+TEST(Instruction, ReloadRendering) {
+  const Instruction same{.op = Opcode::kReload, .reg = 0, .access = 2};
+  EXPECT_EQ(same.to_string(), "RELOAD AR0, &a_3");
+  const Instruction next{.op = Opcode::kReload, .reg = 0, .access = 2,
+                         .next_iteration = true};
+  EXPECT_EQ(next.to_string(), "RELOAD AR0, &a_3 (next iteration)");
+}
+
+TEST(Program, AddressWordsCountOnlyExplicitInstructions) {
+  Program p;
+  p.register_count = 1;
+  p.setup.push_back(Instruction{.op = Opcode::kLdar, .reg = 0, .value = 0});
+  p.body.push_back(Instruction{.op = Opcode::kUse, .reg = 0, .value = 1});
+  p.body.push_back(Instruction{.op = Opcode::kAdar, .reg = 0, .value = 9});
+  p.body.push_back(
+      Instruction{.op = Opcode::kReload, .reg = 0, .access = 0});
+  EXPECT_EQ(p.setup_address_words(), 1u);
+  EXPECT_EQ(p.body_address_words(), 2u);  // ADAR + RELOAD; USE is free
+}
+
+TEST(Program, ToStringListsSetupAndBody) {
+  Program p;
+  p.register_count = 1;
+  p.setup.push_back(Instruction{.op = Opcode::kLdar, .reg = 0, .value = 3});
+  p.body.push_back(Instruction{.op = Opcode::kUse, .reg = 0, .value = 0});
+  const std::string text = p.to_string();
+  EXPECT_NE(text.find("; setup"), std::string::npos);
+  EXPECT_NE(text.find("; loop body"), std::string::npos);
+  EXPECT_NE(text.find("LDAR AR0, #3"), std::string::npos);
+}
+
+TEST(Opcode, Names) {
+  EXPECT_STREQ(to_string(Opcode::kLdar), "LDAR");
+  EXPECT_STREQ(to_string(Opcode::kAdar), "ADAR");
+  EXPECT_STREQ(to_string(Opcode::kUse), "USE");
+  EXPECT_STREQ(to_string(Opcode::kReload), "RELOAD");
+}
+
+}  // namespace
+}  // namespace dspaddr::agu

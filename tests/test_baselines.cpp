@@ -1,0 +1,124 @@
+#include "baselines/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "eval/patterns.hpp"
+#include "support/rng.hpp"
+
+namespace dspaddr::baselines {
+namespace {
+
+using core::ProblemConfig;
+using ir::AccessSequence;
+
+const auto kPaperSeq =
+    AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+
+ProblemConfig config_with_k(std::size_t k) {
+  ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = k;
+  return config;
+}
+
+TEST(Baselines, NaiveProducesValidAllocation) {
+  const auto a = naive_allocate(kPaperSeq, config_with_k(2));
+  core::validate_allocation(kPaperSeq, a.paths(), 2);
+}
+
+TEST(Baselines, NaiveIsDeterministic) {
+  const auto a = naive_allocate(kPaperSeq, config_with_k(2));
+  const auto b = naive_allocate(kPaperSeq, config_with_k(2));
+  EXPECT_EQ(a.cost(), b.cost());
+  EXPECT_EQ(a.paths(), b.paths());
+}
+
+TEST(Baselines, RandomMergeDependsOnlyOnSeed) {
+  const auto a = random_merge_allocate(kPaperSeq, config_with_k(2), 5);
+  const auto b = random_merge_allocate(kPaperSeq, config_with_k(2), 5);
+  EXPECT_EQ(a.paths(), b.paths());
+}
+
+TEST(Baselines, RoundRobinAssignmentPattern) {
+  const auto seq = AccessSequence::from_offsets({0, 1, 2, 3, 4, 5});
+  const auto a = round_robin_allocate(seq, config_with_k(3));
+  core::validate_allocation(seq, a.paths(), 3);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(a.register_of(i), i % 3);
+  }
+}
+
+TEST(Baselines, RoundRobinWithOneRegisterIsSinglePath) {
+  const auto a = round_robin_allocate(kPaperSeq, config_with_k(1));
+  EXPECT_EQ(a.register_count(), 1u);
+  EXPECT_EQ(a.paths()[0].size(), kPaperSeq.size());
+}
+
+TEST(Baselines, GreedyOnlineUsesFreeTransitions) {
+  // Ramp 0,1,2,3: one register tracks it for free even with K = 2.
+  const auto seq = AccessSequence::from_offsets({0, 1, 2, 3});
+  const auto a = greedy_online_allocate(seq, config_with_k(2));
+  core::validate_allocation(seq, a.paths(), 2);
+  EXPECT_EQ(a.intra_cost(), 0);
+}
+
+TEST(Baselines, AllAllocatorsCoverTheSequence) {
+  for (const NamedAllocator& named : all_allocators()) {
+    SCOPED_TRACE(named.name);
+    const auto a = named.run(kPaperSeq, config_with_k(2));
+    core::validate_allocation(kPaperSeq, a.paths(), 2);
+  }
+}
+
+TEST(Baselines, ListContainsPaperAllocatorFirst) {
+  const auto list = all_allocators();
+  ASSERT_GE(list.size(), 5u);
+  EXPECT_EQ(list[0].name, "path-merge");
+}
+
+class BaselinePropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselinePropertyTest, PathMergeBeatsOrTiesNaive) {
+  // The paper's headline comparison: cost-guided merging vs arbitrary
+  // merging, same phase 1, same register limit.
+  support::Rng rng(GetParam() * 257 + 11);
+  eval::PatternSpec spec;
+  spec.accesses = 8 + rng.index(40);
+  spec.offset_range = 1 + rng.uniform_int(0, 12);
+  const auto seq = eval::generate_pattern(spec, rng);
+
+  ProblemConfig config;
+  config.modify_range = 1 + rng.uniform_int(0, 2);
+  config.registers = 1 + rng.index(6);
+
+  const auto merged = core::RegisterAllocator(config).run(seq);
+  const auto naive = naive_allocate(seq, config);
+  EXPECT_LE(merged.cost(), naive.cost());
+}
+
+TEST_P(BaselinePropertyTest, EveryBaselineProducesValidAllocations) {
+  support::Rng rng(GetParam() * 101 + 7);
+  eval::PatternSpec spec;
+  spec.accesses = 5 + rng.index(25);
+  spec.offset_range = 10;
+  spec.family = static_cast<eval::PatternFamily>(rng.index(4));
+  const auto seq = eval::generate_pattern(spec, rng);
+
+  ProblemConfig config;
+  config.modify_range = 1 + rng.uniform_int(0, 3);
+  config.registers = 1 + rng.index(5);
+
+  for (const NamedAllocator& named : all_allocators(GetParam())) {
+    SCOPED_TRACE(named.name);
+    const auto a = named.run(seq, config);
+    core::validate_allocation(seq, a.paths(), config.registers);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, BaselinePropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace dspaddr::baselines

@@ -1,0 +1,95 @@
+#include "core/access_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dspaddr::core {
+namespace {
+
+using ir::Access;
+using ir::AccessSequence;
+
+TEST(AccessGraph, EmptySequence) {
+  const AccessGraph g(AccessSequence{}, CostModel{1, WrapPolicy::kCyclic});
+  EXPECT_EQ(g.node_count(), 0u);
+}
+
+TEST(AccessGraph, IntraEdgesOnlyForward) {
+  const auto seq = AccessSequence::from_offsets({0, 1});
+  const AccessGraph g(seq, CostModel{1, WrapPolicy::kCyclic});
+  EXPECT_TRUE(g.intra().has_edge(0, 1));
+  EXPECT_FALSE(g.intra().has_edge(1, 0));
+}
+
+TEST(AccessGraph, EdgeIffDistanceWithinRange) {
+  const auto seq = AccessSequence::from_offsets({0, 2, 3});
+  const AccessGraph g1(seq, CostModel{1, WrapPolicy::kCyclic});
+  EXPECT_FALSE(g1.intra().has_edge(0, 1));  // d = 2
+  EXPECT_TRUE(g1.intra().has_edge(1, 2));   // d = 1
+  const AccessGraph g2(seq, CostModel{2, WrapPolicy::kCyclic});
+  EXPECT_TRUE(g2.intra().has_edge(0, 1));
+}
+
+TEST(AccessGraph, WrapEdgesUnderCyclicPolicy) {
+  const auto seq = AccessSequence::from_offsets({1, -2});
+  const AccessGraph g(seq, CostModel{1, WrapPolicy::kCyclic});
+  // a_2 -> a_1 next iteration: distance 1 + 1 - (-2) = 4.
+  EXPECT_FALSE(g.wrap_edge(1, 0));
+  // a_1 -> a_2 next iteration: distance -2 + 1 - 1 = -2.
+  EXPECT_FALSE(g.wrap_edge(0, 1));
+  // Singletons close at stride distance 1.
+  EXPECT_TRUE(g.wrap_edge(0, 0));
+  EXPECT_TRUE(g.wrap_edge(1, 1));
+}
+
+TEST(AccessGraph, WrapEdgesAlwaysPresentUnderAcyclicPolicy) {
+  const auto seq = AccessSequence::from_offsets({1, -200});
+  const AccessGraph g(seq, CostModel{1, WrapPolicy::kAcyclic});
+  for (std::size_t a = 0; a < 2; ++a) {
+    for (std::size_t b = 0; b < 2; ++b) {
+      EXPECT_TRUE(g.wrap_edge(a, b));
+    }
+  }
+}
+
+TEST(AccessGraph, RejectsNegativeModifyRange) {
+  const auto seq = AccessSequence::from_offsets({0});
+  EXPECT_THROW(AccessGraph(seq, CostModel{-1, WrapPolicy::kCyclic}),
+               dspaddr::InvalidArgument);
+}
+
+TEST(AccessGraph, PaperFigure1EdgeSet) {
+  // The example loop of section 2 with M = 1: offsets 1, 0, 2, -1, 1,
+  // 0, -2 for accesses a_1 .. a_7. Edges are exactly the pairs (i < j)
+  // with |o_j - o_i| <= 1.
+  const auto seq = ir::AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const AccessGraph g(seq, CostModel{1, WrapPolicy::kCyclic});
+
+  const std::set<std::pair<std::size_t, std::size_t>> expected{
+      {0, 1}, {0, 2}, {0, 4}, {0, 5},  // a_1 -- a_2, a_3, a_5, a_6
+      {1, 3}, {1, 4}, {1, 5},          // a_2 -- a_4, a_5, a_6
+      {2, 4},                          // a_3 -- a_5
+      {3, 5}, {3, 6},                  // a_4 -- a_6, a_7
+      {4, 5},                          // a_5 -- a_6
+  };
+  std::set<std::pair<std::size_t, std::size_t>> actual;
+  for (const auto& [from, to] : g.intra().edges()) {
+    actual.emplace(from, to);
+  }
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(g.intra().edge_count(), 11u);
+}
+
+TEST(AccessGraph, PaperExamplePathIsZeroCostIntra) {
+  // "The access subsequence (a_1, a_3, a_5, a_6) could be realized with
+  // a single register using only auto-increment and auto-decrement."
+  const auto seq = ir::AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const AccessGraph g(seq, CostModel{1, WrapPolicy::kCyclic});
+  EXPECT_TRUE(g.intra().has_edge(0, 2));
+  EXPECT_TRUE(g.intra().has_edge(2, 4));
+  EXPECT_TRUE(g.intra().has_edge(4, 5));
+}
+
+}  // namespace
+}  // namespace dspaddr::core

@@ -1,0 +1,135 @@
+#include "core/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "eval/patterns.hpp"
+#include "support/rng.hpp"
+
+namespace dspaddr::core {
+namespace {
+
+using ir::AccessSequence;
+
+const auto kPaperSeq =
+    AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+
+ProblemConfig paper_config(std::size_t k) {
+  ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = k;
+  config.phase1.mode = Phase1Options::Mode::kExact;
+  return config;
+}
+
+TEST(RegisterAllocator, RejectsBadConfig) {
+  EXPECT_THROW(RegisterAllocator(ProblemConfig{.modify_range = -1,
+                                               .registers = 1}),
+               dspaddr::InvalidArgument);
+  EXPECT_THROW(RegisterAllocator(ProblemConfig{.modify_range = 1,
+                                               .registers = 0}),
+               dspaddr::InvalidArgument);
+}
+
+TEST(RegisterAllocator, EmptySequenceGivesEmptyAllocation) {
+  const Allocation a =
+      RegisterAllocator(paper_config(2)).run(AccessSequence{});
+  EXPECT_EQ(a.register_count(), 0u);
+  EXPECT_EQ(a.cost(), 0);
+}
+
+TEST(RegisterAllocator, PaperExampleWithEnoughRegistersIsFree) {
+  const Allocation a = RegisterAllocator(paper_config(3)).run(kPaperSeq);
+  EXPECT_EQ(a.cost(), 0);
+  EXPECT_EQ(a.stats().k_tilde, std::size_t{3});
+  EXPECT_LE(a.register_count(), 3u);
+}
+
+TEST(RegisterAllocator, PaperExampleWithTwoRegistersCostsTwo) {
+  const Allocation a = RegisterAllocator(paper_config(2)).run(kPaperSeq);
+  EXPECT_EQ(a.register_count(), 2u);
+  EXPECT_EQ(a.cost(), 2);
+  EXPECT_EQ(a.stats().merges, 1u);
+}
+
+TEST(RegisterAllocator, PaperExampleWithOneRegisterCostsFive) {
+  // K = 1 forces the single path (a_1 .. a_7): four over-range intra
+  // steps plus the wrap.
+  const Allocation a = RegisterAllocator(paper_config(1)).run(kPaperSeq);
+  EXPECT_EQ(a.register_count(), 1u);
+  EXPECT_EQ(a.intra_cost(), 4);
+  EXPECT_EQ(a.wrap_cost(), 1);
+  EXPECT_EQ(a.cost(), 5);
+}
+
+TEST(RegisterAllocator, RegisterOfMapsEveryAccess) {
+  const Allocation a = RegisterAllocator(paper_config(2)).run(kPaperSeq);
+  for (std::size_t i = 0; i < kPaperSeq.size(); ++i) {
+    const std::size_t r = a.register_of(i);
+    ASSERT_LT(r, a.register_count());
+    const auto& indices = a.paths()[r].indices();
+    EXPECT_TRUE(std::find(indices.begin(), indices.end(), i) !=
+                indices.end());
+  }
+  EXPECT_THROW(a.register_of(kPaperSeq.size()), dspaddr::InvalidArgument);
+}
+
+TEST(RegisterAllocator, ToStringMentionsEveryRegister) {
+  const Allocation a = RegisterAllocator(paper_config(2)).run(kPaperSeq);
+  const std::string text = a.to_string(kPaperSeq);
+  EXPECT_NE(text.find("AR0"), std::string::npos);
+  EXPECT_NE(text.find("AR1"), std::string::npos);
+  EXPECT_NE(text.find("total cost 2"), std::string::npos);
+}
+
+TEST(RegisterAllocator, StatsExposePhase1Diagnostics) {
+  const Allocation a = RegisterAllocator(paper_config(2)).run(kPaperSeq);
+  EXPECT_TRUE(a.stats().phase1_exact);
+  EXPECT_EQ(a.stats().lower_bound, 2u);
+  ASSERT_TRUE(a.stats().upper_bound.has_value());
+  EXPECT_GE(*a.stats().upper_bound, 3u);
+}
+
+class AllocatorPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorPropertyTest, AllocationIsAlwaysValid) {
+  support::Rng rng(GetParam() * 131 + 17);
+  eval::PatternSpec spec;
+  spec.accesses = 5 + rng.index(40);
+  spec.offset_range = 1 + rng.uniform_int(0, 20);
+  spec.family = static_cast<eval::PatternFamily>(rng.index(4));
+  const auto seq = eval::generate_pattern(spec, rng);
+
+  ProblemConfig config;
+  config.modify_range = 1 + rng.uniform_int(0, 3);
+  config.registers = 1 + rng.index(8);
+  const Allocation a = RegisterAllocator(config).run(seq);
+
+  validate_allocation(seq, a.paths(), config.registers);
+  EXPECT_EQ(a.cost(), a.intra_cost() + a.wrap_cost());
+  EXPECT_GE(a.cost(), 0);
+}
+
+TEST_P(AllocatorPropertyTest, EnoughRegistersMeansZeroCost) {
+  support::Rng rng(GetParam() * 61 + 29);
+  eval::PatternSpec spec;
+  spec.accesses = 4 + rng.index(16);
+  spec.offset_range = 6;
+  const auto seq = eval::generate_pattern(spec, rng);
+
+  ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = seq.size();  // K >= K~ always holds then
+  config.phase1.mode = Phase1Options::Mode::kExact;
+  const Allocation a = RegisterAllocator(config).run(seq);
+  EXPECT_EQ(a.cost(), 0);
+  ASSERT_TRUE(a.stats().k_tilde.has_value());
+  EXPECT_EQ(a.register_count(), *a.stats().k_tilde);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, AllocatorPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace dspaddr::core

@@ -1,0 +1,149 @@
+#include "core/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/allocator.hpp"
+#include "core/validate.hpp"
+#include "eval/patterns.hpp"
+#include "support/rng.hpp"
+
+namespace dspaddr::core {
+namespace {
+
+using ir::AccessSequence;
+
+const CostModel kM1{1, WrapPolicy::kCyclic};
+
+TEST(ExactAllocator, EmptySequence) {
+  const ExactResult r = exact_min_cost_allocation(AccessSequence{}, kM1, 2);
+  EXPECT_EQ(r.cost, 0);
+  EXPECT_TRUE(r.proven);
+  EXPECT_TRUE(r.paths.empty());
+}
+
+TEST(ExactAllocator, RejectsZeroRegisters) {
+  const auto seq = AccessSequence::from_offsets({0});
+  EXPECT_THROW(exact_min_cost_allocation(seq, kM1, 0),
+               dspaddr::InvalidArgument);
+}
+
+TEST(ExactAllocator, SingleRegisterCostIsForced) {
+  // With K = 1 there is exactly one partition; exact == that cost.
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const ExactResult r = exact_min_cost_allocation(seq, kM1, 1);
+  EXPECT_TRUE(r.proven);
+  EXPECT_EQ(r.cost, 5);  // 4 intra over-range steps + wrap
+}
+
+TEST(ExactAllocator, PaperExampleLadder) {
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const std::vector<std::pair<std::size_t, int>> ladder{
+      {1, 5}, {2, 2}, {3, 0}, {7, 0}};
+  for (const auto& [k, expected] : ladder) {
+    const ExactResult r = exact_min_cost_allocation(seq, kM1, k);
+    EXPECT_TRUE(r.proven) << "K = " << k;
+    EXPECT_EQ(r.cost, expected) << "K = " << k;
+    validate_allocation(seq, r.paths, k);
+  }
+}
+
+TEST(ExactAllocator, HeuristicIsOptimalOnPaperExample) {
+  // The two-phase heuristic hits the exact optimum on the worked
+  // example for every K — the example was chosen to showcase it.
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  for (std::size_t k = 1; k <= 4; ++k) {
+    ProblemConfig config;
+    config.modify_range = 1;
+    config.registers = k;
+    config.phase1.mode = Phase1Options::Mode::kExact;
+    const int heuristic = RegisterAllocator(config).run(seq).cost();
+    const int exact = exact_min_cost_allocation(seq, kM1, k).cost;
+    EXPECT_EQ(heuristic, exact) << "K = " << k;
+  }
+}
+
+TEST(ExactAllocator, NodeCapDegradesGracefully) {
+  support::Rng rng(5);
+  eval::PatternSpec spec;
+  spec.accesses = 12;
+  spec.offset_range = 6;
+  const auto seq = eval::generate_pattern(spec, rng);
+  ExactOptions options;
+  options.max_nodes = 10;  // far too small to finish
+  const ExactResult r = exact_min_cost_allocation(seq, kM1, 3, options);
+  EXPECT_FALSE(r.proven);
+  // Still a valid allocation (the greedy incumbent at worst).
+  validate_allocation(seq, r.paths, 3);
+}
+
+/// Oracle: full enumeration of register assignments (tiny N, small K).
+int brute_force_min_cost(const AccessSequence& seq, const CostModel& model,
+                         std::size_t k) {
+  const std::size_t n = seq.size();
+  std::vector<std::size_t> assignment(n, 0);
+  int best = std::numeric_limits<int>::max();
+  while (true) {
+    std::vector<std::vector<std::size_t>> groups(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      groups[assignment[i]].push_back(i);
+    }
+    std::vector<Path> paths;
+    for (auto& g : groups) {
+      if (!g.empty()) paths.emplace_back(std::move(g));
+    }
+    best = std::min(best, total_cost(seq, paths, model));
+    std::size_t digit = 0;
+    while (digit < n) {
+      if (++assignment[digit] < k) break;
+      assignment[digit] = 0;
+      ++digit;
+    }
+    if (digit == n) break;
+  }
+  return best;
+}
+
+class ExactPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactPropertyTest, MatchesBruteForceEnumeration) {
+  support::Rng rng(GetParam() * 911 + 3);
+  const std::size_t n = 2 + rng.index(6);  // up to 7
+  const std::size_t k = 1 + rng.index(3);  // up to 3
+  std::vector<std::int64_t> offsets(n);
+  for (auto& o : offsets) {
+    o = rng.uniform_int(-4, 4);
+  }
+  const auto seq = AccessSequence::from_offsets(offsets);
+  const CostModel model{1 + rng.uniform_int(0, 1), WrapPolicy::kCyclic};
+
+  const ExactResult r = exact_min_cost_allocation(seq, model, k);
+  ASSERT_TRUE(r.proven);
+  EXPECT_EQ(r.cost, brute_force_min_cost(seq, model, k));
+  EXPECT_EQ(total_cost(seq, r.paths, model), r.cost);
+  validate_allocation(seq, r.paths, k);
+}
+
+TEST_P(ExactPropertyTest, HeuristicNeverBeatsExact) {
+  support::Rng rng(GetParam() * 389 + 21);
+  eval::PatternSpec spec;
+  spec.accesses = 6 + rng.index(8);  // up to 13
+  spec.offset_range = 5;
+  const auto seq = eval::generate_pattern(spec, rng);
+  const std::size_t k = 1 + rng.index(3);
+
+  ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = k;
+  config.phase1.mode = Phase1Options::Mode::kExact;
+  const int heuristic = RegisterAllocator(config).run(seq).cost();
+
+  const ExactResult exact = exact_min_cost_allocation(seq, kM1, k);
+  ASSERT_TRUE(exact.proven);
+  EXPECT_GE(heuristic, exact.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ExactPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace dspaddr::core

@@ -1,0 +1,143 @@
+#include "core/modify_registers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "agu/codegen.hpp"
+#include "agu/simulator.hpp"
+#include "eval/patterns.hpp"
+#include "support/rng.hpp"
+
+namespace dspaddr::core {
+namespace {
+
+using ir::AccessSequence;
+
+Allocation allocate(const AccessSequence& seq, std::int64_t m,
+                    std::size_t k) {
+  ProblemConfig config;
+  config.modify_range = m;
+  config.registers = k;
+  return RegisterAllocator(config).run(seq);
+}
+
+TEST(ModifyRegisters, ZeroCostAllocationNeedsNoPlan) {
+  const auto seq = AccessSequence::from_offsets({0, 1, 2, 3});
+  const Allocation a = allocate(seq, 1, 4);
+  ASSERT_EQ(a.cost(), 0);
+  const ModifyRegisterPlan plan = plan_modify_registers(seq, a, 4);
+  EXPECT_TRUE(plan.values.empty());
+  EXPECT_EQ(plan.covered_per_iteration, 0);
+  EXPECT_EQ(plan.residual_cost, 0);
+}
+
+TEST(ModifyRegisters, SingleRepeatedDistanceIsFullyCovered) {
+  // One register over offsets 0, 5, 10, 15: three intra hops of +5 and
+  // a wrap of -14; one MR holding +5 covers three of four unit costs.
+  const auto seq = AccessSequence::from_offsets({0, 5, 10, 15});
+  const Allocation a = allocate(seq, 1, 1);
+  ASSERT_EQ(a.cost(), 4);
+  const ModifyRegisterPlan plan = plan_modify_registers(seq, a, 1);
+  ASSERT_EQ(plan.values.size(), 1u);
+  EXPECT_EQ(plan.values[0].value, 5);
+  EXPECT_EQ(plan.values[0].covered, 3);
+  EXPECT_EQ(plan.residual_cost, 1);
+}
+
+TEST(ModifyRegisters, SecondRegisterTakesTheWrap) {
+  const auto seq = AccessSequence::from_offsets({0, 5, 10, 15});
+  const Allocation a = allocate(seq, 1, 1);
+  const ModifyRegisterPlan plan = plan_modify_registers(seq, a, 2);
+  ASSERT_EQ(plan.values.size(), 2u);
+  EXPECT_EQ(plan.values[1].value, -14);  // wrap: 0 + 1 - 15
+  EXPECT_EQ(plan.residual_cost, 0);
+}
+
+TEST(ModifyRegisters, MorePlannedThanDistinctDistancesIsFine) {
+  const auto seq = AccessSequence::from_offsets({0, 5});
+  const Allocation a = allocate(seq, 1, 1);
+  const ModifyRegisterPlan plan = plan_modify_registers(seq, a, 16);
+  EXPECT_LE(plan.values.size(), 16u);
+  EXPECT_EQ(plan.residual_cost, 0);
+}
+
+TEST(ModifyRegisters, TieBreaksTowardsSmallMagnitude) {
+  // Distances +7 (once) and -2 (once): equal frequency, -2 wins first.
+  const auto seq = AccessSequence::from_offsets({0, 7, 5});
+  const Allocation a = allocate(seq, 1, 1);
+  const ModifyRegisterPlan plan = plan_modify_registers(seq, a, 1);
+  ASSERT_EQ(plan.values.size(), 1u);
+  EXPECT_EQ(plan.values[0].value, -2);
+}
+
+TEST(ModifyRegisters, GeneratedCodeUsesMrAndVerifies) {
+  const auto seq = AccessSequence::from_offsets({0, 5, 10, 15});
+  const Allocation a = allocate(seq, 1, 1);
+  const ModifyRegisterPlan plan = plan_modify_registers(seq, a, 2);
+  const agu::Program p = agu::generate_code(seq, a, plan);
+
+  EXPECT_EQ(p.modify_register_count, plan.values.size());
+  // Setup: 1 LDAR + 2 LDMR.
+  EXPECT_EQ(p.setup.size(), 3u);
+
+  const agu::SimResult r = agu::Simulator{}.run(p, seq, 25);
+  EXPECT_TRUE(r.verified) << r.failure;
+  EXPECT_EQ(r.extra_instructions,
+            25u * static_cast<std::uint64_t>(plan.residual_cost));
+}
+
+TEST(ModifyRegisters, PlanTextShowsInProgramListing) {
+  const auto seq = AccessSequence::from_offsets({0, 5, 10, 15});
+  const Allocation a = allocate(seq, 1, 1);
+  const ModifyRegisterPlan plan = plan_modify_registers(seq, a, 1);
+  const agu::Program p = agu::generate_code(seq, a, plan);
+  const std::string text = p.to_string();
+  EXPECT_NE(text.find("LDMR MR0, #5"), std::string::npos);
+  EXPECT_NE(text.find("post-modify +MR0"), std::string::npos);
+}
+
+class ModifyRegisterPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModifyRegisterPropertyTest, ResidualMatchesSimulatedCost) {
+  support::Rng rng(GetParam() * 97 + 41);
+  eval::PatternSpec spec;
+  spec.accesses = 4 + rng.index(24);
+  spec.offset_range = 1 + rng.uniform_int(0, 15);
+  const auto seq = eval::generate_pattern(spec, rng);
+  const Allocation a =
+      allocate(seq, 1 + rng.uniform_int(0, 2), 1 + rng.index(4));
+  const std::size_t mr_count = rng.index(5);
+
+  const ModifyRegisterPlan plan = plan_modify_registers(seq, a, mr_count);
+  EXPECT_LE(plan.residual_cost, a.cost());
+  EXPECT_GE(plan.residual_cost, 0);
+
+  const agu::Program p = agu::generate_code(seq, a, plan);
+  const std::uint64_t iterations = 1 + rng.index(16);
+  const agu::SimResult r = agu::Simulator{}.run(p, seq, iterations);
+  EXPECT_TRUE(r.verified) << r.failure;
+  EXPECT_EQ(r.extra_instructions,
+            iterations * static_cast<std::uint64_t>(plan.residual_cost));
+}
+
+TEST_P(ModifyRegisterPropertyTest, CoverageIsMonotoneInMrCount) {
+  support::Rng rng(GetParam() * 53 + 13);
+  eval::PatternSpec spec;
+  spec.accesses = 8 + rng.index(16);
+  spec.offset_range = 12;
+  const auto seq = eval::generate_pattern(spec, rng);
+  const Allocation a = allocate(seq, 1, 2);
+
+  int previous_residual = a.cost();
+  for (std::size_t mrs = 0; mrs <= 4; ++mrs) {
+    const ModifyRegisterPlan plan = plan_modify_registers(seq, a, mrs);
+    EXPECT_LE(plan.residual_cost, previous_residual);
+    previous_residual = plan.residual_cost;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ModifyRegisterPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace dspaddr::core

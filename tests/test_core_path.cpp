@@ -1,0 +1,122 @@
+#include "core/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace dspaddr::core {
+namespace {
+
+TEST(Path, ConstructionRequiresStrictlyIncreasingIndices) {
+  EXPECT_NO_THROW(Path({0, 2, 5}));
+  EXPECT_THROW(Path({0, 2, 2}), dspaddr::InvalidArgument);
+  EXPECT_THROW(Path({3, 1}), dspaddr::InvalidArgument);
+}
+
+TEST(Path, SingletonAndAccessors) {
+  const Path p = Path::singleton(4);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.first(), 4u);
+  EXPECT_EQ(p.last(), 4u);
+  EXPECT_EQ(p[0], 4u);
+  EXPECT_THROW(p[1], dspaddr::InvalidArgument);
+}
+
+TEST(Path, EmptyPathAccessorsThrow) {
+  const Path p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_THROW(p.first(), dspaddr::InvalidArgument);
+  EXPECT_THROW(p.last(), dspaddr::InvalidArgument);
+}
+
+TEST(Path, AppendEnforcesOrder) {
+  Path p = Path::singleton(2);
+  p.append(5);
+  EXPECT_EQ(p.last(), 5u);
+  EXPECT_THROW(p.append(5), dspaddr::InvalidArgument);
+  EXPECT_THROW(p.append(1), dspaddr::InvalidArgument);
+}
+
+TEST(Path, MergeInterleavesInSequenceOrder) {
+  // The paper's example: (a1, a4, a6) ⊕ (a3, a5) = (a1, a3, a4, a5, a6);
+  // indices here are 0-based.
+  const Path p1({0, 3, 5});
+  const Path p2({2, 4});
+  const Path merged = merge(p1, p2);
+  EXPECT_EQ(merged.indices(), (std::vector<std::size_t>{0, 2, 3, 4, 5}));
+}
+
+TEST(Path, MergeIsSymmetric) {
+  const Path p1({1, 7});
+  const Path p2({3});
+  EXPECT_EQ(merge(p1, p2), merge(p2, p1));
+}
+
+TEST(Path, MergeWithEmpty) {
+  const Path p({2, 4});
+  EXPECT_EQ(merge(p, Path()), p);
+}
+
+TEST(Path, MergeRejectsOverlap) {
+  EXPECT_THROW(merge(Path({1, 2}), Path({2, 3})), dspaddr::InvalidArgument);
+}
+
+TEST(Path, ToStringUsesOneBasedAccessNames) {
+  EXPECT_EQ(Path({0, 2}).to_string(), "(a_1, a_3)");
+  EXPECT_EQ(Path().to_string(), "()");
+}
+
+TEST(PathCost, CountsUnitCostTransitions) {
+  // Offsets: 1 0 2 -1 1 0 -2 (the paper example), M = 1.
+  const auto seq = ir::AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const CostModel model{1, WrapPolicy::kCyclic};
+
+  // Path (a1, a3, a5, a6): offsets 1, 2, 1, 0 — intra free throughout;
+  // wrap from offset 0 to offset 1+1 = 2 costs 1.
+  const Path p({0, 2, 4, 5});
+  EXPECT_EQ(path_intra_cost(seq, p, model), 0);
+  EXPECT_EQ(path_wrap_cost(seq, p, model), 1);
+  EXPECT_EQ(path_cost(seq, p, model), 1);
+
+  // Path (a2, a3): offsets 0 -> 2, distance 2 > 1.
+  const Path q({1, 2});
+  EXPECT_EQ(path_intra_cost(seq, q, model), 1);
+}
+
+TEST(PathCost, AcyclicPolicyDropsWrap) {
+  const auto seq = ir::AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const CostModel acyclic{1, WrapPolicy::kAcyclic};
+  const Path p({0, 2, 4, 5});
+  EXPECT_EQ(path_cost(seq, p, acyclic), 0);
+}
+
+TEST(PathCost, EmptyAndSingleton) {
+  const auto seq = ir::AccessSequence::from_offsets({3});
+  const CostModel model{1, WrapPolicy::kCyclic};
+  EXPECT_EQ(path_cost(seq, Path(), model), 0);
+  // Singleton wrap: distance = stride = 1 <= M.
+  EXPECT_EQ(path_cost(seq, Path::singleton(0), model), 0);
+}
+
+TEST(PathCost, TotalCostSumsPaths) {
+  const auto seq = ir::AccessSequence::from_offsets({0, 5, 0, 5});
+  const CostModel model{1, WrapPolicy::kCyclic};
+  const std::vector<Path> paths{Path({0, 1}), Path({2, 3})};
+  // Each path: intra 0 -> 5 costs 1; wrap 5 -> 0+1 distance -4 costs 1.
+  EXPECT_EQ(total_cost(seq, paths, model), 4);
+}
+
+TEST(PathCost, MergeCostExampleFromPaper) {
+  // Merging two zero-cost paths incurs at least one unit cost
+  // (implication stated in section 3.2).
+  const auto seq = ir::AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const CostModel model{1, WrapPolicy::kCyclic};
+  const Path a({0, 2});   // offsets 1, 2
+  const Path b({1, 3});   // offsets 0, -1
+  const Path merged = merge(a, b);
+  EXPECT_GE(path_cost(seq, merged, model),
+            path_cost(seq, a, model) + path_cost(seq, b, model));
+}
+
+}  // namespace
+}  // namespace dspaddr::core

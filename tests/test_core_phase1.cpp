@@ -1,0 +1,224 @@
+#include "core/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "eval/patterns.hpp"
+#include "support/rng.hpp"
+
+namespace dspaddr::core {
+namespace {
+
+using ir::Access;
+using ir::AccessSequence;
+
+void expect_zero_cost_cover(const AccessSequence& seq,
+                            const CostModel& model,
+                            const std::vector<Path>& cover) {
+  validate_allocation(seq, cover, cover.size());
+  EXPECT_EQ(total_cost(seq, cover, model), 0);
+}
+
+TEST(Phase1, EmptySequenceNeedsNoRegisters) {
+  const AccessGraph g(AccessSequence{}, CostModel{1, WrapPolicy::kCyclic});
+  const Phase1Result r = compute_min_register_cover(g);
+  EXPECT_EQ(r.k_tilde, std::size_t{0});
+  EXPECT_TRUE(r.exact);
+  EXPECT_TRUE(r.cover.empty());
+}
+
+TEST(Phase1, SingleAccessNeedsOneRegister) {
+  const auto seq = AccessSequence::from_offsets({5});
+  const AccessGraph g(seq, CostModel{1, WrapPolicy::kCyclic});
+  const Phase1Result r = compute_min_register_cover(g);
+  EXPECT_EQ(r.k_tilde, std::size_t{1});
+  expect_zero_cost_cover(seq, g.model(), r.cover);
+}
+
+TEST(Phase1, MonotoneRampIsOneRegister) {
+  const auto seq = AccessSequence::from_offsets({0, 1, 2, 3, 4});
+  const AccessGraph g(seq, CostModel{1, WrapPolicy::kAcyclic});
+  const Phase1Result r = compute_min_register_cover(g);
+  EXPECT_EQ(r.k_tilde, std::size_t{1});
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(Phase1, PaperExampleAcyclicNeedsTwoRegisters) {
+  // Cover {(a_1,a_3,a_5,a_6), (a_2,a_4,a_7)} shows 2 suffice when the
+  // loop back-edge is not charged; the matching bound shows 2 are
+  // necessary.
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const AccessGraph g(seq, CostModel{1, WrapPolicy::kAcyclic});
+  const Phase1Result r = compute_min_register_cover(g);
+  EXPECT_EQ(r.k_tilde, std::size_t{2});
+  EXPECT_EQ(r.lower_bound, 2u);
+  EXPECT_TRUE(r.exact);
+  expect_zero_cost_cover(seq, g.model(), r.cover);
+}
+
+TEST(Phase1, PaperExampleCyclicNeedsThreeRegisters) {
+  // With the steady-state wrap charged, any path containing a_7 other
+  // than the singleton cannot close for free, and the remaining six
+  // accesses admit no single zero-cost cyclic path; three registers
+  // (e.g. (a_1,a_3,a_5), (a_2,a_4,a_6), (a_7)) are optimal.
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const AccessGraph g(seq, CostModel{1, WrapPolicy::kCyclic});
+  Phase1Options options;
+  options.mode = Phase1Options::Mode::kExact;
+  const Phase1Result r = compute_min_register_cover(g, options);
+  EXPECT_EQ(r.k_tilde, std::size_t{3});
+  EXPECT_TRUE(r.exact);
+  expect_zero_cost_cover(seq, g.model(), r.cover);
+  EXPECT_GE(*r.k_tilde, r.lower_bound);
+}
+
+TEST(Phase1, GreedyUpperBoundIsValidCover) {
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const AccessGraph g(seq, CostModel{1, WrapPolicy::kCyclic});
+  const auto greedy = greedy_zero_cost_cover(g);
+  ASSERT_TRUE(greedy.has_value());
+  expect_zero_cost_cover(seq, g.model(), *greedy);
+}
+
+TEST(Phase1, HeuristicModeSkipsSearch) {
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const AccessGraph g(seq, CostModel{1, WrapPolicy::kCyclic});
+  Phase1Options options;
+  options.mode = Phase1Options::Mode::kHeuristic;
+  const Phase1Result r = compute_min_register_cover(g, options);
+  EXPECT_EQ(r.search_nodes, 0u);
+  ASSERT_TRUE(r.k_tilde.has_value());
+  expect_zero_cost_cover(seq, g.model(), r.cover);
+  // The heuristic may be off optimum but never below the bound.
+  EXPECT_GE(*r.k_tilde, r.lower_bound);
+}
+
+TEST(Phase1, StrideBeyondRangeMakesZeroCostInfeasible) {
+  // Every access advances by 3 per iteration but M = 1: even singleton
+  // paths cost one update, so no zero-cost cover exists.
+  const auto seq = AccessSequence::from_offsets({0, 10, 20}, 3);
+  const AccessGraph g(seq, CostModel{1, WrapPolicy::kCyclic});
+  Phase1Options options;
+  options.mode = Phase1Options::Mode::kExact;
+  const Phase1Result r = compute_min_register_cover(g, options);
+  EXPECT_FALSE(r.k_tilde.has_value());
+  EXPECT_TRUE(r.exact);
+  // Fallback cover still covers everything.
+  validate_allocation(seq, r.cover, r.cover.size());
+}
+
+TEST(Phase1, LargeStrideCanStillCloseInPairs) {
+  // Stride 2, M = 1: singletons cost (distance 2), but a pair with
+  // offsets o and o+1 closes: wrap distance = o + 2 - (o+1) = 1.
+  const auto seq = AccessSequence::from_offsets({0, 1}, 2);
+  const AccessGraph g(seq, CostModel{1, WrapPolicy::kCyclic});
+  Phase1Options options;
+  options.mode = Phase1Options::Mode::kExact;
+  const Phase1Result r = compute_min_register_cover(g, options);
+  ASSERT_TRUE(r.k_tilde.has_value());
+  EXPECT_EQ(*r.k_tilde, 1u);
+  expect_zero_cost_cover(seq, g.model(), r.cover);
+}
+
+TEST(Phase1, WiderModifyRangeNeverNeedsMoreRegisters) {
+  const auto seq = AccessSequence::from_offsets({3, -1, 4, 1, -5, 9, 2, -6});
+  Phase1Options options;
+  options.mode = Phase1Options::Mode::kExact;
+  std::size_t previous = seq.size() + 1;
+  for (std::int64_t m : {1, 2, 4, 8, 16}) {
+    const AccessGraph g(seq, CostModel{m, WrapPolicy::kCyclic});
+    const Phase1Result r = compute_min_register_cover(g, options);
+    ASSERT_TRUE(r.k_tilde.has_value()) << "M = " << m;
+    EXPECT_LE(*r.k_tilde, previous) << "M = " << m;
+    previous = *r.k_tilde;
+  }
+}
+
+/// Oracle: exact minimum zero-cost cyclic cover by exhaustive
+/// assignment (tiny N).
+std::optional<std::size_t> brute_force_k_tilde(const AccessSequence& seq,
+                                               const CostModel& model) {
+  const std::size_t n = seq.size();
+  std::vector<std::size_t> assignment(n, 0);
+  std::optional<std::size_t> best;
+  while (true) {
+    std::vector<std::vector<std::size_t>> groups(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      groups[assignment[i]].push_back(i);
+    }
+    std::vector<Path> paths;
+    for (auto& group : groups) {
+      if (!group.empty()) paths.emplace_back(std::move(group));
+    }
+    if (total_cost(seq, paths, model) == 0) {
+      if (!best.has_value() || paths.size() < *best) best = paths.size();
+    }
+    std::size_t digit = 0;
+    while (digit < n) {
+      if (++assignment[digit] < n) break;
+      assignment[digit] = 0;
+      ++digit;
+    }
+    if (digit == n) break;
+  }
+  return best;
+}
+
+class Phase1PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Phase1PropertyTest, BranchAndBoundMatchesBruteForce) {
+  support::Rng rng(GetParam());
+  const std::size_t n = 2 + rng.index(6);  // up to 7 accesses
+  std::vector<std::int64_t> offsets(n);
+  for (auto& o : offsets) {
+    o = rng.uniform_int(-4, 4);
+  }
+  const auto seq = AccessSequence::from_offsets(offsets);
+  const CostModel model{1 + rng.uniform_int(0, 1), WrapPolicy::kCyclic};
+  const AccessGraph g(seq, model);
+
+  Phase1Options options;
+  options.mode = Phase1Options::Mode::kExact;
+  const Phase1Result r = compute_min_register_cover(g, options);
+  const auto oracle = brute_force_k_tilde(seq, model);
+
+  ASSERT_TRUE(r.exact);
+  ASSERT_EQ(r.k_tilde.has_value(), oracle.has_value());
+  if (oracle.has_value()) {
+    EXPECT_EQ(*r.k_tilde, *oracle);
+    expect_zero_cost_cover(seq, model, r.cover);
+    EXPECT_GE(*r.k_tilde, r.lower_bound);
+    if (r.upper_bound.has_value()) {
+      EXPECT_LE(*r.k_tilde, *r.upper_bound);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, Phase1PropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 60));
+
+class Phase1BoundsSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Phase1BoundsSweep, BoundsBracketKTildeOnMediumPatterns) {
+  support::Rng rng(GetParam() * 7919 + 13);
+  eval::PatternSpec spec;
+  spec.accesses = 16 + rng.index(8);
+  spec.offset_range = 8;
+  const auto seq = eval::generate_pattern(spec, rng);
+  const AccessGraph g(seq, CostModel{1, WrapPolicy::kCyclic});
+
+  Phase1Options options;
+  options.mode = Phase1Options::Mode::kExact;
+  const Phase1Result r = compute_min_register_cover(g, options);
+  ASSERT_TRUE(r.k_tilde.has_value());
+  EXPECT_GE(*r.k_tilde, r.lower_bound);
+  ASSERT_TRUE(r.upper_bound.has_value());
+  EXPECT_LE(*r.k_tilde, *r.upper_bound);
+  expect_zero_cost_cover(seq, g.model(), r.cover);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, Phase1BoundsSweep,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace dspaddr::core

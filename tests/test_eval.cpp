@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hpp"
+#include "eval/patterns.hpp"
+#include "support/check.hpp"
+
+namespace dspaddr::eval {
+namespace {
+
+TEST(Patterns, GeneratesRequestedSize) {
+  support::Rng rng(1);
+  for (const PatternFamily family :
+       {PatternFamily::kUniform, PatternFamily::kClustered,
+        PatternFamily::kStrided, PatternFamily::kSortedNoise}) {
+    PatternSpec spec;
+    spec.accesses = 23;
+    spec.offset_range = 9;
+    spec.family = family;
+    const auto seq = generate_pattern(spec, rng);
+    EXPECT_EQ(seq.size(), 23u) << to_string(family);
+  }
+}
+
+TEST(Patterns, OffsetsStayWithinRange) {
+  support::Rng rng(2);
+  for (const PatternFamily family :
+       {PatternFamily::kUniform, PatternFamily::kClustered,
+        PatternFamily::kStrided, PatternFamily::kSortedNoise}) {
+    PatternSpec spec;
+    spec.accesses = 200;
+    spec.offset_range = 7;
+    spec.family = family;
+    const auto seq = generate_pattern(spec, rng);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      EXPECT_GE(seq[i].offset, -7) << to_string(family);
+      EXPECT_LE(seq[i].offset, 7) << to_string(family);
+    }
+  }
+}
+
+TEST(Patterns, AppliesStrideToAllAccesses) {
+  support::Rng rng(3);
+  PatternSpec spec;
+  spec.accesses = 10;
+  spec.stride = 4;
+  const auto seq = generate_pattern(spec, rng);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].stride, 4);
+  }
+}
+
+TEST(Patterns, DeterministicGivenRngState) {
+  PatternSpec spec;
+  spec.accesses = 50;
+  support::Rng rng1(77);
+  support::Rng rng2(77);
+  EXPECT_EQ(generate_pattern(spec, rng1), generate_pattern(spec, rng2));
+}
+
+TEST(Patterns, RejectsBadSpec) {
+  support::Rng rng(1);
+  PatternSpec empty;
+  empty.accesses = 0;
+  EXPECT_THROW(generate_pattern(empty, rng), dspaddr::InvalidArgument);
+  PatternSpec negative;
+  negative.offset_range = -1;
+  EXPECT_THROW(generate_pattern(negative, rng), dspaddr::InvalidArgument);
+}
+
+TEST(Patterns, FamilyNames) {
+  EXPECT_STREQ(to_string(PatternFamily::kUniform), "uniform");
+  EXPECT_STREQ(to_string(PatternFamily::kClustered), "clustered");
+  EXPECT_STREQ(to_string(PatternFamily::kStrided), "strided");
+  EXPECT_STREQ(to_string(PatternFamily::kSortedNoise), "sorted-noise");
+}
+
+TEST(Sweep, SmokeGridProducesAllCells) {
+  const SweepConfig config = SweepConfig::smoke_grid();
+  const SweepResult result = run_random_pattern_sweep(config);
+  EXPECT_EQ(result.cells.size(), config.access_counts.size() *
+                                     config.modify_ranges.size() *
+                                     config.register_counts.size());
+  for (const CellResult& cell : result.cells) {
+    EXPECT_EQ(cell.naive_cost.count(), config.trials);
+    EXPECT_EQ(cell.merged_cost.count(), config.trials);
+  }
+}
+
+TEST(Sweep, HeuristicNeverWorseOnAverage) {
+  const SweepConfig config = SweepConfig::smoke_grid();
+  const SweepResult result = run_random_pattern_sweep(config);
+  for (const CellResult& cell : result.cells) {
+    EXPECT_LE(cell.merged_cost.mean(), cell.naive_cost.mean())
+        << "N=" << cell.cell.accesses << " M=" << cell.cell.modify_range
+        << " K=" << cell.cell.registers;
+  }
+  EXPECT_GE(result.grand_mean_reduction_percent, 0.0);
+}
+
+TEST(Sweep, DeterministicInSeed) {
+  SweepConfig config = SweepConfig::smoke_grid();
+  config.trials = 5;
+  const SweepResult a = run_random_pattern_sweep(config);
+  const SweepResult b = run_random_pattern_sweep(config);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cells[i].naive_cost.mean(),
+                     b.cells[i].naive_cost.mean());
+    EXPECT_DOUBLE_EQ(a.cells[i].merged_cost.mean(),
+                     b.cells[i].merged_cost.mean());
+  }
+  EXPECT_DOUBLE_EQ(a.grand_mean_reduction_percent,
+                   b.grand_mean_reduction_percent);
+}
+
+TEST(Sweep, TightRegisterBudgetShowsRealReduction) {
+  // With K = 1..2 and modest M, merging decisions matter; the grand
+  // mean reduction should be clearly positive (the paper reports ~40 %
+  // on its full grid).
+  SweepConfig config;
+  config.access_counts = {20, 40};
+  config.modify_ranges = {1};
+  config.register_counts = {2};
+  config.trials = 30;
+  const SweepResult result = run_random_pattern_sweep(config);
+  EXPECT_GT(result.grand_mean_reduction_percent, 10.0);
+}
+
+TEST(Sweep, RejectsZeroTrials) {
+  SweepConfig config = SweepConfig::smoke_grid();
+  config.trials = 0;
+  EXPECT_THROW(run_random_pattern_sweep(config), dspaddr::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dspaddr::eval

@@ -1,0 +1,62 @@
+#include "eval/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dspaddr::eval {
+namespace {
+
+SweepResult small_sweep() {
+  SweepConfig config = SweepConfig::smoke_grid();
+  config.trials = 5;
+  return run_random_pattern_sweep(config);
+}
+
+TEST(Report, CsvHasOneRowPerCell) {
+  const SweepResult result = small_sweep();
+  const support::CsvWriter csv = sweep_to_csv(result);
+  EXPECT_EQ(csv.row_count(), result.cells.size());
+  const std::string text = csv.to_string();
+  EXPECT_NE(text.find("n,m,k,"), std::string::npos);
+  // Header + rows, newline-terminated.
+  std::size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, result.cells.size() + 1);
+}
+
+TEST(Report, CsvIsMachineParsable) {
+  const SweepResult result = small_sweep();
+  const std::string text = sweep_to_csv(result).to_string();
+  std::istringstream in(text);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));  // header
+  std::size_t field_count = std::count(line.begin(), line.end(), ',') + 1;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(
+        static_cast<std::size_t>(
+            std::count(line.begin(), line.end(), ',') + 1),
+        field_count);
+  }
+}
+
+TEST(Report, TableMirrorsCells) {
+  const SweepResult result = small_sweep();
+  const support::Table table = sweep_to_table(result);
+  EXPECT_EQ(table.row_count(), result.cells.size());
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("path-merge cost"), std::string::npos);
+}
+
+TEST(Report, SummaryQuotesGrandAverage) {
+  const SweepResult result = small_sweep();
+  const std::string summary = sweep_summary(result);
+  EXPECT_NE(summary.find("paper: ~40 %"), std::string::npos);
+  EXPECT_NE(summary.find(std::to_string(result.cells.size())),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dspaddr::eval

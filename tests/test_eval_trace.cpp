@@ -1,0 +1,88 @@
+#include "eval/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "agu/codegen.hpp"
+#include "agu/simulator.hpp"
+#include "core/allocator.hpp"
+#include "eval/patterns.hpp"
+#include "support/rng.hpp"
+
+namespace dspaddr::eval {
+namespace {
+
+using ir::Access;
+using ir::AccessSequence;
+
+TEST(Trace, ExportsIterationMajorOrder) {
+  const AccessSequence seq({Access{0, 1}, Access{10, 2}});
+  const auto trace = to_trace(seq, 3);
+  EXPECT_EQ(trace, (std::vector<std::int64_t>{0, 10, 1, 12, 2, 14}));
+}
+
+TEST(Trace, InferenceRoundTripsExport) {
+  const AccessSequence seq(
+      {Access{3, 1}, Access{-2, -1}, Access{7, 0}, Access{0, 4}});
+  const auto trace = to_trace(seq, 5);
+  const InferenceResult result = infer_sequence(trace, seq.size());
+  ASSERT_TRUE(result.sequence.has_value()) << result.error;
+  EXPECT_EQ(*result.sequence, seq);
+}
+
+TEST(Trace, InferenceRejectsBadShapes) {
+  EXPECT_FALSE(infer_sequence({1, 2, 3}, 0).sequence.has_value());
+  EXPECT_FALSE(infer_sequence({1, 2, 3}, 2).sequence.has_value());
+  // One iteration only: strides unknown.
+  EXPECT_FALSE(infer_sequence({1, 2}, 2).sequence.has_value());
+  EXPECT_FALSE(infer_sequence({}, 2).sequence.has_value());
+}
+
+TEST(Trace, InferenceDetectsNonAffineTraces) {
+  // Slot 0 jumps by +1 then +2: not affine.
+  const std::vector<std::int64_t> trace{0, 5, 1, 6, 3, 7};
+  const InferenceResult result = infer_sequence(trace, 2);
+  EXPECT_FALSE(result.sequence.has_value());
+  EXPECT_NE(result.error.find("not affine"), std::string::npos);
+  EXPECT_NE(result.error.find("iteration 2"), std::string::npos);
+}
+
+TEST(Trace, SimulatorTraceMatchesExportedTrace) {
+  // The AGU simulator's observed USE addresses are exactly the trace
+  // export — two independent implementations of the same semantics.
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  core::ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 3;
+  const core::Allocation a = core::RegisterAllocator(config).run(seq);
+  const agu::Program p = agu::generate_code(seq, a);
+  agu::Simulator::Options options;
+  options.record_trace = true;
+  const agu::SimResult r = agu::Simulator(options).run(p, seq, 9);
+  ASSERT_TRUE(r.verified) << r.failure;
+  EXPECT_EQ(r.trace, to_trace(seq, 9));
+}
+
+class TracePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TracePropertyTest, InferenceIsExactOnAffineTraces) {
+  support::Rng rng(GetParam() * 73 + 31);
+  const std::size_t n = 1 + rng.index(12);
+  std::vector<Access> accesses(n);
+  for (auto& a : accesses) {
+    a.offset = rng.uniform_int(-50, 50);
+    a.stride = rng.uniform_int(-3, 3);
+  }
+  const AccessSequence seq(std::move(accesses));
+  const std::uint64_t iterations = 2 + rng.index(10);
+  const InferenceResult result =
+      infer_sequence(to_trace(seq, iterations), n);
+  ASSERT_TRUE(result.sequence.has_value()) << result.error;
+  EXPECT_EQ(*result.sequence, seq);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, TracePropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace dspaddr::eval

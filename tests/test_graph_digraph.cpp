@@ -1,0 +1,115 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/dsu.hpp"
+#include "graph/topo.hpp"
+
+namespace dspaddr::graph {
+namespace {
+
+TEST(Digraph, StartsEmpty) {
+  Digraph g(3);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Digraph, AddEdgeIsDirected) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+}
+
+TEST(Digraph, IgnoresParallelEdges) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, SelfLoopAllowed) {
+  Digraph g(1);
+  g.add_edge(0, 0);
+  EXPECT_TRUE(g.has_edge(0, 0));
+}
+
+TEST(Digraph, EdgesListsAll) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  const auto edges = g.edges();
+  EXPECT_EQ(edges.size(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+}
+
+TEST(Digraph, RejectsOutOfRangeNodes) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), InvalidArgument);
+  EXPECT_THROW(g.add_edge(5, 0), InvalidArgument);
+  EXPECT_THROW(g.has_edge(0, 9), InvalidArgument);
+  EXPECT_THROW(g.successors(2), InvalidArgument);
+}
+
+TEST(Topo, OrdersChain) {
+  Digraph g(3);
+  g.add_edge(2, 1);
+  g.add_edge(1, 0);
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<NodeId>{2, 1, 0}));
+  EXPECT_TRUE(is_acyclic(g));
+}
+
+TEST(Topo, DetectsCycle) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_FALSE(topological_order(g).has_value());
+  EXPECT_FALSE(is_acyclic(g));
+}
+
+TEST(Topo, RespectsAllEdges) {
+  Digraph g(6);
+  g.add_edge(0, 3);
+  g.add_edge(1, 3);
+  g.add_edge(3, 4);
+  g.add_edge(2, 4);
+  g.add_edge(4, 5);
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> position(6);
+  for (std::size_t i = 0; i < order->size(); ++i) {
+    position[(*order)[i]] = i;
+  }
+  for (const auto& [from, to] : g.edges()) {
+    EXPECT_LT(position[from], position[to]);
+  }
+}
+
+TEST(Dsu, UniteAndFind) {
+  Dsu dsu(5);
+  EXPECT_EQ(dsu.set_count(), 5u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(1, 2));
+  EXPECT_FALSE(dsu.unite(0, 2));
+  EXPECT_EQ(dsu.set_count(), 3u);
+  EXPECT_TRUE(dsu.same(0, 2));
+  EXPECT_FALSE(dsu.same(0, 3));
+  EXPECT_EQ(dsu.size_of(1), 3u);
+  EXPECT_EQ(dsu.size_of(4), 1u);
+}
+
+TEST(Dsu, RejectsOutOfRange) {
+  Dsu dsu(2);
+  EXPECT_THROW(dsu.find(2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dspaddr::graph

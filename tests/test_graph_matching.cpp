@@ -1,0 +1,121 @@
+#include "graph/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+
+namespace dspaddr::graph {
+namespace {
+
+using EdgeList = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/// Exhaustive maximum matching size by trying every edge subset (tiny
+/// instances only) — the oracle for the property test.
+std::size_t brute_force_matching(std::size_t left, std::size_t right,
+                                 const EdgeList& edges) {
+  std::size_t best = 0;
+  const std::size_t subsets = std::size_t{1} << edges.size();
+  for (std::size_t mask = 0; mask < subsets; ++mask) {
+    std::vector<bool> used_left(left, false);
+    std::vector<bool> used_right(right, false);
+    std::size_t size = 0;
+    bool valid = true;
+    for (std::size_t e = 0; e < edges.size() && valid; ++e) {
+      if (!(mask & (std::size_t{1} << e))) continue;
+      const auto [u, v] = edges[e];
+      if (used_left[u] || used_right[v]) {
+        valid = false;
+      } else {
+        used_left[u] = used_right[v] = true;
+        ++size;
+      }
+    }
+    if (valid) best = std::max(best, size);
+  }
+  return best;
+}
+
+/// A matching must pair each vertex at most once and be mutually
+/// consistent.
+void expect_valid_matching(const MatchingResult& m, std::size_t left,
+                           std::size_t right, const EdgeList& edges) {
+  std::size_t pairs = 0;
+  for (std::uint32_t u = 0; u < left; ++u) {
+    const std::uint32_t v = m.match_left[u];
+    if (v == MatchingResult::kUnmatched) continue;
+    ASSERT_LT(v, right);
+    EXPECT_EQ(m.match_right[v], u);
+    EXPECT_TRUE(std::find(edges.begin(), edges.end(),
+                          std::make_pair(u, v)) != edges.end());
+    ++pairs;
+  }
+  EXPECT_EQ(pairs, m.size);
+}
+
+TEST(HopcroftKarp, EmptyGraph) {
+  const auto m = hopcroft_karp(3, 3, {});
+  EXPECT_EQ(m.size, 0u);
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnIdentity) {
+  EdgeList edges{{0, 0}, {1, 1}, {2, 2}};
+  const auto m = hopcroft_karp(3, 3, edges);
+  EXPECT_EQ(m.size, 3u);
+  expect_valid_matching(m, 3, 3, edges);
+}
+
+TEST(HopcroftKarp, RequiresAugmentingPaths) {
+  // The greedy matching 0-0 blocks 1; an augmenting path fixes it.
+  EdgeList edges{{0, 0}, {0, 1}, {1, 0}};
+  const auto m = hopcroft_karp(2, 2, edges);
+  EXPECT_EQ(m.size, 2u);
+  expect_valid_matching(m, 2, 2, edges);
+}
+
+TEST(HopcroftKarp, StarGraphMatchesOne) {
+  EdgeList edges{{0, 0}, {0, 1}, {0, 2}, {0, 3}};
+  const auto m = hopcroft_karp(1, 4, edges);
+  EXPECT_EQ(m.size, 1u);
+}
+
+TEST(HopcroftKarp, CompleteBipartiteIsMinSide) {
+  EdgeList edges;
+  for (std::uint32_t u = 0; u < 3; ++u) {
+    for (std::uint32_t v = 0; v < 5; ++v) {
+      edges.emplace_back(u, v);
+    }
+  }
+  EXPECT_EQ(hopcroft_karp(3, 5, edges).size, 3u);
+}
+
+TEST(HopcroftKarp, RejectsOutOfRangeEdge) {
+  EXPECT_THROW(hopcroft_karp(1, 1, {{1, 0}}), InvalidArgument);
+  EXPECT_THROW(hopcroft_karp(1, 1, {{0, 2}}), InvalidArgument);
+}
+
+class MatchingPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MatchingPropertyTest, AgreesWithBruteForceOnRandomGraphs) {
+  support::Rng rng(GetParam());
+  const std::size_t left = 1 + rng.index(4);
+  const std::size_t right = 1 + rng.index(4);
+  EdgeList edges;
+  for (std::uint32_t u = 0; u < left; ++u) {
+    for (std::uint32_t v = 0; v < right; ++v) {
+      if (rng.bernoulli(0.4)) edges.emplace_back(u, v);
+    }
+  }
+  if (edges.size() > 14) edges.resize(14);  // keep the oracle tractable
+  const auto m = hopcroft_karp(left, right, edges);
+  expect_valid_matching(m, left, right, edges);
+  EXPECT_EQ(m.size, brute_force_matching(left, right, edges));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, MatchingPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace dspaddr::graph

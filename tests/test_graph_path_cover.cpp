@@ -1,0 +1,146 @@
+#include "graph/path_cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace dspaddr::graph {
+namespace {
+
+TEST(PathCover, ChainIsOnePath) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const PathCover cover = minimum_path_cover_dag(g);
+  ASSERT_EQ(cover.path_count(), 1u);
+  EXPECT_EQ(cover.paths[0], (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(PathCover, AntichainNeedsOnePathPerNode) {
+  Digraph g(5);
+  const PathCover cover = minimum_path_cover_dag(g);
+  EXPECT_EQ(cover.path_count(), 5u);
+}
+
+TEST(PathCover, DiamondNeedsTwoPaths) {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3: one path through, one leftover.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  EXPECT_EQ(minimum_path_cover_dag(g).path_count(), 2u);
+}
+
+TEST(PathCover, TwoIndependentChains) {
+  Digraph g(6);
+  g.add_edge(0, 2);
+  g.add_edge(2, 4);
+  g.add_edge(1, 3);
+  g.add_edge(3, 5);
+  EXPECT_EQ(minimum_path_cover_dag(g).path_count(), 2u);
+}
+
+TEST(PathCover, RejectsCyclicGraph) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW(minimum_path_cover_dag(g), InvalidArgument);
+}
+
+TEST(ValidatePathCover, AcceptsValidCover) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  PathCover cover;
+  cover.paths = {{0, 1}, {2}};
+  EXPECT_NO_THROW(validate_path_cover(g, cover));
+}
+
+TEST(ValidatePathCover, RejectsMissingNode) {
+  Digraph g(3);
+  PathCover cover;
+  cover.paths = {{0}, {1}};
+  EXPECT_THROW(validate_path_cover(g, cover), InvariantViolation);
+}
+
+TEST(ValidatePathCover, RejectsDuplicateNode) {
+  Digraph g(2);
+  PathCover cover;
+  cover.paths = {{0}, {0}, {1}};
+  EXPECT_THROW(validate_path_cover(g, cover), InvariantViolation);
+}
+
+TEST(ValidatePathCover, RejectsNonEdgePair) {
+  Digraph g(2);  // no edges
+  PathCover cover;
+  cover.paths = {{0, 1}};
+  EXPECT_THROW(validate_path_cover(g, cover), InvariantViolation);
+}
+
+TEST(ValidatePathCover, RejectsEmptyPath) {
+  Digraph g(1);
+  PathCover cover;
+  cover.paths = {{}, {0}};
+  EXPECT_THROW(validate_path_cover(g, cover), InvariantViolation);
+}
+
+/// Oracle: minimum path cover of a DAG by exhaustive assignment of each
+/// node to a path slot (tiny n).
+std::size_t brute_force_cover(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::size_t> assignment(n, 0);
+  std::size_t best = n;
+  // Try every assignment of nodes to at most n path ids where each path
+  // id's nodes, in index order, must form a chain of edges.
+  const auto evaluate = [&]() {
+    std::vector<std::vector<NodeId>> paths(n);
+    for (NodeId v = 0; v < n; ++v) {
+      paths[assignment[v]].push_back(v);
+    }
+    std::size_t used = 0;
+    for (const auto& path : paths) {
+      if (path.empty()) continue;
+      ++used;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        if (!g.has_edge(path[i], path[i + 1])) return;
+      }
+    }
+    best = std::min(best, used);
+  };
+  // Odometer over assignments (n^n, n <= 6).
+  while (true) {
+    evaluate();
+    std::size_t digit = 0;
+    while (digit < n) {
+      if (++assignment[digit] < n) break;
+      assignment[digit] = 0;
+      ++digit;
+    }
+    if (digit == n) break;
+  }
+  return best;
+}
+
+class PathCoverPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathCoverPropertyTest, MatchesBruteForceOnRandomDags) {
+  support::Rng rng(GetParam());
+  const std::size_t n = 2 + rng.index(5);  // up to 6 nodes
+  Digraph g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(0.35)) g.add_edge(i, j);
+    }
+  }
+  const PathCover cover = minimum_path_cover_dag(g);
+  validate_path_cover(g, cover);
+  EXPECT_EQ(cover.path_count(), brute_force_cover(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, PathCoverPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace dspaddr::graph

@@ -1,0 +1,81 @@
+#include "ir/access_sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/check.hpp"
+
+namespace dspaddr::ir {
+namespace {
+
+TEST(AccessSequence, FromOffsetsDefaultsToUnitStride) {
+  const auto seq = AccessSequence::from_offsets({1, 0, 2});
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq[0], (Access{1, 1}));
+  EXPECT_EQ(seq[1], (Access{0, 1}));
+  EXPECT_EQ(seq[2], (Access{2, 1}));
+}
+
+TEST(AccessSequence, FromOffsetsCustomStride) {
+  const auto seq = AccessSequence::from_offsets({0, 4}, 2);
+  EXPECT_EQ(seq[0].stride, 2);
+  EXPECT_EQ(seq[1].stride, 2);
+}
+
+TEST(AccessSequence, EmptySequence) {
+  const AccessSequence seq;
+  EXPECT_TRUE(seq.empty());
+  EXPECT_EQ(seq.size(), 0u);
+}
+
+TEST(AccessSequence, IntraDistanceIsOffsetDifference) {
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1});
+  EXPECT_EQ(seq.intra_distance(0, 1), -1);
+  EXPECT_EQ(seq.intra_distance(1, 2), 2);
+  EXPECT_EQ(seq.intra_distance(0, 3), -2);
+  EXPECT_EQ(seq.intra_distance(2, 2), 0);
+}
+
+TEST(AccessSequence, WrapDistanceAddsStride) {
+  // a_q last in iteration t, a_p first in iteration t+1:
+  // distance = (o_p + s) - o_q.
+  const auto seq = AccessSequence::from_offsets({1, 0, -2});
+  EXPECT_EQ(seq.wrap_distance(2, 0), 1 + 1 - (-2));  // 4
+  EXPECT_EQ(seq.wrap_distance(0, 0), 1);             // singleton: stride
+  EXPECT_EQ(seq.wrap_distance(1, 2), -2 + 1 - 0);    // -1
+}
+
+TEST(AccessSequence, WrapDistanceUsesTargetStride) {
+  const AccessSequence seq({Access{0, 2}, Access{3, 2}});
+  EXPECT_EQ(seq.wrap_distance(1, 0), 0 + 2 - 3);
+}
+
+TEST(AccessSequence, MixedStridesHaveNoDistance) {
+  const AccessSequence seq({Access{0, 1}, Access{0, -1}, Access{5, 1}});
+  EXPECT_FALSE(seq.intra_distance(0, 1).has_value());
+  EXPECT_FALSE(seq.wrap_distance(1, 0).has_value());
+  EXPECT_TRUE(seq.intra_distance(0, 2).has_value());
+}
+
+TEST(AccessSequence, ZeroStrideAccessesHaveDistances) {
+  const AccessSequence seq({Access{7, 0}, Access{7, 0}});
+  EXPECT_EQ(seq.intra_distance(0, 1), 0);
+  EXPECT_EQ(seq.wrap_distance(1, 0), 0);  // loop-invariant: stays put
+}
+
+TEST(AccessSequence, IndexingOutOfRangeThrows) {
+  const auto seq = AccessSequence::from_offsets({1});
+  EXPECT_THROW(seq[1], dspaddr::InvalidArgument);
+  EXPECT_THROW(seq.intra_distance(0, 1), dspaddr::InvalidArgument);
+  EXPECT_THROW(seq.wrap_distance(1, 0), dspaddr::InvalidArgument);
+}
+
+TEST(AccessSequence, EqualityComparesContent) {
+  const auto a = AccessSequence::from_offsets({1, 2});
+  const auto b = AccessSequence::from_offsets({1, 2});
+  const auto c = AccessSequence::from_offsets({1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace dspaddr::ir

@@ -1,0 +1,104 @@
+#include "ir/application.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "agu/codegen.hpp"
+#include "agu/metrics.hpp"
+#include "agu/simulator.hpp"
+#include "core/allocator.hpp"
+#include "ir/kernels.hpp"
+#include "ir/layout.hpp"
+#include "support/check.hpp"
+
+namespace dspaddr::ir {
+namespace {
+
+TEST(Application, BuilderValidation) {
+  EXPECT_THROW(Application("", ""), dspaddr::InvalidArgument);
+  Application app("a", "");
+  EXPECT_THROW(app.add_kernel(Kernel("empty", "")),
+               dspaddr::InvalidArgument);
+  app.add_kernel(fir_kernel());
+  EXPECT_EQ(app.size(), 1u);
+}
+
+TEST(Application, CatalogIsWellFormed) {
+  const auto apps = builtin_applications();
+  EXPECT_GE(apps.size(), 4u);
+  std::set<std::string> names;
+  for (const Application& app : apps) {
+    SCOPED_TRACE(app.name());
+    EXPECT_FALSE(app.name().empty());
+    EXPECT_FALSE(app.description().empty());
+    EXPECT_GE(app.size(), 3u) << "applications are multi-loop";
+    names.insert(app.name());
+  }
+  EXPECT_EQ(names.size(), apps.size());
+}
+
+TEST(Application, LookupByName) {
+  EXPECT_EQ(builtin_application("modem_frontend").name(),
+            "modem_frontend");
+  EXPECT_THROW(builtin_application("spreadsheet"),
+               dspaddr::InvalidArgument);
+}
+
+TEST(Application, WholeProgramMetricsSumKernels) {
+  const Application app = modem_frontend_app();
+  core::ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 4;
+  const agu::AddressingComparison whole =
+      agu::compare_addressing(app, config);
+
+  std::int64_t size_sum = 0;
+  std::int64_t cycles_sum = 0;
+  for (const Kernel& kernel : app.kernels()) {
+    const agu::AddressingComparison part =
+        agu::compare_addressing(kernel, config);
+    size_sum += part.optimized.size_words;
+    cycles_sum += part.optimized.cycles;
+  }
+  EXPECT_EQ(whole.optimized.size_words, size_sum);
+  EXPECT_EQ(whole.optimized.cycles, cycles_sum);
+  EXPECT_GT(whole.speed_reduction_percent, 0.0);
+  EXPECT_GT(whole.size_reduction_percent, 0.0);
+}
+
+TEST(Application, EveryLoopOfEveryAppSimulatesCorrectly) {
+  core::ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 4;
+  for (const Application& app : builtin_applications()) {
+    for (std::size_t loop = 0; loop < app.size(); ++loop) {
+      const Kernel& kernel = app.kernels()[loop];
+      SCOPED_TRACE(app.name() + " loop " + std::to_string(loop) + " (" +
+                   kernel.name() + ")");
+      const AccessSequence seq = lower(kernel);
+      const core::Allocation a =
+          core::RegisterAllocator(config).run(seq);
+      const agu::Program p = agu::generate_code(seq, a);
+      const agu::SimResult r = agu::Simulator{}.run(
+          p, seq, static_cast<std::uint64_t>(kernel.iterations()));
+      EXPECT_TRUE(r.verified) << r.failure;
+    }
+  }
+}
+
+TEST(Application, SpeedGainExceedsSizeGainProgramWide) {
+  // The 30/60 asymmetry of [1] must survive aggregation.
+  core::ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 8;
+  for (const Application& app : builtin_applications()) {
+    SCOPED_TRACE(app.name());
+    const agu::AddressingComparison c =
+        agu::compare_addressing(app, config);
+    EXPECT_GT(c.speed_reduction_percent, c.size_reduction_percent);
+  }
+}
+
+}  // namespace
+}  // namespace dspaddr::ir

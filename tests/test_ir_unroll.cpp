@@ -1,0 +1,165 @@
+#include "ir/unroll.hpp"
+
+#include <gtest/gtest.h>
+
+#include "agu/codegen.hpp"
+#include "agu/simulator.hpp"
+#include "core/allocator.hpp"
+#include "core/exact.hpp"
+#include "eval/patterns.hpp"
+#include "ir/kernels.hpp"
+#include "ir/layout.hpp"
+#include "support/rng.hpp"
+
+namespace dspaddr::ir {
+namespace {
+
+TEST(Unroll, FactorOneIsIdentityOnOffsets) {
+  const auto seq = AccessSequence::from_offsets({3, -1, 4});
+  const AccessSequence unrolled = unroll(seq, 1);
+  ASSERT_EQ(unrolled.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(unrolled[i].offset, seq[i].offset);
+    EXPECT_EQ(unrolled[i].stride, seq[i].stride);
+  }
+}
+
+TEST(Unroll, ShiftsCopiesByStride) {
+  const auto seq = AccessSequence::from_offsets({0, 2});  // stride 1
+  const AccessSequence unrolled = unroll(seq, 3);
+  ASSERT_EQ(unrolled.size(), 6u);
+  // Copies t = 0, 1, 2 shift offsets by t and scale the stride by 3.
+  const std::vector<std::int64_t> expected_offsets{0, 2, 1, 3, 2, 4};
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(unrolled[i].offset, expected_offsets[i]) << i;
+    EXPECT_EQ(unrolled[i].stride, 3) << i;
+  }
+}
+
+TEST(Unroll, NegativeStrides) {
+  const AccessSequence seq({Access{10, -2}});
+  const AccessSequence unrolled = unroll(seq, 2);
+  ASSERT_EQ(unrolled.size(), 2u);
+  EXPECT_EQ(unrolled[0].offset, 10);
+  EXPECT_EQ(unrolled[1].offset, 8);
+  EXPECT_EQ(unrolled[0].stride, -4);
+}
+
+TEST(Unroll, RejectsZeroFactor) {
+  const auto seq = AccessSequence::from_offsets({0});
+  EXPECT_THROW(unroll(seq, 0), dspaddr::InvalidArgument);
+}
+
+TEST(UnrollKernel, DividesIterationsAndScalesDataOps) {
+  const Kernel kernel = fir_kernel(16, 64);  // 16 iterations
+  const Kernel unrolled = unroll(kernel, 4);
+  EXPECT_EQ(unrolled.iterations(), 4);
+  EXPECT_EQ(unrolled.data_ops(), kernel.data_ops() * 4);
+  EXPECT_EQ(unrolled.accesses().size(), kernel.accesses().size() * 4);
+  EXPECT_EQ(unrolled.name(), "fir_x4");
+}
+
+TEST(UnrollKernel, RejectsNonDivisibleFactor) {
+  const Kernel kernel = fir_kernel(16, 64);
+  EXPECT_THROW(unroll(kernel, 5), dspaddr::InvalidArgument);
+}
+
+TEST(UnrollKernel, LoweringCommutesWithUnrolling) {
+  // lower(unroll(kernel)) == unroll(lower(kernel)): base folding and
+  // body replication are independent.
+  const Kernel kernel = biquad_kernel(64);
+  const AccessSequence a = lower(unroll(kernel, 2));
+  const AccessSequence b = unroll(lower(kernel), 2);
+  EXPECT_EQ(a, b);
+}
+
+class UnrollPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(UnrollPropertyTest, UnrolledTraceEqualsOriginalTrace) {
+  // The unrolled loop must touch exactly the same addresses in the same
+  // order: u unrolled iterations cover u * N original accesses.
+  support::Rng rng(GetParam() * 61 + 7);
+  eval::PatternSpec spec;
+  spec.accesses = 2 + rng.index(10);
+  spec.offset_range = 8;
+  const AccessSequence seq = eval::generate_pattern(spec, rng);
+  const std::size_t factor = 1 + rng.index(4);
+  const AccessSequence unrolled = unroll(seq, factor);
+
+  const auto trace_of = [&](const AccessSequence& s,
+                            std::uint64_t iterations) {
+    core::ProblemConfig config;
+    config.modify_range = 1;
+    config.registers = 4;
+    const core::Allocation a = core::RegisterAllocator(config).run(s);
+    const agu::Program p = agu::generate_code(s, a);
+    agu::Simulator::Options options;
+    options.record_trace = true;
+    const agu::SimResult r = agu::Simulator(options).run(p, s, iterations);
+    EXPECT_TRUE(r.verified) << r.failure;
+    return r.trace;
+  };
+
+  constexpr std::uint64_t kUnrolledIterations = 6;
+  const auto original =
+      trace_of(seq, kUnrolledIterations * factor);
+  const auto transformed = trace_of(unrolled, kUnrolledIterations);
+  EXPECT_EQ(original, transformed);
+}
+
+TEST_P(UnrollPropertyTest, OptimalUnrolledCostScalesAtMostLinearly) {
+  // Provable: replicating an optimal allocation of the original body u
+  // times yields an unrolled allocation of cost u * OPT (the
+  // copy-boundary distance equals the original wrap distance, and the
+  // unrolled wrap (o_first + u*s) - o_last(u-th copy) telescopes back
+  // to the original wrap distance too). Hence OPT(unrolled) <= u * OPT.
+  support::Rng rng(GetParam() * 151 + 19);
+  eval::PatternSpec spec;
+  spec.accesses = 3 + rng.index(5);  // up to 7, exact stays tractable
+  spec.offset_range = 6;
+  const AccessSequence seq = eval::generate_pattern(spec, rng);
+  const core::CostModel model{1, core::WrapPolicy::kCyclic};
+
+  const core::ExactResult base =
+      core::exact_min_cost_allocation(seq, model, 2);
+  ASSERT_TRUE(base.proven);
+
+  constexpr std::size_t kFactor = 2;
+  const AccessSequence unrolled = unroll(seq, kFactor);
+  const core::ExactResult after =
+      core::exact_min_cost_allocation(unrolled, model, 2);
+  ASSERT_TRUE(after.proven);
+  EXPECT_LE(after.cost, static_cast<int>(kFactor) * base.cost);
+}
+
+TEST_P(UnrollPropertyTest, HeuristicUnrolledCostStaysNearLinear) {
+  // The heuristic carries no such guarantee, but must stay within a
+  // small additive band of linear scaling (it may also do much better,
+  // since wrap transitions amortize across copies).
+  support::Rng rng(GetParam() * 151 + 19);
+  eval::PatternSpec spec;
+  spec.accesses = 3 + rng.index(8);
+  spec.offset_range = 6;
+  const AccessSequence seq = eval::generate_pattern(spec, rng);
+
+  core::ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 2;
+  const int base_cost = core::RegisterAllocator(config).run(seq).cost();
+
+  for (const std::size_t factor : {2u, 4u}) {
+    const AccessSequence unrolled = unroll(seq, factor);
+    const int unrolled_cost =
+        core::RegisterAllocator(config).run(unrolled).cost();
+    EXPECT_LE(unrolled_cost,
+              static_cast<int>(factor) * (base_cost + 2))
+        << "factor " << factor;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, UnrollPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace dspaddr::ir

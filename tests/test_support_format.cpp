@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/csv.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace dspaddr::support {
+namespace {
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Strings, FormatFixedAndPercent) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_percent(41.26), "41.3 %");
+  EXPECT_EQ(format_percent(41.26, 0), "41 %");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\nx"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  CsvWriter csv({"n", "cost"});
+  csv.add_row({"10", "3"});
+  csv.add_row({"20", "5"});
+  EXPECT_EQ(csv.to_string(), "n,cost\n10,3\n20,5\n");
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(Csv, RejectsMismatchedRows) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(CsvWriter({}), InvalidArgument);
+}
+
+TEST(Table, AlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "23"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("------"), std::string::npos);
+  // Right-aligned numeric column: "23" ends its line.
+  EXPECT_NE(text.find("    23\n"), std::string::npos);
+}
+
+TEST(Table, RowCountIgnoresRules) {
+  Table table({"a"});
+  table.add_row({"1"});
+  table.add_rule();
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, RejectsBadRows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"1"}), InvalidArgument);
+  EXPECT_THROW(Table({}), InvalidArgument);
+  EXPECT_THROW(Table({"a"}, {Align::kLeft, Align::kRight}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dspaddr::support

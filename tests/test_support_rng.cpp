@@ -1,0 +1,136 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace dspaddr::support {
+namespace {
+
+TEST(SplitMix64, ProducesKnownGoodStream) {
+  // Reference values for seed 0 from the splitmix64 reference
+  // implementation.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64(state), 0x06c45d188009454fULL);
+}
+
+TEST(Rng, IsDeterministicForEqualSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DiffersAcrossSeeds) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a() != b()) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(3, 3), 3);
+  }
+}
+
+TEST(Rng, UniformIntHitsAllValuesOfSmallRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(rng.uniform_int(0, 3));
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(2, 1), InvalidArgument);
+}
+
+TEST(Rng, UniformIntIsRoughlyBalanced) {
+  Rng rng(13);
+  constexpr int kDraws = 20000;
+  std::vector<int> histogram(10, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++histogram[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  }
+  for (int count : histogram) {
+    // Expected 2000 per bucket; allow +-15 %.
+    EXPECT_GT(count, 1700);
+    EXPECT_LT(count, 2300);
+  }
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, IndexCoversRangeAndRejectsEmpty) {
+  Rng rng(17);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t v = rng.index(5);
+    EXPECT_LT(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW(rng.index(0), InvalidArgument);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> values(50);
+  std::iota(values.begin(), values.end(), 0);
+  std::vector<int> shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_FALSE(std::equal(values.begin(), values.end(), shuffled.begin()) &&
+               values.size() > 10);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(values, shuffled);
+}
+
+TEST(Rng, ShuffleEmptyAndSingleton) {
+  Rng rng(29);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+}  // namespace
+}  // namespace dspaddr::support

@@ -1,0 +1,97 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace dspaddr::support {
+namespace {
+
+TEST(RunningStats, EmptyAccumulatorIsNeutral) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputationOnStream) {
+  RunningStats s;
+  double sum = 0.0;
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    const double v = std::sin(i * 0.7) * 10 + i * 0.01;
+    s.add(v);
+    sum += v;
+    values.push_back(v);
+  }
+  const double mean = sum / 500.0;
+  double sq = 0.0;
+  for (double v : values) {
+    sq += (v - mean) * (v - mean);
+  }
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), sq / 499.0, 1e-9);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10; ++i) small.add(i % 3);
+  for (int i = 0; i < 1000; ++i) large.add(i % 3);
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> values{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 1.0), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  std::vector<double> values{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.75), 7.5);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 0.5), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, -0.1), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, 1.1), InvalidArgument);
+}
+
+TEST(PercentReduction, BasicAndZeroBaseline) {
+  EXPECT_DOUBLE_EQ(percent_reduction(10.0, 6.0), 40.0);
+  EXPECT_DOUBLE_EQ(percent_reduction(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(percent_reduction(10.0, 12.0), -20.0);
+  EXPECT_DOUBLE_EQ(percent_reduction(0.0, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace dspaddr::support

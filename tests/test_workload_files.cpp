@@ -1,0 +1,83 @@
+// Every workload file shipped in workloads/ must parse, allocate and
+// simulate cleanly — the repo's own samples may never rot.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "agu/codegen.hpp"
+#include "agu/simulator.hpp"
+#include "core/allocator.hpp"
+#include "ir/layout.hpp"
+#include "ir/loop_parser.hpp"
+#include "ir/parser.hpp"
+
+namespace dspaddr {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << "missing workload file " << path
+                           << " (run tests from the build tree; paths "
+                              "are relative to the repo root)";
+  std::ostringstream content;
+  content << file.rdbuf();
+  return content.str();
+}
+
+void check_kernel(const ir::Kernel& kernel) {
+  const ir::AccessSequence seq = ir::lower(kernel);
+  ASSERT_FALSE(seq.empty());
+  core::ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 2;
+  const core::Allocation a = core::RegisterAllocator(config).run(seq);
+  const agu::Program p = agu::generate_code(seq, a);
+  const agu::SimResult r = agu::Simulator{}.run(
+      p, seq, static_cast<std::uint64_t>(kernel.iterations()));
+  EXPECT_TRUE(r.verified) << kernel.name() << ": " << r.failure;
+}
+
+const std::string kRoot = std::string(DSPADDR_SOURCE_DIR) + "/workloads/";
+
+TEST(WorkloadFiles, PaperExampleC) {
+  const ir::Kernel k =
+      ir::parse_c_loop(read_file(kRoot + "paper_example.c"), "paper");
+  EXPECT_EQ(k.accesses().size(), 7u);
+  EXPECT_EQ(k.iterations(), 32);
+  check_kernel(k);
+}
+
+TEST(WorkloadFiles, Smooth3C) {
+  const ir::Kernel k =
+      ir::parse_c_loop(read_file(kRoot + "smooth3.c"), "smooth3");
+  EXPECT_EQ(k.accesses().size(), 4u);
+  EXPECT_TRUE(k.accesses().back().is_write);
+  check_kernel(k);
+}
+
+TEST(WorkloadFiles, GradientC) {
+  const ir::Kernel k =
+      ir::parse_c_loop(read_file(kRoot + "gradient.c"), "gradient");
+  EXPECT_EQ(k.accesses().size(), 6u);
+  EXPECT_EQ(k.data_ops(), 2);
+  check_kernel(k);
+}
+
+TEST(WorkloadFiles, Fir16Kern) {
+  const ir::Kernel k = ir::parse_kernel(read_file(kRoot + "fir16.kern"));
+  EXPECT_EQ(k.name(), "fir16");
+  check_kernel(k);
+}
+
+TEST(WorkloadFiles, StereoMixKern) {
+  const ir::Kernel k =
+      ir::parse_kernel(read_file(kRoot + "stereo_mix.kern"));
+  EXPECT_EQ(k.accesses()[0].stride, 2);
+  check_kernel(k);
+}
+
+}  // namespace
+}  // namespace dspaddr

@@ -1,0 +1,6 @@
+// Central-difference gradient with squared-magnitude accumulation.
+int f[128], g[128], e[128];
+for (i = 2; i < 126; i++) {
+  g[i] = f[i+1] - f[i-1];
+  e[i] = g[i] * g[i];
+}

@@ -1,0 +1,13 @@
+/* The worked example of Basu/Leupers/Marwedel, DATE 1998, section 2.
+ * Run: dspaddr_opt -K 2 -M 1 workloads/paper_example.c --asm --sim 100
+ */
+int A[64];
+for (i = 2; i <= 33; i++)
+{ /* a_1 */ A[i+1];  /* offset  1 */
+  /* a_2 */ A[i];    /* offset  0 */
+  /* a_3 */ A[i+2];  /* offset  2 */
+  /* a_4 */ A[i-1];  /* offset -1 */
+  /* a_5 */ A[i+1];  /* offset  1 */
+  /* a_6 */ A[i];    /* offset  0 */
+  /* a_7 */ A[i-2];  /* offset -2 */
+}

@@ -1,0 +1,6 @@
+// Three-tap smoothing filter written as plain C.
+// Run: dspaddr_opt -K 2 workloads/smooth3.c --sim 50
+int x[64], y[64];
+for (i = 1; i <= 62; i++) {
+  y[i] = x[i-1] + 2 * x[i] + x[i+1];
+}
