@@ -81,10 +81,7 @@ MachineRunReport run_on_machine(const ir::Kernel& kernel,
   report.machine = machine;
   report.allocation_cost = allocation.cost();
   report.residual_cost = plan.residual_cost;
-  report.verified =
-      sim.verified &&
-      sim.extra_instructions ==
-          iterations * static_cast<std::uint64_t>(plan.residual_cost);
+  report.verified = verified_against_cost(sim, iterations, plan.residual_cost);
   return report;
 }
 

@@ -63,7 +63,12 @@ AddressingComparison compare_addressing(const ir::Kernel& kernel,
   const ir::AccessSequence seq = ir::lower(kernel);
   const core::Allocation allocation =
       core::RegisterAllocator(config).run(seq);
+  return compare_addressing(kernel, allocation, machine);
+}
 
+AddressingComparison compare_addressing(const ir::Kernel& kernel,
+                                        const core::Allocation& allocation,
+                                        const MachineModel& machine) {
   AddressingComparison comparison;
   comparison.baseline = baseline_metrics(kernel, machine);
   comparison.optimized = optimized_metrics(kernel, allocation, machine);

@@ -71,6 +71,12 @@ AddressingComparison compare_addressing(const ir::Kernel& kernel,
                                         const core::ProblemConfig& config,
                                         const MachineModel& machine = {});
 
+/// Same comparison reusing an allocation the caller already computed
+/// (which must stem from the kernel's lowered sequence).
+AddressingComparison compare_addressing(const ir::Kernel& kernel,
+                                        const core::Allocation& allocation,
+                                        const MachineModel& machine = {});
+
 /// Whole-program comparison: per-loop allocation (address registers are
 /// reassigned between loops), sizes and cycles summed over all kernels
 /// of the application. This is the granularity at which Liem et al. [1]

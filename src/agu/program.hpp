@@ -62,7 +62,14 @@ struct Instruction {
 
   std::string to_string() const;
 
-  friend bool operator==(const Instruction&, const Instruction&) = default;
+  friend bool operator==(const Instruction& a, const Instruction& b) {
+    return a.op == b.op && a.reg == b.reg && a.value == b.value &&
+           a.access == b.access && a.next_iteration == b.next_iteration &&
+           a.mr == b.mr;
+  }
+  friend bool operator!=(const Instruction& a, const Instruction& b) {
+    return !(a == b);
+  }
 };
 
 /// Address program of one loop: setup runs once, body once per

@@ -42,6 +42,18 @@ struct SimResult {
   std::vector<std::int64_t> trace;
 };
 
+/// The end-to-end acceptance predicate shared by the machine runner,
+/// the CLI pipeline and the batch runner: every address verified AND
+/// the executed extra instructions match the analytic per-iteration
+/// cost (`residual_cost` after modify-register planning).
+inline bool verified_against_cost(const SimResult& sim,
+                                  std::uint64_t iterations,
+                                  int residual_cost) {
+  return sim.verified &&
+         sim.extra_instructions ==
+             iterations * static_cast<std::uint64_t>(residual_cost);
+}
+
 /// Executes address programs against the demands of an access sequence.
 class Simulator {
 public:

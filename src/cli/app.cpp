@@ -1,0 +1,170 @@
+#include "cli/app.hpp"
+
+#include <fstream>
+
+#include "cli/kernel_io.hpp"
+#include "cli/options.hpp"
+#include "cli/pipeline.hpp"
+#include "eval/batch.hpp"
+#include "ir/kernels.hpp"
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace dspaddr::cli {
+namespace {
+
+constexpr const char* kVersion = "0.1.0";
+
+int command_run(const std::vector<std::string>& args, std::ostream& out) {
+  const RunOptions options = parse_run_options(args);
+  const ir::Kernel kernel = load_kernel_file(options.kernel_path);
+  const agu::AguSpec machine = resolve_machine(options);
+  const PipelineReport report =
+      run_pipeline(kernel, machine, options.iterations);
+  if (options.format == OutputFormat::kCsv) {
+    out << report_to_csv(report);
+  } else {
+    out << report_to_text(report, options.show_program);
+  }
+  return report.verified ? 0 : 1;
+}
+
+int command_batch(const std::vector<std::string>& args, std::ostream& out) {
+  const BatchOptions options = parse_batch_options(args);
+
+  eval::BatchConfig config;
+  for (const std::string& path : options.kernel_paths) {
+    config.kernels.push_back(load_kernel_file(path));
+  }
+  for (const std::string& name : options.builtin_kernels) {
+    config.kernels.push_back(ir::builtin_kernel(name));
+  }
+  if (options.machines.empty()) {
+    config.machines = agu::builtin_machines();
+  } else {
+    for (const std::string& name : options.machines) {
+      config.machines.push_back(agu::builtin_machine(name));
+    }
+  }
+  config.register_counts = options.register_counts;
+  config.modify_ranges = options.modify_ranges;
+  config.jobs = options.jobs;
+
+  const eval::BatchResult result = eval::run_batch(config);
+  const std::string rendered = options.format == OutputFormat::kTable
+                                   ? eval::batch_to_table(result).to_string()
+                                   : eval::batch_to_csv(result).to_string();
+  if (options.output_path.empty()) {
+    out << rendered;
+  } else {
+    std::ofstream file(options.output_path);
+    check_arg(file.good(),
+              "cannot write output file '" + options.output_path + "'");
+    file << rendered;
+    file.flush();
+    check_arg(file.good(),
+              "failed writing output file '" + options.output_path + "'");
+  }
+  return result.failures == 0 ? 0 : 1;
+}
+
+int command_machines(std::ostream& out) {
+  support::Table table({"name", "K", "L", "M", "description"});
+  for (const agu::AguSpec& machine : agu::builtin_machines()) {
+    table.add_row({machine.name, std::to_string(machine.address_registers),
+                   std::to_string(machine.modify_registers),
+                   std::to_string(machine.modify_range),
+                   machine.description});
+  }
+  out << table.to_string();
+  return 0;
+}
+
+int command_kernels(std::ostream& out) {
+  support::Table table({"name", "arrays", "accesses", "iterations",
+                        "description"});
+  for (const ir::Kernel& kernel : ir::builtin_kernels()) {
+    table.add_row({kernel.name(), std::to_string(kernel.arrays().size()),
+                   std::to_string(kernel.accesses().size()),
+                   std::to_string(kernel.iterations()),
+                   kernel.description()});
+  }
+  out << table.to_string();
+  return 0;
+}
+
+}  // namespace
+
+std::string usage_text() {
+  return R"(dspaddr — register-constrained address computation pipeline
+
+usage: dspaddr <command> [options]
+
+commands:
+  run       Run one kernel through the whole pipeline
+              --kernel <file>        workload file (.c or .kern) [required]
+              --machine <name>       builtin AGU supplying K/L/M defaults
+              --registers <K>        address registers (overrides machine)
+              --modify-range <M>     free post-modify range (overrides)
+              --modify-registers <L> modify registers (overrides)
+              --iterations <n>       simulated iterations (default: kernel)
+              --format table|csv     output format (default: table)
+              --program              also print the address program
+  batch     Sweep kernels x machines x registers x modify ranges
+              --kernel <file>        workload file (repeatable)
+              --builtin <names>      builtin kernels, comma list
+              --machines <names>     builtin machines (default: all)
+              --registers <list>     K values, comma list
+              --modify-range <list>  M values, comma list
+              --jobs <n>             worker threads (default: 1)
+              --format csv|table     output format (default: csv)
+              --out <file>           write output to a file
+  machines  List the builtin AGU catalog
+  kernels   List the builtin kernel library
+  version   Print the tool version
+  help      Print this text
+)";
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty()) {
+    err << usage_text();
+    return 2;
+  }
+  const std::string& command = args.front();
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (command == "run") {
+      return command_run(rest, out);
+    }
+    if (command == "batch") {
+      return command_batch(rest, out);
+    }
+    if (command == "machines") {
+      return command_machines(out);
+    }
+    if (command == "kernels") {
+      return command_kernels(out);
+    }
+    if (command == "version") {
+      out << "dspaddr " << kVersion << "\n";
+      return 0;
+    }
+    if (command == "help" || command == "--help" || command == "-h") {
+      out << usage_text();
+      return 0;
+    }
+    err << "dspaddr: unknown command '" << command << "'\n\n"
+        << usage_text();
+    return 2;
+  } catch (const UsageError& e) {
+    err << "dspaddr: " << e.what() << "\n\n" << usage_text();
+    return 2;
+  } catch (const Error& e) {
+    err << "dspaddr: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace dspaddr::cli

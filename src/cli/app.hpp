@@ -1,0 +1,22 @@
+// Top-level command dispatch of the dspaddr tool.
+//
+// `run_cli` is the whole program minus argv marshalling, writing to the
+// given streams and returning the process exit code — so the CLI can be
+// exercised from unit tests without spawning processes.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dspaddr::cli {
+
+/// Usage text of all subcommands.
+std::string usage_text();
+
+/// Runs one command line ("run --kernel f.c ..."); returns the exit
+/// code (0 success, 1 pipeline failure, 2 usage error).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace dspaddr::cli

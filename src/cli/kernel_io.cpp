@@ -1,0 +1,45 @@
+#include "cli/kernel_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "ir/loop_parser.hpp"
+#include "ir/parser.hpp"
+#include "support/check.hpp"
+
+namespace dspaddr::cli {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  check_arg(file.good(), "cannot open kernel file '" + path + "'");
+  std::ostringstream content;
+  content << file.rdbuf();
+  return content.str();
+}
+
+bool has_extension(const std::string& path, const std::string& ext) {
+  return path.size() >= ext.size() &&
+         path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+}  // namespace
+
+std::string path_stem(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  const std::size_t start = slash == std::string::npos ? 0 : slash + 1;
+  const std::size_t dot = path.find_last_of('.');
+  const std::size_t end =
+      (dot == std::string::npos || dot <= start) ? path.size() : dot;
+  return path.substr(start, end - start);
+}
+
+ir::Kernel load_kernel_file(const std::string& path) {
+  const std::string text = read_file(path);
+  if (has_extension(path, ".c")) {
+    return ir::parse_c_loop(text, path_stem(path));
+  }
+  return ir::parse_kernel(text);
+}
+
+}  // namespace dspaddr::cli

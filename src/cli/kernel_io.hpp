@@ -1,0 +1,22 @@
+// Loading kernels from workload files.
+//
+// Dispatches on the file extension: `.c` goes through the C-like loop
+// front-end (ir::parse_c_loop), anything else through the line-based
+// mini-language (ir::parse_kernel). The kernel name of a `.c` workload
+// is the file's stem ("workloads/fir16.c" -> "fir16").
+#pragma once
+
+#include <string>
+
+#include "ir/kernel.hpp"
+
+namespace dspaddr::cli {
+
+/// The file name without directory and extension.
+std::string path_stem(const std::string& path);
+
+/// Reads and parses one kernel file; throws Error on I/O or parse
+/// failure.
+ir::Kernel load_kernel_file(const std::string& path);
+
+}  // namespace dspaddr::cli

@@ -1,0 +1,192 @@
+#include "cli/options.hpp"
+
+#include <limits>
+
+#include "support/strings.hpp"
+
+namespace dspaddr::cli {
+namespace {
+
+/// Cursor over one subcommand's arguments with flag-value helpers.
+class ArgCursor {
+public:
+  explicit ArgCursor(const std::vector<std::string>& args) : args_(args) {}
+
+  bool done() const { return index_ >= args_.size(); }
+  const std::string& peek() const { return args_[index_]; }
+  const std::string& take() { return args_[index_++]; }
+
+  /// Consumes the value of flag `flag` (the next argument).
+  std::string take_value(const std::string& flag) {
+    if (done()) {
+      throw UsageError("missing value for " + flag);
+    }
+    return take();
+  }
+
+private:
+  const std::vector<std::string>& args_;
+  std::size_t index_ = 0;
+};
+
+std::int64_t parse_int(const std::string& text, const std::string& flag,
+                       std::int64_t min_value) {
+  std::size_t consumed = 0;
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(text, &consumed);
+  } catch (const std::exception&) {
+    throw UsageError(flag + ": expected an integer, got '" + text + "'");
+  }
+  if (consumed != text.size()) {
+    throw UsageError(flag + ": expected an integer, got '" + text + "'");
+  }
+  if (value < min_value) {
+    throw UsageError(flag + ": value must be >= " +
+                     std::to_string(min_value) + ", got " + text);
+  }
+  return value;
+}
+
+std::size_t parse_size(const std::string& text, const std::string& flag,
+                       std::size_t min_value) {
+  const std::int64_t value =
+      parse_int(text, flag, static_cast<std::int64_t>(min_value));
+  return static_cast<std::size_t>(value);
+}
+
+/// Recognizes `--flag value` and `--flag=value`; returns true and leaves
+/// the value in `value` when `arg` matches `flag`.
+bool match_flag(const std::string& arg, const std::string& flag,
+                ArgCursor& cursor, std::string& value) {
+  if (arg == flag) {
+    value = cursor.take_value(flag);
+    return true;
+  }
+  const std::string prefix = flag + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    value = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+OutputFormat parse_format(const std::string& text) {
+  if (text == "table") {
+    return OutputFormat::kTable;
+  }
+  if (text == "csv") {
+    return OutputFormat::kCsv;
+  }
+  throw UsageError("--format: expected 'table' or 'csv', got '" + text +
+                   "'");
+}
+
+std::vector<std::string> parse_name_list(const std::string& text,
+                                         const std::string& flag) {
+  std::vector<std::string> names;
+  for (const std::string& field : support::split(text, ',')) {
+    const std::string name{support::trim(field)};
+    if (name.empty()) {
+      throw UsageError(flag + ": empty name in list '" + text + "'");
+    }
+    names.push_back(name);
+  }
+  if (names.empty()) {
+    throw UsageError(flag + ": expected a non-empty comma list");
+  }
+  return names;
+}
+
+std::vector<std::size_t> parse_size_list(const std::string& text,
+                                         const std::string& flag,
+                                         std::size_t min_value) {
+  std::vector<std::size_t> values;
+  for (const std::string& field : parse_name_list(text, flag)) {
+    values.push_back(parse_size(field, flag, min_value));
+  }
+  return values;
+}
+
+std::vector<std::int64_t> parse_int_list(const std::string& text,
+                                         const std::string& flag,
+                                         std::int64_t min_value) {
+  std::vector<std::int64_t> values;
+  for (const std::string& field : parse_name_list(text, flag)) {
+    values.push_back(parse_int(field, flag, min_value));
+  }
+  return values;
+}
+
+RunOptions parse_run_options(const std::vector<std::string>& args) {
+  RunOptions options;
+  ArgCursor cursor(args);
+  std::string value;
+  while (!cursor.done()) {
+    const std::string arg = cursor.take();
+    if (match_flag(arg, "--kernel", cursor, value)) {
+      options.kernel_path = value;
+    } else if (match_flag(arg, "--machine", cursor, value)) {
+      options.machine = value;
+    } else if (match_flag(arg, "--registers", cursor, value)) {
+      options.registers = parse_size(value, "--registers", 1);
+    } else if (match_flag(arg, "--modify-range", cursor, value)) {
+      options.modify_range = parse_int(value, "--modify-range", 0);
+    } else if (match_flag(arg, "--modify-registers", cursor, value)) {
+      options.modify_registers = parse_size(value, "--modify-registers", 0);
+    } else if (match_flag(arg, "--iterations", cursor, value)) {
+      options.iterations = static_cast<std::uint64_t>(
+          parse_int(value, "--iterations", 1));
+    } else if (match_flag(arg, "--format", cursor, value)) {
+      options.format = parse_format(value);
+    } else if (arg == "--program") {
+      options.show_program = true;
+    } else {
+      throw UsageError("run: unknown argument '" + arg + "'");
+    }
+  }
+  if (options.kernel_path.empty()) {
+    throw UsageError("run: --kernel <file> is required");
+  }
+  return options;
+}
+
+BatchOptions parse_batch_options(const std::vector<std::string>& args) {
+  BatchOptions options;
+  ArgCursor cursor(args);
+  std::string value;
+  while (!cursor.done()) {
+    const std::string arg = cursor.take();
+    if (match_flag(arg, "--kernel", cursor, value)) {
+      options.kernel_paths.push_back(value);
+    } else if (match_flag(arg, "--builtin", cursor, value)) {
+      const auto names = parse_name_list(value, "--builtin");
+      options.builtin_kernels.insert(options.builtin_kernels.end(),
+                                     names.begin(), names.end());
+    } else if (match_flag(arg, "--machines", cursor, value)) {
+      options.machines = parse_name_list(value, "--machines");
+    } else if (match_flag(arg, "--registers", cursor, value)) {
+      options.register_counts = parse_size_list(value, "--registers", 1);
+    } else if (match_flag(arg, "--modify-range", cursor, value)) {
+      options.modify_ranges = parse_int_list(value, "--modify-range", 0);
+    } else if (match_flag(arg, "--jobs", cursor, value)) {
+      options.jobs = parse_size(value, "--jobs", 1);
+    } else if (match_flag(arg, "--format", cursor, value)) {
+      options.format = parse_format(value);
+    } else if (match_flag(arg, "--out", cursor, value)) {
+      options.output_path = value;
+    } else {
+      throw UsageError("batch: unknown argument '" + arg + "'");
+    }
+  }
+  if (options.kernel_paths.empty() && options.builtin_kernels.empty()) {
+    throw UsageError(
+        "batch: at least one --kernel <file> or --builtin <names> is "
+        "required");
+  }
+  return options;
+}
+
+}  // namespace dspaddr::cli

@@ -1,0 +1,84 @@
+// Command-line option parsing for the dspaddr tool.
+//
+// Kept free of I/O so that flag handling is unit-testable: each parse_*
+// function consumes the argument vector of one subcommand and either
+// returns a fully-validated options struct or throws UsageError with a
+// message the tool prints alongside the usage text.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace dspaddr::cli {
+
+/// Thrown on malformed command lines (unknown flag, missing value, ...).
+class UsageError : public Error {
+public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+enum class OutputFormat {
+  kTable,
+  kCsv,
+};
+
+/// Parses "csv" / "table"; throws UsageError otherwise.
+OutputFormat parse_format(const std::string& text);
+
+/// Options of `dspaddr run`: one kernel through the whole pipeline.
+struct RunOptions {
+  std::string kernel_path;
+  /// Builtin machine supplying defaults for K, L and M.
+  std::optional<std::string> machine;
+  /// Explicit overrides; win over the machine's values.
+  std::optional<std::size_t> registers;
+  std::optional<std::int64_t> modify_range;
+  std::optional<std::size_t> modify_registers;
+  /// Simulated loop iterations (default: the kernel's own count).
+  std::optional<std::uint64_t> iterations;
+  OutputFormat format = OutputFormat::kTable;
+  /// Also print the generated address program.
+  bool show_program = false;
+};
+
+/// Options of `dspaddr batch`: a kernels x machines x K x M grid.
+struct BatchOptions {
+  /// Kernel files (repeatable --kernel).
+  std::vector<std::string> kernel_paths;
+  /// Builtin kernel names (comma list), e.g. "fir,biquad".
+  std::vector<std::string> builtin_kernels;
+  /// Builtin machine names (comma list); empty = whole catalog.
+  std::vector<std::string> machines;
+  /// K values to sweep; empty = each machine's own K.
+  std::vector<std::size_t> register_counts;
+  /// M values to sweep; empty = each machine's own M.
+  std::vector<std::int64_t> modify_ranges;
+  std::size_t jobs = 1;
+  OutputFormat format = OutputFormat::kCsv;
+  /// Output file; empty = stdout.
+  std::string output_path;
+};
+
+RunOptions parse_run_options(const std::vector<std::string>& args);
+BatchOptions parse_batch_options(const std::vector<std::string>& args);
+
+/// Splits a comma list into non-empty fields ("a,b" -> {"a", "b"});
+/// throws UsageError on empty fields.
+std::vector<std::string> parse_name_list(const std::string& text,
+                                         const std::string& flag);
+
+/// Comma list of sizes, each >= `min_value`.
+std::vector<std::size_t> parse_size_list(const std::string& text,
+                                         const std::string& flag,
+                                         std::size_t min_value);
+
+/// Comma list of signed integers, each >= `min_value`.
+std::vector<std::int64_t> parse_int_list(const std::string& text,
+                                         const std::string& flag,
+                                         std::int64_t min_value);
+
+}  // namespace dspaddr::cli

@@ -1,0 +1,163 @@
+#include "cli/pipeline.hpp"
+
+#include <sstream>
+
+#include "agu/codegen.hpp"
+#include "agu/metrics.hpp"
+#include "eval/batch.hpp"
+#include "ir/layout.hpp"
+#include "support/strings.hpp"
+
+namespace dspaddr::cli {
+
+agu::AguSpec resolve_machine(const RunOptions& options) {
+  agu::AguSpec machine;
+  if (options.machine.has_value()) {
+    machine = agu::builtin_machine(*options.machine);
+  } else {
+    machine.name = "custom";
+    machine.description = "flag-defined AGU";
+    machine.address_registers = 1;
+    machine.modify_registers = 0;
+    machine.modify_range = 1;
+  }
+  if (options.registers.has_value()) {
+    machine.address_registers = *options.registers;
+  }
+  if (options.modify_range.has_value()) {
+    machine.modify_range = *options.modify_range;
+  }
+  if (options.modify_registers.has_value()) {
+    machine.modify_registers = *options.modify_registers;
+  }
+  return machine;
+}
+
+PipelineReport run_pipeline(const ir::Kernel& kernel,
+                            const agu::AguSpec& machine,
+                            std::optional<std::uint64_t> iterations) {
+  PipelineReport report;
+  report.kernel = kernel;
+  report.machine = machine;
+
+  const ir::AccessSequence seq = ir::lower(kernel);
+  report.accesses = seq.size();
+
+  core::ProblemConfig config;
+  config.modify_range = machine.modify_range;
+  config.registers = machine.address_registers;
+  const core::Allocation allocation =
+      core::RegisterAllocator(config).run(seq);
+  report.stats = allocation.stats();
+  report.k_tilde = allocation.stats().k_tilde;
+  report.allocation_cost = allocation.cost();
+  report.intra_cost = allocation.intra_cost();
+  report.wrap_cost = allocation.wrap_cost();
+  report.allocation_text = allocation.to_string(seq);
+
+  report.plan = core::plan_modify_registers(seq, allocation,
+                                            machine.modify_registers);
+  report.program = agu::generate_code(seq, allocation, report.plan);
+
+  report.iterations =
+      iterations.value_or(static_cast<std::uint64_t>(kernel.iterations()));
+  report.sim = agu::Simulator{}.run(report.program, seq, report.iterations);
+  report.verified = agu::verified_against_cost(report.sim, report.iterations,
+                                               report.plan.residual_cost);
+
+  const agu::AddressingComparison comparison =
+      agu::compare_addressing(kernel, allocation);
+  report.baseline_size_words = comparison.baseline.size_words;
+  report.baseline_cycles = comparison.baseline.cycles;
+  report.optimized_size_words = comparison.optimized.size_words;
+  report.optimized_cycles = comparison.optimized.cycles;
+  report.size_reduction_percent = comparison.size_reduction_percent;
+  report.speed_reduction_percent = comparison.speed_reduction_percent;
+  return report;
+}
+
+std::string report_to_text(const PipelineReport& report, bool show_program) {
+  std::ostringstream out;
+  const ir::Kernel& kernel = report.kernel;
+  const agu::AguSpec& machine = report.machine;
+
+  out << "kernel:  " << kernel.name();
+  if (!kernel.description().empty()) {
+    out << " — " << kernel.description();
+  }
+  out << "\n";
+  out << "machine: " << machine.name << " (K=" << machine.address_registers
+      << ", L=" << machine.modify_registers << ", M=" << machine.modify_range
+      << ")\n";
+  out << "layout:  " << kernel.arrays().size() << " array(s), "
+      << report.accesses << " accesses/iteration, " << report.iterations
+      << " iterations\n\n";
+
+  out << "allocation (phase 1 " << (report.stats.phase1_exact ? "exact" : "heuristic");
+  if (report.k_tilde.has_value()) {
+    out << ", K~=" << *report.k_tilde;
+  }
+  out << ", " << report.stats.merges << " merge(s)):\n";
+  out << report.allocation_text << "\n";
+  out << "cost: " << report.allocation_cost << "/iteration (intra "
+      << report.intra_cost << " + wrap " << report.wrap_cost << ")\n\n";
+
+  out << "modify registers: " << report.plan.values.size() << " planned";
+  if (!report.plan.values.empty()) {
+    std::vector<std::string> parts;
+    for (const core::ModifyRegister& mr : report.plan.values) {
+      parts.push_back("MR=" + std::to_string(mr.value) + " covers " +
+                      std::to_string(mr.covered));
+    }
+    out << " (" << support::join(parts, ", ") << ")";
+  }
+  out << "; residual cost " << report.plan.residual_cost << "/iteration\n\n";
+
+  if (show_program) {
+    out << "address program:\n" << report.program.to_string() << "\n";
+  }
+  out << "program: " << report.program.setup.size() << " setup + "
+      << report.program.body.size() << " body instruction(s), "
+      << report.program.setup_address_words() << "+"
+      << report.program.body_address_words() << " address words\n";
+  out << "simulation: " << (report.verified ? "VERIFIED" : "FAILED");
+  if (!report.verified && !report.sim.failure.empty()) {
+    out << " (" << report.sim.failure << ")";
+  }
+  out << " — " << report.sim.accesses_executed << " accesses, "
+      << report.sim.extra_instructions << " extra address instruction(s), "
+      << report.sim.address_cycles << " address cycle(s)\n\n";
+
+  out << "code metrics (vs naive addressing):\n";
+  out << "  size:  " << report.optimized_size_words << " vs "
+      << report.baseline_size_words << " words  ("
+      << support::format_percent(report.size_reduction_percent)
+      << " smaller)\n";
+  out << "  speed: " << report.optimized_cycles << " vs "
+      << report.baseline_cycles << " cycles ("
+      << support::format_percent(report.speed_reduction_percent)
+      << " faster)\n";
+  return out.str();
+}
+
+std::string report_to_csv(const PipelineReport& report) {
+  eval::BatchRow row;
+  row.kernel = report.kernel.name();
+  row.machine = report.machine.name;
+  row.registers = report.machine.address_registers;
+  row.modify_range = report.machine.modify_range;
+  row.modify_registers = report.machine.modify_registers;
+  row.accesses = report.accesses;
+  row.k_tilde = report.k_tilde;
+  row.allocation_cost = report.allocation_cost;
+  row.residual_cost = report.plan.residual_cost;
+  row.size_reduction_percent = report.size_reduction_percent;
+  row.speed_reduction_percent = report.speed_reduction_percent;
+  row.verified = report.verified;
+
+  eval::BatchResult result;
+  result.rows.push_back(row);
+  return eval::batch_to_csv(result).to_string();
+}
+
+}  // namespace dspaddr::cli

@@ -1,0 +1,65 @@
+// The unified single-kernel pipeline behind `dspaddr run`.
+//
+// Resolves the effective AGU configuration (builtin machine defaults
+// overridden by explicit flags), drives
+// parse -> layout -> phase-1/phase-2 allocation -> MR planning ->
+// codegen -> simulation -> metrics, and renders the outcome as an ASCII
+// report or one CSV row.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "agu/machines.hpp"
+#include "agu/program.hpp"
+#include "agu/simulator.hpp"
+#include "cli/options.hpp"
+#include "core/allocator.hpp"
+#include "core/modify_registers.hpp"
+#include "ir/kernel.hpp"
+
+namespace dspaddr::cli {
+
+/// The effective machine of one run: flag overrides applied on top of
+/// the selected builtin machine (or a bare single-register AGU).
+agu::AguSpec resolve_machine(const RunOptions& options);
+
+/// Everything the pipeline produced for one kernel.
+struct PipelineReport {
+  ir::Kernel kernel;
+  agu::AguSpec machine;
+  std::size_t accesses = 0;
+  std::optional<std::size_t> k_tilde;
+  core::AllocationStats stats;
+  int allocation_cost = 0;
+  int intra_cost = 0;
+  int wrap_cost = 0;
+  core::ModifyRegisterPlan plan;
+  agu::Program program;
+  std::uint64_t iterations = 0;
+  agu::SimResult sim;
+  bool verified = false;
+  std::int64_t baseline_size_words = 0;
+  std::int64_t baseline_cycles = 0;
+  std::int64_t optimized_size_words = 0;
+  std::int64_t optimized_cycles = 0;
+  double size_reduction_percent = 0.0;
+  double speed_reduction_percent = 0.0;
+  /// Register -> path rendering from the allocation.
+  std::string allocation_text;
+};
+
+/// Runs the whole pipeline on `kernel` under `machine`; `iterations`
+/// overrides the kernel's own count when set.
+PipelineReport run_pipeline(const ir::Kernel& kernel,
+                            const agu::AguSpec& machine,
+                            std::optional<std::uint64_t> iterations);
+
+/// Multi-section human-readable report.
+std::string report_to_text(const PipelineReport& report, bool show_program);
+
+/// Single CSV row (same schema as the batch runner's CSV).
+std::string report_to_csv(const PipelineReport& report);
+
+}  // namespace dspaddr::cli

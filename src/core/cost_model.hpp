@@ -32,7 +32,12 @@ struct CostModel {
   std::int64_t modify_range = 1;
   WrapPolicy wrap = WrapPolicy::kCyclic;
 
-  friend bool operator==(const CostModel&, const CostModel&) = default;
+  friend bool operator==(const CostModel& a, const CostModel& b) {
+    return a.modify_range == b.modify_range && a.wrap == b.wrap;
+  }
+  friend bool operator!=(const CostModel& a, const CostModel& b) {
+    return !(a == b);
+  }
 };
 
 /// Cost (0 or 1) of access `q` directly following access `p` within one

@@ -43,7 +43,10 @@ public:
   /// Order-preserving merge; the operand index sets must be disjoint.
   friend Path merge(const Path& a, const Path& b);
 
-  friend bool operator==(const Path&, const Path&) = default;
+  friend bool operator==(const Path& a, const Path& b) {
+    return a.indices_ == b.indices_;
+  }
+  friend bool operator!=(const Path& a, const Path& b) { return !(a == b); }
 
   /// "(a_1, a_3, a_5)"-style rendering with 1-based access names.
   std::string to_string() const;

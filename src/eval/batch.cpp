@@ -1,0 +1,208 @@
+#include "eval/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "agu/codegen.hpp"
+#include "agu/metrics.hpp"
+#include "agu/simulator.hpp"
+#include "core/allocator.hpp"
+#include "core/modify_registers.hpp"
+#include "ir/layout.hpp"
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace dspaddr::eval {
+namespace {
+
+/// One grid cell before execution.
+struct BatchTask {
+  const ir::Kernel* kernel = nullptr;
+  agu::AguSpec machine;
+};
+
+std::vector<BatchTask> build_grid(const BatchConfig& config) {
+  std::vector<BatchTask> tasks;
+  for (const ir::Kernel& kernel : config.kernels) {
+    for (const agu::AguSpec& machine : config.machines) {
+      // An empty override sweeps exactly the machine's own value.
+      const std::vector<std::size_t> registers =
+          config.register_counts.empty()
+              ? std::vector<std::size_t>{machine.address_registers}
+              : config.register_counts;
+      const std::vector<std::int64_t> ranges =
+          config.modify_ranges.empty()
+              ? std::vector<std::int64_t>{machine.modify_range}
+              : config.modify_ranges;
+      for (const std::size_t k : registers) {
+        for (const std::int64_t m : ranges) {
+          BatchTask task;
+          task.kernel = &kernel;
+          task.machine = machine;
+          task.machine.address_registers = k;
+          task.machine.modify_range = m;
+          tasks.push_back(task);
+        }
+      }
+    }
+  }
+  return tasks;
+}
+
+BatchRow run_cell(const BatchTask& task) {
+  BatchRow row;
+  row.kernel = task.kernel->name();
+  row.machine = task.machine.name;
+  row.registers = task.machine.address_registers;
+  row.modify_range = task.machine.modify_range;
+  row.modify_registers = task.machine.modify_registers;
+  try {
+    const ir::AccessSequence seq = ir::lower(*task.kernel);
+    row.accesses = seq.size();
+
+    core::ProblemConfig config;
+    config.modify_range = task.machine.modify_range;
+    config.registers = task.machine.address_registers;
+    const core::Allocation allocation =
+        core::RegisterAllocator(config).run(seq);
+    row.k_tilde = allocation.stats().k_tilde;
+    row.allocation_cost = allocation.cost();
+
+    const core::ModifyRegisterPlan plan = core::plan_modify_registers(
+        seq, allocation, task.machine.modify_registers);
+    row.residual_cost = plan.residual_cost;
+
+    const agu::Program program = agu::generate_code(seq, allocation, plan);
+    const std::uint64_t iterations =
+        static_cast<std::uint64_t>(task.kernel->iterations());
+    const agu::SimResult sim = agu::Simulator{}.run(program, seq, iterations);
+    row.verified =
+        agu::verified_against_cost(sim, iterations, plan.residual_cost);
+
+    const agu::AddressingComparison comparison =
+        agu::compare_addressing(*task.kernel, allocation);
+    row.size_reduction_percent = comparison.size_reduction_percent;
+    row.speed_reduction_percent = comparison.speed_reduction_percent;
+  } catch (const std::exception& e) {
+    // Anything escaping the worker lambda would std::terminate the
+    // whole sweep — keep the one-bad-cell-never-aborts contract.
+    row.error = e.what();
+  }
+  return row;
+}
+
+}  // namespace
+
+BatchResult run_batch(const BatchConfig& config) {
+  check_arg(config.jobs >= 1, "run_batch: jobs must be >= 1");
+
+  const std::vector<BatchTask> tasks = build_grid(config);
+  BatchResult result;
+  result.rows.resize(tasks.size());
+
+  // Workers claim cells through a shared counter and write each result
+  // into its grid slot; the output order is the grid order whatever the
+  // interleaving.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) {
+        return;
+      }
+      result.rows[i] = run_cell(tasks[i]);
+    }
+  };
+
+  const std::size_t thread_count =
+      std::min<std::size_t>(config.jobs, std::max<std::size_t>(tasks.size(), 1));
+  if (thread_count <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(thread_count);
+    for (std::size_t t = 0; t < thread_count; ++t) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+
+  for (const BatchRow& row : result.rows) {
+    if (!row.error.empty()) {
+      ++result.failures;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+std::string k_tilde_field(const BatchRow& row) {
+  if (!row.error.empty() || !row.k_tilde.has_value()) {
+    return "-";
+  }
+  return std::to_string(*row.k_tilde);
+}
+
+}  // namespace
+
+support::CsvWriter batch_to_csv(const BatchResult& result) {
+  support::CsvWriter csv({"kernel", "machine", "registers", "modify_range",
+                          "modify_registers", "accesses", "k_tilde",
+                          "allocation_cost", "residual_cost",
+                          "size_reduction_percent",
+                          "speed_reduction_percent", "verified", "error"});
+  for (const BatchRow& row : result.rows) {
+    csv.add_row({
+        row.kernel,
+        row.machine,
+        std::to_string(row.registers),
+        std::to_string(row.modify_range),
+        std::to_string(row.modify_registers),
+        std::to_string(row.accesses),
+        k_tilde_field(row),
+        std::to_string(row.allocation_cost),
+        std::to_string(row.residual_cost),
+        support::format_fixed(row.size_reduction_percent, 2),
+        support::format_fixed(row.speed_reduction_percent, 2),
+        row.error.empty() ? (row.verified ? "yes" : "no") : "-",
+        row.error,
+    });
+  }
+  return csv;
+}
+
+support::Table batch_to_table(const BatchResult& result) {
+  support::Table table({"kernel", "machine", "K", "M", "L", "N", "K~",
+                        "cost", "residual", "size red.", "speed red.",
+                        "verified"});
+  for (const BatchRow& row : result.rows) {
+    if (!row.error.empty()) {
+      table.add_row({row.kernel, row.machine, std::to_string(row.registers),
+                     std::to_string(row.modify_range),
+                     std::to_string(row.modify_registers), "-", "-", "-",
+                     "-", "-", "-", "error: " + row.error});
+      continue;
+    }
+    table.add_row({
+        row.kernel,
+        row.machine,
+        std::to_string(row.registers),
+        std::to_string(row.modify_range),
+        std::to_string(row.modify_registers),
+        std::to_string(row.accesses),
+        k_tilde_field(row),
+        std::to_string(row.allocation_cost),
+        std::to_string(row.residual_cost),
+        support::format_percent(row.size_reduction_percent),
+        support::format_percent(row.speed_reduction_percent),
+        row.verified ? "yes" : "no",
+    });
+  }
+  return table;
+}
+
+}  // namespace dspaddr::eval

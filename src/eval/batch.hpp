@@ -1,0 +1,75 @@
+// Multi-threaded batch experiment runner.
+//
+// Fans the full pipeline (lower -> allocate -> MR plan -> codegen ->
+// simulate -> metrics) out over the cross product
+// kernels x machines x register counts x modify ranges on a small
+// thread pool. Rows are stored in grid order regardless of thread
+// scheduling, so the rendered CSV is byte-identical across --jobs
+// values — the property that makes sweep outputs diffable across runs
+// and machines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agu/machines.hpp"
+#include "ir/kernel.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace dspaddr::eval {
+
+/// The batch grid. Empty override vectors mean "use each machine's own
+/// value" — the common case when comparing catalog AGUs as-is.
+struct BatchConfig {
+  std::vector<ir::Kernel> kernels;
+  std::vector<agu::AguSpec> machines;
+  /// Address-register counts K to sweep (empty: each machine's K).
+  std::vector<std::size_t> register_counts;
+  /// Modify ranges M to sweep (empty: each machine's M).
+  std::vector<std::int64_t> modify_ranges;
+  /// Worker threads (>= 1). Never affects results, only wall time.
+  std::size_t jobs = 1;
+};
+
+/// One grid cell's outcome. When the pipeline throws (e.g. a register
+/// count of 0), `error` carries the message and the numeric fields stay
+/// at their defaults — one bad cell never aborts the sweep.
+struct BatchRow {
+  std::string kernel;
+  std::string machine;
+  std::size_t registers = 0;
+  std::int64_t modify_range = 0;
+  std::size_t modify_registers = 0;
+  std::size_t accesses = 0;
+  /// K~ from phase 1 (nullopt when no zero-cost cover exists).
+  std::optional<std::size_t> k_tilde;
+  int allocation_cost = 0;
+  /// Cost left after modify-register planning.
+  int residual_cost = 0;
+  double size_reduction_percent = 0.0;
+  double speed_reduction_percent = 0.0;
+  bool verified = false;
+  std::string error;
+};
+
+struct BatchResult {
+  /// One row per grid cell, in kernel-major grid order.
+  std::vector<BatchRow> rows;
+  /// Rows whose pipeline threw.
+  std::size_t failures = 0;
+};
+
+/// Runs the grid on `config.jobs` threads. Deterministic: the result
+/// depends only on the grid, never on scheduling.
+BatchResult run_batch(const BatchConfig& config);
+
+/// CSV with one row per grid cell (stable header and field formatting).
+support::CsvWriter batch_to_csv(const BatchResult& result);
+
+/// ASCII table mirroring the CSV.
+support::Table batch_to_table(const BatchResult& result);
+
+}  // namespace dspaddr::eval

@@ -32,7 +32,12 @@ struct Access {
   /// Address advance per loop iteration.
   std::int64_t stride = 1;
 
-  friend bool operator==(const Access&, const Access&) = default;
+  friend bool operator==(const Access& a, const Access& b) {
+    return a.offset == b.offset && a.stride == b.stride;
+  }
+  friend bool operator!=(const Access& a, const Access& b) {
+    return !(a == b);
+  }
 };
 
 /// The ordered sequence of array accesses of one loop body.
@@ -61,8 +66,12 @@ public:
   std::optional<std::int64_t> wrap_distance(std::size_t last,
                                             std::size_t first) const;
 
-  friend bool operator==(const AccessSequence&,
-                         const AccessSequence&) = default;
+  friend bool operator==(const AccessSequence& a, const AccessSequence& b) {
+    return a.accesses_ == b.accesses_;
+  }
+  friend bool operator!=(const AccessSequence& a, const AccessSequence& b) {
+    return !(a == b);
+  }
 
 private:
   void check_index(std::size_t i) const;

@@ -18,7 +18,12 @@ struct ArrayDecl {
   std::string name;
   std::int64_t size = 0;
 
-  friend bool operator==(const ArrayDecl&, const ArrayDecl&) = default;
+  friend bool operator==(const ArrayDecl& a, const ArrayDecl& b) {
+    return a.name == b.name && a.size == b.size;
+  }
+  friend bool operator!=(const ArrayDecl& a, const ArrayDecl& b) {
+    return !(a == b);
+  }
 };
 
 /// One array access in the kernel's loop body, in body order.
@@ -32,7 +37,13 @@ struct KernelAccess {
   std::int64_t stride = 1;
   bool is_write = false;
 
-  friend bool operator==(const KernelAccess&, const KernelAccess&) = default;
+  friend bool operator==(const KernelAccess& a, const KernelAccess& b) {
+    return a.array == b.array && a.offset == b.offset &&
+           a.stride == b.stride && a.is_write == b.is_write;
+  }
+  friend bool operator!=(const KernelAccess& a, const KernelAccess& b) {
+    return !(a == b);
+  }
 };
 
 /// A single-loop DSP kernel.
@@ -66,7 +77,14 @@ public:
   bool has_array(const std::string& name) const;
   const ArrayDecl& array(const std::string& name) const;
 
-  friend bool operator==(const Kernel&, const Kernel&) = default;
+  friend bool operator==(const Kernel& a, const Kernel& b) {
+    return a.name_ == b.name_ && a.description_ == b.description_ &&
+           a.arrays_ == b.arrays_ && a.iterations_ == b.iterations_ &&
+           a.accesses_ == b.accesses_ && a.data_ops_ == b.data_ops_;
+  }
+  friend bool operator!=(const Kernel& a, const Kernel& b) {
+    return !(a == b);
+  }
 
 private:
   std::string name_;

@@ -1,0 +1,225 @@
+// Flag parsing and end-to-end behavior of the dspaddr CLI.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/app.hpp"
+#include "cli/kernel_io.hpp"
+#include "cli/options.hpp"
+#include "cli/pipeline.hpp"
+
+namespace dspaddr {
+namespace {
+
+const std::string kRoot = std::string(DSPADDR_SOURCE_DIR) + "/workloads/";
+
+// ---------------------------------------------------------------- flags
+
+TEST(CliOptions, RunDefaults) {
+  const cli::RunOptions options =
+      cli::parse_run_options({"--kernel", "f.c"});
+  EXPECT_EQ(options.kernel_path, "f.c");
+  EXPECT_FALSE(options.machine.has_value());
+  EXPECT_FALSE(options.registers.has_value());
+  EXPECT_FALSE(options.modify_range.has_value());
+  EXPECT_EQ(options.format, cli::OutputFormat::kTable);
+  EXPECT_FALSE(options.show_program);
+}
+
+TEST(CliOptions, RunAllFlags) {
+  const cli::RunOptions options = cli::parse_run_options(
+      {"--kernel", "f.kern", "--machine", "wide4", "--registers", "2",
+       "--modify-range", "3", "--modify-registers", "4", "--iterations",
+       "100", "--format", "csv", "--program"});
+  EXPECT_EQ(options.kernel_path, "f.kern");
+  EXPECT_EQ(options.machine, "wide4");
+  EXPECT_EQ(options.registers, 2u);
+  EXPECT_EQ(options.modify_range, 3);
+  EXPECT_EQ(options.modify_registers, 4u);
+  EXPECT_EQ(options.iterations, 100u);
+  EXPECT_EQ(options.format, cli::OutputFormat::kCsv);
+  EXPECT_TRUE(options.show_program);
+}
+
+TEST(CliOptions, EqualsSyntax) {
+  const cli::RunOptions options = cli::parse_run_options(
+      {"--kernel=f.c", "--registers=8", "--format=csv"});
+  EXPECT_EQ(options.kernel_path, "f.c");
+  EXPECT_EQ(options.registers, 8u);
+  EXPECT_EQ(options.format, cli::OutputFormat::kCsv);
+}
+
+TEST(CliOptions, RunRejectsBadInput) {
+  EXPECT_THROW(cli::parse_run_options({}), cli::UsageError);
+  EXPECT_THROW(cli::parse_run_options({"--kernel"}), cli::UsageError);
+  EXPECT_THROW(cli::parse_run_options({"--kernel", "f.c", "--bogus"}),
+               cli::UsageError);
+  EXPECT_THROW(
+      cli::parse_run_options({"--kernel", "f.c", "--registers", "0"}),
+      cli::UsageError);
+  EXPECT_THROW(
+      cli::parse_run_options({"--kernel", "f.c", "--registers", "two"}),
+      cli::UsageError);
+  EXPECT_THROW(
+      cli::parse_run_options({"--kernel", "f.c", "--format", "json"}),
+      cli::UsageError);
+  EXPECT_THROW(
+      cli::parse_run_options({"--kernel", "f.c", "--modify-range", "-1"}),
+      cli::UsageError);
+}
+
+TEST(CliOptions, BatchLists) {
+  const cli::BatchOptions options = cli::parse_batch_options(
+      {"--builtin", "fir,biquad", "--machines", "minimal2,wide4",
+       "--registers", "1,2,4", "--modify-range", "1,2", "--jobs", "8",
+       "--format", "table", "--out", "r.csv"});
+  EXPECT_EQ(options.builtin_kernels,
+            (std::vector<std::string>{"fir", "biquad"}));
+  EXPECT_EQ(options.machines,
+            (std::vector<std::string>{"minimal2", "wide4"}));
+  EXPECT_EQ(options.register_counts, (std::vector<std::size_t>{1, 2, 4}));
+  EXPECT_EQ(options.modify_ranges, (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(options.jobs, 8u);
+  EXPECT_EQ(options.format, cli::OutputFormat::kTable);
+  EXPECT_EQ(options.output_path, "r.csv");
+}
+
+TEST(CliOptions, BatchRejectsBadInput) {
+  // No kernels at all.
+  EXPECT_THROW(cli::parse_batch_options({"--jobs", "2"}), cli::UsageError);
+  EXPECT_THROW(cli::parse_batch_options({"--builtin", "fir", "--jobs", "0"}),
+               cli::UsageError);
+  EXPECT_THROW(
+      cli::parse_batch_options({"--builtin", "fir,,biquad"}),
+      cli::UsageError);
+  EXPECT_THROW(
+      cli::parse_batch_options({"--builtin", "fir", "--registers", "1,x"}),
+      cli::UsageError);
+}
+
+// ------------------------------------------------------------ kernel IO
+
+TEST(CliKernelIo, PathStem) {
+  EXPECT_EQ(cli::path_stem("workloads/fir16.kern"), "fir16");
+  EXPECT_EQ(cli::path_stem("paper_example.c"), "paper_example");
+  EXPECT_EQ(cli::path_stem("/a/b/c.x.y"), "c.x");
+  EXPECT_EQ(cli::path_stem("noext"), "noext");
+}
+
+TEST(CliKernelIo, LoadsBothFormats) {
+  const ir::Kernel c = cli::load_kernel_file(kRoot + "paper_example.c");
+  EXPECT_EQ(c.name(), "paper_example");
+  EXPECT_EQ(c.accesses().size(), 7u);
+  const ir::Kernel kern = cli::load_kernel_file(kRoot + "fir16.kern");
+  EXPECT_EQ(kern.name(), "fir16");
+}
+
+TEST(CliKernelIo, MissingFileThrows) {
+  EXPECT_THROW(cli::load_kernel_file(kRoot + "nope.c"), InvalidArgument);
+}
+
+// ------------------------------------------------------------- machine
+
+TEST(CliPipeline, ResolveMachineAppliesOverrides) {
+  cli::RunOptions options;
+  options.machine = "wide4";
+  options.registers = 2;
+  options.modify_registers = 5;
+  const agu::AguSpec machine = cli::resolve_machine(options);
+  EXPECT_EQ(machine.name, "wide4");
+  EXPECT_EQ(machine.address_registers, 2u);
+  EXPECT_EQ(machine.modify_registers, 5u);
+  EXPECT_EQ(machine.modify_range, 2);  // kept from the machine
+}
+
+TEST(CliPipeline, ResolveMachineDefaultsToSingleRegister) {
+  const agu::AguSpec machine = cli::resolve_machine(cli::RunOptions{});
+  EXPECT_EQ(machine.address_registers, 1u);
+  EXPECT_EQ(machine.modify_registers, 0u);
+  EXPECT_EQ(machine.modify_range, 1);
+}
+
+// ----------------------------------------------------------- end to end
+
+int run(const std::vector<std::string>& args, std::string& out,
+        std::string& err) {
+  std::ostringstream out_stream;
+  std::ostringstream err_stream;
+  const int code = cli::run_cli(args, out_stream, err_stream);
+  out = out_stream.str();
+  err = err_stream.str();
+  return code;
+}
+
+TEST(CliApp, RunPaperExampleVerifies) {
+  std::string out;
+  std::string err;
+  const int code = run({"run", "--kernel", kRoot + "paper_example.c",
+                        "--registers", "2"},
+                       out, err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("VERIFIED"), std::string::npos) << out;
+  // K~ = 3 and the optimal K=2 cost of 2 from the paper's example.
+  EXPECT_NE(out.find("K~=3"), std::string::npos) << out;
+  EXPECT_NE(out.find("cost: 2/iteration"), std::string::npos) << out;
+}
+
+TEST(CliApp, RunCsvMatchesBatchSchema) {
+  std::string out;
+  std::string err;
+  const int code = run({"run", "--kernel", kRoot + "paper_example.c",
+                        "--registers", "2", "--format", "csv"},
+                       out, err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_EQ(out.substr(0, 6), "kernel");
+  EXPECT_NE(out.find("paper_example,custom,2,"), std::string::npos) << out;
+}
+
+TEST(CliApp, BatchIsDeterministicAcrossJobs) {
+  const std::vector<std::string> base = {
+      "batch", "--builtin", "fir,biquad", "--machines", "minimal2,wide4",
+      "--registers", "1,2"};
+  std::string serial;
+  std::string parallel;
+  std::string err;
+  auto with_jobs = [&](const std::string& jobs) {
+    std::vector<std::string> args = base;
+    args.push_back("--jobs");
+    args.push_back(jobs);
+    return args;
+  };
+  EXPECT_EQ(run(with_jobs("1"), serial, err), 0) << err;
+  EXPECT_EQ(run(with_jobs("8"), parallel, err), 0) << err;
+  EXPECT_EQ(serial, parallel);
+  EXPECT_FALSE(serial.empty());
+}
+
+TEST(CliApp, UnknownCommandFails) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(run({"frobnicate"}, out, err), 2);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliApp, UsageErrorsExitTwo) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(run({"run"}, out, err), 2);
+  EXPECT_NE(err.find("--kernel"), std::string::npos);
+}
+
+TEST(CliApp, HelpAndVersion) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(run({"help"}, out, err), 0);
+  EXPECT_NE(out.find("usage: dspaddr"), std::string::npos);
+  EXPECT_EQ(run({"version"}, out, err), 0);
+  EXPECT_NE(out.find("dspaddr "), std::string::npos);
+  EXPECT_EQ(run({"machines"}, out, err), 0);
+  EXPECT_NE(out.find("minimal2"), std::string::npos);
+  EXPECT_EQ(run({"kernels"}, out, err), 0);
+  EXPECT_NE(out.find("fir"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dspaddr

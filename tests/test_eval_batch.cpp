@@ -1,0 +1,104 @@
+// The batch runner's headline guarantee: the rendered output depends
+// only on the grid, never on how many worker threads computed it.
+#include <gtest/gtest.h>
+
+#include "agu/machines.hpp"
+#include "eval/batch.hpp"
+#include "ir/kernels.hpp"
+
+namespace dspaddr {
+namespace {
+
+eval::BatchConfig small_grid() {
+  eval::BatchConfig config;
+  config.kernels = {ir::builtin_kernel("fir"), ir::builtin_kernel("biquad"),
+                    ir::builtin_kernel("matmul")};
+  config.machines = {agu::builtin_machine("minimal2"),
+                     agu::builtin_machine("wide4"),
+                     agu::builtin_machine("adsp218x")};
+  config.register_counts = {1, 2, 4};
+  config.modify_ranges = {1, 2};
+  return config;
+}
+
+TEST(EvalBatch, GridOrderIsKernelMajor) {
+  eval::BatchConfig config = small_grid();
+  config.jobs = 1;
+  const eval::BatchResult result = eval::run_batch(config);
+  ASSERT_EQ(result.rows.size(), 3u * 3u * 3u * 2u);
+  // Kernel-major, then machine, then K, then M.
+  EXPECT_EQ(result.rows[0].kernel, "fir");
+  EXPECT_EQ(result.rows[0].machine, "minimal2");
+  EXPECT_EQ(result.rows[0].registers, 1u);
+  EXPECT_EQ(result.rows[0].modify_range, 1);
+  EXPECT_EQ(result.rows[1].modify_range, 2);
+  EXPECT_EQ(result.rows[2].registers, 2u);
+  EXPECT_EQ(result.rows[6].machine, "wide4");
+  EXPECT_EQ(result.rows[18].kernel, "biquad");
+}
+
+TEST(EvalBatch, CsvIsByteIdenticalAcrossThreadCounts) {
+  eval::BatchConfig config = small_grid();
+  config.jobs = 1;
+  const std::string serial = eval::batch_to_csv(eval::run_batch(config)).to_string();
+  for (const std::size_t jobs : {2u, 8u, 32u}) {
+    config.jobs = jobs;
+    const std::string parallel =
+        eval::batch_to_csv(eval::run_batch(config)).to_string();
+    EXPECT_EQ(serial, parallel) << "jobs=" << jobs;
+  }
+}
+
+TEST(EvalBatch, AllCellsVerify) {
+  eval::BatchConfig config = small_grid();
+  config.jobs = 4;
+  const eval::BatchResult result = eval::run_batch(config);
+  EXPECT_EQ(result.failures, 0u);
+  for (const eval::BatchRow& row : result.rows) {
+    EXPECT_TRUE(row.verified) << row.kernel << " on " << row.machine
+                              << " K=" << row.registers;
+    EXPECT_TRUE(row.error.empty());
+  }
+}
+
+TEST(EvalBatch, EmptyOverridesUseMachineValues) {
+  eval::BatchConfig config;
+  config.kernels = {ir::builtin_kernel("fir")};
+  config.machines = {agu::builtin_machine("wide4")};
+  const eval::BatchResult result = eval::run_batch(config);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].registers, 4u);
+  EXPECT_EQ(result.rows[0].modify_range, 2);
+}
+
+TEST(EvalBatch, BadCellIsReportedNotFatal) {
+  eval::BatchConfig config;
+  config.kernels = {ir::builtin_kernel("fir")};
+  agu::AguSpec broken = agu::builtin_machine("minimal2");
+  broken.address_registers = 0;
+  config.machines = {broken, agu::builtin_machine("minimal2")};
+  const eval::BatchResult result = eval::run_batch(config);
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.failures, 1u);
+  EXPECT_FALSE(result.rows[0].error.empty());
+  EXPECT_TRUE(result.rows[1].verified);
+}
+
+TEST(EvalBatch, RejectsZeroJobs) {
+  eval::BatchConfig config;
+  config.jobs = 0;
+  EXPECT_THROW(eval::run_batch(config), InvalidArgument);
+}
+
+TEST(EvalBatch, CsvSchemaIsStable) {
+  const eval::BatchResult empty;
+  const std::string csv = eval::batch_to_csv(empty).to_string();
+  EXPECT_EQ(csv,
+            "kernel,machine,registers,modify_range,modify_registers,"
+            "accesses,k_tilde,allocation_cost,residual_cost,"
+            "size_reduction_percent,speed_reduction_percent,verified,"
+            "error\n");
+}
+
+}  // namespace
+}  // namespace dspaddr

@@ -1,0 +1,11 @@
+// Entry point of the dspaddr command-line tool.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/app.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return dspaddr::cli::run_cli(args, std::cout, std::cerr);
+}
