@@ -19,8 +19,11 @@ int command_run(const std::vector<std::string>& args, std::ostream& out) {
   const RunOptions options = parse_run_options(args);
   const ir::Kernel kernel = load_kernel_file(options.kernel_path);
   const agu::AguSpec machine = resolve_machine(options);
+  core::Phase2Options phase2;
+  phase2.mode = options.phase2;
+  phase2.time_budget_ms = options.time_budget_ms;
   const PipelineReport report =
-      run_pipeline(kernel, machine, options.iterations);
+      run_pipeline(kernel, machine, options.iterations, phase2);
   if (options.format == OutputFormat::kCsv) {
     out << report_to_csv(report);
   } else {
@@ -49,6 +52,8 @@ int command_batch(const std::vector<std::string>& args, std::ostream& out) {
   config.register_counts = options.register_counts;
   config.modify_ranges = options.modify_ranges;
   config.jobs = options.jobs;
+  config.phase2.mode = options.phase2;
+  config.phase2.time_budget_ms = options.time_budget_ms;
 
   const eval::BatchResult result = eval::run_batch(config);
   const std::string rendered = options.format == OutputFormat::kTable
@@ -108,6 +113,10 @@ commands:
               --modify-range <M>     free post-modify range (overrides)
               --modify-registers <L> modify registers (overrides)
               --iterations <n>       simulated iterations (default: kernel)
+              --phase2 <mode>        auto|exact|heuristic phase-2 solver
+                                     (default: auto — exact for small kernels)
+              --time-budget-ms <ms>  wall-clock cap of the exact search
+                                     (default: 0 = node budget only)
               --format table|csv     output format (default: table)
               --program              also print the address program
   batch     Sweep kernels x machines x registers x modify ranges
@@ -117,6 +126,8 @@ commands:
               --registers <list>     K values, comma list
               --modify-range <list>  M values, comma list
               --jobs <n>             worker threads (default: 1)
+              --phase2 <mode>        auto|exact|heuristic phase-2 solver
+              --time-budget-ms <ms>  wall-clock cap of the exact search
               --format csv|table     output format (default: csv)
               --out <file>           write output to a file
   machines  List the builtin AGU catalog

@@ -84,6 +84,21 @@ OutputFormat parse_format(const std::string& text) {
                    "'");
 }
 
+core::Phase2Options::Mode parse_phase2_mode(const std::string& text) {
+  if (text == "auto") {
+    return core::Phase2Options::Mode::kAuto;
+  }
+  if (text == "exact") {
+    return core::Phase2Options::Mode::kExact;
+  }
+  if (text == "heuristic") {
+    return core::Phase2Options::Mode::kHeuristic;
+  }
+  throw UsageError(
+      "--phase2: expected 'auto', 'exact' or 'heuristic', got '" + text +
+      "'");
+}
+
 std::vector<std::string> parse_name_list(const std::string& text,
                                          const std::string& flag) {
   std::vector<std::string> names;
@@ -139,6 +154,10 @@ RunOptions parse_run_options(const std::vector<std::string>& args) {
     } else if (match_flag(arg, "--iterations", cursor, value)) {
       options.iterations = static_cast<std::uint64_t>(
           parse_int(value, "--iterations", 1));
+    } else if (match_flag(arg, "--phase2", cursor, value)) {
+      options.phase2 = parse_phase2_mode(value);
+    } else if (match_flag(arg, "--time-budget-ms", cursor, value)) {
+      options.time_budget_ms = parse_int(value, "--time-budget-ms", 0);
     } else if (match_flag(arg, "--format", cursor, value)) {
       options.format = parse_format(value);
     } else if (arg == "--program") {
@@ -173,6 +192,10 @@ BatchOptions parse_batch_options(const std::vector<std::string>& args) {
       options.modify_ranges = parse_int_list(value, "--modify-range", 0);
     } else if (match_flag(arg, "--jobs", cursor, value)) {
       options.jobs = parse_size(value, "--jobs", 1);
+    } else if (match_flag(arg, "--phase2", cursor, value)) {
+      options.phase2 = parse_phase2_mode(value);
+    } else if (match_flag(arg, "--time-budget-ms", cursor, value)) {
+      options.time_budget_ms = parse_int(value, "--time-budget-ms", 0);
     } else if (match_flag(arg, "--format", cursor, value)) {
       options.format = parse_format(value);
     } else if (match_flag(arg, "--out", cursor, value)) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/allocator.hpp"
 #include "support/check.hpp"
 
 namespace dspaddr::cli {
@@ -29,6 +30,9 @@ enum class OutputFormat {
 /// Parses "csv" / "table"; throws UsageError otherwise.
 OutputFormat parse_format(const std::string& text);
 
+/// Parses "auto" / "exact" / "heuristic"; throws UsageError otherwise.
+core::Phase2Options::Mode parse_phase2_mode(const std::string& text);
+
 /// Options of `dspaddr run`: one kernel through the whole pipeline.
 struct RunOptions {
   std::string kernel_path;
@@ -40,6 +44,10 @@ struct RunOptions {
   std::optional<std::size_t> modify_registers;
   /// Simulated loop iterations (default: the kernel's own count).
   std::optional<std::uint64_t> iterations;
+  /// Phase-2 solver selection (auto: exact for small kernels).
+  core::Phase2Options::Mode phase2 = core::Phase2Options::Mode::kAuto;
+  /// Wall-clock budget of the exact phase-2 search; 0 = node cap only.
+  std::int64_t time_budget_ms = 0;
   OutputFormat format = OutputFormat::kTable;
   /// Also print the generated address program.
   bool show_program = false;
@@ -58,6 +66,10 @@ struct BatchOptions {
   /// M values to sweep; empty = each machine's own M.
   std::vector<std::int64_t> modify_ranges;
   std::size_t jobs = 1;
+  /// Phase-2 solver selection (auto: exact for small kernels).
+  core::Phase2Options::Mode phase2 = core::Phase2Options::Mode::kAuto;
+  /// Wall-clock budget of the exact phase-2 search; 0 = node cap only.
+  std::int64_t time_budget_ms = 0;
   OutputFormat format = OutputFormat::kCsv;
   /// Output file; empty = stdout.
   std::string output_path;

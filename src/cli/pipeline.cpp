@@ -35,7 +35,8 @@ agu::AguSpec resolve_machine(const RunOptions& options) {
 
 PipelineReport run_pipeline(const ir::Kernel& kernel,
                             const agu::AguSpec& machine,
-                            std::optional<std::uint64_t> iterations) {
+                            std::optional<std::uint64_t> iterations,
+                            const core::Phase2Options& phase2) {
   PipelineReport report;
   report.kernel = kernel;
   report.machine = machine;
@@ -46,6 +47,7 @@ PipelineReport run_pipeline(const ir::Kernel& kernel,
   core::ProblemConfig config;
   config.modify_range = machine.modify_range;
   config.registers = machine.address_registers;
+  config.phase2 = phase2;
   const core::Allocation allocation =
       core::RegisterAllocator(config).run(seq);
   report.stats = allocation.stats();
@@ -97,7 +99,20 @@ std::string report_to_text(const PipelineReport& report, bool show_program) {
   if (report.k_tilde.has_value()) {
     out << ", K~=" << *report.k_tilde;
   }
-  out << ", " << report.stats.merges << " merge(s)):\n";
+  out << ", " << report.stats.merges << " merge(s); phase 2 "
+      << (report.stats.phase2_exact ? "exact" : "heuristic");
+  if (report.stats.phase2_exact) {
+    if (report.stats.phase2_proven) {
+      out << ", proven optimal";
+    } else {
+      out << ", gap " << report.stats.phase2_gap << " (cost >= "
+          << report.stats.phase2_lower_bound << ")";
+    }
+    if (report.stats.phase2_nodes > 0) {
+      out << ", " << report.stats.phase2_nodes << " node(s)";
+    }
+  }
+  out << "):\n";
   out << report.allocation_text << "\n";
   out << "cost: " << report.allocation_cost << "/iteration (intra "
       << report.intra_cost << " + wrap " << report.wrap_cost << ")\n\n";
@@ -151,6 +166,10 @@ std::string report_to_csv(const PipelineReport& report) {
   row.k_tilde = report.k_tilde;
   row.allocation_cost = report.allocation_cost;
   row.residual_cost = report.plan.residual_cost;
+  row.phase2_exact = report.stats.phase2_exact;
+  row.phase2_proven = report.stats.phase2_proven;
+  row.phase2_gap = report.stats.phase2_gap;
+  row.phase2_nodes = report.stats.phase2_nodes;
   row.size_reduction_percent = report.size_reduction_percent;
   row.speed_reduction_percent = report.speed_reduction_percent;
   row.verified = report.verified;

@@ -51,10 +51,12 @@ struct PipelineReport {
 };
 
 /// Runs the whole pipeline on `kernel` under `machine`; `iterations`
-/// overrides the kernel's own count when set.
+/// overrides the kernel's own count when set and `phase2` selects the
+/// phase-2 solver (auto / exact / heuristic plus budgets).
 PipelineReport run_pipeline(const ir::Kernel& kernel,
                             const agu::AguSpec& machine,
-                            std::optional<std::uint64_t> iterations);
+                            std::optional<std::uint64_t> iterations,
+                            const core::Phase2Options& phase2 = {});
 
 /// Multi-section human-readable report.
 std::string report_to_text(const PipelineReport& report, bool show_program);

@@ -1,17 +1,28 @@
 #include "core/allocator.hpp"
 
+#include <limits>
 #include <sstream>
 
 #include "core/access_graph.hpp"
+#include "core/exact.hpp"
 #include "core/validate.hpp"
 #include "support/check.hpp"
 
 namespace dspaddr::core {
 
+namespace {
+
+/// Sentinel for accesses no path covers; register_of fails loudly on it
+/// instead of letting a malformed cover masquerade as "everything on
+/// AR0".
+constexpr std::size_t kNoRegister = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
 Allocation::Allocation(const ir::AccessSequence& seq, CostModel model,
                        std::vector<Path> paths, AllocationStats stats)
     : model_(model), paths_(std::move(paths)), stats_(stats) {
-  register_of_.assign(seq.size(), 0);
+  register_of_.assign(seq.size(), kNoRegister);
   for (std::size_t r = 0; r < paths_.size(); ++r) {
     intra_cost_ += path_intra_cost(seq, paths_[r], model_);
     wrap_cost_ += path_wrap_cost(seq, paths_[r], model_);
@@ -24,6 +35,8 @@ Allocation::Allocation(const ir::AccessSequence& seq, CostModel model,
 std::size_t Allocation::register_of(std::size_t access) const {
   check_arg(access < register_of_.size(),
             "Allocation: access index out of range");
+  check_invariant(register_of_[access] != kNoRegister,
+                  "Allocation: access is not covered by any path");
   return register_of_[access];
 }
 
@@ -76,8 +89,41 @@ Allocation RegisterAllocator::run(const ir::AccessSequence& seq) const {
                                     &trace);
     stats.merges = trace.size();
   }
-
   validate_allocation(seq, paths, config_.registers);
+
+  const int heuristic_cost = total_cost(seq, paths, model);
+  const Phase2Options& phase2 = config_.phase2;
+  const bool want_exact =
+      phase2.mode == Phase2Options::Mode::kExact ||
+      (phase2.mode == Phase2Options::Mode::kAuto &&
+       seq.size() <= phase2.exact_access_limit);
+
+  if (heuristic_cost == 0) {
+    // Costs are non-negative, so a free allocation is trivially optimal
+    // — no search needed to prove it. The proof holds in every mode,
+    // but only the exact/auto modes claim the exact solver certified it.
+    stats.phase2_exact = phase2.mode != Phase2Options::Mode::kHeuristic;
+    stats.phase2_proven = true;
+  } else if (want_exact) {
+    ExactOptions options;
+    options.max_nodes = phase2.max_nodes;
+    options.time_budget_ms = phase2.time_budget_ms;
+    options.warm_start = paths;
+    const ExactResult exact = exact_min_cost_allocation(
+        seq, model, config_.registers, options);
+    stats.phase2_exact = true;
+    stats.phase2_proven = exact.proven;
+    stats.phase2_nodes = exact.nodes;
+    stats.phase2_lower_bound = exact.lower_bound;
+    stats.phase2_gap = exact.gap();
+    // Keep the heuristic's paths on a cost tie: the merge trace stays
+    // meaningful and outputs stay stable across solver tweaks.
+    if (exact.cost < heuristic_cost) {
+      paths = exact.paths;
+      validate_allocation(seq, paths, config_.registers);
+    }
+  }
+
   return Allocation(seq, model, std::move(paths), stats);
 }
 

@@ -5,7 +5,11 @@
 //   core::Allocation a = alloc.run(seq);
 //
 // Phase 1 computes the minimum zero-cost cover (K~ virtual registers);
-// phase 2 merges paths until the physical register count K is met.
+// phase 2 reduces to the physical register count K — by cost-guided
+// merging (the paper's heuristic), and by default also by the anytime
+// exact branch-and-bound (core/exact.hpp) warm-started with the
+// heuristic result, which upgrades the allocation to a proven optimum
+// on realistically sized kernels.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +25,30 @@
 
 namespace dspaddr::core {
 
+/// Controls the phase-2 reduction to K physical registers.
+struct Phase2Options {
+  enum class Mode {
+    /// Heuristic merge, then the exact search up to
+    /// `exact_access_limit` accesses.
+    kAuto,
+    /// Always run the exact search (subject to the budgets).
+    kExact,
+    /// Only the paper's cost-guided merging (no optimality claim).
+    kHeuristic,
+  };
+
+  Mode mode = Mode::kAuto;
+  /// kAuto skips the exact search above this many accesses.
+  std::size_t exact_access_limit = 24;
+  /// Node budget of the exact search; hitting it keeps the incumbent
+  /// and reports the optimality gap instead of a proof. Deterministic,
+  /// unlike a wall-clock budget.
+  std::uint64_t max_nodes = 2'000'000;
+  /// Wall-clock budget in milliseconds; 0 disables the clock. Leave at
+  /// 0 when byte-identical reruns matter (batch determinism).
+  std::int64_t time_budget_ms = 0;
+};
+
 /// Full configuration of one allocation problem.
 struct ProblemConfig {
   /// AGU maximum modify range M (>= 0).
@@ -30,6 +58,7 @@ struct ProblemConfig {
   WrapPolicy wrap = WrapPolicy::kCyclic;
   Phase1Options phase1 = {};
   MergeOptions merge = {};
+  Phase2Options phase2 = {};
 
   CostModel cost_model() const { return CostModel{modify_range, wrap}; }
 };
@@ -43,6 +72,18 @@ struct AllocationStats {
   bool phase1_exact = false;
   std::uint64_t search_nodes = 0;
   std::size_t merges = 0;
+  /// True when the exact phase-2 search ran (or the heuristic cost was
+  /// trivially optimal at 0).
+  bool phase2_exact = false;
+  /// True when the final cost is provably minimal for this (K, M).
+  bool phase2_proven = false;
+  /// Nodes explored by the phase-2 search (0 when it did not run).
+  std::uint64_t phase2_nodes = 0;
+  /// Best proven lower bound on the phase-2 optimum (valid when
+  /// `phase2_exact`; equals the cost when `phase2_proven`).
+  int phase2_lower_bound = 0;
+  /// Cost minus lower bound: 0 when proven, the anytime gap otherwise.
+  int phase2_gap = 0;
 };
 
 /// The result: an assignment of every access to one address register.
@@ -54,7 +95,9 @@ public:
   const std::vector<Path>& paths() const { return paths_; }
   std::size_t register_count() const { return paths_.size(); }
 
-  /// Register (path) index handling access `i`.
+  /// Register (path) index handling access `i`; throws when the paths
+  /// do not cover access `i` (a malformed cover must not silently read
+  /// as "AR0").
   std::size_t register_of(std::size_t access) const;
 
   /// Unit-cost address computations per steady-state iteration.

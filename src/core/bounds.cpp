@@ -122,4 +122,62 @@ std::optional<std::vector<Path>> greedy_zero_cost_cover(
   return result;
 }
 
+SuffixBounds::SuffixBounds(const ir::AccessSequence& seq,
+                           const CostModel& model)
+    : n_(seq.size()), dense_(seq.size() <= kDenseLimit) {
+  constexpr int kNoFinal = std::numeric_limits<int>::max();
+  if (!dense_) return;
+
+  std::vector<int> cheapest_incoming(n_, 0);
+  for (std::size_t j = 1; j < n_; ++j) {
+    int best = std::numeric_limits<int>::max();
+    for (std::size_t p = 0; p < j && best > 0; ++p) {
+      best = std::min(best, intra_transition_cost(seq, p, j, model));
+    }
+    cheapest_incoming[j] = best;
+  }
+  suffix_incoming_.assign(n_ + 1, 0);
+  for (std::size_t t = n_; t-- > 0;) {
+    suffix_incoming_[t] = suffix_incoming_[t + 1] + cheapest_incoming[t];
+  }
+
+  wrap_direct_.assign(n_ * n_, 0);
+  for (std::size_t l = 0; l < n_; ++l) {
+    for (std::size_t f = 0; f < n_; ++f) {
+      wrap_direct_[l * n_ + f] = wrap_transition_cost(seq, l, f, model);
+    }
+  }
+  wrap_suffix_min_.assign((n_ + 1) * n_, kNoFinal);
+  for (std::size_t t = n_; t-- > 0;) {
+    for (std::size_t f = 0; f < n_; ++f) {
+      wrap_suffix_min_[t * n_ + f] = std::min(
+          wrap_suffix_min_[(t + 1) * n_ + f], wrap_direct_[t * n_ + f]);
+    }
+  }
+}
+
+int SuffixBounds::cheapest_incoming_suffix(std::size_t from) const {
+  check_arg(from <= n_, "SuffixBounds: suffix start out of range");
+  if (!dense_) return 0;
+  return suffix_incoming_[from];
+}
+
+int SuffixBounds::wrap_floor(std::size_t first, std::size_t last,
+                             std::size_t from) const {
+  check_arg(first < n_ && last < n_ && from <= n_,
+            "SuffixBounds: access index out of range");
+  if (!dense_) return 0;
+  return std::min(wrap_direct_[last * n_ + first],
+                  wrap_suffix_min_[from * n_ + first]);
+}
+
+int SuffixBounds::root_lower_bound(std::size_t registers) const {
+  if (!dense_) return 0;
+  // Each of the at-most-`registers` fresh openings saves at most one
+  // access its cheapest incoming transition (costs are 0/1).
+  const int open_savings =
+      static_cast<int>(std::min<std::size_t>(registers, n_));
+  return std::max(0, suffix_incoming_[0] - open_savings);
+}
+
 }  // namespace dspaddr::core

@@ -1,8 +1,14 @@
 #include "core/exact.hpp"
 
 #include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
 #include <limits>
+#include <optional>
+#include <unordered_map>
 
+#include "core/bounds.hpp"
 #include "core/validate.hpp"
 #include "support/check.hpp"
 
@@ -10,26 +16,83 @@ namespace dspaddr::core {
 
 namespace {
 
+/// Entries kept in the transposition table before insertion stops;
+/// lookups and in-place improvements continue past the cap, so the
+/// search stays correct, only less pruned.
+constexpr std::size_t kTableCap = std::size_t{1} << 21;
+
+/// Dominance pruning tracks at most this many register states per key;
+/// beyond it the table is disabled (the other prunings keep working).
+/// Covers the whole builtin machine catalog (max K = 8).
+constexpr std::size_t kMaxDominanceRegisters = 8;
+
+/// Fixed-size, allocation-free transposition key: the next access in
+/// words[0], then one (first << 32 | last) word per used register in
+/// register order (canonical under the fresh rule — firsts increase
+/// with the register index); unused slots hold an all-ones sentinel.
+/// 32-bit packing is exact for any sequence that fits in memory.
+struct StateKey {
+  std::array<std::uint64_t, kMaxDominanceRegisters + 1> words;
+
+  friend bool operator==(const StateKey& a, const StateKey& b) {
+    return a.words == b.words;
+  }
+};
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& key) const {
+    // FNV-1a over the packed words.
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (const std::uint64_t word : key.words) {
+      hash = (hash ^ word) * 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(hash);
+  }
+};
+
 class ExactSearch {
-public:
+ public:
   ExactSearch(const ir::AccessSequence& seq, const CostModel& model,
-              std::size_t registers, std::uint64_t node_limit)
+              std::size_t registers, const ExactOptions& options)
       : seq_(seq),
         model_(model),
         registers_(registers),
-        node_limit_(node_limit),
+        options_(options),
         assignment_(seq.size(), kUnassigned),
-        best_assignment_(seq.size(), 0) {}
+        best_assignment_(seq.size(), 0),
+        legacy_(!options.use_bounds && !options.use_dominance) {
+    // Only the bounded solver reads the O(N^2) tables; the legacy
+    // baseline must not pay for (or benefit from) their construction.
+    if (options_.use_bounds) {
+      bounds_.emplace(seq, model);
+    }
+  }
 
   ExactResult run() {
     seed_incumbent_with_greedy_sweep();
+    seed_incumbent_with_warm_start();
     states_.assign(registers_, RegisterState{});
-    explore(0, 0);
+    move_scratch_.assign(seq_.size(), {});
+
+    // The root short-circuit belongs to the bounded solver; the legacy
+    // baseline must enumerate to prove, as the pre-rebuild DFS did.
+    const int root_lb =
+        bounds_.has_value() ? bounds_->root_lower_bound(registers_) : 0;
+    if (!options_.use_bounds || best_cost_ > root_lb) {
+      if (options_.time_budget_ms > 0) {
+        deadline_ = Clock::now() +
+                    std::chrono::milliseconds(options_.time_budget_ms);
+        has_deadline_ = true;
+      }
+      explore(0, 0);
+    }
 
     ExactResult result;
     result.proven = !aborted_;
     result.nodes = nodes_;
     result.cost = best_cost_;
+    result.lower_bound =
+        result.proven ? best_cost_ : std::min(root_lb, best_cost_);
     std::vector<std::vector<std::size_t>> groups(registers_);
     for (std::size_t i = 0; i < seq_.size(); ++i) {
       groups[best_assignment_[i]].push_back(i);
@@ -40,7 +103,9 @@ public:
     return result;
   }
 
-private:
+ private:
+  using Clock = std::chrono::steady_clock;
+
   static constexpr std::size_t kUnassigned =
       std::numeric_limits<std::size_t>::max();
 
@@ -48,6 +113,14 @@ private:
     bool used = false;
     std::size_t first = 0;
     std::size_t last = 0;
+  };
+
+  /// Candidate placement of the next access, for cheapest-first
+  /// ordering.
+  struct Move {
+    std::size_t reg = 0;
+    int step = 0;
+    bool fresh = false;
   };
 
   /// Cheap left-to-right sweep (place each access on the register with
@@ -90,6 +163,37 @@ private:
     best_assignment_ = assignment;
   }
 
+  /// Replaces the greedy incumbent with the caller's warm start (e.g.
+  /// the two-phase heuristic's allocation) when that is cheaper. The
+  /// warm start must be a valid exact cover: every access on exactly
+  /// one path (duplicate coverage would double-count total_cost and
+  /// seed an unachievable incumbent, silently corrupting the proof).
+  void seed_incumbent_with_warm_start() {
+    if (options_.warm_start.empty()) return;
+    std::size_t covered = 0;
+    std::vector<std::size_t> assignment(seq_.size(), kUnassigned);
+    for (std::size_t r = 0; r < options_.warm_start.size(); ++r) {
+      covered += options_.warm_start[r].size();
+      for (std::size_t i = 0; i < options_.warm_start[r].size(); ++i) {
+        const std::size_t access = options_.warm_start[r][i];
+        check_arg(access < seq_.size(),
+                  "exact_min_cost_allocation: warm start access index "
+                  "out of range");
+        assignment[access] = r;
+      }
+    }
+    check_arg(covered == seq_.size() &&
+                  std::find(assignment.begin(), assignment.end(),
+                            kUnassigned) == assignment.end() &&
+                  options_.warm_start.size() <= registers_,
+              "exact_min_cost_allocation: warm start is not a valid "
+              "allocation");
+    const int cost = total_cost(seq_, options_.warm_start, model_);
+    if (cost >= best_cost_) return;
+    best_cost_ = cost;
+    best_assignment_ = std::move(assignment);
+  }
+
   int wrap_total() const {
     int total = 0;
     for (const RegisterState& s : states_) {
@@ -100,9 +204,73 @@ private:
     return total;
   }
 
+  /// Admissible lower bound on partial cost + everything still to pay.
+  int lower_bound(std::size_t next_access, int partial_cost) const {
+    if (!bounds_.has_value()) return partial_cost;
+    const int unused = static_cast<int>(registers_ - used_count_);
+    int bound = partial_cost +
+                std::max(0, bounds_->cheapest_incoming_suffix(next_access) -
+                                unused);
+    for (std::size_t r = 0; r < used_count_; ++r) {
+      bound += bounds_->wrap_floor(states_[r].first, states_[r].last,
+                                   next_access);
+    }
+    return bound;
+  }
+
+  StateKey state_key(std::size_t next_access) const {
+    StateKey key;
+    key.words.fill(~std::uint64_t{0});
+    key.words[0] = next_access;
+    for (std::size_t r = 0; r < used_count_; ++r) {
+      key.words[1 + r] =
+          (static_cast<std::uint64_t>(states_[r].first) << 32) |
+          static_cast<std::uint64_t>(states_[r].last);
+    }
+    return key;
+  }
+
+  /// True when the subtree can be cut because the same state was
+  /// already reached at no higher cost; records the new cost otherwise.
+  bool dominated(std::size_t next_access, int partial_cost) {
+    if (!options_.use_dominance || registers_ > kMaxDominanceRegisters) {
+      return false;
+    }
+    const StateKey key = state_key(next_access);
+    const auto it = table_.find(key);
+    if (it != table_.end()) {
+      if (it->second <= partial_cost) return true;
+      it->second = partial_cost;
+      return false;
+    }
+    if (table_.size() < kTableCap) {
+      table_.emplace(key, partial_cost);
+    }
+    return false;
+  }
+
+  bool budget_exhausted() {
+    if (++nodes_ > options_.max_nodes) return true;
+    if (has_deadline_ && (nodes_ & 1023) == 0 && Clock::now() > deadline_) {
+      return true;
+    }
+    return false;
+  }
+
+  /// True when registers `a` and `b` are interchangeable for every
+  /// possible future: transition and wrap distances depend only on the
+  /// endpoint accesses' (offset, stride), so value-identical first and
+  /// last accesses make the subtrees isomorphic.
+  bool equivalent_registers(std::size_t a, std::size_t b) const {
+    return seq_[states_[a].first] == seq_[states_[b].first] &&
+           seq_[states_[a].last] == seq_[states_[b].last];
+  }
+
   void explore(std::size_t next_access, int partial_cost) {
-    if (aborted_ || partial_cost >= best_cost_) return;
-    if (++nodes_ > node_limit_) {
+    if (aborted_ || lower_bound(next_access, partial_cost) >= best_cost_) {
+      return;
+    }
+    if (budget_exhausted()) {
       aborted_ = true;
       return;
     }
@@ -115,44 +283,105 @@ private:
       }
       return;
     }
+    if (dominated(next_access, partial_cost)) return;
 
+    if (legacy_) {
+      explore_children_legacy(next_access, partial_cost);
+      return;
+    }
+
+    // Used registers occupy indices [0, used_count_): collect one move
+    // per distinct register state plus at most one fresh opening, then
+    // branch cheapest-first.
+    std::vector<Move>& moves = move_scratch_[next_access];
+    moves.clear();
+    for (std::size_t r = 0; r < used_count_; ++r) {
+      bool symmetric = false;
+      for (std::size_t prior = 0; prior < r && !symmetric; ++prior) {
+        symmetric = equivalent_registers(prior, r);
+      }
+      if (symmetric) continue;
+      moves.push_back(
+          Move{r,
+               intra_transition_cost(seq_, states_[r].last, next_access,
+                                     model_),
+               false});
+    }
+    if (used_count_ < registers_) {
+      moves.push_back(Move{used_count_, 0, true});
+    }
+    std::stable_sort(moves.begin(), moves.end(),
+                     [](const Move& a, const Move& b) {
+                       if (a.step != b.step) return a.step < b.step;
+                       return !a.fresh && b.fresh;
+                     });
+
+    for (const Move& move : moves) {
+      apply_move(move, next_access, partial_cost);
+      if (aborted_) return;
+    }
+  }
+
+  /// The pre-anytime enumeration (register index order, fresh-register
+  /// rule only) — the measurement baseline for bench_exact_gap.
+  void explore_children_legacy(std::size_t next_access, int partial_cost) {
     bool opened_fresh_register = false;
     for (std::size_t r = 0; r < registers_; ++r) {
-      RegisterState& state = states_[r];
-      if (!state.used) {
-        // All unused registers are interchangeable: try only the first.
+      if (!states_[r].used) {
         if (opened_fresh_register) break;
         opened_fresh_register = true;
-        state = RegisterState{true, next_access, next_access};
-        assignment_[next_access] = r;
-        explore(next_access + 1, partial_cost);
-        assignment_[next_access] = kUnassigned;
-        state = RegisterState{};
+        apply_move(Move{r, 0, true}, next_access, partial_cost);
       } else {
-        const int step =
-            intra_transition_cost(seq_, state.last, next_access, model_);
-        const std::size_t saved_last = state.last;
-        state.last = next_access;
-        assignment_[next_access] = r;
-        explore(next_access + 1, partial_cost + step);
-        assignment_[next_access] = kUnassigned;
-        state.last = saved_last;
+        apply_move(
+            Move{r,
+                 intra_transition_cost(seq_, states_[r].last, next_access,
+                                       model_),
+                 false},
+            next_access, partial_cost);
       }
       if (aborted_) return;
     }
   }
 
+  void apply_move(const Move& move, std::size_t next_access,
+                  int partial_cost) {
+    RegisterState& state = states_[move.reg];
+    assignment_[next_access] = move.reg;
+    if (move.fresh) {
+      state = RegisterState{true, next_access, next_access};
+      ++used_count_;
+      explore(next_access + 1, partial_cost);
+      --used_count_;
+      state = RegisterState{};
+    } else {
+      const std::size_t saved_last = state.last;
+      state.last = next_access;
+      explore(next_access + 1, partial_cost + move.step);
+      state.last = saved_last;
+    }
+    assignment_[next_access] = kUnassigned;
+  }
+
   const ir::AccessSequence& seq_;
   const CostModel& model_;
   const std::size_t registers_;
-  const std::uint64_t node_limit_;
+  const ExactOptions& options_;
+  std::optional<SuffixBounds> bounds_;
 
   std::vector<RegisterState> states_;
+  std::size_t used_count_ = 0;
   std::vector<std::size_t> assignment_;
   std::vector<std::size_t> best_assignment_;
   int best_cost_ = std::numeric_limits<int>::max();
   std::uint64_t nodes_ = 0;
   bool aborted_ = false;
+  const bool legacy_;
+
+  Clock::time_point deadline_;
+  bool has_deadline_ = false;
+  std::unordered_map<StateKey, int, StateKeyHash> table_;
+  /// Per-depth move buffers (avoids an allocation per search node).
+  std::vector<std::vector<Move>> move_scratch_;
 };
 
 }  // namespace
@@ -164,10 +393,14 @@ ExactResult exact_min_cost_allocation(const ir::AccessSequence& seq,
   check_arg(registers >= 1,
             "exact_min_cost_allocation: need at least one register");
   if (seq.empty()) {
-    return ExactResult{{}, 0, true, 0};
+    ExactResult empty;
+    empty.proven = true;
+    return empty;
   }
 
-  ExactSearch search(seq, model, registers, options.max_nodes);
+  // More registers than accesses never helps (each access occupies at
+  // most one); clamping keeps the state tables small for generous K.
+  ExactSearch search(seq, model, std::min(registers, seq.size()), options);
   ExactResult result = search.run();
   check_invariant(result.cost != std::numeric_limits<int>::max(),
                   "exact_min_cost_allocation: no assignment found");

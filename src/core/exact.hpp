@@ -1,20 +1,32 @@
-// Exact minimum-cost allocation by branch-and-bound — the optimality
-// oracle for the two-phase heuristic.
+// Exact minimum-cost allocation by anytime branch-and-bound — the
+// optimality oracle for the two-phase heuristic and the default phase-2
+// solver for realistically sized kernels.
 //
 // The paper's heuristic decomposes the problem (zero-cost cover, then
 // cost-guided merging); this module solves the original problem
 // directly: over all partitions of the access sequence into at most K
 // order-preserving subsequences, find one of minimum total cost under
-// the cost model. Exponential in general (the paper notes phase 1 alone
-// is exponential with inter-iteration dependencies), so intended for
-// small N — property tests and the heuristic-quality study of
-// bench_exact_gap use it as ground truth.
+// the cost model.
 //
 // Search shape: accesses are assigned in sequence order; a state is the
-// (first, last, accumulated intra cost) triple per register. Symmetry
-// is broken by only ever opening the lowest-numbered unused register,
-// and branches are pruned when the accumulated cost (wrap costs are
-// >= 0 and added at the end) reaches the incumbent.
+// (first, last) pair per register. Four prunings keep the exponential
+// tree tractable far beyond the old incumbent-only DFS:
+//  * an admissible lower bound on the unassigned suffix
+//    (core::SuffixBounds): cheapest-incoming-transition relaxation per
+//    access plus a wrap-cost floor per open register;
+//  * register symmetry breaking: only the lowest-numbered unused
+//    register is ever opened, and extending a register whose (first,
+//    last) accesses are value-identical (same offset and stride) to an
+//    earlier register's is skipped — the subtrees are isomorphic;
+//  * dominance pruning: a transposition table keyed on (next access,
+//    per-register first/last states) cuts any branch that reaches an
+//    already-seen state at no lower cost;
+//  * move ordering: cheapest transition first, so good incumbents
+//    appear early and the incumbent bound bites sooner.
+// The search is *anytime*: it is seeded with a greedy incumbent (or the
+// caller's warm start), honors node and wall-clock budgets, and on
+// abort returns the best incumbent with `proven == false` and the
+// optimality gap against the root lower bound.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +42,21 @@ struct ExactOptions {
   /// Hard cap on search nodes; hitting it degrades `proven` to false
   /// but keeps the best incumbent.
   std::uint64_t max_nodes = 50'000'000;
+  /// Wall-clock budget in milliseconds; 0 disables the clock. A timed
+  /// abort keeps the best incumbent, like the node cap (but unlike it,
+  /// makes results machine-dependent — leave at 0 when reproducibility
+  /// matters).
+  std::int64_t time_budget_ms = 0;
+  /// Suffix lower bounds (SuffixBounds). Off reproduces the legacy
+  /// incumbent-only DFS, kept for A/B measurement in bench_exact_gap.
+  bool use_bounds = true;
+  /// Dominance pruning via the transposition table (auto-disabled for
+  /// K > 8, where the fixed-size state key no longer fits).
+  bool use_dominance = true;
+  /// Optional warm-start incumbent: a valid allocation of the sequence
+  /// onto at most `registers` registers (e.g. the two-phase heuristic's
+  /// result). The search then only explores improvements on it.
+  std::vector<Path> warm_start;
 };
 
 struct ExactResult {
@@ -38,6 +65,12 @@ struct ExactResult {
   /// True when the search completed (the cost is provably minimal).
   bool proven = false;
   std::uint64_t nodes = 0;
+  /// Best proven lower bound on the optimum: the cost itself when
+  /// `proven`, otherwise the admissible root bound.
+  int lower_bound = 0;
+
+  /// Optimality gap of the incumbent (0 when proven).
+  int gap() const { return cost - lower_bound; }
 };
 
 /// Minimum-cost allocation of `seq` onto at most `registers` address

@@ -14,20 +14,26 @@ ModifyRegisterPlan plan_modify_registers(const ir::AccessSequence& seq,
                                          std::size_t mr_count) {
   const CostModel& model = allocation.model();
 
-  // Histogram of constant distances of unit-cost transitions.
+  // Histogram of constant distances of over-range transitions, each
+  // credited its *actual* cost under the model — crediting a flat 1 per
+  // entry would mis-account any transition the cost model charges
+  // differently and could drive residual_cost negative.
   std::map<std::int64_t, int> histogram;
   for (const Path& path : allocation.paths()) {
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-      if (intra_transition_cost(seq, path[i], path[i + 1], model) == 0) {
-        continue;
-      }
+      const int cost =
+          intra_transition_cost(seq, path[i], path[i + 1], model);
+      if (cost == 0) continue;
       const auto d = seq.intra_distance(path[i], path[i + 1]);
-      if (d.has_value()) ++histogram[*d];
+      if (d.has_value()) histogram[*d] += cost;
     }
-    if (!path.empty() &&
-        wrap_transition_cost(seq, path.last(), path.first(), model) != 0) {
-      const auto d = seq.wrap_distance(path.last(), path.first());
-      if (d.has_value()) ++histogram[*d];
+    if (!path.empty()) {
+      const int cost =
+          wrap_transition_cost(seq, path.last(), path.first(), model);
+      if (cost != 0) {
+        const auto d = seq.wrap_distance(path.last(), path.first());
+        if (d.has_value()) histogram[*d] += cost;
+      }
     }
   }
 

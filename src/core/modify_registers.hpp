@@ -28,14 +28,15 @@ namespace dspaddr::core {
 /// One planned modify register.
 struct ModifyRegister {
   std::int64_t value = 0;
-  /// Unit-cost transitions per iteration this value eliminates.
+  /// Address-computation cost per iteration this value eliminates (the
+  /// summed actual transition costs, not a flat per-transition count).
   int covered = 0;
 };
 
 /// Result of planning `mr_count` modify registers for an allocation.
 struct ModifyRegisterPlan {
   std::vector<ModifyRegister> values;
-  /// Unit-cost transitions eliminated per iteration (sum of covered).
+  /// Address-computation cost eliminated per iteration (sum of covered).
   int covered_per_iteration = 0;
   /// Allocation cost remaining after the plan.
   int residual_cost = 0;

@@ -20,6 +20,7 @@ namespace {
 struct BatchTask {
   const ir::Kernel* kernel = nullptr;
   agu::AguSpec machine;
+  core::Phase2Options phase2;
 };
 
 std::vector<BatchTask> build_grid(const BatchConfig& config) {
@@ -42,6 +43,7 @@ std::vector<BatchTask> build_grid(const BatchConfig& config) {
           task.machine = machine;
           task.machine.address_registers = k;
           task.machine.modify_range = m;
+          task.phase2 = config.phase2;
           tasks.push_back(task);
         }
       }
@@ -64,10 +66,15 @@ BatchRow run_cell(const BatchTask& task) {
     core::ProblemConfig config;
     config.modify_range = task.machine.modify_range;
     config.registers = task.machine.address_registers;
+    config.phase2 = task.phase2;
     const core::Allocation allocation =
         core::RegisterAllocator(config).run(seq);
     row.k_tilde = allocation.stats().k_tilde;
     row.allocation_cost = allocation.cost();
+    row.phase2_exact = allocation.stats().phase2_exact;
+    row.phase2_proven = allocation.stats().phase2_proven;
+    row.phase2_gap = allocation.stats().phase2_gap;
+    row.phase2_nodes = allocation.stats().phase2_nodes;
 
     const core::ModifyRegisterPlan plan = core::plan_modify_registers(
         seq, allocation, task.machine.modify_registers);
@@ -147,12 +154,30 @@ std::string k_tilde_field(const BatchRow& row) {
   return std::to_string(*row.k_tilde);
 }
 
+std::string phase2_field(const BatchRow& row) {
+  if (!row.error.empty()) return "-";
+  return row.phase2_exact ? "exact" : "heuristic";
+}
+
+std::string proven_field(const BatchRow& row) {
+  if (!row.error.empty()) return "-";
+  return row.phase2_proven ? "yes" : "no";
+}
+
+std::string gap_field(const BatchRow& row) {
+  // The gap is only meaningful when the exact search ran: heuristic
+  // cells have no lower bound to measure against.
+  if (!row.error.empty() || !row.phase2_exact) return "-";
+  return std::to_string(row.phase2_gap);
+}
+
 }  // namespace
 
 support::CsvWriter batch_to_csv(const BatchResult& result) {
   support::CsvWriter csv({"kernel", "machine", "registers", "modify_range",
                           "modify_registers", "accesses", "k_tilde",
-                          "allocation_cost", "residual_cost",
+                          "allocation_cost", "residual_cost", "phase2",
+                          "proven", "gap", "phase2_nodes",
                           "size_reduction_percent",
                           "speed_reduction_percent", "verified", "error"});
   for (const BatchRow& row : result.rows) {
@@ -166,6 +191,10 @@ support::CsvWriter batch_to_csv(const BatchResult& result) {
         k_tilde_field(row),
         std::to_string(row.allocation_cost),
         std::to_string(row.residual_cost),
+        phase2_field(row),
+        proven_field(row),
+        gap_field(row),
+        std::to_string(row.phase2_nodes),
         support::format_fixed(row.size_reduction_percent, 2),
         support::format_fixed(row.speed_reduction_percent, 2),
         row.error.empty() ? (row.verified ? "yes" : "no") : "-",
@@ -177,14 +206,15 @@ support::CsvWriter batch_to_csv(const BatchResult& result) {
 
 support::Table batch_to_table(const BatchResult& result) {
   support::Table table({"kernel", "machine", "K", "M", "L", "N", "K~",
-                        "cost", "residual", "size red.", "speed red.",
-                        "verified"});
+                        "cost", "residual", "phase2", "proven", "gap",
+                        "size red.", "speed red.", "verified"});
   for (const BatchRow& row : result.rows) {
     if (!row.error.empty()) {
       table.add_row({row.kernel, row.machine, std::to_string(row.registers),
                      std::to_string(row.modify_range),
                      std::to_string(row.modify_registers), "-", "-", "-",
-                     "-", "-", "-", "error: " + row.error});
+                     "-", "-", "-", "-", "-", "-",
+                     "error: " + row.error});
       continue;
     }
     table.add_row({
@@ -197,6 +227,9 @@ support::Table batch_to_table(const BatchResult& result) {
         k_tilde_field(row),
         std::to_string(row.allocation_cost),
         std::to_string(row.residual_cost),
+        phase2_field(row),
+        proven_field(row),
+        gap_field(row),
         support::format_percent(row.size_reduction_percent),
         support::format_percent(row.speed_reduction_percent),
         row.verified ? "yes" : "no",

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "agu/machines.hpp"
+#include "core/allocator.hpp"
 #include "ir/kernel.hpp"
 #include "support/csv.hpp"
 #include "support/table.hpp"
@@ -32,6 +33,10 @@ struct BatchConfig {
   std::vector<std::int64_t> modify_ranges;
   /// Worker threads (>= 1). Never affects results, only wall time.
   std::size_t jobs = 1;
+  /// Phase-2 solver selection and budgets, applied to every cell. A
+  /// nonzero time budget trades byte-identical reruns for a wall-clock
+  /// cap; the node budget alone keeps the CSV deterministic.
+  core::Phase2Options phase2;
 };
 
 /// One grid cell's outcome. When the pipeline throws (e.g. a register
@@ -49,6 +54,15 @@ struct BatchRow {
   int allocation_cost = 0;
   /// Cost left after modify-register planning.
   int residual_cost = 0;
+  /// Whether the exact phase-2 search ran for this cell.
+  bool phase2_exact = false;
+  /// Whether the allocation cost is provably optimal.
+  bool phase2_proven = false;
+  /// Anytime optimality gap (0 when proven; meaningless when the exact
+  /// search did not run — rendered as "-" then).
+  int phase2_gap = 0;
+  /// Nodes explored by the phase-2 search.
+  std::uint64_t phase2_nodes = 0;
   double size_reduction_percent = 0.0;
   double speed_reduction_percent = 0.0;
   bool verified = false;

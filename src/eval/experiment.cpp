@@ -38,6 +38,7 @@ SweepResult run_random_pattern_sweep(const SweepConfig& config) {
         problem.modify_range = m;
         problem.registers = k;
         problem.phase1 = config.phase1;
+        problem.phase2 = config.phase2;
 
         // Per-cell generator stream: decorrelated across cells, stable
         // under reordering of the sweep loops.
@@ -67,6 +68,9 @@ SweepResult run_random_pattern_sweep(const SweepConfig& config) {
           if (merged.stats().k_tilde.has_value() &&
               *merged.stats().k_tilde > k) {
             ++cell_result.constrained_trials;
+          }
+          if (merged.stats().phase2_proven) {
+            ++cell_result.proven_trials;
           }
         }
 

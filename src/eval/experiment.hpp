@@ -30,12 +30,23 @@ struct SweepConfig {
   PatternSpec pattern;  // accesses overwritten per cell
   /// Phase-1 mode for both contenders (kAuto is exact for small N).
   core::Phase1Options phase1;
+  /// Phase-2 mode of the path-merge contender. Defaults to the paper's
+  /// pure heuristic so T1 keeps measuring merging, not the exact
+  /// search; switch to kAuto/kExact to sweep proven-optimality rates.
+  core::Phase2Options phase2 = heuristic_phase2();
 
   /// The paper's grid: N in {10..100 step 10}, M in {1,2,3},
   /// K in {1,2,4,8}, 100 trials.
   static SweepConfig paper_grid();
   /// A reduced grid for tests and quick runs.
   static SweepConfig smoke_grid();
+
+ private:
+  static core::Phase2Options heuristic_phase2() {
+    core::Phase2Options options;
+    options.mode = core::Phase2Options::Mode::kHeuristic;
+    return options;
+  }
 };
 
 /// Aggregated results of one cell.
@@ -48,6 +59,9 @@ struct CellResult {
   double mean_reduction_percent = 0.0;
   /// Trials where merging was needed at all (K < K~).
   std::size_t constrained_trials = 0;
+  /// Trials whose allocation cost was proven optimal (phase-2 exact
+  /// search or a trivially free allocation).
+  std::size_t proven_trials = 0;
 };
 
 /// Full sweep results.

@@ -50,9 +50,15 @@ ir::AccessSequence generate_pattern(const PatternSpec& spec,
       break;
     }
     case PatternFamily::kStrided: {
-      const std::int64_t lattice = std::max<std::int64_t>(2, r / 4);
+      // Coarse lattice spacing, shrunk to 1 for tiny ranges so the
+      // lattice keeps at least three points whenever r >= 1; with the
+      // old unconditional clamp to >= 2, any r < 2 collapsed every
+      // draw onto the single lattice point 0.
+      const std::int64_t lattice =
+          r == 0 ? 1
+                 : std::min<std::int64_t>(r, std::max<std::int64_t>(2, r / 4));
+      const std::int64_t steps = r / lattice;
       for (auto& offset : offsets) {
-        const std::int64_t steps = lattice == 0 ? 0 : r / lattice;
         offset = std::clamp(
             rng.uniform_int(-steps, steps) * lattice +
                 rng.uniform_int(-1, 1),
@@ -68,11 +74,17 @@ ir::AccessSequence generate_pattern(const PatternSpec& spec,
                          : -r + static_cast<std::int64_t>(
                                     (2 * r * i) / (offsets.size() - 1));
       }
-      // A few random transpositions break monotonicity.
-      const std::size_t swaps = offsets.size() / 4;
+      // A few random transpositions break monotonicity. Drawing both
+      // endpoints over the full index range allowed self-swaps, which
+      // silently produced fewer transpositions than intended; draw the
+      // second endpoint from the remaining indices instead.
+      const std::size_t swaps =
+          offsets.size() >= 2 ? offsets.size() / 4 : 0;
       for (std::size_t s = 0; s < swaps; ++s) {
-        std::swap(offsets[rng.index(offsets.size())],
-                  offsets[rng.index(offsets.size())]);
+        const std::size_t a = rng.index(offsets.size());
+        std::size_t b = rng.index(offsets.size() - 1);
+        if (b >= a) ++b;
+        std::swap(offsets[a], offsets[b]);
       }
       break;
     }

@@ -7,7 +7,8 @@ namespace dspaddr::eval {
 support::CsvWriter sweep_to_csv(const SweepResult& result) {
   support::CsvWriter csv({"n", "m", "k", "k_tilde_mean", "naive_mean",
                           "naive_ci95", "merged_mean", "merged_ci95",
-                          "reduction_percent", "constrained_trials"});
+                          "reduction_percent", "constrained_trials",
+                          "proven_trials"});
   for (const CellResult& cell : result.cells) {
     csv.add_row({
         std::to_string(cell.cell.accesses),
@@ -20,6 +21,7 @@ support::CsvWriter sweep_to_csv(const SweepResult& result) {
         support::format_fixed(cell.merged_cost.ci95_half_width(), 4),
         support::format_fixed(cell.mean_reduction_percent, 2),
         std::to_string(cell.constrained_trials),
+        std::to_string(cell.proven_trials),
     });
   }
   return csv;
@@ -27,7 +29,7 @@ support::CsvWriter sweep_to_csv(const SweepResult& result) {
 
 support::Table sweep_to_table(const SweepResult& result) {
   support::Table table({"N", "M", "K", "K~ (mean)", "naive cost",
-                        "path-merge cost", "reduction"});
+                        "path-merge cost", "reduction", "proven"});
   for (const CellResult& cell : result.cells) {
     table.add_row({
         std::to_string(cell.cell.accesses),
@@ -37,6 +39,7 @@ support::Table sweep_to_table(const SweepResult& result) {
         support::format_fixed(cell.naive_cost.mean(), 2),
         support::format_fixed(cell.merged_cost.mean(), 2),
         support::format_percent(cell.mean_reduction_percent),
+        std::to_string(cell.proven_trials),
     });
   }
   return table;

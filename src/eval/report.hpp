@@ -12,7 +12,7 @@ namespace dspaddr::eval {
 
 /// CSV with one row per sweep cell:
 /// n,m,k,k_tilde_mean,naive_mean,naive_ci95,merged_mean,merged_ci95,
-/// reduction_percent,constrained_trials.
+/// reduction_percent,constrained_trials,proven_trials.
 support::CsvWriter sweep_to_csv(const SweepResult& result);
 
 /// ASCII table mirroring the CSV (used by bench T1 and tools).

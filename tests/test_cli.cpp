@@ -49,6 +49,30 @@ TEST(CliOptions, EqualsSyntax) {
   EXPECT_EQ(options.format, cli::OutputFormat::kCsv);
 }
 
+TEST(CliOptions, Phase2AndTimeBudgetFlags) {
+  const cli::RunOptions defaults =
+      cli::parse_run_options({"--kernel", "f.c"});
+  EXPECT_EQ(defaults.phase2, core::Phase2Options::Mode::kAuto);
+  EXPECT_EQ(defaults.time_budget_ms, 0);
+
+  const cli::RunOptions run = cli::parse_run_options(
+      {"--kernel", "f.c", "--phase2", "exact", "--time-budget-ms", "250"});
+  EXPECT_EQ(run.phase2, core::Phase2Options::Mode::kExact);
+  EXPECT_EQ(run.time_budget_ms, 250);
+
+  const cli::BatchOptions batch = cli::parse_batch_options(
+      {"--builtin", "fir", "--phase2=heuristic", "--time-budget-ms=9"});
+  EXPECT_EQ(batch.phase2, core::Phase2Options::Mode::kHeuristic);
+  EXPECT_EQ(batch.time_budget_ms, 9);
+
+  EXPECT_THROW(
+      cli::parse_run_options({"--kernel", "f.c", "--phase2", "brute"}),
+      cli::UsageError);
+  EXPECT_THROW(cli::parse_run_options(
+                   {"--kernel", "f.c", "--time-budget-ms", "-1"}),
+               cli::UsageError);
+}
+
 TEST(CliOptions, RunRejectsBadInput) {
   EXPECT_THROW(cli::parse_run_options({}), cli::UsageError);
   EXPECT_THROW(cli::parse_run_options({"--kernel"}), cli::UsageError);
@@ -162,6 +186,28 @@ TEST(CliApp, RunPaperExampleVerifies) {
   // K~ = 3 and the optimal K=2 cost of 2 from the paper's example.
   EXPECT_NE(out.find("K~=3"), std::string::npos) << out;
   EXPECT_NE(out.find("cost: 2/iteration"), std::string::npos) << out;
+}
+
+TEST(CliApp, RunReportsPhase2Provenance) {
+  std::string out;
+  std::string err;
+  const int code = run({"run", "--kernel", kRoot + "paper_example.c",
+                        "--registers", "2", "--phase2", "exact",
+                        "--time-budget-ms", "5000"},
+                       out, err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("phase 2 exact, proven optimal"), std::string::npos)
+      << out;
+}
+
+TEST(CliApp, HeuristicPhase2ReportsNoProof) {
+  std::string out;
+  std::string err;
+  const int code = run({"run", "--kernel", kRoot + "paper_example.c",
+                        "--registers", "2", "--phase2", "heuristic"},
+                       out, err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("phase 2 heuristic"), std::string::npos) << out;
 }
 
 TEST(CliApp, RunCsvMatchesBatchSchema) {

@@ -74,6 +74,80 @@ TEST(RegisterAllocator, RegisterOfMapsEveryAccess) {
   EXPECT_THROW(a.register_of(kPaperSeq.size()), dspaddr::InvalidArgument);
 }
 
+TEST(RegisterAllocator, RegisterOfFailsLoudlyOnUncoveredAccess) {
+  // A malformed cover (access 2 on no path) must not silently read as
+  // "access 2 is on AR0".
+  const auto seq = AccessSequence::from_offsets({0, 1, 2, 3});
+  const Allocation partial(seq, CostModel{1, WrapPolicy::kCyclic},
+                           {Path({0, 1}), Path({3})}, {});
+  EXPECT_EQ(partial.register_of(0), 0u);
+  EXPECT_EQ(partial.register_of(3), 1u);
+  EXPECT_THROW(partial.register_of(2), dspaddr::InvariantViolation);
+}
+
+TEST(RegisterAllocator, ExactPhase2UpgradesHeuristicMerges) {
+  // Sweep random instances until the exact phase 2 strictly improves on
+  // the heuristic at least once, and never worsens it.
+  support::Rng rng(314);
+  std::size_t improvements = 0;
+  for (std::size_t trial = 0; trial < 40; ++trial) {
+    eval::PatternSpec spec;
+    spec.accesses = 10 + rng.index(8);
+    spec.offset_range = 6;
+    spec.family = static_cast<eval::PatternFamily>(trial % 4);
+    const auto seq = eval::generate_pattern(spec, rng);
+
+    ProblemConfig heuristic_config;
+    heuristic_config.modify_range = 1;
+    heuristic_config.registers = 2;
+    heuristic_config.phase2.mode = Phase2Options::Mode::kHeuristic;
+    const Allocation heuristic =
+        RegisterAllocator(heuristic_config).run(seq);
+    EXPECT_FALSE(heuristic.cost() > 0 &&
+                 heuristic.stats().phase2_exact);
+
+    ProblemConfig exact_config = heuristic_config;
+    exact_config.phase2.mode = Phase2Options::Mode::kExact;
+    const Allocation exact = RegisterAllocator(exact_config).run(seq);
+    EXPECT_TRUE(exact.stats().phase2_exact);
+    EXPECT_TRUE(exact.stats().phase2_proven);
+    EXPECT_EQ(exact.stats().phase2_gap, 0);
+    EXPECT_LE(exact.cost(), heuristic.cost());
+    validate_allocation(seq, exact.paths(), 2);
+    if (exact.cost() < heuristic.cost()) ++improvements;
+  }
+  EXPECT_GT(improvements, 0u);
+}
+
+TEST(RegisterAllocator, AutoPhase2SkipsLargeSequences) {
+  support::Rng rng(99);
+  eval::PatternSpec spec;
+  spec.accesses = 40;  // above the auto exact_access_limit
+  spec.offset_range = 10;
+  const auto seq = eval::generate_pattern(spec, rng);
+
+  ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 2;
+  const Allocation a = RegisterAllocator(config).run(seq);
+  if (a.cost() > 0) {
+    EXPECT_FALSE(a.stats().phase2_exact);
+    EXPECT_FALSE(a.stats().phase2_proven);
+  }
+}
+
+TEST(RegisterAllocator, ZeroCostAllocationIsTriviallyProven) {
+  const auto seq = AccessSequence::from_offsets({0, 1, 2, 3});
+  ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 4;
+  config.phase2.mode = Phase2Options::Mode::kHeuristic;
+  const Allocation a = RegisterAllocator(config).run(seq);
+  ASSERT_EQ(a.cost(), 0);
+  EXPECT_TRUE(a.stats().phase2_proven);
+  EXPECT_EQ(a.stats().phase2_nodes, 0u);
+}
+
 TEST(RegisterAllocator, ToStringMentionsEveryRegister) {
   const Allocation a = RegisterAllocator(paper_config(2)).run(kPaperSeq);
   const std::string text = a.to_string(kPaperSeq);

@@ -70,10 +70,110 @@ TEST(ExactAllocator, NodeCapDegradesGracefully) {
   const auto seq = eval::generate_pattern(spec, rng);
   ExactOptions options;
   options.max_nodes = 10;  // far too small to finish
+  options.use_bounds = false;  // keep the search from finishing anyway
+  options.use_dominance = false;
   const ExactResult r = exact_min_cost_allocation(seq, kM1, 3, options);
   EXPECT_FALSE(r.proven);
-  // Still a valid allocation (the greedy incumbent at worst).
+  // Still a valid allocation (the greedy incumbent at worst) with a
+  // reported anytime gap against the admissible root bound.
   validate_allocation(seq, r.paths, 3);
+  EXPECT_LE(r.lower_bound, r.cost);
+  EXPECT_EQ(r.gap(), r.cost - r.lower_bound);
+  EXPECT_GE(r.gap(), 0);
+}
+
+TEST(ExactAllocator, ProvenResultReportsZeroGap) {
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const ExactResult r = exact_min_cost_allocation(seq, kM1, 2);
+  ASSERT_TRUE(r.proven);
+  EXPECT_EQ(r.lower_bound, r.cost);
+  EXPECT_EQ(r.gap(), 0);
+}
+
+TEST(ExactAllocator, ProvesTwentyAccessPatternsAcrossFamilies) {
+  // The old incumbent-only DFS aborted on most 20-access instances;
+  // the bounded search must prove all of them within the default node
+  // budget (acceptance criterion of the anytime rebuild).
+  const std::vector<eval::PatternFamily> families = {
+      eval::PatternFamily::kUniform, eval::PatternFamily::kClustered,
+      eval::PatternFamily::kStrided, eval::PatternFamily::kSortedNoise};
+  for (const eval::PatternFamily family : families) {
+    for (const std::size_t k : {2u, 4u}) {
+      support::Rng rng(0xF00D ^ (static_cast<std::uint64_t>(family) << 8) ^
+                       k);
+      for (std::size_t trial = 0; trial < 3; ++trial) {
+        eval::PatternSpec spec;
+        spec.accesses = 20;
+        spec.offset_range = 8;
+        spec.family = family;
+        const auto seq = eval::generate_pattern(spec, rng);
+        const ExactResult r = exact_min_cost_allocation(seq, kM1, k);
+        EXPECT_TRUE(r.proven)
+            << eval::to_string(family) << " K=" << k << " trial " << trial;
+        validate_allocation(seq, r.paths, k);
+      }
+    }
+  }
+}
+
+TEST(ExactAllocator, WarmStartNeverWorsensAndStaysValid) {
+  support::Rng rng(77);
+  eval::PatternSpec spec;
+  spec.accesses = 14;
+  spec.offset_range = 6;
+  const auto seq = eval::generate_pattern(spec, rng);
+
+  ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 2;
+  config.phase2.mode = Phase2Options::Mode::kHeuristic;
+  const Allocation heuristic = RegisterAllocator(config).run(seq);
+
+  ExactOptions options;
+  options.warm_start = heuristic.paths();
+  const ExactResult r = exact_min_cost_allocation(seq, kM1, 2, options);
+  EXPECT_LE(r.cost, heuristic.cost());
+  validate_allocation(seq, r.paths, 2);
+}
+
+TEST(ExactAllocator, HugeSequenceDegradesWithoutDenseBounds) {
+  // Above SuffixBounds::kDenseLimit the O(N^2) tables are skipped and
+  // the search must still return a valid incumbent under the node cap
+  // instead of exhausting memory up front.
+  support::Rng rng(8);
+  eval::PatternSpec spec;
+  spec.accesses = 1500;
+  spec.offset_range = 50;
+  const auto seq = eval::generate_pattern(spec, rng);
+  ExactOptions options;
+  options.max_nodes = 5'000;
+  const ExactResult r = exact_min_cost_allocation(seq, kM1, 4, options);
+  EXPECT_FALSE(r.proven);
+  validate_allocation(seq, r.paths, 4);
+  EXPECT_EQ(r.lower_bound, 0);  // trivial bounds in effect
+  EXPECT_EQ(r.gap(), r.cost);
+}
+
+TEST(ExactAllocator, RejectsMalformedWarmStart) {
+  const auto seq = AccessSequence::from_offsets({0, 1, 2, 3});
+
+  ExactOptions incomplete;
+  incomplete.warm_start = {Path({0, 1})};  // misses accesses 2 and 3
+  EXPECT_THROW(exact_min_cost_allocation(seq, kM1, 1, incomplete),
+               dspaddr::InvalidArgument);
+
+  // Overlapping paths fill every assignment slot but double-count the
+  // shared access; a cover check alone would let the double-counted
+  // cost seed an unachievable incumbent.
+  ExactOptions overlapping;
+  overlapping.warm_start = {Path({0, 1, 2}), Path({1, 3})};
+  EXPECT_THROW(exact_min_cost_allocation(seq, kM1, 2, overlapping),
+               dspaddr::InvalidArgument);
+
+  ExactOptions out_of_range;
+  out_of_range.warm_start = {Path({0, 1, 2, 3, 9})};
+  EXPECT_THROW(exact_min_cost_allocation(seq, kM1, 1, out_of_range),
+               dspaddr::InvalidArgument);
 }
 
 /// Oracle: full enumeration of register assignments (tiny N, small K).
@@ -114,7 +214,8 @@ TEST_P(ExactPropertyTest, MatchesBruteForceEnumeration) {
     o = rng.uniform_int(-4, 4);
   }
   const auto seq = AccessSequence::from_offsets(offsets);
-  const CostModel model{1 + rng.uniform_int(0, 1), WrapPolicy::kCyclic};
+  // Modify ranges spanning the builtin machine catalog (M in 1..4).
+  const CostModel model{1 + rng.uniform_int(0, 3), WrapPolicy::kCyclic};
 
   const ExactResult r = exact_min_cost_allocation(seq, model, k);
   ASSERT_TRUE(r.proven);
@@ -140,6 +241,57 @@ TEST_P(ExactPropertyTest, HeuristicNeverBeatsExact) {
   const ExactResult exact = exact_min_cost_allocation(seq, kM1, k);
   ASSERT_TRUE(exact.proven);
   EXPECT_GE(heuristic, exact.cost);
+}
+
+TEST_P(ExactPropertyTest, ExactIsAtMostAllocatorAcrossMachineGrid) {
+  // exact_min_cost_allocation(...).cost <= RegisterAllocator::run(...)
+  // .cost() over a machines-like K x M grid, every pattern family.
+  support::Rng rng(GetParam() * 677 + 5);
+  eval::PatternSpec spec;
+  spec.accesses = 6 + rng.index(7);  // up to 12
+  spec.offset_range = 6;
+  spec.family = static_cast<eval::PatternFamily>(GetParam() % 4);
+  const auto seq = eval::generate_pattern(spec, rng);
+
+  for (const std::int64_t m : {1, 2, 4}) {
+    for (const std::size_t k : {1u, 2u, 4u}) {
+      ProblemConfig config;
+      config.modify_range = m;
+      config.registers = k;
+      config.phase2.mode = Phase2Options::Mode::kHeuristic;
+      const int heuristic = RegisterAllocator(config).run(seq).cost();
+
+      const CostModel model{m, WrapPolicy::kCyclic};
+      const ExactResult exact = exact_min_cost_allocation(seq, model, k);
+      ASSERT_TRUE(exact.proven) << "M=" << m << " K=" << k;
+      EXPECT_LE(exact.cost, heuristic) << "M=" << m << " K=" << k;
+      validate_allocation(seq, exact.paths, k);
+    }
+  }
+}
+
+TEST_P(ExactPropertyTest, PrunedSearchAgreesWithLegacyDfs) {
+  // The bounds + dominance + symmetry machinery must never change the
+  // proven optimum, only how fast it is reached; and it must reach it
+  // with no more nodes than the legacy incumbent-only DFS.
+  support::Rng rng(GetParam() * 1201 + 7);
+  eval::PatternSpec spec;
+  spec.accesses = 6 + rng.index(6);  // up to 11: legacy still finishes
+  spec.offset_range = 5;
+  spec.family = static_cast<eval::PatternFamily>(GetParam() % 4);
+  const auto seq = eval::generate_pattern(spec, rng);
+  const std::size_t k = 1 + rng.index(3);
+
+  ExactOptions legacy;
+  legacy.use_bounds = false;
+  legacy.use_dominance = false;
+  const ExactResult old_style =
+      exact_min_cost_allocation(seq, kM1, k, legacy);
+  const ExactResult pruned = exact_min_cost_allocation(seq, kM1, k);
+  ASSERT_TRUE(old_style.proven);
+  ASSERT_TRUE(pruned.proven);
+  EXPECT_EQ(pruned.cost, old_style.cost);
+  EXPECT_LE(pruned.nodes, old_style.nodes);
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomSeeds, ExactPropertyTest,

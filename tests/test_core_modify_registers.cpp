@@ -95,6 +95,48 @@ TEST(ModifyRegisters, PlanTextShowsInProgramListing) {
   EXPECT_NE(text.find("post-modify +MR0"), std::string::npos);
 }
 
+TEST(ModifyRegisters, SavingsComeFromActualTransitionCosts) {
+  // Regression for the flat saving-of-1-per-histogram-entry accounting:
+  // the credited savings must equal the summed actual costs of the
+  // covered transitions, so covered + residual reproduces the
+  // allocation cost exactly — also in the presence of transitions with
+  // no constant distance, which cost 1 but can never be MR-covered.
+  const AccessSequence seq({ir::Access{0, 1}, ir::Access{10, 2},
+                            ir::Access{20, 1}});
+  const Allocation a = allocate(seq, 1, 1);
+  // Mixed strides: both intra transitions reload (no constant
+  // distance), the wrap 20 -> 0+1 has constant distance -19.
+  ASSERT_EQ(a.cost(), 3);
+  const ModifyRegisterPlan plan = plan_modify_registers(seq, a, 4);
+  ASSERT_EQ(plan.values.size(), 1u);
+  EXPECT_EQ(plan.values[0].value, -19);
+  EXPECT_EQ(plan.values[0].covered, 1);
+  EXPECT_EQ(plan.covered_per_iteration, 1);
+  EXPECT_EQ(plan.residual_cost, 2);
+}
+
+TEST(ModifyRegisters, CoveredPlusResidualEqualsAllocationCost) {
+  support::Rng rng(2026);
+  for (std::size_t trial = 0; trial < 50; ++trial) {
+    eval::PatternSpec spec;
+    spec.accesses = 4 + rng.index(20);
+    spec.offset_range = 1 + rng.uniform_int(0, 20);
+    spec.family = static_cast<eval::PatternFamily>(trial % 4);
+    const auto seq = eval::generate_pattern(spec, rng);
+    const Allocation a =
+        allocate(seq, 1 + rng.uniform_int(0, 2), 1 + rng.index(4));
+    const ModifyRegisterPlan plan =
+        plan_modify_registers(seq, a, rng.index(5));
+    int covered = 0;
+    for (const ModifyRegister& mr : plan.values) {
+      covered += mr.covered;
+    }
+    EXPECT_EQ(covered, plan.covered_per_iteration);
+    EXPECT_EQ(plan.covered_per_iteration + plan.residual_cost, a.cost());
+    EXPECT_GE(plan.residual_cost, 0);
+  }
+}
+
 class ModifyRegisterPropertyTest
     : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
 #include "eval/experiment.hpp"
 #include "eval/patterns.hpp"
 #include "support/check.hpp"
@@ -55,6 +60,89 @@ TEST(Patterns, DeterministicGivenRngState) {
   support::Rng rng1(77);
   support::Rng rng2(77);
   EXPECT_EQ(generate_pattern(spec, rng1), generate_pattern(spec, rng2));
+}
+
+TEST(Patterns, DeterministicGivenRngStateForEveryFamily) {
+  for (const PatternFamily family :
+       {PatternFamily::kUniform, PatternFamily::kClustered,
+        PatternFamily::kStrided, PatternFamily::kSortedNoise}) {
+    PatternSpec spec;
+    spec.accesses = 40;
+    spec.offset_range = 9;
+    spec.family = family;
+    support::Rng rng1(404);
+    support::Rng rng2(404);
+    EXPECT_EQ(generate_pattern(spec, rng1), generate_pattern(spec, rng2))
+        << to_string(family);
+  }
+}
+
+TEST(Patterns, StridedSmallRangeStillSpreadsOverTheLattice) {
+  // Regression: offset_range < 2 used to collapse every strided draw
+  // onto the single lattice point 0 (the lattice was clamped to >= 2,
+  // making steps = r / lattice zero).
+  support::Rng rng(11);
+  PatternSpec spec;
+  spec.accesses = 64;
+  spec.offset_range = 1;
+  spec.family = PatternFamily::kStrided;
+  const auto seq = generate_pattern(spec, rng);
+  std::set<std::int64_t> distinct;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    distinct.insert(seq[i].offset);
+  }
+  EXPECT_GE(distinct.size(), 2u);
+}
+
+TEST(Patterns, StridedWideRangeReachesMultipleLatticePoints) {
+  support::Rng rng(12);
+  PatternSpec spec;
+  spec.accesses = 64;
+  spec.offset_range = 8;
+  spec.family = PatternFamily::kStrided;
+  const auto seq = generate_pattern(spec, rng);
+  bool beyond_jitter = false;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    beyond_jitter = beyond_jitter || std::llabs(seq[i].offset) >= 2;
+  }
+  EXPECT_TRUE(beyond_jitter);
+}
+
+TEST(Patterns, SortedNoiseActuallyTransposesTheRamp) {
+  // Regression: the transposition loop could draw the same index twice
+  // (a self-swap), silently producing fewer transpositions than
+  // intended. The result must be a genuine permutation of the ramp
+  // that differs from it.
+  support::Rng rng(13);
+  PatternSpec spec;
+  spec.accesses = 16;
+  spec.offset_range = 8;
+  spec.family = PatternFamily::kSortedNoise;
+  const auto seq = generate_pattern(spec, rng);
+
+  std::vector<std::int64_t> ramp(spec.accesses);
+  for (std::size_t i = 0; i < ramp.size(); ++i) {
+    ramp[i] = -8 + static_cast<std::int64_t>(
+                       (2 * 8 * i) / (ramp.size() - 1));
+  }
+  std::vector<std::int64_t> offsets;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    offsets.push_back(seq[i].offset);
+  }
+  EXPECT_NE(offsets, ramp);
+  std::vector<std::int64_t> sorted_offsets = offsets;
+  std::sort(sorted_offsets.begin(), sorted_offsets.end());
+  EXPECT_EQ(sorted_offsets, ramp);  // same multiset, ramp is sorted
+}
+
+TEST(Patterns, SortedNoiseSingletonHasNoSwapsToMake) {
+  support::Rng rng(14);
+  PatternSpec spec;
+  spec.accesses = 1;
+  spec.family = PatternFamily::kSortedNoise;
+  const auto seq = generate_pattern(spec, rng);
+  EXPECT_EQ(seq.size(), 1u);
+  EXPECT_EQ(seq[0].offset, 0);
 }
 
 TEST(Patterns, RejectsBadSpec) {

@@ -95,9 +95,28 @@ TEST(EvalBatch, CsvSchemaIsStable) {
   const std::string csv = eval::batch_to_csv(empty).to_string();
   EXPECT_EQ(csv,
             "kernel,machine,registers,modify_range,modify_registers,"
-            "accesses,k_tilde,allocation_cost,residual_cost,"
-            "size_reduction_percent,speed_reduction_percent,verified,"
-            "error\n");
+            "accesses,k_tilde,allocation_cost,residual_cost,phase2,"
+            "proven,gap,phase2_nodes,size_reduction_percent,"
+            "speed_reduction_percent,verified,error\n");
+}
+
+TEST(EvalBatch, ExactPhase2ProvesSmallKernelsAndStaysDeterministic) {
+  eval::BatchConfig config = small_grid();
+  config.phase2.mode = core::Phase2Options::Mode::kExact;
+  config.jobs = 1;
+  const eval::BatchResult serial = eval::run_batch(config);
+  for (const eval::BatchRow& row : serial.rows) {
+    ASSERT_TRUE(row.error.empty()) << row.error;
+    EXPECT_TRUE(row.phase2_exact);
+    EXPECT_TRUE(row.phase2_proven)
+        << row.kernel << " on " << row.machine << " K=" << row.registers;
+    EXPECT_EQ(row.phase2_gap, 0);
+  }
+  const std::string serial_csv = eval::batch_to_csv(serial).to_string();
+  config.jobs = 8;
+  const std::string parallel_csv =
+      eval::batch_to_csv(eval::run_batch(config)).to_string();
+  EXPECT_EQ(serial_csv, parallel_csv);
 }
 
 }  // namespace

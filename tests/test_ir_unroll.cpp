@@ -146,6 +146,11 @@ TEST_P(UnrollPropertyTest, HeuristicUnrolledCostStaysNearLinear) {
   core::ProblemConfig config;
   config.modify_range = 1;
   config.registers = 2;
+  // Pin phase 2 to the paper's heuristic: the default auto mode proves
+  // small bodies optimal, which tightens base_cost below what the
+  // heuristic achieves on the (larger) unrolled sequence and voids the
+  // near-linear-band comparison.
+  config.phase2.mode = core::Phase2Options::Mode::kHeuristic;
   const int base_cost = core::RegisterAllocator(config).run(seq).cost();
 
   for (const std::size_t factor : {2u, 4u}) {
