@@ -4,6 +4,8 @@
 // loop file, mini-language file, or a built-in kernel name), pick an
 // AGU (explicit -K/-M/--mrs or a catalog --machine), and get the
 // allocation, the generated address program and the simulator verdict.
+// The pipeline itself runs through engine::Engine — the same API the
+// dspaddr CLI, the batch runner and `dspaddr serve` sit on.
 //
 //   $ ./dspaddr_opt fir
 //   $ ./dspaddr_opt -K 2 -M 1 loop.c --asm --sim 100
@@ -14,14 +16,8 @@
 #include <sstream>
 #include <string>
 
-#include "agu/codegen.hpp"
-#include "agu/machines.hpp"
-#include "agu/metrics.hpp"
-#include "agu/simulator.hpp"
-#include "core/allocator.hpp"
-#include "core/modify_registers.hpp"
+#include "engine/engine.hpp"
 #include "ir/kernels.hpp"
-#include "ir/layout.hpp"
 #include "ir/loop_parser.hpp"
 #include "ir/parser.hpp"
 #include "ir/unroll.hpp"
@@ -134,62 +130,65 @@ int main(int argc, char** argv) {
     if (options.unroll_factor > 1) {
       kernel = ir::unroll(kernel, options.unroll_factor);
     }
-    const ir::AccessSequence seq = ir::lower(kernel);
 
-    core::ProblemConfig config;
-    config.modify_range = options.modify_range;
-    config.registers = options.registers;
-    const core::Allocation allocation =
-        core::RegisterAllocator(config).run(seq);
+    engine::Request request;
+    request.kernel = kernel;
+    request.machine.name = "cli";
+    request.machine.address_registers = options.registers;
+    request.machine.modify_range = options.modify_range;
+    request.machine.modify_registers = options.modify_registers;
+    // The fixed pass sequence simulates before computing metrics; when
+    // the user did not ask for a simulation, one iteration keeps that
+    // stage O(1) instead of O(kernel iterations).
+    request.iterations =
+        options.simulate_iterations > 0 ? options.simulate_iterations : 1;
 
-    std::cout << "kernel " << kernel.name() << ": " << seq.size()
+    engine::Engine engine;
+    const engine::Result result = engine.run(request);
+    if (!result.ok()) {
+      std::cerr << "error in " << engine::stage_name(result.error->stage)
+                << ": " << result.error->message << '\n';
+      return 1;
+    }
+
+    std::cout << "kernel " << kernel.name() << ": " << result.accesses
               << " accesses/iteration, " << kernel.iterations()
               << " iterations\n"
               << "AGU: K = " << options.registers
               << ", M = " << options.modify_range
               << ", MRs = " << options.modify_registers << "\n\n";
-    if (allocation.stats().k_tilde.has_value()) {
-      std::cout << "K~ = " << *allocation.stats().k_tilde
+    if (result.k_tilde.has_value()) {
+      std::cout << "K~ = " << *result.k_tilde
                 << " (zero-cost needs that many registers)\n";
     }
-    std::cout << allocation.to_string(seq) << '\n';
+    std::cout << result.allocation_text << '\n';
 
-    const core::ModifyRegisterPlan plan = core::plan_modify_registers(
-        seq, allocation, options.modify_registers);
-    if (!plan.values.empty()) {
+    if (!result.plan.values.empty()) {
       std::cout << "modify registers:";
-      for (std::size_t m = 0; m < plan.values.size(); ++m) {
-        std::cout << "  MR" << m << " = " << plan.values[m].value
-                  << " (covers " << plan.values[m].covered << ")";
+      for (std::size_t m = 0; m < result.plan.values.size(); ++m) {
+        std::cout << "  MR" << m << " = " << result.plan.values[m].value
+                  << " (covers " << result.plan.values[m].covered << ")";
       }
-      std::cout << "\nresidual cost " << plan.residual_cost
+      std::cout << "\nresidual cost " << result.plan.residual_cost
                 << " per iteration\n\n";
     }
 
-    const agu::AddressingComparison comparison =
-        agu::compare_addressing(kernel, config);
     std::cout << "vs compiler-style addressing: size -"
-              << support::format_percent(
-                     comparison.size_reduction_percent)
+              << support::format_percent(result.size_reduction_percent)
               << ", cycles -"
-              << support::format_percent(
-                     comparison.speed_reduction_percent)
+              << support::format_percent(result.speed_reduction_percent)
               << "\n";
 
-    const agu::Program program =
-        agu::generate_code(seq, allocation, plan);
     if (options.print_asm) {
-      std::cout << '\n' << program.to_string();
+      std::cout << '\n' << result.program.to_string();
     }
     if (options.simulate_iterations > 0) {
-      const agu::SimResult result = agu::Simulator{}.run(
-          program, seq, options.simulate_iterations);
       std::cout << "\nsimulated " << options.simulate_iterations
                 << " iterations: "
                 << (result.verified ? "addresses verified"
                                     : "VERIFICATION FAILED: " +
-                                          result.failure)
-                << ", " << result.extra_instructions
+                                          result.sim.failure)
+                << ", " << result.sim.extra_instructions
                 << " extra address instructions\n";
       return result.verified ? 0 : 1;
     }

@@ -1,17 +1,19 @@
 // Quickstart: the paper's worked example (Fig. 1), end to end.
 //
 // Builds the access sequence of section 2, prints the zero-cost graph
-// model, runs both allocator phases for a 2-register AGU, generates the
-// address program and replays it on the simulator.
+// model, then hands the kernel to the engine — the library's public
+// API, which runs both allocator phases for a 2-register AGU, plans
+// modify registers, generates the address program and replays it on
+// the simulator. A second identical request demonstrates the engine's
+// fingerprint cache.
 //
 //   $ ./quickstart
 #include <iostream>
 
-#include "agu/codegen.hpp"
-#include "agu/simulator.hpp"
 #include "core/access_graph.hpp"
-#include "core/allocator.hpp"
-#include "ir/access_sequence.hpp"
+#include "engine/engine.hpp"
+#include "ir/kernels.hpp"
+#include "ir/layout.hpp"
 
 int main() {
   using namespace dspaddr;
@@ -19,8 +21,8 @@ int main() {
   // for (i = 2; i <= N; i++) {
   //   A[i+1]; A[i]; A[i+2]; A[i-1]; A[i+1]; A[i]; A[i-2];
   // }
-  const ir::AccessSequence seq =
-      ir::AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  const ir::Kernel kernel = ir::builtin_kernel("paper_example");
+  const ir::AccessSequence seq = ir::lower(kernel);
 
   std::cout << "=== Access pattern (offsets w.r.t. loop variable) ===\n";
   for (std::size_t i = 0; i < seq.size(); ++i) {
@@ -39,34 +41,51 @@ int main() {
     std::cout << "  (a_" << (from + 1) << ", a_" << (to + 1) << ")\n";
   }
 
-  // Two-phase allocation for an AGU with K = 2 address registers.
-  core::ProblemConfig config;
-  config.modify_range = 1;
-  config.registers = 2;
-  config.phase1.mode = core::Phase1Options::Mode::kExact;
-  const core::Allocation allocation =
-      core::RegisterAllocator(config).run(seq);
+  // The whole pipeline through the engine, for an AGU with K = 2
+  // address registers and no modify registers.
+  engine::Engine engine;
+  engine::Request request;
+  request.kernel = kernel;
+  request.machine.name = "example2";
+  request.machine.address_registers = 2;
+  request.machine.modify_registers = 0;
+  request.machine.modify_range = 1;
+  request.iterations = 100;
+
+  const engine::Result result = engine.run(request);
+  if (!result.ok()) {
+    std::cerr << "pipeline failed in " << engine::stage_name(
+                     result.error->stage)
+              << ": " << result.error->message << "\n";
+    return 1;
+  }
 
   std::cout << "\n=== Phase 1 ===\n"
             << "  K~ (virtual registers for a zero-cost allocation): "
-            << *allocation.stats().k_tilde << "\n"
-            << "  matching lower bound: "
-            << allocation.stats().lower_bound << "\n";
+            << *result.k_tilde << "\n"
+            << "  matching lower bound: " << result.stats.lower_bound
+            << "\n";
 
   std::cout << "\n=== Phase 2 (merge to K = 2 registers) ===\n"
-            << allocation.to_string(seq);
+            << result.allocation_text;
 
-  // Generate and execute the address program.
-  const agu::Program program = agu::generate_code(seq, allocation);
   std::cout << "\n=== Generated address code ===\n"
-            << program.to_string();
+            << result.program.to_string();
 
-  const agu::SimResult result = agu::Simulator{}.run(program, seq, 100);
   std::cout << "\n=== Simulation (100 iterations) ===\n"
             << "  addresses verified: "
             << (result.verified ? "yes" : "NO") << "\n"
             << "  extra address instructions: "
-            << result.extra_instructions << " (predicted "
-            << 100 * allocation.cost() << ")\n";
-  return result.verified ? 0 : 1;
+            << result.sim.extra_instructions << " (predicted "
+            << 100 * result.allocation_cost << ")\n";
+
+  // Identical request again: answered from the fingerprint cache.
+  const engine::Result repeat = engine.run(request);
+  const engine::CacheStats stats = engine.cache_stats();
+  std::cout << "\n=== Engine cache ===\n"
+            << "  repeat request was a cache "
+            << (repeat.cache_hit ? "hit" : "miss") << " ("
+            << stats.hits << " hit(s), " << stats.misses
+            << " miss(es))\n";
+  return result.verified && repeat.cache_hit ? 0 : 1;
 }

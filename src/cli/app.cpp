@@ -1,10 +1,13 @@
 #include "cli/app.hpp"
 
 #include <fstream>
+#include <iostream>
 
 #include "cli/kernel_io.hpp"
 #include "cli/options.hpp"
 #include "cli/pipeline.hpp"
+#include "cli/serve.hpp"
+#include "engine/serialize.hpp"
 #include "eval/batch.hpp"
 #include "ir/kernels.hpp"
 #include "support/check.hpp"
@@ -22,8 +25,18 @@ int command_run(const std::vector<std::string>& args, std::ostream& out) {
   core::Phase2Options phase2;
   phase2.mode = options.phase2;
   phase2.time_budget_ms = options.time_budget_ms;
-  const PipelineReport report =
+  const engine::Result report =
       run_pipeline(kernel, machine, options.iterations, phase2);
+  if (options.format == OutputFormat::kJson) {
+    // JSON carries failures in-band (the "error" member), like a serve
+    // response.
+    out << engine::result_to_json_line(report) << "\n";
+    return report.ok() && report.verified ? 0 : 1;
+  }
+  if (!report.ok()) {
+    throw Error(std::string(engine::stage_name(report.error->stage)) +
+                ": " + report.error->message);
+  }
   if (options.format == OutputFormat::kCsv) {
     out << report_to_csv(report);
   } else {
@@ -73,6 +86,12 @@ int command_batch(const std::vector<std::string>& args, std::ostream& out) {
   return result.failures == 0 ? 0 : 1;
 }
 
+int command_serve(const std::vector<std::string>& args, std::istream& in,
+                  std::ostream& out) {
+  const ServeOptions options = parse_serve_options(args);
+  return run_serve(in, out, options);
+}
+
 int command_machines(std::ostream& out) {
   support::Table table({"name", "K", "L", "M", "description"});
   for (const agu::AguSpec& machine : agu::builtin_machines()) {
@@ -117,7 +136,9 @@ commands:
                                      (default: auto — exact for small kernels)
               --time-budget-ms <ms>  wall-clock cap of the exact search
                                      (default: 0 = node budget only)
-              --format table|csv     output format (default: table)
+              --format table|csv|json
+                                     output format (default: table); json
+                                     uses the serve response schema
               --program              also print the address program
   batch     Sweep kernels x machines x registers x modify ranges
               --kernel <file>        workload file (repeatable)
@@ -130,6 +151,10 @@ commands:
               --time-budget-ms <ms>  wall-clock cap of the exact search
               --format csv|table     output format (default: csv)
               --out <file>           write output to a file
+  serve     JSON-lines service loop: one request object per stdin line,
+            one response object per stdout line (see README)
+              --cache-capacity <n>   engine result-cache size
+                                     (default: 256, 0 disables)
   machines  List the builtin AGU catalog
   kernels   List the builtin kernel library
   version   Print the tool version
@@ -151,6 +176,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     }
     if (command == "batch") {
       return command_batch(rest, out);
+    }
+    if (command == "serve") {
+      return command_serve(rest, std::cin, out);
     }
     if (command == "machines") {
       return command_machines(out);

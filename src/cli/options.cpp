@@ -80,8 +80,11 @@ OutputFormat parse_format(const std::string& text) {
   if (text == "csv") {
     return OutputFormat::kCsv;
   }
-  throw UsageError("--format: expected 'table' or 'csv', got '" + text +
-                   "'");
+  if (text == "json") {
+    return OutputFormat::kJson;
+  }
+  throw UsageError("--format: expected 'table', 'csv' or 'json', got '" +
+                   text + "'");
 }
 
 core::Phase2Options::Mode parse_phase2_mode(const std::string& text) {
@@ -208,6 +211,26 @@ BatchOptions parse_batch_options(const std::vector<std::string>& args) {
     throw UsageError(
         "batch: at least one --kernel <file> or --builtin <names> is "
         "required");
+  }
+  if (options.format == OutputFormat::kJson) {
+    throw UsageError(
+        "batch: --format json is not supported (pipe requests through "
+        "'dspaddr serve' for JSON-lines output)");
+  }
+  return options;
+}
+
+ServeOptions parse_serve_options(const std::vector<std::string>& args) {
+  ServeOptions options;
+  ArgCursor cursor(args);
+  std::string value;
+  while (!cursor.done()) {
+    const std::string arg = cursor.take();
+    if (match_flag(arg, "--cache-capacity", cursor, value)) {
+      options.cache_capacity = parse_size(value, "--cache-capacity", 0);
+    } else {
+      throw UsageError("serve: unknown argument '" + arg + "'");
+    }
   }
   return options;
 }

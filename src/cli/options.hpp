@@ -25,9 +25,11 @@ public:
 enum class OutputFormat {
   kTable,
   kCsv,
+  /// engine::Result serialization, same schema as `serve` responses.
+  kJson,
 };
 
-/// Parses "csv" / "table"; throws UsageError otherwise.
+/// Parses "csv" / "table" / "json"; throws UsageError otherwise.
 OutputFormat parse_format(const std::string& text);
 
 /// Parses "auto" / "exact" / "heuristic"; throws UsageError otherwise.
@@ -75,8 +77,15 @@ struct BatchOptions {
   std::string output_path;
 };
 
+/// Options of `dspaddr serve`: the JSON-lines request loop.
+struct ServeOptions {
+  /// Engine result-cache capacity (0 disables caching).
+  std::size_t cache_capacity = 256;
+};
+
 RunOptions parse_run_options(const std::vector<std::string>& args);
 BatchOptions parse_batch_options(const std::vector<std::string>& args);
+ServeOptions parse_serve_options(const std::vector<std::string>& args);
 
 /// Splits a comma list into non-empty fields ("a,b" -> {"a", "b"});
 /// throws UsageError on empty fields.

@@ -2,10 +2,8 @@
 
 #include <sstream>
 
-#include "agu/codegen.hpp"
-#include "agu/metrics.hpp"
 #include "eval/batch.hpp"
-#include "ir/layout.hpp"
+#include "support/csv.hpp"
 #include "support/strings.hpp"
 
 namespace dspaddr::cli {
@@ -33,52 +31,21 @@ agu::AguSpec resolve_machine(const RunOptions& options) {
   return machine;
 }
 
-PipelineReport run_pipeline(const ir::Kernel& kernel,
+engine::Result run_pipeline(const ir::Kernel& kernel,
                             const agu::AguSpec& machine,
                             std::optional<std::uint64_t> iterations,
                             const core::Phase2Options& phase2) {
-  PipelineReport report;
-  report.kernel = kernel;
-  report.machine = machine;
-
-  const ir::AccessSequence seq = ir::lower(kernel);
-  report.accesses = seq.size();
-
-  core::ProblemConfig config;
-  config.modify_range = machine.modify_range;
-  config.registers = machine.address_registers;
-  config.phase2 = phase2;
-  const core::Allocation allocation =
-      core::RegisterAllocator(config).run(seq);
-  report.stats = allocation.stats();
-  report.k_tilde = allocation.stats().k_tilde;
-  report.allocation_cost = allocation.cost();
-  report.intra_cost = allocation.intra_cost();
-  report.wrap_cost = allocation.wrap_cost();
-  report.allocation_text = allocation.to_string(seq);
-
-  report.plan = core::plan_modify_registers(seq, allocation,
-                                            machine.modify_registers);
-  report.program = agu::generate_code(seq, allocation, report.plan);
-
-  report.iterations =
-      iterations.value_or(static_cast<std::uint64_t>(kernel.iterations()));
-  report.sim = agu::Simulator{}.run(report.program, seq, report.iterations);
-  report.verified = agu::verified_against_cost(report.sim, report.iterations,
-                                               report.plan.residual_cost);
-
-  const agu::AddressingComparison comparison =
-      agu::compare_addressing(kernel, allocation);
-  report.baseline_size_words = comparison.baseline.size_words;
-  report.baseline_cycles = comparison.baseline.cycles;
-  report.optimized_size_words = comparison.optimized.size_words;
-  report.optimized_cycles = comparison.optimized.cycles;
-  report.size_reduction_percent = comparison.size_reduction_percent;
-  report.speed_reduction_percent = comparison.speed_reduction_percent;
-  return report;
+  engine::Request request;
+  request.kernel = kernel;
+  request.machine = machine;
+  request.phase2 = phase2;
+  request.iterations = iterations;
+  // One-shot run: no traffic to memoize across.
+  engine::Engine engine(engine::Engine::Options{0});
+  return engine.run(request);
 }
 
-std::string report_to_text(const PipelineReport& report, bool show_program) {
+std::string report_to_text(const engine::Result& report, bool show_program) {
   std::ostringstream out;
   const ir::Kernel& kernel = report.kernel;
   const agu::AguSpec& machine = report.machine;
@@ -155,28 +122,10 @@ std::string report_to_text(const PipelineReport& report, bool show_program) {
   return out.str();
 }
 
-std::string report_to_csv(const PipelineReport& report) {
-  eval::BatchRow row;
-  row.kernel = report.kernel.name();
-  row.machine = report.machine.name;
-  row.registers = report.machine.address_registers;
-  row.modify_range = report.machine.modify_range;
-  row.modify_registers = report.machine.modify_registers;
-  row.accesses = report.accesses;
-  row.k_tilde = report.k_tilde;
-  row.allocation_cost = report.allocation_cost;
-  row.residual_cost = report.plan.residual_cost;
-  row.phase2_exact = report.stats.phase2_exact;
-  row.phase2_proven = report.stats.phase2_proven;
-  row.phase2_gap = report.stats.phase2_gap;
-  row.phase2_nodes = report.stats.phase2_nodes;
-  row.size_reduction_percent = report.size_reduction_percent;
-  row.speed_reduction_percent = report.speed_reduction_percent;
-  row.verified = report.verified;
-
-  eval::BatchResult result;
-  result.rows.push_back(row);
-  return eval::batch_to_csv(result).to_string();
+std::string report_to_csv(const engine::Result& report) {
+  support::CsvWriter csv(eval::batch_csv_header());
+  csv.add_row(eval::batch_row_fields(eval::row_from_result(report)));
+  return csv.to_string();
 }
 
 }  // namespace dspaddr::cli

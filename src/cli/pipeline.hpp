@@ -1,10 +1,10 @@
-// The unified single-kernel pipeline behind `dspaddr run`.
+// Thin CLI adapter over the engine (`dspaddr run`).
 //
-// Resolves the effective AGU configuration (builtin machine defaults
-// overridden by explicit flags), drives
-// parse -> layout -> phase-1/phase-2 allocation -> MR planning ->
-// codegen -> simulation -> metrics, and renders the outcome as an ASCII
-// report or one CSV row.
+// The pass sequence itself lives in engine::Engine; this layer only
+// resolves the effective AGU configuration (builtin machine defaults
+// overridden by explicit flags), builds the engine::Request, and
+// renders the engine::Result as an ASCII report, one CSV row (shared
+// schema with the batch runner) or the JSON serialization.
 #pragma once
 
 #include <cstdint>
@@ -12,11 +12,9 @@
 #include <string>
 
 #include "agu/machines.hpp"
-#include "agu/program.hpp"
-#include "agu/simulator.hpp"
 #include "cli/options.hpp"
 #include "core/allocator.hpp"
-#include "core/modify_registers.hpp"
+#include "engine/engine.hpp"
 #include "ir/kernel.hpp"
 
 namespace dspaddr::cli {
@@ -25,43 +23,20 @@ namespace dspaddr::cli {
 /// the selected builtin machine (or a bare single-register AGU).
 agu::AguSpec resolve_machine(const RunOptions& options);
 
-/// Everything the pipeline produced for one kernel.
-struct PipelineReport {
-  ir::Kernel kernel;
-  agu::AguSpec machine;
-  std::size_t accesses = 0;
-  std::optional<std::size_t> k_tilde;
-  core::AllocationStats stats;
-  int allocation_cost = 0;
-  int intra_cost = 0;
-  int wrap_cost = 0;
-  core::ModifyRegisterPlan plan;
-  agu::Program program;
-  std::uint64_t iterations = 0;
-  agu::SimResult sim;
-  bool verified = false;
-  std::int64_t baseline_size_words = 0;
-  std::int64_t baseline_cycles = 0;
-  std::int64_t optimized_size_words = 0;
-  std::int64_t optimized_cycles = 0;
-  double size_reduction_percent = 0.0;
-  double speed_reduction_percent = 0.0;
-  /// Register -> path rendering from the allocation.
-  std::string allocation_text;
-};
-
-/// Runs the whole pipeline on `kernel` under `machine`; `iterations`
-/// overrides the kernel's own count when set and `phase2` selects the
-/// phase-2 solver (auto / exact / heuristic plus budgets).
-PipelineReport run_pipeline(const ir::Kernel& kernel,
+/// One-shot convenience: runs the whole pipeline on `kernel` under
+/// `machine` through a private engine::Engine. Drivers with repeated
+/// traffic should hold their own Engine instead to benefit from the
+/// result cache.
+engine::Result run_pipeline(const ir::Kernel& kernel,
                             const agu::AguSpec& machine,
                             std::optional<std::uint64_t> iterations,
                             const core::Phase2Options& phase2 = {});
 
 /// Multi-section human-readable report.
-std::string report_to_text(const PipelineReport& report, bool show_program);
+std::string report_to_text(const engine::Result& report, bool show_program);
 
-/// Single CSV row (same schema as the batch runner's CSV).
-std::string report_to_csv(const PipelineReport& report);
+/// Single CSV row (header + row, same schema as the batch runner's CSV
+/// via eval::batch_csv_header / eval::batch_row_fields).
+std::string report_to_csv(const engine::Result& report);
 
 }  // namespace dspaddr::cli

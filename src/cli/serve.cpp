@@ -1,0 +1,202 @@
+#include "cli/serve.hpp"
+
+#include <string>
+
+#include "cli/kernel_io.hpp"
+#include "engine/engine.hpp"
+#include "engine/serialize.hpp"
+#include "ir/kernels.hpp"
+#include "support/check.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace dspaddr::cli {
+namespace {
+
+using support::JsonValue;
+
+/// Keys a request object may carry; anything else is a hard error so
+/// that a typo ("machne") fails loudly instead of being ignored.
+constexpr const char* kKnownKeys[] = {
+    "id",          "stats",      "builtin",
+    "kernel_file", "kernel",     "machine",
+    "registers",   "modify_range", "modify_registers",
+    "iterations",  "phase2",     "time_budget_ms",
+    "stop_after",
+};
+
+void check_known_keys(const JsonValue& json) {
+  for (const JsonValue::Member& member : json.members()) {
+    bool known = false;
+    for (const char* key : kKnownKeys) {
+      if (member.first == key) {
+        known = true;
+        break;
+      }
+    }
+    check_arg(known, "unknown request field '" + member.first + "'");
+  }
+}
+
+std::int64_t int_field(const JsonValue& json, const char* key,
+                       std::int64_t min_value, std::int64_t fallback) {
+  const JsonValue* value = json.find(key);
+  if (value == nullptr) {
+    return fallback;
+  }
+  const std::int64_t parsed = value->as_int();
+  check_arg(parsed >= min_value,
+            std::string(key) + ": value must be >= " +
+                std::to_string(min_value));
+  return parsed;
+}
+
+ir::Kernel kernel_from_request(const JsonValue& json) {
+  const JsonValue* builtin = json.find("builtin");
+  const JsonValue* file = json.find("kernel_file");
+  const JsonValue* inline_kernel = json.find("kernel");
+  const int sources = (builtin != nullptr) + (file != nullptr) +
+                      (inline_kernel != nullptr);
+  check_arg(sources == 1,
+            "request needs exactly one of 'builtin', 'kernel_file' or "
+            "'kernel'");
+  if (builtin != nullptr) {
+    return ir::builtin_kernel(builtin->as_string());
+  }
+  if (file != nullptr) {
+    return load_kernel_file(file->as_string());
+  }
+  return engine::kernel_from_json(*inline_kernel);
+}
+
+agu::AguSpec machine_from_request(const JsonValue& json) {
+  agu::AguSpec machine;
+  if (const JsonValue* name = json.find("machine")) {
+    machine = agu::builtin_machine(name->as_string());
+  } else {
+    machine.name = "custom";
+    machine.description = "request-defined AGU";
+    machine.address_registers = 1;
+    machine.modify_registers = 0;
+    machine.modify_range = 1;
+  }
+  machine.address_registers = static_cast<std::size_t>(
+      int_field(json, "registers", 1,
+                static_cast<std::int64_t>(machine.address_registers)));
+  machine.modify_range =
+      int_field(json, "modify_range", 0, machine.modify_range);
+  machine.modify_registers = static_cast<std::size_t>(
+      int_field(json, "modify_registers", 0,
+                static_cast<std::int64_t>(machine.modify_registers)));
+  return machine;
+}
+
+/// The simulator is O(iterations); a long-lived sequential service
+/// must bound the work one request can demand, or a single huge
+/// iteration count stalls every request queued behind it.
+constexpr std::int64_t kMaxServeIterations = 10'000'000;
+
+engine::Request request_from_json(const JsonValue& json) {
+  engine::Request request;
+  request.kernel = kernel_from_request(json);
+  request.machine = machine_from_request(json);
+  if (const JsonValue* iterations = json.find("iterations")) {
+    const std::int64_t value = iterations->as_int();
+    check_arg(value >= 1, "iterations: value must be >= 1");
+    request.iterations = static_cast<std::uint64_t>(value);
+  }
+  if (const JsonValue* phase2 = json.find("phase2")) {
+    request.phase2.mode = parse_phase2_mode(phase2->as_string());
+  }
+  request.phase2.time_budget_ms = int_field(json, "time_budget_ms", 0, 0);
+  if (const JsonValue* stop_after = json.find("stop_after")) {
+    const std::optional<engine::Stage> stage =
+        engine::stage_from_name(stop_after->as_string());
+    check_arg(stage.has_value(),
+              "stop_after: unknown stage '" + stop_after->as_string() +
+                  "' (lower, allocate, plan, codegen, simulate, metrics)");
+    request.stop_after = *stage;
+  }
+  // Cap the *effective* simulated count when the simulate stage will
+  // run: without an override the simulator uses the kernel's own
+  // iterations, which an inline kernel or a workload file controls
+  // just as freely as the "iterations" field.
+  if (request.stop_after >= engine::Stage::kSimulate) {
+    const std::uint64_t effective_iterations = request.iterations.value_or(
+        static_cast<std::uint64_t>(request.kernel.iterations()));
+    check_arg(effective_iterations <=
+                  static_cast<std::uint64_t>(kMaxServeIterations),
+              "iterations: effective count " +
+                  std::to_string(effective_iterations) + " exceeds the " +
+                  std::to_string(kMaxServeIterations) +
+                  " per-request serve limit");
+  }
+  return request;
+}
+
+JsonValue stats_response(const engine::CacheStats& stats) {
+  JsonValue json = JsonValue::object();
+  json.set("hits", JsonValue::number(static_cast<std::int64_t>(stats.hits)));
+  json.set("misses",
+           JsonValue::number(static_cast<std::int64_t>(stats.misses)));
+  json.set("entries",
+           JsonValue::number(static_cast<std::int64_t>(stats.entries)));
+  json.set("capacity",
+           JsonValue::number(static_cast<std::int64_t>(stats.capacity)));
+  return json;
+}
+
+}  // namespace
+
+int run_serve(std::istream& in, std::ostream& out,
+              const ServeOptions& options) {
+  engine::Engine engine(engine::Engine::Options{options.cache_capacity});
+  std::string line;
+  while (std::getline(in, line)) {
+    if (support::trim(line).empty()) {
+      continue;
+    }
+    JsonValue response = JsonValue::object();
+    try {
+      const JsonValue request_json = JsonValue::parse(line);
+      check_arg(request_json.is_object(),
+                "request must be a JSON object");
+      // Echo the id before any validation so clients can correlate
+      // even a rejected request with its response.
+      if (const JsonValue* id = request_json.find("id")) {
+        response.set("id", *id);
+      }
+      check_known_keys(request_json);
+      const JsonValue* stats = request_json.find("stats");
+      if (stats != nullptr && stats->as_bool()) {
+        // A stats probe carries nothing but itself (and an id).
+        for (const JsonValue::Member& member : request_json.members()) {
+          check_arg(member.first == "stats" || member.first == "id",
+                    "stats request cannot carry field '" + member.first +
+                        "'");
+        }
+        response.set("stats", stats_response(engine.cache_stats()));
+      } else {
+        const engine::Request request = request_from_json(request_json);
+        const engine::Result result = engine.run(request);
+        // Inline the result members so the response carries exactly the
+        // --format=json schema (plus the "id" echo above).
+        const JsonValue result_json = engine::result_to_json(result);
+        for (const JsonValue::Member& member : result_json.members()) {
+          response.set(member.first, member.second);
+        }
+      }
+    } catch (const std::exception& e) {
+      JsonValue error = JsonValue::object();
+      error.set("stage", JsonValue::string("request"));
+      error.set("message", JsonValue::string(e.what()));
+      response.set("error", std::move(error));
+    }
+    // One line per response, flushed immediately: callers block on the
+    // answer to their last request, not on a buffer boundary.
+    out << response.dump() << "\n" << std::flush;
+  }
+  return 0;
+}
+
+}  // namespace dspaddr::cli

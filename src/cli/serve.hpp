@@ -1,0 +1,45 @@
+// `dspaddr serve` — the JSON-lines optimization service loop.
+//
+// Reads one JSON request object per input line, answers with one JSON
+// response object per output line (flushed per line), and keeps a
+// single engine::Engine alive for the whole session so repeated
+// requests hit the fingerprint cache. This turns the binary into a
+// long-lived service a frontend can keep a pipe to:
+//
+//   $ printf '%s\n' '{"builtin":"fir","machine":"wide4"}' | dspaddr serve
+//
+// Request object (one per line):
+//   exactly one kernel source:
+//     "builtin": "<name>"          builtin kernel (see `dspaddr kernels`)
+//     "kernel_file": "<path>"      workload file (.c or .kern)
+//     "kernel": {...}              inline kernel (engine/serialize.hpp)
+//   optional:
+//     "id": <any>                  echoed back verbatim in the response
+//     "machine": "<name>"          builtin AGU supplying K/L/M defaults
+//     "registers" / "modify_range" / "modify_registers": overrides
+//     "iterations": <n>            simulated iterations
+//     "phase2": "auto"|"exact"|"heuristic", "time_budget_ms": <ms>
+//     "stop_after": "<stage>"      run a pipeline prefix
+//   special:
+//     {"stats": true}              answers {"stats": {hits, misses,
+//                                  entries, capacity}} instead
+//
+// Responses carry the engine::Result schema of engine/serialize.hpp
+// (plus the "id" echo). A malformed request produces
+// {"error": {"stage": "request", "message": ...}} and the loop
+// continues — one bad line never takes the service down.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "cli/options.hpp"
+
+namespace dspaddr::cli {
+
+/// Runs the serve loop until EOF on `in`; returns the process exit
+/// code (0 — per-request failures are reported in-band).
+int run_serve(std::istream& in, std::ostream& out,
+              const ServeOptions& options);
+
+}  // namespace dspaddr::cli

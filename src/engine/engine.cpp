@@ -1,0 +1,211 @@
+#include "engine/engine.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "agu/codegen.hpp"
+#include "agu/metrics.hpp"
+#include "engine/fingerprint.hpp"
+#include "ir/layout.hpp"
+
+namespace dspaddr::engine {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+constexpr const char* kStageNames[kStageCount] = {
+    "lower", "allocate", "plan", "codegen", "simulate", "metrics"};
+
+}  // namespace
+
+const char* stage_name(Stage stage) {
+  return kStageNames[static_cast<std::size_t>(stage)];
+}
+
+std::optional<Stage> stage_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    if (name == kStageNames[i]) {
+      return static_cast<Stage>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+bool Result::stage_done(Stage stage) const {
+  if (static_cast<int>(stage) > static_cast<int>(stop_after)) {
+    return false;
+  }
+  if (error.has_value() &&
+      static_cast<int>(stage) >= static_cast<int>(error->stage)) {
+    return false;
+  }
+  return true;
+}
+
+Result Engine::run(const Request& request) {
+  const Clock::time_point start = Clock::now();
+  Result result;
+  result.kernel = request.kernel;
+  result.machine = request.machine;
+  result.stop_after = request.stop_after;
+
+  // Runs one stage's body, converting any exception into the result's
+  // structured error; returns whether the next stage should run.
+  const auto run_stage = [&](Stage stage, const auto& body) {
+    const Clock::time_point stage_start = Clock::now();
+    bool ok = true;
+    try {
+      body();
+    } catch (const std::exception& e) {
+      result.error = StageError{stage, e.what()};
+      ok = false;
+    }
+    result.stage_ms[static_cast<std::size_t>(stage)] = ms_since(stage_start);
+    return ok &&
+           static_cast<int>(stage) < static_cast<int>(request.stop_after);
+  };
+
+  // Lowering runs outside the cache: the fingerprint is defined over
+  // the lowered sequence, so a kernel that fails to lower is answered
+  // directly (and such failures are cheap to recompute anyway).
+  ir::AccessSequence seq;
+  bool proceed = run_stage(Stage::kLower, [&] {
+    seq = ir::lower(request.kernel);
+    result.accesses = seq.size();
+  });
+  if (result.error.has_value()) {
+    result.total_ms = ms_since(start);
+    return result;
+  }
+
+  const std::string key = request_fingerprint(request, seq);
+  if (const std::shared_ptr<const Result> cached = cache_lookup(key)) {
+    Result out = *cached;
+    // Re-apply this request's decoration: the fingerprint ignores
+    // kernel and machine names, so the cached payload may stem from a
+    // differently-named twin.
+    out.kernel = request.kernel;
+    out.machine = request.machine;
+    out.cache_hit = true;
+    out.total_ms = ms_since(start);
+    return out;
+  }
+
+  std::optional<core::Allocation> allocation;
+  if (proceed) {
+    proceed = run_stage(Stage::kAllocate, [&] {
+      core::ProblemConfig config;
+      config.modify_range = request.machine.modify_range;
+      config.registers = request.machine.address_registers;
+      config.phase2 = request.phase2;
+      allocation.emplace(core::RegisterAllocator(config).run(seq));
+      result.stats = allocation->stats();
+      result.k_tilde = result.stats.k_tilde;
+      result.allocation_cost = allocation->cost();
+      result.intra_cost = allocation->intra_cost();
+      result.wrap_cost = allocation->wrap_cost();
+      result.allocation_text = allocation->to_string(seq);
+    });
+  }
+  if (proceed) {
+    proceed = run_stage(Stage::kPlan, [&] {
+      result.plan = core::plan_modify_registers(
+          seq, *allocation, request.machine.modify_registers);
+    });
+  }
+  if (proceed) {
+    proceed = run_stage(Stage::kCodegen, [&] {
+      result.program = agu::generate_code(seq, *allocation, result.plan);
+    });
+  }
+  if (proceed) {
+    proceed = run_stage(Stage::kSimulate, [&] {
+      result.iterations = request.iterations.value_or(
+          static_cast<std::uint64_t>(request.kernel.iterations()));
+      result.sim =
+          agu::Simulator{}.run(result.program, seq, result.iterations);
+      result.verified = agu::verified_against_cost(
+          result.sim, result.iterations, result.plan.residual_cost);
+    });
+  }
+  if (proceed) {
+    run_stage(Stage::kMetrics, [&] {
+      const agu::AddressingComparison comparison =
+          agu::compare_addressing(request.kernel, *allocation);
+      result.baseline_size_words = comparison.baseline.size_words;
+      result.baseline_cycles = comparison.baseline.cycles;
+      result.optimized_size_words = comparison.optimized.size_words;
+      result.optimized_cycles = comparison.optimized.cycles;
+      result.size_reduction_percent = comparison.size_reduction_percent;
+      result.speed_reduction_percent = comparison.speed_reduction_percent;
+    });
+  }
+
+  result.total_ms = ms_since(start);
+  cache_insert(key, result);
+  return result;
+}
+
+std::shared_ptr<const Result> Engine::cache_lookup(const std::string& key) {
+  if (options_.cache_capacity == 0) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return lru_.front().second;
+}
+
+void Engine::cache_insert(const std::string& key, const Result& result) {
+  if (options_.cache_capacity == 0) {
+    return;
+  }
+  // The deep copy into the shared payload happens before taking the
+  // lock; so does the deallocation of any evicted entry (kept alive in
+  // `evicted` until after the unlock).
+  auto payload = std::make_shared<const Result>(result);
+  std::vector<std::shared_ptr<const Result>> evicted;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Two threads missed the same key concurrently and both computed
+    // the (deterministic, hence equal) result; keep the first entry.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(payload));
+  index_[key] = lru_.begin();
+  while (lru_.size() > options_.cache_capacity) {
+    evicted.push_back(std::move(lru_.back().second));
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+CacheStats Engine::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.entries = lru_.size();
+  stats.capacity = options_.cache_capacity;
+  return stats;
+}
+
+void Engine::clear_cache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace dspaddr::engine

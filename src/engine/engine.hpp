@@ -1,0 +1,194 @@
+// The reusable optimization engine: the paper's fixed pass sequence
+// (lower -> two-phase allocation -> MR planning -> codegen -> simulation
+// -> metrics) as a library-level API.
+//
+// Every driver — the `dspaddr run` CLI, the batch sweep runner, the
+// JSON-lines `dspaddr serve` loop, examples and benches — builds an
+// engine::Request and calls Engine::run, so the pipeline exists exactly
+// once and cannot drift between surfaces.
+//
+//   engine::Engine engine;
+//   engine::Request request;
+//   request.kernel = ir::builtin_kernel("fir");
+//   request.machine = agu::builtin_machine("wide4");
+//   engine::Result result = engine.run(request);
+//
+// The Engine is thread-safe and memoizes results in an LRU cache keyed
+// by a canonical fingerprint of (lowered access sequence, machine
+// resources, options) — see engine/fingerprint.hpp. Repeated kernels
+// across a sweep grid or a serve workload hit the cache; hit/miss
+// counters are exposed for benchmarking. `Request.stop_after` runs a
+// pass-sequence prefix (e.g. allocation-only for sweeps that never
+// simulate).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "agu/machines.hpp"
+#include "agu/program.hpp"
+#include "agu/simulator.hpp"
+#include "core/allocator.hpp"
+#include "core/modify_registers.hpp"
+#include "ir/kernel.hpp"
+
+namespace dspaddr::engine {
+
+/// The pipeline's stages, in execution order.
+enum class Stage {
+  kLower = 0,
+  kAllocate = 1,
+  kPlan = 2,
+  kCodegen = 3,
+  kSimulate = 4,
+  kMetrics = 5,
+};
+
+inline constexpr std::size_t kStageCount = 6;
+
+/// "lower", "allocate", "plan", "codegen", "simulate", "metrics".
+const char* stage_name(Stage stage);
+
+/// Inverse of stage_name; nullopt for unknown names.
+std::optional<Stage> stage_from_name(std::string_view name);
+
+/// Everything one pipeline run needs.
+struct Request {
+  ir::Kernel kernel;
+  agu::AguSpec machine;
+  /// Phase-2 solver selection and budgets. A nonzero time budget makes
+  /// the exact search nondeterministic, which also voids the cache's
+  /// cached-equals-recomputed guarantee — leave it at 0 when
+  /// byte-identical reruns matter.
+  core::Phase2Options phase2;
+  /// Simulated iterations; the kernel's own count when unset.
+  std::optional<std::uint64_t> iterations;
+  /// Last stage to run (inclusive); later stages keep default values.
+  Stage stop_after = Stage::kMetrics;
+};
+
+/// Where and why a run failed. The engine never throws for per-request
+/// problems: a failed stage is recorded here and earlier stages'
+/// outputs stay valid — the structured replacement for the old
+/// thrown-in-`run`-vs-swallowed-in-`batch` inconsistency.
+struct StageError {
+  Stage stage = Stage::kLower;
+  std::string message;
+};
+
+/// Per-stage outputs of one run, retained for every completed stage.
+struct Result {
+  /// Request echo (also applied on cache hits, so a hit for a renamed
+  /// kernel or machine still reports the caller's names).
+  ir::Kernel kernel;
+  agu::AguSpec machine;
+  Stage stop_after = Stage::kMetrics;
+
+  // kLower
+  std::size_t accesses = 0;
+
+  // kAllocate
+  std::optional<std::size_t> k_tilde;
+  core::AllocationStats stats;
+  int allocation_cost = 0;
+  int intra_cost = 0;
+  int wrap_cost = 0;
+  /// Register -> path rendering of the allocation.
+  std::string allocation_text;
+
+  // kPlan
+  core::ModifyRegisterPlan plan;
+
+  // kCodegen
+  agu::Program program;
+
+  // kSimulate
+  std::uint64_t iterations = 0;
+  agu::SimResult sim;
+  bool verified = false;
+
+  // kMetrics
+  std::int64_t baseline_size_words = 0;
+  std::int64_t baseline_cycles = 0;
+  std::int64_t optimized_size_words = 0;
+  std::int64_t optimized_cycles = 0;
+  double size_reduction_percent = 0.0;
+  double speed_reduction_percent = 0.0;
+
+  /// Set when a stage failed; stages before it completed normally.
+  std::optional<StageError> error;
+
+  /// Wall time each stage spent computing, indexed by Stage. On a cache
+  /// hit these are the *original* computation times (what the hit
+  /// saved); `total_ms` is always this call's wall time.
+  std::array<double, kStageCount> stage_ms{};
+  double total_ms = 0.0;
+  /// True when this call was answered from the result cache.
+  bool cache_hit = false;
+
+  bool ok() const { return !error.has_value(); }
+
+  /// Whether `stage` ran to completion in this result.
+  bool stage_done(Stage stage) const;
+};
+
+/// Cache counters, for benchmarking and the serve `stats` request.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+};
+
+/// Thread-safe pipeline runner with a fingerprint-keyed LRU result
+/// cache. One Engine is meant to be shared: by all batch workers, by
+/// the whole lifetime of a serve process.
+class Engine {
+public:
+  struct Options {
+    /// Maximum cached results; 0 disables caching entirely.
+    std::size_t cache_capacity = 256;
+  };
+
+  Engine() = default;
+  explicit Engine(Options options) : options_(options) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs the pass sequence (or a cached equivalent) for `request`.
+  /// Per-request failures come back as Result::error, never as an
+  /// exception.
+  Result run(const Request& request);
+
+  CacheStats cache_stats() const;
+  void clear_cache();
+
+private:
+  /// Entries are shared immutable payloads so that lookups only bump a
+  /// refcount under the mutex; the (potentially large) Result copy for
+  /// the caller happens outside the lock.
+  using Entry = std::pair<std::string, std::shared_ptr<const Result>>;
+
+  /// Returns the cached payload for `key` and promotes it, if present.
+  std::shared_ptr<const Result> cache_lookup(const std::string& key);
+  void cache_insert(const std::string& key, const Result& result);
+
+  Options options_;
+
+  mutable std::mutex mutex_;
+  /// Most-recently-used first; the map indexes into the list.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dspaddr::engine

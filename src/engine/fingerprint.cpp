@@ -1,0 +1,46 @@
+#include "engine/fingerprint.hpp"
+
+#include "engine/engine.hpp"
+
+namespace dspaddr::engine {
+
+std::string request_fingerprint(const Request& request,
+                                const ir::AccessSequence& lowered) {
+  const std::uint64_t sim_iterations = request.iterations.value_or(
+      static_cast<std::uint64_t>(request.kernel.iterations()));
+
+  std::string key;
+  key.reserve(96 + lowered.size() * 8);
+  key += "v1|seq=";
+  for (const ir::Access& access : lowered.accesses()) {
+    key += std::to_string(access.offset);
+    key += ':';
+    key += std::to_string(access.stride);
+    key += ',';
+  }
+  key += "|ops=";
+  key += std::to_string(request.kernel.data_ops());
+  key += "|it=";
+  key += std::to_string(request.kernel.iterations());
+  key += "|sim=";
+  key += std::to_string(sim_iterations);
+  key += "|K=";
+  key += std::to_string(request.machine.address_registers);
+  key += "|L=";
+  key += std::to_string(request.machine.modify_registers);
+  key += "|M=";
+  key += std::to_string(request.machine.modify_range);
+  key += "|p2=";
+  key += std::to_string(static_cast<int>(request.phase2.mode));
+  key += ',';
+  key += std::to_string(request.phase2.exact_access_limit);
+  key += ',';
+  key += std::to_string(request.phase2.max_nodes);
+  key += ',';
+  key += std::to_string(request.phase2.time_budget_ms);
+  key += "|stop=";
+  key += std::to_string(static_cast<int>(request.stop_after));
+  return key;
+}
+
+}  // namespace dspaddr::engine

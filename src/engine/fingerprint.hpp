@@ -1,0 +1,28 @@
+// Canonical request fingerprints for the engine's result cache.
+//
+// Two requests with equal fingerprints produce value-identical results
+// up to *decoration* (the kernel and machine names echoed back into the
+// Result), so the fingerprint deliberately covers only what the
+// pipeline computes from:
+//  * the lowered access sequence (offset/stride pairs) — not the kernel
+//    name, so a renamed kernel with the same access pattern still hits;
+//  * the kernel's data-op count and iteration count (both feed the
+//    code-size/speed metrics) plus the simulated iteration count;
+//  * the machine's K / L / M resources — not its catalog name, so two
+//    catalog entries with equal resources share cache entries;
+//  * the phase-2 solver options and the requested stage prefix.
+#pragma once
+
+#include <string>
+
+#include "ir/access_sequence.hpp"
+
+namespace dspaddr::engine {
+
+struct Request;
+
+/// Canonical cache key of `request` given its lowered sequence.
+std::string request_fingerprint(const Request& request,
+                                const ir::AccessSequence& lowered);
+
+}  // namespace dspaddr::engine

@@ -1,0 +1,219 @@
+#include "engine/serialize.hpp"
+
+#include "support/check.hpp"
+
+namespace dspaddr::engine {
+namespace {
+
+using support::JsonValue;
+
+JsonValue from_size(std::size_t value) {
+  return JsonValue::number(static_cast<std::int64_t>(value));
+}
+
+JsonValue from_u64(std::uint64_t value) {
+  return JsonValue::number(static_cast<std::int64_t>(value));
+}
+
+JsonValue kernel_summary(const ir::Kernel& kernel) {
+  JsonValue json = JsonValue::object();
+  json.set("name", JsonValue::string(kernel.name()));
+  json.set("arrays", from_size(kernel.arrays().size()));
+  json.set("accesses", from_size(kernel.accesses().size()));
+  json.set("iterations", JsonValue::number(kernel.iterations()));
+  json.set("data_ops", JsonValue::number(kernel.data_ops()));
+  return json;
+}
+
+JsonValue machine_summary(const agu::AguSpec& machine) {
+  JsonValue json = JsonValue::object();
+  json.set("name", JsonValue::string(machine.name));
+  json.set("registers", from_size(machine.address_registers));
+  json.set("modify_registers", from_size(machine.modify_registers));
+  json.set("modify_range", JsonValue::number(machine.modify_range));
+  return json;
+}
+
+JsonValue allocate_stage(const Result& result) {
+  JsonValue json = JsonValue::object();
+  json.set("k_tilde", result.k_tilde.has_value()
+                          ? from_size(*result.k_tilde)
+                          : JsonValue::null());
+  json.set("cost", JsonValue::number(
+                       static_cast<std::int64_t>(result.allocation_cost)));
+  json.set("intra_cost",
+           JsonValue::number(static_cast<std::int64_t>(result.intra_cost)));
+  json.set("wrap_cost",
+           JsonValue::number(static_cast<std::int64_t>(result.wrap_cost)));
+  json.set("phase1_exact", JsonValue::boolean(result.stats.phase1_exact));
+  json.set("merges", from_size(result.stats.merges));
+  JsonValue phase2 = JsonValue::object();
+  phase2.set("exact", JsonValue::boolean(result.stats.phase2_exact));
+  phase2.set("proven", JsonValue::boolean(result.stats.phase2_proven));
+  phase2.set("gap", JsonValue::number(
+                        static_cast<std::int64_t>(result.stats.phase2_gap)));
+  phase2.set("lower_bound",
+             JsonValue::number(static_cast<std::int64_t>(
+                 result.stats.phase2_lower_bound)));
+  phase2.set("nodes", from_u64(result.stats.phase2_nodes));
+  json.set("phase2", std::move(phase2));
+  return json;
+}
+
+JsonValue plan_stage(const Result& result) {
+  JsonValue json = JsonValue::object();
+  JsonValue values = JsonValue::array();
+  for (const core::ModifyRegister& mr : result.plan.values) {
+    JsonValue entry = JsonValue::object();
+    entry.set("value", JsonValue::number(mr.value));
+    entry.set("covered",
+              JsonValue::number(static_cast<std::int64_t>(mr.covered)));
+    values.push_back(std::move(entry));
+  }
+  json.set("modify_registers", std::move(values));
+  json.set("covered_per_iteration",
+           JsonValue::number(static_cast<std::int64_t>(
+               result.plan.covered_per_iteration)));
+  json.set("residual_cost",
+           JsonValue::number(
+               static_cast<std::int64_t>(result.plan.residual_cost)));
+  return json;
+}
+
+JsonValue codegen_stage(const Result& result) {
+  JsonValue json = JsonValue::object();
+  json.set("setup_instructions", from_size(result.program.setup.size()));
+  json.set("body_instructions", from_size(result.program.body.size()));
+  json.set("setup_address_words",
+           from_size(result.program.setup_address_words()));
+  json.set("body_address_words",
+           from_size(result.program.body_address_words()));
+  return json;
+}
+
+JsonValue simulate_stage(const Result& result) {
+  JsonValue json = JsonValue::object();
+  json.set("iterations", from_u64(result.iterations));
+  json.set("verified", JsonValue::boolean(result.verified));
+  if (!result.sim.failure.empty()) {
+    json.set("failure", JsonValue::string(result.sim.failure));
+  }
+  json.set("accesses_executed", from_u64(result.sim.accesses_executed));
+  json.set("extra_instructions", from_u64(result.sim.extra_instructions));
+  json.set("address_cycles", from_u64(result.sim.address_cycles));
+  return json;
+}
+
+JsonValue metrics_stage(const Result& result) {
+  JsonValue json = JsonValue::object();
+  json.set("baseline_size_words",
+           JsonValue::number(result.baseline_size_words));
+  json.set("optimized_size_words",
+           JsonValue::number(result.optimized_size_words));
+  json.set("baseline_cycles", JsonValue::number(result.baseline_cycles));
+  json.set("optimized_cycles", JsonValue::number(result.optimized_cycles));
+  json.set("size_reduction_percent",
+           JsonValue::number(result.size_reduction_percent));
+  json.set("speed_reduction_percent",
+           JsonValue::number(result.speed_reduction_percent));
+  return json;
+}
+
+}  // namespace
+
+support::JsonValue result_to_json(const Result& result) {
+  JsonValue json = JsonValue::object();
+  json.set("kernel", kernel_summary(result.kernel));
+  json.set("machine", machine_summary(result.machine));
+  json.set("stop_after", JsonValue::string(stage_name(result.stop_after)));
+  if (result.error.has_value()) {
+    JsonValue error = JsonValue::object();
+    error.set("stage", JsonValue::string(stage_name(result.error->stage)));
+    error.set("message", JsonValue::string(result.error->message));
+    json.set("error", std::move(error));
+  }
+  JsonValue stages = JsonValue::object();
+  if (result.stage_done(Stage::kLower)) {
+    JsonValue lower = JsonValue::object();
+    lower.set("accesses", from_size(result.accesses));
+    stages.set("lower", std::move(lower));
+  }
+  if (result.stage_done(Stage::kAllocate)) {
+    stages.set("allocate", allocate_stage(result));
+  }
+  if (result.stage_done(Stage::kPlan)) {
+    stages.set("plan", plan_stage(result));
+  }
+  if (result.stage_done(Stage::kCodegen)) {
+    stages.set("codegen", codegen_stage(result));
+  }
+  if (result.stage_done(Stage::kSimulate)) {
+    stages.set("simulate", simulate_stage(result));
+  }
+  if (result.stage_done(Stage::kMetrics)) {
+    stages.set("metrics", metrics_stage(result));
+  }
+  json.set("stages", std::move(stages));
+  return json;
+}
+
+std::string result_to_json_line(const Result& result) {
+  return result_to_json(result).dump();
+}
+
+ir::Kernel kernel_from_json(const support::JsonValue& json) {
+  check_arg(json.is_object(), "kernel: expected a JSON object");
+
+  std::string name = "inline";
+  if (const JsonValue* value = json.find("name")) {
+    name = value->as_string();
+  }
+  std::string description;
+  if (const JsonValue* value = json.find("description")) {
+    description = value->as_string();
+  }
+  ir::Kernel kernel(std::move(name), std::move(description));
+
+  const JsonValue* arrays = json.find("arrays");
+  check_arg(arrays != nullptr && arrays->is_array(),
+            "kernel: 'arrays' must be an array of {name, size}");
+  for (const JsonValue& entry : arrays->items()) {
+    const JsonValue* array_name = entry.find("name");
+    const JsonValue* array_size = entry.find("size");
+    check_arg(array_name != nullptr && array_size != nullptr,
+              "kernel: each array needs 'name' and 'size'");
+    kernel.add_array(array_name->as_string(), array_size->as_int());
+  }
+
+  if (const JsonValue* iterations = json.find("iterations")) {
+    kernel.set_iterations(iterations->as_int());
+  }
+  if (const JsonValue* data_ops = json.find("data_ops")) {
+    kernel.set_data_ops(data_ops->as_int());
+  }
+
+  const JsonValue* accesses = json.find("accesses");
+  check_arg(accesses != nullptr && accesses->is_array(),
+            "kernel: 'accesses' must be an array of {array, offset, "
+            "stride, write}");
+  for (const JsonValue& entry : accesses->items()) {
+    const JsonValue* array = entry.find("array");
+    check_arg(array != nullptr, "kernel: each access needs 'array'");
+    std::int64_t offset = 0;
+    if (const JsonValue* value = entry.find("offset")) {
+      offset = value->as_int();
+    }
+    std::int64_t stride = 1;
+    if (const JsonValue* value = entry.find("stride")) {
+      stride = value->as_int();
+    }
+    bool is_write = false;
+    if (const JsonValue* value = entry.find("write")) {
+      is_write = value->as_bool();
+    }
+    kernel.add_access(array->as_string(), offset, stride, is_write);
+  }
+  return kernel;
+}
+
+}  // namespace dspaddr::engine

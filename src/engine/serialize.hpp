@@ -1,0 +1,55 @@
+// JSON serialization of engine results and requests.
+//
+// One schema backs both machine-readable surfaces: `dspaddr run
+// --format=json` emits exactly the object a `dspaddr serve` response
+// carries (serve adds an optional "id" echo). The serialization is
+// deterministic — member order is fixed and per-call data (cache_hit,
+// wall times) is deliberately excluded, so identical requests always
+// produce byte-identical lines; the serve CI smoke depends on this.
+//
+// Schema (stages appear only when they ran; `error` only on failure):
+//   {"kernel": {"name", "arrays", "accesses", "iterations", "data_ops"},
+//    "machine": {"name", "registers", "modify_registers", "modify_range"},
+//    "stop_after": "metrics",
+//    "error": {"stage", "message"},
+//    "stages": {
+//      "lower":    {"accesses"},
+//      "allocate": {"k_tilde", "cost", "intra_cost", "wrap_cost",
+//                   "phase1_exact", "merges",
+//                   "phase2": {"exact", "proven", "gap", "lower_bound",
+//                              "nodes"}},
+//      "plan":     {"modify_registers": [{"value", "covered"}, ...],
+//                   "covered_per_iteration", "residual_cost"},
+//      "codegen":  {"setup_instructions", "body_instructions",
+//                   "setup_address_words", "body_address_words"},
+//      "simulate": {"iterations", "verified", "failure",
+//                   "accesses_executed", "extra_instructions",
+//                   "address_cycles"},
+//      "metrics":  {"baseline_size_words", "optimized_size_words",
+//                   "baseline_cycles", "optimized_cycles",
+//                   "size_reduction_percent",
+//                   "speed_reduction_percent"}}}
+#pragma once
+
+#include <string>
+
+#include "engine/engine.hpp"
+#include "ir/kernel.hpp"
+#include "support/json.hpp"
+
+namespace dspaddr::engine {
+
+/// The result as a JSON object (see the schema above).
+support::JsonValue result_to_json(const Result& result);
+
+/// Compact one-line rendering of result_to_json (no trailing newline).
+std::string result_to_json_line(const Result& result);
+
+/// Parses an inline kernel object:
+///   {"name"?, "description"?, "iterations"?, "data_ops"?,
+///    "arrays": [{"name", "size"}, ...],
+///    "accesses": [{"array", "offset"?, "stride"?, "write"?}, ...]}
+/// Throws Error on malformed input.
+ir::Kernel kernel_from_json(const support::JsonValue& json);
+
+}  // namespace dspaddr::engine

@@ -4,12 +4,6 @@
 #include <atomic>
 #include <thread>
 
-#include "agu/codegen.hpp"
-#include "agu/metrics.hpp"
-#include "agu/simulator.hpp"
-#include "core/allocator.hpp"
-#include "core/modify_registers.hpp"
-#include "ir/layout.hpp"
 #include "support/check.hpp"
 #include "support/strings.hpp"
 
@@ -52,56 +46,33 @@ std::vector<BatchTask> build_grid(const BatchConfig& config) {
   return tasks;
 }
 
-BatchRow run_cell(const BatchTask& task) {
+}  // namespace
+
+BatchRow row_from_result(const engine::Result& result) {
   BatchRow row;
-  row.kernel = task.kernel->name();
-  row.machine = task.machine.name;
-  row.registers = task.machine.address_registers;
-  row.modify_range = task.machine.modify_range;
-  row.modify_registers = task.machine.modify_registers;
-  try {
-    const ir::AccessSequence seq = ir::lower(*task.kernel);
-    row.accesses = seq.size();
-
-    core::ProblemConfig config;
-    config.modify_range = task.machine.modify_range;
-    config.registers = task.machine.address_registers;
-    config.phase2 = task.phase2;
-    const core::Allocation allocation =
-        core::RegisterAllocator(config).run(seq);
-    row.k_tilde = allocation.stats().k_tilde;
-    row.allocation_cost = allocation.cost();
-    row.phase2_exact = allocation.stats().phase2_exact;
-    row.phase2_proven = allocation.stats().phase2_proven;
-    row.phase2_gap = allocation.stats().phase2_gap;
-    row.phase2_nodes = allocation.stats().phase2_nodes;
-
-    const core::ModifyRegisterPlan plan = core::plan_modify_registers(
-        seq, allocation, task.machine.modify_registers);
-    row.residual_cost = plan.residual_cost;
-
-    const agu::Program program = agu::generate_code(seq, allocation, plan);
-    const std::uint64_t iterations =
-        static_cast<std::uint64_t>(task.kernel->iterations());
-    const agu::SimResult sim = agu::Simulator{}.run(program, seq, iterations);
-    row.verified =
-        agu::verified_against_cost(sim, iterations, plan.residual_cost);
-
-    const agu::AddressingComparison comparison =
-        agu::compare_addressing(*task.kernel, allocation);
-    row.size_reduction_percent = comparison.size_reduction_percent;
-    row.speed_reduction_percent = comparison.speed_reduction_percent;
-  } catch (const std::exception& e) {
-    // Anything escaping the worker lambda would std::terminate the
-    // whole sweep — keep the one-bad-cell-never-aborts contract.
-    row.error = e.what();
+  row.kernel = result.kernel.name();
+  row.machine = result.machine.name;
+  row.registers = result.machine.address_registers;
+  row.modify_range = result.machine.modify_range;
+  row.modify_registers = result.machine.modify_registers;
+  row.accesses = result.accesses;
+  row.k_tilde = result.k_tilde;
+  row.allocation_cost = result.allocation_cost;
+  row.residual_cost = result.plan.residual_cost;
+  row.phase2_exact = result.stats.phase2_exact;
+  row.phase2_proven = result.stats.phase2_proven;
+  row.phase2_gap = result.stats.phase2_gap;
+  row.phase2_nodes = result.stats.phase2_nodes;
+  row.size_reduction_percent = result.size_reduction_percent;
+  row.speed_reduction_percent = result.speed_reduction_percent;
+  row.verified = result.verified;
+  if (result.error.has_value()) {
+    row.error = result.error->message;
   }
   return row;
 }
 
-}  // namespace
-
-BatchResult run_batch(const BatchConfig& config) {
+BatchResult run_batch(const BatchConfig& config, engine::Engine& engine) {
   check_arg(config.jobs >= 1, "run_batch: jobs must be >= 1");
 
   const std::vector<BatchTask> tasks = build_grid(config);
@@ -110,7 +81,8 @@ BatchResult run_batch(const BatchConfig& config) {
 
   // Workers claim cells through a shared counter and write each result
   // into its grid slot; the output order is the grid order whatever the
-  // interleaving.
+  // interleaving. The engine is shared: cells differing only in kernel
+  // or machine *names* (or plain repeats) are answered from its cache.
   std::atomic<std::size_t> next{0};
   const auto worker = [&] {
     for (;;) {
@@ -118,7 +90,11 @@ BatchResult run_batch(const BatchConfig& config) {
       if (i >= tasks.size()) {
         return;
       }
-      result.rows[i] = run_cell(tasks[i]);
+      engine::Request request;
+      request.kernel = *tasks[i].kernel;
+      request.machine = tasks[i].machine;
+      request.phase2 = tasks[i].phase2;
+      result.rows[i] = row_from_result(engine.run(request));
     }
   };
 
@@ -145,61 +121,88 @@ BatchResult run_batch(const BatchConfig& config) {
   return result;
 }
 
+BatchResult run_batch(const BatchConfig& config) {
+  // Size the private cache to the whole grid so every repeated cell is
+  // a hit within this sweep.
+  const std::size_t cells =
+      std::max<std::size_t>(256, config.kernels.size() *
+                                     config.machines.size() *
+                                     std::max<std::size_t>(
+                                         config.register_counts.size(), 1) *
+                                     std::max<std::size_t>(
+                                         config.modify_ranges.size(), 1));
+  engine::Engine engine(engine::Engine::Options{cells});
+  return run_batch(config, engine);
+}
+
 namespace {
 
 std::string k_tilde_field(const BatchRow& row) {
-  if (!row.error.empty() || !row.k_tilde.has_value()) {
+  if (!row.k_tilde.has_value()) {
     return "-";
   }
   return std::to_string(*row.k_tilde);
 }
 
 std::string phase2_field(const BatchRow& row) {
-  if (!row.error.empty()) return "-";
   return row.phase2_exact ? "exact" : "heuristic";
 }
 
 std::string proven_field(const BatchRow& row) {
-  if (!row.error.empty()) return "-";
   return row.phase2_proven ? "yes" : "no";
 }
 
 std::string gap_field(const BatchRow& row) {
   // The gap is only meaningful when the exact search ran: heuristic
   // cells have no lower bound to measure against.
-  if (!row.error.empty() || !row.phase2_exact) return "-";
+  if (!row.phase2_exact) return "-";
   return std::to_string(row.phase2_gap);
 }
 
 }  // namespace
 
+std::vector<std::string> batch_csv_header() {
+  return {"kernel", "machine", "registers", "modify_range",
+          "modify_registers", "accesses", "k_tilde", "allocation_cost",
+          "residual_cost", "phase2", "proven", "gap", "phase2_nodes",
+          "size_reduction_percent", "speed_reduction_percent", "verified",
+          "error"};
+}
+
+std::vector<std::string> batch_row_fields(const BatchRow& row) {
+  if (!row.error.empty()) {
+    // Identity columns plus the error; every metric column is empty so
+    // an errored cell can never be read as a zero-cost result.
+    return {row.kernel, row.machine, std::to_string(row.registers),
+            std::to_string(row.modify_range),
+            std::to_string(row.modify_registers), "", "", "", "", "", "",
+            "", "", "", "", "", row.error};
+  }
+  return {
+      row.kernel,
+      row.machine,
+      std::to_string(row.registers),
+      std::to_string(row.modify_range),
+      std::to_string(row.modify_registers),
+      std::to_string(row.accesses),
+      k_tilde_field(row),
+      std::to_string(row.allocation_cost),
+      std::to_string(row.residual_cost),
+      phase2_field(row),
+      proven_field(row),
+      gap_field(row),
+      std::to_string(row.phase2_nodes),
+      support::format_fixed(row.size_reduction_percent, 2),
+      support::format_fixed(row.speed_reduction_percent, 2),
+      row.verified ? "yes" : "no",
+      row.error,
+  };
+}
+
 support::CsvWriter batch_to_csv(const BatchResult& result) {
-  support::CsvWriter csv({"kernel", "machine", "registers", "modify_range",
-                          "modify_registers", "accesses", "k_tilde",
-                          "allocation_cost", "residual_cost", "phase2",
-                          "proven", "gap", "phase2_nodes",
-                          "size_reduction_percent",
-                          "speed_reduction_percent", "verified", "error"});
+  support::CsvWriter csv(batch_csv_header());
   for (const BatchRow& row : result.rows) {
-    csv.add_row({
-        row.kernel,
-        row.machine,
-        std::to_string(row.registers),
-        std::to_string(row.modify_range),
-        std::to_string(row.modify_registers),
-        std::to_string(row.accesses),
-        k_tilde_field(row),
-        std::to_string(row.allocation_cost),
-        std::to_string(row.residual_cost),
-        phase2_field(row),
-        proven_field(row),
-        gap_field(row),
-        std::to_string(row.phase2_nodes),
-        support::format_fixed(row.size_reduction_percent, 2),
-        support::format_fixed(row.speed_reduction_percent, 2),
-        row.error.empty() ? (row.verified ? "yes" : "no") : "-",
-        row.error,
-    });
+    csv.add_row(batch_row_fields(row));
   }
   return csv;
 }

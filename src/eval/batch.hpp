@@ -1,12 +1,12 @@
 // Multi-threaded batch experiment runner.
 //
-// Fans the full pipeline (lower -> allocate -> MR plan -> codegen ->
-// simulate -> metrics) out over the cross product
+// Fans engine::Engine::run out over the cross product
 // kernels x machines x register counts x modify ranges on a small
-// thread pool. Rows are stored in grid order regardless of thread
-// scheduling, so the rendered CSV is byte-identical across --jobs
-// values — the property that makes sweep outputs diffable across runs
-// and machines.
+// thread pool. All workers share one Engine, so kernels repeated
+// across the machine grid hit the fingerprint cache. Rows are stored
+// in grid order regardless of thread scheduling, so the rendered CSV
+// is byte-identical across --jobs values — the property that makes
+// sweep outputs diffable across runs and machines.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +16,7 @@
 
 #include "agu/machines.hpp"
 #include "core/allocator.hpp"
+#include "engine/engine.hpp"
 #include "ir/kernel.hpp"
 #include "support/csv.hpp"
 #include "support/table.hpp"
@@ -39,9 +40,12 @@ struct BatchConfig {
   core::Phase2Options phase2;
 };
 
-/// One grid cell's outcome. When the pipeline throws (e.g. a register
-/// count of 0), `error` carries the message and the numeric fields stay
-/// at their defaults — one bad cell never aborts the sweep.
+/// One grid cell's outcome. When a pipeline stage fails (e.g. a
+/// register count of 0), `error` carries the message, fields of the
+/// stages that did complete keep their values and the rest stay at
+/// their defaults — one bad cell never aborts the sweep. The CSV
+/// renders every metric column of an errored row as an empty field so
+/// a failure can never be mistaken for a genuine zero-cost result.
 struct BatchRow {
   std::string kernel;
   std::string machine;
@@ -76,9 +80,26 @@ struct BatchResult {
   std::size_t failures = 0;
 };
 
-/// Runs the grid on `config.jobs` threads. Deterministic: the result
-/// depends only on the grid, never on scheduling.
+/// Runs the grid on `config.jobs` threads over a private Engine sized
+/// to the grid. Deterministic: the result depends only on the grid,
+/// never on scheduling (cached and recomputed cells are value-equal).
 BatchResult run_batch(const BatchConfig& config);
+
+/// Same, against a caller-owned Engine (shared cache across sweeps).
+BatchResult run_batch(const BatchConfig& config, engine::Engine& engine);
+
+/// Flattens one engine result into the row the CSV/table renderers
+/// consume — the single conversion point shared by the batch runner
+/// and the single-run CLI.
+BatchRow row_from_result(const engine::Result& result);
+
+/// Column names of the batch CSV schema.
+std::vector<std::string> batch_csv_header();
+
+/// One row's CSV fields, aligned with batch_csv_header(). Errored rows
+/// render empty metric fields. Shared by batch_to_csv and the CLI's
+/// single-run CSV so the two schemas cannot drift.
+std::vector<std::string> batch_row_fields(const BatchRow& row);
 
 /// CSV with one row per grid cell (stable header and field formatting).
 support::CsvWriter batch_to_csv(const BatchResult& result);

@@ -7,6 +7,7 @@
 #include "cli/kernel_io.hpp"
 #include "cli/options.hpp"
 #include "cli/pipeline.hpp"
+#include "support/json.hpp"
 
 namespace dspaddr {
 namespace {
@@ -85,7 +86,7 @@ TEST(CliOptions, RunRejectsBadInput) {
       cli::parse_run_options({"--kernel", "f.c", "--registers", "two"}),
       cli::UsageError);
   EXPECT_THROW(
-      cli::parse_run_options({"--kernel", "f.c", "--format", "json"}),
+      cli::parse_run_options({"--kernel", "f.c", "--format", "yaml"}),
       cli::UsageError);
   EXPECT_THROW(
       cli::parse_run_options({"--kernel", "f.c", "--modify-range", "-1"}),
@@ -106,6 +107,28 @@ TEST(CliOptions, BatchLists) {
   EXPECT_EQ(options.jobs, 8u);
   EXPECT_EQ(options.format, cli::OutputFormat::kTable);
   EXPECT_EQ(options.output_path, "r.csv");
+}
+
+TEST(CliOptions, JsonFormat) {
+  const cli::RunOptions run = cli::parse_run_options(
+      {"--kernel", "f.c", "--format", "json"});
+  EXPECT_EQ(run.format, cli::OutputFormat::kJson);
+  // Batch stays table/CSV; JSON traffic goes through `serve`.
+  EXPECT_THROW(
+      cli::parse_batch_options({"--builtin", "fir", "--format", "json"}),
+      cli::UsageError);
+}
+
+TEST(CliOptions, ServeFlags) {
+  EXPECT_EQ(cli::parse_serve_options({}).cache_capacity, 256u);
+  EXPECT_EQ(cli::parse_serve_options({"--cache-capacity", "0"})
+                .cache_capacity,
+            0u);
+  EXPECT_EQ(cli::parse_serve_options({"--cache-capacity=9"}).cache_capacity,
+            9u);
+  EXPECT_THROW(cli::parse_serve_options({"--bogus"}), cli::UsageError);
+  EXPECT_THROW(cli::parse_serve_options({"--cache-capacity", "x"}),
+               cli::UsageError);
 }
 
 TEST(CliOptions, BatchRejectsBadInput) {
@@ -221,6 +244,23 @@ TEST(CliApp, RunCsvMatchesBatchSchema) {
   EXPECT_NE(out.find("paper_example,custom,2,"), std::string::npos) << out;
 }
 
+TEST(CliApp, RunJsonFormatEmitsTheServeSchema) {
+  std::string out;
+  std::string err;
+  const int code = run({"run", "--kernel", kRoot + "paper_example.c",
+                        "--registers", "2", "--format", "json"},
+                       out, err);
+  EXPECT_EQ(code, 0) << err;
+  const support::JsonValue json = support::JsonValue::parse(out);
+  EXPECT_EQ(json.find("kernel")->find("name")->as_string(),
+            "paper_example");
+  EXPECT_EQ(json.find("machine")->find("registers")->as_int(), 2);
+  const support::JsonValue* stages = json.find("stages");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_EQ(stages->find("allocate")->find("cost")->as_int(), 2);
+  EXPECT_TRUE(stages->find("simulate")->find("verified")->as_bool());
+}
+
 TEST(CliApp, BatchIsDeterministicAcrossJobs) {
   const std::vector<std::string> base = {
       "batch", "--builtin", "fir,biquad", "--machines", "minimal2,wide4",
@@ -259,6 +299,7 @@ TEST(CliApp, HelpAndVersion) {
   std::string err;
   EXPECT_EQ(run({"help"}, out, err), 0);
   EXPECT_NE(out.find("usage: dspaddr"), std::string::npos);
+  EXPECT_NE(out.find("serve"), std::string::npos);
   EXPECT_EQ(run({"version"}, out, err), 0);
   EXPECT_NE(out.find("dspaddr "), std::string::npos);
   EXPECT_EQ(run({"machines"}, out, err), 0);

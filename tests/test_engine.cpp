@@ -1,0 +1,400 @@
+// The engine API: stage-structured results, fingerprint caching, and
+// byte-identical parity with the pre-refactor pipeline output.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "agu/machines.hpp"
+#include "cli/kernel_io.hpp"
+#include "engine/engine.hpp"
+#include "engine/fingerprint.hpp"
+#include "engine/serialize.hpp"
+#include "eval/batch.hpp"
+#include "ir/kernels.hpp"
+#include "ir/layout.hpp"
+
+namespace dspaddr {
+namespace {
+
+const std::string kSourceRoot = std::string(DSPADDR_SOURCE_DIR);
+
+engine::Request fir_request() {
+  engine::Request request;
+  request.kernel = ir::builtin_kernel("fir");
+  request.machine = agu::builtin_machine("wide4");
+  return request;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << "cannot open " << path;
+  std::ostringstream content;
+  content << file.rdbuf();
+  return content.str();
+}
+
+// ---------------------------------------------------------------- stages
+
+TEST(EngineStages, NamesRoundTrip) {
+  for (std::size_t i = 0; i < engine::kStageCount; ++i) {
+    const engine::Stage stage = static_cast<engine::Stage>(i);
+    EXPECT_EQ(engine::stage_from_name(engine::stage_name(stage)), stage);
+  }
+  EXPECT_FALSE(engine::stage_from_name("bogus").has_value());
+}
+
+TEST(EngineStages, FullRunCompletesAllStages) {
+  engine::Engine engine;
+  const engine::Result result = engine.run(fir_request());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.verified);
+  for (std::size_t i = 0; i < engine::kStageCount; ++i) {
+    EXPECT_TRUE(result.stage_done(static_cast<engine::Stage>(i)));
+  }
+  EXPECT_GT(result.total_ms, 0.0);
+}
+
+TEST(EngineStages, StopAfterRunsOnlyThePrefix) {
+  engine::Engine engine;
+  engine::Request request = fir_request();
+  request.stop_after = engine::Stage::kAllocate;
+  const engine::Result result = engine.run(request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.stage_done(engine::Stage::kLower));
+  EXPECT_TRUE(result.stage_done(engine::Stage::kAllocate));
+  EXPECT_FALSE(result.stage_done(engine::Stage::kPlan));
+  EXPECT_FALSE(result.stage_done(engine::Stage::kSimulate));
+  // Later-stage outputs keep their defaults.
+  EXPECT_TRUE(result.program.setup.empty());
+  EXPECT_TRUE(result.program.body.empty());
+  EXPECT_FALSE(result.verified);
+  EXPECT_EQ(result.iterations, 0u);
+  // The prefix is a distinct cache entry from the full run.
+  const engine::Result full = engine.run(fir_request());
+  EXPECT_FALSE(full.cache_hit);
+  EXPECT_TRUE(full.verified);
+}
+
+TEST(EngineStages, FailureIsStructuredNotThrown) {
+  engine::Engine engine;
+  engine::Request request = fir_request();
+  request.machine.address_registers = 0;
+  engine::Result result;
+  ASSERT_NO_THROW(result = engine.run(request));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error->stage, engine::Stage::kAllocate);
+  EXPECT_FALSE(result.error->message.empty());
+  // The stage before the failure completed; the failing one did not.
+  EXPECT_TRUE(result.stage_done(engine::Stage::kLower));
+  EXPECT_GT(result.accesses, 0u);
+  EXPECT_FALSE(result.stage_done(engine::Stage::kAllocate));
+}
+
+// ----------------------------------------------------------- fingerprint
+
+TEST(EngineFingerprint, IgnoresNamesButNotResources) {
+  const engine::Request base = fir_request();
+  const ir::AccessSequence seq = ir::lower(base.kernel);
+  const std::string key = engine::request_fingerprint(base, seq);
+
+  engine::Request renamed = base;
+  renamed.machine.name = "elsewhere";
+  EXPECT_EQ(engine::request_fingerprint(renamed, seq), key);
+
+  engine::Request more_registers = base;
+  more_registers.machine.address_registers += 1;
+  EXPECT_NE(engine::request_fingerprint(more_registers, seq), key);
+
+  engine::Request other_phase2 = base;
+  other_phase2.phase2.mode = core::Phase2Options::Mode::kHeuristic;
+  EXPECT_NE(engine::request_fingerprint(other_phase2, seq), key);
+
+  engine::Request prefix = base;
+  prefix.stop_after = engine::Stage::kAllocate;
+  EXPECT_NE(engine::request_fingerprint(prefix, seq), key);
+
+  engine::Request more_iterations = base;
+  more_iterations.iterations = 1000;
+  EXPECT_NE(engine::request_fingerprint(more_iterations, seq), key);
+}
+
+// ----------------------------------------------------------------- cache
+
+TEST(EngineCache, RepeatedRequestHitsAndIsEqual) {
+  engine::Engine engine;
+  const engine::Result first = engine.run(fir_request());
+  const engine::Result second = engine.run(fir_request());
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(engine::result_to_json_line(first),
+            engine::result_to_json_line(second));
+  const engine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(EngineCache, HitAppliesTheCallersDecoration) {
+  engine::Engine engine;
+  engine.run(fir_request());
+
+  engine::Request renamed = fir_request();
+  renamed.machine.name = "twin";
+  ir::Kernel twin("fir_twin", "structural twin of fir");
+  for (const ir::ArrayDecl& array : renamed.kernel.arrays()) {
+    twin.add_array(array.name, array.size);
+  }
+  twin.set_iterations(renamed.kernel.iterations());
+  twin.set_data_ops(renamed.kernel.data_ops());
+  for (const ir::KernelAccess& access : renamed.kernel.accesses()) {
+    twin.add_access(access.array, access.offset, access.stride,
+                    access.is_write);
+  }
+  renamed.kernel = twin;
+
+  const engine::Result result = engine.run(renamed);
+  EXPECT_TRUE(result.cache_hit);
+  EXPECT_EQ(result.kernel.name(), "fir_twin");
+  EXPECT_EQ(result.machine.name, "twin");
+  const eval::BatchRow row = eval::row_from_result(result);
+  EXPECT_EQ(row.kernel, "fir_twin");
+  EXPECT_EQ(row.machine, "twin");
+}
+
+TEST(EngineCache, CapacityZeroDisablesCaching) {
+  engine::Engine engine(engine::Engine::Options{0});
+  engine.run(fir_request());
+  const engine::Result second = engine.run(fir_request());
+  EXPECT_FALSE(second.cache_hit);
+  const engine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(EngineCache, LruEvictsTheColdestEntry) {
+  engine::Engine engine(engine::Engine::Options{2});
+  engine::Request biquad = fir_request();
+  biquad.kernel = ir::builtin_kernel("biquad");
+  engine::Request matmul = fir_request();
+  matmul.kernel = ir::builtin_kernel("matmul");
+
+  engine.run(fir_request());                     // {fir}
+  engine.run(biquad);                            // {biquad, fir}
+  EXPECT_TRUE(engine.run(fir_request()).cache_hit);  // {fir, biquad}
+  engine.run(matmul);                            // {matmul, fir} — biquad out
+  EXPECT_EQ(engine.cache_stats().entries, 2u);
+  EXPECT_TRUE(engine.run(fir_request()).cache_hit);
+  EXPECT_FALSE(engine.run(biquad).cache_hit);
+}
+
+TEST(EngineCache, ClearCacheForgetsResults) {
+  engine::Engine engine;
+  engine.run(fir_request());
+  engine.clear_cache();
+  EXPECT_EQ(engine.cache_stats().entries, 0u);
+  EXPECT_FALSE(engine.run(fir_request()).cache_hit);
+}
+
+TEST(EngineCache, DeterministicUnderConcurrentRuns) {
+  // Several workers hammer the same small request set on one shared
+  // engine; every answer must equal the single-threaded reference.
+  std::vector<engine::Request> requests;
+  for (const char* name : {"fir", "biquad", "matmul", "dotprod"}) {
+    engine::Request request;
+    request.kernel = ir::builtin_kernel(name);
+    request.machine = agu::builtin_machine("minimal2");
+    requests.push_back(request);
+  }
+  std::vector<std::string> reference;
+  {
+    engine::Engine engine;
+    for (const engine::Request& request : requests) {
+      reference.push_back(engine::result_to_json_line(engine.run(request)));
+    }
+  }
+
+  engine::Engine shared;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kRounds = 5;
+  std::vector<std::vector<std::string>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        for (const engine::Request& request : requests) {
+          seen[t].push_back(
+              engine::result_to_json_line(shared.run(request)));
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(seen[t].size(), kRounds * requests.size());
+    for (std::size_t i = 0; i < seen[t].size(); ++i) {
+      EXPECT_EQ(seen[t][i], reference[i % requests.size()]);
+    }
+  }
+  const engine::CacheStats stats = shared.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kRounds * requests.size());
+  EXPECT_GE(stats.misses, requests.size());
+  EXPECT_EQ(stats.entries, requests.size());
+}
+
+TEST(EngineCache, WarmHitsAreFarFasterThanColdRuns) {
+  // The bench measures this properly; here we only guard the order of
+  // magnitude: a warm hit skips allocation + simulation entirely, so
+  // even a conservative 5x margin holds with room to spare.
+  engine::Request request;
+  request.kernel = ir::builtin_kernel("paper_example");
+  request.machine = agu::builtin_machine("minimal2");
+  request.phase2.mode = core::Phase2Options::Mode::kExact;
+
+  engine::Engine engine;
+  using Clock = std::chrono::steady_clock;
+  const auto cold_start = Clock::now();
+  const engine::Result cold = engine.run(request);
+  const double cold_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - cold_start)
+          .count();
+  ASSERT_FALSE(cold.cache_hit);
+
+  constexpr int kWarmRuns = 200;
+  const auto warm_start = Clock::now();
+  for (int i = 0; i < kWarmRuns; ++i) {
+    ASSERT_TRUE(engine.run(request).cache_hit);
+  }
+  const double warm_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - warm_start)
+          .count() /
+      kWarmRuns;
+  EXPECT_GT(cold_ms, 5.0 * warm_ms)
+      << "cold " << cold_ms << " ms vs warm " << warm_ms << " ms";
+}
+
+// ---------------------------------------------------------------- parity
+
+// The engine-backed batch runner must reproduce the pre-refactor CSV
+// byte for byte (goldens captured from the last direct-pipeline build).
+
+TEST(EngineParity, WorkloadGridMatchesGoldenCsv) {
+  eval::BatchConfig config;
+  for (const char* name :
+       {"fir16.kern", "gradient.c", "paper_example.c", "smooth3.c",
+        "stereo_mix.kern"}) {
+    config.kernels.push_back(
+        cli::load_kernel_file(kSourceRoot + "/workloads/" + name));
+  }
+  config.machines = agu::builtin_machines();
+  config.jobs = 4;
+  const std::string csv = eval::batch_to_csv(eval::run_batch(config)).to_string();
+  EXPECT_EQ(csv, read_file(kSourceRoot + "/tests/golden/batch_workloads.csv"));
+}
+
+TEST(EngineParity, BuiltinGridMatchesGoldenCsv) {
+  eval::BatchConfig config;
+  config.kernels = {ir::builtin_kernel("fir"), ir::builtin_kernel("biquad"),
+                    ir::builtin_kernel("matmul")};
+  config.machines = {agu::builtin_machine("minimal2"),
+                     agu::builtin_machine("wide4"),
+                     agu::builtin_machine("adsp218x")};
+  config.register_counts = {1, 2, 4};
+  config.modify_ranges = {1, 2};
+  config.jobs = 4;
+  const std::string csv = eval::batch_to_csv(eval::run_batch(config)).to_string();
+  EXPECT_EQ(csv,
+            read_file(kSourceRoot + "/tests/golden/batch_small_grid.csv"));
+}
+
+TEST(EngineParity, SharedEngineAcrossSweepsKeepsCsvIdentical) {
+  eval::BatchConfig config;
+  config.kernels = {ir::builtin_kernel("fir"), ir::builtin_kernel("biquad")};
+  config.machines = {agu::builtin_machine("minimal2"),
+                     agu::builtin_machine("wide4")};
+  config.register_counts = {1, 2};
+  config.jobs = 4;
+
+  engine::Engine engine;
+  const std::string first =
+      eval::batch_to_csv(eval::run_batch(config, engine)).to_string();
+  const std::string second =
+      eval::batch_to_csv(eval::run_batch(config, engine)).to_string();
+  EXPECT_EQ(first, second);
+  // The second sweep was answered from the cache.
+  EXPECT_GE(engine.cache_stats().hits, 8u);
+}
+
+// ------------------------------------------------------------- serialize
+
+TEST(EngineSerialize, JsonCarriesAllStages) {
+  engine::Engine engine;
+  const engine::Result result = engine.run(fir_request());
+  const support::JsonValue json =
+      support::JsonValue::parse(engine::result_to_json_line(result));
+  EXPECT_EQ(json.find("kernel")->find("name")->as_string(), "fir");
+  EXPECT_EQ(json.find("machine")->find("registers")->as_int(), 4);
+  EXPECT_EQ(json.find("stop_after")->as_string(), "metrics");
+  EXPECT_EQ(json.find("error"), nullptr);
+  const support::JsonValue* stages = json.find("stages");
+  ASSERT_NE(stages, nullptr);
+  for (const char* stage :
+       {"lower", "allocate", "plan", "codegen", "simulate", "metrics"}) {
+    EXPECT_NE(stages->find(stage), nullptr) << stage;
+  }
+  EXPECT_TRUE(
+      stages->find("simulate")->find("verified")->as_bool());
+}
+
+TEST(EngineSerialize, JsonOmitsStagesAfterStopOrError) {
+  engine::Engine engine;
+  engine::Request prefix = fir_request();
+  prefix.stop_after = engine::Stage::kPlan;
+  const support::JsonValue json = support::JsonValue::parse(
+      engine::result_to_json_line(engine.run(prefix)));
+  const support::JsonValue* stages = json.find("stages");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_NE(stages->find("plan"), nullptr);
+  EXPECT_EQ(stages->find("codegen"), nullptr);
+  EXPECT_EQ(stages->find("simulate"), nullptr);
+
+  engine::Request broken = fir_request();
+  broken.machine.address_registers = 0;
+  const support::JsonValue failed = support::JsonValue::parse(
+      engine::result_to_json_line(engine.run(broken)));
+  ASSERT_NE(failed.find("error"), nullptr);
+  EXPECT_EQ(failed.find("error")->find("stage")->as_string(), "allocate");
+  EXPECT_NE(failed.find("stages")->find("lower"), nullptr);
+  EXPECT_EQ(failed.find("stages")->find("allocate"), nullptr);
+}
+
+TEST(EngineSerialize, KernelFromJsonRoundTrips) {
+  const support::JsonValue json = support::JsonValue::parse(R"({
+    "name": "tiny", "iterations": 4, "data_ops": 2,
+    "arrays": [{"name": "A", "size": 8}],
+    "accesses": [{"array": "A", "offset": 1},
+                 {"array": "A", "offset": 0, "stride": 2, "write": true}]
+  })");
+  const ir::Kernel kernel = engine::kernel_from_json(json);
+  EXPECT_EQ(kernel.name(), "tiny");
+  EXPECT_EQ(kernel.iterations(), 4);
+  EXPECT_EQ(kernel.data_ops(), 2);
+  ASSERT_EQ(kernel.accesses().size(), 2u);
+  EXPECT_EQ(kernel.accesses()[1].stride, 2);
+  EXPECT_TRUE(kernel.accesses()[1].is_write);
+
+  EXPECT_THROW(
+      engine::kernel_from_json(support::JsonValue::parse("{\"a\":1}")),
+      Error);
+  EXPECT_THROW(engine::kernel_from_json(support::JsonValue::parse("[]")),
+               Error);
+}
+
+}  // namespace
+}  // namespace dspaddr

@@ -84,6 +84,49 @@ TEST(EvalBatch, BadCellIsReportedNotFatal) {
   EXPECT_TRUE(result.rows[1].verified);
 }
 
+TEST(EvalBatch, ErrorRowsRenderEmptyMetricFields) {
+  eval::BatchConfig config;
+  config.kernels = {ir::builtin_kernel("fir")};
+  agu::AguSpec broken = agu::builtin_machine("minimal2");
+  broken.address_registers = 0;
+  config.machines = {broken};
+  const eval::BatchResult result = eval::run_batch(config);
+  ASSERT_EQ(result.rows.size(), 1u);
+  ASSERT_FALSE(result.rows[0].error.empty());
+
+  const std::vector<std::string> fields =
+      eval::batch_row_fields(result.rows[0]);
+  ASSERT_EQ(fields.size(), eval::batch_csv_header().size());
+  // Identity columns survive; every metric column is empty (not "0" /
+  // "no", which would be indistinguishable from a genuine zero-cost
+  // unverified result); the error column carries the message.
+  EXPECT_EQ(fields[0], "fir");
+  EXPECT_EQ(fields[1], "minimal2");
+  EXPECT_EQ(fields[2], "0");
+  for (std::size_t i = 5; i + 1 < fields.size(); ++i) {
+    EXPECT_EQ(fields[i], "") << "column " << i;
+  }
+  EXPECT_FALSE(fields.back().empty());
+
+  const std::string csv = eval::batch_to_csv(result).to_string();
+  EXPECT_NE(csv.find("fir,minimal2,0,1,0,,,,,,,,,,,,"),
+            std::string::npos)
+      << csv;
+}
+
+TEST(EvalBatch, RowSerializationIsSharedWithTheHeader) {
+  // One row-serialization function backs both the batch CSV and the
+  // CLI's single-run CSV; its field count must always match the header.
+  eval::BatchRow row;
+  row.kernel = "k";
+  row.machine = "m";
+  EXPECT_EQ(eval::batch_row_fields(row).size(),
+            eval::batch_csv_header().size());
+  row.error = "boom";
+  EXPECT_EQ(eval::batch_row_fields(row).size(),
+            eval::batch_csv_header().size());
+}
+
 TEST(EvalBatch, RejectsZeroJobs) {
   eval::BatchConfig config;
   config.jobs = 0;

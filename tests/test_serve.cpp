@@ -1,0 +1,188 @@
+// The JSON-lines serve loop: protocol, determinism, cache statistics,
+// and resilience to malformed requests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "cli/serve.hpp"
+#include "support/json.hpp"
+#include "support/strings.hpp"
+
+namespace dspaddr {
+namespace {
+
+using support::JsonValue;
+
+std::vector<std::string> serve_lines(const std::string& input,
+                                     cli::ServeOptions options = {}) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  EXPECT_EQ(cli::run_serve(in, out, options), 0);
+  std::vector<std::string> lines;
+  for (const std::string& line : support::split(out.str(), '\n')) {
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+TEST(Serve, AnswersOneLinePerRequest) {
+  const std::vector<std::string> lines = serve_lines(
+      "{\"id\":1,\"builtin\":\"fir\",\"machine\":\"wide4\"}\n"
+      "\n"
+      "{\"id\":2,\"builtin\":\"biquad\",\"registers\":2}\n");
+  ASSERT_EQ(lines.size(), 2u);
+  const JsonValue first = JsonValue::parse(lines[0]);
+  EXPECT_EQ(first.find("id")->as_int(), 1);
+  EXPECT_EQ(first.find("kernel")->find("name")->as_string(), "fir");
+  EXPECT_EQ(first.find("error"), nullptr);
+  EXPECT_TRUE(first.find("stages")
+                  ->find("simulate")
+                  ->find("verified")
+                  ->as_bool());
+  const JsonValue second = JsonValue::parse(lines[1]);
+  EXPECT_EQ(second.find("id")->as_int(), 2);
+  EXPECT_EQ(second.find("machine")->find("registers")->as_int(), 2);
+}
+
+TEST(Serve, RepeatedFixtureIsByteIdenticalAndHitsTheCache) {
+  // The CI smoke's contract, in-process: the same fixture piped twice
+  // through one serve session answers identically both times, and the
+  // second pass runs from the cache.
+  const std::string fixture =
+      "{\"id\":1,\"builtin\":\"fir\",\"machine\":\"wide4\"}\n"
+      "{\"id\":2,\"builtin\":\"biquad\",\"machine\":\"minimal2\"}\n"
+      "{\"id\":3,\"builtin\":\"matmul\",\"registers\":2,"
+      "\"stop_after\":\"plan\"}\n";
+  const std::vector<std::string> lines =
+      serve_lines(fixture + fixture + "{\"stats\":true}\n");
+  ASSERT_EQ(lines.size(), 7u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(lines[i], lines[i + 3]) << "request " << (i + 1);
+  }
+  const JsonValue stats = JsonValue::parse(lines[6]);
+  EXPECT_EQ(stats.find("stats")->find("hits")->as_int(), 3);
+  EXPECT_EQ(stats.find("stats")->find("misses")->as_int(), 3);
+}
+
+TEST(Serve, InlineKernelAndStopAfter) {
+  const std::vector<std::string> lines = serve_lines(
+      R"({"kernel":{"name":"tiny","iterations":4,)"
+      R"("arrays":[{"name":"A","size":8}],)"
+      R"("accesses":[{"array":"A","offset":0},{"array":"A","offset":2}]},)"
+      R"("registers":1,"stop_after":"allocate"})"
+      "\n");
+  ASSERT_EQ(lines.size(), 1u);
+  const JsonValue response = JsonValue::parse(lines[0]);
+  EXPECT_EQ(response.find("kernel")->find("name")->as_string(), "tiny");
+  EXPECT_EQ(response.find("stop_after")->as_string(), "allocate");
+  EXPECT_NE(response.find("stages")->find("allocate"), nullptr);
+  EXPECT_EQ(response.find("stages")->find("plan"), nullptr);
+}
+
+TEST(Serve, KernelFileRequest) {
+  const std::string path =
+      std::string(DSPADDR_SOURCE_DIR) + "/workloads/paper_example.c";
+  const std::vector<std::string> lines = serve_lines(
+      "{\"kernel_file\":\"" + path + "\",\"registers\":2}\n");
+  ASSERT_EQ(lines.size(), 1u);
+  const JsonValue response = JsonValue::parse(lines[0]);
+  EXPECT_EQ(response.find("kernel")->find("name")->as_string(),
+            "paper_example");
+  EXPECT_EQ(response.find("stages")
+                ->find("allocate")
+                ->find("cost")
+                ->as_int(),
+            2);
+}
+
+TEST(Serve, BadRequestsAreAnsweredInBandAndTheLoopContinues) {
+  const std::vector<std::string> lines = serve_lines(
+      "this is not json\n"
+      "{\"id\":7,\"builtin\":\"fir\",\"bogus\":1}\n"
+      "{\"id\":8}\n"
+      "{\"id\":9,\"builtin\":\"nope\"}\n"
+      "{\"id\":10,\"builtin\":\"fir\",\"stop_after\":\"nope\"}\n"
+      "{\"id\":11,\"builtin\":\"fir\"}\n");
+  ASSERT_EQ(lines.size(), 6u);
+  for (int i = 0; i < 5; ++i) {
+    const JsonValue response = JsonValue::parse(lines[i]);
+    const JsonValue* error = response.find("error");
+    ASSERT_NE(error, nullptr) << lines[i];
+    EXPECT_EQ(error->find("stage")->as_string(), "request");
+    EXPECT_FALSE(error->find("message")->as_string().empty());
+  }
+  // The malformed line could not echo an id; the others do.
+  EXPECT_EQ(JsonValue::parse(lines[0]).find("id"), nullptr);
+  EXPECT_EQ(JsonValue::parse(lines[1]).find("id")->as_int(), 7);
+  // The healthy request after all the bad ones still succeeds.
+  const JsonValue last = JsonValue::parse(lines[5]);
+  EXPECT_EQ(last.find("id")->as_int(), 11);
+  EXPECT_EQ(last.find("error"), nullptr);
+}
+
+TEST(Serve, RejectsOutOfRangeOverrides) {
+  const std::vector<std::string> lines = serve_lines(
+      "{\"id\":1,\"builtin\":\"fir\",\"registers\":0}\n"
+      // A service must bound the per-request simulation work — via the
+      // override or via the kernel's own iteration count.
+      "{\"id\":2,\"builtin\":\"fir\",\"iterations\":2000000000}\n"
+      "{\"id\":3,\"kernel\":{\"iterations\":4000000000000,"
+      "\"arrays\":[{\"name\":\"A\",\"size\":4}],"
+      "\"accesses\":[{\"array\":\"A\"}]}}\n");
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    const JsonValue response = JsonValue::parse(line);
+    const JsonValue* error = response.find("error");
+    ASSERT_NE(error, nullptr) << line;
+    EXPECT_EQ(error->find("stage")->as_string(), "request");
+  }
+}
+
+TEST(Serve, HugeKernelIterationsAreFineForPipelinePrefixes) {
+  // The cap guards the simulate stage only; an allocation-only request
+  // on the same kernel is cheap and must go through.
+  const std::vector<std::string> lines = serve_lines(
+      "{\"kernel\":{\"iterations\":4000000000000,"
+      "\"arrays\":[{\"name\":\"A\",\"size\":4}],"
+      "\"accesses\":[{\"array\":\"A\"}]},"
+      "\"stop_after\":\"allocate\"}\n");
+  ASSERT_EQ(lines.size(), 1u);
+  const JsonValue response = JsonValue::parse(lines[0]);
+  EXPECT_EQ(response.find("error"), nullptr) << lines[0];
+  EXPECT_NE(response.find("stages")->find("allocate"), nullptr);
+}
+
+TEST(Serve, StatsProbeCarriesNothingElse) {
+  const std::vector<std::string> lines = serve_lines(
+      "{\"id\":1,\"stats\":true,\"builtin\":\"fir\"}\n"
+      "{\"stats\":true,\"bogus\":1}\n"
+      "{\"id\":3,\"stats\":true}\n");
+  ASSERT_EQ(lines.size(), 3u);
+  // A kernel source alongside a stats probe must not be silently
+  // dropped; an unknown key fails even on the stats path.
+  EXPECT_NE(JsonValue::parse(lines[0]).find("error"), nullptr);
+  EXPECT_NE(JsonValue::parse(lines[1]).find("error"), nullptr);
+  const JsonValue clean = JsonValue::parse(lines[2]);
+  EXPECT_EQ(clean.find("error"), nullptr);
+  EXPECT_NE(clean.find("stats"), nullptr);
+  EXPECT_EQ(clean.find("id")->as_int(), 3);
+}
+
+TEST(Serve, CacheCapacityZeroDisablesHits) {
+  cli::ServeOptions options;
+  options.cache_capacity = 0;
+  const std::vector<std::string> lines = serve_lines(
+      "{\"builtin\":\"fir\"}\n{\"builtin\":\"fir\"}\n{\"stats\":true}\n",
+      options);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], lines[1]);
+  const JsonValue stats = JsonValue::parse(lines[2]);
+  EXPECT_EQ(stats.find("stats")->find("hits")->as_int(), 0);
+  EXPECT_EQ(stats.find("stats")->find("capacity")->as_int(), 0);
+}
+
+}  // namespace
+}  // namespace dspaddr

@@ -1,0 +1,140 @@
+// The minimal JSON value backing --format=json and the serve protocol.
+#include <gtest/gtest.h>
+
+#include "support/json.hpp"
+
+namespace dspaddr {
+namespace {
+
+using support::JsonValue;
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_EQ(JsonValue::parse("42").as_int(), 42);
+  EXPECT_EQ(JsonValue::parse("-7").as_int(), -7);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("2.5").as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntegersStayIntegers) {
+  EXPECT_TRUE(JsonValue::parse("42").is_int());
+  EXPECT_FALSE(JsonValue::parse("42.0").is_int());
+  EXPECT_TRUE(JsonValue::parse("42.0").is_number());
+  // Integers convert through as_double for numeric consumers.
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_double(), 42.0);
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const JsonValue value = JsonValue::parse(
+      R"({"a": [1, 2, {"b": null}], "c": {"d": "x"}})");
+  ASSERT_TRUE(value.is_object());
+  const JsonValue* a = value.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_EQ(a->items()[1].as_int(), 2);
+  EXPECT_TRUE(a->items()[2].find("b")->is_null());
+  EXPECT_EQ(value.find("c")->find("d")->as_string(), "x");
+  EXPECT_EQ(value.find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(JsonValue::parse(R"("a\"b\\c\nd\t")").as_string(),
+            "a\"b\\c\nd\t");
+  EXPECT_EQ(JsonValue::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(JsonValue::string("a\"b\nc").dump(), R"("a\"b\nc")");
+  // Control characters escape as \u00xx.
+  EXPECT_EQ(JsonValue::string(std::string(1, '\x01')).dump(),
+            "\"\\u0001\"");
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\"").as_string(), "A");
+}
+
+TEST(Json, DumpIsCompactAndOrdered) {
+  JsonValue object = JsonValue::object();
+  object.set("b", JsonValue::number(std::int64_t{1}));
+  object.set("a", JsonValue::number(std::int64_t{2}));
+  JsonValue array = JsonValue::array();
+  array.push_back(JsonValue::boolean(true));
+  array.push_back(JsonValue::null());
+  object.set("list", std::move(array));
+  // Insertion order, not sorted; no whitespace.
+  EXPECT_EQ(object.dump(), R"({"b":1,"a":2,"list":[true,null]})");
+}
+
+TEST(Json, SetReplacesInPlace) {
+  JsonValue object = JsonValue::object();
+  object.set("a", JsonValue::number(std::int64_t{1}));
+  object.set("b", JsonValue::number(std::int64_t{2}));
+  object.set("a", JsonValue::number(std::int64_t{3}));
+  EXPECT_EQ(object.dump(), R"({"a":3,"b":2})");
+}
+
+TEST(Json, DoublesDumpShortestRoundTrip) {
+  EXPECT_EQ(JsonValue::number(11.11).dump(), "11.11");
+  EXPECT_EQ(JsonValue::number(0.5).dump(), "0.5");
+  // A double without a fractional part keeps a marker so it parses
+  // back as a double.
+  EXPECT_EQ(JsonValue::number(3.0).dump(), "3.0");
+  EXPECT_FALSE(JsonValue::parse(JsonValue::number(3.0).dump()).is_int());
+}
+
+TEST(Json, RoundTripsItsOwnDump) {
+  const char* text =
+      R"({"k":[1,2.5,"s",true,null],"o":{"x":-3},"e":""})";
+  const JsonValue value = JsonValue::parse(text);
+  EXPECT_EQ(JsonValue::parse(value.dump()).dump(), value.dump());
+  EXPECT_EQ(value.dump(), text);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), support::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{"), support::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("[1,]"), support::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), support::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("tru"), support::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("1 2"), support::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), support::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("nan"), support::JsonParseError);
+  // Numbers need digits on both sides of '.' and in the exponent.
+  EXPECT_THROW(JsonValue::parse(".5"), support::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("1."), support::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("1e"), support::JsonParseError);
+  EXPECT_THROW(JsonValue::parse("-"), support::JsonParseError);
+}
+
+TEST(Json, BoundsNestingDepth) {
+  // A hostile deeply-nested line must be a parse error, not a stack
+  // overflow of the process (the serve loop parses untrusted input).
+  const std::string hostile(100000, '[');
+  EXPECT_THROW(JsonValue::parse(hostile), support::JsonParseError);
+  const std::string mixed = std::string(5000, '[') + "{\"a\":" ;
+  EXPECT_THROW(JsonValue::parse(mixed), support::JsonParseError);
+  // Sane nesting still parses.
+  std::string ok = "1";
+  for (int i = 0; i < 100; ++i) {
+    ok = "[" + ok + "]";
+  }
+  EXPECT_NO_THROW(JsonValue::parse(ok));
+}
+
+TEST(Json, IntegerOverflowFallsBackToDouble) {
+  const JsonValue huge = JsonValue::parse("99999999999999999999");
+  EXPECT_FALSE(huge.is_int());
+  EXPECT_TRUE(huge.is_number());
+  EXPECT_DOUBLE_EQ(huge.as_double(), 1e20);
+  // Beyond double range is the one valid-looking number we reject.
+  EXPECT_THROW(JsonValue::parse("1e999"), support::JsonParseError);
+}
+
+TEST(Json, TypeMismatchesThrow) {
+  const JsonValue number = JsonValue::parse("1");
+  EXPECT_THROW(number.as_string(), InvalidArgument);
+  EXPECT_THROW(number.items(), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("2.5").as_int(), InvalidArgument);
+  EXPECT_THROW(JsonValue::null().as_bool(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace dspaddr
