@@ -1,0 +1,133 @@
+// The strategy matrix: every registered allocation strategy across the
+// builtin kernel suite, through the engine's pluggable pipeline.
+//
+// Two outputs:
+//  * a cost table (kernel x strategy, at the bench machine's K/M) with
+//    a hard assertion per cell that the paper's two-phase allocator
+//    never loses to the naive arbitrary-merge baseline — the paper's
+//    headline claim, checked across the whole suite on every CI run
+//    (the process exits nonzero on a violation);
+//  * throughput benchmarks of Engine::run per strategy, so a strategy
+//    whose cost advantage is bought with pathological runtime shows up.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "agu/machines.hpp"
+#include "engine/engine.hpp"
+#include "engine/strategy.hpp"
+#include "ir/kernels.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace dspaddr;
+
+/// One engine for the whole bench: repeated (kernel, strategy) cells
+/// are cache hits, like production traffic.
+engine::Engine& shared_engine() {
+  static engine::Engine engine(engine::Engine::Options{1024});
+  return engine;
+}
+
+engine::Result run_cell(const ir::Kernel& kernel,
+                        const std::string& strategy) {
+  engine::Request request;
+  request.kernel = kernel;
+  request.machine = agu::builtin_machine("minimal2");
+  request.strategy = strategy;
+  // Allocation cost is what the table compares; skip simulation.
+  request.stop_after = engine::Stage::kPlan;
+  return shared_engine().run(request);
+}
+
+void print_strategy_table() {
+  const std::vector<std::string> strategies =
+      engine::StrategyRegistry::builtin().allocation_names();
+  std::vector<std::string> header{"kernel"};
+  header.insert(header.end(), strategies.begin(), strategies.end());
+  support::Table table(std::move(header));
+
+  std::size_t violations = 0;
+  std::size_t errors = 0;
+  for (const ir::Kernel& kernel : ir::builtin_kernels()) {
+    std::map<std::string, int> cost;
+    std::vector<std::string> row{kernel.name()};
+    for (const std::string& strategy : strategies) {
+      const engine::Result result = run_cell(kernel, strategy);
+      if (!result.ok()) {
+        std::cerr << "strategy " << strategy << " failed on "
+                  << kernel.name() << ": " << result.error->message
+                  << "\n";
+        ++errors;
+        row.push_back("err");
+        continue;
+      }
+      cost[strategy] = result.allocation_cost;
+      row.push_back(std::to_string(result.allocation_cost));
+    }
+    table.add_row(std::move(row));
+    // The paper's claim, as a hard gate: cost-guided merging never
+    // loses to arbitrary merging on the same phase-1 cover.
+    if (cost.count("two-phase") && cost.count("naive") &&
+        cost["two-phase"] > cost["naive"]) {
+      std::cerr << "VIOLATION: two-phase (" << cost["two-phase"]
+                << ") > naive (" << cost["naive"] << ") on "
+                << kernel.name() << "\n";
+      ++violations;
+    }
+  }
+
+  std::cout << "strategy matrix: allocation cost/iteration on minimal2 "
+               "(K=2, M=1), all builtin kernels\n\n";
+  table.write(std::cout);
+  std::cout << "\ntwo-phase <= naive on every kernel: "
+            << (violations == 0 ? "OK" : "VIOLATED");
+  if (errors != 0) {
+    // An errored cell skipped its comparison: fail distinctly so CI
+    // logs point at the strategy error, not the cost-ordering claim.
+    std::cout << " (" << errors << " strategy error(s))";
+  }
+  std::cout << "\n\n";
+  if (violations != 0 || errors != 0) {
+    std::exit(1);
+  }
+}
+
+void BM_StrategyColdRun(benchmark::State& state,
+                        const std::string& strategy) {
+  const ir::Kernel kernel = ir::biquad_kernel();
+  const agu::AguSpec machine = agu::builtin_machine("minimal2");
+  for (auto _ : state) {
+    engine::Engine engine(engine::Engine::Options{0});  // no cache
+    engine::Request request;
+    request.kernel = kernel;
+    request.machine = machine;
+    request.strategy = strategy;
+    request.stop_after = engine::Stage::kPlan;
+    benchmark::DoNotOptimize(engine.run(request).allocation_cost);
+  }
+}
+
+void register_strategy_benchmarks() {
+  for (const std::string& strategy :
+       engine::StrategyRegistry::builtin().allocation_names()) {
+    benchmark::RegisterBenchmark(
+        ("BM_StrategyColdRun/" + strategy).c_str(),
+        [strategy](benchmark::State& state) {
+          BM_StrategyColdRun(state, strategy);
+        });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_strategy_table();
+  register_strategy_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -16,6 +16,10 @@ core::Allocation allocate_with_merge_strategy(
   core::ProblemConfig modified = config;
   modified.merge.strategy = strategy;
   modified.merge.seed = seed;
+  // A baseline must stay a baseline: without this, the default kAuto
+  // phase-2 mode silently upgrades small instances to the exact
+  // optimum and the "arbitrary merge" comparator measures nothing.
+  modified.phase2.mode = core::Phase2Options::Mode::kHeuristic;
   return core::RegisterAllocator(modified).run(seq);
 }
 

@@ -16,7 +16,10 @@
 //                          (nearest endpoint on ties).
 //
 // All baselines return a core::Allocation costed under the same model,
-// so every comparison in the benches is apples-to-apples.
+// so every comparison in the benches is apples-to-apples. The merge-
+// based baselines pin the phase-2 mode to kHeuristic: the caller's
+// exact-search options must never "repair" an arbitrary merge order,
+// or the baseline would measure the exact solver instead of itself.
 #pragma once
 
 #include <functional>

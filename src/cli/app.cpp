@@ -1,16 +1,22 @@
 #include "cli/app.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <system_error>
 
 #include "cli/kernel_io.hpp"
 #include "cli/options.hpp"
 #include "cli/pipeline.hpp"
 #include "cli/serve.hpp"
 #include "engine/serialize.hpp"
+#include "engine/strategy.hpp"
 #include "eval/batch.hpp"
+#include "eval/compare.hpp"
 #include "ir/kernels.hpp"
 #include "support/check.hpp"
+#include "support/csv.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 
 namespace dspaddr::cli {
@@ -26,7 +32,8 @@ int command_run(const std::vector<std::string>& args, std::ostream& out) {
   phase2.mode = options.phase2;
   phase2.time_budget_ms = options.time_budget_ms;
   const engine::Result report =
-      run_pipeline(kernel, machine, options.iterations, phase2);
+      run_pipeline(kernel, machine, options.iterations, phase2,
+                   options.layout, options.strategy);
   if (options.format == OutputFormat::kJson) {
     // JSON carries failures in-band (the "error" member), like a serve
     // response.
@@ -64,6 +71,8 @@ int command_batch(const std::vector<std::string>& args, std::ostream& out) {
   }
   config.register_counts = options.register_counts;
   config.modify_ranges = options.modify_ranges;
+  config.layouts = options.layouts;
+  config.strategies = options.strategies;
   config.jobs = options.jobs;
   config.phase2.mode = options.phase2;
   config.phase2.time_budget_ms = options.time_budget_ms;
@@ -86,16 +95,97 @@ int command_batch(const std::vector<std::string>& args, std::ostream& out) {
   return result.failures == 0 ? 0 : 1;
 }
 
+/// compare's --kernel accepts a workload file path or a builtin kernel
+/// name; an existing file wins over a same-named builtin.
+ir::Kernel load_kernel_file_or_builtin(const std::string& name) {
+  // Must be a *regular* file: a directory opens "successfully" via
+  // ifstream and would bypass the builtin fallback with a confusing
+  // parse error.
+  std::error_code ec;
+  if (std::filesystem::is_regular_file(name, ec)) {
+    return load_kernel_file(name);
+  }
+  try {
+    return ir::builtin_kernel(name);
+  } catch (const Error&) {
+    throw Error("'" + name +
+                "' is neither a readable workload file nor a builtin "
+                "kernel");
+  }
+}
+
+int command_compare(const std::vector<std::string>& args,
+                    std::ostream& out) {
+  const CompareOptions options = parse_compare_options(args);
+
+  eval::CompareConfig config;
+  config.kernel = load_kernel_file_or_builtin(options.kernel);
+  config.machine = resolve_machine(options);
+  config.layouts = options.layouts;
+  config.strategies = options.strategies;
+  config.phase2.mode = options.phase2;
+  config.phase2.time_budget_ms = options.time_budget_ms;
+  config.iterations = options.iterations;
+
+  const eval::CompareResult result = eval::run_compare(config);
+  if (options.format == OutputFormat::kJson) {
+    out << eval::compare_to_json(result).dump() << "\n";
+  } else if (options.format == OutputFormat::kCsv) {
+    out << eval::compare_to_csv(result).to_string();
+  } else {
+    out << "compare: " << result.kernel << " on " << result.machine
+        << " (deltas vs " << result.reference_layout << "/"
+        << result.reference_strategy << "; * marks the cost minimum)\n\n"
+        << eval::compare_to_table(result).to_string();
+  }
+  return result.failures == 0 ? 0 : 1;
+}
+
 int command_serve(const std::vector<std::string>& args, std::istream& in,
                   std::ostream& out) {
   const ServeOptions options = parse_serve_options(args);
   return run_serve(in, out, options);
 }
 
-int command_machines(std::ostream& out) {
+int command_machines(const std::vector<std::string>& args,
+                     std::ostream& out) {
+  const ListOptions options = parse_list_options(args, "machines");
+  if (options.format == OutputFormat::kJson) {
+    support::JsonValue list = support::JsonValue::array();
+    for (const agu::AguSpec& machine : agu::builtin_machines()) {
+      support::JsonValue entry = support::JsonValue::object();
+      entry.set("name", support::JsonValue::string(machine.name));
+      entry.set("registers",
+                support::JsonValue::number(static_cast<std::int64_t>(
+                    machine.address_registers)));
+      entry.set("modify_registers",
+                support::JsonValue::number(static_cast<std::int64_t>(
+                    machine.modify_registers)));
+      entry.set("modify_range",
+                support::JsonValue::number(machine.modify_range));
+      entry.set("description",
+                support::JsonValue::string(machine.description));
+      list.push_back(std::move(entry));
+    }
+    out << list.dump() << "\n";
+    return 0;
+  }
+  if (options.format == OutputFormat::kCsv) {
+    support::CsvWriter csv({"name", "K", "L", "M", "description"});
+    for (const agu::AguSpec& machine : agu::builtin_machines()) {
+      csv.add_row({machine.name,
+                   std::to_string(machine.address_registers),
+                   std::to_string(machine.modify_registers),
+                   std::to_string(machine.modify_range),
+                   machine.description});
+    }
+    out << csv.to_string();
+    return 0;
+  }
   support::Table table({"name", "K", "L", "M", "description"});
   for (const agu::AguSpec& machine : agu::builtin_machines()) {
-    table.add_row({machine.name, std::to_string(machine.address_registers),
+    table.add_row({machine.name,
+                   std::to_string(machine.address_registers),
                    std::to_string(machine.modify_registers),
                    std::to_string(machine.modify_range),
                    machine.description});
@@ -104,7 +194,41 @@ int command_machines(std::ostream& out) {
   return 0;
 }
 
-int command_kernels(std::ostream& out) {
+int command_kernels(const std::vector<std::string>& args,
+                    std::ostream& out) {
+  const ListOptions options = parse_list_options(args, "kernels");
+  if (options.format == OutputFormat::kJson) {
+    support::JsonValue list = support::JsonValue::array();
+    for (const ir::Kernel& kernel : ir::builtin_kernels()) {
+      support::JsonValue entry = support::JsonValue::object();
+      entry.set("name", support::JsonValue::string(kernel.name()));
+      entry.set("arrays",
+                support::JsonValue::number(
+                    static_cast<std::int64_t>(kernel.arrays().size())));
+      entry.set("accesses",
+                support::JsonValue::number(static_cast<std::int64_t>(
+                    kernel.accesses().size())));
+      entry.set("iterations",
+                support::JsonValue::number(kernel.iterations()));
+      entry.set("description",
+                support::JsonValue::string(kernel.description()));
+      list.push_back(std::move(entry));
+    }
+    out << list.dump() << "\n";
+    return 0;
+  }
+  if (options.format == OutputFormat::kCsv) {
+    support::CsvWriter csv({"name", "arrays", "accesses", "iterations",
+                            "description"});
+    for (const ir::Kernel& kernel : ir::builtin_kernels()) {
+      csv.add_row({kernel.name(), std::to_string(kernel.arrays().size()),
+                   std::to_string(kernel.accesses().size()),
+                   std::to_string(kernel.iterations()),
+                   kernel.description()});
+    }
+    out << csv.to_string();
+    return 0;
+  }
   support::Table table({"name", "arrays", "accesses", "iterations",
                         "description"});
   for (const ir::Kernel& kernel : ir::builtin_kernels()) {
@@ -132,6 +256,11 @@ commands:
               --modify-range <M>     free post-modify range (overrides)
               --modify-registers <L> modify registers (overrides)
               --iterations <n>       simulated iterations (default: kernel)
+              --layout <name>        memory-layout strategy (contiguous,
+                                     declaration-padded, soa-liao, goa)
+              --strategy <name>      allocation strategy (two-phase, exact,
+                                     naive, random-merge, round-robin,
+                                     greedy-online)
               --phase2 <mode>        auto|exact|heuristic phase-2 solver
                                      (default: auto — exact for small kernels)
               --time-budget-ms <ms>  wall-clock cap of the exact search
@@ -141,22 +270,34 @@ commands:
                                      uses the serve response schema
               --program              also print the address program
   batch     Sweep kernels x machines x registers x modify ranges
+            x layouts x strategies
               --kernel <file>        workload file (repeatable)
               --builtin <names>      builtin kernels, comma list
               --machines <names>     builtin machines (default: all)
               --registers <list>     K values, comma list
               --modify-range <list>  M values, comma list
+              --layout <list>        layout strategies, comma list
+              --strategy <list>      allocation strategies, comma list
               --jobs <n>             worker threads (default: 1)
               --phase2 <mode>        auto|exact|heuristic phase-2 solver
               --time-budget-ms <ms>  wall-clock cap of the exact search
               --format csv|table     output format (default: csv)
               --out <file>           write output to a file
+  compare   Run one kernel across a strategy set on a shared engine and
+            print a cost/cycles delta table
+              --kernel <name|file>   builtin kernel or workload file [required]
+              --machine/--registers/--modify-range/--modify-registers
+                                     as in run
+              --layout <list>        layouts to compare (default: contiguous)
+              --strategy <list>      strategies (default: all registered)
+              --phase2, --time-budget-ms, --iterations as in run
+              --format table|csv|json (default: table)
   serve     JSON-lines service loop: one request object per stdin line,
             one response object per stdout line (see README)
               --cache-capacity <n>   engine result-cache size
                                      (default: 256, 0 disables)
-  machines  List the builtin AGU catalog
-  kernels   List the builtin kernel library
+  machines  List the builtin AGU catalog (--format table|csv|json)
+  kernels   List the builtin kernel library (--format table|csv|json)
   version   Print the tool version
   help      Print this text
 )";
@@ -177,14 +318,17 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (command == "batch") {
       return command_batch(rest, out);
     }
+    if (command == "compare") {
+      return command_compare(rest, out);
+    }
     if (command == "serve") {
       return command_serve(rest, std::cin, out);
     }
     if (command == "machines") {
-      return command_machines(out);
+      return command_machines(rest, out);
     }
     if (command == "kernels") {
-      return command_kernels(out);
+      return command_kernels(rest, out);
     }
     if (command == "version") {
       out << "dspaddr " << kVersion << "\n";

@@ -87,6 +87,44 @@ OutputFormat parse_format(const std::string& text) {
                    text + "'");
 }
 
+namespace {
+
+/// Validates one layout name against the engine registry.
+std::string parse_layout_name(const std::string& text) {
+  if (engine::StrategyRegistry::builtin().layout(text) == nullptr) {
+    throw UsageError("--layout: unknown layout strategy '" + text +
+                     "' (" + engine::known_layout_names() + ")");
+  }
+  return text;
+}
+
+/// Validates one allocation-strategy name against the engine registry.
+std::string parse_strategy_name(const std::string& text) {
+  if (engine::StrategyRegistry::builtin().allocation(text) == nullptr) {
+    throw UsageError("--strategy: unknown allocation strategy '" + text +
+                     "' (" + engine::known_strategy_names() + ")");
+  }
+  return text;
+}
+
+std::vector<std::string> parse_layout_list(const std::string& text) {
+  std::vector<std::string> layouts;
+  for (const std::string& name : parse_name_list(text, "--layout")) {
+    layouts.push_back(parse_layout_name(name));
+  }
+  return layouts;
+}
+
+std::vector<std::string> parse_strategy_list(const std::string& text) {
+  std::vector<std::string> strategies;
+  for (const std::string& name : parse_name_list(text, "--strategy")) {
+    strategies.push_back(parse_strategy_name(name));
+  }
+  return strategies;
+}
+
+}  // namespace
+
 core::Phase2Options::Mode parse_phase2_mode(const std::string& text) {
   if (text == "auto") {
     return core::Phase2Options::Mode::kAuto;
@@ -157,6 +195,10 @@ RunOptions parse_run_options(const std::vector<std::string>& args) {
     } else if (match_flag(arg, "--iterations", cursor, value)) {
       options.iterations = static_cast<std::uint64_t>(
           parse_int(value, "--iterations", 1));
+    } else if (match_flag(arg, "--layout", cursor, value)) {
+      options.layout = parse_layout_name(value);
+    } else if (match_flag(arg, "--strategy", cursor, value)) {
+      options.strategy = parse_strategy_name(value);
     } else if (match_flag(arg, "--phase2", cursor, value)) {
       options.phase2 = parse_phase2_mode(value);
     } else if (match_flag(arg, "--time-budget-ms", cursor, value)) {
@@ -193,6 +235,10 @@ BatchOptions parse_batch_options(const std::vector<std::string>& args) {
       options.register_counts = parse_size_list(value, "--registers", 1);
     } else if (match_flag(arg, "--modify-range", cursor, value)) {
       options.modify_ranges = parse_int_list(value, "--modify-range", 0);
+    } else if (match_flag(arg, "--layout", cursor, value)) {
+      options.layouts = parse_layout_list(value);
+    } else if (match_flag(arg, "--strategy", cursor, value)) {
+      options.strategies = parse_strategy_list(value);
     } else if (match_flag(arg, "--jobs", cursor, value)) {
       options.jobs = parse_size(value, "--jobs", 1);
     } else if (match_flag(arg, "--phase2", cursor, value)) {
@@ -220,6 +266,45 @@ BatchOptions parse_batch_options(const std::vector<std::string>& args) {
   return options;
 }
 
+CompareOptions parse_compare_options(const std::vector<std::string>& args) {
+  CompareOptions options;
+  ArgCursor cursor(args);
+  std::string value;
+  while (!cursor.done()) {
+    const std::string arg = cursor.take();
+    if (match_flag(arg, "--kernel", cursor, value)) {
+      options.kernel = value;
+    } else if (match_flag(arg, "--machine", cursor, value)) {
+      options.machine = value;
+    } else if (match_flag(arg, "--registers", cursor, value)) {
+      options.registers = parse_size(value, "--registers", 1);
+    } else if (match_flag(arg, "--modify-range", cursor, value)) {
+      options.modify_range = parse_int(value, "--modify-range", 0);
+    } else if (match_flag(arg, "--modify-registers", cursor, value)) {
+      options.modify_registers = parse_size(value, "--modify-registers", 0);
+    } else if (match_flag(arg, "--iterations", cursor, value)) {
+      options.iterations = static_cast<std::uint64_t>(
+          parse_int(value, "--iterations", 1));
+    } else if (match_flag(arg, "--layout", cursor, value)) {
+      options.layouts = parse_layout_list(value);
+    } else if (match_flag(arg, "--strategy", cursor, value)) {
+      options.strategies = parse_strategy_list(value);
+    } else if (match_flag(arg, "--phase2", cursor, value)) {
+      options.phase2 = parse_phase2_mode(value);
+    } else if (match_flag(arg, "--time-budget-ms", cursor, value)) {
+      options.time_budget_ms = parse_int(value, "--time-budget-ms", 0);
+    } else if (match_flag(arg, "--format", cursor, value)) {
+      options.format = parse_format(value);
+    } else {
+      throw UsageError("compare: unknown argument '" + arg + "'");
+    }
+  }
+  if (options.kernel.empty()) {
+    throw UsageError("compare: --kernel <file-or-builtin> is required");
+  }
+  return options;
+}
+
 ServeOptions parse_serve_options(const std::vector<std::string>& args) {
   ServeOptions options;
   ArgCursor cursor(args);
@@ -230,6 +315,22 @@ ServeOptions parse_serve_options(const std::vector<std::string>& args) {
       options.cache_capacity = parse_size(value, "--cache-capacity", 0);
     } else {
       throw UsageError("serve: unknown argument '" + arg + "'");
+    }
+  }
+  return options;
+}
+
+ListOptions parse_list_options(const std::vector<std::string>& args,
+                               const std::string& command) {
+  ListOptions options;
+  ArgCursor cursor(args);
+  std::string value;
+  while (!cursor.done()) {
+    const std::string arg = cursor.take();
+    if (match_flag(arg, "--format", cursor, value)) {
+      options.format = parse_format(value);
+    } else {
+      throw UsageError(command + ": unknown argument '" + arg + "'");
     }
   }
   return options;

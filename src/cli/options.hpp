@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/allocator.hpp"
+#include "engine/strategy.hpp"
 #include "support/check.hpp"
 
 namespace dspaddr::cli {
@@ -46,6 +47,10 @@ struct RunOptions {
   std::optional<std::size_t> modify_registers;
   /// Simulated loop iterations (default: the kernel's own count).
   std::optional<std::uint64_t> iterations;
+  /// Memory-layout strategy (engine registry name).
+  std::string layout = engine::kDefaultLayout;
+  /// Allocation strategy (engine registry name).
+  std::string strategy = engine::kDefaultStrategy;
   /// Phase-2 solver selection (auto: exact for small kernels).
   core::Phase2Options::Mode phase2 = core::Phase2Options::Mode::kAuto;
   /// Wall-clock budget of the exact phase-2 search; 0 = node cap only.
@@ -67,6 +72,10 @@ struct BatchOptions {
   std::vector<std::size_t> register_counts;
   /// M values to sweep; empty = each machine's own M.
   std::vector<std::int64_t> modify_ranges;
+  /// Layout strategies to sweep (comma list); empty = default layout.
+  std::vector<std::string> layouts;
+  /// Allocation strategies to sweep; empty = default strategy.
+  std::vector<std::string> strategies;
   std::size_t jobs = 1;
   /// Phase-2 solver selection (auto: exact for small kernels).
   core::Phase2Options::Mode phase2 = core::Phase2Options::Mode::kAuto;
@@ -77,15 +86,43 @@ struct BatchOptions {
   std::string output_path;
 };
 
+/// Options of `dspaddr compare`: one kernel across a strategy set.
+struct CompareOptions {
+  /// Workload file path or builtin kernel name (files win on ambiguity).
+  std::string kernel;
+  /// Builtin machine supplying defaults for K, L and M.
+  std::optional<std::string> machine;
+  /// Explicit overrides; win over the machine's values.
+  std::optional<std::size_t> registers;
+  std::optional<std::int64_t> modify_range;
+  std::optional<std::size_t> modify_registers;
+  std::optional<std::uint64_t> iterations;
+  /// Layouts to compare (comma list); empty = default layout.
+  std::vector<std::string> layouts;
+  /// Allocation strategies to compare; empty = all registered.
+  std::vector<std::string> strategies;
+  core::Phase2Options::Mode phase2 = core::Phase2Options::Mode::kAuto;
+  std::int64_t time_budget_ms = 0;
+  OutputFormat format = OutputFormat::kTable;
+};
+
 /// Options of `dspaddr serve`: the JSON-lines request loop.
 struct ServeOptions {
   /// Engine result-cache capacity (0 disables caching).
   std::size_t cache_capacity = 256;
 };
 
+/// Options of the read-only catalog listings (machines / kernels).
+struct ListOptions {
+  OutputFormat format = OutputFormat::kTable;
+};
+
 RunOptions parse_run_options(const std::vector<std::string>& args);
 BatchOptions parse_batch_options(const std::vector<std::string>& args);
+CompareOptions parse_compare_options(const std::vector<std::string>& args);
 ServeOptions parse_serve_options(const std::vector<std::string>& args);
+ListOptions parse_list_options(const std::vector<std::string>& args,
+                               const std::string& command);
 
 /// Splits a comma list into non-empty fields ("a,b" -> {"a", "b"});
 /// throws UsageError on empty fields.

@@ -8,10 +8,13 @@
 
 namespace dspaddr::cli {
 
-agu::AguSpec resolve_machine(const RunOptions& options) {
+agu::AguSpec resolve_machine(const std::optional<std::string>& name,
+                             std::optional<std::size_t> registers,
+                             std::optional<std::int64_t> modify_range,
+                             std::optional<std::size_t> modify_registers) {
   agu::AguSpec machine;
-  if (options.machine.has_value()) {
-    machine = agu::builtin_machine(*options.machine);
+  if (name.has_value()) {
+    machine = agu::builtin_machine(*name);
   } else {
     machine.name = "custom";
     machine.description = "flag-defined AGU";
@@ -19,25 +22,39 @@ agu::AguSpec resolve_machine(const RunOptions& options) {
     machine.modify_registers = 0;
     machine.modify_range = 1;
   }
-  if (options.registers.has_value()) {
-    machine.address_registers = *options.registers;
+  if (registers.has_value()) {
+    machine.address_registers = *registers;
   }
-  if (options.modify_range.has_value()) {
-    machine.modify_range = *options.modify_range;
+  if (modify_range.has_value()) {
+    machine.modify_range = *modify_range;
   }
-  if (options.modify_registers.has_value()) {
-    machine.modify_registers = *options.modify_registers;
+  if (modify_registers.has_value()) {
+    machine.modify_registers = *modify_registers;
   }
   return machine;
+}
+
+agu::AguSpec resolve_machine(const RunOptions& options) {
+  return resolve_machine(options.machine, options.registers,
+                         options.modify_range, options.modify_registers);
+}
+
+agu::AguSpec resolve_machine(const CompareOptions& options) {
+  return resolve_machine(options.machine, options.registers,
+                         options.modify_range, options.modify_registers);
 }
 
 engine::Result run_pipeline(const ir::Kernel& kernel,
                             const agu::AguSpec& machine,
                             std::optional<std::uint64_t> iterations,
-                            const core::Phase2Options& phase2) {
+                            const core::Phase2Options& phase2,
+                            const std::string& layout,
+                            const std::string& strategy) {
   engine::Request request;
   request.kernel = kernel;
   request.machine = machine;
+  request.layout = layout;
+  request.strategy = strategy;
   request.phase2 = phase2;
   request.iterations = iterations;
   // One-shot run: no traffic to memoize across.
@@ -58,25 +75,36 @@ std::string report_to_text(const engine::Result& report, bool show_program) {
   out << "machine: " << machine.name << " (K=" << machine.address_registers
       << ", L=" << machine.modify_registers << ", M=" << machine.modify_range
       << ")\n";
-  out << "layout:  " << kernel.arrays().size() << " array(s), "
+  out << "layout:  " << report.layout << " — " << kernel.arrays().size()
+      << " array(s) in " << report.layout_extent << " word(s), "
       << report.accesses << " accesses/iteration, " << report.iterations
       << " iterations\n\n";
 
-  out << "allocation (phase 1 " << (report.stats.phase1_exact ? "exact" : "heuristic");
-  if (report.k_tilde.has_value()) {
-    out << ", K~=" << *report.k_tilde;
-  }
-  out << ", " << report.stats.merges << " merge(s); phase 2 "
-      << (report.stats.phase2_exact ? "exact" : "heuristic");
-  if (report.stats.phase2_exact) {
-    if (report.stats.phase2_proven) {
-      out << ", proven optimal";
-    } else {
-      out << ", gap " << report.stats.phase2_gap << " (cost >= "
-          << report.stats.phase2_lower_bound << ")";
+  // The phase-structure detail is only printed for strategies whose
+  // stats actually describe the paper's phases (the strategy says so
+  // itself); placement baselines have no phases to report.
+  const engine::AllocationStrategy* strategy =
+      engine::StrategyRegistry::builtin().allocation(report.strategy);
+  const bool phases = strategy != nullptr && strategy->reports_phases();
+  out << "allocation (" << report.strategy;
+  if (phases) {
+    out << ": phase 1 "
+        << (report.stats.phase1_exact ? "exact" : "heuristic");
+    if (report.k_tilde.has_value()) {
+      out << ", K~=" << *report.k_tilde;
     }
-    if (report.stats.phase2_nodes > 0) {
-      out << ", " << report.stats.phase2_nodes << " node(s)";
+    out << ", " << report.stats.merges << " merge(s); phase 2 "
+        << (report.stats.phase2_exact ? "exact" : "heuristic");
+    if (report.stats.phase2_exact) {
+      if (report.stats.phase2_proven) {
+        out << ", proven optimal";
+      } else {
+        out << ", gap " << report.stats.phase2_gap << " (cost >= "
+            << report.stats.phase2_lower_bound << ")";
+      }
+      if (report.stats.phase2_nodes > 0) {
+        out << ", " << report.stats.phase2_nodes << " node(s)";
+      }
     }
   }
   out << "):\n";

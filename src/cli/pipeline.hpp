@@ -15,13 +15,19 @@
 #include "cli/options.hpp"
 #include "core/allocator.hpp"
 #include "engine/engine.hpp"
+#include "engine/strategy.hpp"
 #include "ir/kernel.hpp"
 
 namespace dspaddr::cli {
 
-/// The effective machine of one run: flag overrides applied on top of
-/// the selected builtin machine (or a bare single-register AGU).
+/// The effective machine: flag overrides applied on top of the
+/// selected builtin machine (or a bare single-register AGU).
+agu::AguSpec resolve_machine(const std::optional<std::string>& machine,
+                             std::optional<std::size_t> registers,
+                             std::optional<std::int64_t> modify_range,
+                             std::optional<std::size_t> modify_registers);
 agu::AguSpec resolve_machine(const RunOptions& options);
+agu::AguSpec resolve_machine(const CompareOptions& options);
 
 /// One-shot convenience: runs the whole pipeline on `kernel` under
 /// `machine` through a private engine::Engine. Drivers with repeated
@@ -30,7 +36,11 @@ agu::AguSpec resolve_machine(const RunOptions& options);
 engine::Result run_pipeline(const ir::Kernel& kernel,
                             const agu::AguSpec& machine,
                             std::optional<std::uint64_t> iterations,
-                            const core::Phase2Options& phase2 = {});
+                            const core::Phase2Options& phase2 = {},
+                            const std::string& layout =
+                                engine::kDefaultLayout,
+                            const std::string& strategy =
+                                engine::kDefaultStrategy);
 
 /// Multi-section human-readable report.
 std::string report_to_text(const engine::Result& report, bool show_program);

@@ -5,6 +5,7 @@
 #include "cli/kernel_io.hpp"
 #include "engine/engine.hpp"
 #include "engine/serialize.hpp"
+#include "engine/strategy.hpp"
 #include "ir/kernels.hpp"
 #include "support/check.hpp"
 #include "support/json.hpp"
@@ -18,11 +19,12 @@ using support::JsonValue;
 /// Keys a request object may carry; anything else is a hard error so
 /// that a typo ("machne") fails loudly instead of being ignored.
 constexpr const char* kKnownKeys[] = {
-    "id",          "stats",      "builtin",
-    "kernel_file", "kernel",     "machine",
-    "registers",   "modify_range", "modify_registers",
-    "iterations",  "phase2",     "time_budget_ms",
-    "stop_after",
+    "id",          "stats",      "clear_cache",
+    "builtin",     "kernel_file", "kernel",
+    "machine",     "registers",  "modify_range",
+    "modify_registers", "iterations", "phase2",
+    "time_budget_ms", "stop_after", "layout",
+    "strategy",
 };
 
 void check_known_keys(const JsonValue& json) {
@@ -105,6 +107,20 @@ engine::Request request_from_json(const JsonValue& json) {
     check_arg(value >= 1, "iterations: value must be >= 1");
     request.iterations = static_cast<std::uint64_t>(value);
   }
+  if (const JsonValue* layout = json.find("layout")) {
+    request.layout = layout->as_string();
+    check_arg(engine::StrategyRegistry::builtin().layout(request.layout) !=
+                  nullptr,
+              "layout: unknown strategy '" + request.layout + "' (" +
+                  engine::known_layout_names() + ")");
+  }
+  if (const JsonValue* strategy = json.find("strategy")) {
+    request.strategy = strategy->as_string();
+    check_arg(engine::StrategyRegistry::builtin().allocation(
+                  request.strategy) != nullptr,
+              "strategy: unknown strategy '" + request.strategy + "' (" +
+                  engine::known_strategy_names() + ")");
+  }
   if (const JsonValue* phase2 = json.find("phase2")) {
     request.phase2.mode = parse_phase2_mode(phase2->as_string());
   }
@@ -168,6 +184,7 @@ int run_serve(std::istream& in, std::ostream& out,
       }
       check_known_keys(request_json);
       const JsonValue* stats = request_json.find("stats");
+      const JsonValue* clear_cache = request_json.find("clear_cache");
       if (stats != nullptr && stats->as_bool()) {
         // A stats probe carries nothing but itself (and an id).
         for (const JsonValue::Member& member : request_json.members()) {
@@ -176,6 +193,16 @@ int run_serve(std::istream& in, std::ostream& out,
                         "'");
         }
         response.set("stats", stats_response(engine.cache_stats()));
+      } else if (clear_cache != nullptr && clear_cache->as_bool()) {
+        // The control mirror of {"stats": true}: long sessions drop the
+        // result cache in-band instead of restarting the process.
+        for (const JsonValue::Member& member : request_json.members()) {
+          check_arg(member.first == "clear_cache" || member.first == "id",
+                    "clear_cache request cannot carry field '" +
+                        member.first + "'");
+        }
+        engine.clear_cache();
+        response.set("cleared", JsonValue::boolean(true));
       } else {
         const engine::Request request = request_from_json(request_json);
         const engine::Result result = engine.run(request);

@@ -6,7 +6,9 @@
 #include "agu/codegen.hpp"
 #include "agu/metrics.hpp"
 #include "engine/fingerprint.hpp"
+#include "engine/strategy.hpp"
 #include "ir/layout.hpp"
+#include "support/check.hpp"
 
 namespace dspaddr::engine {
 namespace {
@@ -53,6 +55,8 @@ Result Engine::run(const Request& request) {
   result.kernel = request.kernel;
   result.machine = request.machine;
   result.stop_after = request.stop_after;
+  result.layout = request.layout;
+  result.strategy = request.strategy;
 
   // Runs one stage's body, converting any exception into the result's
   // structured error; returns whether the next stage should run.
@@ -75,7 +79,15 @@ Result Engine::run(const Request& request) {
   // directly (and such failures are cheap to recompute anyway).
   ir::AccessSequence seq;
   bool proceed = run_stage(Stage::kLower, [&] {
-    seq = ir::lower(request.kernel);
+    const LayoutStrategy* layout_strategy =
+        StrategyRegistry::builtin().layout(request.layout);
+    check_arg(layout_strategy != nullptr,
+              "unknown layout strategy '" + request.layout + "' (" +
+                  known_layout_names() + ")");
+    const ir::ArrayLayout layout =
+        layout_strategy->place(request.kernel, request.machine);
+    result.layout_extent = ir::layout_extent(request.kernel, layout);
+    seq = ir::lower(request.kernel, layout);
     result.accesses = seq.size();
   });
   if (result.error.has_value()) {
@@ -99,11 +111,16 @@ Result Engine::run(const Request& request) {
   std::optional<core::Allocation> allocation;
   if (proceed) {
     proceed = run_stage(Stage::kAllocate, [&] {
+      const AllocationStrategy* strategy =
+          StrategyRegistry::builtin().allocation(request.strategy);
+      check_arg(strategy != nullptr,
+                "unknown allocation strategy '" + request.strategy +
+                    "' (" + known_strategy_names() + ")");
       core::ProblemConfig config;
       config.modify_range = request.machine.modify_range;
       config.registers = request.machine.address_registers;
       config.phase2 = request.phase2;
-      allocation.emplace(core::RegisterAllocator(config).run(seq));
+      allocation.emplace(strategy->allocate(seq, config));
       result.stats = allocation->stats();
       result.k_tilde = result.stats.k_tilde;
       result.allocation_cost = allocation->cost();

@@ -1,6 +1,12 @@
-// The reusable optimization engine: the paper's fixed pass sequence
-// (lower -> two-phase allocation -> MR planning -> codegen -> simulation
-// -> metrics) as a library-level API.
+// The reusable optimization engine: the paper's pass sequence
+// (lower -> allocation -> MR planning -> codegen -> simulation
+// -> metrics) as a library-level API, with the layout and allocation
+// passes pluggable via named strategies (engine/strategy.hpp):
+// Request.layout picks how arrays are placed in memory before lowering
+// (contiguous | declaration-padded | soa-liao | goa) and
+// Request.strategy picks the allocator (two-phase | exact | naive |
+// random-merge | round-robin | greedy-online). The defaults reproduce
+// the paper's fixed pipeline byte for byte.
 //
 // Every driver — the `dspaddr run` CLI, the batch sweep runner, the
 // JSON-lines `dspaddr serve` loop, examples and benches — builds an
@@ -37,6 +43,7 @@
 #include "agu/simulator.hpp"
 #include "core/allocator.hpp"
 #include "core/modify_registers.hpp"
+#include "engine/strategy.hpp"
 #include "ir/kernel.hpp"
 
 namespace dspaddr::engine {
@@ -63,6 +70,14 @@ std::optional<Stage> stage_from_name(std::string_view name);
 struct Request {
   ir::Kernel kernel;
   agu::AguSpec machine;
+  /// Memory-layout strategy placing the kernel's arrays before
+  /// lowering; resolved against StrategyRegistry::builtin(). Unknown
+  /// names fail the lower stage.
+  std::string layout = kDefaultLayout;
+  /// Allocation strategy mapping accesses onto the K address
+  /// registers; resolved against StrategyRegistry::builtin(). Unknown
+  /// names fail the allocate stage.
+  std::string strategy = kDefaultStrategy;
   /// Phase-2 solver selection and budgets. A nonzero time budget makes
   /// the exact search nondeterministic, which also voids the cache's
   /// cached-equals-recomputed guarantee — leave it at 0 when
@@ -90,9 +105,16 @@ struct Result {
   ir::Kernel kernel;
   agu::AguSpec machine;
   Stage stop_after = Stage::kMetrics;
+  /// The strategies that actually ran (request echo; part of the cache
+  /// fingerprint, so a hit always carries the right names).
+  std::string layout;
+  std::string strategy;
 
   // kLower
   std::size_t accesses = 0;
+  /// Data-memory footprint of the placed arrays (max(base + size) -
+  /// min(base)); padding-aware, see ir::layout_extent.
+  std::int64_t layout_extent = 0;
 
   // kAllocate
   std::optional<std::size_t> k_tilde;

@@ -10,8 +10,16 @@ std::string request_fingerprint(const Request& request,
       static_cast<std::uint64_t>(request.kernel.iterations()));
 
   std::string key;
-  key.reserve(96 + lowered.size() * 8);
-  key += "v1|seq=";
+  key.reserve(128 + lowered.size() * 8);
+  // v2: layout and allocation strategies joined the key — two strategy
+  // pairs must never share a cache entry, even when they happen to
+  // lower to the same sequence (e.g. single-array kernels, where every
+  // layout is the identity).
+  key += "v2|layout=";
+  key += request.layout;
+  key += "|strat=";
+  key += request.strategy;
+  key += "|seq=";
   for (const ir::Access& access : lowered.accesses()) {
     key += std::to_string(access.offset);
     key += ':';

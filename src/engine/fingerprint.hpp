@@ -10,6 +10,8 @@
 //    code-size/speed metrics) plus the simulated iteration count;
 //  * the machine's K / L / M resources — not its catalog name, so two
 //    catalog entries with equal resources share cache entries;
+//  * the layout and allocation strategy names — distinct strategies
+//    never share an entry, even when they lower identically;
 //  * the phase-2 solver options and the requested stage prefix.
 #pragma once
 

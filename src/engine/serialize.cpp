@@ -125,6 +125,8 @@ support::JsonValue result_to_json(const Result& result) {
   JsonValue json = JsonValue::object();
   json.set("kernel", kernel_summary(result.kernel));
   json.set("machine", machine_summary(result.machine));
+  json.set("layout", JsonValue::string(result.layout));
+  json.set("strategy", JsonValue::string(result.strategy));
   json.set("stop_after", JsonValue::string(stage_name(result.stop_after)));
   if (result.error.has_value()) {
     JsonValue error = JsonValue::object();
@@ -136,6 +138,7 @@ support::JsonValue result_to_json(const Result& result) {
   if (result.stage_done(Stage::kLower)) {
     JsonValue lower = JsonValue::object();
     lower.set("accesses", from_size(result.accesses));
+    lower.set("layout_extent", JsonValue::number(result.layout_extent));
     stages.set("lower", std::move(lower));
   }
   if (result.stage_done(Stage::kAllocate)) {

@@ -10,10 +10,12 @@
 // Schema (stages appear only when they ran; `error` only on failure):
 //   {"kernel": {"name", "arrays", "accesses", "iterations", "data_ops"},
 //    "machine": {"name", "registers", "modify_registers", "modify_range"},
+//    "layout": "contiguous",
+//    "strategy": "two-phase",
 //    "stop_after": "metrics",
 //    "error": {"stage", "message"},
 //    "stages": {
-//      "lower":    {"accesses"},
+//      "lower":    {"accesses", "layout_extent"},
 //      "allocate": {"k_tilde", "cost", "intra_cost", "wrap_cost",
 //                   "phase1_exact", "merges",
 //                   "phase2": {"exact", "proven", "gap", "lower_bound",

@@ -1,0 +1,121 @@
+// Pluggable layout and allocation strategies behind a name-keyed
+// registry — the engine's two variation points.
+//
+// The paper's evaluation is comparative by nature: its two-phase
+// heuristic against naive arbitrary-merge allocation, under a chosen
+// memory layout. This module lifts both axes out of the engine's
+// hard-coded pass sequence:
+//
+//  * a LayoutStrategy places every declared array in the linear data
+//    memory (ir::ArrayLayout) before lowering — contiguous declaration
+//    order, padded declaration order, or an access-pattern-driven order
+//    from the offset-assignment literature (Liao SOA, Leupers/Marwedel
+//    GOA over the machine's K registers);
+//  * an AllocationStrategy maps the lowered AccessSequence onto the K
+//    address registers — the paper's two-phase allocator (default), the
+//    forced exact branch-and-bound, or one of the baselines the paper
+//    is measured against (naive, random-merge, round-robin,
+//    greedy-online).
+//
+// Strategies are looked up by name in StrategyRegistry::builtin();
+// engine::Request carries the names and the cache fingerprint includes
+// them, so two strategies can never share a cache entry. Tests may
+// register additional strategies on a private registry.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "agu/machines.hpp"
+#include "core/allocator.hpp"
+#include "ir/access_sequence.hpp"
+#include "ir/kernel.hpp"
+#include "ir/layout.hpp"
+
+namespace dspaddr::engine {
+
+/// Chooses the memory placement of a kernel's arrays. Implementations
+/// must be deterministic and stateless: the same (kernel, machine)
+/// always produces the same layout, a property both the result cache
+/// and batch determinism rely on.
+class LayoutStrategy {
+public:
+  virtual ~LayoutStrategy() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+
+  /// Places every declared array of `kernel`. `machine` supplies the
+  /// addressing resources for register-aware layouts (GOA partitions
+  /// over K address registers); layouts that ignore it must still
+  /// accept it.
+  virtual ir::ArrayLayout place(const ir::Kernel& kernel,
+                                const agu::AguSpec& machine) const = 0;
+};
+
+/// Maps a lowered access sequence onto the K address registers.
+/// Implementations must be deterministic for a fixed (seq, config).
+class AllocationStrategy {
+public:
+  virtual ~AllocationStrategy() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+
+  /// Whether this strategy runs the paper's phase structure (zero-cost
+  /// cover, then merging), i.e. whether the phase-1/phase-2 fields of
+  /// AllocationStats describe it. Renderers use this to decide whether
+  /// a phase report is meaningful.
+  virtual bool reports_phases() const { return false; }
+
+  virtual core::Allocation allocate(const ir::AccessSequence& seq,
+                                    const core::ProblemConfig& config)
+      const = 0;
+};
+
+/// Name-keyed strategy catalog. `builtin()` holds the built-in set and
+/// is what the engine consults; tests can build private registries and
+/// extend them. Registration is not thread-safe — populate a registry
+/// before sharing it.
+class StrategyRegistry {
+public:
+  StrategyRegistry() = default;
+
+  StrategyRegistry(const StrategyRegistry&) = delete;
+  StrategyRegistry& operator=(const StrategyRegistry&) = delete;
+
+  /// The process-wide registry preloaded with the built-in strategies
+  /// (layouts: contiguous, declaration-padded, soa-liao, goa;
+  /// allocations: two-phase, exact, naive, random-merge, round-robin,
+  /// greedy-online).
+  static const StrategyRegistry& builtin();
+
+  /// Registers a strategy; throws InvalidArgument on duplicate names.
+  void add_layout(std::unique_ptr<LayoutStrategy> strategy);
+  void add_allocation(std::unique_ptr<AllocationStrategy> strategy);
+
+  /// Lookup by name; nullptr when unknown.
+  const LayoutStrategy* layout(std::string_view name) const;
+  const AllocationStrategy* allocation(std::string_view name) const;
+
+  /// Names in registration order (the presentation order of `compare`).
+  std::vector<std::string> layout_names() const;
+  std::vector<std::string> allocation_names() const;
+
+private:
+  std::vector<std::unique_ptr<LayoutStrategy>> layouts_;
+  std::vector<std::unique_ptr<AllocationStrategy>> allocations_;
+};
+
+/// The default strategy names — the pre-registry pipeline's behavior.
+inline constexpr const char* kDefaultLayout = "contiguous";
+inline constexpr const char* kDefaultStrategy = "two-phase";
+
+/// "contiguous, declaration-padded, soa-liao, goa" — for error texts.
+std::string known_layout_names();
+/// "two-phase, exact, naive, ..." — for error texts.
+std::string known_strategy_names();
+
+}  // namespace dspaddr::engine

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "engine/strategy.hpp"
 #include "support/check.hpp"
 #include "support/strings.hpp"
 
@@ -14,10 +15,23 @@ namespace {
 struct BatchTask {
   const ir::Kernel* kernel = nullptr;
   agu::AguSpec machine;
+  std::string layout;
+  std::string strategy;
   core::Phase2Options phase2;
 };
 
 std::vector<BatchTask> build_grid(const BatchConfig& config) {
+  // Empty strategy axes collapse to the defaults, like the K/M axes
+  // collapse to each machine's own values.
+  const std::vector<std::string> layouts =
+      config.layouts.empty()
+          ? std::vector<std::string>{engine::kDefaultLayout}
+          : config.layouts;
+  const std::vector<std::string> strategies =
+      config.strategies.empty()
+          ? std::vector<std::string>{engine::kDefaultStrategy}
+          : config.strategies;
+
   std::vector<BatchTask> tasks;
   for (const ir::Kernel& kernel : config.kernels) {
     for (const agu::AguSpec& machine : config.machines) {
@@ -32,13 +46,19 @@ std::vector<BatchTask> build_grid(const BatchConfig& config) {
               : config.modify_ranges;
       for (const std::size_t k : registers) {
         for (const std::int64_t m : ranges) {
-          BatchTask task;
-          task.kernel = &kernel;
-          task.machine = machine;
-          task.machine.address_registers = k;
-          task.machine.modify_range = m;
-          task.phase2 = config.phase2;
-          tasks.push_back(task);
+          for (const std::string& layout : layouts) {
+            for (const std::string& strategy : strategies) {
+              BatchTask task;
+              task.kernel = &kernel;
+              task.machine = machine;
+              task.machine.address_registers = k;
+              task.machine.modify_range = m;
+              task.layout = layout;
+              task.strategy = strategy;
+              task.phase2 = config.phase2;
+              tasks.push_back(task);
+            }
+          }
         }
       }
     }
@@ -55,6 +75,8 @@ BatchRow row_from_result(const engine::Result& result) {
   row.registers = result.machine.address_registers;
   row.modify_range = result.machine.modify_range;
   row.modify_registers = result.machine.modify_registers;
+  row.layout = result.layout;
+  row.strategy = result.strategy;
   row.accesses = result.accesses;
   row.k_tilde = result.k_tilde;
   row.allocation_cost = result.allocation_cost;
@@ -93,6 +115,8 @@ BatchResult run_batch(const BatchConfig& config, engine::Engine& engine) {
       engine::Request request;
       request.kernel = *tasks[i].kernel;
       request.machine = tasks[i].machine;
+      request.layout = tasks[i].layout;
+      request.strategy = tasks[i].strategy;
       request.phase2 = tasks[i].phase2;
       result.rows[i] = row_from_result(engine.run(request));
     }
@@ -130,7 +154,11 @@ BatchResult run_batch(const BatchConfig& config) {
                                      std::max<std::size_t>(
                                          config.register_counts.size(), 1) *
                                      std::max<std::size_t>(
-                                         config.modify_ranges.size(), 1));
+                                         config.modify_ranges.size(), 1) *
+                                     std::max<std::size_t>(
+                                         config.layouts.size(), 1) *
+                                     std::max<std::size_t>(
+                                         config.strategies.size(), 1));
   engine::Engine engine(engine::Engine::Options{cells});
   return run_batch(config, engine);
 }
@@ -163,10 +191,10 @@ std::string gap_field(const BatchRow& row) {
 
 std::vector<std::string> batch_csv_header() {
   return {"kernel", "machine", "registers", "modify_range",
-          "modify_registers", "accesses", "k_tilde", "allocation_cost",
-          "residual_cost", "phase2", "proven", "gap", "phase2_nodes",
-          "size_reduction_percent", "speed_reduction_percent", "verified",
-          "error"};
+          "modify_registers", "layout", "strategy", "accesses", "k_tilde",
+          "allocation_cost", "residual_cost", "phase2", "proven", "gap",
+          "phase2_nodes", "size_reduction_percent",
+          "speed_reduction_percent", "verified", "error"};
 }
 
 std::vector<std::string> batch_row_fields(const BatchRow& row) {
@@ -175,8 +203,8 @@ std::vector<std::string> batch_row_fields(const BatchRow& row) {
     // an errored cell can never be read as a zero-cost result.
     return {row.kernel, row.machine, std::to_string(row.registers),
             std::to_string(row.modify_range),
-            std::to_string(row.modify_registers), "", "", "", "", "", "",
-            "", "", "", "", "", row.error};
+            std::to_string(row.modify_registers), row.layout, row.strategy,
+            "", "", "", "", "", "", "", "", "", "", "", row.error};
   }
   return {
       row.kernel,
@@ -184,6 +212,8 @@ std::vector<std::string> batch_row_fields(const BatchRow& row) {
       std::to_string(row.registers),
       std::to_string(row.modify_range),
       std::to_string(row.modify_registers),
+      row.layout,
+      row.strategy,
       std::to_string(row.accesses),
       k_tilde_field(row),
       std::to_string(row.allocation_cost),
@@ -208,16 +238,17 @@ support::CsvWriter batch_to_csv(const BatchResult& result) {
 }
 
 support::Table batch_to_table(const BatchResult& result) {
-  support::Table table({"kernel", "machine", "K", "M", "L", "N", "K~",
-                        "cost", "residual", "phase2", "proven", "gap",
-                        "size red.", "speed red.", "verified"});
+  support::Table table({"kernel", "machine", "K", "M", "L", "layout",
+                        "strategy", "N", "K~", "cost", "residual", "phase2",
+                        "proven", "gap", "size red.", "speed red.",
+                        "verified"});
   for (const BatchRow& row : result.rows) {
     if (!row.error.empty()) {
       table.add_row({row.kernel, row.machine, std::to_string(row.registers),
                      std::to_string(row.modify_range),
-                     std::to_string(row.modify_registers), "-", "-", "-",
-                     "-", "-", "-", "-", "-", "-",
-                     "error: " + row.error});
+                     std::to_string(row.modify_registers), row.layout,
+                     row.strategy, "-", "-", "-", "-", "-", "-", "-", "-",
+                     "-", "error: " + row.error});
       continue;
     }
     table.add_row({
@@ -226,6 +257,8 @@ support::Table batch_to_table(const BatchResult& result) {
         std::to_string(row.registers),
         std::to_string(row.modify_range),
         std::to_string(row.modify_registers),
+        row.layout,
+        row.strategy,
         std::to_string(row.accesses),
         k_tilde_field(row),
         std::to_string(row.allocation_cost),

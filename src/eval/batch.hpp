@@ -1,8 +1,8 @@
 // Multi-threaded batch experiment runner.
 //
 // Fans engine::Engine::run out over the cross product
-// kernels x machines x register counts x modify ranges on a small
-// thread pool. All workers share one Engine, so kernels repeated
+// kernels x machines x register counts x modify ranges x layouts x
+// allocation strategies on a small thread pool. All workers share one Engine, so kernels repeated
 // across the machine grid hit the fingerprint cache. Rows are stored
 // in grid order regardless of thread scheduling, so the rendered CSV
 // is byte-identical across --jobs values — the property that makes
@@ -32,6 +32,10 @@ struct BatchConfig {
   std::vector<std::size_t> register_counts;
   /// Modify ranges M to sweep (empty: each machine's M).
   std::vector<std::int64_t> modify_ranges;
+  /// Layout strategies to sweep (empty: just engine::kDefaultLayout).
+  std::vector<std::string> layouts;
+  /// Allocation strategies to sweep (empty: engine::kDefaultStrategy).
+  std::vector<std::string> strategies;
   /// Worker threads (>= 1). Never affects results, only wall time.
   std::size_t jobs = 1;
   /// Phase-2 solver selection and budgets, applied to every cell. A
@@ -52,6 +56,8 @@ struct BatchRow {
   std::size_t registers = 0;
   std::int64_t modify_range = 0;
   std::size_t modify_registers = 0;
+  std::string layout;
+  std::string strategy;
   std::size_t accesses = 0;
   /// K~ from phase 1 (nullopt when no zero-cost cover exists).
   std::optional<std::size_t> k_tilde;

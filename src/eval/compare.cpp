@@ -1,0 +1,213 @@
+#include "eval/compare.hpp"
+
+#include <limits>
+
+#include "engine/strategy.hpp"
+#include "support/check.hpp"
+
+namespace dspaddr::eval {
+namespace {
+
+std::string delta_field(std::int64_t delta) {
+  // Explicit '+' so a regression is visually distinct from the
+  // reference row's 0.
+  return delta > 0 ? "+" + std::to_string(delta) : std::to_string(delta);
+}
+
+}  // namespace
+
+CompareResult run_compare(const CompareConfig& config,
+                          engine::Engine& engine) {
+  const std::vector<std::string> layouts =
+      config.layouts.empty()
+          ? std::vector<std::string>{engine::kDefaultLayout}
+          : config.layouts;
+  const std::vector<std::string> strategies =
+      config.strategies.empty()
+          ? engine::StrategyRegistry::builtin().allocation_names()
+          : config.strategies;
+
+  CompareResult result;
+  result.kernel = config.kernel.name();
+  result.machine = config.machine.name;
+
+  for (const std::string& layout : layouts) {
+    for (const std::string& strategy : strategies) {
+      engine::Request request;
+      request.kernel = config.kernel;
+      request.machine = config.machine;
+      request.layout = layout;
+      request.strategy = strategy;
+      request.phase2 = config.phase2;
+      request.iterations = config.iterations;
+      const engine::Result run = engine.run(request);
+
+      CompareRow row;
+      row.layout = layout;
+      row.strategy = strategy;
+      if (run.ok()) {
+        row.accesses = run.accesses;
+        row.layout_extent = run.layout_extent;
+        row.allocation_cost = run.allocation_cost;
+        row.residual_cost = run.plan.residual_cost;
+        row.optimized_size_words = run.optimized_size_words;
+        row.optimized_cycles = run.optimized_cycles;
+        row.verified = run.verified;
+      } else {
+        row.error = std::string(engine::stage_name(run.error->stage)) +
+                    ": " + run.error->message;
+        ++result.failures;
+      }
+      result.rows.push_back(std::move(row));
+    }
+  }
+
+  // The delta reference: the default pair when present, else the first
+  // healthy cell, else plain cell 0.
+  std::size_t reference = 0;
+  bool found_default = false;
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    const CompareRow& row = result.rows[i];
+    if (row.ok() && row.layout == engine::kDefaultLayout &&
+        row.strategy == engine::kDefaultStrategy) {
+      reference = i;
+      found_default = true;
+      break;
+    }
+  }
+  if (!found_default) {
+    for (std::size_t i = 0; i < result.rows.size(); ++i) {
+      if (result.rows[i].ok()) {
+        reference = i;
+        break;
+      }
+    }
+  }
+  if (!result.rows.empty()) {
+    const CompareRow& ref = result.rows[reference];
+    result.reference_layout = ref.layout;
+    result.reference_strategy = ref.strategy;
+    int best = std::numeric_limits<int>::max();
+    for (CompareRow& row : result.rows) {
+      if (!row.ok()) {
+        continue;
+      }
+      row.cost_delta = row.allocation_cost - ref.allocation_cost;
+      row.cycle_delta = row.optimized_cycles - ref.optimized_cycles;
+      best = std::min(best, row.allocation_cost);
+    }
+    for (CompareRow& row : result.rows) {
+      row.best_cost = row.ok() && row.allocation_cost == best;
+    }
+  }
+  return result;
+}
+
+CompareResult run_compare(const CompareConfig& config) {
+  engine::Engine engine;
+  return run_compare(config, engine);
+}
+
+support::Table compare_to_table(const CompareResult& result) {
+  support::Table table({"layout", "strategy", "extent", "cost", "residual",
+                        "size", "cycles", "d.cost", "d.cycles", "best",
+                        "verified"});
+  for (const CompareRow& row : result.rows) {
+    if (!row.ok()) {
+      table.add_row({row.layout, row.strategy, "-", "-", "-", "-", "-",
+                     "-", "-", "-", "error: " + row.error});
+      continue;
+    }
+    table.add_row({
+        row.layout,
+        row.strategy,
+        std::to_string(row.layout_extent),
+        std::to_string(row.allocation_cost),
+        std::to_string(row.residual_cost),
+        std::to_string(row.optimized_size_words),
+        std::to_string(row.optimized_cycles),
+        delta_field(row.cost_delta),
+        delta_field(row.cycle_delta),
+        row.best_cost ? "*" : "",
+        row.verified ? "yes" : "no",
+    });
+  }
+  return table;
+}
+
+support::CsvWriter compare_to_csv(const CompareResult& result) {
+  support::CsvWriter csv({"layout", "strategy", "accesses", "layout_extent",
+                          "allocation_cost", "residual_cost", "size_words",
+                          "cycles", "cost_delta", "cycle_delta", "best",
+                          "verified", "error"});
+  for (const CompareRow& row : result.rows) {
+    if (!row.ok()) {
+      // Every metric column empty, like the batch CSV's error rows: an
+      // errored cell must never read as a real "best"/"not best"
+      // verdict (the CI greps rely on this failing loudly).
+      csv.add_row({row.layout, row.strategy, "", "", "", "", "", "", "",
+                   "", "", "", row.error});
+      continue;
+    }
+    csv.add_row({
+        row.layout,
+        row.strategy,
+        std::to_string(row.accesses),
+        std::to_string(row.layout_extent),
+        std::to_string(row.allocation_cost),
+        std::to_string(row.residual_cost),
+        std::to_string(row.optimized_size_words),
+        std::to_string(row.optimized_cycles),
+        std::to_string(row.cost_delta),
+        std::to_string(row.cycle_delta),
+        row.best_cost ? "yes" : "no",
+        row.verified ? "yes" : "no",
+        row.error,
+    });
+  }
+  return csv;
+}
+
+support::JsonValue compare_to_json(const CompareResult& result) {
+  using support::JsonValue;
+  JsonValue json = JsonValue::object();
+  json.set("kernel", JsonValue::string(result.kernel));
+  json.set("machine", JsonValue::string(result.machine));
+  JsonValue reference = JsonValue::object();
+  reference.set("layout", JsonValue::string(result.reference_layout));
+  reference.set("strategy", JsonValue::string(result.reference_strategy));
+  json.set("reference", std::move(reference));
+  JsonValue rows = JsonValue::array();
+  for (const CompareRow& row : result.rows) {
+    JsonValue cell = JsonValue::object();
+    cell.set("layout", JsonValue::string(row.layout));
+    cell.set("strategy", JsonValue::string(row.strategy));
+    if (row.ok()) {
+      cell.set("accesses", JsonValue::number(
+                               static_cast<std::int64_t>(row.accesses)));
+      cell.set("layout_extent", JsonValue::number(row.layout_extent));
+      cell.set("allocation_cost",
+               JsonValue::number(
+                   static_cast<std::int64_t>(row.allocation_cost)));
+      cell.set("residual_cost",
+               JsonValue::number(
+                   static_cast<std::int64_t>(row.residual_cost)));
+      cell.set("size_words", JsonValue::number(row.optimized_size_words));
+      cell.set("cycles", JsonValue::number(row.optimized_cycles));
+      cell.set("cost_delta",
+               JsonValue::number(static_cast<std::int64_t>(row.cost_delta)));
+      cell.set("cycle_delta", JsonValue::number(row.cycle_delta));
+      cell.set("best", JsonValue::boolean(row.best_cost));
+      cell.set("verified", JsonValue::boolean(row.verified));
+    } else {
+      cell.set("error", JsonValue::string(row.error));
+    }
+    rows.push_back(std::move(cell));
+  }
+  json.set("rows", std::move(rows));
+  json.set("failures",
+           JsonValue::number(static_cast<std::int64_t>(result.failures)));
+  return json;
+}
+
+}  // namespace dspaddr::eval

@@ -1,0 +1,94 @@
+// The comparison surface: one kernel, one machine, a set of (layout,
+// allocation-strategy) pairs run through a shared engine::Engine, with
+// per-cell cost/cycles deltas against the reference strategy.
+//
+// This is the paper's evaluation story as a first-class API — its
+// two-phase heuristic against the naive baselines, under any of the
+// registered memory layouts. `dspaddr compare` renders the result as a
+// delta table, CSV or JSON; tests and the CI smoke assert on the
+// `best_cost` markers (two-phase must be a cost minimum).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agu/machines.hpp"
+#include "core/allocator.hpp"
+#include "engine/engine.hpp"
+#include "ir/kernel.hpp"
+#include "support/csv.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace dspaddr::eval {
+
+struct CompareConfig {
+  ir::Kernel kernel;
+  agu::AguSpec machine;
+  /// Layouts to run (empty: just engine::kDefaultLayout).
+  std::vector<std::string> layouts;
+  /// Allocation strategies to run (empty: every registered strategy,
+  /// in registration order).
+  std::vector<std::string> strategies;
+  core::Phase2Options phase2;
+  std::optional<std::uint64_t> iterations;
+};
+
+/// One (layout, strategy) cell. Deltas are "this row minus the
+/// reference row" — negative deltas mean the row beats the reference.
+struct CompareRow {
+  std::string layout;
+  std::string strategy;
+  std::size_t accesses = 0;
+  std::int64_t layout_extent = 0;
+  int allocation_cost = 0;
+  int residual_cost = 0;
+  std::int64_t optimized_size_words = 0;
+  std::int64_t optimized_cycles = 0;
+  bool verified = false;
+  int cost_delta = 0;
+  std::int64_t cycle_delta = 0;
+  /// True when this row's allocation cost is the minimum of the run
+  /// (ties all marked).
+  bool best_cost = false;
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+struct CompareResult {
+  std::string kernel;
+  std::string machine;
+  /// The delta reference: the default (layout, strategy) pair when it
+  /// is part of the run, else the first cell.
+  std::string reference_layout;
+  std::string reference_strategy;
+  /// Rows in (layout-major, strategy) request order.
+  std::vector<CompareRow> rows;
+  std::size_t failures = 0;
+};
+
+/// Runs the (layouts x strategies) set on `engine`. Cells share the
+/// engine's result cache, so comparing against an already-served
+/// strategy is free. Per-cell failures land in the row's `error`.
+CompareResult run_compare(const CompareConfig& config,
+                          engine::Engine& engine);
+
+/// Same, through a private engine.
+CompareResult run_compare(const CompareConfig& config);
+
+/// Delta table; the best-cost row(s) are marked with '*'.
+support::Table compare_to_table(const CompareResult& result);
+
+/// CSV: layout,strategy,accesses,layout_extent,allocation_cost,
+/// residual_cost,size_words,cycles,cost_delta,cycle_delta,best,
+/// verified,error.
+support::CsvWriter compare_to_csv(const CompareResult& result);
+
+/// {"kernel", "machine", "reference": {"layout", "strategy"},
+///  "rows": [{...one member per CSV column...}]}.
+support::JsonValue compare_to_json(const CompareResult& result);
+
+}  // namespace dspaddr::eval

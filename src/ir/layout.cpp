@@ -1,5 +1,7 @@
 #include "ir/layout.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 
 namespace dspaddr::ir {
@@ -29,6 +31,24 @@ std::int64_t ArrayLayout::base_of(const std::string& array) const {
   check_arg(it != bases_.end(),
             "ArrayLayout: array '" + array + "' has no placement");
   return it->second;
+}
+
+std::int64_t layout_extent(const Kernel& kernel, const ArrayLayout& layout) {
+  bool any = false;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  for (const ArrayDecl& array : kernel.arrays()) {
+    const std::int64_t base = layout.base_of(array.name);
+    if (!any) {
+      lo = base;
+      hi = base + array.size;
+      any = true;
+    } else {
+      lo = std::min(lo, base);
+      hi = std::max(hi, base + array.size);
+    }
+  }
+  return any ? hi - lo : 0;
 }
 
 AccessSequence lower(const Kernel& kernel, const ArrayLayout& layout) {

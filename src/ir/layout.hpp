@@ -40,6 +40,13 @@ private:
   std::int64_t extent_ = 0;
 };
 
+/// Extent of `layout` over `kernel`'s arrays: max(base + size) -
+/// min(base), i.e. the data-memory footprint including any padding
+/// holes. Works for arbitrary placements, unlike ArrayLayout::extent()
+/// which is only maintained by `contiguous`. 0 for a kernel without
+/// arrays.
+std::int64_t layout_extent(const Kernel& kernel, const ArrayLayout& layout);
+
 /// Lowers the kernel body to an AccessSequence under `layout`: effective
 /// offset = layout.base_of(array) + access.offset.
 AccessSequence lower(const Kernel& kernel, const ArrayLayout& layout);

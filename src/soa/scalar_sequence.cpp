@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <tuple>
 #include <unordered_map>
 
 #include "support/check.hpp"
@@ -103,6 +104,17 @@ Layout identity_layout(std::size_t variable_count) {
     layout[v] = static_cast<std::int64_t>(v);
   }
   return layout;
+}
+
+std::vector<VarId> layout_order(const Layout& layout) {
+  std::vector<VarId> order(layout.size());
+  for (std::size_t v = 0; v < layout.size(); ++v) {
+    order[v] = static_cast<VarId>(v);
+  }
+  std::sort(order.begin(), order.end(), [&](VarId a, VarId b) {
+    return std::tie(layout[a], a) < std::tie(layout[b], b);
+  });
+  return order;
 }
 
 }  // namespace dspaddr::soa

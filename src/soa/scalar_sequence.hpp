@@ -76,4 +76,9 @@ std::int64_t layout_cost(const ScalarSequence& seq, const Layout& layout);
 /// Declaration-order layout (offset v for variable v).
 Layout identity_layout(std::size_t variable_count);
 
+/// Variables in address order: the inverse view of a layout, i.e. the
+/// ids sorted by ascending offset. What memory-placement consumers
+/// (e.g. the engine's soa-liao/goa layout strategies) need.
+std::vector<VarId> layout_order(const Layout& layout);
+
 }  // namespace dspaddr::soa

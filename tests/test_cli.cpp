@@ -1,6 +1,7 @@
 // Flag parsing and end-to-end behavior of the dspaddr CLI.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "cli/app.hpp"
@@ -107,6 +108,74 @@ TEST(CliOptions, BatchLists) {
   EXPECT_EQ(options.jobs, 8u);
   EXPECT_EQ(options.format, cli::OutputFormat::kTable);
   EXPECT_EQ(options.output_path, "r.csv");
+}
+
+TEST(CliOptions, LayoutAndStrategyFlags) {
+  const cli::RunOptions defaults =
+      cli::parse_run_options({"--kernel", "f.c"});
+  EXPECT_EQ(defaults.layout, "contiguous");
+  EXPECT_EQ(defaults.strategy, "two-phase");
+
+  const cli::RunOptions run = cli::parse_run_options(
+      {"--kernel", "f.c", "--layout", "soa-liao", "--strategy", "naive"});
+  EXPECT_EQ(run.layout, "soa-liao");
+  EXPECT_EQ(run.strategy, "naive");
+
+  const cli::BatchOptions batch = cli::parse_batch_options(
+      {"--builtin", "fir", "--layout", "contiguous,goa",
+       "--strategy=two-phase,round-robin"});
+  EXPECT_EQ(batch.layouts,
+            (std::vector<std::string>{"contiguous", "goa"}));
+  EXPECT_EQ(batch.strategies,
+            (std::vector<std::string>{"two-phase", "round-robin"}));
+
+  // Unknown names fail at parse time, with the known sets in the text.
+  EXPECT_THROW(
+      cli::parse_run_options({"--kernel", "f.c", "--layout", "bogus"}),
+      cli::UsageError);
+  EXPECT_THROW(
+      cli::parse_run_options({"--kernel", "f.c", "--strategy", "bogus"}),
+      cli::UsageError);
+  EXPECT_THROW(cli::parse_batch_options(
+                   {"--builtin", "fir", "--strategy", "two-phase,nope"}),
+               cli::UsageError);
+}
+
+TEST(CliOptions, CompareFlags) {
+  const cli::CompareOptions defaults =
+      cli::parse_compare_options({"--kernel", "fir"});
+  EXPECT_EQ(defaults.kernel, "fir");
+  EXPECT_TRUE(defaults.layouts.empty());
+  EXPECT_TRUE(defaults.strategies.empty());
+  EXPECT_EQ(defaults.format, cli::OutputFormat::kTable);
+
+  const cli::CompareOptions options = cli::parse_compare_options(
+      {"--kernel", "f.c", "--machine", "wide4", "--registers", "2",
+       "--layout", "contiguous,soa-liao", "--strategy", "two-phase,naive",
+       "--phase2", "heuristic", "--format", "json"});
+  EXPECT_EQ(options.machine, "wide4");
+  EXPECT_EQ(options.registers, 2u);
+  EXPECT_EQ(options.layouts,
+            (std::vector<std::string>{"contiguous", "soa-liao"}));
+  EXPECT_EQ(options.strategies,
+            (std::vector<std::string>{"two-phase", "naive"}));
+  EXPECT_EQ(options.phase2, core::Phase2Options::Mode::kHeuristic);
+  EXPECT_EQ(options.format, cli::OutputFormat::kJson);
+
+  EXPECT_THROW(cli::parse_compare_options({}), cli::UsageError);
+  EXPECT_THROW(cli::parse_compare_options({"--kernel", "f.c", "--bogus"}),
+               cli::UsageError);
+}
+
+TEST(CliOptions, ListFlags) {
+  EXPECT_EQ(cli::parse_list_options({}, "machines").format,
+            cli::OutputFormat::kTable);
+  EXPECT_EQ(cli::parse_list_options({"--format", "json"}, "machines").format,
+            cli::OutputFormat::kJson);
+  EXPECT_EQ(cli::parse_list_options({"--format=csv"}, "kernels").format,
+            cli::OutputFormat::kCsv);
+  EXPECT_THROW(cli::parse_list_options({"--bogus"}, "kernels"),
+               cli::UsageError);
 }
 
 TEST(CliOptions, JsonFormat) {
@@ -278,6 +347,127 @@ TEST(CliApp, BatchIsDeterministicAcrossJobs) {
   EXPECT_EQ(run(with_jobs("8"), parallel, err), 0) << err;
   EXPECT_EQ(serial, parallel);
   EXPECT_FALSE(serial.empty());
+}
+
+TEST(CliApp, RunWithBaselineStrategyReportsItsCost) {
+  std::string out;
+  std::string err;
+  const int code = run({"run", "--kernel", kRoot + "paper_example.c",
+                        "--registers", "2", "--strategy", "naive"},
+                       out, err);
+  EXPECT_EQ(code, 0) << err;
+  // naive runs the real phase structure, so its phase stats are shown;
+  // cost 4 is the paper's arbitrary-merge number.
+  EXPECT_NE(out.find("allocation (naive: phase 1"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("cost: 4/iteration"), std::string::npos) << out;
+  EXPECT_NE(out.find("VERIFIED"), std::string::npos) << out;
+
+  // A placement baseline has no phases to report.
+  const int rr_code = run({"run", "--kernel", kRoot + "paper_example.c",
+                           "--registers", "2", "--strategy",
+                           "round-robin"},
+                          out, err);
+  EXPECT_EQ(rr_code, 0) << err;
+  EXPECT_NE(out.find("allocation (round-robin):"), std::string::npos)
+      << out;
+}
+
+TEST(CliApp, CompareMarksTwoPhaseAsBest) {
+  std::string out;
+  std::string err;
+  const int code = run({"compare", "--kernel", "paper_example",
+                        "--registers", "2", "--format", "csv"},
+                       out, err);
+  EXPECT_EQ(code, 0) << err;
+  // CSV columns: layout,strategy,...,best at index 10.
+  EXPECT_NE(out.find("contiguous,two-phase,7,64,2,"), std::string::npos)
+      << out;
+  bool two_phase_best = false;
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find(",two-phase,") != std::string::npos &&
+        line.find(",yes,yes,") != std::string::npos) {
+      two_phase_best = true;
+    }
+  }
+  EXPECT_TRUE(two_phase_best) << out;
+}
+
+TEST(CliApp, CompareAcceptsFilesAndBuiltins) {
+  std::string out;
+  std::string err;
+  // A workload file path works...
+  EXPECT_EQ(run({"compare", "--kernel", kRoot + "paper_example.c",
+                 "--registers", "2", "--strategy", "two-phase"},
+                out, err),
+            0)
+      << err;
+  EXPECT_NE(out.find("two-phase"), std::string::npos);
+  // ...and a nonexistent name reports both interpretations failed.
+  EXPECT_EQ(run({"compare", "--kernel", "no_such_kernel"}, out, err), 1);
+  EXPECT_NE(err.find("neither"), std::string::npos) << err;
+}
+
+TEST(CliApp, CompareJsonCarriesReferenceAndRows) {
+  std::string out;
+  std::string err;
+  const int code = run({"compare", "--kernel", "paper_example",
+                        "--registers", "2", "--strategy",
+                        "two-phase,naive", "--format", "json"},
+                       out, err);
+  EXPECT_EQ(code, 0) << err;
+  const support::JsonValue json = support::JsonValue::parse(out);
+  EXPECT_EQ(json.find("reference")->find("strategy")->as_string(),
+            "two-phase");
+  ASSERT_EQ(json.find("rows")->items().size(), 2u);
+  EXPECT_EQ(json.find("rows")->items()[1].find("cost_delta")->as_int(), 2);
+}
+
+TEST(CliApp, MachinesAndKernelsHonorJsonFormat) {
+  std::string out;
+  std::string err;
+  ASSERT_EQ(run({"machines", "--format", "json"}, out, err), 0) << err;
+  const support::JsonValue machines = support::JsonValue::parse(out);
+  ASSERT_TRUE(machines.is_array());
+  ASSERT_FALSE(machines.items().empty());
+  EXPECT_FALSE(machines.items()[0].find("name")->as_string().empty());
+  EXPECT_GE(machines.items()[0].find("registers")->as_int(), 1);
+
+  ASSERT_EQ(run({"kernels", "--format=json"}, out, err), 0) << err;
+  const support::JsonValue kernels = support::JsonValue::parse(out);
+  ASSERT_TRUE(kernels.is_array());
+  bool has_fir = false;
+  for (const support::JsonValue& kernel : kernels.items()) {
+    if (kernel.find("name")->as_string() == "fir") {
+      has_fir = true;
+      EXPECT_EQ(kernel.find("arrays")->as_int(), 2);
+    }
+  }
+  EXPECT_TRUE(has_fir);
+
+  // CSV and bad flags are handled too.
+  ASSERT_EQ(run({"machines", "--format", "csv"}, out, err), 0);
+  EXPECT_EQ(out.substr(0, 5), "name,");
+  EXPECT_EQ(run({"machines", "--format", "yaml"}, out, err), 2);
+}
+
+TEST(CliApp, BatchSweepsTheStrategyAxis) {
+  std::string out;
+  std::string err;
+  const int code = run({"batch", "--builtin", "paper_example",
+                        "--registers", "2", "--strategy",
+                        "two-phase,naive", "--layout",
+                        "contiguous,declaration-padded", "--machines",
+                        "minimal2"},
+                       out, err);
+  EXPECT_EQ(code, 0) << err;
+  // 1 kernel x 1 machine x 1 K x 1 M x 2 layouts x 2 strategies + header.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5) << out;
+  EXPECT_NE(out.find("contiguous,naive"), std::string::npos) << out;
+  EXPECT_NE(out.find("declaration-padded,two-phase"), std::string::npos)
+      << out;
 }
 
 TEST(CliApp, UnknownCommandFails) {

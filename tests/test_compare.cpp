@@ -1,0 +1,147 @@
+// The compare surface: strategy sets through a shared engine, delta
+// semantics, best-cost markers, and the three renderings.
+#include <gtest/gtest.h>
+
+#include "agu/machines.hpp"
+#include "engine/strategy.hpp"
+#include "eval/compare.hpp"
+#include "ir/kernels.hpp"
+#include "support/json.hpp"
+
+namespace dspaddr {
+namespace {
+
+eval::CompareConfig paper_config() {
+  eval::CompareConfig config;
+  config.kernel = ir::builtin_kernel("paper_example");
+  config.machine.name = "custom";
+  config.machine.address_registers = 2;
+  config.machine.modify_registers = 0;
+  config.machine.modify_range = 1;
+  return config;
+}
+
+TEST(Compare, DefaultsRunEveryRegisteredStrategy) {
+  const eval::CompareResult result = eval::run_compare(paper_config());
+  const std::vector<std::string> expected =
+      engine::StrategyRegistry::builtin().allocation_names();
+  ASSERT_EQ(result.rows.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(result.rows[i].strategy, expected[i]);
+    EXPECT_EQ(result.rows[i].layout, engine::kDefaultLayout);
+    EXPECT_TRUE(result.rows[i].ok());
+  }
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_EQ(result.kernel, "paper_example");
+  EXPECT_EQ(result.machine, "custom");
+}
+
+TEST(Compare, DeltasAreRelativeToTheTwoPhaseReference) {
+  const eval::CompareResult result = eval::run_compare(paper_config());
+  EXPECT_EQ(result.reference_layout, "contiguous");
+  EXPECT_EQ(result.reference_strategy, "two-phase");
+  const eval::CompareRow* two_phase = nullptr;
+  const eval::CompareRow* naive = nullptr;
+  for (const eval::CompareRow& row : result.rows) {
+    if (row.strategy == "two-phase") two_phase = &row;
+    if (row.strategy == "naive") naive = &row;
+  }
+  ASSERT_NE(two_phase, nullptr);
+  ASSERT_NE(naive, nullptr);
+  EXPECT_EQ(two_phase->cost_delta, 0);
+  EXPECT_EQ(two_phase->cycle_delta, 0);
+  // The paper's numbers: naive costs 4 vs the heuristic's 2.
+  EXPECT_EQ(two_phase->allocation_cost, 2);
+  EXPECT_EQ(naive->allocation_cost, 4);
+  EXPECT_EQ(naive->cost_delta, 2);
+  EXPECT_GT(naive->cycle_delta, 0);
+  // two-phase is a cost minimum; naive is not.
+  EXPECT_TRUE(two_phase->best_cost);
+  EXPECT_FALSE(naive->best_cost);
+}
+
+TEST(Compare, LayoutAxisMultipliesTheRows) {
+  eval::CompareConfig config = paper_config();
+  config.layouts = {"contiguous", "declaration-padded"};
+  config.strategies = {"two-phase", "naive"};
+  const eval::CompareResult result = eval::run_compare(config);
+  ASSERT_EQ(result.rows.size(), 4u);
+  EXPECT_EQ(result.rows[0].layout, "contiguous");
+  EXPECT_EQ(result.rows[0].strategy, "two-phase");
+  EXPECT_EQ(result.rows[1].strategy, "naive");
+  EXPECT_EQ(result.rows[2].layout, "declaration-padded");
+  EXPECT_EQ(result.rows[3].layout, "declaration-padded");
+}
+
+TEST(Compare, SharedEngineServesRepeatsFromTheCache) {
+  engine::Engine engine;
+  eval::CompareConfig config = paper_config();
+  config.strategies = {"two-phase", "naive"};
+  const eval::CompareResult first = eval::run_compare(config, engine);
+  const engine::CacheStats after_first = engine.cache_stats();
+  EXPECT_EQ(after_first.hits, 0u);
+  EXPECT_EQ(after_first.misses, 2u);
+  const eval::CompareResult second = eval::run_compare(config, engine);
+  const engine::CacheStats after_second = engine.cache_stats();
+  EXPECT_EQ(after_second.hits, 2u);
+  EXPECT_EQ(after_second.misses, 2u);
+  ASSERT_EQ(first.rows.size(), second.rows.size());
+  for (std::size_t i = 0; i < first.rows.size(); ++i) {
+    EXPECT_EQ(first.rows[i].allocation_cost,
+              second.rows[i].allocation_cost);
+  }
+}
+
+TEST(Compare, PerCellFailuresStayInBand) {
+  eval::CompareConfig config = paper_config();
+  config.machine.address_registers = 0;  // every cell fails to allocate
+  config.strategies = {"two-phase", "naive"};
+  const eval::CompareResult result = eval::run_compare(config);
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.failures, 2u);
+  for (const eval::CompareRow& row : result.rows) {
+    EXPECT_FALSE(row.ok());
+    EXPECT_FALSE(row.best_cost);
+    EXPECT_NE(row.error.find("allocate:"), std::string::npos);
+  }
+}
+
+TEST(Compare, RenderingsAgreeOnTheRowSet) {
+  eval::CompareConfig config = paper_config();
+  config.strategies = {"two-phase", "naive"};
+  const eval::CompareResult result = eval::run_compare(config);
+
+  const std::string table = eval::compare_to_table(result).to_string();
+  EXPECT_NE(table.find("two-phase"), std::string::npos);
+  EXPECT_NE(table.find("naive"), std::string::npos);
+  EXPECT_NE(table.find("+2"), std::string::npos);  // naive's cost delta
+
+  const std::string csv = eval::compare_to_csv(result).to_string();
+  EXPECT_EQ(csv.substr(0, 6), "layout");
+  EXPECT_NE(csv.find("contiguous,two-phase,7,64,2,"), std::string::npos)
+      << csv;
+  EXPECT_NE(csv.find("contiguous,naive,7,64,4,"), std::string::npos)
+      << csv;
+
+  const support::JsonValue json = eval::compare_to_json(result);
+  EXPECT_EQ(json.find("kernel")->as_string(), "paper_example");
+  EXPECT_EQ(json.find("reference")->find("strategy")->as_string(),
+            "two-phase");
+  ASSERT_EQ(json.find("rows")->items().size(), 2u);
+  const support::JsonValue& naive_row = json.find("rows")->items()[1];
+  EXPECT_EQ(naive_row.find("strategy")->as_string(), "naive");
+  EXPECT_EQ(naive_row.find("cost_delta")->as_int(), 2);
+  EXPECT_FALSE(naive_row.find("best")->as_bool());
+  EXPECT_EQ(json.find("failures")->as_int(), 0);
+}
+
+TEST(Compare, ReferenceFallsBackWhenDefaultPairAbsent) {
+  eval::CompareConfig config = paper_config();
+  config.strategies = {"round-robin", "naive"};
+  const eval::CompareResult result = eval::run_compare(config);
+  EXPECT_EQ(result.reference_strategy, "round-robin");
+  EXPECT_EQ(result.rows[0].cost_delta, 0);
+}
+
+}  // namespace
+}  // namespace dspaddr

@@ -103,13 +103,16 @@ TEST(EvalBatch, ErrorRowsRenderEmptyMetricFields) {
   EXPECT_EQ(fields[0], "fir");
   EXPECT_EQ(fields[1], "minimal2");
   EXPECT_EQ(fields[2], "0");
-  for (std::size_t i = 5; i + 1 < fields.size(); ++i) {
+  EXPECT_EQ(fields[5], "contiguous");
+  EXPECT_EQ(fields[6], "two-phase");
+  for (std::size_t i = 7; i + 1 < fields.size(); ++i) {
     EXPECT_EQ(fields[i], "") << "column " << i;
   }
   EXPECT_FALSE(fields.back().empty());
 
   const std::string csv = eval::batch_to_csv(result).to_string();
-  EXPECT_NE(csv.find("fir,minimal2,0,1,0,,,,,,,,,,,,"),
+  EXPECT_NE(csv.find("fir,minimal2,0,1,0,contiguous,two-phase,"
+                     ",,,,,,,,,,"),
             std::string::npos)
       << csv;
 }
@@ -138,9 +141,10 @@ TEST(EvalBatch, CsvSchemaIsStable) {
   const std::string csv = eval::batch_to_csv(empty).to_string();
   EXPECT_EQ(csv,
             "kernel,machine,registers,modify_range,modify_registers,"
-            "accesses,k_tilde,allocation_cost,residual_cost,phase2,"
-            "proven,gap,phase2_nodes,size_reduction_percent,"
-            "speed_reduction_percent,verified,error\n");
+            "layout,strategy,accesses,k_tilde,allocation_cost,"
+            "residual_cost,phase2,proven,gap,phase2_nodes,"
+            "size_reduction_percent,speed_reduction_percent,verified,"
+            "error\n");
 }
 
 TEST(EvalBatch, ExactPhase2ProvesSmallKernelsAndStaysDeterministic) {

@@ -67,6 +67,68 @@ TEST(Serve, RepeatedFixtureIsByteIdenticalAndHitsTheCache) {
   EXPECT_EQ(stats.find("stats")->find("misses")->as_int(), 3);
 }
 
+TEST(Serve, StrategyAndLayoutFieldsSelectThePipeline) {
+  const std::vector<std::string> lines = serve_lines(
+      "{\"id\":1,\"builtin\":\"paper_example\",\"registers\":2,"
+      "\"strategy\":\"naive\",\"layout\":\"declaration-padded\","
+      "\"stop_after\":\"allocate\"}\n"
+      "{\"id\":2,\"builtin\":\"paper_example\",\"registers\":2,"
+      "\"stop_after\":\"allocate\"}\n"
+      "{\"id\":3,\"builtin\":\"fir\",\"strategy\":\"bogus\"}\n"
+      "{\"id\":4,\"builtin\":\"fir\",\"layout\":\"bogus\"}\n");
+  ASSERT_EQ(lines.size(), 4u);
+  const JsonValue naive = JsonValue::parse(lines[0]);
+  EXPECT_EQ(naive.find("strategy")->as_string(), "naive");
+  EXPECT_EQ(naive.find("layout")->as_string(), "declaration-padded");
+  EXPECT_EQ(naive.find("stages")->find("allocate")->find("cost")->as_int(),
+            4);
+  const JsonValue two_phase = JsonValue::parse(lines[1]);
+  EXPECT_EQ(two_phase.find("strategy")->as_string(), "two-phase");
+  EXPECT_EQ(
+      two_phase.find("stages")->find("allocate")->find("cost")->as_int(),
+      2);
+  // Unknown names are request errors answered in-band.
+  for (int i = 2; i < 4; ++i) {
+    const JsonValue error = JsonValue::parse(lines[i]);
+    ASSERT_NE(error.find("error"), nullptr) << lines[i];
+    EXPECT_EQ(error.find("error")->find("stage")->as_string(), "request");
+  }
+}
+
+TEST(Serve, ClearCacheControlLineBoundsTheSession) {
+  const std::vector<std::string> lines = serve_lines(
+      "{\"id\":1,\"builtin\":\"fir\",\"machine\":\"wide4\"}\n"
+      "{\"id\":2,\"stats\":true}\n"
+      "{\"id\":3,\"clear_cache\":true}\n"
+      "{\"id\":4,\"stats\":true}\n"
+      "{\"id\":5,\"builtin\":\"fir\",\"machine\":\"wide4\"}\n"
+      "{\"id\":6,\"clear_cache\":true,\"builtin\":\"fir\"}\n"
+      "{\"id\":7,\"clear_cache\":false,\"builtin\":\"fir\","
+      "\"machine\":\"wide4\"}\n");
+  ASSERT_EQ(lines.size(), 7u);
+  const JsonValue before = JsonValue::parse(lines[1]);
+  EXPECT_EQ(before.find("stats")->find("entries")->as_int(), 1);
+  const JsonValue cleared = JsonValue::parse(lines[2]);
+  EXPECT_EQ(cleared.find("id")->as_int(), 3);
+  EXPECT_TRUE(cleared.find("cleared")->as_bool());
+  const JsonValue after = JsonValue::parse(lines[3]);
+  EXPECT_EQ(after.find("stats")->find("entries")->as_int(), 0);
+  // The rerun recomputes (a miss, not a hit) and answers identically
+  // (modulo the id echo).
+  const JsonValue rerun = JsonValue::parse(lines[4]);
+  EXPECT_EQ(rerun.find("error"), nullptr);
+  EXPECT_EQ(JsonValue::parse(lines[0]).find("stages")->dump(),
+            rerun.find("stages")->dump());
+  // clear_cache is a control line: it cannot carry request fields...
+  const JsonValue mixed = JsonValue::parse(lines[5]);
+  ASSERT_NE(mixed.find("error"), nullptr);
+  // ...but a false value means "not a control line" and the request
+  // fields run normally.
+  const JsonValue not_control = JsonValue::parse(lines[6]);
+  EXPECT_EQ(not_control.find("error"), nullptr) << lines[6];
+  EXPECT_EQ(not_control.find("kernel")->find("name")->as_string(), "fir");
+}
+
 TEST(Serve, InlineKernelAndStopAfter) {
   const std::vector<std::string> lines = serve_lines(
       R"({"kernel":{"name":"tiny","iterations":4,)"

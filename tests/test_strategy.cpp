@@ -1,0 +1,383 @@
+// The pluggable strategy registry and its engine integration: layout
+// placement, allocation baselines, fingerprint separation (no two
+// strategies may ever share a cache entry), and the default path's
+// equivalence with the pre-registry pipeline.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "agu/machines.hpp"
+#include "engine/engine.hpp"
+#include "engine/fingerprint.hpp"
+#include "engine/serialize.hpp"
+#include "engine/strategy.hpp"
+#include "ir/kernels.hpp"
+#include "ir/layout.hpp"
+#include "support/check.hpp"
+
+namespace dspaddr {
+namespace {
+
+engine::Request paper_request(std::size_t registers = 2) {
+  engine::Request request;
+  request.kernel = ir::builtin_kernel("paper_example");
+  request.machine.name = "custom";
+  request.machine.address_registers = registers;
+  request.machine.modify_registers = 0;
+  request.machine.modify_range = 1;
+  return request;
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(StrategyRegistry, BuiltinCatalogIsComplete) {
+  const engine::StrategyRegistry& registry =
+      engine::StrategyRegistry::builtin();
+  EXPECT_EQ(registry.layout_names(),
+            (std::vector<std::string>{"contiguous", "declaration-padded",
+                                      "soa-liao", "goa"}));
+  EXPECT_EQ(registry.allocation_names(),
+            (std::vector<std::string>{"two-phase", "exact", "naive",
+                                      "random-merge", "round-robin",
+                                      "greedy-online"}));
+  for (const std::string& name : registry.layout_names()) {
+    const engine::LayoutStrategy* strategy = registry.layout(name);
+    ASSERT_NE(strategy, nullptr) << name;
+    EXPECT_EQ(strategy->name(), name);
+    EXPECT_FALSE(strategy->description().empty());
+  }
+  for (const std::string& name : registry.allocation_names()) {
+    const engine::AllocationStrategy* strategy = registry.allocation(name);
+    ASSERT_NE(strategy, nullptr) << name;
+    EXPECT_EQ(strategy->name(), name);
+    EXPECT_FALSE(strategy->description().empty());
+  }
+  EXPECT_EQ(registry.layout(engine::kDefaultLayout),
+            registry.layout("contiguous"));
+  EXPECT_EQ(registry.allocation(engine::kDefaultStrategy),
+            registry.allocation("two-phase"));
+}
+
+TEST(StrategyRegistry, UnknownNamesReturnNull) {
+  const engine::StrategyRegistry& registry =
+      engine::StrategyRegistry::builtin();
+  EXPECT_EQ(registry.layout("bogus"), nullptr);
+  EXPECT_EQ(registry.allocation("bogus"), nullptr);
+  EXPECT_NE(engine::known_layout_names().find("soa-liao"),
+            std::string::npos);
+  EXPECT_NE(engine::known_strategy_names().find("greedy-online"),
+            std::string::npos);
+}
+
+namespace {
+
+class ReverseLayout final : public engine::LayoutStrategy {
+public:
+  std::string_view name() const override { return "reverse"; }
+  std::string_view description() const override {
+    return "declaration order, reversed";
+  }
+  ir::ArrayLayout place(const ir::Kernel& kernel,
+                        const agu::AguSpec&) const override {
+    ir::ArrayLayout layout;
+    std::int64_t next = 0;
+    for (auto it = kernel.arrays().rbegin(); it != kernel.arrays().rend();
+         ++it) {
+      layout.place(it->name, next);
+      next += it->size;
+    }
+    return layout;
+  }
+};
+
+}  // namespace
+
+TEST(StrategyRegistry, PrivateRegistriesAreExtensible) {
+  engine::StrategyRegistry registry;
+  registry.add_layout(std::make_unique<ReverseLayout>());
+  EXPECT_NE(registry.layout("reverse"), nullptr);
+  // Duplicate names are rejected.
+  EXPECT_THROW(registry.add_layout(std::make_unique<ReverseLayout>()),
+               Error);
+  // The builtin registry is unaffected.
+  EXPECT_EQ(engine::StrategyRegistry::builtin().layout("reverse"), nullptr);
+}
+
+// --------------------------------------------------------------- layouts
+
+ir::Kernel two_array_kernel() {
+  ir::Kernel kernel("pair", "two arrays");
+  kernel.add_array("a", 4).add_array("b", 6).set_iterations(4);
+  kernel.add_access("a", 0).add_access("b", 0).add_access("a", 1);
+  return kernel;
+}
+
+TEST(LayoutStrategies, ContiguousMatchesIrDefault) {
+  const ir::Kernel kernel = two_array_kernel();
+  const agu::AguSpec machine = agu::builtin_machine("minimal2");
+  const ir::ArrayLayout layout =
+      engine::StrategyRegistry::builtin().layout("contiguous")->place(
+          kernel, machine);
+  EXPECT_EQ(layout.base_of("a"), 0);
+  EXPECT_EQ(layout.base_of("b"), 4);
+  EXPECT_EQ(ir::layout_extent(kernel, layout), 10);
+}
+
+TEST(LayoutStrategies, DeclarationPaddedInsertsGuardWords) {
+  const ir::Kernel kernel = two_array_kernel();
+  const agu::AguSpec machine = agu::builtin_machine("minimal2");
+  const ir::ArrayLayout layout =
+      engine::StrategyRegistry::builtin()
+          .layout("declaration-padded")
+          ->place(kernel, machine);
+  EXPECT_EQ(layout.base_of("a"), 0);
+  EXPECT_EQ(layout.base_of("b"), 5);  // 4 + 1 guard word
+  EXPECT_EQ(ir::layout_extent(kernel, layout), 11);
+}
+
+TEST(LayoutStrategies, EveryLayoutPlacesEveryArrayExactlyOnce) {
+  // Each strategy must produce a valid, hole-consistent placement:
+  // every declared array placed, no two arrays overlapping.
+  ir::Kernel kernel("multi", "five arrays");
+  kernel.set_iterations(2);
+  for (const char* name : {"a", "b", "c", "d", "e"}) {
+    kernel.add_array(name, 3);
+  }
+  // Access pattern with cross-array structure for soa/goa to chew on.
+  for (const char* name : {"a", "c", "a", "b", "e", "d", "c", "a"}) {
+    kernel.add_access(name, 0);
+  }
+  const agu::AguSpec machine = agu::builtin_machine("minimal2");
+  for (const std::string& name :
+       engine::StrategyRegistry::builtin().layout_names()) {
+    SCOPED_TRACE(name);
+    const ir::ArrayLayout layout =
+        engine::StrategyRegistry::builtin().layout(name)->place(kernel,
+                                                                machine);
+    std::set<std::int64_t> words;
+    for (const ir::ArrayDecl& array : kernel.arrays()) {
+      ASSERT_TRUE(layout.contains(array.name));
+      for (std::int64_t w = 0; w < array.size; ++w) {
+        EXPECT_TRUE(words.insert(layout.base_of(array.name) + w).second)
+            << "overlap at word " << layout.base_of(array.name) + w;
+      }
+    }
+    EXPECT_GE(ir::layout_extent(kernel, layout),
+              static_cast<std::int64_t>(words.size()));
+  }
+}
+
+TEST(LayoutStrategies, SoaLiaoKeepsFrequentNeighboursAdjacent) {
+  // b and c alternate; a is touched once. SOA must place b next to c.
+  ir::Kernel kernel("alt", "alternating pair");
+  kernel.add_array("a", 2).add_array("b", 2).add_array("c", 2);
+  kernel.set_iterations(2);
+  for (int i = 0; i < 4; ++i) {
+    kernel.add_access("b", 0).add_access("c", 0);
+  }
+  kernel.add_access("a", 0);
+  const ir::ArrayLayout layout =
+      engine::StrategyRegistry::builtin().layout("soa-liao")->place(
+          kernel, agu::builtin_machine("minimal2"));
+  const std::int64_t gap =
+      std::abs(layout.base_of("b") - layout.base_of("c"));
+  EXPECT_EQ(gap, 2) << "b and c must be adjacent (one array apart)";
+}
+
+TEST(LayoutStrategies, LayoutsAreDeterministic) {
+  const ir::Kernel kernel = ir::builtin_kernel("biquad");
+  const agu::AguSpec machine = agu::builtin_machine("wide4");
+  for (const std::string& name :
+       engine::StrategyRegistry::builtin().layout_names()) {
+    SCOPED_TRACE(name);
+    const engine::LayoutStrategy* strategy =
+        engine::StrategyRegistry::builtin().layout(name);
+    const ir::ArrayLayout first = strategy->place(kernel, machine);
+    const ir::ArrayLayout second = strategy->place(kernel, machine);
+    for (const ir::ArrayDecl& array : kernel.arrays()) {
+      EXPECT_EQ(first.base_of(array.name), second.base_of(array.name));
+    }
+  }
+}
+
+// ----------------------------------------------------- engine integration
+
+TEST(EngineStrategies, DefaultRequestMatchesExplicitDefaults) {
+  engine::Engine engine(engine::Engine::Options{0});
+  const engine::Result implicit = engine.run(paper_request());
+  engine::Request explicit_request = paper_request();
+  explicit_request.layout = "contiguous";
+  explicit_request.strategy = "two-phase";
+  const engine::Result explicit_result = engine.run(explicit_request);
+  EXPECT_EQ(engine::result_to_json_line(implicit),
+            engine::result_to_json_line(explicit_result));
+  EXPECT_EQ(implicit.layout, "contiguous");
+  EXPECT_EQ(implicit.strategy, "two-phase");
+  EXPECT_EQ(implicit.layout_extent, 64);
+}
+
+TEST(EngineStrategies, NaiveIsWorseThanTwoPhaseOnThePaperExample) {
+  // The paper's Fig. 1 comparison: cost-guided merging reaches 2,
+  // arbitrary merging 4, on the same phase-1 cover (K = 2, M = 1).
+  engine::Engine engine;
+  const engine::Result two_phase = engine.run(paper_request());
+  engine::Request naive_request = paper_request();
+  naive_request.strategy = "naive";
+  const engine::Result naive = engine.run(naive_request);
+  ASSERT_TRUE(two_phase.ok());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(two_phase.allocation_cost, 2);
+  EXPECT_EQ(naive.allocation_cost, 4);
+  EXPECT_GE(naive.allocation_cost, two_phase.allocation_cost);
+  // Both simulate and verify: a baseline's program is still correct,
+  // just more expensive.
+  EXPECT_TRUE(two_phase.verified);
+  EXPECT_TRUE(naive.verified);
+}
+
+TEST(EngineStrategies, TwoStrategiesNeverShareACacheEntry) {
+  // The acceptance gate: run two strategies on one kernel through one
+  // engine — zero spurious hits, distinct entries, distinct costs.
+  engine::Engine engine;
+  const engine::Result first = engine.run(paper_request());
+  engine::Request naive_request = paper_request();
+  naive_request.strategy = "naive";
+  const engine::Result second = engine.run(naive_request);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(second.cache_hit);
+  const engine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_NE(first.allocation_cost, second.allocation_cost);
+
+  // Reruns of each strategy hit their own entries and echo the right
+  // strategy back.
+  const engine::Result first_again = engine.run(paper_request());
+  const engine::Result second_again = engine.run(naive_request);
+  EXPECT_TRUE(first_again.cache_hit);
+  EXPECT_TRUE(second_again.cache_hit);
+  EXPECT_EQ(first_again.strategy, "two-phase");
+  EXPECT_EQ(second_again.strategy, "naive");
+  EXPECT_EQ(first_again.allocation_cost, first.allocation_cost);
+  EXPECT_EQ(second_again.allocation_cost, second.allocation_cost);
+}
+
+TEST(EngineStrategies, FingerprintSeparatesEveryStrategyPair) {
+  // Even on a single-array kernel, where every layout lowers to the
+  // same sequence, each (layout, strategy) pair must fingerprint
+  // differently.
+  const engine::Request base = paper_request();
+  const ir::AccessSequence seq = ir::lower(base.kernel);
+  std::set<std::string> keys;
+  std::size_t pairs = 0;
+  for (const std::string& layout :
+       engine::StrategyRegistry::builtin().layout_names()) {
+    for (const std::string& strategy :
+         engine::StrategyRegistry::builtin().allocation_names()) {
+      engine::Request request = base;
+      request.layout = layout;
+      request.strategy = strategy;
+      keys.insert(engine::request_fingerprint(request, seq));
+      ++pairs;
+    }
+  }
+  EXPECT_EQ(keys.size(), pairs);
+}
+
+TEST(EngineStrategies, UnknownLayoutFailsTheLowerStage) {
+  engine::Engine engine;
+  engine::Request request = paper_request();
+  request.layout = "bogus";
+  const engine::Result result = engine.run(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error->stage, engine::Stage::kLower);
+  EXPECT_NE(result.error->message.find("bogus"), std::string::npos);
+  EXPECT_NE(result.error->message.find("contiguous"), std::string::npos);
+}
+
+TEST(EngineStrategies, UnknownStrategyFailsTheAllocateStage) {
+  engine::Engine engine;
+  engine::Request request = paper_request();
+  request.strategy = "bogus";
+  const engine::Result result = engine.run(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error->stage, engine::Stage::kAllocate);
+  EXPECT_NE(result.error->message.find("two-phase"), std::string::npos);
+  // The lower stage completed normally.
+  EXPECT_TRUE(result.stage_done(engine::Stage::kLower));
+  EXPECT_GT(result.accesses, 0u);
+}
+
+TEST(EngineStrategies, EveryPairRunsTheFullPipelineVerified) {
+  // The whole N x M matrix on a multi-array kernel: every combination
+  // must produce a simulator-verified program.
+  engine::Engine engine;
+  engine::Request base;
+  base.kernel = ir::builtin_kernel("biquad");
+  base.machine = agu::builtin_machine("minimal2");
+  for (const std::string& layout :
+       engine::StrategyRegistry::builtin().layout_names()) {
+    for (const std::string& strategy :
+         engine::StrategyRegistry::builtin().allocation_names()) {
+      SCOPED_TRACE(layout + "/" + strategy);
+      engine::Request request = base;
+      request.layout = layout;
+      request.strategy = strategy;
+      const engine::Result result = engine.run(request);
+      ASSERT_TRUE(result.ok()) << result.error->message;
+      EXPECT_TRUE(result.verified);
+      EXPECT_EQ(result.layout, layout);
+      EXPECT_EQ(result.strategy, strategy);
+      EXPECT_GT(result.layout_extent, 0);
+    }
+  }
+}
+
+TEST(EngineStrategies, SerializationCarriesStrategyAndExtent) {
+  engine::Engine engine;
+  engine::Request request = paper_request();
+  request.layout = "declaration-padded";
+  request.strategy = "round-robin";
+  const support::JsonValue json = support::JsonValue::parse(
+      engine::result_to_json_line(engine.run(request)));
+  EXPECT_EQ(json.find("layout")->as_string(), "declaration-padded");
+  EXPECT_EQ(json.find("strategy")->as_string(), "round-robin");
+  EXPECT_EQ(json.find("stages")
+                ->find("lower")
+                ->find("layout_extent")
+                ->as_int(),
+            64);
+}
+
+TEST(EngineStrategies, ExactStrategyProvesOptimality) {
+  engine::Engine engine;
+  engine::Request request = paper_request();
+  request.strategy = "exact";
+  const engine::Result result = engine.run(request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.stats.phase2_exact);
+  EXPECT_TRUE(result.stats.phase2_proven);
+  EXPECT_EQ(result.allocation_cost, 2);
+}
+
+TEST(EngineStrategies, BaselinesNeverGetTheExactUpgrade) {
+  // Regression guard: the naive/random-merge baselines must not be
+  // silently repaired by the exact phase-2 search, whatever the
+  // request's phase-2 mode says.
+  engine::Engine engine;
+  for (const char* strategy : {"naive", "random-merge"}) {
+    SCOPED_TRACE(strategy);
+    engine::Request request = paper_request();
+    request.strategy = strategy;
+    request.phase2.mode = core::Phase2Options::Mode::kExact;
+    const engine::Result result = engine.run(request);
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result.stats.phase2_exact);
+    EXPECT_EQ(result.allocation_cost, 4);
+  }
+}
+
+}  // namespace
+}  // namespace dspaddr

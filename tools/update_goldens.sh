@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Regenerates tests/golden/*.csv from the dspaddr CLI.
+#
+# The goldens pin the batch CSV schema and the default-path results; the
+# EngineParity tests diff freshly computed sweeps against them byte for
+# byte. Rerun this script (and eyeball the git diff!) whenever the CSV
+# schema or the default pipeline's numbers intentionally change.
+#
+# usage: tools/update_goldens.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+dspaddr="$build/dspaddr"
+
+if [[ ! -x "$dspaddr" ]]; then
+  echo "error: $dspaddr not built (cmake --build $build)" >&2
+  exit 1
+fi
+
+# The builtin grid of EngineParity.BuiltinGridMatchesGoldenCsv.
+"$dspaddr" batch \
+  --builtin fir,biquad,matmul \
+  --machines minimal2,wide4,adsp218x \
+  --registers 1,2,4 \
+  --modify-range 1,2 \
+  --jobs 4 \
+  --out "$repo/tests/golden/batch_small_grid.csv"
+
+# The workload grid of EngineParity.WorkloadGridMatchesGoldenCsv
+# (every workload file across the whole machine catalog).
+"$dspaddr" batch \
+  --kernel "$repo/workloads/fir16.kern" \
+  --kernel "$repo/workloads/gradient.c" \
+  --kernel "$repo/workloads/paper_example.c" \
+  --kernel "$repo/workloads/smooth3.c" \
+  --kernel "$repo/workloads/stereo_mix.kern" \
+  --jobs 4 \
+  --out "$repo/tests/golden/batch_workloads.csv"
+
+echo "regenerated:"
+git -C "$repo" --no-pager diff --stat -- tests/golden || true
