@@ -278,7 +278,9 @@ commands:
               --modify-range <list>  M values, comma list
               --layout <list>        layout strategies, comma list
               --strategy <list>      allocation strategies, comma list
-              --jobs <n>             worker threads (default: 1)
+              --jobs <n>             worker threads (default: all
+                                     hardware threads; CSV bytes never
+                                     depend on the level)
               --phase2 <mode>        auto|exact|heuristic phase-2 solver
               --time-budget-ms <ms>  wall-clock cap of the exact search
               --format csv|table     output format (default: csv)
@@ -293,9 +295,17 @@ commands:
               --phase2, --time-budget-ms, --iterations as in run
               --format table|csv|json (default: table)
   serve     JSON-lines service loop: one request object per stdin line,
-            one response object per stdout line (see README)
+            one response object per stdout line, in input order
+            whatever the concurrency (see README "Serving at scale")
               --cache-capacity <n>   engine result-cache size
                                      (default: 256, 0 disables)
+              --jobs <n>             pipeline worker threads (default:
+                                     all hardware threads; responses
+                                     are byte-identical at any level)
+              --max-iterations <n>   per-request cap on simulated
+                                     iterations (default: 10000000);
+                                     larger requests are rejected
+                                     in-band
   machines  List the builtin AGU catalog (--format table|csv|json)
   kernels   List the builtin kernel library (--format table|csv|json)
   version   Print the tool version

@@ -1,6 +1,7 @@
 #include "cli/options.hpp"
 
 #include <limits>
+#include <thread>
 
 #include "support/strings.hpp"
 
@@ -125,6 +126,15 @@ std::vector<std::string> parse_strategy_list(const std::string& text) {
 
 }  // namespace
 
+std::size_t default_jobs() {
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<std::size_t>(hardware);
+}
+
+std::size_t parse_jobs(const std::string& text) {
+  return parse_size(text, "--jobs", 1);
+}
+
 core::Phase2Options::Mode parse_phase2_mode(const std::string& text) {
   if (text == "auto") {
     return core::Phase2Options::Mode::kAuto;
@@ -240,7 +250,7 @@ BatchOptions parse_batch_options(const std::vector<std::string>& args) {
     } else if (match_flag(arg, "--strategy", cursor, value)) {
       options.strategies = parse_strategy_list(value);
     } else if (match_flag(arg, "--jobs", cursor, value)) {
-      options.jobs = parse_size(value, "--jobs", 1);
+      options.jobs = parse_jobs(value);
     } else if (match_flag(arg, "--phase2", cursor, value)) {
       options.phase2 = parse_phase2_mode(value);
     } else if (match_flag(arg, "--time-budget-ms", cursor, value)) {
@@ -313,6 +323,10 @@ ServeOptions parse_serve_options(const std::vector<std::string>& args) {
     const std::string arg = cursor.take();
     if (match_flag(arg, "--cache-capacity", cursor, value)) {
       options.cache_capacity = parse_size(value, "--cache-capacity", 0);
+    } else if (match_flag(arg, "--jobs", cursor, value)) {
+      options.jobs = parse_jobs(value);
+    } else if (match_flag(arg, "--max-iterations", cursor, value)) {
+      options.max_iterations = parse_int(value, "--max-iterations", 1);
     } else {
       throw UsageError("serve: unknown argument '" + arg + "'");
     }

@@ -36,6 +36,15 @@ OutputFormat parse_format(const std::string& text);
 /// Parses "auto" / "exact" / "heuristic"; throws UsageError otherwise.
 core::Phase2Options::Mode parse_phase2_mode(const std::string& text);
 
+/// Default worker count of `--jobs`: the hardware concurrency, at
+/// least 1. Shared by batch and serve so the two surfaces can never
+/// disagree about what "use the machine" means.
+std::size_t default_jobs();
+
+/// Parses a `--jobs` value: a positive integer (0 and non-numeric
+/// values are rejected with the same message on every subcommand).
+std::size_t parse_jobs(const std::string& text);
+
 /// Options of `dspaddr run`: one kernel through the whole pipeline.
 struct RunOptions {
   std::string kernel_path;
@@ -76,7 +85,8 @@ struct BatchOptions {
   std::vector<std::string> layouts;
   /// Allocation strategies to sweep; empty = default strategy.
   std::vector<std::string> strategies;
-  std::size_t jobs = 1;
+  /// Worker threads of the grid runner; never affects the CSV bytes.
+  std::size_t jobs = default_jobs();
   /// Phase-2 solver selection (auto: exact for small kernels).
   core::Phase2Options::Mode phase2 = core::Phase2Options::Mode::kAuto;
   /// Wall-clock budget of the exact phase-2 search; 0 = node cap only.
@@ -106,10 +116,18 @@ struct CompareOptions {
   OutputFormat format = OutputFormat::kTable;
 };
 
-/// Options of `dspaddr serve`: the JSON-lines request loop.
+/// Options of `dspaddr serve`: the pipelined JSON-lines request loop.
 struct ServeOptions {
   /// Engine result-cache capacity (0 disables caching).
   std::size_t cache_capacity = 256;
+  /// Worker threads of the request pipeline (reader thread → shared
+  /// TaskPool → ordered writer). Responses always come back in input
+  /// order, byte-identical whatever the level.
+  std::size_t jobs = default_jobs();
+  /// Per-request cap on the *effective* simulated iteration count;
+  /// larger requests are rejected as in-band request errors so one
+  /// huge request cannot stall the whole pipeline window.
+  std::int64_t max_iterations = 10'000'000;
 };
 
 /// Options of the read-only catalog listings (machines / kernels).

@@ -1,12 +1,20 @@
 #include "cli/serve.hpp"
 
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "cli/kernel_io.hpp"
 #include "engine/engine.hpp"
 #include "engine/serialize.hpp"
 #include "engine/strategy.hpp"
 #include "ir/kernels.hpp"
+#include "runtime/ordered_collector.hpp"
+#include "runtime/task_pool.hpp"
 #include "support/check.hpp"
 #include "support/json.hpp"
 #include "support/strings.hpp"
@@ -93,12 +101,8 @@ agu::AguSpec machine_from_request(const JsonValue& json) {
   return machine;
 }
 
-/// The simulator is O(iterations); a long-lived sequential service
-/// must bound the work one request can demand, or a single huge
-/// iteration count stalls every request queued behind it.
-constexpr std::int64_t kMaxServeIterations = 10'000'000;
-
-engine::Request request_from_json(const JsonValue& json) {
+engine::Request request_from_json(const JsonValue& json,
+                                  std::int64_t max_iterations) {
   engine::Request request;
   request.kernel = kernel_from_request(json);
   request.machine = machine_from_request(json);
@@ -133,96 +137,274 @@ engine::Request request_from_json(const JsonValue& json) {
                   "' (lower, allocate, plan, codegen, simulate, metrics)");
     request.stop_after = *stage;
   }
-  // Cap the *effective* simulated count when the simulate stage will
-  // run: without an override the simulator uses the kernel's own
+  // The simulator is O(iterations); a long-lived service must bound
+  // the work one request can demand (--max-iterations), or a single
+  // huge request stalls everything queued behind it. Cap the
+  // *effective* simulated count when the simulate stage will run:
+  // without an override the simulator uses the kernel's own
   // iterations, which an inline kernel or a workload file controls
   // just as freely as the "iterations" field.
   if (request.stop_after >= engine::Stage::kSimulate) {
     const std::uint64_t effective_iterations = request.iterations.value_or(
         static_cast<std::uint64_t>(request.kernel.iterations()));
     check_arg(effective_iterations <=
-                  static_cast<std::uint64_t>(kMaxServeIterations),
+                  static_cast<std::uint64_t>(max_iterations),
               "iterations: effective count " +
                   std::to_string(effective_iterations) + " exceeds the " +
-                  std::to_string(kMaxServeIterations) +
-                  " per-request serve limit");
+                  std::to_string(max_iterations) +
+                  " per-request serve limit (--max-iterations)");
   }
   return request;
 }
 
-JsonValue stats_response(const engine::CacheStats& stats) {
-  JsonValue json = JsonValue::object();
-  json.set("hits", JsonValue::number(static_cast<std::int64_t>(stats.hits)));
-  json.set("misses",
-           JsonValue::number(static_cast<std::int64_t>(stats.misses)));
-  json.set("entries",
-           JsonValue::number(static_cast<std::int64_t>(stats.entries)));
-  json.set("capacity",
-           JsonValue::number(static_cast<std::int64_t>(stats.capacity)));
-  return json;
+/// What one input line asks for. Control lines (stats, clear_cache)
+/// observe or mutate the whole engine, so the pipeline drains before
+/// they run — that is what keeps their counters deterministic whatever
+/// the --jobs level.
+enum class RequestKind { kPipeline, kStats, kClearCache };
+
+RequestKind classify(const JsonValue& json) {
+  const JsonValue* stats = json.find("stats");
+  if (stats != nullptr && stats->as_bool()) {
+    return RequestKind::kStats;
+  }
+  const JsonValue* clear_cache = json.find("clear_cache");
+  if (clear_cache != nullptr && clear_cache->as_bool()) {
+    return RequestKind::kClearCache;
+  }
+  return RequestKind::kPipeline;
 }
+
+JsonValue error_response(const JsonValue* id, const std::string& message) {
+  JsonValue response = JsonValue::object();
+  if (id != nullptr) {
+    response.set("id", *id);
+  }
+  JsonValue error = JsonValue::object();
+  error.set("stage", JsonValue::string("request"));
+  error.set("message", JsonValue::string(message));
+  response.set("error", std::move(error));
+  return response;
+}
+
+/// Runs one pipeline request end to end (worker-side). Never throws:
+/// every failure is folded into the in-band error member.
+std::string pipeline_response(const JsonValue& request_json,
+                              engine::Engine& engine,
+                              std::int64_t max_iterations) {
+  JsonValue response = JsonValue::object();
+  try {
+    // Echo the id before any validation so clients can correlate even
+    // a rejected request with its response.
+    if (const JsonValue* id = request_json.find("id")) {
+      response.set("id", *id);
+    }
+    check_known_keys(request_json);
+    const engine::Request request =
+        request_from_json(request_json, max_iterations);
+    const engine::Result result = engine.run(request);
+    // Inline the result members so the response carries exactly the
+    // --format=json schema (plus the "id" echo above).
+    const JsonValue result_json = engine::result_to_json(result);
+    for (const JsonValue::Member& member : result_json.members()) {
+      response.set(member.first, member.second);
+    }
+  } catch (const std::exception& e) {
+    return error_response(request_json.find("id"), e.what()).dump();
+  }
+  return response.dump();
+}
+
+/// Handles a stats / clear_cache control line (reader-side, after the
+/// pipeline drained). Never throws.
+std::string control_response(const JsonValue& request_json,
+                             RequestKind kind, engine::Engine& engine) {
+  JsonValue response = JsonValue::object();
+  try {
+    if (const JsonValue* id = request_json.find("id")) {
+      response.set("id", *id);
+    }
+    check_known_keys(request_json);
+    if (kind == RequestKind::kStats) {
+      // A stats probe carries nothing but itself (and an id).
+      for (const JsonValue::Member& member : request_json.members()) {
+        check_arg(member.first == "stats" || member.first == "id",
+                  "stats request cannot carry field '" + member.first +
+                      "'");
+      }
+      response.set("stats",
+                   engine::cache_stats_to_json(engine.cache_stats()));
+    } else {
+      // The control mirror of {"stats": true}: long sessions drop the
+      // result cache in-band instead of restarting the process.
+      for (const JsonValue::Member& member : request_json.members()) {
+        check_arg(member.first == "clear_cache" || member.first == "id",
+                  "clear_cache request cannot carry field '" +
+                      member.first + "'");
+      }
+      const std::size_t dropped = engine.clear_cache();
+      response.set("cleared", JsonValue::boolean(true));
+      response.set("dropped",
+                   JsonValue::number(static_cast<std::int64_t>(dropped)));
+    }
+  } catch (const std::exception& e) {
+    return error_response(request_json.find("id"), e.what()).dump();
+  }
+  return response.dump();
+}
+
+/// Joins a thread on scope exit so that an exception on the reader
+/// path can never leak a running writer (which would std::terminate).
+class JoinGuard {
+ public:
+  explicit JoinGuard(std::thread thread) : thread_(std::move(thread)) {}
+  ~JoinGuard() {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+ private:
+  std::thread thread_;
+};
 
 }  // namespace
 
 int run_serve(std::istream& in, std::ostream& out,
               const ServeOptions& options) {
-  engine::Engine engine(engine::Engine::Options{options.cache_capacity});
+  engine::Engine engine(
+      engine::Engine::Options{options.cache_capacity});
+  const std::size_t jobs = options.jobs < 1 ? 1 : options.jobs;
+  // The in-flight window: requests submitted but not yet written. It
+  // bounds both the task queue and the results parked in the ordered
+  // collector behind a slow request, so memory stays O(jobs) however
+  // fast the client streams lines in.
+  const std::size_t window = 4 * jobs;
+
+  // Declared before the pool so teardown is safe on every path: the
+  // pool's destructor joins its workers (which push into the
+  // collector) before the collector dies.
+  runtime::OrderedCollector<std::string> collector;
+  std::mutex flight_mutex;
+  std::condition_variable flight_freed;
+  std::size_t in_flight = 0;
+
+  runtime::TaskPool pool(jobs, window);
+
+  std::thread writer_thread([&] {
+    // One line per response, flushed immediately and strictly in input
+    // order: callers block on the answer to their last request, not on
+    // a buffer boundary, and never see reordered answers. The catch
+    // keeps a teardown-path pop failure (e.g. a sequence gap after an
+    // aborted session) from terminating the process.
+    try {
+      std::string line;
+      while (collector.pop(line)) {
+        out << line << "\n" << std::flush;
+        {
+          std::lock_guard<std::mutex> lock(flight_mutex);
+          --in_flight;
+        }
+        flight_freed.notify_all();
+      }
+    } catch (const std::exception&) {
+      // The reader's own failure is what gets reported; just exit.
+    }
+  });
+  JoinGuard writer_joiner{std::move(writer_thread)};
+  // close() is idempotent-safe here: normal shutdown below closes the
+  // collector before the guard joins; on an exception the guard would
+  // hang without this second chance, so close on every path.
+  struct CloseGuard {
+    runtime::OrderedCollector<std::string>& collector;
+    ~CloseGuard() { collector.close(); }
+  } collector_closer{collector};
+
+  // A task that failed to push its response (the pool captured the
+  // exception) leaves a permanent gap in the sequence; surfacing it
+  // here turns what would be a silent wedge of writer and window into
+  // a loud process failure. The timed wait is the polling hook.
+  const auto surface_task_failure = [&] {
+    if (pool.failure_count() > 0) {
+      pool.rethrow_first_failure();
+    }
+  };
+  const auto acquire_slot = [&] {
+    std::unique_lock<std::mutex> lock(flight_mutex);
+    while (in_flight >= window) {
+      surface_task_failure();
+      flight_freed.wait_for(lock, std::chrono::milliseconds(50));
+    }
+    ++in_flight;
+  };
+  const auto drain = [&] {
+    std::unique_lock<std::mutex> lock(flight_mutex);
+    while (in_flight != 0) {
+      surface_task_failure();
+      flight_freed.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  };
+
+  std::size_t seq = 0;
   std::string line;
   while (std::getline(in, line)) {
     if (support::trim(line).empty()) {
       continue;
     }
-    JsonValue response = JsonValue::object();
+    // Parse on the reader thread — it is cheap next to the pipeline
+    // and control lines must be told apart before dispatch. A line
+    // that does not even parse is answered directly.
+    JsonValue request_json;
+    RequestKind kind = RequestKind::kPipeline;
+    std::string early_error;
     try {
-      const JsonValue request_json = JsonValue::parse(line);
-      check_arg(request_json.is_object(),
-                "request must be a JSON object");
-      // Echo the id before any validation so clients can correlate
-      // even a rejected request with its response.
-      if (const JsonValue* id = request_json.find("id")) {
-        response.set("id", *id);
-      }
-      check_known_keys(request_json);
-      const JsonValue* stats = request_json.find("stats");
-      const JsonValue* clear_cache = request_json.find("clear_cache");
-      if (stats != nullptr && stats->as_bool()) {
-        // A stats probe carries nothing but itself (and an id).
-        for (const JsonValue::Member& member : request_json.members()) {
-          check_arg(member.first == "stats" || member.first == "id",
-                    "stats request cannot carry field '" + member.first +
-                        "'");
-        }
-        response.set("stats", stats_response(engine.cache_stats()));
-      } else if (clear_cache != nullptr && clear_cache->as_bool()) {
-        // The control mirror of {"stats": true}: long sessions drop the
-        // result cache in-band instead of restarting the process.
-        for (const JsonValue::Member& member : request_json.members()) {
-          check_arg(member.first == "clear_cache" || member.first == "id",
-                    "clear_cache request cannot carry field '" +
-                        member.first + "'");
-        }
-        engine.clear_cache();
-        response.set("cleared", JsonValue::boolean(true));
-      } else {
-        const engine::Request request = request_from_json(request_json);
-        const engine::Result result = engine.run(request);
-        // Inline the result members so the response carries exactly the
-        // --format=json schema (plus the "id" echo above).
-        const JsonValue result_json = engine::result_to_json(result);
-        for (const JsonValue::Member& member : result_json.members()) {
-          response.set(member.first, member.second);
-        }
-      }
+      request_json = JsonValue::parse(line);
+      check_arg(request_json.is_object(), "request must be a JSON object");
+      kind = classify(request_json);
     } catch (const std::exception& e) {
-      JsonValue error = JsonValue::object();
-      error.set("stage", JsonValue::string("request"));
-      error.set("message", JsonValue::string(e.what()));
-      response.set("error", std::move(error));
+      early_error = e.what();
     }
-    // One line per response, flushed immediately: callers block on the
-    // answer to their last request, not on a buffer boundary.
-    out << response.dump() << "\n" << std::flush;
+
+    if (!early_error.empty()) {
+      const JsonValue* id =
+          request_json.is_object() ? request_json.find("id") : nullptr;
+      acquire_slot();
+      collector.push(seq++, error_response(id, early_error).dump());
+      continue;
+    }
+    if (kind != RequestKind::kPipeline) {
+      // Quiesce the pipeline so the probe observes (or clears) a
+      // settled cache: the counters then depend only on the request
+      // sequence, never on worker interleaving.
+      drain();
+      acquire_slot();
+      collector.push(seq++, control_response(request_json, kind, engine));
+      continue;
+    }
+    acquire_slot();
+    const std::size_t my_seq = seq++;
+    pool.submit([&collector, &engine, my_seq, max_iterations =
+                     options.max_iterations,
+                 request = std::move(request_json)] {
+      // my_seq must reach the collector: a skipped index gaps the
+      // sequence. pipeline_response handles std::exception itself;
+      // this guards the truly exceptional rest (bad_alloc in the
+      // error path, ...). Should push *itself* throw, the pool
+      // captures it and the reader's waits rethrow it loudly.
+      std::string response;
+      try {
+        response = pipeline_response(request, engine, max_iterations);
+      } catch (...) {
+        response =
+            "{\"error\":{\"stage\":\"request\","
+            "\"message\":\"internal error building the response\"}}";
+      }
+      collector.push(my_seq, std::move(response));
+    });
   }
+
+  drain();
+  collector.close();
   return 0;
 }
 

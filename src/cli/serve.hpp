@@ -1,10 +1,16 @@
-// `dspaddr serve` — the JSON-lines optimization service loop.
+// `dspaddr serve` — the pipelined JSON-lines optimization service.
 //
 // Reads one JSON request object per input line, answers with one JSON
 // response object per output line (flushed per line), and keeps a
 // single engine::Engine alive for the whole session so repeated
-// requests hit the fingerprint cache. This turns the binary into a
-// long-lived service a frontend can keep a pipe to:
+// requests hit the fingerprint cache. Requests are computed
+// concurrently on `--jobs` runtime::TaskPool workers behind a reader
+// thread, and a runtime::OrderedCollector re-sequences the responses,
+// so output order — and, thanks to the cache's single-flight misses,
+// every byte including `stats` counters — is identical whatever the
+// jobs level. A bounded in-flight window backpressures the reader so
+// one slow request cannot buffer unbounded work. This turns the
+// binary into a long-lived service a frontend can keep a pipe to:
 //
 //   $ printf '%s\n' '{"builtin":"fir","machine":"wide4"}' | dspaddr serve
 //
@@ -20,9 +26,12 @@
 //     "iterations": <n>            simulated iterations
 //     "phase2": "auto"|"exact"|"heuristic", "time_budget_ms": <ms>
 //     "stop_after": "<stage>"      run a pipeline prefix
-//   special:
+//   special (drains the pipeline first, so counters are settled):
 //     {"stats": true}              answers {"stats": {hits, misses,
-//                                  entries, capacity}} instead
+//                                  evictions, entries, capacity,
+//                                  shards: [...]}} instead
+//     {"clear_cache": true}        drops the result cache; answers
+//                                  {"cleared": true, "dropped": <n>}
 //
 // Responses carry the engine::Result schema of engine/serialize.hpp
 // (plus the "id" echo). A malformed request produces

@@ -1,7 +1,7 @@
 #include "engine/engine.hpp"
 
 #include <chrono>
-#include <vector>
+#include <memory>
 
 #include "agu/codegen.hpp"
 #include "agu/metrics.hpp"
@@ -95,8 +95,73 @@ Result Engine::run(const Request& request) {
     return result;
   }
 
+  // The post-lower stage chain, deferred into a closure so a cache hit
+  // skips it entirely and the single-flight leader path below can wrap
+  // it in one place.
+  std::optional<core::Allocation> allocation;
+  const auto run_stages = [&] {
+    if (proceed) {
+      proceed = run_stage(Stage::kAllocate, [&] {
+        const AllocationStrategy* strategy =
+            StrategyRegistry::builtin().allocation(request.strategy);
+        check_arg(strategy != nullptr,
+                  "unknown allocation strategy '" + request.strategy +
+                      "' (" + known_strategy_names() + ")");
+        core::ProblemConfig config;
+        config.modify_range = request.machine.modify_range;
+        config.registers = request.machine.address_registers;
+        config.phase2 = request.phase2;
+        allocation.emplace(strategy->allocate(seq, config));
+        result.stats = allocation->stats();
+        result.k_tilde = result.stats.k_tilde;
+        result.allocation_cost = allocation->cost();
+        result.intra_cost = allocation->intra_cost();
+        result.wrap_cost = allocation->wrap_cost();
+        result.allocation_text = allocation->to_string(seq);
+      });
+    }
+    if (proceed) {
+      proceed = run_stage(Stage::kPlan, [&] {
+        result.plan = core::plan_modify_registers(
+            seq, *allocation, request.machine.modify_registers);
+      });
+    }
+    if (proceed) {
+      proceed = run_stage(Stage::kCodegen, [&] {
+        result.program = agu::generate_code(seq, *allocation, result.plan);
+      });
+    }
+    if (proceed) {
+      proceed = run_stage(Stage::kSimulate, [&] {
+        result.iterations = request.iterations.value_or(
+            static_cast<std::uint64_t>(request.kernel.iterations()));
+        result.sim =
+            agu::Simulator{}.run(result.program, seq, result.iterations);
+        result.verified = agu::verified_against_cost(
+            result.sim, result.iterations, result.plan.residual_cost);
+      });
+    }
+    if (proceed) {
+      run_stage(Stage::kMetrics, [&] {
+        const agu::AddressingComparison comparison =
+            agu::compare_addressing(request.kernel, *allocation);
+        result.baseline_size_words = comparison.baseline.size_words;
+        result.baseline_cycles = comparison.baseline.cycles;
+        result.optimized_size_words = comparison.optimized.size_words;
+        result.optimized_cycles = comparison.optimized.cycles;
+        result.size_reduction_percent = comparison.size_reduction_percent;
+        result.speed_reduction_percent = comparison.speed_reduction_percent;
+      });
+    }
+  };
+
   const std::string key = request_fingerprint(request, seq);
-  if (const std::shared_ptr<const Result> cached = cache_lookup(key)) {
+  // A nullptr return makes this thread the key's single-flight leader:
+  // it must publish (or abort) the key so that threads concurrently
+  // missing the same fingerprint — which block inside lookup_or_begin
+  // instead of recomputing — are woken with the shared payload.
+  if (const std::shared_ptr<const Result> cached =
+          cache_.lookup_or_begin(key)) {
     Result out = *cached;
     // Re-apply this request's decoration: the fingerprint ignores
     // kernel and machine names, so the cached payload may stem from a
@@ -108,121 +173,42 @@ Result Engine::run(const Request& request) {
     return out;
   }
 
-  std::optional<core::Allocation> allocation;
-  if (proceed) {
-    proceed = run_stage(Stage::kAllocate, [&] {
-      const AllocationStrategy* strategy =
-          StrategyRegistry::builtin().allocation(request.strategy);
-      check_arg(strategy != nullptr,
-                "unknown allocation strategy '" + request.strategy +
-                    "' (" + known_strategy_names() + ")");
-      core::ProblemConfig config;
-      config.modify_range = request.machine.modify_range;
-      config.registers = request.machine.address_registers;
-      config.phase2 = request.phase2;
-      allocation.emplace(strategy->allocate(seq, config));
-      result.stats = allocation->stats();
-      result.k_tilde = result.stats.k_tilde;
-      result.allocation_cost = allocation->cost();
-      result.intra_cost = allocation->intra_cost();
-      result.wrap_cost = allocation->wrap_cost();
-      result.allocation_text = allocation->to_string(seq);
-    });
-  }
-  if (proceed) {
-    proceed = run_stage(Stage::kPlan, [&] {
-      result.plan = core::plan_modify_registers(
-          seq, *allocation, request.machine.modify_registers);
-    });
-  }
-  if (proceed) {
-    proceed = run_stage(Stage::kCodegen, [&] {
-      result.program = agu::generate_code(seq, *allocation, result.plan);
-    });
-  }
-  if (proceed) {
-    proceed = run_stage(Stage::kSimulate, [&] {
-      result.iterations = request.iterations.value_or(
-          static_cast<std::uint64_t>(request.kernel.iterations()));
-      result.sim =
-          agu::Simulator{}.run(result.program, seq, result.iterations);
-      result.verified = agu::verified_against_cost(
-          result.sim, result.iterations, result.plan.residual_cost);
-    });
-  }
-  if (proceed) {
-    run_stage(Stage::kMetrics, [&] {
-      const agu::AddressingComparison comparison =
-          agu::compare_addressing(request.kernel, *allocation);
-      result.baseline_size_words = comparison.baseline.size_words;
-      result.baseline_cycles = comparison.baseline.cycles;
-      result.optimized_size_words = comparison.optimized.size_words;
-      result.optimized_cycles = comparison.optimized.cycles;
-      result.size_reduction_percent = comparison.size_reduction_percent;
-      result.speed_reduction_percent = comparison.speed_reduction_percent;
-    });
+  try {
+    run_stages();
+  } catch (...) {
+    // Stage bodies capture their own exceptions; this guards the rare
+    // out-of-stage failure (e.g. bad_alloc) so waiters are not stuck
+    // on a flight that will never resolve.
+    cache_.abort(key);
+    throw;
   }
 
   result.total_ms = ms_since(start);
-  cache_insert(key, result);
+  try {
+    cache_.publish(key, std::make_shared<const Result>(result));
+  } catch (...) {
+    cache_.abort(key);
+    throw;
+  }
   return result;
 }
 
-std::shared_ptr<const Result> Engine::cache_lookup(const std::string& key) {
-  if (options_.cache_capacity == 0) {
-    return nullptr;
-  }
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
-    return nullptr;
-  }
-  lru_.splice(lru_.begin(), lru_, it->second);
-  ++hits_;
-  return lru_.front().second;
-}
-
-void Engine::cache_insert(const std::string& key, const Result& result) {
-  if (options_.cache_capacity == 0) {
-    return;
-  }
-  // The deep copy into the shared payload happens before taking the
-  // lock; so does the deallocation of any evicted entry (kept alive in
-  // `evicted` until after the unlock).
-  auto payload = std::make_shared<const Result>(result);
-  std::vector<std::shared_ptr<const Result>> evicted;
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
-    // Two threads missed the same key concurrently and both computed
-    // the (deterministic, hence equal) result; keep the first entry.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
-  }
-  lru_.emplace_front(key, std::move(payload));
-  index_[key] = lru_.begin();
-  while (lru_.size() > options_.cache_capacity) {
-    evicted.push_back(std::move(lru_.back().second));
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-  }
-}
-
 CacheStats Engine::cache_stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // One shard snapshot backs both the split and the aggregate, so the
+  // totals always equal the sum of the shards even while runs land
+  // concurrently.
   CacheStats stats;
-  stats.hits = hits_;
-  stats.misses = misses_;
-  stats.entries = lru_.size();
-  stats.capacity = options_.cache_capacity;
+  stats.shards = cache_.shard_counters();
+  for (const runtime::CacheCounters& shard : stats.shards) {
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.entries;
+    stats.capacity += shard.capacity;
+  }
   return stats;
 }
 
-void Engine::clear_cache() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  lru_.clear();
-  index_.clear();
-}
+std::size_t Engine::clear_cache() { return cache_.clear(); }
 
 }  // namespace dspaddr::engine

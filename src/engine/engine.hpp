@@ -19,24 +19,24 @@
 //   request.machine = agu::builtin_machine("wide4");
 //   engine::Result result = engine.run(request);
 //
-// The Engine is thread-safe and memoizes results in an LRU cache keyed
-// by a canonical fingerprint of (lowered access sequence, machine
-// resources, options) — see engine/fingerprint.hpp. Repeated kernels
-// across a sweep grid or a serve workload hit the cache; hit/miss
-// counters are exposed for benchmarking. `Request.stop_after` runs a
-// pass-sequence prefix (e.g. allocation-only for sweeps that never
-// simulate).
+// The Engine is thread-safe and memoizes results in a mutex-striped,
+// single-flight LRU cache keyed by a canonical fingerprint of (lowered
+// access sequence, machine resources, options) — see
+// engine/fingerprint.hpp and runtime/sharded_cache.hpp. Repeated
+// kernels across a sweep grid or a serve workload hit the cache, and
+// concurrent duplicates are computed exactly once; per-shard and
+// aggregate hit/miss/eviction counters are exposed for benchmarking.
+// `Request.stop_after` runs a pass-sequence prefix (e.g.
+// allocation-only for sweeps that never simulate).
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <vector>
 
 #include "agu/machines.hpp"
 #include "agu/program.hpp"
@@ -45,6 +45,7 @@
 #include "core/modify_registers.hpp"
 #include "engine/strategy.hpp"
 #include "ir/kernel.hpp"
+#include "runtime/sharded_cache.hpp"
 
 namespace dspaddr::engine {
 
@@ -162,25 +163,39 @@ struct Result {
 };
 
 /// Cache counters, for benchmarking and the serve `stats` request.
+/// Aggregated over the mutex-striped shards; `shards` carries the
+/// per-shard split (runtime::ShardedLruCache).
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
   std::size_t entries = 0;
   std::size_t capacity = 0;
+  std::vector<runtime::CacheCounters> shards;
 };
 
-/// Thread-safe pipeline runner with a fingerprint-keyed LRU result
-/// cache. One Engine is meant to be shared: by all batch workers, by
-/// the whole lifetime of a serve process.
+/// Thread-safe pipeline runner with a fingerprint-keyed result cache.
+/// One Engine is meant to be shared: by all batch workers, by the
+/// whole lifetime of a serve process. The cache is mutex-striped
+/// (runtime::ShardedLruCache), so concurrent lookups of different
+/// fingerprints never serialize on one lock, and single-flight:
+/// concurrent misses on the same fingerprint compute once — the first
+/// thread leads, the rest wait and count as hits, which keeps the
+/// counters deterministic whatever the interleaving.
 class Engine {
 public:
   struct Options {
     /// Maximum cached results; 0 disables caching entirely.
     std::size_t cache_capacity = 256;
+    /// Mutex stripes of the cache (clamped to [1, cache_capacity]).
+    /// More shards, less lock contention; eviction is per-shard LRU.
+    std::size_t cache_shards = 8;
   };
 
-  Engine() = default;
-  explicit Engine(Options options) : options_(options) {}
+  Engine() : Engine(Options{}) {}
+  explicit Engine(Options options)
+      : options_(options),
+        cache_(options.cache_capacity, options.cache_shards) {}
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -191,26 +206,18 @@ public:
   Result run(const Request& request);
 
   CacheStats cache_stats() const;
-  void clear_cache();
+
+  /// Drops every cached result; returns how many entries were dropped.
+  /// Counters keep their lifetime totals.
+  std::size_t clear_cache();
 
 private:
-  /// Entries are shared immutable payloads so that lookups only bump a
-  /// refcount under the mutex; the (potentially large) Result copy for
-  /// the caller happens outside the lock.
-  using Entry = std::pair<std::string, std::shared_ptr<const Result>>;
-
-  /// Returns the cached payload for `key` and promotes it, if present.
-  std::shared_ptr<const Result> cache_lookup(const std::string& key);
-  void cache_insert(const std::string& key, const Result& result);
-
   Options options_;
 
-  mutable std::mutex mutex_;
-  /// Most-recently-used first; the map indexes into the list.
-  std::list<Entry> lru_;
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  /// Entries are shared immutable payloads so that lookups only bump a
+  /// refcount under a shard lock; the (potentially large) Result copy
+  /// for the caller happens outside the lock.
+  runtime::ShardedLruCache<Result> cache_;
 };
 
 }  // namespace dspaddr::engine

@@ -164,6 +164,30 @@ std::string result_to_json_line(const Result& result) {
   return result_to_json(result).dump();
 }
 
+support::JsonValue cache_stats_to_json(const CacheStats& stats) {
+  const auto counters_json = [](std::uint64_t hits, std::uint64_t misses,
+                                std::uint64_t evictions,
+                                std::size_t entries, std::size_t capacity) {
+    JsonValue json = JsonValue::object();
+    json.set("hits", from_u64(hits));
+    json.set("misses", from_u64(misses));
+    json.set("evictions", from_u64(evictions));
+    json.set("entries", from_size(entries));
+    json.set("capacity", from_size(capacity));
+    return json;
+  };
+  JsonValue json = counters_json(stats.hits, stats.misses, stats.evictions,
+                                 stats.entries, stats.capacity);
+  JsonValue shards = JsonValue::array();
+  for (const runtime::CacheCounters& shard : stats.shards) {
+    shards.push_back(counters_json(shard.hits, shard.misses,
+                                   shard.evictions, shard.entries,
+                                   shard.capacity));
+  }
+  json.set("shards", std::move(shards));
+  return json;
+}
+
 ir::Kernel kernel_from_json(const support::JsonValue& json) {
   check_arg(json.is_object(), "kernel: expected a JSON object");
 

@@ -44,6 +44,11 @@ namespace dspaddr::engine {
 /// The result as a JSON object (see the schema above).
 support::JsonValue result_to_json(const Result& result);
 
+/// The cache counters as a JSON object — the serve `{"stats":true}`
+/// response body: aggregate {"hits", "misses", "evictions", "entries",
+/// "capacity"} plus a "shards" array with the same fields per shard.
+support::JsonValue cache_stats_to_json(const CacheStats& stats);
+
 /// Compact one-line rendering of result_to_json (no trailing newline).
 std::string result_to_json_line(const Result& result);
 

@@ -1,10 +1,9 @@
 #include "eval/batch.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "engine/strategy.hpp"
+#include "runtime/task_pool.hpp"
 #include "support/check.hpp"
 #include "support/strings.hpp"
 
@@ -101,17 +100,18 @@ BatchResult run_batch(const BatchConfig& config, engine::Engine& engine) {
   BatchResult result;
   result.rows.resize(tasks.size());
 
-  // Workers claim cells through a shared counter and write each result
-  // into its grid slot; the output order is the grid order whatever the
-  // interleaving. The engine is shared: cells differing only in kernel
-  // or machine *names* (or plain repeats) are answered from its cache.
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= tasks.size()) {
-        return;
-      }
+  // One runtime::TaskPool task per grid cell, each writing its own
+  // pre-sized row slot; the output order is the grid order whatever
+  // the interleaving. The engine is shared: cells differing only in
+  // kernel or machine *names* (or plain repeats) are answered from its
+  // cache, and concurrent duplicates coalesce into one computation
+  // (single-flight). The bounded queue keeps the submission loop from
+  // materializing closures for the whole grid at once.
+  const std::size_t workers = std::min<std::size_t>(
+      config.jobs, std::max<std::size_t>(tasks.size(), 1));
+  runtime::TaskPool pool(workers, 2 * workers);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    pool.submit([&engine, &result, &tasks, i] {
       engine::Request request;
       request.kernel = *tasks[i].kernel;
       request.machine = tasks[i].machine;
@@ -119,23 +119,12 @@ BatchResult run_batch(const BatchConfig& config, engine::Engine& engine) {
       request.strategy = tasks[i].strategy;
       request.phase2 = tasks[i].phase2;
       result.rows[i] = row_from_result(engine.run(request));
-    }
-  };
-
-  const std::size_t thread_count =
-      std::min<std::size_t>(config.jobs, std::max<std::size_t>(tasks.size(), 1));
-  if (thread_count <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(thread_count);
-    for (std::size_t t = 0; t < thread_count; ++t) {
-      threads.emplace_back(worker);
-    }
-    for (std::thread& thread : threads) {
-      thread.join();
-    }
+    });
   }
+  pool.wait_idle();
+  // engine::Engine::run reports per-request failures in-band, so a
+  // pool-level failure is a programming error worth surfacing loudly.
+  pool.rethrow_first_failure();
 
   for (const BatchRow& row : result.rows) {
     if (!row.error.empty()) {

@@ -2,11 +2,12 @@
 //
 // Fans engine::Engine::run out over the cross product
 // kernels x machines x register counts x modify ranges x layouts x
-// allocation strategies on a small thread pool. All workers share one Engine, so kernels repeated
-// across the machine grid hit the fingerprint cache. Rows are stored
-// in grid order regardless of thread scheduling, so the rendered CSV
-// is byte-identical across --jobs values — the property that makes
-// sweep outputs diffable across runs and machines.
+// allocation strategies on the shared runtime::TaskPool. All workers
+// share one Engine, so kernels repeated across the machine grid hit
+// the fingerprint cache. Rows are stored in grid order regardless of
+// thread scheduling, so the rendered CSV is byte-identical across
+// --jobs values — the property that makes sweep outputs diffable
+// across runs and machines.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,87 @@
+// runtime::OrderedCollector<T> — re-sequences out-of-order completions
+// back into submission order.
+//
+// Producers (typically TaskPool workers) push (sequence index, value)
+// pairs in whatever order they finish; one consumer pops values
+// strictly in index order 0, 1, 2, ... — the piece that lets a
+// pipelined service answer concurrently computed requests in exactly
+// the order they arrived, byte for byte.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace dspaddr::runtime {
+
+/// One consumer, any number of producers. Indices must be dense and
+/// unique: every index in [0, max pushed] is pushed exactly once, or
+/// the consumer would wait forever on the gap — closing with a gap
+/// still pending trips an invariant check instead of deadlocking.
+template <typename T>
+class OrderedCollector {
+ public:
+  /// Hands index `seq`'s value over; values ahead of their turn wait
+  /// inside the collector. Rejects indices already consumed or pushed,
+  /// and pushes after close().
+  void push(std::size_t seq, T value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    check_arg(!closed_, "OrderedCollector: push after close");
+    check_arg(seq >= next_, "OrderedCollector: index pushed twice");
+    const bool inserted = pending_.emplace(seq, std::move(value)).second;
+    check_arg(inserted, "OrderedCollector: index pushed twice");
+    if (seq == next_) {
+      ready_.notify_one();
+    }
+  }
+
+  /// Blocks until the next value in sequence is available (true) or
+  /// the collector is closed and drained (false).
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (!pending_.empty() && pending_.begin()->first == next_) {
+        out = std::move(pending_.begin()->second);
+        pending_.erase(pending_.begin());
+        ++next_;
+        return true;
+      }
+      if (closed_) {
+        check_invariant(pending_.empty(),
+                        "OrderedCollector: closed with a sequence gap");
+        return false;
+      }
+      ready_.wait(lock);
+    }
+  }
+
+  /// Declares the sequence complete: no further push() will come, and
+  /// pop() returns false once everything pushed has been consumed.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    ready_.notify_all();
+  }
+
+  /// The index the consumer will pop next (everything below it has
+  /// been handed out) — a progress probe for tests and diagnostics.
+  std::size_t next_index() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return next_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  /// Completed values waiting for their turn, keyed by index; the map
+  /// keeps them sorted so the head is always the candidate for next_.
+  std::map<std::size_t, T> pending_;
+  std::size_t next_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dspaddr::runtime

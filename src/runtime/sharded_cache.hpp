@@ -1,0 +1,215 @@
+// runtime::ShardedLruCache — a mutex-striped, single-flight LRU cache.
+//
+// The key space is partitioned over N independent shards
+// (hash(key) mod N), each with its own mutex, LRU list and counters,
+// so concurrent lookups of different keys never contend on one global
+// lock — the scaling fix for many workers sharing one engine::Engine.
+// Total capacity is split across the shards (eviction is therefore
+// per-shard LRU, not global LRU); counters aggregate across shards and
+// are also exposed per shard.
+//
+// Lookups are single-flight: the first thread to miss a key becomes
+// its leader (lookup_or_begin returns nullptr) and must publish() or
+// abort() that key; a thread missing the same key meanwhile blocks
+// until the leader resolves it, then counts as a hit. Duplicate work
+// is never computed twice, and the hit/miss counters depend only on
+// the key sequence, not on thread interleaving — the property that
+// keeps serve `{"stats":true}` probes byte-identical across --jobs
+// levels (given the working set fits the capacity, so nothing is
+// evicted and re-missed).
+//
+// A capacity of 0 disables the cache entirely: every lookup_or_begin
+// returns nullptr without registering a flight or counting, and
+// publish()/abort() are no-ops.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace dspaddr::runtime {
+
+/// Counters of one shard (or, summed, of the whole cache).
+struct CacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t capacity = 0;
+};
+
+template <typename Value>
+class ShardedLruCache {
+ public:
+  /// `capacity` entries total (0 disables caching) spread over up to
+  /// `shards` stripes. The shard count is clamped to [1, capacity] so
+  /// no shard ever has capacity zero.
+  ShardedLruCache(std::size_t capacity, std::size_t shards)
+      : capacity_(capacity) {
+    std::size_t count = shards < 1 ? 1 : shards;
+    if (capacity != 0 && count > capacity) {
+      count = capacity;
+    }
+    shards_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+      // Distribute the capacity as evenly as integers allow; the first
+      // capacity % count shards carry one extra entry.
+      shards_.back()->capacity =
+          capacity / count + (i < capacity % count ? 1 : 0);
+    }
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Returns the cached payload (a hit, promoting the entry), or
+  /// nullptr, which makes the caller the key's leader: it MUST later
+  /// publish() or abort() the same key. Blocks while another thread
+  /// leads the same key; waiters resume with the published payload and
+  /// count as hits (or take over leadership after an abort()).
+  std::shared_ptr<const Value> lookup_or_begin(const std::string& key) {
+    if (capacity_ == 0) {
+      return nullptr;
+    }
+    Shard& shard = shard_for(key);
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    for (;;) {
+      const auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        ++shard.hits;
+        return shard.lru.front().second;
+      }
+      if (shard.flights.insert(key).second) {
+        ++shard.misses;
+        return nullptr;
+      }
+      shard.resolved.wait(lock);
+    }
+  }
+
+  /// Resolves the caller's flight on `key` with `value`: inserts it
+  /// (evicting per-shard LRU overflow) and wakes the key's waiters.
+  void publish(const std::string& key, std::shared_ptr<const Value> value) {
+    if (capacity_ == 0) {
+      return;
+    }
+    Shard& shard = shard_for(key);
+    // Evicted payloads die after the unlock, not under the lock.
+    std::vector<std::shared_ptr<const Value>> evicted;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.flights.erase(key);
+      if (shard.index.find(key) == shard.index.end()) {
+        shard.lru.emplace_front(key, std::move(value));
+        shard.index[key] = shard.lru.begin();
+        while (shard.lru.size() > shard.capacity) {
+          evicted.push_back(std::move(shard.lru.back().second));
+          shard.index.erase(shard.lru.back().first);
+          shard.lru.pop_back();
+          ++shard.evictions;
+        }
+      }
+      shard.resolved.notify_all();
+    }
+  }
+
+  /// Resolves the caller's flight on `key` without a value (the
+  /// computation failed): one of the waiters takes over as leader.
+  void abort(const std::string& key) {
+    if (capacity_ == 0) {
+      return;
+    }
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.flights.erase(key);
+    shard.resolved.notify_all();
+  }
+
+  /// Drops every cached entry (in-progress flights are unaffected);
+  /// returns how many entries were dropped. Counters keep their
+  /// lifetime totals.
+  std::size_t clear() {
+    std::size_t dropped = 0;
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      std::list<Entry> stale;  // payloads die after the unlock
+      {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        dropped += shard->lru.size();
+        shard->index.clear();
+        stale.splice(stale.begin(), shard->lru);
+      }
+    }
+    return dropped;
+  }
+
+  /// Counters summed over all shards; `capacity` is the total.
+  CacheCounters totals() const {
+    CacheCounters sum;
+    for (const CacheCounters& shard : shard_counters()) {
+      sum.hits += shard.hits;
+      sum.misses += shard.misses;
+      sum.evictions += shard.evictions;
+      sum.entries += shard.entries;
+      sum.capacity += shard.capacity;
+    }
+    return sum;
+  }
+
+  /// One counter block per shard, in shard order.
+  std::vector<CacheCounters> shard_counters() const {
+    std::vector<CacheCounters> counters;
+    counters.reserve(shards_.size());
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      CacheCounters c;
+      c.hits = shard->hits;
+      c.misses = shard->misses;
+      c.evictions = shard->evictions;
+      c.entries = shard->lru.size();
+      c.capacity = shard->capacity;
+      counters.push_back(c);
+    }
+    return counters;
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const Value>>;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::condition_variable resolved;
+    /// Most-recently-used first; the map indexes into the list.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, typename std::list<Entry>::iterator>
+        index;
+    /// Keys currently being computed by a leader.
+    std::unordered_set<std::string> flights;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t capacity = 0;
+  };
+
+  Shard& shard_for(const std::string& key) {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace dspaddr::runtime

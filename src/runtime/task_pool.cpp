@@ -1,0 +1,103 @@
+#include "runtime/task_pool.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace dspaddr::runtime {
+
+TaskPool::TaskPool(std::size_t workers, std::size_t queue_capacity)
+    : queue_capacity_(queue_capacity) {
+  check_arg(workers >= 1, "TaskPool: needs at least one worker");
+  check_arg(queue_capacity >= 1, "TaskPool: needs a nonzero queue");
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() { shutdown(); }
+
+void TaskPool::submit(std::function<void()> task) {
+  check_arg(task != nullptr, "TaskPool: cannot submit an empty task");
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_ready_.wait(lock, [this] {
+    return stopping_ || queue_.size() < queue_capacity_;
+  });
+  check_arg(!stopping_, "TaskPool: submit after shutdown");
+  queue_.push_back(std::move(task));
+  task_ready_.notify_one();
+}
+
+void TaskPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void TaskPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  space_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+std::size_t TaskPool::failure_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failures_.size();
+}
+
+void TaskPool::rethrow_first_failure() {
+  std::exception_ptr first;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!failures_.empty()) {
+      first = failures_.front();
+    }
+  }
+  if (first) {
+    std::rethrow_exception(first);
+  }
+}
+
+void TaskPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and fully drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+      space_ready_.notify_one();
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      failures_.push_back(std::current_exception());
+    }
+    // Release the closure's captures before reporting idle: a caller
+    // returning from wait_idle() must not race task destructors.
+    task = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace dspaddr::runtime

@@ -1,0 +1,79 @@
+// runtime::TaskPool — the one worker pool every concurrent surface of
+// the project shares: the batch grid runner fans its cells over it and
+// the pipelined `dspaddr serve` loop runs its requests on it, so
+// threading exists once, below every consumer, instead of as one-off
+// loops per driver.
+//
+// A fixed set of worker threads drains a bounded FIFO queue. submit()
+// blocks while the queue is full — backpressure, so a fast producer
+// (e.g. the serve reader thread) can never buffer unbounded work
+// behind a slow consumer. An exception a task throws is captured per
+// task (a throwing task never takes a worker thread down); the pool
+// records every captured failure and rethrow_first_failure() surfaces
+// the earliest one to the caller after a drain. Shutdown is
+// deterministic: shutdown() (and the destructor) finishes every
+// already-accepted task before joining — accepted work is never
+// dropped, and submitting after shutdown fails loudly.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dspaddr::runtime {
+
+class TaskPool {
+ public:
+  /// Starts `workers` threads (>= 1) over a queue holding at most
+  /// `queue_capacity` pending tasks (>= 1).
+  TaskPool(std::size_t workers, std::size_t queue_capacity);
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// shutdown(): drains the queue, then joins.
+  ~TaskPool();
+
+  /// Enqueues `task`, blocking while the queue is at capacity. Throws
+  /// InvalidArgument once the pool is shut down — a closed pool never
+  /// quietly drops work.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running. Other
+  /// threads may keep submitting; "idle" is an instant, not a state.
+  void wait_idle();
+
+  /// Finishes every accepted task, then joins the workers. Idempotent.
+  void shutdown();
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// How many tasks have thrown so far.
+  std::size_t failure_count() const;
+
+  /// Rethrows the earliest captured task exception (completion order),
+  /// if any. The failure list is kept, so repeated calls rethrow the
+  /// same exception.
+  void rethrow_first_failure();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable task_ready_;   // a task was queued / stopping
+  std::condition_variable space_ready_;  // a queue slot was freed
+  std::condition_variable idle_;         // queue empty, nothing running
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::exception_ptr> failures_;
+  std::size_t queue_capacity_;
+  std::size_t running_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dspaddr::runtime

@@ -195,8 +195,32 @@ TEST(CliOptions, ServeFlags) {
             0u);
   EXPECT_EQ(cli::parse_serve_options({"--cache-capacity=9"}).cache_capacity,
             9u);
+  EXPECT_EQ(cli::parse_serve_options({"--jobs", "8"}).jobs, 8u);
+  EXPECT_EQ(cli::parse_serve_options({"--max-iterations=500"})
+                .max_iterations,
+            500);
+  EXPECT_EQ(cli::parse_serve_options({}).max_iterations, 10'000'000);
   EXPECT_THROW(cli::parse_serve_options({"--bogus"}), cli::UsageError);
   EXPECT_THROW(cli::parse_serve_options({"--cache-capacity", "x"}),
+               cli::UsageError);
+  EXPECT_THROW(cli::parse_serve_options({"--jobs", "0"}), cli::UsageError);
+  EXPECT_THROW(cli::parse_serve_options({"--max-iterations", "0"}),
+               cli::UsageError);
+}
+
+TEST(CliOptions, JobsDefaultAndValidationAreSharedAcrossCommands) {
+  // One helper backs --jobs on batch and serve: same default (the
+  // hardware concurrency, at least 1) and the same rejections.
+  EXPECT_GE(cli::default_jobs(), 1u);
+  EXPECT_EQ(cli::parse_batch_options({"--builtin", "fir"}).jobs,
+            cli::default_jobs());
+  EXPECT_EQ(cli::parse_serve_options({}).jobs, cli::default_jobs());
+  EXPECT_THROW(cli::parse_batch_options(
+                   {"--builtin", "fir", "--jobs", "nope"}),
+               cli::UsageError);
+  EXPECT_THROW(cli::parse_serve_options({"--jobs", "nope"}),
+               cli::UsageError);
+  EXPECT_THROW(cli::parse_serve_options({"--jobs", "-2"}),
                cli::UsageError);
 }
 

@@ -2,8 +2,10 @@
 // byte-identical parity with the pre-refactor pipeline output.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -177,7 +179,9 @@ TEST(EngineCache, CapacityZeroDisablesCaching) {
 }
 
 TEST(EngineCache, LruEvictsTheColdestEntry) {
-  engine::Engine engine(engine::Engine::Options{2});
+  // Pinned to one shard: LRU order is a per-shard property of the
+  // striped cache, so only a single stripe makes "coldest" global.
+  engine::Engine engine(engine::Engine::Options{2, 1});
   engine::Request biquad = fir_request();
   biquad.kernel = ir::builtin_kernel("biquad");
   engine::Request matmul = fir_request();
@@ -192,12 +196,85 @@ TEST(EngineCache, LruEvictsTheColdestEntry) {
   EXPECT_FALSE(engine.run(biquad).cache_hit);
 }
 
-TEST(EngineCache, ClearCacheForgetsResults) {
+TEST(EngineCache, ClearCacheForgetsResultsAndReportsTheDropCount) {
   engine::Engine engine;
   engine.run(fir_request());
-  engine.clear_cache();
+  engine::Request biquad = fir_request();
+  biquad.kernel = ir::builtin_kernel("biquad");
+  engine.run(biquad);
+  EXPECT_EQ(engine.clear_cache(), 2u);
   EXPECT_EQ(engine.cache_stats().entries, 0u);
   EXPECT_FALSE(engine.run(fir_request()).cache_hit);
+  EXPECT_EQ(engine.clear_cache(), 1u);
+}
+
+TEST(EngineCache, StatsAggregateTheShardSplit) {
+  engine::Engine engine(engine::Engine::Options{8, 4});
+  for (const char* name : {"fir", "biquad", "matmul", "dotprod"}) {
+    engine::Request request = fir_request();
+    request.kernel = ir::builtin_kernel(name);
+    engine.run(request);
+    engine.run(request);
+  }
+  const engine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.entries, 4u);
+  EXPECT_EQ(stats.capacity, 8u);
+  EXPECT_EQ(stats.evictions, 0u);
+  ASSERT_EQ(stats.shards.size(), 4u);
+  runtime::CacheCounters sum;
+  for (const runtime::CacheCounters& shard : stats.shards) {
+    sum.hits += shard.hits;
+    sum.misses += shard.misses;
+    sum.evictions += shard.evictions;
+    sum.entries += shard.entries;
+    sum.capacity += shard.capacity;
+  }
+  EXPECT_EQ(sum.hits, stats.hits);
+  EXPECT_EQ(sum.misses, stats.misses);
+  EXPECT_EQ(sum.entries, stats.entries);
+  EXPECT_EQ(sum.capacity, stats.capacity);
+}
+
+TEST(EngineCache, EvictionsAreCounted) {
+  // Capacity 1, one shard: every new fingerprint evicts the previous.
+  engine::Engine engine(engine::Engine::Options{1, 1});
+  for (const char* name : {"fir", "biquad", "matmul"}) {
+    engine::Request request = fir_request();
+    request.kernel = ir::builtin_kernel(name);
+    engine.run(request);
+  }
+  const engine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(EngineCache, ConcurrentDuplicateMissesComputeOnce) {
+  // Eight threads race the same cold request: single-flight, so
+  // exactly one computes (one miss), the rest are answered as hits —
+  // whatever the interleaving. That determinism is what lets serve
+  // report byte-identical stats at every --jobs level.
+  engine::Engine engine;
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::string> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      seen[t] = engine::result_to_json_line(engine.run(fir_request()));
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]);
+  }
+  const engine::CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, kThreads - 1);
+  EXPECT_EQ(stats.entries, 1u);
 }
 
 TEST(EngineCache, DeterministicUnderConcurrentRuns) {
@@ -266,17 +343,22 @@ TEST(EngineCache, WarmHitsAreFarFasterThanColdRuns) {
           .count();
   ASSERT_FALSE(cold.cache_hit);
 
+  // The *minimum* warm time is the robust statistic here: a mean is
+  // inflated arbitrarily when the test is descheduled mid-loop on a
+  // loaded runner, and it only takes one clean hit to prove the cache
+  // path is an order of magnitude cheaper than recomputing.
   constexpr int kWarmRuns = 200;
-  const auto warm_start = Clock::now();
+  double warm_ms = std::numeric_limits<double>::infinity();
   for (int i = 0; i < kWarmRuns; ++i) {
+    const auto warm_start = Clock::now();
     ASSERT_TRUE(engine.run(request).cache_hit);
+    warm_ms = std::min(
+        warm_ms, std::chrono::duration<double, std::milli>(Clock::now() -
+                                                           warm_start)
+                     .count());
   }
-  const double warm_ms =
-      std::chrono::duration<double, std::milli>(Clock::now() - warm_start)
-          .count() /
-      kWarmRuns;
   EXPECT_GT(cold_ms, 5.0 * warm_ms)
-      << "cold " << cold_ms << " ms vs warm " << warm_ms << " ms";
+      << "cold " << cold_ms << " ms vs warm (min) " << warm_ms << " ms";
 }
 
 // ---------------------------------------------------------------- parity

@@ -2,7 +2,10 @@
 // and resilience to malformed requests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "cli/serve.hpp"
@@ -111,6 +114,8 @@ TEST(Serve, ClearCacheControlLineBoundsTheSession) {
   const JsonValue cleared = JsonValue::parse(lines[2]);
   EXPECT_EQ(cleared.find("id")->as_int(), 3);
   EXPECT_TRUE(cleared.find("cleared")->as_bool());
+  // The drop count says how much the control line actually freed.
+  EXPECT_EQ(cleared.find("dropped")->as_int(), 1);
   const JsonValue after = JsonValue::parse(lines[3]);
   EXPECT_EQ(after.find("stats")->find("entries")->as_int(), 0);
   // The rerun recomputes (a miss, not a hit) and answers identically
@@ -231,6 +236,101 @@ TEST(Serve, StatsProbeCarriesNothingElse) {
   EXPECT_EQ(clean.find("error"), nullptr);
   EXPECT_NE(clean.find("stats"), nullptr);
   EXPECT_EQ(clean.find("id")->as_int(), 3);
+}
+
+TEST(Serve, StatsProbeReportsEvictionsEntriesCapacityAndShards) {
+  cli::ServeOptions options;
+  // Sequential on purpose: with capacity 1, concurrent workers could
+  // legitimately coalesce the repeated fir onto its first flight
+  // before biquad evicts it — eviction counters are only
+  // request-order-deterministic when nothing races the eviction.
+  options.jobs = 1;
+  options.cache_capacity = 1;  // one shard, so every new kernel evicts
+  const std::vector<std::string> lines = serve_lines(
+      "{\"builtin\":\"fir\"}\n"
+      "{\"builtin\":\"biquad\"}\n"
+      "{\"builtin\":\"fir\"}\n"
+      "{\"stats\":true}\n",
+      options);
+  ASSERT_EQ(lines.size(), 4u);
+  const JsonValue response = JsonValue::parse(lines[3]);
+  const JsonValue* stats = response.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->find("hits")->as_int(), 0);
+  EXPECT_EQ(stats->find("misses")->as_int(), 3);
+  EXPECT_EQ(stats->find("evictions")->as_int(), 2);
+  EXPECT_EQ(stats->find("entries")->as_int(), 1);
+  EXPECT_EQ(stats->find("capacity")->as_int(), 1);
+  ASSERT_NE(stats->find("shards"), nullptr);
+  ASSERT_EQ(stats->find("shards")->items().size(), 1u);
+  EXPECT_EQ(stats->find("shards")->items()[0].find("evictions")->as_int(),
+            2);
+}
+
+TEST(Serve, MaxIterationsOptionTightensThePerRequestCap) {
+  cli::ServeOptions options;
+  options.max_iterations = 10;
+  const std::vector<std::string> lines = serve_lines(
+      "{\"id\":1,\"builtin\":\"fir\"}\n"
+      "{\"id\":2,\"builtin\":\"fir\",\"iterations\":10,"
+      "\"stop_after\":\"simulate\"}\n",
+      options);
+  ASSERT_EQ(lines.size(), 2u);
+  // fir's own iteration count (16) now exceeds the cap: rejected
+  // in-band; an explicit override at the cap passes.
+  const JsonValue rejected = JsonValue::parse(lines[0]);
+  ASSERT_NE(rejected.find("error"), nullptr);
+  EXPECT_EQ(rejected.find("error")->find("stage")->as_string(), "request");
+  EXPECT_NE(
+      rejected.find("error")->find("message")->as_string().find(
+          "--max-iterations"),
+      std::string::npos);
+  EXPECT_EQ(JsonValue::parse(lines[1]).find("error"), nullptr) << lines[1];
+}
+
+TEST(Serve, JobsLevelsAnswerAShuffledWorkloadByteIdentically) {
+  // 200 requests — duplicates, pipeline prefixes, in-band errors and
+  // interspersed stats probes — shuffled with a fixed seed, served at
+  // --jobs 1 and --jobs 8: every output line must match, including the
+  // cache counters (single-flight misses + pipeline draining before
+  // control lines make them interleaving-independent).
+  std::vector<std::string> pool;
+  for (const char* kernel : {"fir", "biquad", "matmul", "dotprod"}) {
+    for (const int registers : {1, 2, 4}) {
+      for (const char* stop : {"allocate", "plan"}) {
+        pool.push_back(std::string("{\"builtin\":\"") + kernel +
+                       "\",\"registers\":" + std::to_string(registers) +
+                       ",\"stop_after\":\"" + stop + "\"}");
+      }
+    }
+  }
+  pool.push_back("{\"builtin\":\"nope\"}");       // in-band error
+  pool.push_back("{\"registers\":2}");            // no kernel source
+  std::vector<std::string> requests;
+  for (std::size_t i = 0; requests.size() < 200; ++i) {
+    requests.push_back(pool[i % pool.size()]);
+  }
+  std::mt19937 rng(20260729);
+  std::shuffle(requests.begin(), requests.end(), rng);
+  std::string input;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    input += requests[i] + "\n";
+    if ((i + 1) % 50 == 0) {
+      input += "{\"stats\":true}\n";
+    }
+  }
+
+  cli::ServeOptions serial;
+  serial.jobs = 1;
+  cli::ServeOptions parallel;
+  parallel.jobs = 8;
+  const std::vector<std::string> expected = serve_lines(input, serial);
+  const std::vector<std::string> actual = serve_lines(input, parallel);
+  ASSERT_EQ(expected.size(), 204u);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "line " << i;
+  }
 }
 
 TEST(Serve, CacheCapacityZeroDisablesHits) {
