@@ -53,9 +53,10 @@ void print_machine_table() {
                "models (simulator-verified: "
             << (all_verified ? "all" : "FAILURES PRESENT") << ")\n\n";
   for (const agu::AguSpec& machine : machines) {
-    std::cout << "  " << machine.name << ": K=" << machine.address_registers
-              << ", MRs=" << machine.modify_registers
-              << ", M=" << machine.modify_range << " — "
+    std::cout << "  " << machine.name
+              << ": K=" << machine.address_registers()
+              << ", MRs=" << machine.modify_registers()
+              << ", M=" << machine.modify_range() << " — "
               << machine.description << '\n';
   }
   std::cout << '\n';

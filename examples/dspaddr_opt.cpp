@@ -98,9 +98,9 @@ CliOptions parse_cli(int argc, char** argv) {
           static_cast<std::size_t>(std::stoll(next_value(i)));
     } else if (arg == "--machine") {
       const agu::AguSpec machine = agu::builtin_machine(next_value(i));
-      options.registers = machine.address_registers;
-      options.modify_range = machine.modify_range;
-      options.modify_registers = machine.modify_registers;
+      options.registers = machine.address_registers();
+      options.modify_range = machine.modify_range();
+      options.modify_registers = machine.modify_registers();
     } else if (arg == "--unroll") {
       options.unroll_factor =
           static_cast<std::size_t>(std::stoll(next_value(i)));
@@ -134,9 +134,9 @@ int main(int argc, char** argv) {
     engine::Request request;
     request.kernel = kernel;
     request.machine.name = "cli";
-    request.machine.address_registers = options.registers;
-    request.machine.modify_range = options.modify_range;
-    request.machine.modify_registers = options.modify_registers;
+    request.machine.set_address_registers(options.registers);
+    request.machine.set_modify_range(options.modify_range);
+    request.machine.set_modify_registers(options.modify_registers);
     // The fixed pass sequence simulates before computing metrics; when
     // the user did not ask for a simulation, one iteration keeps that
     // stage O(1) instead of O(kernel iterations).

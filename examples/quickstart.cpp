@@ -47,9 +47,9 @@ int main() {
   engine::Request request;
   request.kernel = kernel;
   request.machine.name = "example2";
-  request.machine.address_registers = 2;
-  request.machine.modify_registers = 0;
-  request.machine.modify_range = 1;
+  request.machine.set_address_registers(2);
+  request.machine.set_modify_registers(0);
+  request.machine.set_modify_range(1);
   request.iterations = 100;
 
   const engine::Result result = engine.run(request);

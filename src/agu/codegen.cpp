@@ -1,7 +1,5 @@
 #include "agu/codegen.hpp"
 
-#include <cstdlib>
-
 #include "support/check.hpp"
 
 namespace dspaddr::agu {
@@ -12,9 +10,10 @@ namespace {
 /// holds it (empty for the plain variant).
 Program generate_impl(
     const ir::AccessSequence& seq, const core::Allocation& allocation,
-    const std::vector<std::int64_t>& mr_values) {
+    const std::vector<std::int64_t>& mr_values, Addressing addressing) {
   const core::CostModel& model = allocation.model();
   const auto& paths = allocation.paths();
+  const bool pre = addressing == Addressing::kPreModify;
 
   const auto mr_holding = [&mr_values](std::int64_t distance) {
     for (std::size_t m = 0; m < mr_values.size(); ++m) {
@@ -26,14 +25,26 @@ Program generate_impl(
   Program program;
   program.register_count = paths.size();
   program.modify_register_count = mr_values.size();
+  program.addressing = addressing;
 
   // Setup: point every register at its path's first access
-  // (iteration 0) and load the planned modify registers.
+  // (iteration 0) and load the planned modify registers. Pre-modify
+  // machines apply the wrap modify *before* the first access of every
+  // iteration — including iteration 0 — so their setup value
+  // compensates by the wrap distance (when one exists; otherwise a
+  // RELOAD precedes the first USE and overwrites the register anyway).
   for (std::size_t r = 0; r < paths.size(); ++r) {
+    const core::Path& path = paths[r];
+    std::int64_t value = seq[path.first()].offset;
+    if (pre) {
+      const auto wrap =
+          seq.wrap_distance(path[path.size() - 1], path.first());
+      if (wrap.has_value()) value -= *wrap;
+    }
     program.setup.push_back(Instruction{
         .op = Opcode::kLdar,
         .reg = r,
-        .value = seq[paths[r].first()].offset,
+        .value = value,
     });
   }
   for (std::size_t m = 0; m < mr_values.size(); ++m) {
@@ -52,39 +63,54 @@ Program generate_impl(
     check_invariant(pos < path.size() && path[pos] == i,
                     "generate_code: allocation out of sync with sequence");
 
-    const bool is_last_in_path = (pos + 1 == path.size());
-    const std::size_t next_access = is_last_in_path ? path.first()
-                                                    : path[pos + 1];
-    const auto distance = is_last_in_path
-                              ? seq.wrap_distance(i, next_access)
-                              : seq.intra_distance(i, next_access);
+    // The transition this USE realizes: outgoing (towards the next
+    // access) under post-modify, incoming (from the previous access)
+    // under pre-modify. Both walks charge every path edge plus the
+    // wrap edge exactly once per iteration, so the extra-instruction
+    // count matches the analytic cost either way.
+    const bool at_edge = pre ? (pos == 0) : (pos + 1 == path.size());
+    const std::size_t partner =
+        pre ? (at_edge ? path[path.size() - 1] : path[pos - 1])
+            : (at_edge ? path.first() : path[pos + 1]);
+    const auto distance =
+        pre ? (at_edge ? seq.wrap_distance(partner, i)
+                       : seq.intra_distance(partner, i))
+            : (at_edge ? seq.wrap_distance(i, partner)
+                       : seq.intra_distance(i, partner));
 
     Instruction use{.op = Opcode::kUse, .reg = r, .value = 0, .access = i};
-    if (distance.has_value() &&
-        std::llabs(*distance) <= model.modify_range) {
-      // Free post-modify straight to the next use.
+    if (distance.has_value() && model.free_distance(*distance)) {
+      // Free modify straight along the transition.
       use.value = *distance;
       program.body.push_back(use);
     } else if (distance.has_value() && mr_holding(*distance) >= 0) {
       // A planned modify register holds exactly this distance: the
-      // post-modify rides through it for free.
+      // modify rides through it for free.
       use.mr = mr_holding(*distance);
       program.body.push_back(use);
     } else if (distance.has_value()) {
-      // Same stride but beyond the modify range: USE then one ADAR.
+      // Same stride but outside the free window: one ADAR. It follows
+      // the USE under post-modify and precedes it under pre-modify
+      // (the register must be correct before the access).
+      const Instruction adar{
+          .op = Opcode::kAdar, .reg = r, .value = *distance};
+      if (pre) program.body.push_back(adar);
       program.body.push_back(use);
-      program.body.push_back(Instruction{
-          .op = Opcode::kAdar, .reg = r, .value = *distance});
+      if (!pre) program.body.push_back(adar);
     } else {
-      // Different strides: no constant modify exists; recompute.
-      program.body.push_back(use);
-      program.body.push_back(Instruction{
+      // Different strides: no constant modify exists; recompute. Under
+      // pre-modify the RELOAD targets this access in the *current*
+      // iteration and precedes its USE.
+      const Instruction reload{
           .op = Opcode::kReload,
           .reg = r,
           .value = 0,
-          .access = next_access,
-          .next_iteration = is_last_in_path,
-      });
+          .access = pre ? i : partner,
+          .next_iteration = pre ? false : at_edge,
+      };
+      if (pre) program.body.push_back(reload);
+      program.body.push_back(use);
+      if (!pre) program.body.push_back(reload);
     }
     ++pos;
   }
@@ -94,19 +120,21 @@ Program generate_impl(
 }  // namespace
 
 Program generate_code(const ir::AccessSequence& seq,
-                      const core::Allocation& allocation) {
-  return generate_impl(seq, allocation, {});
+                      const core::Allocation& allocation,
+                      Addressing addressing) {
+  return generate_impl(seq, allocation, {}, addressing);
 }
 
 Program generate_code(const ir::AccessSequence& seq,
                       const core::Allocation& allocation,
-                      const core::ModifyRegisterPlan& plan) {
+                      const core::ModifyRegisterPlan& plan,
+                      Addressing addressing) {
   std::vector<std::int64_t> values;
   values.reserve(plan.values.size());
   for (const core::ModifyRegister& mr : plan.values) {
     values.push_back(mr.value);
   }
-  return generate_impl(seq, allocation, values);
+  return generate_impl(seq, allocation, values, addressing);
 }
 
 }  // namespace dspaddr::agu

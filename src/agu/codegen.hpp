@@ -1,12 +1,18 @@
 // Address code generation from an allocation.
 //
 // Turns a core::Allocation into the AGU instruction stream that realizes
-// it: one LDAR per used register in the setup, and per body access a USE
-// with the post-modify towards the register's next access — plus an ADAR
-// (equal strides, distance beyond M) or RELOAD (different strides) when
-// the move is not free. The number of ADAR/RELOAD instructions in the
-// body equals the allocation's analytic cost; the simulator asserts
-// this equivalence end-to-end.
+// it. Under post-modify addressing (the paper's model): one LDAR per
+// used register in the setup, and per body access a USE with the
+// post-modify towards the register's next access — plus an ADAR (equal
+// strides, distance beyond the free window) or RELOAD (different
+// strides) when the move is not free. Under pre-modify addressing the
+// same transitions are realized on the *incoming* edge: each USE
+// applies the modify from the register's previous access before the
+// memory operand, fixups precede their USE, and the setup LDARs
+// compensate for the first iteration's wrap modify. Either way the
+// number of ADAR/RELOAD instructions in the body equals the
+// allocation's analytic cost; the simulator asserts this equivalence
+// end-to-end.
 #pragma once
 
 #include "agu/program.hpp"
@@ -19,14 +25,16 @@ namespace dspaddr::agu {
 /// Generates the address program realizing `allocation` on `seq`.
 /// The allocation must cover `seq` (validated by the allocator).
 Program generate_code(const ir::AccessSequence& seq,
-                      const core::Allocation& allocation);
+                      const core::Allocation& allocation,
+                      Addressing addressing = Addressing::kPostModify);
 
 /// Modify-register variant: transitions whose distance is held in one
-/// of the planned MRs post-modify through that MR instead of spending
-/// an ADAR; the setup loads each MR once. The per-iteration extra
+/// of the planned MRs modify through that MR instead of spending an
+/// ADAR; the setup loads each MR once. The per-iteration extra
 /// instruction count of the result equals `plan.residual_cost`.
 Program generate_code(const ir::AccessSequence& seq,
                       const core::Allocation& allocation,
-                      const core::ModifyRegisterPlan& plan);
+                      const core::ModifyRegisterPlan& plan,
+                      Addressing addressing = Addressing::kPostModify);
 
 }  // namespace dspaddr::agu

@@ -1,0 +1,629 @@
+#include "agu/machine_desc.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/strings.hpp"
+
+namespace dspaddr::agu {
+
+namespace {
+
+/// The builtin catalog, expressed in the same format as shipped
+/// `.machine` files (each also exists under workloads/machines/ and is
+/// proven byte-identical to this text by the parity tests). Register
+/// counts approximate the addressing resources of well-known parts,
+/// normalized to the paper's single-memory model.
+constexpr const char* kBuiltinCatalog = R"(machine tms320c25
+description TI TMS320C2x-class ARAU: 8 auxiliary registers, inc/dec by 1, one index register
+class ar address 8
+class ix index 1
+modify-range -1 1
+
+machine tms320c54x
+description TI TMS320C54x-class: 8 auxiliary registers, AR0 usable as index
+class ar address 8
+class ar0 index 1
+modify-range -1 1
+
+machine adsp218x
+description ADSP-218x-class DAGs: 2x4 index registers with 2x4 modify registers
+class i address 8
+class m modify 8
+modify-range -1 1
+
+machine dsp56002
+description Motorola DSP56k-class: 8 R registers with 8 N offset registers
+class r address 8
+class n modify 8
+modify-range -1 1
+
+machine minimal2
+description Cost-sensitive core: 2 address registers, no modify registers
+class ar address 2
+modify-range -1 1
+
+machine wide4
+description AGU with short-immediate modify (|d| <= 2), 4 address registers
+class ar address 4
+modify-range -2 2
+)";
+
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i > start) {
+      tokens.emplace_back(text.substr(start, i - start));
+    }
+  }
+  return tokens;
+}
+
+std::optional<std::int64_t> parse_int64(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  try {
+    std::size_t consumed = 0;
+    const long long value = std::stoll(token, &consumed);
+    if (consumed != token.size()) return std::nullopt;
+    return static_cast<std::int64_t>(value);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<RegClassKind> parse_kind(const std::string& token) {
+  if (token == "address") return RegClassKind::kAddress;
+  if (token == "modify") return RegClassKind::kModify;
+  if (token == "index") return RegClassKind::kIndex;
+  return std::nullopt;
+}
+
+void normalize_widths(std::vector<std::int64_t>& widths) {
+  std::sort(widths.begin(), widths.end());
+  widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
+}
+
+}  // namespace
+
+const char* to_string(RegClassKind kind) {
+  switch (kind) {
+    case RegClassKind::kAddress:
+      return "address";
+    case RegClassKind::kModify:
+      return "modify";
+    case RegClassKind::kIndex:
+      return "index";
+  }
+  return "?";
+}
+
+std::size_t MachineSpec::address_registers() const {
+  std::size_t count = 0;
+  for (const RegisterClass& cls : classes) {
+    if (cls.kind == RegClassKind::kAddress) count += cls.count;
+  }
+  return count;
+}
+
+std::size_t MachineSpec::modify_registers() const {
+  std::size_t count = 0;
+  for (const RegisterClass& cls : classes) {
+    if (cls.kind != RegClassKind::kAddress) count += cls.count;
+  }
+  return count;
+}
+
+std::int64_t MachineSpec::modify_range() const {
+  return std::max(-modify_lo, modify_hi);
+}
+
+void MachineSpec::set_address_registers(std::size_t count) {
+  std::string name = "ar";
+  std::size_t insert_at = 0;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    if (classes[i].kind == RegClassKind::kAddress) {
+      name = classes[i].name;
+      insert_at = i;
+      break;
+    }
+  }
+  classes.erase(std::remove_if(classes.begin(), classes.end(),
+                               [](const RegisterClass& cls) {
+                                 return cls.kind == RegClassKind::kAddress;
+                               }),
+                classes.end());
+  insert_at = std::min(insert_at, classes.size());
+  classes.insert(classes.begin() + static_cast<std::ptrdiff_t>(insert_at),
+                 RegisterClass{name, RegClassKind::kAddress, count});
+}
+
+void MachineSpec::set_modify_registers(std::size_t count) {
+  std::string name = "mr";
+  for (const RegisterClass& cls : classes) {
+    if (cls.kind != RegClassKind::kAddress) {
+      name = cls.name;
+      break;
+    }
+  }
+  classes.erase(std::remove_if(classes.begin(), classes.end(),
+                               [](const RegisterClass& cls) {
+                                 return cls.kind != RegClassKind::kAddress;
+                               }),
+                classes.end());
+  if (count > 0) {
+    classes.push_back(RegisterClass{name, RegClassKind::kModify, count});
+  }
+}
+
+void MachineSpec::set_modify_range(std::int64_t m) {
+  modify_lo = -m;
+  modify_hi = m;
+}
+
+core::CostModel MachineSpec::cost_model(core::WrapPolicy wrap) const {
+  return core::CostModel{modify_lo, modify_hi, free_widths, wrap};
+}
+
+std::string MachineSpec::structural_key() const {
+  std::string key = "cls=";
+  for (const RegisterClass& cls : classes) {
+    switch (cls.kind) {
+      case RegClassKind::kAddress:
+        key += 'a';
+        break;
+      case RegClassKind::kModify:
+        key += 'm';
+        break;
+      case RegClassKind::kIndex:
+        key += 'i';
+        break;
+    }
+    key += std::to_string(cls.count);
+    key += ',';
+  }
+  key += "|lo=";
+  key += std::to_string(modify_lo);
+  key += "|hi=";
+  key += std::to_string(modify_hi);
+  key += "|fw=";
+  for (const std::int64_t width : free_widths) {
+    key += std::to_string(width);
+    key += ',';
+  }
+  key += "|mode=";
+  key += to_string(addressing);
+  return key;
+}
+
+void MachineSpec::validate() const {
+  check_arg(!name.empty(), "machine name must be non-empty");
+  check_arg(modify_lo <= 0 && 0 <= modify_hi,
+            "modify range [" + std::to_string(modify_lo) + ", " +
+                std::to_string(modify_hi) + "] must contain 0");
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    check_arg(!classes[i].name.empty(), "register class name must be non-empty");
+    check_arg(classes[i].count >= 1,
+              "register class '" + classes[i].name +
+                  "' must have at least one register");
+    for (std::size_t j = i + 1; j < classes.size(); ++j) {
+      check_arg(classes[i].name != classes[j].name,
+                "duplicate register class '" + classes[i].name + "'");
+    }
+  }
+  check_arg(address_registers() >= 1, "needs at least one address register");
+  for (const std::int64_t width : free_widths) {
+    check_arg(width != 0, "free widths must be nonzero");
+  }
+}
+
+std::vector<MachineSpec> parse_machines(const std::string& text,
+                                        const std::string& origin) {
+  std::vector<MachineSpec> specs;
+  MachineSpec current;
+  bool open = false;
+  std::size_t open_line = 0;
+
+  const auto fail = [&](std::size_t line, const std::string& message) {
+    throw InvalidArgument(origin + ":" + std::to_string(line) + ": " +
+                          message);
+  };
+
+  const auto finalize = [&] {
+    if (!open) return;
+    if (current.classes.empty()) {
+      // No `class` directive: same default as a fresh MachineSpec, so
+      // `machine x` alone is the minimal single-pointer AGU.
+      current.classes = MachineSpec{}.classes;
+    }
+    normalize_widths(current.free_widths);
+    try {
+      current.validate();
+    } catch (const InvalidArgument& error) {
+      fail(open_line,
+           "machine '" + current.name + "': " + std::string(error.what()));
+    }
+    for (const MachineSpec& existing : specs) {
+      if (existing.name == current.name) {
+        fail(open_line, "duplicate machine '" + current.name + "'");
+      }
+    }
+    specs.push_back(current);
+    open = false;
+  };
+
+  const std::vector<std::string> lines = support::split(text, '\n');
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    const std::size_t line_no = n + 1;
+    std::string line = lines[n];
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& directive = tokens[0];
+
+    if (directive == "machine") {
+      finalize();
+      if (tokens.size() != 2) {
+        fail(line_no, "'machine' takes exactly one name");
+      }
+      current = MachineSpec{};
+      current.classes.clear();
+      current.name = tokens[1];
+      open = true;
+      open_line = line_no;
+      continue;
+    }
+    if (!open) {
+      fail(line_no, "directive '" + directive + "' before 'machine'");
+    }
+
+    if (directive == "description") {
+      std::string_view rest = support::trim(line);
+      rest.remove_prefix(directive.size());
+      current.description = std::string(support::trim(rest));
+    } else if (directive == "class") {
+      if (tokens.size() != 4) {
+        fail(line_no, "'class' takes <name> <address|modify|index> <count>");
+      }
+      const std::optional<RegClassKind> kind = parse_kind(tokens[2]);
+      if (!kind.has_value()) {
+        fail(line_no, "unknown register class kind '" + tokens[2] +
+                          "' (want address, modify or index)");
+      }
+      const std::optional<std::int64_t> count = parse_int64(tokens[3]);
+      if (!count.has_value() || *count < 1) {
+        fail(line_no, "class '" + tokens[1] +
+                          "' needs a register count >= 1, got '" + tokens[3] +
+                          "'");
+      }
+      for (const RegisterClass& cls : current.classes) {
+        if (cls.name == tokens[1]) {
+          fail(line_no, "duplicate register class '" + tokens[1] + "'");
+        }
+      }
+      current.classes.push_back(RegisterClass{
+          tokens[1], *kind, static_cast<std::size_t>(*count)});
+    } else if (directive == "modify-range") {
+      if (tokens.size() == 2) {
+        const std::optional<std::int64_t> m = parse_int64(tokens[1]);
+        if (!m.has_value() || *m < 0) {
+          fail(line_no, "'modify-range <m>' needs an integer m >= 0");
+        }
+        current.modify_lo = -*m;
+        current.modify_hi = *m;
+      } else if (tokens.size() == 3) {
+        const std::optional<std::int64_t> lo = parse_int64(tokens[1]);
+        const std::optional<std::int64_t> hi = parse_int64(tokens[2]);
+        if (!lo.has_value() || !hi.has_value()) {
+          fail(line_no, "'modify-range' bounds must be integers");
+        }
+        if (*lo > *hi) {
+          fail(line_no, "inverted modify range [" + tokens[1] + ", " +
+                            tokens[2] + "]");
+        }
+        if (*lo > 0 || *hi < 0) {
+          fail(line_no, "modify range [" + tokens[1] + ", " + tokens[2] +
+                            "] must contain 0");
+        }
+        current.modify_lo = *lo;
+        current.modify_hi = *hi;
+      } else {
+        fail(line_no, "'modify-range' takes <m> or <lo> <hi>");
+      }
+    } else if (directive == "inc" || directive == "dec") {
+      if (tokens.size() < 2) {
+        fail(line_no, "'" + directive + "' needs at least one width");
+      }
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::optional<std::int64_t> width = parse_int64(tokens[i]);
+        if (!width.has_value() || *width < 1) {
+          fail(line_no, "'" + directive + "' widths must be integers >= 1");
+        }
+        current.free_widths.push_back(directive == "inc" ? *width : -*width);
+      }
+    } else if (directive == "addressing") {
+      if (tokens.size() != 2 ||
+          (tokens[1] != "post" && tokens[1] != "pre")) {
+        fail(line_no, "'addressing' takes post or pre");
+      }
+      current.addressing = tokens[1] == "pre" ? Addressing::kPreModify
+                                              : Addressing::kPostModify;
+    } else {
+      fail(line_no, "unknown directive '" + directive + "'");
+    }
+  }
+  finalize();
+  check_arg(!specs.empty(), origin + ": no machine definitions found");
+  return specs;
+}
+
+std::vector<MachineSpec> load_machine_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  check_arg(file.good(), "cannot open machine file '" + path + "'");
+  std::ostringstream content;
+  content << file.rdbuf();
+  return parse_machines(content.str(), path);
+}
+
+std::string machine_to_text(const MachineSpec& spec) {
+  std::ostringstream out;
+  out << "machine " << spec.name << '\n';
+  if (!spec.description.empty()) {
+    out << "description " << spec.description << '\n';
+  }
+  for (const RegisterClass& cls : spec.classes) {
+    out << "class " << cls.name << ' ' << to_string(cls.kind) << ' '
+        << cls.count << '\n';
+  }
+  out << "modify-range " << spec.modify_lo << ' ' << spec.modify_hi << '\n';
+  std::vector<std::int64_t> inc;
+  std::vector<std::int64_t> dec;
+  for (const std::int64_t width : spec.free_widths) {
+    (width > 0 ? inc : dec).push_back(width > 0 ? width : -width);
+  }
+  std::sort(inc.begin(), inc.end());
+  std::sort(dec.begin(), dec.end());
+  if (!inc.empty()) {
+    out << "inc";
+    for (const std::int64_t width : inc) out << ' ' << width;
+    out << '\n';
+  }
+  if (!dec.empty()) {
+    out << "dec";
+    for (const std::int64_t width : dec) out << ' ' << width;
+    out << '\n';
+  }
+  if (spec.addressing == Addressing::kPreModify) {
+    out << "addressing pre\n";
+  }
+  return out.str();
+}
+
+support::JsonValue machine_to_json(const MachineSpec& spec) {
+  using support::JsonValue;
+  JsonValue json = JsonValue::object();
+  json.set("name", JsonValue::string(spec.name));
+  json.set("description", JsonValue::string(spec.description));
+  JsonValue classes = JsonValue::array();
+  for (const RegisterClass& cls : spec.classes) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", JsonValue::string(cls.name));
+    entry.set("kind", JsonValue::string(to_string(cls.kind)));
+    entry.set("count",
+              JsonValue::number(static_cast<std::int64_t>(cls.count)));
+    classes.push_back(std::move(entry));
+  }
+  json.set("classes", std::move(classes));
+  json.set("modify_lo", JsonValue::number(spec.modify_lo));
+  json.set("modify_hi", JsonValue::number(spec.modify_hi));
+  JsonValue inc = JsonValue::array();
+  JsonValue dec = JsonValue::array();
+  for (const std::int64_t width : spec.free_widths) {
+    if (width > 0) {
+      inc.push_back(JsonValue::number(width));
+    } else {
+      dec.push_back(JsonValue::number(-width));
+    }
+  }
+  json.set("inc", std::move(inc));
+  json.set("dec", std::move(dec));
+  json.set("addressing", JsonValue::string(to_string(spec.addressing)));
+  // Derived (K, L, M) summary for consumers of the legacy flat shape;
+  // machine_from_json ignores these when `classes` is present.
+  json.set("registers", JsonValue::number(static_cast<std::int64_t>(
+                            spec.address_registers())));
+  json.set("modify_registers", JsonValue::number(static_cast<std::int64_t>(
+                                   spec.modify_registers())));
+  json.set("modify_range", JsonValue::number(spec.modify_range()));
+  return json;
+}
+
+namespace {
+
+std::int64_t int_member(const support::JsonValue& json, const char* key,
+                        std::int64_t fallback) {
+  const support::JsonValue* value = json.find(key);
+  if (value == nullptr || value->is_null()) return fallback;
+  check_arg(value->is_int(),
+            std::string("machine spec: '") + key + "' must be an integer");
+  return value->as_int();
+}
+
+std::string string_member(const support::JsonValue& json, const char* key,
+                          const std::string& fallback) {
+  const support::JsonValue* value = json.find(key);
+  if (value == nullptr || value->is_null()) return fallback;
+  check_arg(value->is_string(),
+            std::string("machine spec: '") + key + "' must be a string");
+  return value->as_string();
+}
+
+}  // namespace
+
+MachineSpec machine_from_json(const support::JsonValue& json) {
+  using support::JsonValue;
+  check_arg(json.is_object(), "machine spec: expected a JSON object");
+  static const char* kKnownKeys[] = {
+      "name",      "description", "classes",          "modify_lo",
+      "modify_hi", "modify_range", "inc",             "dec",
+      "addressing", "registers",   "modify_registers"};
+  for (const JsonValue::Member& member : json.members()) {
+    bool known = false;
+    for (const char* key : kKnownKeys) {
+      if (member.first == key) {
+        known = true;
+        break;
+      }
+    }
+    check_arg(known,
+              "machine spec: unknown field '" + member.first + "'");
+  }
+
+  MachineSpec spec;
+  spec.classes.clear();
+  spec.name = string_member(json, "name", "");
+  spec.description = string_member(json, "description", "");
+
+  if (const JsonValue* classes = json.find("classes");
+      classes != nullptr && !classes->is_null()) {
+    check_arg(classes->is_array(),
+              "machine spec: 'classes' must be an array");
+    for (const JsonValue& entry : classes->items()) {
+      check_arg(entry.is_object(),
+                "machine spec: each class must be an object");
+      for (const JsonValue::Member& member : entry.members()) {
+        check_arg(member.first == "name" || member.first == "kind" ||
+                      member.first == "count",
+                  "machine spec: unknown class field '" + member.first + "'");
+      }
+      RegisterClass cls;
+      cls.name = string_member(entry, "name", "");
+      const std::string kind = string_member(entry, "kind", "address");
+      const std::optional<RegClassKind> parsed = parse_kind(kind);
+      check_arg(parsed.has_value(),
+                "machine spec: unknown register class kind '" + kind + "'");
+      cls.kind = *parsed;
+      const std::int64_t count = int_member(entry, "count", 1);
+      check_arg(count >= 0, "machine spec: class count must be >= 0");
+      cls.count = static_cast<std::size_t>(count);
+      spec.classes.push_back(std::move(cls));
+    }
+  } else {
+    const std::int64_t registers = int_member(json, "registers", 1);
+    check_arg(registers >= 0, "machine spec: 'registers' must be >= 0");
+    spec.classes.push_back(RegisterClass{
+        "ar", RegClassKind::kAddress, static_cast<std::size_t>(registers)});
+    const std::int64_t modify = int_member(json, "modify_registers", 0);
+    check_arg(modify >= 0, "machine spec: 'modify_registers' must be >= 0");
+    if (modify > 0) {
+      spec.classes.push_back(RegisterClass{
+          "mr", RegClassKind::kModify, static_cast<std::size_t>(modify)});
+    }
+  }
+
+  const std::int64_t symmetric = int_member(json, "modify_range", 1);
+  spec.modify_lo = int_member(json, "modify_lo", -symmetric);
+  spec.modify_hi = int_member(json, "modify_hi", symmetric);
+
+  const auto read_widths = [&](const char* key, std::int64_t sign) {
+    const JsonValue* widths = json.find(key);
+    if (widths == nullptr || widths->is_null()) return;
+    check_arg(widths->is_array(),
+              std::string("machine spec: '") + key + "' must be an array");
+    for (const JsonValue& width : widths->items()) {
+      check_arg(width.is_int() && width.as_int() >= 1,
+                std::string("machine spec: '") + key +
+                    "' widths must be integers >= 1");
+      spec.free_widths.push_back(sign * width.as_int());
+    }
+  };
+  read_widths("inc", 1);
+  read_widths("dec", -1);
+  normalize_widths(spec.free_widths);
+
+  const std::string addressing = string_member(json, "addressing", "post");
+  check_arg(addressing == "post" || addressing == "pre",
+            "machine spec: 'addressing' must be 'post' or 'pre'");
+  spec.addressing = addressing == "pre" ? Addressing::kPreModify
+                                        : Addressing::kPostModify;
+  return spec;
+}
+
+void MachineRegistry::add(MachineSpec spec) {
+  for (MachineSpec& existing : machines_) {
+    if (existing.name == spec.name) {
+      existing = std::move(spec);
+      return;
+    }
+  }
+  machines_.push_back(std::move(spec));
+}
+
+std::size_t MachineRegistry::add_text(const std::string& text,
+                                      const std::string& origin) {
+  const std::vector<MachineSpec> specs = parse_machines(text, origin);
+  for (const MachineSpec& spec : specs) {
+    add(spec);
+  }
+  return specs.size();
+}
+
+std::size_t MachineRegistry::load_file(const std::string& path) {
+  const std::vector<MachineSpec> specs = load_machine_file(path);
+  for (const MachineSpec& spec : specs) {
+    add(spec);
+  }
+  return specs.size();
+}
+
+const MachineSpec* MachineRegistry::find(const std::string& name) const {
+  for (const MachineSpec& machine : machines_) {
+    if (machine.name == name) return &machine;
+  }
+  return nullptr;
+}
+
+MachineSpec MachineRegistry::get(const std::string& name) const {
+  const MachineSpec* machine = find(name);
+  check_arg(machine != nullptr,
+            "unknown machine '" + name + "' (known: " +
+                support::join(names(), ", ") + ")");
+  return *machine;
+}
+
+std::vector<std::string> MachineRegistry::names() const {
+  std::vector<std::string> names;
+  names.reserve(machines_.size());
+  for (const MachineSpec& machine : machines_) {
+    names.push_back(machine.name);
+  }
+  return names;
+}
+
+const MachineRegistry& MachineRegistry::builtin() {
+  static const MachineRegistry registry = [] {
+    MachineRegistry catalog;
+    catalog.add_text(kBuiltinCatalog, "<builtin>");
+    return catalog;
+  }();
+  return registry;
+}
+
+MachineRegistry MachineRegistry::with_builtins() { return builtin(); }
+
+}  // namespace dspaddr::agu

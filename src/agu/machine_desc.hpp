@@ -1,0 +1,188 @@
+// Declarative machine descriptions (MachineSpec v2).
+//
+// The paper abstracts an AGU to the (K, L, M) triple; real address
+// generation units differ along more axes: named register classes
+// (address vs. modify vs. index registers), asymmetric free modify
+// windows (post-increment-only machines reach [0, hi]), dedicated free
+// auto-inc/dec widths, and pre- vs. post-modify addressing. MachineSpec
+// captures all of these, and a small line-based text format
+// (`workloads/machines/*.machine`) makes adding a machine a data change
+// instead of a C++ patch:
+//
+//   # ARM9-flavoured post-indexed load/store unit
+//   machine arm946e
+//   description ARM9E-class post-indexed addressing, 4 pointer registers
+//   class r address 4
+//   modify-range -1 1
+//   inc 4
+//   addressing post
+//
+// Directives: `machine <name>` opens a definition (several per file are
+// allowed); `description <text>` is free-form; `class <name>
+// address|modify|index <count>` declares a register class;
+// `modify-range <lo> <hi>` (or the symmetric `modify-range <m>`) sets
+// the free modify window; `inc <w>...` / `dec <w>...` add dedicated
+// free widths; `addressing post|pre` selects the modify timing. `#`
+// starts a comment. Malformed input fails loudly with a single
+// `file:line: message` diagnostic.
+//
+// MachineRegistry layers file-loaded machines over the builtin catalog
+// (itself expressed in this format and parsed at startup, so there is
+// exactly one way a machine comes into existence).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agu/program.hpp"
+#include "core/cost_model.hpp"
+#include "support/json.hpp"
+
+namespace dspaddr::agu {
+
+/// Role of a register class in address generation.
+enum class RegClassKind {
+  /// Pointer registers the allocator distributes accesses over (K).
+  kAddress,
+  /// Offset registers usable as free post-modify amounts (L).
+  kModify,
+  /// Index registers; counted into L (they hold one reusable modify
+  /// amount each, like the C2x ARAU's index register).
+  kIndex,
+};
+
+const char* to_string(RegClassKind kind);
+
+/// One named register class, e.g. "r address 8".
+struct RegisterClass {
+  std::string name;
+  RegClassKind kind = RegClassKind::kAddress;
+  std::size_t count = 0;
+
+  friend bool operator==(const RegisterClass& a, const RegisterClass& b) {
+    return a.name == b.name && a.kind == b.kind && a.count == b.count;
+  }
+  friend bool operator!=(const RegisterClass& a, const RegisterClass& b) {
+    return !(a == b);
+  }
+};
+
+/// One declarative AGU description. The paper's (K, L, M) triple is
+/// derived: K = sum of address-class counts, L = sum of modify- and
+/// index-class counts, M = the furthest reach of the modify window.
+struct MachineSpec {
+  std::string name;
+  std::string description;
+  /// Register classes in declaration order.
+  std::vector<RegisterClass> classes = {{"ar", RegClassKind::kAddress, 1}};
+  /// Free modify window [modify_lo, modify_hi]; must contain 0.
+  std::int64_t modify_lo = -1;
+  std::int64_t modify_hi = 1;
+  /// Dedicated free signed widths outside the window (sorted, unique).
+  std::vector<std::int64_t> free_widths;
+  Addressing addressing = Addressing::kPostModify;
+
+  /// K: address registers available to the allocator.
+  std::size_t address_registers() const;
+  /// L: modify registers available to the post-pass planner.
+  std::size_t modify_registers() const;
+  /// M: max(-modify_lo, modify_hi) — the paper's magnitude, used for
+  /// display and symmetric sweeps.
+  std::int64_t modify_range() const;
+
+  /// Collapses the address classes to a single class of `count`
+  /// registers (keeping the first class's name). Count 0 is allowed so
+  /// sweeps can probe degenerate machines; the allocator rejects it at
+  /// run time, in-band.
+  void set_address_registers(std::size_t count);
+  /// Replaces the modify/index classes with one class of `count`
+  /// modify registers (none when 0).
+  void set_modify_registers(std::size_t count);
+  /// Sets the symmetric window [-m, m], clearing nothing else.
+  void set_modify_range(std::int64_t m);
+
+  /// The cost model this machine induces.
+  core::CostModel cost_model(
+      core::WrapPolicy wrap = core::WrapPolicy::kCyclic) const;
+
+  /// Cache-identity key: everything that affects results, nothing that
+  /// decorates them (machine name, description and class names are
+  /// excluded, like kernel names are excluded from the engine
+  /// fingerprint).
+  std::string structural_key() const;
+
+  /// Throws InvalidArgument unless the spec is well-formed: a
+  /// non-empty name, at least one address register, per-class counts
+  /// >= 1, unique class names, a window containing 0, nonzero widths.
+  void validate() const;
+
+  friend bool operator==(const MachineSpec& a, const MachineSpec& b) {
+    return a.name == b.name && a.description == b.description &&
+           a.classes == b.classes && a.modify_lo == b.modify_lo &&
+           a.modify_hi == b.modify_hi && a.free_widths == b.free_widths &&
+           a.addressing == b.addressing;
+  }
+  friend bool operator!=(const MachineSpec& a, const MachineSpec& b) {
+    return !(a == b);
+  }
+};
+
+/// Parses machine definitions from `text`; `origin` names the source in
+/// diagnostics ("file.machine:12: unknown directive 'foo'"). Every
+/// returned spec is validated.
+std::vector<MachineSpec> parse_machines(const std::string& text,
+                                        const std::string& origin);
+
+/// Reads and parses one `.machine` file.
+std::vector<MachineSpec> load_machine_file(const std::string& path);
+
+/// Canonical text rendering; parse_machines(machine_to_text(s)) yields
+/// exactly `s` back (the shipped builtin files are in this form).
+std::string machine_to_text(const MachineSpec& spec);
+
+/// Full declarative spec as JSON, including the derived K/L/M summary;
+/// machine_from_json(machine_to_json(s)) == s.
+support::JsonValue machine_to_json(const MachineSpec& spec);
+
+/// Builds a spec from JSON. Accepts the full schema emitted by
+/// machine_to_json and the legacy flat form {"registers",
+/// "modify_registers", "modify_range"}; unknown fields are rejected
+/// in-band with InvalidArgument.
+MachineSpec machine_from_json(const support::JsonValue& json);
+
+/// Ordered collection of machines: the builtin catalog plus any
+/// file-loaded targets, with later additions overriding earlier ones
+/// of the same name (files can respecialize a builtin).
+class MachineRegistry {
+ public:
+  MachineRegistry() = default;
+
+  /// Adds one spec; an existing machine of the same name is replaced
+  /// in place (its catalog position is kept).
+  void add(MachineSpec spec);
+  /// Parses `text` and adds every definition; returns how many.
+  std::size_t add_text(const std::string& text, const std::string& origin);
+  /// Loads one `.machine` file; returns how many machines it defined.
+  std::size_t load_file(const std::string& path);
+
+  /// Lookup; nullptr when unknown.
+  const MachineSpec* find(const std::string& name) const;
+  /// Lookup; throws InvalidArgument listing the known names.
+  MachineSpec get(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+  const std::vector<MachineSpec>& all() const { return machines_; }
+  std::size_t size() const { return machines_.size(); }
+
+  /// The immutable builtin catalog (parsed once from its embedded
+  /// `.machine` source).
+  static const MachineRegistry& builtin();
+  /// A mutable copy of the builtin catalog to layer files onto.
+  static MachineRegistry with_builtins();
+
+ private:
+  std::vector<MachineSpec> machines_;
+};
+
+}  // namespace dspaddr::agu

@@ -1,7 +1,5 @@
 #include "agu/machines.hpp"
 
-#include <algorithm>
-
 #include "agu/codegen.hpp"
 #include "agu/simulator.hpp"
 #include "ir/layout.hpp"
@@ -10,69 +8,38 @@
 namespace dspaddr::agu {
 
 std::vector<AguSpec> builtin_machines() {
-  return {
-      AguSpec{"tms320c25",
-              "TI TMS320C2x-class ARAU: 8 auxiliary registers, "
-              "inc/dec by 1, one index register",
-              8, 1, 1},
-      AguSpec{"tms320c54x",
-              "TI TMS320C54x-class: 8 auxiliary registers, AR0 usable "
-              "as index",
-              8, 1, 1},
-      AguSpec{"adsp218x",
-              "ADSP-218x-class DAGs: 2x4 index registers with 2x4 "
-              "modify registers",
-              8, 8, 1},
-      AguSpec{"dsp56002",
-              "Motorola DSP56k-class: 8 R registers with 8 N offset "
-              "registers",
-              8, 8, 1},
-      AguSpec{"minimal2",
-              "Cost-sensitive core: 2 address registers, no modify "
-              "registers",
-              2, 0, 1},
-      AguSpec{"wide4",
-              "AGU with short-immediate modify (|d| <= 2), 4 address "
-              "registers",
-              4, 0, 2},
-  };
+  return MachineRegistry::builtin().all();
 }
 
 AguSpec builtin_machine(const std::string& name) {
-  auto machines = builtin_machines();
-  const auto it =
-      std::find_if(machines.begin(), machines.end(),
-                   [&](const AguSpec& m) { return m.name == name; });
-  check_arg(it != machines.end(),
-            "builtin_machine: unknown machine '" + name + "'");
-  return *it;
+  return MachineRegistry::builtin().get(name);
 }
 
 std::vector<std::string> builtin_machine_names() {
-  std::vector<std::string> names;
-  for (const AguSpec& machine : builtin_machines()) {
-    names.push_back(machine.name);
-  }
-  return names;
+  return MachineRegistry::builtin().names();
 }
 
 MachineRunReport run_on_machine(const ir::Kernel& kernel,
                                 const AguSpec& machine) {
-  check_arg(machine.address_registers >= 1,
+  check_arg(machine.address_registers() >= 1,
             "run_on_machine: machine needs an address register");
 
   const ir::AccessSequence seq = ir::lower(kernel);
 
   core::ProblemConfig config;
-  config.modify_range = machine.modify_range;
-  config.registers = machine.address_registers;
+  config.modify_range = machine.modify_range();
+  config.modify_lo = machine.modify_lo;
+  config.modify_hi = machine.modify_hi;
+  config.free_widths = machine.free_widths;
+  config.registers = machine.address_registers();
   const core::Allocation allocation =
       core::RegisterAllocator(config).run(seq);
 
   const core::ModifyRegisterPlan plan = core::plan_modify_registers(
-      seq, allocation, machine.modify_registers);
+      seq, allocation, machine.modify_registers());
 
-  const Program program = generate_code(seq, allocation, plan);
+  const Program program =
+      generate_code(seq, allocation, plan, machine.addressing);
   const std::uint64_t iterations =
       static_cast<std::uint64_t>(kernel.iterations());
   const SimResult sim = Simulator{}.run(program, seq, iterations);

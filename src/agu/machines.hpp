@@ -2,10 +2,10 @@
 //
 // The paper's cost model is parameterized by the number of address
 // registers K and the free modify range M; real AGUs also differ in how
-// many modify registers they offer. This catalog pins down a handful of
-// representative configurations (approximations of the addressing
-// resources of well-known parts — register counts from the respective
-// family manuals, all normalized to the paper's single-memory model) so
+// many modify registers they offer, how asymmetric their free modify
+// window is, and when the modify applies. The catalog is data: each
+// machine is a declarative MachineSpec (see agu/machine_desc.hpp),
+// parsed from the same `.machine` format as file-loaded targets, so
 // benches can answer: *how does the same kernel fare across AGUs?*
 #pragma once
 
@@ -13,25 +13,18 @@
 #include <string>
 #include <vector>
 
+#include "agu/machine_desc.hpp"
 #include "core/allocator.hpp"
 #include "core/modify_registers.hpp"
 #include "ir/kernel.hpp"
 
 namespace dspaddr::agu {
 
-/// One AGU configuration.
-struct AguSpec {
-  std::string name;
-  std::string description;
-  /// K: address registers available to the allocator.
-  std::size_t address_registers = 1;
-  /// L: modify registers available to the post-pass planner.
-  std::size_t modify_registers = 0;
-  /// M: free immediate post-modify range.
-  std::int64_t modify_range = 1;
-};
+/// One AGU configuration. Historically a bare {K, L, M} triple; now the
+/// full declarative spec (the triple is derived from it).
+using AguSpec = MachineSpec;
 
-/// Representative AGU configurations.
+/// Representative AGU configurations (MachineRegistry::builtin()).
 std::vector<AguSpec> builtin_machines();
 
 /// Lookup by name; throws InvalidArgument when unknown.

@@ -20,6 +20,16 @@ const char* to_string(Opcode op) {
   return "?";
 }
 
+const char* to_string(Addressing addressing) {
+  switch (addressing) {
+    case Addressing::kPostModify:
+      return "post";
+    case Addressing::kPreModify:
+      return "pre";
+  }
+  return "?";
+}
+
 std::string Instruction::to_string() const {
   std::ostringstream out;
   out << dspaddr::agu::to_string(op)
@@ -68,6 +78,9 @@ std::size_t Program::body_address_words() const {
 
 std::string Program::to_string() const {
   std::ostringstream out;
+  if (addressing == Addressing::kPreModify) {
+    out << "; pre-modify addressing\n";
+  }
   out << "; setup\n";
   for (const Instruction& instruction : setup) {
     out << "  " << instruction.to_string() << '\n';

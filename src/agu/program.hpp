@@ -38,6 +38,17 @@ enum class Opcode {
   kLdmr,
 };
 
+/// When a USE's modify takes effect relative to its memory operand.
+/// Post-modify is the paper's model (modify after the access); machines
+/// like ARM's pre-indexed forms apply the modify first, so the register
+/// holds the *previous* address between accesses.
+enum class Addressing {
+  kPostModify,
+  kPreModify,
+};
+
+const char* to_string(Addressing addressing);
+
 const char* to_string(Opcode op);
 
 /// One AGU instruction. Field meaning by opcode:
@@ -79,6 +90,8 @@ struct Program {
   std::vector<Instruction> body;
   std::size_t register_count = 0;
   std::size_t modify_register_count = 0;
+  /// Whether a USE's modify applies before or after the access.
+  Addressing addressing = Addressing::kPostModify;
 
   /// Words occupied by explicit address instructions (kUse is free —
   /// its addressing rides on the data instruction encoding).

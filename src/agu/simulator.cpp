@@ -74,6 +74,21 @@ SimResult Simulator::run(const Program& program,
           ++result.address_cycles;
           break;
         case Opcode::kUse: {
+          // Pre-modify machines apply the modify before the memory
+          // operand; post-modify machines after the address check.
+          const bool pre =
+              program.addressing == Addressing::kPreModify;
+          if (pre) {
+            if (instruction.mr >= 0) {
+              check_arg(
+                  static_cast<std::size_t>(instruction.mr) < mr.size(),
+                  "Simulator: USE references unloaded modify register");
+              ar[instruction.reg] += mr[static_cast<std::size_t>(
+                  instruction.mr)];
+            } else {
+              ar[instruction.reg] += instruction.value;
+            }
+          }
           const std::int64_t demanded =
               demanded_address(seq, instruction.access, t);
           if (ar[instruction.reg] != demanded) {
@@ -89,13 +104,16 @@ SimResult Simulator::run(const Program& program,
             result.trace.push_back(ar[instruction.reg]);
           }
           ++result.accesses_executed;
-          if (instruction.mr >= 0) {
-            check_arg(static_cast<std::size_t>(instruction.mr) < mr.size(),
-                      "Simulator: USE references unloaded modify register");
-            ar[instruction.reg] += mr[static_cast<std::size_t>(
-                instruction.mr)];
-          } else {
-            ar[instruction.reg] += instruction.value;
+          if (!pre) {
+            if (instruction.mr >= 0) {
+              check_arg(
+                  static_cast<std::size_t>(instruction.mr) < mr.size(),
+                  "Simulator: USE references unloaded modify register");
+              ar[instruction.reg] += mr[static_cast<std::size_t>(
+                  instruction.mr)];
+            } else {
+              ar[instruction.reg] += instruction.value;
+            }
           }
           break;
         }

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <system_error>
 
+#include "agu/machine_desc.hpp"
 #include "cli/kernel_io.hpp"
 #include "cli/options.hpp"
 #include "cli/pipeline.hpp"
@@ -62,11 +63,18 @@ int command_batch(const std::vector<std::string>& args, std::ostream& out) {
   for (const std::string& name : options.builtin_kernels) {
     config.kernels.push_back(ir::builtin_kernel(name));
   }
+  // The grid resolves names against the builtin catalog layered with
+  // every --machine-file: a file can add new targets or replace a
+  // builtin by name, and an empty --machines sweeps the whole registry.
+  agu::MachineRegistry registry = agu::MachineRegistry::with_builtins();
+  for (const std::string& path : options.machine_files) {
+    registry.load_file(path);
+  }
   if (options.machines.empty()) {
-    config.machines = agu::builtin_machines();
+    config.machines = registry.all();
   } else {
     for (const std::string& name : options.machines) {
-      config.machines.push_back(agu::builtin_machine(name));
+      config.machines.push_back(registry.get(name));
     }
   }
   config.register_counts = options.register_counts;
@@ -147,47 +155,62 @@ int command_serve(const std::vector<std::string>& args, std::istream& in,
   return run_serve(in, out, options);
 }
 
+/// Renders the modify window of the listing: the paper's symmetric M
+/// prints as a single number; richer machines show the full window.
+std::string window_text(const agu::MachineSpec& machine) {
+  if (machine.modify_lo == -machine.modify_hi) {
+    return std::to_string(machine.modify_range());
+  }
+  return "[" + std::to_string(machine.modify_lo) + ", " +
+         std::to_string(machine.modify_hi) + "]";
+}
+
 int command_machines(const std::vector<std::string>& args,
                      std::ostream& out) {
-  const ListOptions options = parse_list_options(args, "machines");
+  const MachinesOptions options = parse_machines_options(args);
+  agu::MachineRegistry registry = agu::MachineRegistry::with_builtins();
+  for (const std::string& path : options.machine_files) {
+    registry.load_file(path);
+  }
+  if (!options.show.empty()) {
+    const agu::MachineSpec machine = registry.get(options.show);
+    if (options.format == OutputFormat::kJson) {
+      out << agu::machine_to_json(machine).dump() << "\n";
+    } else {
+      // The canonical .machine text doubles as the human-readable view
+      // and a valid --machine-file (parse(emit(spec)) == spec).
+      out << agu::machine_to_text(machine);
+    }
+    return 0;
+  }
   if (options.format == OutputFormat::kJson) {
     support::JsonValue list = support::JsonValue::array();
-    for (const agu::AguSpec& machine : agu::builtin_machines()) {
-      support::JsonValue entry = support::JsonValue::object();
-      entry.set("name", support::JsonValue::string(machine.name));
-      entry.set("registers",
-                support::JsonValue::number(static_cast<std::int64_t>(
-                    machine.address_registers)));
-      entry.set("modify_registers",
-                support::JsonValue::number(static_cast<std::int64_t>(
-                    machine.modify_registers)));
-      entry.set("modify_range",
-                support::JsonValue::number(machine.modify_range));
-      entry.set("description",
-                support::JsonValue::string(machine.description));
-      list.push_back(std::move(entry));
+    for (const agu::AguSpec& machine : registry.all()) {
+      list.push_back(agu::machine_to_json(machine));
     }
     out << list.dump() << "\n";
     return 0;
   }
   if (options.format == OutputFormat::kCsv) {
-    support::CsvWriter csv({"name", "K", "L", "M", "description"});
-    for (const agu::AguSpec& machine : agu::builtin_machines()) {
+    support::CsvWriter csv(
+        {"name", "K", "L", "M", "addressing", "description"});
+    for (const agu::AguSpec& machine : registry.all()) {
       csv.add_row({machine.name,
-                   std::to_string(machine.address_registers),
-                   std::to_string(machine.modify_registers),
-                   std::to_string(machine.modify_range),
+                   std::to_string(machine.address_registers()),
+                   std::to_string(machine.modify_registers()),
+                   window_text(machine), to_string(machine.addressing),
                    machine.description});
     }
     out << csv.to_string();
     return 0;
   }
-  support::Table table({"name", "K", "L", "M", "description"});
-  for (const agu::AguSpec& machine : agu::builtin_machines()) {
+  support::Table table(
+      {"name", "K", "L", "M", "addressing", "description"});
+  for (const agu::AguSpec& machine : registry.all()) {
     table.add_row({machine.name,
-                   std::to_string(machine.address_registers),
-                   std::to_string(machine.modify_registers),
-                   std::to_string(machine.modify_range),
+                   std::to_string(machine.address_registers()),
+                   std::to_string(machine.modify_registers()),
+                   window_text(machine), to_string(machine.addressing),
                    machine.description});
   }
   out << table.to_string();
@@ -251,7 +274,11 @@ usage: dspaddr <command> [options]
 commands:
   run       Run one kernel through the whole pipeline
               --kernel <file>        workload file (.c or .kern) [required]
-              --machine <name>       builtin AGU supplying K/L/M defaults
+              --machine <name>       catalog AGU supplying K/L/M defaults
+              --machine-file <file>  .machine file layered over the
+                                     catalog (--machine may then name any
+                                     machine it defines; without --machine
+                                     its first machine runs)
               --registers <K>        address registers (overrides machine)
               --modify-range <M>     free post-modify range (overrides)
               --modify-registers <L> modify registers (overrides)
@@ -273,7 +300,10 @@ commands:
             x layouts x strategies
               --kernel <file>        workload file (repeatable)
               --builtin <names>      builtin kernels, comma list
-              --machines <names>     builtin machines (default: all)
+              --machines <names>     machine names (default: the whole
+                                     registry incl. --machine-file ones)
+              --machine-file <file>  .machine file layered over the
+                                     catalog (repeatable)
               --registers <list>     K values, comma list
               --modify-range <list>  M values, comma list
               --layout <list>        layout strategies, comma list
@@ -288,8 +318,8 @@ commands:
   compare   Run one kernel across a strategy set on a shared engine and
             print a cost/cycles delta table
               --kernel <name|file>   builtin kernel or workload file [required]
-              --machine/--registers/--modify-range/--modify-registers
-                                     as in run
+              --machine/--machine-file/--registers/--modify-range/
+              --modify-registers     as in run
               --layout <list>        layouts to compare (default: contiguous)
               --strategy <list>      strategies (default: all registered)
               --phase2, --time-budget-ms, --iterations as in run
@@ -306,7 +336,11 @@ commands:
                                      iterations (default: 10000000);
                                      larger requests are rejected
                                      in-band
-  machines  List the builtin AGU catalog (--format table|csv|json)
+  machines  List the AGU machine registry (--format table|csv|json);
+            `machines show <name>` prints one full declarative spec
+            (.machine text, or --format json)
+              --machine-file <file>  .machine file layered over the
+                                     catalog (repeatable)
   kernels   List the builtin kernel library (--format table|csv|json)
   version   Print the tool version
   help      Print this text

@@ -1,0 +1,63 @@
+#include "cli/machine_resolve.hpp"
+
+#include "support/check.hpp"
+
+namespace dspaddr::cli {
+
+agu::AguSpec resolve_machine(const MachineSelector& selector,
+                             const agu::MachineRegistry& registry) {
+  check_arg(selector.inline_spec == nullptr ||
+                (!selector.name.has_value() && !selector.file.has_value()),
+            "machine: an inline spec cannot be combined with a machine "
+            "name or file");
+
+  agu::MachineSpec machine;
+  if (selector.name.has_value() || selector.file.has_value()) {
+    agu::MachineRegistry layered = registry;
+    std::string wanted = selector.name.value_or("");
+    if (selector.file.has_value()) {
+      const std::vector<agu::MachineSpec> loaded =
+          agu::load_machine_file(*selector.file);
+      if (wanted.empty()) {
+        // A file without an explicit name selects its own first
+        // machine (files usually define exactly one).
+        wanted = loaded.front().name;
+      }
+      for (const agu::MachineSpec& spec : loaded) {
+        layered.add(spec);
+      }
+    }
+    machine = layered.get(wanted);
+  } else if (selector.inline_spec != nullptr) {
+    machine = agu::machine_from_json(*selector.inline_spec);
+    if (machine.name.empty()) {
+      machine.name = "custom";
+    }
+    if (machine.description.empty()) {
+      machine.description = selector.default_description;
+    }
+    // An inline spec is user data like a file: reject malformed specs
+    // (no address registers, windows excluding 0) in-band.
+    machine.validate();
+  } else {
+    machine.name = "custom";
+    machine.description = selector.default_description;
+  }
+
+  if (selector.registers.has_value()) {
+    machine.set_address_registers(*selector.registers);
+  }
+  if (selector.modify_range.has_value()) {
+    machine.set_modify_range(*selector.modify_range);
+  }
+  if (selector.modify_registers.has_value()) {
+    machine.set_modify_registers(*selector.modify_registers);
+  }
+  return machine;
+}
+
+agu::AguSpec resolve_machine(const MachineSelector& selector) {
+  return resolve_machine(selector, agu::MachineRegistry::builtin());
+}
+
+}  // namespace dspaddr::cli

@@ -1,0 +1,58 @@
+// One machine-resolution path for run, batch, compare and serve.
+//
+// Every surface used to grow its own copy of "builtin name, then flag
+// overrides" (cli/pipeline.cpp) or "request field, then overrides"
+// (serve.cpp); with file-loadable machines the duplication would have
+// tripled. A MachineSelector captures every way a machine can be named
+// and resolve_machine applies one precedence order everywhere:
+//
+//   1. `file`  — a `.machine` file is layered over the registry;
+//   2. `name`  — selects from the layered registry (unknown names fail
+//                in-band, listing what is known); without a name, a
+//                file selects its own first machine;
+//   3. `inline_spec` — a full declarative JSON spec (serve
+//                "machine_spec"); exclusive with name/file;
+//   4. numeric overrides (registers / modify_range / modify_registers)
+//      always win last, matching the historical flag semantics.
+//
+// With none of the above, the paper's minimal machine (K=1, L=0,
+// M=1) is used under the name "custom".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "agu/machine_desc.hpp"
+#include "agu/machines.hpp"
+#include "support/json.hpp"
+
+namespace dspaddr::cli {
+
+/// Everything a surface may say about which machine to use.
+struct MachineSelector {
+  /// Machine name (builtin or defined by `file`).
+  std::optional<std::string> name;
+  /// `.machine` file layered over the registry before the lookup.
+  std::optional<std::string> file;
+  /// Inline declarative spec (agu::machine_from_json schema); not
+  /// owned. Exclusive with `name` and `file`.
+  const support::JsonValue* inline_spec = nullptr;
+  /// Numeric overrides; applied last.
+  std::optional<std::size_t> registers;
+  std::optional<std::int64_t> modify_range;
+  std::optional<std::size_t> modify_registers;
+  /// Description given to a machine the caller defined ad hoc (no
+  /// name/file, or an inline spec without one).
+  std::string default_description = "flag-defined AGU";
+};
+
+/// Resolves `selector` against the builtin catalog.
+agu::AguSpec resolve_machine(const MachineSelector& selector);
+
+/// Resolves `selector` against a caller-provided registry (batch
+/// layering several --machine-file flags resolves against its own).
+agu::AguSpec resolve_machine(const MachineSelector& selector,
+                             const agu::MachineRegistry& registry);
+
+}  // namespace dspaddr::cli

@@ -196,6 +196,8 @@ RunOptions parse_run_options(const std::vector<std::string>& args) {
       options.kernel_path = value;
     } else if (match_flag(arg, "--machine", cursor, value)) {
       options.machine = value;
+    } else if (match_flag(arg, "--machine-file", cursor, value)) {
+      options.machine_file = value;
     } else if (match_flag(arg, "--registers", cursor, value)) {
       options.registers = parse_size(value, "--registers", 1);
     } else if (match_flag(arg, "--modify-range", cursor, value)) {
@@ -241,6 +243,8 @@ BatchOptions parse_batch_options(const std::vector<std::string>& args) {
                                      names.begin(), names.end());
     } else if (match_flag(arg, "--machines", cursor, value)) {
       options.machines = parse_name_list(value, "--machines");
+    } else if (match_flag(arg, "--machine-file", cursor, value)) {
+      options.machine_files.push_back(value);
     } else if (match_flag(arg, "--registers", cursor, value)) {
       options.register_counts = parse_size_list(value, "--registers", 1);
     } else if (match_flag(arg, "--modify-range", cursor, value)) {
@@ -286,6 +290,8 @@ CompareOptions parse_compare_options(const std::vector<std::string>& args) {
       options.kernel = value;
     } else if (match_flag(arg, "--machine", cursor, value)) {
       options.machine = value;
+    } else if (match_flag(arg, "--machine-file", cursor, value)) {
+      options.machine_file = value;
     } else if (match_flag(arg, "--registers", cursor, value)) {
       options.registers = parse_size(value, "--registers", 1);
     } else if (match_flag(arg, "--modify-range", cursor, value)) {
@@ -329,6 +335,30 @@ ServeOptions parse_serve_options(const std::vector<std::string>& args) {
       options.max_iterations = parse_int(value, "--max-iterations", 1);
     } else {
       throw UsageError("serve: unknown argument '" + arg + "'");
+    }
+  }
+  return options;
+}
+
+MachinesOptions parse_machines_options(const std::vector<std::string>& args) {
+  MachinesOptions options;
+  ArgCursor cursor(args);
+  std::string value;
+  bool show_seen = false;
+  while (!cursor.done()) {
+    const std::string arg = cursor.take();
+    if (match_flag(arg, "--format", cursor, value)) {
+      options.format = parse_format(value);
+    } else if (match_flag(arg, "--machine-file", cursor, value)) {
+      options.machine_files.push_back(value);
+    } else if (arg == "show") {
+      if (show_seen) {
+        throw UsageError("machines: 'show' given twice");
+      }
+      options.show = cursor.take_value("machines show");
+      show_seen = true;
+    } else {
+      throw UsageError("machines: unknown argument '" + arg + "'");
     }
   }
   return options;

@@ -50,6 +50,9 @@ struct RunOptions {
   std::string kernel_path;
   /// Builtin machine supplying defaults for K, L and M.
   std::optional<std::string> machine;
+  /// `.machine` file layered over the catalog (--machine can then name
+  /// any machine it defines; without --machine its first machine runs).
+  std::optional<std::string> machine_file;
   /// Explicit overrides; win over the machine's values.
   std::optional<std::size_t> registers;
   std::optional<std::int64_t> modify_range;
@@ -75,8 +78,11 @@ struct BatchOptions {
   std::vector<std::string> kernel_paths;
   /// Builtin kernel names (comma list), e.g. "fir,biquad".
   std::vector<std::string> builtin_kernels;
-  /// Builtin machine names (comma list); empty = whole catalog.
+  /// Machine names (comma list); empty = the whole registry (builtin
+  /// catalog plus every --machine-file machine).
   std::vector<std::string> machines;
+  /// `.machine` files layered over the catalog (repeatable).
+  std::vector<std::string> machine_files;
   /// K values to sweep; empty = each machine's own K.
   std::vector<std::size_t> register_counts;
   /// M values to sweep; empty = each machine's own M.
@@ -102,6 +108,8 @@ struct CompareOptions {
   std::string kernel;
   /// Builtin machine supplying defaults for K, L and M.
   std::optional<std::string> machine;
+  /// `.machine` file layered over the catalog.
+  std::optional<std::string> machine_file;
   /// Explicit overrides; win over the machine's values.
   std::optional<std::size_t> registers;
   std::optional<std::int64_t> modify_range;
@@ -135,12 +143,23 @@ struct ListOptions {
   OutputFormat format = OutputFormat::kTable;
 };
 
+/// Options of `dspaddr machines`: the registry listing, plus
+/// `machines show <name>` for one full declarative spec.
+struct MachinesOptions {
+  OutputFormat format = OutputFormat::kTable;
+  /// `.machine` files layered over the catalog (repeatable).
+  std::vector<std::string> machine_files;
+  /// Name given to `machines show`; empty = list all.
+  std::string show;
+};
+
 RunOptions parse_run_options(const std::vector<std::string>& args);
 BatchOptions parse_batch_options(const std::vector<std::string>& args);
 CompareOptions parse_compare_options(const std::vector<std::string>& args);
 ServeOptions parse_serve_options(const std::vector<std::string>& args);
 ListOptions parse_list_options(const std::vector<std::string>& args,
                                const std::string& command);
+MachinesOptions parse_machines_options(const std::vector<std::string>& args);
 
 /// Splits a comma list into non-empty fields ("a,b" -> {"a", "b"});
 /// throws UsageError on empty fields.

@@ -8,40 +8,24 @@
 
 namespace dspaddr::cli {
 
-agu::AguSpec resolve_machine(const std::optional<std::string>& name,
-                             std::optional<std::size_t> registers,
-                             std::optional<std::int64_t> modify_range,
-                             std::optional<std::size_t> modify_registers) {
-  agu::AguSpec machine;
-  if (name.has_value()) {
-    machine = agu::builtin_machine(*name);
-  } else {
-    machine.name = "custom";
-    machine.description = "flag-defined AGU";
-    machine.address_registers = 1;
-    machine.modify_registers = 0;
-    machine.modify_range = 1;
-  }
-  if (registers.has_value()) {
-    machine.address_registers = *registers;
-  }
-  if (modify_range.has_value()) {
-    machine.modify_range = *modify_range;
-  }
-  if (modify_registers.has_value()) {
-    machine.modify_registers = *modify_registers;
-  }
-  return machine;
-}
-
 agu::AguSpec resolve_machine(const RunOptions& options) {
-  return resolve_machine(options.machine, options.registers,
-                         options.modify_range, options.modify_registers);
+  MachineSelector selector;
+  selector.name = options.machine;
+  selector.file = options.machine_file;
+  selector.registers = options.registers;
+  selector.modify_range = options.modify_range;
+  selector.modify_registers = options.modify_registers;
+  return resolve_machine(selector);
 }
 
 agu::AguSpec resolve_machine(const CompareOptions& options) {
-  return resolve_machine(options.machine, options.registers,
-                         options.modify_range, options.modify_registers);
+  MachineSelector selector;
+  selector.name = options.machine;
+  selector.file = options.machine_file;
+  selector.registers = options.registers;
+  selector.modify_range = options.modify_range;
+  selector.modify_registers = options.modify_registers;
+  return resolve_machine(selector);
 }
 
 engine::Result run_pipeline(const ir::Kernel& kernel,
@@ -72,9 +56,26 @@ std::string report_to_text(const engine::Result& report, bool show_program) {
     out << " — " << kernel.description();
   }
   out << "\n";
-  out << "machine: " << machine.name << " (K=" << machine.address_registers
-      << ", L=" << machine.modify_registers << ", M=" << machine.modify_range
-      << ")\n";
+  out << "machine: " << machine.name << " (K=" << machine.address_registers()
+      << ", L=" << machine.modify_registers();
+  // Symmetric windows render as the paper's M; richer machines show
+  // the full window, their free widths and a pre-modify marker.
+  if (machine.modify_lo == -machine.modify_hi) {
+    out << ", M=" << machine.modify_range();
+  } else {
+    out << ", M=[" << machine.modify_lo << ", " << machine.modify_hi << "]";
+  }
+  if (!machine.free_widths.empty()) {
+    std::vector<std::string> widths;
+    for (const std::int64_t width : machine.free_widths) {
+      widths.push_back((width > 0 ? "+" : "") + std::to_string(width));
+    }
+    out << ", free " << support::join(widths, "/");
+  }
+  if (machine.addressing == agu::Addressing::kPreModify) {
+    out << ", pre-modify";
+  }
+  out << ")\n";
   out << "layout:  " << report.layout << " — " << kernel.arrays().size()
       << " array(s) in " << report.layout_extent << " word(s), "
       << report.accesses << " accesses/iteration, " << report.iterations

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "agu/machines.hpp"
+#include "cli/machine_resolve.hpp"
 #include "cli/options.hpp"
 #include "core/allocator.hpp"
 #include "engine/engine.hpp"
@@ -20,12 +21,9 @@
 
 namespace dspaddr::cli {
 
-/// The effective machine: flag overrides applied on top of the
-/// selected builtin machine (or a bare single-register AGU).
-agu::AguSpec resolve_machine(const std::optional<std::string>& machine,
-                             std::optional<std::size_t> registers,
-                             std::optional<std::int64_t> modify_range,
-                             std::optional<std::size_t> modify_registers);
+/// The effective machine of a run / compare invocation: one
+/// MachineSelector (name, file, overrides) resolved through the shared
+/// cli/machine_resolve path.
 agu::AguSpec resolve_machine(const RunOptions& options);
 agu::AguSpec resolve_machine(const CompareOptions& options);
 

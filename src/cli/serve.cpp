@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "cli/kernel_io.hpp"
+#include "cli/machine_resolve.hpp"
 #include "engine/engine.hpp"
 #include "engine/serialize.hpp"
 #include "engine/strategy.hpp"
@@ -29,7 +30,8 @@ using support::JsonValue;
 constexpr const char* kKnownKeys[] = {
     "id",          "stats",      "clear_cache",
     "builtin",     "kernel_file", "kernel",
-    "machine",     "registers",  "modify_range",
+    "machine",     "machine_file", "machine_spec",
+    "registers",   "modify_range",
     "modify_registers", "iterations", "phase2",
     "time_budget_ms", "stop_after", "layout",
     "strategy",
@@ -80,25 +82,30 @@ ir::Kernel kernel_from_request(const JsonValue& json) {
 }
 
 agu::AguSpec machine_from_request(const JsonValue& json) {
-  agu::AguSpec machine;
+  // The serve surface resolves machines exactly like run/batch: name
+  // layered over files, inline specs exclusive with both, numeric
+  // overrides last.
+  MachineSelector selector;
+  selector.default_description = "request-defined AGU";
   if (const JsonValue* name = json.find("machine")) {
-    machine = agu::builtin_machine(name->as_string());
-  } else {
-    machine.name = "custom";
-    machine.description = "request-defined AGU";
-    machine.address_registers = 1;
-    machine.modify_registers = 0;
-    machine.modify_range = 1;
+    selector.name = name->as_string();
   }
-  machine.address_registers = static_cast<std::size_t>(
-      int_field(json, "registers", 1,
-                static_cast<std::int64_t>(machine.address_registers)));
-  machine.modify_range =
-      int_field(json, "modify_range", 0, machine.modify_range);
-  machine.modify_registers = static_cast<std::size_t>(
-      int_field(json, "modify_registers", 0,
-                static_cast<std::int64_t>(machine.modify_registers)));
-  return machine;
+  if (const JsonValue* file = json.find("machine_file")) {
+    selector.file = file->as_string();
+  }
+  selector.inline_spec = json.find("machine_spec");
+  if (json.find("registers") != nullptr) {
+    selector.registers =
+        static_cast<std::size_t>(int_field(json, "registers", 1, 1));
+  }
+  if (json.find("modify_range") != nullptr) {
+    selector.modify_range = int_field(json, "modify_range", 0, 0);
+  }
+  if (json.find("modify_registers") != nullptr) {
+    selector.modify_registers =
+        static_cast<std::size_t>(int_field(json, "modify_registers", 0, 0));
+  }
+  return resolve_machine(selector);
 }
 
 engine::Request request_from_json(const JsonValue& json,

@@ -7,8 +7,8 @@ namespace dspaddr::core {
 AccessGraph::AccessGraph(const ir::AccessSequence& seq,
                          const CostModel& model)
     : seq_(seq), model_(model), intra_(seq.size()) {
-  check_arg(model.modify_range >= 0,
-            "AccessGraph: modify range must be non-negative");
+  check_arg(model.valid(),
+            "AccessGraph: modify window [lo, hi] must contain 0");
   const std::size_t n = seq_.size();
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {

@@ -58,7 +58,7 @@ std::string Allocation::to_string(const ir::AccessSequence& seq) const {
 
 RegisterAllocator::RegisterAllocator(ProblemConfig config)
     : config_(config) {
-  check_arg(config_.modify_range >= 0,
+  check_arg(config_.cost_model().valid(),
             "RegisterAllocator: modify range must be non-negative");
   check_arg(config_.registers >= 1,
             "RegisterAllocator: need at least one address register");

@@ -51,8 +51,15 @@ struct Phase2Options {
 
 /// Full configuration of one allocation problem.
 struct ProblemConfig {
-  /// AGU maximum modify range M (>= 0).
+  /// AGU maximum modify range M (>= 0). Used as the symmetric window
+  /// [-M, M] unless `modify_lo`/`modify_hi` override it.
   std::int64_t modify_range = 1;
+  /// Asymmetric free-window bounds; when set they replace the
+  /// symmetric [-modify_range, modify_range] window.
+  std::optional<std::int64_t> modify_lo;
+  std::optional<std::int64_t> modify_hi;
+  /// Extra free auto-inc/dec widths outside the window.
+  std::vector<std::int64_t> free_widths;
   /// Number of physical address registers K (>= 1).
   std::size_t registers = 1;
   WrapPolicy wrap = WrapPolicy::kCyclic;
@@ -60,7 +67,14 @@ struct ProblemConfig {
   MergeOptions merge = {};
   Phase2Options phase2 = {};
 
-  CostModel cost_model() const { return CostModel{modify_range, wrap}; }
+  CostModel cost_model() const {
+    if (!modify_lo.has_value() && !modify_hi.has_value() &&
+        free_widths.empty()) {
+      return CostModel{modify_range, wrap};
+    }
+    return CostModel{modify_lo.value_or(-modify_range),
+                     modify_hi.value_or(modify_range), free_widths, wrap};
+  }
 };
 
 /// Diagnostic counters of one allocator run.

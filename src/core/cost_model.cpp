@@ -1,28 +1,25 @@
 #include "core/cost_model.hpp"
 
-#include <cstdlib>
-
 namespace dspaddr::core {
 
 namespace {
 
-bool within_range(std::optional<std::int64_t> distance, std::int64_t range) {
-  return distance.has_value() && std::llabs(*distance) <= range;
+bool free_transition(std::optional<std::int64_t> distance,
+                     const CostModel& model) {
+  return distance.has_value() && model.free_distance(*distance);
 }
 
 }  // namespace
 
 int intra_transition_cost(const ir::AccessSequence& seq, std::size_t p,
                           std::size_t q, const CostModel& model) {
-  return within_range(seq.intra_distance(p, q), model.modify_range) ? 0 : 1;
+  return free_transition(seq.intra_distance(p, q), model) ? 0 : 1;
 }
 
 int wrap_transition_cost(const ir::AccessSequence& seq, std::size_t last,
                          std::size_t first, const CostModel& model) {
   if (model.wrap == WrapPolicy::kAcyclic) return 0;
-  return within_range(seq.wrap_distance(last, first), model.modify_range)
-             ? 0
-             : 1;
+  return free_transition(seq.wrap_distance(last, first), model) ? 0 : 1;
 }
 
 bool intra_zero_cost(const ir::AccessSequence& seq, std::size_t p,

@@ -108,8 +108,11 @@ Result Engine::run(const Request& request) {
                   "unknown allocation strategy '" + request.strategy +
                       "' (" + known_strategy_names() + ")");
         core::ProblemConfig config;
-        config.modify_range = request.machine.modify_range;
-        config.registers = request.machine.address_registers;
+        config.modify_range = request.machine.modify_range();
+        config.modify_lo = request.machine.modify_lo;
+        config.modify_hi = request.machine.modify_hi;
+        config.free_widths = request.machine.free_widths;
+        config.registers = request.machine.address_registers();
         config.phase2 = request.phase2;
         allocation.emplace(strategy->allocate(seq, config));
         result.stats = allocation->stats();
@@ -123,12 +126,13 @@ Result Engine::run(const Request& request) {
     if (proceed) {
       proceed = run_stage(Stage::kPlan, [&] {
         result.plan = core::plan_modify_registers(
-            seq, *allocation, request.machine.modify_registers);
+            seq, *allocation, request.machine.modify_registers());
       });
     }
     if (proceed) {
       proceed = run_stage(Stage::kCodegen, [&] {
-        result.program = agu::generate_code(seq, *allocation, result.plan);
+        result.program = agu::generate_code(seq, *allocation, result.plan,
+                                            request.machine.addressing);
       });
     }
     if (proceed) {

@@ -15,7 +15,10 @@ std::string request_fingerprint(const Request& request,
   // pairs must never share a cache entry, even when they happen to
   // lower to the same sequence (e.g. single-array kernels, where every
   // layout is the identity).
-  key += "v2|layout=";
+  // v3: the machine's bare (K, L, M) triple was replaced by its full
+  // structural key, so machines that agree on the triple but differ in
+  // window asymmetry, free widths or addressing mode never alias.
+  key += "v3|layout=";
   key += request.layout;
   key += "|strat=";
   key += request.strategy;
@@ -32,12 +35,8 @@ std::string request_fingerprint(const Request& request,
   key += std::to_string(request.kernel.iterations());
   key += "|sim=";
   key += std::to_string(sim_iterations);
-  key += "|K=";
-  key += std::to_string(request.machine.address_registers);
-  key += "|L=";
-  key += std::to_string(request.machine.modify_registers);
-  key += "|M=";
-  key += std::to_string(request.machine.modify_range);
+  key += "|machine=";
+  key += request.machine.structural_key();
   key += "|p2=";
   key += std::to_string(static_cast<int>(request.phase2.mode));
   key += ',';

@@ -1,5 +1,6 @@
 #include "engine/serialize.hpp"
 
+#include "agu/machine_desc.hpp"
 #include "support/check.hpp"
 
 namespace dspaddr::engine {
@@ -26,12 +27,11 @@ JsonValue kernel_summary(const ir::Kernel& kernel) {
 }
 
 JsonValue machine_summary(const agu::AguSpec& machine) {
-  JsonValue json = JsonValue::object();
-  json.set("name", JsonValue::string(machine.name));
-  json.set("registers", from_size(machine.address_registers));
-  json.set("modify_registers", from_size(machine.modify_registers));
-  json.set("modify_range", JsonValue::number(machine.modify_range));
-  return json;
+  // The full declarative spec: round-trips through
+  // agu::machine_from_json and still carries the flat
+  // registers/modify_registers/modify_range summary older consumers
+  // read.
+  return agu::machine_to_json(machine);
 }
 
 JsonValue allocate_stage(const Result& result) {

@@ -9,7 +9,10 @@
 //
 // Schema (stages appear only when they ran; `error` only on failure):
 //   {"kernel": {"name", "arrays", "accesses", "iterations", "data_ops"},
-//    "machine": {"name", "registers", "modify_registers", "modify_range"},
+//    "machine": {"name", "description", "classes", "modify_lo",
+//                "modify_hi", "inc", "dec", "addressing",
+//                "registers", "modify_registers", "modify_range"}
+//               (the full declarative spec, agu::machine_to_json),
 //    "layout": "contiguous",
 //    "strategy": "two-phase",
 //    "stop_after": "metrics",

@@ -108,7 +108,7 @@ public:
     // A K of 0 is an allocation-stage error; clamp so the layout itself
     // stays well-defined and the allocator reports the real problem.
     const std::size_t k = std::max<std::size_t>(
-        std::min(machine.address_registers, kernel.arrays().size()), 1);
+        std::min(machine.address_registers(), kernel.arrays().size()), 1);
     const soa::GoaResult goa = soa::goa_allocate(seq, k);
 
     // Concatenate the register groups; within a group, order by the SOA

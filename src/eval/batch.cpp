@@ -37,11 +37,11 @@ std::vector<BatchTask> build_grid(const BatchConfig& config) {
       // An empty override sweeps exactly the machine's own value.
       const std::vector<std::size_t> registers =
           config.register_counts.empty()
-              ? std::vector<std::size_t>{machine.address_registers}
+              ? std::vector<std::size_t>{machine.address_registers()}
               : config.register_counts;
       const std::vector<std::int64_t> ranges =
           config.modify_ranges.empty()
-              ? std::vector<std::int64_t>{machine.modify_range}
+              ? std::vector<std::int64_t>{machine.modify_range()}
               : config.modify_ranges;
       for (const std::size_t k : registers) {
         for (const std::int64_t m : ranges) {
@@ -50,8 +50,15 @@ std::vector<BatchTask> build_grid(const BatchConfig& config) {
               BatchTask task;
               task.kernel = &kernel;
               task.machine = machine;
-              task.machine.address_registers = k;
-              task.machine.modify_range = m;
+              // Only explicit sweeps override the spec: an asymmetric
+              // window or free widths survive the no-override path
+              // untouched (set_modify_range would symmetrize them).
+              if (!config.register_counts.empty()) {
+                task.machine.set_address_registers(k);
+              }
+              if (!config.modify_ranges.empty()) {
+                task.machine.set_modify_range(m);
+              }
               task.layout = layout;
               task.strategy = strategy;
               task.phase2 = config.phase2;
@@ -71,9 +78,9 @@ BatchRow row_from_result(const engine::Result& result) {
   BatchRow row;
   row.kernel = result.kernel.name();
   row.machine = result.machine.name;
-  row.registers = result.machine.address_registers;
-  row.modify_range = result.machine.modify_range;
-  row.modify_registers = result.machine.modify_registers;
+  row.registers = result.machine.address_registers();
+  row.modify_range = result.machine.modify_range();
+  row.modify_registers = result.machine.modify_registers();
   row.layout = result.layout;
   row.strategy = result.strategy;
   row.accesses = result.accesses;

@@ -18,8 +18,8 @@ TEST(Machines, CatalogIsWellFormed) {
     SCOPED_TRACE(machine.name);
     EXPECT_FALSE(machine.name.empty());
     EXPECT_FALSE(machine.description.empty());
-    EXPECT_GE(machine.address_registers, 1u);
-    EXPECT_GE(machine.modify_range, 1);
+    EXPECT_GE(machine.address_registers(), 1u);
+    EXPECT_GE(machine.modify_range(), 1);
     names.insert(machine.name);
   }
   EXPECT_EQ(names.size(), machines.size()) << "duplicate machine names";
@@ -27,8 +27,8 @@ TEST(Machines, CatalogIsWellFormed) {
 
 TEST(Machines, LookupByName) {
   const AguSpec c25 = builtin_machine("tms320c25");
-  EXPECT_EQ(c25.address_registers, 8u);
-  EXPECT_EQ(c25.modify_registers, 1u);
+  EXPECT_EQ(c25.address_registers(), 8u);
+  EXPECT_EQ(c25.modify_registers(), 1u);
   EXPECT_THROW(builtin_machine("pdp11"), dspaddr::InvalidArgument);
   EXPECT_EQ(builtin_machine_names().size(), builtin_machines().size());
 }
@@ -72,7 +72,12 @@ TEST(Machines, SmallMachineCostsMore) {
 TEST(Machines, WiderImmediateRangeLowersAllocationCost) {
   // wide4 (M = 2, K = 4) vs a hypothetical M = 1, K = 4 machine.
   const ir::Kernel kernel = ir::paper_example_kernel();
-  const AguSpec narrow{"narrow4", "test", 4, 0, 1};
+  AguSpec narrow;
+  narrow.name = "narrow4";
+  narrow.description = "test";
+  narrow.set_address_registers(4);
+  narrow.set_modify_registers(0);
+  narrow.set_modify_range(1);
   const MachineRunReport n = run_on_machine(kernel, narrow);
   const MachineRunReport w =
       run_on_machine(kernel, builtin_machine("wide4"));

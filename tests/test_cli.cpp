@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "agu/machine_desc.hpp"
 #include "cli/app.hpp"
 #include "cli/kernel_io.hpp"
 #include "cli/options.hpp"
@@ -41,6 +42,40 @@ TEST(CliOptions, RunAllFlags) {
   EXPECT_EQ(options.iterations, 100u);
   EXPECT_EQ(options.format, cli::OutputFormat::kCsv);
   EXPECT_TRUE(options.show_program);
+}
+
+TEST(CliOptions, MachineFileFlags) {
+  const cli::RunOptions run = cli::parse_run_options(
+      {"--kernel", "f.c", "--machine-file", "x.machine"});
+  EXPECT_EQ(run.machine_file, "x.machine");
+
+  const cli::BatchOptions batch = cli::parse_batch_options(
+      {"--builtin", "fir", "--machine-file", "a.machine",
+       "--machine-file=b.machine"});
+  EXPECT_EQ(batch.machine_files,
+            (std::vector<std::string>{"a.machine", "b.machine"}));
+
+  const cli::CompareOptions compare = cli::parse_compare_options(
+      {"--kernel", "fir", "--machine-file", "c.machine"});
+  EXPECT_EQ(compare.machine_file, "c.machine");
+}
+
+TEST(CliOptions, MachinesSubcommand) {
+  const cli::MachinesOptions list = cli::parse_machines_options({});
+  EXPECT_EQ(list.format, cli::OutputFormat::kTable);
+  EXPECT_TRUE(list.show.empty());
+
+  const cli::MachinesOptions show = cli::parse_machines_options(
+      {"show", "wide4", "--format", "json", "--machine-file", "m.machine"});
+  EXPECT_EQ(show.show, "wide4");
+  EXPECT_EQ(show.format, cli::OutputFormat::kJson);
+  EXPECT_EQ(show.machine_files, (std::vector<std::string>{"m.machine"}));
+
+  EXPECT_THROW(cli::parse_machines_options({"show"}), cli::UsageError);
+  EXPECT_THROW(cli::parse_machines_options({"show", "a", "show", "b"}),
+               cli::UsageError);
+  EXPECT_THROW(cli::parse_machines_options({"frobnicate"}),
+               cli::UsageError);
 }
 
 TEST(CliOptions, EqualsSyntax) {
@@ -267,16 +302,32 @@ TEST(CliPipeline, ResolveMachineAppliesOverrides) {
   options.modify_registers = 5;
   const agu::AguSpec machine = cli::resolve_machine(options);
   EXPECT_EQ(machine.name, "wide4");
-  EXPECT_EQ(machine.address_registers, 2u);
-  EXPECT_EQ(machine.modify_registers, 5u);
-  EXPECT_EQ(machine.modify_range, 2);  // kept from the machine
+  EXPECT_EQ(machine.address_registers(), 2u);
+  EXPECT_EQ(machine.modify_registers(), 5u);
+  EXPECT_EQ(machine.modify_range(), 2);  // kept from the machine
 }
 
 TEST(CliPipeline, ResolveMachineDefaultsToSingleRegister) {
   const agu::AguSpec machine = cli::resolve_machine(cli::RunOptions{});
-  EXPECT_EQ(machine.address_registers, 1u);
-  EXPECT_EQ(machine.modify_registers, 0u);
-  EXPECT_EQ(machine.modify_range, 1);
+  EXPECT_EQ(machine.address_registers(), 1u);
+  EXPECT_EQ(machine.modify_registers(), 0u);
+  EXPECT_EQ(machine.modify_range(), 1);
+}
+
+TEST(CliPipeline, ResolveMachineFromFile) {
+  cli::RunOptions options;
+  options.machine_file =
+      std::string(DSPADDR_SOURCE_DIR) + "/workloads/machines/msp430x.machine";
+  // Without --machine the file's first machine runs.
+  const agu::AguSpec machine = cli::resolve_machine(options);
+  EXPECT_EQ(machine.name, "msp430x");
+  EXPECT_EQ(machine.modify_lo, 0);
+  EXPECT_EQ(machine.modify_hi, 1);
+  // With --machine, a file still leaves the catalog reachable.
+  options.machine = "minimal2";
+  EXPECT_EQ(cli::resolve_machine(options).name, "minimal2");
+  options.machine = "nope";
+  EXPECT_THROW(cli::resolve_machine(options), InvalidArgument);
 }
 
 // ----------------------------------------------------------- end to end
@@ -475,6 +526,58 @@ TEST(CliApp, MachinesAndKernelsHonorJsonFormat) {
   ASSERT_EQ(run({"machines", "--format", "csv"}, out, err), 0);
   EXPECT_EQ(out.substr(0, 5), "name,");
   EXPECT_EQ(run({"machines", "--format", "yaml"}, out, err), 2);
+}
+
+TEST(CliApp, MachinesShowRoundTrips) {
+  std::string out;
+  std::string err;
+  ASSERT_EQ(run({"machines", "show", "wide4"}, out, err), 0) << err;
+  // The text view is the canonical .machine form: parsing it back
+  // yields the catalog spec exactly.
+  const auto reparsed = agu::parse_machines(out, "show");
+  ASSERT_EQ(reparsed.size(), 1u);
+  EXPECT_EQ(reparsed[0], agu::builtin_machine("wide4"));
+
+  ASSERT_EQ(run({"machines", "show", "wide4", "--format", "json"}, out,
+                err),
+            0)
+      << err;
+  EXPECT_EQ(agu::machine_from_json(support::JsonValue::parse(out)),
+            agu::builtin_machine("wide4"));
+
+  EXPECT_EQ(run({"machines", "show", "pdp11"}, out, err), 1);
+  EXPECT_NE(err.find("unknown machine"), std::string::npos);
+}
+
+TEST(CliApp, MachinesListsFileMachines) {
+  const std::string file = std::string(DSPADDR_SOURCE_DIR) +
+                           "/workloads/machines/arm946e_wb.machine";
+  std::string out;
+  std::string err;
+  ASSERT_EQ(run({"machines", "--machine-file", file}, out, err), 0) << err;
+  EXPECT_NE(out.find("arm946e-wb"), std::string::npos);
+  EXPECT_NE(out.find("pre"), std::string::npos);
+  ASSERT_EQ(run({"machines", "show", "arm946e-wb", "--machine-file", file},
+                out, err),
+            0)
+      << err;
+  const auto reparsed = agu::parse_machines(out, "show");
+  ASSERT_EQ(reparsed.size(), 1u);
+  EXPECT_EQ(reparsed[0].addressing, agu::Addressing::kPreModify);
+}
+
+TEST(CliApp, RunHonorsMachineFile) {
+  const std::string file = std::string(DSPADDR_SOURCE_DIR) +
+                           "/workloads/machines/dsp56300.machine";
+  std::string out;
+  std::string err;
+  const int code = run({"run", "--kernel", kRoot + "paper_example.c",
+                        "--machine-file", file},
+                       out, err);
+  EXPECT_EQ(code, 0) << err;
+  EXPECT_NE(out.find("machine: dsp56300"), std::string::npos) << out;
+  EXPECT_NE(out.find("M=[-1, 3]"), std::string::npos) << out;
+  EXPECT_NE(out.find("VERIFIED"), std::string::npos);
 }
 
 TEST(CliApp, BatchSweepsTheStrategyAxis) {

@@ -15,9 +15,9 @@ eval::CompareConfig paper_config() {
   eval::CompareConfig config;
   config.kernel = ir::builtin_kernel("paper_example");
   config.machine.name = "custom";
-  config.machine.address_registers = 2;
-  config.machine.modify_registers = 0;
-  config.machine.modify_range = 1;
+  config.machine.set_address_registers(2);
+  config.machine.set_modify_registers(0);
+  config.machine.set_modify_range(1);
   return config;
 }
 
@@ -94,7 +94,7 @@ TEST(Compare, SharedEngineServesRepeatsFromTheCache) {
 
 TEST(Compare, PerCellFailuresStayInBand) {
   eval::CompareConfig config = paper_config();
-  config.machine.address_registers = 0;  // every cell fails to allocate
+  config.machine.set_address_registers(0);  // every cell fails to allocate
   config.strategies = {"two-phase", "naive"};
   const eval::CompareResult result = eval::run_compare(config);
   ASSERT_EQ(result.rows.size(), 2u);

@@ -84,7 +84,7 @@ TEST(EngineStages, StopAfterRunsOnlyThePrefix) {
 TEST(EngineStages, FailureIsStructuredNotThrown) {
   engine::Engine engine;
   engine::Request request = fir_request();
-  request.machine.address_registers = 0;
+  request.machine.set_address_registers(0);
   engine::Result result;
   ASSERT_NO_THROW(result = engine.run(request));
   ASSERT_FALSE(result.ok());
@@ -108,8 +108,24 @@ TEST(EngineFingerprint, IgnoresNamesButNotResources) {
   EXPECT_EQ(engine::request_fingerprint(renamed, seq), key);
 
   engine::Request more_registers = base;
-  more_registers.machine.address_registers += 1;
+  more_registers.machine.set_address_registers(
+      more_registers.machine.address_registers() + 1);
   EXPECT_NE(engine::request_fingerprint(more_registers, seq), key);
+
+  // v3 keys on the full machine spec: a window with the same M
+  // magnitude but a different shape must not alias the symmetric one,
+  // and neither must free widths or the addressing mode.
+  engine::Request asymmetric = base;
+  asymmetric.machine.modify_lo = 0;
+  EXPECT_NE(engine::request_fingerprint(asymmetric, seq), key);
+
+  engine::Request widths = base;
+  widths.machine.free_widths = {4};
+  EXPECT_NE(engine::request_fingerprint(widths, seq), key);
+
+  engine::Request pre = base;
+  pre.machine.addressing = agu::Addressing::kPreModify;
+  EXPECT_NE(engine::request_fingerprint(pre, seq), key);
 
   engine::Request other_phase2 = base;
   other_phase2.phase2.mode = core::Phase2Options::Mode::kHeuristic;
@@ -395,6 +411,25 @@ TEST(EngineParity, BuiltinGridMatchesGoldenCsv) {
             read_file(kSourceRoot + "/tests/golden/batch_small_grid.csv"));
 }
 
+TEST(EngineParity, MachineRegistryGridMatchesGoldenCsv) {
+  // The whole machine registry — builtin catalog plus every shipped
+  // file-only target — so asymmetric windows, free widths and
+  // pre-modify addressing stay pinned byte for byte.
+  agu::MachineRegistry registry = agu::MachineRegistry::with_builtins();
+  for (const char* file : {"msp430x.machine", "arm946e.machine",
+                           "dsp56300.machine", "arm946e_wb.machine"}) {
+    registry.load_file(kSourceRoot + "/workloads/machines/" + file);
+  }
+  eval::BatchConfig config;
+  config.kernels = {ir::builtin_kernel("fir"), ir::builtin_kernel("biquad")};
+  config.machines = registry.all();
+  config.jobs = 4;
+  const std::string csv =
+      eval::batch_to_csv(eval::run_batch(config)).to_string();
+  EXPECT_EQ(csv, read_file(kSourceRoot +
+                           "/tests/golden/batch_machines_grid.csv"));
+}
+
 TEST(EngineParity, SharedEngineAcrossSweepsKeepsCsvIdentical) {
   eval::BatchConfig config;
   config.kernels = {ir::builtin_kernel("fir"), ir::builtin_kernel("biquad")};
@@ -447,7 +482,7 @@ TEST(EngineSerialize, JsonOmitsStagesAfterStopOrError) {
   EXPECT_EQ(stages->find("simulate"), nullptr);
 
   engine::Request broken = fir_request();
-  broken.machine.address_registers = 0;
+  broken.machine.set_address_registers(0);
   const support::JsonValue failed = support::JsonValue::parse(
       engine::result_to_json_line(engine.run(broken)));
   ASSERT_NE(failed.find("error"), nullptr);

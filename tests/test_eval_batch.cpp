@@ -75,7 +75,7 @@ TEST(EvalBatch, BadCellIsReportedNotFatal) {
   eval::BatchConfig config;
   config.kernels = {ir::builtin_kernel("fir")};
   agu::AguSpec broken = agu::builtin_machine("minimal2");
-  broken.address_registers = 0;
+  broken.set_address_registers(0);
   config.machines = {broken, agu::builtin_machine("minimal2")};
   const eval::BatchResult result = eval::run_batch(config);
   ASSERT_EQ(result.rows.size(), 2u);
@@ -88,7 +88,7 @@ TEST(EvalBatch, ErrorRowsRenderEmptyMetricFields) {
   eval::BatchConfig config;
   config.kernels = {ir::builtin_kernel("fir")};
   agu::AguSpec broken = agu::builtin_machine("minimal2");
-  broken.address_registers = 0;
+  broken.set_address_registers(0);
   config.machines = {broken};
   const eval::BatchResult result = eval::run_batch(config);
   ASSERT_EQ(result.rows.size(), 1u);

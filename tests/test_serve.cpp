@@ -165,6 +165,62 @@ TEST(Serve, KernelFileRequest) {
             2);
 }
 
+TEST(Serve, MachineFileRequestLoadsAndOverrides) {
+  const std::string path = std::string(DSPADDR_SOURCE_DIR) +
+                           "/workloads/machines/dsp56300.machine";
+  const std::vector<std::string> lines = serve_lines(
+      "{\"id\":1,\"builtin\":\"fir\",\"machine_file\":\"" + path + "\"}\n"
+      "{\"id\":2,\"builtin\":\"fir\",\"machine_file\":\"" + path +
+      "\",\"registers\":2}\n"
+      "{\"id\":3,\"builtin\":\"fir\",\"machine_file\":\"" + path +
+      "\",\"machine\":\"minimal2\"}\n");
+  ASSERT_EQ(lines.size(), 3u);
+  const JsonValue loaded = JsonValue::parse(lines[0]);
+  EXPECT_EQ(loaded.find("machine")->find("name")->as_string(), "dsp56300");
+  EXPECT_EQ(loaded.find("machine")->find("modify_lo")->as_int(), -1);
+  EXPECT_EQ(loaded.find("machine")->find("modify_hi")->as_int(), 3);
+  const JsonValue overridden = JsonValue::parse(lines[1]);
+  EXPECT_EQ(overridden.find("machine")->find("registers")->as_int(), 2);
+  EXPECT_EQ(overridden.find("machine")->find("modify_hi")->as_int(), 3)
+      << "a K override must not flatten the asymmetric window";
+  // A file layers over the catalog; "machine" can still pick a builtin.
+  const JsonValue builtin = JsonValue::parse(lines[2]);
+  EXPECT_EQ(builtin.find("machine")->find("name")->as_string(), "minimal2");
+}
+
+TEST(Serve, InlineMachineSpecRequest) {
+  const std::vector<std::string> lines = serve_lines(
+      "{\"id\":1,\"builtin\":\"fir\",\"machine_spec\":"
+      "{\"registers\":4,\"modify_lo\":0,\"modify_hi\":1}}\n"
+      "{\"id\":2,\"builtin\":\"fir\",\"machine_spec\":"
+      "{\"name\":\"inline\",\"classes\":[{\"name\":\"r\","
+      "\"kind\":\"address\",\"count\":3}]}}\n"
+      "{\"id\":3,\"builtin\":\"fir\",\"machine_spec\":{\"wheels\":3}}\n"
+      "{\"id\":4,\"builtin\":\"fir\",\"machine\":\"wide4\","
+      "\"machine_spec\":{\"registers\":4}}\n"
+      "{\"id\":5,\"builtin\":\"fir\",\"machine\":\"pdp11\"}\n");
+  ASSERT_EQ(lines.size(), 5u);
+  const JsonValue flat = JsonValue::parse(lines[0]);
+  EXPECT_EQ(flat.find("machine")->find("name")->as_string(), "custom");
+  EXPECT_EQ(flat.find("machine")->find("modify_lo")->as_int(), 0);
+  const JsonValue full = JsonValue::parse(lines[1]);
+  EXPECT_EQ(full.find("machine")->find("name")->as_string(), "inline");
+  EXPECT_EQ(full.find("machine")->find("registers")->as_int(), 3);
+  // Unknown spec fields, spec+name conflicts and unknown machine names
+  // are all in-band request errors; the loop keeps going.
+  for (int i = 2; i < 5; ++i) {
+    const JsonValue error = JsonValue::parse(lines[i]);
+    ASSERT_NE(error.find("error"), nullptr) << lines[i];
+    EXPECT_EQ(error.find("error")->find("stage")->as_string(), "request");
+  }
+  EXPECT_NE(JsonValue::parse(lines[4])
+                .find("error")
+                ->find("message")
+                ->as_string()
+                .find("unknown machine 'pdp11'"),
+            std::string::npos);
+}
+
 TEST(Serve, BadRequestsAreAnsweredInBandAndTheLoopContinues) {
   const std::vector<std::string> lines = serve_lines(
       "this is not json\n"

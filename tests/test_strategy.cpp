@@ -23,9 +23,9 @@ engine::Request paper_request(std::size_t registers = 2) {
   engine::Request request;
   request.kernel = ir::builtin_kernel("paper_example");
   request.machine.name = "custom";
-  request.machine.address_registers = registers;
-  request.machine.modify_registers = 0;
-  request.machine.modify_range = 1;
+  request.machine.set_address_registers(registers);
+  request.machine.set_modify_registers(0);
+  request.machine.set_modify_range(1);
   return request;
 }
 

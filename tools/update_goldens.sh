@@ -38,5 +38,18 @@ fi
   --jobs 4 \
   --out "$repo/tests/golden/batch_workloads.csv"
 
+# The registry-wide grid of EngineParity.MachineRegistryGridMatchesGoldenCsv
+# (builtin catalog plus every shipped file-only .machine target, so the
+# declarative loader's asymmetric windows, free widths and pre-modify
+# addressing are all pinned byte for byte).
+"$dspaddr" batch \
+  --builtin fir,biquad \
+  --machine-file "$repo/workloads/machines/msp430x.machine" \
+  --machine-file "$repo/workloads/machines/arm946e.machine" \
+  --machine-file "$repo/workloads/machines/dsp56300.machine" \
+  --machine-file "$repo/workloads/machines/arm946e_wb.machine" \
+  --jobs 4 \
+  --out "$repo/tests/golden/batch_machines_grid.csv"
+
 echo "regenerated:"
 git -C "$repo" --no-pager diff --stat -- tests/golden || true
