@@ -15,13 +15,35 @@
 // under the same node cap, reporting solve rates, mean nodes explored,
 // the node-reduction factor, and checking that both report identical
 // optimal costs whenever both complete.
+//
+// Two further tables exercise the parallel and tiled solvers on real
+// unrolled workloads (workloads/*.kern):
+//  * the anytime ladder — heuristic vs tiled vs full exact on the
+//    50–200-access kernels the tiled mode exists for;
+//  * the scaling table — prefixes of the unrolled stencil at growing N
+//    under a fixed wall-clock budget, sequential vs parallel, with the
+//    max proven N per jobs level and a gate (the parallel solver must
+//    prove at least as deep as the sequential one). Pass
+//    --scaling-csv=PATH to also write the rows (nodes/sec, max proven
+//    N) as a CSV artifact for CI.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
 
 #include "baselines/baselines.hpp"
+#include "core/allocator.hpp"
 #include "core/exact.hpp"
+#include "core/tiled.hpp"
 #include "eval/patterns.hpp"
+#include "ir/layout.hpp"
+#include "ir/parser.hpp"
+#include "support/csv.hpp"
 #include "support/stats.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -161,6 +183,212 @@ void print_solver_table() {
             << cost_mismatches << " (must be 0)\n\n";
 }
 
+// ------------------------------------------------------------------
+// Real-workload tables: the anytime ladder and the parallel scaling
+// gate, both on the unrolled kernels in workloads/.
+
+ir::AccessSequence load_workload(const std::string& file) {
+  const std::string path =
+      std::string(DSPADDR_SOURCE_DIR) + "/workloads/" + file;
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "missing workload file " << path << "\n";
+    std::exit(1);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ir::lower(ir::parse_kernel(text.str()));
+}
+
+ir::AccessSequence sequence_prefix(const ir::AccessSequence& seq,
+                                   std::size_t n) {
+  std::vector<ir::Access> accesses(seq.accesses().begin(),
+                                   seq.accesses().begin() +
+                                       static_cast<std::ptrdiff_t>(n));
+  return ir::AccessSequence(std::move(accesses));
+}
+
+/// Wall-clock budget per solve in the workload tables. Small enough to
+/// keep the smoke run quick, large enough that the sequential solver
+/// proves the mid sizes — the interesting frontier.
+constexpr std::int64_t kWorkloadBudgetMs = 250;
+
+void print_workload_ladder() {
+  constexpr std::size_t kRegisters = 3;
+  const core::CostModel model{1, core::WrapPolicy::kCyclic};
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  support::Table table({"workload", "N", "K", "heuristic", "tiled",
+                        "windows proven", "exact", "exact status"});
+  for (const char* file :
+       {"fir64_unroll4.kern", "stencil3x3_unroll8.kern"}) {
+    const ir::AccessSequence seq = load_workload(file);
+
+    core::ProblemConfig config;
+    config.modify_range = 1;
+    config.registers = kRegisters;
+    config.phase2.mode = core::Phase2Options::Mode::kHeuristic;
+    const int heuristic = core::RegisterAllocator(config).run(seq).cost();
+
+    core::TiledOptions tiled_options;
+    tiled_options.time_budget_ms = kWorkloadBudgetMs;
+    const core::TiledResult tiled = core::tiled_min_cost_allocation(
+        seq, model, kRegisters, tiled_options);
+
+    core::ExactOptions exact_options;
+    exact_options.time_budget_ms = kWorkloadBudgetMs;
+    exact_options.max_nodes = 1'000'000'000;
+    exact_options.jobs = hw;
+    const core::ExactResult exact =
+        core::exact_min_cost_allocation(seq, model, kRegisters,
+                                        exact_options);
+
+    table.add_row({
+        file,
+        std::to_string(seq.size()),
+        std::to_string(kRegisters),
+        std::to_string(heuristic),
+        std::to_string(tiled.cost),
+        std::to_string(tiled.windows_proven) + "/" +
+            std::to_string(tiled.windows),
+        std::to_string(exact.cost),
+        exact.proven ? "proven"
+                     : "gap " + std::to_string(exact.gap()),
+    });
+  }
+  std::cout << "Anytime ladder on unrolled workloads (K = 3, M = 1, "
+            << kWorkloadBudgetMs << " ms budget per solver)\n\n";
+  table.write(std::cout);
+  std::cout << "\nheuristic = paper's two-phase merge; tiled = windowed "
+               "exact + stitching;\nexact = full anytime search at jobs="
+            << hw << ".\n\n";
+}
+
+/// One scaling measurement: the exact solver on an N-access prefix of
+/// the unrolled stencil at a fixed wall-clock budget.
+struct ScalingRow {
+  std::size_t n = 0;
+  std::size_t jobs = 0;
+  core::ExactResult result;
+  double nodes_per_sec = 0.0;
+};
+
+void print_scaling_table(const std::string& csv_path) {
+  constexpr std::size_t kRegisters = 3;
+  const char* kWorkload = "stencil3x3_unroll8.kern";
+  const core::CostModel model{1, core::WrapPolicy::kCyclic};
+  const ir::AccessSequence full = load_workload(kWorkload);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::vector<ScalingRow> rows;
+  std::size_t max_proven_seq = 0;
+  std::size_t max_proven_par = 0;
+  std::size_t cost_mismatches = 0;
+  support::Table table({"N", "jobs", "proven", "cost", "nodes",
+                        "nodes/sec", "subtree tasks"});
+  for (const std::size_t n : {24u, 32u, 40u, 48u, 56u, 64u, 72u}) {
+    if (n > full.size()) continue;
+    const ir::AccessSequence seq = sequence_prefix(full, n);
+    ScalingRow seq_row, par_row;
+    for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+      core::ExactOptions options;
+      options.time_budget_ms = kWorkloadBudgetMs;
+      options.max_nodes = 1'000'000'000;
+      options.jobs = jobs;
+      const auto start = std::chrono::steady_clock::now();
+      ScalingRow row;
+      row.n = n;
+      row.jobs = jobs;
+      row.result =
+          core::exact_min_cost_allocation(seq, model, kRegisters, options);
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      row.nodes_per_sec =
+          seconds > 0.0 ? static_cast<double>(row.result.nodes) / seconds
+                        : 0.0;
+      if (row.result.proven) {
+        if (jobs == 1) {
+          max_proven_seq = std::max(max_proven_seq, n);
+        } else {
+          max_proven_par = std::max(max_proven_par, n);
+        }
+      }
+      (jobs == 1 ? seq_row : par_row) = row;
+      table.add_row({
+          std::to_string(n),
+          std::to_string(jobs),
+          row.result.proven ? "yes" : "no",
+          std::to_string(row.result.cost),
+          std::to_string(row.result.nodes),
+          support::format_fixed(row.nodes_per_sec / 1e6, 2) + "M",
+          std::to_string(row.result.subtree_tasks),
+      });
+      rows.push_back(std::move(row));
+    }
+    // Proven costs are the optimum — any jobs-level disagreement is a
+    // solver bug, not a tuning artifact.
+    if (seq_row.result.proven && par_row.result.proven &&
+        seq_row.result.cost != par_row.result.cost) {
+      ++cost_mismatches;
+    }
+  }
+
+  std::cout << "Parallel scaling on " << kWorkload << " prefixes (K = "
+            << kRegisters << ", M = 1, " << kWorkloadBudgetMs
+            << " ms budget, " << hw << " hardware threads)\n\n";
+  table.write(std::cout);
+  std::cout << "\nmax proven N: sequential " << max_proven_seq
+            << ", parallel " << max_proven_par << "\n";
+  std::cout << "proven-cost mismatches across jobs levels: "
+            << cost_mismatches << " (must be 0)\n";
+  // The gate the CI smoke job greps for: parallelism must never lose
+  // proof depth. Sub-4-thread hosts cannot show a win (the subtree
+  // tasks just time-slice one core), so the gate is informational
+  // there, like bench_serve's throughput gate.
+  if (max_proven_par >= max_proven_seq && cost_mismatches == 0) {
+    std::cout << "scaling gate: parallel max proven N " << max_proven_par
+              << " >= sequential " << max_proven_seq << " (OK)\n\n";
+  } else if (hw < 4) {
+    std::cout << "scaling gate not enforced (" << hw
+              << " hardware threads)\n\n";
+  } else {
+    std::cout << "scaling gate: parallel max proven N " << max_proven_par
+              << " < sequential " << max_proven_seq << " (REGRESSION)\n\n";
+  }
+
+  if (csv_path.empty()) return;
+  support::CsvWriter csv({"workload", "n", "k", "jobs", "budget_ms",
+                          "proven", "cost", "lower_bound", "nodes",
+                          "nodes_per_sec", "subtree_tasks",
+                          "table_cap_hits", "max_proven_n"});
+  for (const ScalingRow& row : rows) {
+    csv.add_row({
+        kWorkload,
+        std::to_string(row.n),
+        std::to_string(kRegisters),
+        std::to_string(row.jobs),
+        std::to_string(kWorkloadBudgetMs),
+        row.result.proven ? "yes" : "no",
+        std::to_string(row.result.cost),
+        std::to_string(row.result.lower_bound),
+        std::to_string(row.result.nodes),
+        support::format_fixed(row.nodes_per_sec, 0),
+        std::to_string(row.result.subtree_tasks),
+        std::to_string(row.result.table_cap_hits),
+        std::to_string(row.jobs == 1 ? max_proven_seq : max_proven_par),
+    });
+  }
+  std::ofstream out(csv_path);
+  if (!out.good()) {
+    std::cerr << "cannot write scaling CSV to " << csv_path << "\n";
+    std::exit(1);
+  }
+  csv.write(out);
+  std::cout << "scaling CSV written to " << csv_path << "\n\n";
+}
+
 void BM_ExactAllocator(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   support::Rng rng(5);
@@ -197,8 +425,24 @@ BENCHMARK(BM_ExactAllocatorLegacy)->Arg(8)->Arg(12)->Arg(16);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Pull out our own flag before Google Benchmark sees (and rejects)
+  // it.
+  std::string scaling_csv;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--scaling-csv=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      scaling_csv = argv[i] + std::strlen(kFlag);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
   print_gap_table();
   print_solver_table();
+  print_workload_ladder();
+  print_scaling_table(scaling_csv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

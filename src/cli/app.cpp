@@ -32,6 +32,7 @@ int command_run(const std::vector<std::string>& args, std::ostream& out) {
   core::Phase2Options phase2;
   phase2.mode = options.phase2;
   phase2.time_budget_ms = options.time_budget_ms;
+  phase2.jobs = options.phase2_jobs;
   const engine::Result report =
       run_pipeline(kernel, machine, options.iterations, phase2,
                    options.layout, options.strategy);
@@ -84,6 +85,7 @@ int command_batch(const std::vector<std::string>& args, std::ostream& out) {
   config.jobs = options.jobs;
   config.phase2.mode = options.phase2;
   config.phase2.time_budget_ms = options.time_budget_ms;
+  config.phase2.jobs = options.phase2_jobs;
 
   const eval::BatchResult result = eval::run_batch(config);
   const std::string rendered = options.format == OutputFormat::kTable
@@ -288,8 +290,13 @@ commands:
               --strategy <name>      allocation strategy (two-phase, exact,
                                      naive, random-merge, round-robin,
                                      greedy-online)
-              --phase2 <mode>        auto|exact|heuristic phase-2 solver
-                                     (default: auto — exact for small kernels)
+              --phase2 <mode>        auto|exact|heuristic|tiled phase-2
+                                     solver (default: auto — exact for
+                                     small kernels; tiled = windowed
+                                     exact solves, stitched)
+              --phase2-jobs <n>      worker threads of the phase-2
+                                     search (default: 1; costs are
+                                     identical at any level)
               --time-budget-ms <ms>  wall-clock cap of the exact search
                                      (default: 0 = node budget only)
               --format table|csv|json
@@ -311,7 +318,11 @@ commands:
               --jobs <n>             worker threads (default: all
                                      hardware threads; CSV bytes never
                                      depend on the level)
-              --phase2 <mode>        auto|exact|heuristic phase-2 solver
+              --phase2 <mode>        auto|exact|heuristic|tiled phase-2
+                                     solver
+              --phase2-jobs <n>      phase-2 search threads per row
+                                     (default: 1; cost columns never
+                                     depend on the level)
               --time-budget-ms <ms>  wall-clock cap of the exact search
               --format csv|table     output format (default: csv)
               --out <file>           write output to a file

@@ -145,9 +145,12 @@ core::Phase2Options::Mode parse_phase2_mode(const std::string& text) {
   if (text == "heuristic") {
     return core::Phase2Options::Mode::kHeuristic;
   }
+  if (text == "tiled") {
+    return core::Phase2Options::Mode::kTiled;
+  }
   throw UsageError(
-      "--phase2: expected 'auto', 'exact' or 'heuristic', got '" + text +
-      "'");
+      "--phase2: expected 'auto', 'exact', 'heuristic' or 'tiled', got '" +
+      text + "'");
 }
 
 std::vector<std::string> parse_name_list(const std::string& text,
@@ -213,6 +216,8 @@ RunOptions parse_run_options(const std::vector<std::string>& args) {
       options.strategy = parse_strategy_name(value);
     } else if (match_flag(arg, "--phase2", cursor, value)) {
       options.phase2 = parse_phase2_mode(value);
+    } else if (match_flag(arg, "--phase2-jobs", cursor, value)) {
+      options.phase2_jobs = parse_size(value, "--phase2-jobs", 1);
     } else if (match_flag(arg, "--time-budget-ms", cursor, value)) {
       options.time_budget_ms = parse_int(value, "--time-budget-ms", 0);
     } else if (match_flag(arg, "--format", cursor, value)) {
@@ -257,6 +262,8 @@ BatchOptions parse_batch_options(const std::vector<std::string>& args) {
       options.jobs = parse_jobs(value);
     } else if (match_flag(arg, "--phase2", cursor, value)) {
       options.phase2 = parse_phase2_mode(value);
+    } else if (match_flag(arg, "--phase2-jobs", cursor, value)) {
+      options.phase2_jobs = parse_size(value, "--phase2-jobs", 1);
     } else if (match_flag(arg, "--time-budget-ms", cursor, value)) {
       options.time_budget_ms = parse_int(value, "--time-budget-ms", 0);
     } else if (match_flag(arg, "--format", cursor, value)) {

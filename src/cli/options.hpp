@@ -33,7 +33,8 @@ enum class OutputFormat {
 /// Parses "csv" / "table" / "json"; throws UsageError otherwise.
 OutputFormat parse_format(const std::string& text);
 
-/// Parses "auto" / "exact" / "heuristic"; throws UsageError otherwise.
+/// Parses "auto" / "exact" / "heuristic" / "tiled"; throws UsageError
+/// otherwise.
 core::Phase2Options::Mode parse_phase2_mode(const std::string& text);
 
 /// Default worker count of `--jobs`: the hardware concurrency, at
@@ -67,6 +68,10 @@ struct RunOptions {
   core::Phase2Options::Mode phase2 = core::Phase2Options::Mode::kAuto;
   /// Wall-clock budget of the exact phase-2 search; 0 = node cap only.
   std::int64_t time_budget_ms = 0;
+  /// Worker threads of the phase-2 search itself (not the grid runner's
+  /// --jobs): > 1 fans subtree tasks onto a TaskPool. Costs are
+  /// identical at any level; node counts may vary.
+  std::size_t phase2_jobs = 1;
   OutputFormat format = OutputFormat::kTable;
   /// Also print the generated address program.
   bool show_program = false;
@@ -97,6 +102,10 @@ struct BatchOptions {
   core::Phase2Options::Mode phase2 = core::Phase2Options::Mode::kAuto;
   /// Wall-clock budget of the exact phase-2 search; 0 = node cap only.
   std::int64_t time_budget_ms = 0;
+  /// Worker threads of each row's phase-2 search (the grid runner's
+  /// --jobs parallelizes across rows instead). Costs are identical at
+  /// any level, so the CSV cost columns never depend on it.
+  std::size_t phase2_jobs = 1;
   OutputFormat format = OutputFormat::kCsv;
   /// Output file; empty = stdout.
   std::string output_path;

@@ -107,6 +107,18 @@ std::string report_to_text(const engine::Result& report, bool show_program) {
         out << ", " << report.stats.phase2_nodes << " node(s)";
       }
     }
+    if (report.stats.phase2_windows > 0) {
+      out << "; tiled " << report.stats.phase2_windows_proven << "/"
+          << report.stats.phase2_windows << " window(s) proven";
+    }
+    if (report.stats.phase2_subtree_tasks > 0) {
+      out << ", " << report.stats.phase2_subtree_tasks
+          << " subtree task(s)";
+    }
+    if (report.stats.phase2_table_cap_hits > 0) {
+      out << ", " << report.stats.phase2_table_cap_hits
+          << " table-cap hit(s)";
+    }
   }
   out << "):\n";
   out << report.allocation_text << "\n";

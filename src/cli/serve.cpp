@@ -33,8 +33,8 @@ constexpr const char* kKnownKeys[] = {
     "machine",     "machine_file", "machine_spec",
     "registers",   "modify_range",
     "modify_registers", "iterations", "phase2",
-    "time_budget_ms", "stop_after", "layout",
-    "strategy",
+    "phase2_jobs", "time_budget_ms", "stop_after",
+    "layout",      "strategy",
 };
 
 void check_known_keys(const JsonValue& json) {
@@ -135,6 +135,11 @@ engine::Request request_from_json(const JsonValue& json,
   if (const JsonValue* phase2 = json.find("phase2")) {
     request.phase2.mode = parse_phase2_mode(phase2->as_string());
   }
+  // Defaults to 1 (sequential): a jobs level changes only diagnostics,
+  // never costs, but cached/batched responses must stay reproducible
+  // unless a request opts in.
+  request.phase2.jobs =
+      static_cast<std::size_t>(int_field(json, "phase2_jobs", 1, 1));
   request.phase2.time_budget_ms = int_field(json, "time_budget_ms", 0, 0);
   if (const JsonValue* stop_after = json.find("stop_after")) {
     const std::optional<engine::Stage> stage =

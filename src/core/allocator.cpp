@@ -1,10 +1,12 @@
 #include "core/allocator.hpp"
 
+#include <chrono>
 #include <limits>
 #include <sstream>
 
 #include "core/access_graph.hpp"
 #include "core/exact.hpp"
+#include "core/tiled.hpp"
 #include "core/validate.hpp"
 #include "support/check.hpp"
 
@@ -108,18 +110,63 @@ Allocation RegisterAllocator::run(const ir::AccessSequence& seq) const {
     ExactOptions options;
     options.max_nodes = phase2.max_nodes;
     options.time_budget_ms = phase2.time_budget_ms;
+    options.jobs = phase2.jobs;
     options.warm_start = paths;
+    const auto search_start = std::chrono::steady_clock::now();
     const ExactResult exact = exact_min_cost_allocation(
         seq, model, config_.registers, options);
+    const double search_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      search_start)
+            .count();
     stats.phase2_exact = true;
     stats.phase2_proven = exact.proven;
     stats.phase2_nodes = exact.nodes;
     stats.phase2_lower_bound = exact.lower_bound;
     stats.phase2_gap = exact.gap();
+    stats.phase2_table_cap_hits = exact.table_cap_hits;
+    stats.phase2_subtree_tasks = exact.subtree_tasks;
+    if (search_seconds > 0.0) {
+      stats.phase2_nodes_per_sec =
+          static_cast<double>(exact.nodes) / search_seconds;
+    }
     // Keep the heuristic's paths on a cost tie: the merge trace stays
     // meaningful and outputs stay stable across solver tweaks.
     if (exact.cost < heuristic_cost) {
       paths = exact.paths;
+      validate_allocation(seq, paths, config_.registers);
+    }
+  } else if (phase2.mode == Phase2Options::Mode::kTiled) {
+    TiledOptions options;
+    options.tile_width = phase2.tile_width;
+    options.tile_overlap = phase2.tile_overlap;
+    options.max_nodes = phase2.max_nodes;
+    options.time_budget_ms = phase2.time_budget_ms;
+    options.jobs = phase2.jobs;
+    const auto search_start = std::chrono::steady_clock::now();
+    const TiledResult tiled = tiled_min_cost_allocation(
+        seq, model, config_.registers, options);
+    const double search_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      search_start)
+            .count();
+    // A single window is a full exact solve; otherwise the result is
+    // anytime: at least as good as the heuristic, no global proof.
+    stats.phase2_exact = tiled.proven;
+    stats.phase2_proven = tiled.proven;
+    stats.phase2_nodes = tiled.nodes;
+    stats.phase2_lower_bound = tiled.proven ? tiled.cost : 0;
+    stats.phase2_gap = tiled.proven ? 0 : tiled.window_gap_total;
+    stats.phase2_table_cap_hits = tiled.table_cap_hits;
+    stats.phase2_subtree_tasks = tiled.subtree_tasks;
+    stats.phase2_windows = tiled.windows;
+    stats.phase2_windows_proven = tiled.windows_proven;
+    if (search_seconds > 0.0) {
+      stats.phase2_nodes_per_sec =
+          static_cast<double>(tiled.nodes) / search_seconds;
+    }
+    if (tiled.cost < heuristic_cost) {
+      paths = tiled.paths;
       validate_allocation(seq, paths, config_.registers);
     }
   }

@@ -35,6 +35,11 @@ struct Phase2Options {
     kExact,
     /// Only the paper's cost-guided merging (no optimality claim).
     kHeuristic,
+    /// Overlapping windows solved exactly, stitched heuristically
+    /// (core/tiled.hpp) — the anytime middle rung between kHeuristic
+    /// and kExact for long kernels. Proven only when one window covers
+    /// the whole sequence.
+    kTiled,
   };
 
   Mode mode = Mode::kAuto;
@@ -47,6 +52,13 @@ struct Phase2Options {
   /// Wall-clock budget in milliseconds; 0 disables the clock. Leave at
   /// 0 when byte-identical reruns matter (batch determinism).
   std::int64_t time_budget_ms = 0;
+  /// Worker threads of the phase-2 search (ExactOptions::jobs): 1 runs
+  /// the exact sequential search, > 1 fans subtree tasks onto a
+  /// TaskPool. Proven costs are identical at any level.
+  std::size_t jobs = 1;
+  /// Window geometry of kTiled (TiledOptions).
+  std::size_t tile_width = 20;
+  std::size_t tile_overlap = 6;
 };
 
 /// Full configuration of one allocation problem.
@@ -98,6 +110,21 @@ struct AllocationStats {
   int phase2_lower_bound = 0;
   /// Cost minus lower bound: 0 when proven, the anytime gap otherwise.
   int phase2_gap = 0;
+  /// Dominance lookups made while the phase-2 transposition table was
+  /// at its entry cap (insertion refused) — nonzero means a larger
+  /// table could have pruned more (ExactResult::table_cap_hits).
+  std::uint64_t phase2_table_cap_hits = 0;
+  /// Subtree tasks the parallel search fanned onto the pool (0 for a
+  /// sequential solve).
+  std::uint64_t phase2_subtree_tasks = 0;
+  /// Search throughput of the phase-2 solve (0 when it did not run).
+  /// Wall-clock derived — diagnostic only, never serialized into
+  /// byte-compared outputs.
+  double phase2_nodes_per_sec = 0.0;
+  /// Tiled mode: windows swept, and how many proved optimal within
+  /// their boundary (both 0 outside kTiled).
+  std::size_t phase2_windows = 0;
+  std::size_t phase2_windows_proven = 0;
 };
 
 /// The result: an assignment of every access to one address register.

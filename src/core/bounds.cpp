@@ -154,6 +154,15 @@ SuffixBounds::SuffixBounds(const ir::AccessSequence& seq,
           wrap_suffix_min_[(t + 1) * n_ + f], wrap_direct_[t * n_ + f]);
     }
   }
+  wrap_zero_horizon_.assign(n_, 0);
+  for (std::size_t f = 0; f < n_; ++f) {
+    for (std::size_t j = n_; j-- > 0;) {
+      if (wrap_direct_[j * n_ + f] == 0) {
+        wrap_zero_horizon_[f] = j + 1;
+        break;
+      }
+    }
+  }
 }
 
 int SuffixBounds::cheapest_incoming_suffix(std::size_t from) const {
@@ -169,6 +178,19 @@ int SuffixBounds::wrap_floor(std::size_t first, std::size_t last,
   if (!dense_) return 0;
   return std::min(wrap_direct_[last * n_ + first],
                   wrap_suffix_min_[from * n_ + first]);
+}
+
+int SuffixBounds::wrap_direct(std::size_t last, std::size_t first) const {
+  check_arg(first < n_ && last < n_,
+            "SuffixBounds: access index out of range");
+  if (!dense_) return 0;
+  return wrap_direct_[last * n_ + first];
+}
+
+std::size_t SuffixBounds::wrap_zero_horizon(std::size_t first) const {
+  check_arg(first < n_, "SuffixBounds: access index out of range");
+  if (!dense_) return std::numeric_limits<std::size_t>::max();
+  return wrap_zero_horizon_[first];
 }
 
 int SuffixBounds::root_lower_bound(std::size_t registers) const {

@@ -81,6 +81,18 @@ class SuffixBounds {
   int wrap_floor(std::size_t first, std::size_t last,
                  std::size_t from) const;
 
+  /// Cached wrap_transition_cost(last -> first) (0 under the trivial
+  /// bounds). The search caches this per open register so bound
+  /// evaluation never touches the O(N^2) tables.
+  int wrap_direct(std::size_t last, std::size_t first) const;
+
+  /// One past the largest access j with wrap_direct(j, first) == 0 —
+  /// costs are 0/1, so wrap_floor(first, last, from) is nonzero iff
+  /// wrap_direct(last, first) != 0 and from >= this horizon. 0 when no
+  /// zero-cost final access exists for `first`; SIZE_MAX under the
+  /// trivial bounds (the floor is always 0 there).
+  std::size_t wrap_zero_horizon(std::size_t first) const;
+
   /// Bound on the whole problem (the empty assignment) with `registers`
   /// registers available; a proven optimum can never be below this.
   int root_lower_bound(std::size_t registers) const;
@@ -95,6 +107,9 @@ class SuffixBounds {
   /// wrap_suffix_min_[t * n + f] = min_{j >= t} wrap_direct_[j][f]
   /// (row t == n holds an INT_MAX empty-minimum sentinel).
   std::vector<int> wrap_suffix_min_;
+  /// wrap_zero_horizon_[f] = 1 + max{j : wrap_direct_[j][f] == 0}, or
+  /// 0 when no zero-cost final access exists.
+  std::vector<std::size_t> wrap_zero_horizon_;
 };
 
 }  // namespace dspaddr::core

@@ -8,7 +8,10 @@ namespace dspaddr::core {
 
 namespace {
 
-/// Depth-first branch-and-bound over sequential path assignments.
+/// Branch-and-bound over sequential path assignments, flattened onto
+/// an explicit frame stack over a move arena (the same shape as the
+/// phase-2 search in core/exact.cpp) — no recursion, no per-node
+/// candidate vectors.
 class Search {
 public:
   Search(const AccessGraph& graph, std::size_t incumbent_size,
@@ -25,7 +28,9 @@ public:
   /// incumbent, if any.
   std::optional<std::vector<Path>> run() {
     open_.clear();
-    explore(0);
+    if (visit(0)) {
+      loop();
+    }
     return best_;
   }
 
@@ -33,60 +38,121 @@ public:
   bool completed() const { return !aborted_; }
 
 private:
-  void explore(std::size_t next_access) {
-    if (aborted_ || best_size_ <= lower_bound_) return;
+  /// A candidate placement of the frame's access: append to open path
+  /// `path`, or open a fresh one. The open move is generated eagerly
+  /// but re-guarded at apply time — the incumbent may have shrunk while
+  /// the appends below it were explored.
+  struct Move {
+    std::uint32_t path = 0;
+    bool open = false;
+  };
+
+  struct Frame {
+    std::uint32_t next = 0;
+    std::uint32_t move_begin = 0;
+    std::uint32_t move_end = 0;
+    std::uint32_t move_cursor = 0;
+    Move applied;
+    bool has_applied = false;
+  };
+
+  /// The visit steps of one node, in the recursive solver's order:
+  /// prune, count, leaf, then a frame with the ordered moves. True
+  /// when a frame was pushed.
+  bool visit(std::size_t next_access) {
+    if (aborted_ || best_size_ <= lower_bound_) return false;
     // The open-path count never decreases, so any subtree at or above
     // the incumbent cannot improve on it.
-    if (open_.size() >= best_size_) return;
+    if (open_.size() >= best_size_) return false;
     if (++nodes_ > node_limit_) {
       aborted_ = true;
-      return;
+      return false;
     }
 
     if (next_access == n_) {
       // Complete assignment: feasible iff every path wraps for free.
       for (const Path& path : open_) {
-        if (!graph_.wrap_edge(path.last(), path.first())) return;
+        if (!graph_.wrap_edge(path.last(), path.first())) return false;
       }
       best_ = open_;
       best_size_ = open_.size();
-      return;
+      return false;
     }
 
-    // Appending to an open path keeps the register count unchanged, so
-    // try appends first (cheapest-first) to reach good incumbents early.
-    std::vector<std::size_t> candidates;
-    candidates.reserve(open_.size());
+    push_frame(next_access);
+    return true;
+  }
+
+  /// Generates the candidate moves of `next_access` into the arena:
+  /// appends to zero-cost-compatible open paths first (nearest endpoint
+  /// first, to reach good incumbents early), then the fresh opening.
+  void push_frame(std::size_t next_access) {
+    const std::uint32_t begin = static_cast<std::uint32_t>(arena_.size());
     for (std::size_t p = 0; p < open_.size(); ++p) {
       if (intra_zero_cost(seq_, open_[p].last(), next_access, model_)) {
-        candidates.push_back(p);
+        arena_.push_back(Move{static_cast<std::uint32_t>(p), false});
       }
     }
-    std::sort(candidates.begin(), candidates.end(),
-              [&](std::size_t a, std::size_t b) {
+    std::sort(arena_.begin() + begin, arena_.end(),
+              [&](const Move& a, const Move& b) {
                 const std::int64_t da = std::llabs(
-                    *seq_.intra_distance(open_[a].last(), next_access));
+                    *seq_.intra_distance(open_[a.path].last(), next_access));
                 const std::int64_t db = std::llabs(
-                    *seq_.intra_distance(open_[b].last(), next_access));
+                    *seq_.intra_distance(open_[b.path].last(), next_access));
                 return da < db;
               });
-    for (std::size_t p : candidates) {
-      open_[p].append(next_access);
-      explore(next_access + 1);
-      // Undo the append (Path has no pop; rebuild cheaply).
-      std::vector<std::size_t> indices = open_[p].indices();
-      indices.pop_back();
-      open_[p] = Path(std::move(indices));
-      if (aborted_) return;
-    }
+    arena_.push_back(Move{0, true});
 
-    // Opening a new path increases the count, which never decreases
-    // again, so the branch can only improve when it stays below the
-    // incumbent.
-    if (open_.size() + 1 < best_size_) {
-      open_.push_back(Path::singleton(next_access));
-      explore(next_access + 1);
+    Frame frame;
+    frame.next = static_cast<std::uint32_t>(next_access);
+    frame.move_begin = begin;
+    frame.move_end = static_cast<std::uint32_t>(arena_.size());
+    frame.move_cursor = begin;
+    frames_.push_back(frame);
+  }
+
+  void apply_move(Frame& frame, const Move& move) {
+    if (move.open) {
+      open_.push_back(Path::singleton(frame.next));
+    } else {
+      open_[move.path].append(frame.next);
+    }
+    frame.applied = move;
+    frame.has_applied = true;
+  }
+
+  void undo_move(Frame& frame) {
+    if (frame.applied.open) {
       open_.pop_back();
+    } else {
+      // Undo the append (Path has no pop; rebuild cheaply).
+      std::vector<std::size_t> indices = open_[frame.applied.path].indices();
+      indices.pop_back();
+      open_[frame.applied.path] = Path(std::move(indices));
+    }
+    frame.has_applied = false;
+  }
+
+  /// The flat DFS driver. Opening a new path increases a count that
+  /// never decreases again, so the open move only applies while it
+  /// stays below the incumbent (checked against the *current* best —
+  /// the appends explored before it may have improved it).
+  void loop() {
+    while (!frames_.empty()) {
+      Frame& frame = frames_.back();
+      if (frame.has_applied) undo_move(frame);
+      if (aborted_ || frame.move_cursor == frame.move_end) {
+        arena_.resize(frame.move_begin);
+        frames_.pop_back();
+        continue;
+      }
+      const Move move = arena_[frame.move_cursor++];
+      if (move.open && open_.size() + 1 >= best_size_) {
+        // The trailing open move is always last; the frame is done.
+        continue;
+      }
+      apply_move(frame, move);
+      visit(frame.next + 1);
     }
   }
 
@@ -100,6 +166,8 @@ private:
   std::size_t best_size_;
   const std::size_t lower_bound_;
   const std::uint64_t node_limit_;
+  std::vector<Frame> frames_;
+  std::vector<Move> arena_;
   std::uint64_t nodes_ = 0;
   bool aborted_ = false;
 };

@@ -2,29 +2,45 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/bounds.hpp"
 #include "core/validate.hpp"
+#include "runtime/task_pool.hpp"
 #include "support/check.hpp"
 
 namespace dspaddr::core {
 
 namespace {
 
-/// Entries kept in the transposition table before insertion stops;
+/// Entries kept in a transposition table before insertion stops;
 /// lookups and in-place improvements continue past the cap, so the
-/// search stays correct, only less pruned.
-constexpr std::size_t kTableCap = std::size_t{1} << 21;
+/// search stays correct, only less pruned (and counts the refusals).
+constexpr std::size_t kDefaultTableCap = std::size_t{1} << 21;
 
 /// Dominance pruning tracks at most this many register states per key;
 /// beyond it the table is disabled (the other prunings keep working).
 /// Covers the whole builtin machine catalog (max K = 8).
 constexpr std::size_t kMaxDominanceRegisters = 8;
+
+/// The parallel frontier targets this many subtree tasks per worker —
+/// enough slack for the pool to balance uneven subtrees.
+constexpr std::size_t kFrontierTasksPerJob = 8;
+
+/// Breadth-first frontier expansion stops at this depth below the
+/// pinned prefix and after this many expansions — the tree is wide
+/// enough long before either limit on any instance worth fanning out.
+constexpr std::size_t kMaxFrontierDepth = 32;
+constexpr std::size_t kMaxFrontierExpansions = 4096;
 
 /// Fixed-size, allocation-free transposition key: the next access in
 /// words[0], then one (first << 32 | last) word per used register in
@@ -50,178 +66,340 @@ struct StateKeyHash {
   }
 };
 
-class ExactSearch {
+using Clock = std::chrono::steady_clock;
+using Table = std::unordered_map<StateKey, int, StateKeyHash>;
+
+constexpr std::size_t kUnassigned = std::numeric_limits<std::size_t>::max();
+
+/// A suspended search node of the breadth-first frontier expansion:
+/// the register of every access in [0, prefix.size()) plus the partial
+/// cost of those transitions.
+struct FrontierEntry {
+  std::vector<std::size_t> prefix;
+  int cost = 0;
+};
+
+/// Transposition table shared by every subtree task of a parallel
+/// solve, striped-mutexed so pruning decisions see the states *all*
+/// tasks have visited. Without it each task re-explores states its
+/// siblings already reached more cheaply — the dominant source of
+/// parallel node inflation. Pruning stays admissible under any
+/// interleaving: an entry holds the cheapest prefix cost any task has
+/// continued the search from, so a lookup at no lower cost can only
+/// cut subtrees whose best completion is matched elsewhere (and an
+/// aborted solve reports proven=false regardless).
+class SharedTable {
  public:
-  ExactSearch(const ir::AccessSequence& seq, const CostModel& model,
-              std::size_t registers, const ExactOptions& options)
-      : seq_(seq),
-        model_(model),
-        registers_(registers),
-        options_(options),
-        assignment_(seq.size(), kUnassigned),
-        best_assignment_(seq.size(), 0),
-        legacy_(!options.use_bounds && !options.use_dominance) {
-    // Only the bounded solver reads the O(N^2) tables; the legacy
-    // baseline must not pay for (or benefit from) their construction.
-    if (options_.use_bounds) {
-      bounds_.emplace(seq, model);
-    }
-  }
+  explicit SharedTable(std::size_t cap)
+      : stripe_cap_(std::max<std::size_t>(cap / kStripes, 1)) {}
 
-  ExactResult run() {
-    seed_incumbent_with_greedy_sweep();
-    seed_incumbent_with_warm_start();
-    states_.assign(registers_, RegisterState{});
-    move_scratch_.assign(seq_.size(), {});
-
-    // The root short-circuit belongs to the bounded solver; the legacy
-    // baseline must enumerate to prove, as the pre-rebuild DFS did.
-    const int root_lb =
-        bounds_.has_value() ? bounds_->root_lower_bound(registers_) : 0;
-    if (!options_.use_bounds || best_cost_ > root_lb) {
-      if (options_.time_budget_ms > 0) {
-        deadline_ = Clock::now() +
-                    std::chrono::milliseconds(options_.time_budget_ms);
-        has_deadline_ = true;
-      }
-      explore(0, 0);
+  /// True when the state was already reached at no higher cost;
+  /// records/improves the entry otherwise. Adds any insertion refusal
+  /// past the cap to `cap_hits`.
+  bool dominated(const StateKey& key, int cost, std::uint64_t& cap_hits) {
+    Stripe& stripe = stripes_[StateKeyHash{}(key) % kStripes];
+    const std::lock_guard<std::mutex> lock(stripe.mutex);
+    const auto it = stripe.map.find(key);
+    if (it != stripe.map.end()) {
+      if (it->second <= cost) return true;
+      it->second = cost;
+      return false;
     }
-
-    ExactResult result;
-    result.proven = !aborted_;
-    result.nodes = nodes_;
-    result.cost = best_cost_;
-    result.lower_bound =
-        result.proven ? best_cost_ : std::min(root_lb, best_cost_);
-    std::vector<std::vector<std::size_t>> groups(registers_);
-    for (std::size_t i = 0; i < seq_.size(); ++i) {
-      groups[best_assignment_[i]].push_back(i);
+    if (stripe.map.size() < stripe_cap_) {
+      stripe.map.emplace(key, cost);
+    } else {
+      ++cap_hits;
     }
-    for (auto& group : groups) {
-      if (!group.empty()) result.paths.emplace_back(std::move(group));
-    }
-    return result;
+    return false;
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
+  static constexpr std::size_t kStripes = 64;
+  struct Stripe {
+    std::mutex mutex;
+    Table map;
+  };
+  std::array<Stripe, kStripes> stripes_;
+  const std::size_t stripe_cap_;
+};
 
-  static constexpr std::size_t kUnassigned =
-      std::numeric_limits<std::size_t>::max();
+/// Problem, budgets and cross-task shared state of one solve. The
+/// incumbent cost is read lock-free for pruning; the witness
+/// assignment (and the authoritative cost guarding updates) live under
+/// the mutex. Everything else is read-only while searchers run.
+struct SearchContext {
+  SearchContext(const ir::AccessSequence& sequence, const CostModel& cost_model,
+                std::size_t register_count, const ExactOptions& opts)
+      : seq(sequence),
+        model(cost_model),
+        registers(register_count),
+        options(opts),
+        table_cap(opts.table_cap == 0 ? kDefaultTableCap : opts.table_cap),
+        use_dominance(opts.use_dominance &&
+                      register_count <= kMaxDominanceRegisters),
+        legacy(!opts.use_bounds && !opts.use_dominance),
+        max_nodes(opts.max_nodes) {
+    // Only the bounded solver reads the O(N^2) tables; the legacy
+    // baseline must not pay for (or benefit from) their construction.
+    if (options.use_bounds) {
+      bounds.emplace(seq, model);
+    }
+  }
 
+  /// Starts the wall clock immediately before the search proper, so
+  /// table construction and incumbent seeding never eat the budget.
+  void arm_deadline() {
+    if (options.time_budget_ms > 0) {
+      deadline =
+          Clock::now() + std::chrono::milliseconds(options.time_budget_ms);
+      has_deadline = true;
+    }
+  }
+
+  /// Records a complete assignment when it strictly improves the
+  /// incumbent. Rare enough that the mutex never contends measurably;
+  /// the lock-free fast reject keeps losers off it entirely.
+  void record_solution(int total, const std::vector<std::size_t>& assignment) {
+    if (total >= best_cost.load(std::memory_order_relaxed)) return;
+    const std::lock_guard<std::mutex> lock(best_mutex);
+    if (total < best_cost.load(std::memory_order_relaxed)) {
+      best_cost.store(total, std::memory_order_relaxed);
+      best_assignment = assignment;
+    }
+  }
+
+  const ir::AccessSequence& seq;
+  const CostModel& model;
+  const std::size_t registers;
+  const ExactOptions& options;
+  std::optional<SuffixBounds> bounds;
+  const std::size_t table_cap;
+  const bool use_dominance;
+  /// The pre-anytime enumeration (register index order, fresh-register
+  /// rule only) — the measurement baseline for bench_exact_gap.
+  const bool legacy;
+
+  const std::uint64_t max_nodes;
+  bool has_deadline = false;
+  Clock::time_point deadline;
+
+  std::atomic<int> best_cost{std::numeric_limits<int>::max()};
+  std::mutex best_mutex;
+  std::vector<std::size_t> best_assignment;
+
+  std::atomic<std::uint64_t> nodes{0};
+  std::atomic<std::uint64_t> cap_hits{0};
+  std::atomic<bool> aborted{false};
+
+  /// Frozen dominance shard from the frontier expansion, read-only
+  /// during the parallel phase (lookups only — no cross-task writes).
+  const Table* frozen_table = nullptr;
+  /// Cross-task dominance table of the parallel phase (null for a
+  /// sequential solve, which keeps its faster lock-free private table).
+  SharedTable* shared_table = nullptr;
+};
+
+/// One flat branch-and-bound task: an explicit frame stack over a move
+/// arena explores every completion of a pinned prefix — no recursion,
+/// no per-node allocation. Node counts flush to the shared context
+/// every 1024 nodes; the wall clock and the cross-task abort flag are
+/// checked at the same cadence, while the node cap is checked per node
+/// (so `max_nodes = 10` still aborts after exactly 10 nodes
+/// sequentially). A sequential solve owns a private lock-free
+/// transposition table; parallel tasks share the context's striped
+/// table (and read the frozen root shard), so nothing unsynchronized
+/// is written cross-task.
+class Searcher {
+ public:
+  Searcher(SearchContext& ctx, std::size_t table_cap)
+      : ctx_(ctx),
+        n_(ctx.seq.size()),
+        table_cap_(table_cap),
+        use_bound_terms_(ctx.bounds.has_value() && ctx.bounds->dense()),
+        states_(ctx.registers),
+        assignment_(ctx.seq.size(), kUnassigned) {}
+
+  /// Explores every completion of `prefix` (accesses [0, prefix.size())
+  /// pinned), sharing the incumbent, node budget and abort state.
+  void run(const std::vector<std::size_t>& prefix) {
+    if (ctx_.aborted.load(std::memory_order_relaxed)) return;
+    const int prefix_cost = replay_prefix(prefix);
+    if (visit(prefix.size(), prefix_cost)) {
+      loop();
+    }
+    flush();
+  }
+
+  /// Expands one frontier entry in place of searching it: performs the
+  /// visit steps on the entry's own node (bound, count, leaf,
+  /// dominance against the expansion-shared `table`), then appends one
+  /// child entry per surviving move. Returns false when the solve
+  /// aborted (budget or clock).
+  bool expand(const FrontierEntry& entry, Table* table,
+              std::deque<FrontierEntry>& queue) {
+    if (ctx_.aborted.load(std::memory_order_relaxed)) return false;
+    const int cost = replay_prefix(entry.prefix);
+    const std::size_t next = entry.prefix.size();
+    if (lower_bound(next, cost) >=
+        ctx_.best_cost.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    if (!count_node()) return false;
+    if (next == n_) {
+      record_leaf(cost);
+      return true;
+    }
+    if (table != nullptr) {
+      const StateKey key = state_key(next);
+      const auto it = table->find(key);
+      if (it != table->end()) {
+        if (it->second <= cost) return true;
+        it->second = cost;
+      } else if (table->size() < table_cap_) {
+        table->emplace(key, cost);
+      } else {
+        ++local_cap_hits_;
+      }
+    }
+    push_frame(next, cost);
+    const Frame frame = frames_.back();
+    for (std::uint32_t m = frame.move_begin; m < frame.move_end; ++m) {
+      FrontierEntry child;
+      child.prefix = entry.prefix;
+      child.prefix.push_back(arena_[m].reg);
+      child.cost = cost + arena_[m].step;
+      queue.push_back(std::move(child));
+    }
+    frames_.pop_back();
+    arena_.resize(frame.move_begin);
+    return true;
+  }
+
+  /// Canonical transposition key of a replayed prefix (frontier dedup).
+  StateKey key_of_prefix(const std::vector<std::size_t>& prefix) {
+    replay_prefix(prefix);
+    return state_key(prefix.size());
+  }
+
+  /// Publishes any locally buffered node / cap-hit counts.
+  void flush() {
+    if (local_nodes_ != 0) {
+      flushed_total_ =
+          ctx_.nodes.fetch_add(local_nodes_, std::memory_order_relaxed) +
+          local_nodes_;
+      local_nodes_ = 0;
+    }
+    if (local_cap_hits_ != 0) {
+      ctx_.cap_hits.fetch_add(local_cap_hits_, std::memory_order_relaxed);
+      local_cap_hits_ = 0;
+    }
+  }
+
+ private:
   struct RegisterState {
     bool used = false;
-    std::size_t first = 0;
-    std::size_t last = 0;
+    std::uint32_t first = 0;
+    std::uint32_t last = 0;
+    /// Cached wrap cost last -> first and `first`'s zero-wrap horizon
+    /// — the incremental form of SuffixBounds::wrap_floor, updated
+    /// O(1) on assign/undo so bound evaluation touches no O(N^2)
+    /// table.
+    std::uint8_t wrap_direct = 0;
+    std::size_t wrap_horizon = 0;
   };
 
   /// Candidate placement of the next access, for cheapest-first
   /// ordering.
   struct Move {
-    std::size_t reg = 0;
-    int step = 0;
-    bool fresh = false;
+    std::uint32_t reg;
+    std::int32_t step;
+    bool fresh;
   };
 
-  /// Cheap left-to-right sweep (place each access on the register with
-  /// the cheapest transition) to start the search with a finite
-  /// incumbent; dramatically improves pruning.
-  void seed_incumbent_with_greedy_sweep() {
-    std::vector<RegisterState> states(registers_);
-    std::vector<std::size_t> assignment(seq_.size(), 0);
+  /// One suspended search node: the arena slice of its candidate
+  /// moves, the cursor into them, and the undo record of the move
+  /// currently applied below it.
+  struct Frame {
+    std::uint32_t next = 0;  ///< the access this frame assigns
+    int cost = 0;            ///< partial cost before assigning it
+    std::uint32_t move_begin = 0;
+    std::uint32_t move_end = 0;
+    std::uint32_t move_cursor = 0;
+    std::uint32_t applied_reg = 0;
+    std::uint32_t saved_last = 0;
+    std::uint8_t saved_direct = 0;
+    bool applied_fresh = false;
+    bool has_applied = false;
+  };
+
+  void reset() {
+    states_.assign(ctx_.registers, RegisterState{});
+    used_count_ = 0;
+    std::fill(assignment_.begin(), assignment_.end(), kUnassigned);
+    frames_.clear();
+    arena_.clear();
+    aborted_ = false;
+  }
+
+  /// Applies a pinned prefix and returns its transition cost.
+  int replay_prefix(const std::vector<std::size_t>& prefix) {
+    reset();
     int cost = 0;
-    for (std::size_t i = 0; i < seq_.size(); ++i) {
-      std::size_t best_r = 0;
-      int best_step = std::numeric_limits<int>::max();
-      for (std::size_t r = 0; r < registers_; ++r) {
-        const int step =
-            states[r].used
-                ? intra_transition_cost(seq_, states[r].last, i, model_)
-                : 0;
-        if (step < best_step) {
-          best_step = step;
-          best_r = r;
-        }
-      }
-      if (!states[best_r].used) {
-        states[best_r] = RegisterState{true, i, i};
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+      RegisterState& state = states_[prefix[i]];
+      if (state.used) {
+        cost += transition(state.last, i);
+        state.last = static_cast<std::uint32_t>(i);
+        state.wrap_direct = wrap_cost(i, state.first);
       } else {
-        cost += best_step;
-        states[best_r].last = i;
+        state.used = true;
+        state.first = state.last = static_cast<std::uint32_t>(i);
+        state.wrap_direct = wrap_cost(i, i);
+        state.wrap_horizon = horizon(i);
+        ++used_count_;
       }
-      assignment[i] = best_r;
+      assignment_[i] = prefix[i];
     }
-    for (const RegisterState& s : states) {
-      if (s.used) {
-        cost += wrap_transition_cost(seq_, s.last, s.first, model_);
-      }
-    }
-    // The greedy assignment is achievable, so it is a valid incumbent:
-    // the search then only records strictly better solutions, and an
-    // exhausted search proves the incumbent optimal.
-    best_cost_ = cost;
-    best_assignment_ = assignment;
+    return cost;
   }
 
-  /// Replaces the greedy incumbent with the caller's warm start (e.g.
-  /// the two-phase heuristic's allocation) when that is cheaper. The
-  /// warm start must be a valid exact cover: every access on exactly
-  /// one path (duplicate coverage would double-count total_cost and
-  /// seed an unachievable incumbent, silently corrupting the proof).
-  void seed_incumbent_with_warm_start() {
-    if (options_.warm_start.empty()) return;
-    std::size_t covered = 0;
-    std::vector<std::size_t> assignment(seq_.size(), kUnassigned);
-    for (std::size_t r = 0; r < options_.warm_start.size(); ++r) {
-      covered += options_.warm_start[r].size();
-      for (std::size_t i = 0; i < options_.warm_start[r].size(); ++i) {
-        const std::size_t access = options_.warm_start[r][i];
-        check_arg(access < seq_.size(),
-                  "exact_min_cost_allocation: warm start access index "
-                  "out of range");
-        assignment[access] = r;
-      }
-    }
-    check_arg(covered == seq_.size() &&
-                  std::find(assignment.begin(), assignment.end(),
-                            kUnassigned) == assignment.end() &&
-                  options_.warm_start.size() <= registers_,
-              "exact_min_cost_allocation: warm start is not a valid "
-              "allocation");
-    const int cost = total_cost(seq_, options_.warm_start, model_);
-    if (cost >= best_cost_) return;
-    best_cost_ = cost;
-    best_assignment_ = std::move(assignment);
+  int transition(std::size_t last, std::size_t next) const {
+    return intra_transition_cost(ctx_.seq, last, next, ctx_.model);
   }
 
-  int wrap_total() const {
-    int total = 0;
-    for (const RegisterState& s : states_) {
-      if (s.used) {
-        total += wrap_transition_cost(seq_, s.last, s.first, model_);
-      }
-    }
-    return total;
+  /// Wrap cost last -> first: the dense bound table when available
+  /// (one read), the cost model otherwise — identical values.
+  std::uint8_t wrap_cost(std::size_t last, std::size_t first) const {
+    const int cost =
+        use_bound_terms_
+            ? ctx_.bounds->wrap_direct(last, first)
+            : wrap_transition_cost(ctx_.seq, last, first, ctx_.model);
+    return static_cast<std::uint8_t>(cost);
   }
 
-  /// Admissible lower bound on partial cost + everything still to pay.
-  int lower_bound(std::size_t next_access, int partial_cost) const {
-    if (!bounds_.has_value()) return partial_cost;
-    const int unused = static_cast<int>(registers_ - used_count_);
-    int bound = partial_cost +
-                std::max(0, bounds_->cheapest_incoming_suffix(next_access) -
-                                unused);
+  std::size_t horizon(std::size_t first) const {
+    return use_bound_terms_ ? ctx_.bounds->wrap_zero_horizon(first) : 0;
+  }
+
+  /// Admissible lower bound on partial cost + everything still to pay,
+  /// evaluated from the per-register caches alone.
+  int lower_bound(std::size_t next, int partial) const {
+    if (!use_bound_terms_) return partial;
+    const int unused = static_cast<int>(ctx_.registers - used_count_);
+    int bound =
+        partial +
+        std::max(0, ctx_.bounds->cheapest_incoming_suffix(next) - unused);
     for (std::size_t r = 0; r < used_count_; ++r) {
-      bound += bounds_->wrap_floor(states_[r].first, states_[r].last,
-                                   next_access);
+      const RegisterState& s = states_[r];
+      if (s.wrap_direct != 0 && next >= s.wrap_horizon) ++bound;
     }
     return bound;
   }
 
-  StateKey state_key(std::size_t next_access) const {
+  StateKey state_key(std::size_t next) const {
     StateKey key;
     key.words.fill(~std::uint64_t{0});
-    key.words[0] = next_access;
+    key.words[0] = next;
     for (std::size_t r = 0; r < used_count_; ++r) {
       key.words[1 + r] =
           (static_cast<std::uint64_t>(states_[r].first) << 32) |
@@ -231,30 +409,70 @@ class ExactSearch {
   }
 
   /// True when the subtree can be cut because the same state was
-  /// already reached at no higher cost; records the new cost otherwise.
-  bool dominated(std::size_t next_access, int partial_cost) {
-    if (!options_.use_dominance || registers_ > kMaxDominanceRegisters) {
-      return false;
+  /// already reached at no higher cost; records the new cost
+  /// otherwise. The frozen root shard is consulted read-only: a hit
+  /// there means another task owns that subtree. Parallel tasks share
+  /// one striped table (every sibling's states prune here too);
+  /// a sequential solve keeps its lock-free private table.
+  bool dominated(std::size_t next, int cost) {
+    if (!ctx_.use_dominance) return false;
+    const StateKey key = state_key(next);
+    if (ctx_.frozen_table != nullptr) {
+      const auto frozen = ctx_.frozen_table->find(key);
+      if (frozen != ctx_.frozen_table->end() && frozen->second <= cost) {
+        return true;
+      }
     }
-    const StateKey key = state_key(next_access);
+    if (ctx_.shared_table != nullptr) {
+      return ctx_.shared_table->dominated(key, cost, local_cap_hits_);
+    }
     const auto it = table_.find(key);
     if (it != table_.end()) {
-      if (it->second <= partial_cost) return true;
-      it->second = partial_cost;
+      if (it->second <= cost) return true;
+      it->second = cost;
       return false;
     }
-    if (table_.size() < kTableCap) {
-      table_.emplace(key, partial_cost);
+    if (table_.size() < table_cap_) {
+      table_.emplace(key, cost);
+    } else {
+      ++local_cap_hits_;
     }
     return false;
   }
 
-  bool budget_exhausted() {
-    if (++nodes_ > options_.max_nodes) return true;
-    if (has_deadline_ && (nodes_ & 1023) == 0 && Clock::now() > deadline_) {
-      return true;
+  /// Per-node accounting: the node cap is exact, the wall clock and
+  /// the cross-task abort flag are read every 1024 nodes.
+  bool count_node() {
+    ++local_nodes_;
+    if (flushed_total_ + local_nodes_ > ctx_.max_nodes) {
+      abort_solve();
+      return false;
     }
-    return false;
+    if ((local_nodes_ & 1023) == 0) {
+      flush();
+      if (ctx_.has_deadline && Clock::now() > ctx_.deadline) {
+        abort_solve();
+        return false;
+      }
+      if (ctx_.aborted.load(std::memory_order_relaxed)) {
+        aborted_ = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void abort_solve() {
+    aborted_ = true;
+    ctx_.aborted.store(true, std::memory_order_relaxed);
+  }
+
+  void record_leaf(int cost) {
+    int total = cost;
+    for (std::size_t r = 0; r < used_count_; ++r) {
+      total += states_[r].wrap_direct;
+    }
+    ctx_.record_solution(total, assignment_);
   }
 
   /// True when registers `a` and `b` are interchangeable for every
@@ -262,127 +480,361 @@ class ExactSearch {
   /// endpoint accesses' (offset, stride), so value-identical first and
   /// last accesses make the subtrees isomorphic.
   bool equivalent_registers(std::size_t a, std::size_t b) const {
-    return seq_[states_[a].first] == seq_[states_[b].first] &&
-           seq_[states_[a].last] == seq_[states_[b].last];
+    return ctx_.seq[states_[a].first] == ctx_.seq[states_[b].first] &&
+           ctx_.seq[states_[a].last] == ctx_.seq[states_[b].last];
   }
 
-  void explore(std::size_t next_access, int partial_cost) {
-    if (aborted_ || lower_bound(next_access, partial_cost) >= best_cost_) {
-      return;
+  /// The visit steps of one node, in the same order (and with the same
+  /// node-counting semantics) as the pre-flattening recursive solver:
+  /// incumbent/bound prune, budget, leaf, dominance, then a frame with
+  /// the ordered moves. True when a frame was pushed.
+  bool visit(std::size_t next, int cost) {
+    if (aborted_ ||
+        lower_bound(next, cost) >=
+            ctx_.best_cost.load(std::memory_order_relaxed)) {
+      return false;
     }
-    if (budget_exhausted()) {
-      aborted_ = true;
-      return;
+    if (!count_node()) return false;
+    if (next == n_) {
+      record_leaf(cost);
+      return false;
     }
-
-    if (next_access == seq_.size()) {
-      const int total = partial_cost + wrap_total();
-      if (total < best_cost_) {
-        best_cost_ = total;
-        best_assignment_ = assignment_;
-      }
-      return;
-    }
-    if (dominated(next_access, partial_cost)) return;
-
-    if (legacy_) {
-      explore_children_legacy(next_access, partial_cost);
-      return;
-    }
-
-    // Used registers occupy indices [0, used_count_): collect one move
-    // per distinct register state plus at most one fresh opening, then
-    // branch cheapest-first.
-    std::vector<Move>& moves = move_scratch_[next_access];
-    moves.clear();
-    for (std::size_t r = 0; r < used_count_; ++r) {
-      bool symmetric = false;
-      for (std::size_t prior = 0; prior < r && !symmetric; ++prior) {
-        symmetric = equivalent_registers(prior, r);
-      }
-      if (symmetric) continue;
-      moves.push_back(
-          Move{r,
-               intra_transition_cost(seq_, states_[r].last, next_access,
-                                     model_),
-               false});
-    }
-    if (used_count_ < registers_) {
-      moves.push_back(Move{used_count_, 0, true});
-    }
-    std::stable_sort(moves.begin(), moves.end(),
-                     [](const Move& a, const Move& b) {
-                       if (a.step != b.step) return a.step < b.step;
-                       return !a.fresh && b.fresh;
-                     });
-
-    for (const Move& move : moves) {
-      apply_move(move, next_access, partial_cost);
-      if (aborted_) return;
-    }
+    if (dominated(next, cost)) return false;
+    push_frame(next, cost);
+    return true;
   }
 
-  /// The pre-anytime enumeration (register index order, fresh-register
-  /// rule only) — the measurement baseline for bench_exact_gap.
-  void explore_children_legacy(std::size_t next_access, int partial_cost) {
-    bool opened_fresh_register = false;
-    for (std::size_t r = 0; r < registers_; ++r) {
-      if (!states_[r].used) {
-        if (opened_fresh_register) break;
-        opened_fresh_register = true;
-        apply_move(Move{r, 0, true}, next_access, partial_cost);
-      } else {
-        apply_move(
-            Move{r,
-                 intra_transition_cost(seq_, states_[r].last, next_access,
-                                       model_),
-                 false},
-            next_access, partial_cost);
+  /// Generates the candidate moves of `next` into the arena and pushes
+  /// the frame. Used registers occupy indices [0, used_count_): one
+  /// move per distinct register state plus at most one fresh opening,
+  /// cheapest-first. Legacy keeps plain register-index order.
+  void push_frame(std::size_t next, int cost) {
+    const std::uint32_t begin = static_cast<std::uint32_t>(arena_.size());
+    if (ctx_.legacy) {
+      for (std::size_t r = 0; r < ctx_.registers; ++r) {
+        if (!states_[r].used) {
+          arena_.push_back(Move{static_cast<std::uint32_t>(r), 0, true});
+          break;  // only the first unused register ever opens
+        }
+        arena_.push_back(Move{static_cast<std::uint32_t>(r),
+                              transition(states_[r].last, next), false});
       }
-      if (aborted_) return;
-    }
-  }
-
-  void apply_move(const Move& move, std::size_t next_access,
-                  int partial_cost) {
-    RegisterState& state = states_[move.reg];
-    assignment_[next_access] = move.reg;
-    if (move.fresh) {
-      state = RegisterState{true, next_access, next_access};
-      ++used_count_;
-      explore(next_access + 1, partial_cost);
-      --used_count_;
-      state = RegisterState{};
     } else {
-      const std::size_t saved_last = state.last;
-      state.last = next_access;
-      explore(next_access + 1, partial_cost + move.step);
-      state.last = saved_last;
+      for (std::size_t r = 0; r < used_count_; ++r) {
+        bool symmetric = false;
+        for (std::size_t prior = 0; prior < r && !symmetric; ++prior) {
+          symmetric = equivalent_registers(prior, r);
+        }
+        if (symmetric) continue;
+        arena_.push_back(Move{static_cast<std::uint32_t>(r),
+                              transition(states_[r].last, next), false});
+      }
+      if (used_count_ < ctx_.registers) {
+        arena_.push_back(
+            Move{static_cast<std::uint32_t>(used_count_), 0, true});
+      }
+      std::stable_sort(arena_.begin() + begin, arena_.end(),
+                       [](const Move& a, const Move& b) {
+                         if (a.step != b.step) return a.step < b.step;
+                         return !a.fresh && b.fresh;
+                       });
     }
-    assignment_[next_access] = kUnassigned;
+    Frame frame;
+    frame.next = static_cast<std::uint32_t>(next);
+    frame.cost = cost;
+    frame.move_begin = begin;
+    frame.move_end = static_cast<std::uint32_t>(arena_.size());
+    frame.move_cursor = begin;
+    frames_.push_back(frame);
   }
 
-  const ir::AccessSequence& seq_;
-  const CostModel& model_;
-  const std::size_t registers_;
-  const ExactOptions& options_;
-  std::optional<SuffixBounds> bounds_;
+  void apply_move(Frame& frame, const Move& move) {
+    RegisterState& state = states_[move.reg];
+    assignment_[frame.next] = move.reg;
+    frame.applied_reg = move.reg;
+    frame.applied_fresh = move.fresh;
+    frame.has_applied = true;
+    if (move.fresh) {
+      state.used = true;
+      state.first = state.last = frame.next;
+      state.wrap_direct = wrap_cost(frame.next, frame.next);
+      state.wrap_horizon = horizon(frame.next);
+      ++used_count_;
+    } else {
+      frame.saved_last = state.last;
+      frame.saved_direct = state.wrap_direct;
+      state.last = frame.next;
+      state.wrap_direct = wrap_cost(frame.next, state.first);
+    }
+  }
+
+  void undo_move(Frame& frame) {
+    RegisterState& state = states_[frame.applied_reg];
+    assignment_[frame.next] = kUnassigned;
+    if (frame.applied_fresh) {
+      state = RegisterState{};
+      --used_count_;
+    } else {
+      state.last = frame.saved_last;
+      state.wrap_direct = frame.saved_direct;
+    }
+    frame.has_applied = false;
+  }
+
+  /// The flat DFS driver: the top frame undoes its applied move, then
+  /// either advances to its next candidate or pops (releasing its
+  /// arena slice). An abort just unwinds — the incumbent is already
+  /// recorded in the context.
+  void loop() {
+    while (!frames_.empty()) {
+      Frame& frame = frames_.back();
+      if (frame.has_applied) undo_move(frame);
+      if (aborted_ || frame.move_cursor == frame.move_end) {
+        arena_.resize(frame.move_begin);
+        frames_.pop_back();
+        continue;
+      }
+      const Move move = arena_[frame.move_cursor++];
+      apply_move(frame, move);
+      visit(frame.next + 1, frame.cost + move.step);
+    }
+  }
+
+  SearchContext& ctx_;
+  const std::size_t n_;
+  const std::size_t table_cap_;
+  const bool use_bound_terms_;
 
   std::vector<RegisterState> states_;
   std::size_t used_count_ = 0;
   std::vector<std::size_t> assignment_;
-  std::vector<std::size_t> best_assignment_;
-  int best_cost_ = std::numeric_limits<int>::max();
-  std::uint64_t nodes_ = 0;
-  bool aborted_ = false;
-  const bool legacy_;
+  std::vector<Frame> frames_;
+  std::vector<Move> arena_;
+  Table table_;
 
-  Clock::time_point deadline_;
-  bool has_deadline_ = false;
-  std::unordered_map<StateKey, int, StateKeyHash> table_;
-  /// Per-depth move buffers (avoids an allocation per search node).
-  std::vector<std::vector<Move>> move_scratch_;
+  std::uint64_t local_nodes_ = 0;
+  std::uint64_t flushed_total_ = 0;
+  std::uint64_t local_cap_hits_ = 0;
+  bool aborted_ = false;
 };
+
+/// Cheap left-to-right sweep (place each access on the register with
+/// the cheapest transition, honoring any pinned prefix) to start the
+/// search with a finite incumbent; dramatically improves pruning.
+void seed_incumbent_with_greedy_sweep(SearchContext& ctx) {
+  struct SweepState {
+    bool used = false;
+    std::size_t first = 0;
+    std::size_t last = 0;
+  };
+  const ir::AccessSequence& seq = ctx.seq;
+  const std::vector<std::size_t>& pinned = ctx.options.pinned_prefix;
+  std::vector<SweepState> states(ctx.registers);
+  std::vector<std::size_t> assignment(seq.size(), 0);
+  int cost = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    std::size_t best_r = 0;
+    int best_step = std::numeric_limits<int>::max();
+    if (i < pinned.size()) {
+      best_r = pinned[i];
+      best_step = states[best_r].used
+                      ? intra_transition_cost(seq, states[best_r].last, i,
+                                              ctx.model)
+                      : 0;
+    } else {
+      for (std::size_t r = 0; r < ctx.registers; ++r) {
+        const int step =
+            states[r].used
+                ? intra_transition_cost(seq, states[r].last, i, ctx.model)
+                : 0;
+        if (step < best_step) {
+          best_step = step;
+          best_r = r;
+        }
+      }
+    }
+    if (!states[best_r].used) {
+      states[best_r] = SweepState{true, i, i};
+    } else {
+      cost += best_step;
+      states[best_r].last = i;
+    }
+    assignment[i] = best_r;
+  }
+  for (const SweepState& s : states) {
+    if (s.used) {
+      cost += wrap_transition_cost(seq, s.last, s.first, ctx.model);
+    }
+  }
+  // The greedy assignment is achievable (it respects the pin), so it
+  // is a valid incumbent: the search then only records strictly better
+  // solutions, and an exhausted search proves the incumbent optimal.
+  ctx.best_cost.store(cost, std::memory_order_relaxed);
+  ctx.best_assignment = std::move(assignment);
+}
+
+/// Replaces the greedy incumbent with the caller's warm start (e.g.
+/// the two-phase heuristic's allocation) when that is cheaper. The
+/// warm start must be a valid exact cover: every access on exactly
+/// one path (duplicate coverage would double-count total_cost and
+/// seed an unachievable incumbent, silently corrupting the proof) —
+/// and must agree with any pinned prefix, or the incumbent would not
+/// live in the searched subspace.
+void seed_incumbent_with_warm_start(SearchContext& ctx) {
+  const std::vector<Path>& warm = ctx.options.warm_start;
+  if (warm.empty()) return;
+  const ir::AccessSequence& seq = ctx.seq;
+  std::size_t covered = 0;
+  std::vector<std::size_t> assignment(seq.size(), kUnassigned);
+  for (std::size_t r = 0; r < warm.size(); ++r) {
+    covered += warm[r].size();
+    for (std::size_t i = 0; i < warm[r].size(); ++i) {
+      const std::size_t access = warm[r][i];
+      check_arg(access < seq.size(),
+                "exact_min_cost_allocation: warm start access index "
+                "out of range");
+      assignment[access] = r;
+    }
+  }
+  check_arg(covered == seq.size() &&
+                std::find(assignment.begin(), assignment.end(),
+                          kUnassigned) == assignment.end() &&
+                warm.size() <= ctx.registers,
+            "exact_min_cost_allocation: warm start is not a valid "
+            "allocation");
+  const std::vector<std::size_t>& pinned = ctx.options.pinned_prefix;
+  for (std::size_t i = 0; i < pinned.size(); ++i) {
+    check_arg(assignment[i] == pinned[i],
+              "exact_min_cost_allocation: warm start disagrees with the "
+              "pinned prefix");
+  }
+  const int cost = total_cost(seq, warm, ctx.model);
+  if (cost >= ctx.best_cost.load(std::memory_order_relaxed)) return;
+  ctx.best_cost.store(cost, std::memory_order_relaxed);
+  ctx.best_assignment = std::move(assignment);
+}
+
+/// Fans the shallow frontier onto a TaskPool: a deterministic
+/// breadth-first expansion (always the shallowest entry, the same
+/// move order as the search) grows the root into ~8 subtree tasks per
+/// worker, the expansion's dominance shard is frozen read-only, and
+/// every task searches its pinned prefix against the shared incumbent.
+/// Returns the task count (0 when the expansion finished the search by
+/// itself).
+std::uint64_t run_parallel(SearchContext& ctx, std::size_t jobs) {
+  const std::size_t target = jobs * kFrontierTasksPerJob;
+  const std::size_t depth_limit =
+      ctx.options.pinned_prefix.size() + kMaxFrontierDepth;
+
+  std::deque<FrontierEntry> queue;
+  queue.push_back(FrontierEntry{ctx.options.pinned_prefix, 0});
+  Table expansion_table;
+  Table* expansion = ctx.use_dominance ? &expansion_table : nullptr;
+  Searcher scout(ctx, ctx.table_cap);
+  std::size_t expansions = 0;
+  bool expansion_aborted = false;
+  while (!queue.empty() && queue.size() < target &&
+         expansions < kMaxFrontierExpansions &&
+         queue.front().prefix.size() < depth_limit) {
+    const FrontierEntry entry = std::move(queue.front());
+    queue.pop_front();
+    ++expansions;
+    if (!scout.expand(entry, expansion, queue)) {
+      expansion_aborted = true;
+      break;
+    }
+  }
+  scout.flush();
+  if (expansion_aborted || queue.empty()) return 0;
+
+  // Distinct prefixes can reach identical states; their subtrees are
+  // isomorphic, so keep only the cheapest task per state (first wins
+  // ties — deterministic).
+  std::vector<FrontierEntry> tasks(std::make_move_iterator(queue.begin()),
+                                   std::make_move_iterator(queue.end()));
+  if (ctx.use_dominance) {
+    std::unordered_map<StateKey, std::size_t, StateKeyHash> seen;
+    std::vector<FrontierEntry> unique;
+    unique.reserve(tasks.size());
+    for (FrontierEntry& entry : tasks) {
+      const StateKey key = scout.key_of_prefix(entry.prefix);
+      const auto [it, inserted] = seen.emplace(key, unique.size());
+      if (inserted) {
+        unique.push_back(std::move(entry));
+      } else if (entry.cost < unique[it->second].cost) {
+        unique[it->second] = std::move(entry);
+      }
+    }
+    tasks = std::move(unique);
+  }
+
+  // Cheapest prefixes first: the likeliest improvements to the greedy
+  // incumbent are found early, so expensive subtrees prune at their
+  // root. Deterministic (stable order on cost ties).
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [](const FrontierEntry& a, const FrontierEntry& b) {
+                     return a.cost < b.cost;
+                   });
+
+  SharedTable shared(ctx.table_cap);
+  ctx.frozen_table = expansion;
+  if (ctx.use_dominance) ctx.shared_table = &shared;
+  {
+    runtime::TaskPool pool(std::min(jobs, tasks.size()), tasks.size());
+    for (const FrontierEntry& entry : tasks) {
+      pool.submit([&ctx, &entry] {
+        Searcher searcher(ctx, ctx.table_cap);
+        searcher.run(entry.prefix);
+      });
+    }
+    pool.shutdown();
+    pool.rethrow_first_failure();
+  }
+  ctx.shared_table = nullptr;
+  ctx.frozen_table = nullptr;
+  return tasks.size();
+}
+
+ExactResult run_search(const ir::AccessSequence& seq, const CostModel& model,
+                       std::size_t registers, const ExactOptions& options) {
+  SearchContext ctx(seq, model, registers, options);
+  seed_incumbent_with_greedy_sweep(ctx);
+  seed_incumbent_with_warm_start(ctx);
+
+  // The root short-circuit belongs to the bounded solver; the legacy
+  // baseline must enumerate to prove, as the pre-rebuild DFS did.
+  const int root_lb =
+      ctx.bounds.has_value() ? ctx.bounds->root_lower_bound(registers) : 0;
+  std::uint64_t subtree_tasks = 0;
+  if (!options.use_bounds ||
+      ctx.best_cost.load(std::memory_order_relaxed) > root_lb) {
+    ctx.arm_deadline();
+    const std::size_t jobs = std::max<std::size_t>(1, options.jobs);
+    if (jobs == 1) {
+      Searcher searcher(ctx, ctx.table_cap);
+      searcher.run(options.pinned_prefix);
+    } else {
+      subtree_tasks = run_parallel(ctx, jobs);
+    }
+  }
+
+  ExactResult result;
+  result.proven = !ctx.aborted.load(std::memory_order_relaxed);
+  result.nodes = ctx.nodes.load(std::memory_order_relaxed);
+  result.cost = ctx.best_cost.load(std::memory_order_relaxed);
+  result.lower_bound =
+      result.proven ? result.cost : std::min(root_lb, result.cost);
+  result.table_cap_hits = ctx.cap_hits.load(std::memory_order_relaxed);
+  result.subtree_tasks = subtree_tasks;
+  std::vector<std::vector<std::size_t>> groups(registers);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    groups[ctx.best_assignment[i]].push_back(i);
+  }
+  for (auto& group : groups) {
+    if (!group.empty()) result.paths.emplace_back(std::move(group));
+  }
+  return result;
+}
 
 }  // namespace
 
@@ -400,8 +852,24 @@ ExactResult exact_min_cost_allocation(const ir::AccessSequence& seq,
 
   // More registers than accesses never helps (each access occupies at
   // most one); clamping keeps the state tables small for generous K.
-  ExactSearch search(seq, model, std::min(registers, seq.size()), options);
-  ExactResult result = search.run();
+  const std::size_t effective = std::min(registers, seq.size());
+  check_arg(options.pinned_prefix.size() <= seq.size(),
+            "exact_min_cost_allocation: pinned prefix longer than the "
+            "sequence");
+  std::size_t opened = 0;
+  for (const std::size_t reg : options.pinned_prefix) {
+    check_arg(reg < effective,
+              "exact_min_cost_allocation: pinned register out of range");
+    if (reg == opened) {
+      ++opened;
+    } else {
+      check_arg(reg < opened,
+                "exact_min_cost_allocation: pinned prefix must open "
+                "registers in increasing order (fresh rule)");
+    }
+  }
+
+  ExactResult result = run_search(seq, model, effective, options);
   check_invariant(result.cost != std::numeric_limits<int>::max(),
                   "exact_min_cost_allocation: no assignment found");
   validate_allocation(seq, result.paths, registers);

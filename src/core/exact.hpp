@@ -9,11 +9,16 @@
 // the cost model.
 //
 // Search shape: accesses are assigned in sequence order; a state is the
-// (first, last) pair per register. Four prunings keep the exponential
+// (first, last) pair per register. The search itself is *flat*: an
+// explicit frame stack over an arena of candidate moves replaces
+// recursion, so a subtree can start from any pinned prefix — the
+// mechanism behind both the parallel frontier fan-out and the tiled
+// window solver (core/tiled.hpp). Four prunings keep the exponential
 // tree tractable far beyond the old incumbent-only DFS:
 //  * an admissible lower bound on the unassigned suffix
-//    (core::SuffixBounds): cheapest-incoming-transition relaxation per
-//    access plus a wrap-cost floor per open register;
+//    (core::SuffixBounds), maintained incrementally: each open register
+//    caches its wrap cost and zero-wrap horizon, updated O(1) on
+//    assign/undo, so bound evaluation never re-reads the O(N^2) tables;
 //  * register symmetry breaking: only the lowest-numbered unused
 //    register is ever opened, and extending a register whose (first,
 //    last) accesses are value-identical (same offset and stride) to an
@@ -23,6 +28,12 @@
 //    already-seen state at no lower cost;
 //  * move ordering: cheapest transition first, so good incumbents
 //    appear early and the incumbent bound bites sooner.
+// With `jobs > 1` the shallow frontier is expanded breadth-first
+// (deterministically) into subtree tasks fanned onto a
+// runtime::TaskPool sharing an atomic incumbent: the *cost* of the
+// result (and the proof) is identical at any jobs level, while the
+// witness assignment may differ among cost ties and node counts vary
+// with scheduling.
 // The search is *anytime*: it is seeded with a greedy incumbent (or the
 // caller's warm start), honors node and wall-clock budgets, and on
 // abort returns the best incumbent with `proven == false` and the
@@ -40,12 +51,13 @@ namespace dspaddr::core {
 
 struct ExactOptions {
   /// Hard cap on search nodes; hitting it degrades `proven` to false
-  /// but keeps the best incumbent.
+  /// but keeps the best incumbent. Shared across subtree tasks when
+  /// `jobs > 1`.
   std::uint64_t max_nodes = 50'000'000;
   /// Wall-clock budget in milliseconds; 0 disables the clock. A timed
   /// abort keeps the best incumbent, like the node cap (but unlike it,
   /// makes results machine-dependent — leave at 0 when reproducibility
-  /// matters).
+  /// matters). The clock is read every ~1024 nodes, not per node.
   std::int64_t time_budget_ms = 0;
   /// Suffix lower bounds (SuffixBounds). Off reproduces the legacy
   /// incumbent-only DFS, kept for A/B measurement in bench_exact_gap.
@@ -53,21 +65,47 @@ struct ExactOptions {
   /// Dominance pruning via the transposition table (auto-disabled for
   /// K > 8, where the fixed-size state key no longer fits).
   bool use_dominance = true;
+  /// Worker threads of the search itself. 1 (the default) runs the
+  /// exact sequential search; > 1 fans the shallow frontier onto a
+  /// TaskPool. Proven costs are identical at any level; the witness
+  /// assignment may differ among cost ties and node counts vary.
+  std::size_t jobs = 1;
+  /// Transposition-table entry cap; 0 uses the built-in default
+  /// (2^21). Lookups past the cap still prune (and are counted in
+  /// ExactResult::table_cap_hits), only insertion stops.
+  std::size_t table_cap = 0;
+  /// Pin accesses [0, pinned_prefix.size()) to these registers and
+  /// search only the completions. The pin must follow the fresh rule
+  /// (register r first appears only after registers 0..r-1, i.e.
+  /// first occurrences in increasing register order) so the state
+  /// canonicalization stays valid. The reported cost includes the
+  /// pinned transitions.
+  std::vector<std::size_t> pinned_prefix;
   /// Optional warm-start incumbent: a valid allocation of the sequence
   /// onto at most `registers` registers (e.g. the two-phase heuristic's
-  /// result). The search then only explores improvements on it.
+  /// result) that agrees with `pinned_prefix`. The search then only
+  /// explores improvements on it.
   std::vector<Path> warm_start;
 };
 
 struct ExactResult {
   std::vector<Path> paths;
   int cost = 0;
-  /// True when the search completed (the cost is provably minimal).
+  /// True when the search completed (the cost is provably minimal;
+  /// with a pinned prefix, minimal among its completions).
   bool proven = false;
   std::uint64_t nodes = 0;
   /// Best proven lower bound on the optimum: the cost itself when
   /// `proven`, otherwise the admissible root bound.
   int lower_bound = 0;
+  /// Dominance lookups made while the transposition table was at its
+  /// entry cap (insertion refused) — nonzero means a larger table
+  /// could have pruned more.
+  std::uint64_t table_cap_hits = 0;
+  /// Subtree tasks fanned onto the pool (0 for a sequential solve or
+  /// when the frontier expansion already finished the search). A
+  /// deterministic function of the problem and `jobs`.
+  std::uint64_t subtree_tasks = 0;
 
   /// Optimality gap of the incumbent (0 when proven).
   int gap() const { return cost - lower_bound; }

@@ -1,0 +1,209 @@
+#include "core/tiled.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/exact.hpp"
+#include "core/validate.hpp"
+#include "support/check.hpp"
+
+namespace dspaddr::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kUnassigned = std::numeric_limits<std::size_t>::max();
+
+struct Window {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t overlap = 0;  ///< leading accesses pinned by the predecessor
+};
+
+/// Overlapping windows covering [0, n): each starts `tile_overlap`
+/// before its predecessor's end, so the last window always owns at
+/// least one fresh access.
+std::vector<Window> make_windows(std::size_t n, std::size_t width,
+                                 std::size_t overlap) {
+  std::vector<Window> windows;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t end = std::min(begin + width, n);
+    windows.push_back(Window{begin, end, windows.empty() ? 0 : overlap});
+    if (end == n) break;
+    begin = end - overlap;
+  }
+  return windows;
+}
+
+}  // namespace
+
+TiledResult tiled_min_cost_allocation(const ir::AccessSequence& seq,
+                                      const CostModel& model,
+                                      std::size_t registers,
+                                      const TiledOptions& options) {
+  check_arg(registers >= 1,
+            "tiled_min_cost_allocation: need at least one register");
+  check_arg(options.tile_width >= 2,
+            "tiled_min_cost_allocation: tile width must be >= 2");
+  check_arg(options.tile_overlap < options.tile_width,
+            "tiled_min_cost_allocation: tile overlap must be smaller "
+            "than the tile width");
+
+  TiledResult result;
+  if (seq.empty()) {
+    result.proven = true;
+    return result;
+  }
+
+  const std::vector<Window> windows =
+      make_windows(seq.size(), options.tile_width, options.tile_overlap);
+  result.windows = windows.size();
+
+  // A single window is the full problem: solve it under the real model
+  // and the proof (or gap) passes through unchanged.
+  const bool single_window = windows.size() == 1;
+  CostModel window_model = model;
+  if (!single_window) {
+    // Wrap costs are meaningless mid-sequence — every register keeps
+    // running into the next window — so windows use the acyclic
+    // relaxation; the real wrap costs are paid once on the assembled
+    // global paths below.
+    window_model.wrap = WrapPolicy::kAcyclic;
+  }
+
+  std::vector<std::size_t> global_assignment(seq.size(), kUnassigned);
+  std::vector<bool> global_used(registers, false);
+  std::vector<std::size_t> global_last(registers, 0);
+  const std::uint64_t nodes_per_window =
+      std::max<std::uint64_t>(options.max_nodes / windows.size(), 1);
+  const Clock::time_point sweep_start = Clock::now();
+
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    const Window& window = windows[w];
+    const std::size_t len = window.end - window.begin;
+
+    std::vector<ir::Access> accesses;
+    accesses.reserve(len);
+    for (std::size_t i = window.begin; i < window.end; ++i) {
+      accesses.push_back(seq[i]);
+    }
+    const ir::AccessSequence sub_seq(std::move(accesses));
+
+    // Pin the overlap to the predecessor's choices, canonicalized by
+    // first appearance so the pin obeys the search's fresh rule. The
+    // canon map doubles as the local -> global register mapping.
+    std::vector<std::size_t> local_to_global;
+    std::vector<std::size_t> pinned;
+    pinned.reserve(window.overlap);
+    for (std::size_t i = window.begin; i < window.begin + window.overlap;
+         ++i) {
+      const std::size_t global = global_assignment[i];
+      std::size_t local = local_to_global.size();
+      for (std::size_t g = 0; g < local_to_global.size(); ++g) {
+        if (local_to_global[g] == global) {
+          local = g;
+          break;
+        }
+      }
+      if (local == local_to_global.size()) {
+        local_to_global.push_back(global);
+      }
+      pinned.push_back(local);
+    }
+
+    ExactOptions exact_options;
+    exact_options.max_nodes = nodes_per_window;
+    exact_options.jobs = options.jobs;
+    exact_options.pinned_prefix = pinned;
+    if (options.time_budget_ms > 0) {
+      const std::int64_t elapsed_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              Clock::now() - sweep_start)
+              .count();
+      const std::int64_t remaining_ms =
+          std::max<std::int64_t>(options.time_budget_ms - elapsed_ms, 1);
+      exact_options.time_budget_ms = std::max<std::int64_t>(
+          remaining_ms / static_cast<std::int64_t>(windows.size() - w), 1);
+    }
+
+    const ExactResult window_result = exact_min_cost_allocation(
+        sub_seq, window_model, registers, exact_options);
+    result.nodes += window_result.nodes;
+    result.table_cap_hits += window_result.table_cap_hits;
+    result.subtree_tasks += window_result.subtree_tasks;
+    if (window_result.proven) ++result.windows_proven;
+    result.window_gap_total += window_result.gap();
+
+    // Local register r owns result.paths[r]: the solver groups accesses
+    // by register index and the fresh rule keeps used indices
+    // contiguous, so no path is ever empty below the highest one.
+    std::vector<std::size_t> local_assignment(len, kUnassigned);
+    for (std::size_t r = 0; r < window_result.paths.size(); ++r) {
+      for (std::size_t i = 0; i < window_result.paths[r].size(); ++i) {
+        local_assignment[window_result.paths[r][i]] = r;
+      }
+    }
+
+    // Stitch registers the window opened beyond the pinned set onto
+    // globally cheapest physical registers: an unused register joins
+    // for free, a used one pays the (0/1) transition from its last
+    // committed access — evaluated on the full sequence under the real
+    // model. Each window maps locals to distinct globals, so the
+    // window-internal optimality is preserved verbatim.
+    for (std::size_t local = local_to_global.size();
+         local < window_result.paths.size(); ++local) {
+      const std::size_t first_access =
+          window.begin + window_result.paths[local][0];
+      int best_cost = std::numeric_limits<int>::max();
+      std::size_t best_global = kUnassigned;
+      for (std::size_t g = 0; g < registers; ++g) {
+        if (std::find(local_to_global.begin(), local_to_global.end(), g) !=
+            local_to_global.end()) {
+          continue;
+        }
+        const int cost =
+            global_used[g] ? intra_transition_cost(seq, global_last[g],
+                                                   first_access, model)
+                           : 0;
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_global = g;
+          if (cost == 0) break;
+        }
+      }
+      check_invariant(best_global != kUnassigned,
+                      "tiled_min_cost_allocation: window used more "
+                      "registers than available");
+      local_to_global.push_back(best_global);
+    }
+
+    for (std::size_t i = window.begin + window.overlap; i < window.end;
+         ++i) {
+      global_assignment[i] =
+          local_to_global[local_assignment[i - window.begin]];
+    }
+    for (std::size_t i = window.begin; i < window.end; ++i) {
+      global_used[global_assignment[i]] = true;
+      global_last[global_assignment[i]] = i;
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> groups(registers);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    groups[global_assignment[i]].push_back(i);
+  }
+  for (auto& group : groups) {
+    if (!group.empty()) result.paths.emplace_back(std::move(group));
+  }
+  validate_allocation(seq, result.paths, registers);
+  result.cost = total_cost(seq, result.paths, model);
+  result.proven = single_window && result.windows_proven == 1;
+  return result;
+}
+
+}  // namespace dspaddr::core

@@ -56,6 +56,14 @@ JsonValue allocate_stage(const Result& result) {
              JsonValue::number(static_cast<std::int64_t>(
                  result.stats.phase2_lower_bound)));
   phase2.set("nodes", from_u64(result.stats.phase2_nodes));
+  phase2.set("table_cap_hits", from_u64(result.stats.phase2_table_cap_hits));
+  phase2.set("subtree_tasks", from_u64(result.stats.phase2_subtree_tasks));
+  phase2.set("windows", from_size(result.stats.phase2_windows));
+  phase2.set("windows_proven",
+             from_size(result.stats.phase2_windows_proven));
+  // phase2_nodes_per_sec is wall-clock derived and deliberately NOT
+  // serialized: responses stay byte-identical across reruns and jobs
+  // levels (modulo the documented node-count variance).
   json.set("phase2", std::move(phase2));
   return json;
 }

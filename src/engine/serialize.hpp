@@ -22,7 +22,9 @@
 //      "allocate": {"k_tilde", "cost", "intra_cost", "wrap_cost",
 //                   "phase1_exact", "merges",
 //                   "phase2": {"exact", "proven", "gap", "lower_bound",
-//                              "nodes"}},
+//                              "nodes", "table_cap_hits",
+//                              "subtree_tasks", "windows",
+//                              "windows_proven"}},
 //      "plan":     {"modify_registers": [{"value", "covered"}, ...],
 //                   "covered_per_iteration", "residual_cost"},
 //      "codegen":  {"setup_instructions", "body_instructions",

@@ -91,6 +91,7 @@ BatchRow row_from_result(const engine::Result& result) {
   row.phase2_proven = result.stats.phase2_proven;
   row.phase2_gap = result.stats.phase2_gap;
   row.phase2_nodes = result.stats.phase2_nodes;
+  row.phase2_table_cap_hits = result.stats.phase2_table_cap_hits;
   row.size_reduction_percent = result.size_reduction_percent;
   row.speed_reduction_percent = result.speed_reduction_percent;
   row.verified = result.verified;
@@ -189,7 +190,7 @@ std::vector<std::string> batch_csv_header() {
   return {"kernel", "machine", "registers", "modify_range",
           "modify_registers", "layout", "strategy", "accesses", "k_tilde",
           "allocation_cost", "residual_cost", "phase2", "proven", "gap",
-          "phase2_nodes", "size_reduction_percent",
+          "phase2_nodes", "table_cap_hits", "size_reduction_percent",
           "speed_reduction_percent", "verified", "error"};
 }
 
@@ -200,7 +201,7 @@ std::vector<std::string> batch_row_fields(const BatchRow& row) {
     return {row.kernel, row.machine, std::to_string(row.registers),
             std::to_string(row.modify_range),
             std::to_string(row.modify_registers), row.layout, row.strategy,
-            "", "", "", "", "", "", "", "", "", "", "", row.error};
+            "", "", "", "", "", "", "", "", "", "", "", "", row.error};
   }
   return {
       row.kernel,
@@ -218,6 +219,7 @@ std::vector<std::string> batch_row_fields(const BatchRow& row) {
       proven_field(row),
       gap_field(row),
       std::to_string(row.phase2_nodes),
+      std::to_string(row.phase2_table_cap_hits),
       support::format_fixed(row.size_reduction_percent, 2),
       support::format_fixed(row.speed_reduction_percent, 2),
       row.verified ? "yes" : "no",

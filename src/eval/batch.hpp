@@ -74,6 +74,9 @@ struct BatchRow {
   int phase2_gap = 0;
   /// Nodes explored by the phase-2 search.
   std::uint64_t phase2_nodes = 0;
+  /// Dominance lookups refused insertion because the phase-2
+  /// transposition table was at its cap (solver saturation signal).
+  std::uint64_t phase2_table_cap_hits = 0;
   double size_reduction_percent = 0.0;
   double speed_reduction_percent = 0.0;
   bool verified = false;

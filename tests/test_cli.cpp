@@ -110,6 +110,33 @@ TEST(CliOptions, Phase2AndTimeBudgetFlags) {
                cli::UsageError);
 }
 
+TEST(CliOptions, Phase2JobsAndTiledFlags) {
+  const cli::RunOptions defaults =
+      cli::parse_run_options({"--kernel", "f.c"});
+  EXPECT_EQ(defaults.phase2_jobs, 1u);
+
+  const cli::RunOptions run = cli::parse_run_options(
+      {"--kernel", "f.c", "--phase2", "tiled", "--phase2-jobs", "8"});
+  EXPECT_EQ(run.phase2, core::Phase2Options::Mode::kTiled);
+  EXPECT_EQ(run.phase2_jobs, 8u);
+
+  const cli::BatchOptions batch = cli::parse_batch_options(
+      {"--builtin", "fir", "--phase2=tiled", "--phase2-jobs=4"});
+  EXPECT_EQ(batch.phase2, core::Phase2Options::Mode::kTiled);
+  EXPECT_EQ(batch.phase2_jobs, 4u);
+  EXPECT_EQ(cli::parse_batch_options({"--builtin", "fir"}).phase2_jobs, 1u);
+
+  EXPECT_THROW(
+      cli::parse_run_options({"--kernel", "f.c", "--phase2-jobs", "0"}),
+      cli::UsageError);
+  EXPECT_THROW(
+      cli::parse_run_options({"--kernel", "f.c", "--phase2-jobs", "many"}),
+      cli::UsageError);
+  EXPECT_THROW(
+      cli::parse_batch_options({"--builtin", "fir", "--phase2-jobs=0"}),
+      cli::UsageError);
+}
+
 TEST(CliOptions, RunRejectsBadInput) {
   EXPECT_THROW(cli::parse_run_options({}), cli::UsageError);
   EXPECT_THROW(cli::parse_run_options({"--kernel"}), cli::UsageError);
@@ -403,6 +430,24 @@ TEST(CliApp, RunJsonFormatEmitsTheServeSchema) {
   ASSERT_NE(stages, nullptr);
   EXPECT_EQ(stages->find("allocate")->find("cost")->as_int(), 2);
   EXPECT_TRUE(stages->find("simulate")->find("verified")->as_bool());
+}
+
+TEST(CliApp, RunJsonSurfacesExactSolverDiagnostics) {
+  std::string out;
+  std::string err;
+  const int code = run({"run", "--kernel", kRoot + "paper_example.c",
+                        "--registers", "2", "--phase2", "exact",
+                        "--phase2-jobs", "2", "--format", "json"},
+                       out, err);
+  EXPECT_EQ(code, 0) << err;
+  const support::JsonValue json = support::JsonValue::parse(out);
+  const support::JsonValue* phase2 =
+      json.find("stages")->find("allocate")->find("phase2");
+  ASSERT_NE(phase2, nullptr) << out;
+  EXPECT_TRUE(phase2->find("proven")->as_bool());
+  ASSERT_NE(phase2->find("table_cap_hits"), nullptr) << out;
+  ASSERT_NE(phase2->find("subtree_tasks"), nullptr) << out;
+  EXPECT_GE(phase2->find("nodes")->as_int(), 1);
 }
 
 TEST(CliApp, BatchIsDeterministicAcrossJobs) {

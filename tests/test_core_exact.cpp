@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <vector>
+
 #include "core/allocator.hpp"
 #include "core/validate.hpp"
 #include "eval/patterns.hpp"
@@ -173,6 +177,105 @@ TEST(ExactAllocator, RejectsMalformedWarmStart) {
   ExactOptions out_of_range;
   out_of_range.warm_start = {Path({0, 1, 2, 3, 9})};
   EXPECT_THROW(exact_min_cost_allocation(seq, kM1, 1, out_of_range),
+               dspaddr::InvalidArgument);
+}
+
+TEST(ExactAllocator, TimeBudgetExpiryKeepsValidIncumbent) {
+  // A wall-clock abort must behave exactly like the node cap: best
+  // incumbent kept, proven=false, non-negative anytime gap. The
+  // instance is far too hard for a 1 ms budget on any machine (the
+  // clock is read every ~1024 nodes, so the search stops at the first
+  // batch boundary past the deadline).
+  support::Rng rng(0xBD6);
+  eval::PatternSpec spec;
+  spec.accesses = 64;
+  spec.offset_range = 8;
+  spec.family = eval::PatternFamily::kSortedNoise;
+  const auto seq = eval::generate_pattern(spec, rng);
+  ExactOptions options;
+  options.time_budget_ms = 1;
+  options.max_nodes = std::numeric_limits<std::uint64_t>::max();
+  const ExactResult r = exact_min_cost_allocation(seq, kM1, 3, options);
+  EXPECT_FALSE(r.proven);
+  validate_allocation(seq, r.paths, 3);
+  EXPECT_EQ(total_cost(seq, r.paths, kM1), r.cost);
+  EXPECT_LE(r.lower_bound, r.cost);
+  EXPECT_GE(r.gap(), 0);
+}
+
+TEST(ExactAllocator, TableCapSaturationIsCountedWithoutChangingTheCost) {
+  support::Rng rng(91);
+  eval::PatternSpec spec;
+  spec.accesses = 18;
+  spec.offset_range = 8;
+  const auto seq = eval::generate_pattern(spec, rng);
+
+  const ExactResult roomy = exact_min_cost_allocation(seq, kM1, 3);
+  ASSERT_TRUE(roomy.proven);
+  EXPECT_EQ(roomy.table_cap_hits, 0u);
+
+  // A 4-entry table saturates immediately; lookups past the cap are
+  // counted, and the search stays exact (only less pruned).
+  ExactOptions tiny;
+  tiny.table_cap = 4;
+  const ExactResult capped = exact_min_cost_allocation(seq, kM1, 3, tiny);
+  ASSERT_TRUE(capped.proven);
+  EXPECT_GT(capped.table_cap_hits, 0u);
+  EXPECT_EQ(capped.cost, roomy.cost);
+  EXPECT_GE(capped.nodes, roomy.nodes);
+}
+
+TEST(ExactAllocator, PinnedPrefixIsHonoredAndCosted) {
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1, 1, 0, -2});
+  ExactOptions options;
+  options.pinned_prefix = {0, 0, 1};
+  const ExactResult r = exact_min_cost_allocation(seq, kM1, 2, options);
+  ASSERT_TRUE(r.proven);
+  validate_allocation(seq, r.paths, 2);
+  // Accesses 0 and 1 share a register; access 2 is on a different one.
+  for (const Path& path : r.paths) {
+    const std::vector<std::size_t>& accesses = path.indices();
+    const auto has = [&accesses](std::size_t i) {
+      return std::find(accesses.begin(), accesses.end(), i) !=
+             accesses.end();
+    };
+    EXPECT_EQ(has(0), has(1));
+    if (has(0)) EXPECT_FALSE(has(2));
+  }
+  // Pinning can only restrict the search space.
+  const ExactResult free_search = exact_min_cost_allocation(seq, kM1, 2);
+  EXPECT_GE(r.cost, free_search.cost);
+}
+
+TEST(ExactAllocator, FullyPinnedSequenceEvaluatesThatAssignment) {
+  const auto seq = AccessSequence::from_offsets({1, 0, 2, -1});
+  ExactOptions options;
+  options.pinned_prefix = {0, 1, 0, 1};
+  const ExactResult r = exact_min_cost_allocation(seq, kM1, 2, options);
+  ASSERT_TRUE(r.proven);
+  EXPECT_EQ(r.cost, total_cost(seq, r.paths, kM1));
+  // The searched space is the single pinned assignment.
+  ASSERT_EQ(r.paths.size(), 2u);
+  EXPECT_EQ(r.paths[0].indices(), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(r.paths[1].indices(), (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(ExactAllocator, RejectsMalformedPinnedPrefix) {
+  const auto seq = AccessSequence::from_offsets({0, 1, 2});
+
+  ExactOptions skips_fresh_rule;
+  skips_fresh_rule.pinned_prefix = {1};  // register 1 before register 0
+  EXPECT_THROW(exact_min_cost_allocation(seq, kM1, 2, skips_fresh_rule),
+               dspaddr::InvalidArgument);
+
+  ExactOptions out_of_range;
+  out_of_range.pinned_prefix = {0, 1, 2};  // register 2 with K = 2
+  EXPECT_THROW(exact_min_cost_allocation(seq, kM1, 2, out_of_range),
+               dspaddr::InvalidArgument);
+
+  ExactOptions too_long;
+  too_long.pinned_prefix = {0, 0, 0, 0};
+  EXPECT_THROW(exact_min_cost_allocation(seq, kM1, 2, too_long),
                dspaddr::InvalidArgument);
 }
 

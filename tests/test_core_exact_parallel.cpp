@@ -1,0 +1,172 @@
+// The parallel exact solver's contract: `jobs` buys wall-clock, never
+// different answers. Proven costs (and the proof itself) are identical
+// at any jobs level; node counts and the witness assignment may vary.
+// The suite name is matched by the CI TSan job's regex, so every test
+// here also runs under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "agu/machines.hpp"
+#include "core/allocator.hpp"
+#include "core/exact.hpp"
+#include "core/validate.hpp"
+#include "eval/patterns.hpp"
+#include "support/rng.hpp"
+
+namespace dspaddr::core {
+namespace {
+
+using ir::AccessSequence;
+
+const CostModel kM1{1, WrapPolicy::kCyclic};
+
+AccessSequence hard_pattern(std::size_t accesses, std::uint64_t seed) {
+  support::Rng rng(seed);
+  eval::PatternSpec spec;
+  spec.accesses = accesses;
+  spec.offset_range = 8;
+  spec.family = eval::PatternFamily::kSortedNoise;
+  return eval::generate_pattern(spec, rng);
+}
+
+TEST(ParallelExact, ProvenCostsMatchSequentialAcrossJobs) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const AccessSequence seq = hard_pattern(24, 0xA11E ^ seed);
+    const ExactResult serial = exact_min_cost_allocation(seq, kM1, 3);
+    ASSERT_TRUE(serial.proven) << "seed " << seed;
+    for (const std::size_t jobs : {2u, 4u, 8u}) {
+      ExactOptions options;
+      options.jobs = jobs;
+      const ExactResult parallel =
+          exact_min_cost_allocation(seq, kM1, 3, options);
+      ASSERT_TRUE(parallel.proven) << "seed " << seed << " jobs " << jobs;
+      EXPECT_EQ(parallel.cost, serial.cost)
+          << "seed " << seed << " jobs " << jobs;
+      EXPECT_EQ(parallel.lower_bound, serial.lower_bound);
+      validate_allocation(seq, parallel.paths, 3);
+      EXPECT_EQ(total_cost(seq, parallel.paths, kM1), parallel.cost);
+    }
+  }
+}
+
+TEST(ParallelExact, FullBuiltinMachineCatalogAgreesAcrossJobsLevels) {
+  // The satellite guarantee behind `--phase2-jobs`: on every catalog
+  // machine (its own K, modify window and free widths), the proven
+  // phase-2 cost and the total allocation cost are identical at jobs
+  // 1, 4 and 8.
+  const std::vector<agu::AguSpec> machines = agu::builtin_machines();
+  ASSERT_FALSE(machines.empty());
+  for (const agu::AguSpec& machine : machines) {
+    const AccessSequence seq =
+        hard_pattern(16, 0xCA7 ^ machine.address_registers());
+    int serial_cost = 0;
+    bool serial_proven = false;
+    for (const std::size_t jobs : {1u, 4u, 8u}) {
+      ProblemConfig config;
+      config.registers = machine.address_registers();
+      config.modify_range = machine.modify_range();
+      config.modify_lo = machine.modify_lo;
+      config.modify_hi = machine.modify_hi;
+      config.free_widths = machine.free_widths;
+      config.phase2.mode = Phase2Options::Mode::kExact;
+      config.phase2.jobs = jobs;
+      const Allocation a = RegisterAllocator(config).run(seq);
+      if (jobs == 1) {
+        serial_cost = a.cost();
+        serial_proven = a.stats().phase2_proven;
+      } else {
+        EXPECT_EQ(a.cost(), serial_cost)
+            << machine.name << " jobs=" << jobs;
+        EXPECT_EQ(a.stats().phase2_proven, serial_proven)
+            << machine.name << " jobs=" << jobs;
+      }
+    }
+  }
+}
+
+TEST(ParallelExact, SubtreeTasksAreDeterministicAndRepeatable) {
+  // The frontier expansion is breadth-first with a deterministic move
+  // order, so the fan-out itself (not just the answer) repeats exactly.
+  const AccessSequence seq = hard_pattern(32, 7);
+  ExactOptions options;
+  options.jobs = 4;
+  const ExactResult first = exact_min_cost_allocation(seq, kM1, 3, options);
+  const ExactResult second =
+      exact_min_cost_allocation(seq, kM1, 3, options);
+  ASSERT_TRUE(first.proven);
+  ASSERT_TRUE(second.proven);
+  EXPECT_GT(first.subtree_tasks, 0u);
+  EXPECT_EQ(first.subtree_tasks, second.subtree_tasks);
+  EXPECT_EQ(first.cost, second.cost);
+}
+
+TEST(ParallelExact, SequentialSolveReportsNoSubtreeTasks) {
+  const AccessSequence seq = hard_pattern(20, 9);
+  const ExactResult r = exact_min_cost_allocation(seq, kM1, 3);
+  ASSERT_TRUE(r.proven);
+  EXPECT_EQ(r.subtree_tasks, 0u);
+}
+
+TEST(ParallelExact, NodeBudgetAbortKeepsValidIncumbent) {
+  const AccessSequence seq = hard_pattern(40, 11);
+  ExactOptions options;
+  options.jobs = 4;
+  options.max_nodes = 5'000;
+  const ExactResult r = exact_min_cost_allocation(seq, kM1, 3, options);
+  EXPECT_FALSE(r.proven);
+  validate_allocation(seq, r.paths, 3);
+  EXPECT_EQ(total_cost(seq, r.paths, kM1), r.cost);
+  EXPECT_GE(r.gap(), 0);
+}
+
+TEST(ParallelExact, HonorsPinnedPrefix) {
+  const AccessSequence seq = hard_pattern(24, 13);
+  ExactOptions pinned;
+  pinned.pinned_prefix = {0, 0, 1};
+  ExactOptions parallel_pinned = pinned;
+  parallel_pinned.jobs = 4;
+  const ExactResult serial = exact_min_cost_allocation(seq, kM1, 3, pinned);
+  const ExactResult parallel =
+      exact_min_cost_allocation(seq, kM1, 3, parallel_pinned);
+  ASSERT_TRUE(serial.proven);
+  ASSERT_TRUE(parallel.proven);
+  EXPECT_EQ(parallel.cost, serial.cost);
+  validate_allocation(seq, parallel.paths, 3);
+}
+
+TEST(ParallelExact, WarmStartIsSharedWithEveryTask) {
+  // The warm-start incumbent seeds the shared atomic before the
+  // fan-out, so no task can record anything worse.
+  const AccessSequence seq = hard_pattern(24, 17);
+  ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 3;
+  config.phase2.mode = Phase2Options::Mode::kHeuristic;
+  const Allocation heuristic = RegisterAllocator(config).run(seq);
+
+  ExactOptions options;
+  options.jobs = 4;
+  options.warm_start = heuristic.paths();
+  const ExactResult r = exact_min_cost_allocation(seq, kM1, 3, options);
+  ASSERT_TRUE(r.proven);
+  EXPECT_LE(r.cost, heuristic.cost());
+  validate_allocation(seq, r.paths, 3);
+}
+
+TEST(ParallelExact, ManyJobsOnTinySequencesDegradeToSequential) {
+  // When the whole tree fits in the frontier expansion, the parallel
+  // path answers without fanning out — and still proves.
+  const AccessSequence seq = AccessSequence::from_offsets({1, 0, 2, -1});
+  ExactOptions options;
+  options.jobs = 16;
+  const ExactResult parallel =
+      exact_min_cost_allocation(seq, kM1, 2, options);
+  const ExactResult serial = exact_min_cost_allocation(seq, kM1, 2);
+  ASSERT_TRUE(parallel.proven);
+  EXPECT_EQ(parallel.cost, serial.cost);
+}
+
+}  // namespace
+}  // namespace dspaddr::core

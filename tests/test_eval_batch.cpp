@@ -112,7 +112,7 @@ TEST(EvalBatch, ErrorRowsRenderEmptyMetricFields) {
 
   const std::string csv = eval::batch_to_csv(result).to_string();
   EXPECT_NE(csv.find("fir,minimal2,0,1,0,contiguous,two-phase,"
-                     ",,,,,,,,,,"),
+                     ",,,,,,,,,,,"),
             std::string::npos)
       << csv;
 }
@@ -142,7 +142,7 @@ TEST(EvalBatch, CsvSchemaIsStable) {
   EXPECT_EQ(csv,
             "kernel,machine,registers,modify_range,modify_registers,"
             "layout,strategy,accesses,k_tilde,allocation_cost,"
-            "residual_cost,phase2,proven,gap,phase2_nodes,"
+            "residual_cost,phase2,proven,gap,phase2_nodes,table_cap_hits,"
             "size_reduction_percent,speed_reduction_percent,verified,"
             "error\n");
 }

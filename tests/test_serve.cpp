@@ -389,6 +389,49 @@ TEST(Serve, JobsLevelsAnswerAShuffledWorkloadByteIdentically) {
   }
 }
 
+TEST(Serve, TiledPhase2AndJobsKnob) {
+  const std::vector<std::string> lines = serve_lines(
+      "{\"id\":1,\"builtin\":\"biquad\",\"registers\":2,"
+      "\"phase2\":\"tiled\",\"phase2_jobs\":2}\n"
+      "{\"id\":2,\"builtin\":\"biquad\",\"registers\":2,"
+      "\"phase2\":\"exact\"}\n");
+  ASSERT_EQ(lines.size(), 2u);
+  const JsonValue tiled = JsonValue::parse(lines[0]);
+  EXPECT_EQ(tiled.find("error"), nullptr) << lines[0];
+  const JsonValue* phase2 =
+      tiled.find("stages")->find("allocate")->find("phase2");
+  ASSERT_NE(phase2, nullptr) << lines[0];
+  EXPECT_GE(phase2->find("windows")->as_int(), 1);
+  EXPECT_LE(phase2->find("windows_proven")->as_int(),
+            phase2->find("windows")->as_int());
+  ASSERT_NE(phase2->find("table_cap_hits"), nullptr) << lines[0];
+  ASSERT_NE(phase2->find("subtree_tasks"), nullptr) << lines[0];
+  // The same request at a different jobs level answers with the same
+  // cost — `phase2_jobs` must never leak into the result.
+  const std::vector<std::string> serial = serve_lines(
+      "{\"id\":1,\"builtin\":\"biquad\",\"registers\":2,"
+      "\"phase2\":\"tiled\",\"phase2_jobs\":1}\n");
+  ASSERT_EQ(serial.size(), 1u);
+  EXPECT_EQ(JsonValue::parse(serial[0])
+                .find("stages")
+                ->find("allocate")
+                ->find("cost")
+                ->as_int(),
+            tiled.find("stages")->find("allocate")->find("cost")->as_int());
+}
+
+TEST(Serve, RejectsNonPositivePhase2Jobs) {
+  const std::vector<std::string> lines = serve_lines(
+      "{\"id\":1,\"builtin\":\"fir\",\"phase2_jobs\":0}\n"
+      "{\"id\":2,\"builtin\":\"fir\"}\n");
+  ASSERT_EQ(lines.size(), 2u);
+  const JsonValue error = JsonValue::parse(lines[0]);
+  ASSERT_NE(error.find("error"), nullptr) << lines[0];
+  EXPECT_EQ(error.find("error")->find("stage")->as_string(), "request");
+  // The loop survives the bad request.
+  EXPECT_EQ(JsonValue::parse(lines[1]).find("error"), nullptr);
+}
+
 TEST(Serve, CacheCapacityZeroDisablesHits) {
   cli::ServeOptions options;
   options.cache_capacity = 0;
