@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <system_error>
 
 #include "agu/machine_desc.hpp"
@@ -15,6 +16,7 @@
 #include "eval/batch.hpp"
 #include "eval/compare.hpp"
 #include "ir/kernels.hpp"
+#include "store/result_store.hpp"
 #include "support/check.hpp"
 #include "support/csv.hpp"
 #include "support/json.hpp"
@@ -33,13 +35,43 @@ int command_run(const std::vector<std::string>& args, std::ostream& out) {
   phase2.mode = options.phase2;
   phase2.time_budget_ms = options.time_budget_ms;
   phase2.jobs = options.phase2_jobs;
+  // One-shot run: no in-process traffic to memoize across (capacity 0),
+  // but with --store the persistent tier still answers repeats of
+  // earlier invocations.
+  engine::Engine::Options engine_options;
+  engine_options.cache_capacity = 0;
+  if (!options.store_path.empty()) {
+    engine_options.store = std::make_shared<store::ResultStore>(
+        store::ResultStore::Options{options.store_path,
+                                    options.store_fsync});
+  }
+  engine::Engine engine(std::move(engine_options));
   const engine::Result report =
       run_pipeline(kernel, machine, options.iterations, phase2,
-                   options.layout, options.strategy);
+                   options.layout, options.strategy, engine);
+  if (!options.metrics_csv.empty()) {
+    engine::write_metrics_csv(options.metrics_csv, engine);
+  }
   if (options.format == OutputFormat::kJson) {
     // JSON carries failures in-band (the "error" member), like a serve
-    // response.
-    out << engine::result_to_json_line(report) << "\n";
+    // response. The run surface alone appends per-call "timings" —
+    // serve responses never carry them, keeping the shared schema
+    // byte-identical across surfaces and reruns.
+    support::JsonValue json = engine::result_to_json(report);
+    support::JsonValue timings = support::JsonValue::object();
+    support::JsonValue stage_ms = support::JsonValue::object();
+    for (std::size_t i = 0; i < engine::kStageCount; ++i) {
+      stage_ms.set(engine::stage_name(static_cast<engine::Stage>(i)),
+                   support::JsonValue::number(report.stage_ms[i]));
+    }
+    timings.set("stage_ms", std::move(stage_ms));
+    timings.set("total_ms", support::JsonValue::number(report.total_ms));
+    timings.set("tier", support::JsonValue::string(
+                            report.cache_hit   ? "ram_hit"
+                            : report.store_hit ? "store_hit"
+                                               : "cold"));
+    json.set("timings", std::move(timings));
+    out << json.dump() << "\n";
     return report.ok() && report.verified ? 0 : 1;
   }
   if (!report.ok()) {
@@ -86,6 +118,12 @@ int command_batch(const std::vector<std::string>& args, std::ostream& out) {
   config.phase2.mode = options.phase2;
   config.phase2.time_budget_ms = options.time_budget_ms;
   config.phase2.jobs = options.phase2_jobs;
+  if (!options.store_path.empty()) {
+    config.store = std::make_shared<store::ResultStore>(
+        store::ResultStore::Options{options.store_path,
+                                    options.store_fsync});
+  }
+  config.metrics_csv = options.metrics_csv;
 
   const eval::BatchResult result = eval::run_batch(config);
   const std::string rendered = options.format == OutputFormat::kTable
@@ -301,8 +339,15 @@ commands:
                                      (default: 0 = node budget only)
               --format table|csv|json
                                      output format (default: table); json
-                                     uses the serve response schema
+                                     uses the serve response schema plus
+                                     a per-call "timings" member
               --program              also print the address program
+              --store <file>         persistent result store: repeats of
+                                     earlier --store runs answer from
+                                     the log instead of recomputing
+              --store-fsync          fsync the store on every append
+              --metrics-csv <file>   dump the metrics registry as CSV
+                                     on exit
   batch     Sweep kernels x machines x registers x modify ranges
             x layouts x strategies
               --kernel <file>        workload file (repeatable)
@@ -326,6 +371,11 @@ commands:
               --time-budget-ms <ms>  wall-clock cap of the exact search
               --format csv|table     output format (default: csv)
               --out <file>           write output to a file
+              --store <file>         persistent result store shared by
+                                     the sweep's engine
+              --store-fsync          fsync the store on every append
+              --metrics-csv <file>   dump the metrics registry as CSV
+                                     on exit
   compare   Run one kernel across a strategy set on a shared engine and
             print a cost/cycles delta table
               --kernel <name|file>   builtin kernel or workload file [required]
@@ -347,6 +397,13 @@ commands:
                                      iterations (default: 10000000);
                                      larger requests are rejected
                                      in-band
+              --store <file>         persistent result store under the
+                                     RAM cache: a restarted serve
+                                     answers previously-seen requests
+                                     from the log, byte-identically
+              --store-fsync          fsync the store on every append
+              --metrics-csv <file>   dump the metrics registry as CSV
+                                     when the session ends
   machines  List the AGU machine registry (--format table|csv|json);
             `machines show <name>` prints one full declarative spec
             (.machine text, or --format json)

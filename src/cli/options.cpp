@@ -224,12 +224,21 @@ RunOptions parse_run_options(const std::vector<std::string>& args) {
       options.format = parse_format(value);
     } else if (arg == "--program") {
       options.show_program = true;
+    } else if (match_flag(arg, "--store", cursor, value)) {
+      options.store_path = value;
+    } else if (arg == "--store-fsync") {
+      options.store_fsync = true;
+    } else if (match_flag(arg, "--metrics-csv", cursor, value)) {
+      options.metrics_csv = value;
     } else {
       throw UsageError("run: unknown argument '" + arg + "'");
     }
   }
   if (options.kernel_path.empty()) {
     throw UsageError("run: --kernel <file> is required");
+  }
+  if (options.store_fsync && options.store_path.empty()) {
+    throw UsageError("run: --store-fsync requires --store <file>");
   }
   return options;
 }
@@ -270,6 +279,12 @@ BatchOptions parse_batch_options(const std::vector<std::string>& args) {
       options.format = parse_format(value);
     } else if (match_flag(arg, "--out", cursor, value)) {
       options.output_path = value;
+    } else if (match_flag(arg, "--store", cursor, value)) {
+      options.store_path = value;
+    } else if (arg == "--store-fsync") {
+      options.store_fsync = true;
+    } else if (match_flag(arg, "--metrics-csv", cursor, value)) {
+      options.metrics_csv = value;
     } else {
       throw UsageError("batch: unknown argument '" + arg + "'");
     }
@@ -283,6 +298,9 @@ BatchOptions parse_batch_options(const std::vector<std::string>& args) {
     throw UsageError(
         "batch: --format json is not supported (pipe requests through "
         "'dspaddr serve' for JSON-lines output)");
+  }
+  if (options.store_fsync && options.store_path.empty()) {
+    throw UsageError("batch: --store-fsync requires --store <file>");
   }
   return options;
 }
@@ -340,9 +358,18 @@ ServeOptions parse_serve_options(const std::vector<std::string>& args) {
       options.jobs = parse_jobs(value);
     } else if (match_flag(arg, "--max-iterations", cursor, value)) {
       options.max_iterations = parse_int(value, "--max-iterations", 1);
+    } else if (match_flag(arg, "--store", cursor, value)) {
+      options.store_path = value;
+    } else if (arg == "--store-fsync") {
+      options.store_fsync = true;
+    } else if (match_flag(arg, "--metrics-csv", cursor, value)) {
+      options.metrics_csv = value;
     } else {
       throw UsageError("serve: unknown argument '" + arg + "'");
     }
+  }
+  if (options.store_fsync && options.store_path.empty()) {
+    throw UsageError("serve: --store-fsync requires --store <file>");
   }
   return options;
 }

@@ -75,6 +75,14 @@ struct RunOptions {
   OutputFormat format = OutputFormat::kTable;
   /// Also print the generated address program.
   bool show_program = false;
+  /// Persistent result store (store/result_store.hpp); empty = none.
+  /// Repeated runs against the same file answer from the store.
+  std::string store_path;
+  /// fsync the store after every append (--store-fsync).
+  bool store_fsync = false;
+  /// Write the metrics registry as CSV to this path on exit; empty =
+  /// no dump.
+  std::string metrics_csv;
 };
 
 /// Options of `dspaddr batch`: a kernels x machines x K x M grid.
@@ -109,6 +117,15 @@ struct BatchOptions {
   OutputFormat format = OutputFormat::kCsv;
   /// Output file; empty = stdout.
   std::string output_path;
+  /// Persistent result store shared by the sweep's engine; empty =
+  /// none. A later sweep over the same file answers repeated cells
+  /// from the store.
+  std::string store_path;
+  /// fsync the store after every append (--store-fsync).
+  bool store_fsync = false;
+  /// Write the metrics registry as CSV to this path on exit; empty =
+  /// no dump.
+  std::string metrics_csv;
 };
 
 /// Options of `dspaddr compare`: one kernel across a strategy set.
@@ -145,6 +162,15 @@ struct ServeOptions {
   /// larger requests are rejected as in-band request errors so one
   /// huge request cannot stall the whole pipeline window.
   std::int64_t max_iterations = 10'000'000;
+  /// Persistent result store under the RAM cache (--store=PATH); empty
+  /// = RAM-only. A restarted serve against the same file warm-starts
+  /// from it.
+  std::string store_path;
+  /// fsync the store after every append (--store-fsync).
+  bool store_fsync = false;
+  /// Write the metrics registry as CSV to this path on exit; empty =
+  /// no dump.
+  std::string metrics_csv;
 };
 
 /// Options of the read-only catalog listings (machines / kernels).

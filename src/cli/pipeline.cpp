@@ -34,6 +34,21 @@ engine::Result run_pipeline(const ir::Kernel& kernel,
                             const core::Phase2Options& phase2,
                             const std::string& layout,
                             const std::string& strategy) {
+  // One-shot run: no traffic to memoize across.
+  engine::Engine::Options options;
+  options.cache_capacity = 0;
+  engine::Engine engine(std::move(options));
+  return run_pipeline(kernel, machine, iterations, phase2, layout, strategy,
+                      engine);
+}
+
+engine::Result run_pipeline(const ir::Kernel& kernel,
+                            const agu::AguSpec& machine,
+                            std::optional<std::uint64_t> iterations,
+                            const core::Phase2Options& phase2,
+                            const std::string& layout,
+                            const std::string& strategy,
+                            engine::Engine& engine) {
   engine::Request request;
   request.kernel = kernel;
   request.machine = machine;
@@ -41,8 +56,6 @@ engine::Result run_pipeline(const ir::Kernel& kernel,
   request.strategy = strategy;
   request.phase2 = phase2;
   request.iterations = iterations;
-  // One-shot run: no traffic to memoize across.
-  engine::Engine engine(engine::Engine::Options{0});
   return engine.run(request);
 }
 

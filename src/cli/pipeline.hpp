@@ -40,6 +40,17 @@ engine::Result run_pipeline(const ir::Kernel& kernel,
                             const std::string& strategy =
                                 engine::kDefaultStrategy);
 
+/// Same request, but through a caller-owned engine — the `run --store`
+/// path uses this so a one-shot invocation can still answer from (and
+/// write through to) a persistent store.
+engine::Result run_pipeline(const ir::Kernel& kernel,
+                            const agu::AguSpec& machine,
+                            std::optional<std::uint64_t> iterations,
+                            const core::Phase2Options& phase2,
+                            const std::string& layout,
+                            const std::string& strategy,
+                            engine::Engine& engine);
+
 /// Multi-section human-readable report.
 std::string report_to_text(const engine::Result& report, bool show_program);
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -14,8 +15,10 @@
 #include "engine/serialize.hpp"
 #include "engine/strategy.hpp"
 #include "ir/kernels.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/ordered_collector.hpp"
 #include "runtime/task_pool.hpp"
+#include "store/result_store.hpp"
 #include "support/check.hpp"
 #include "support/json.hpp"
 #include "support/strings.hpp"
@@ -29,9 +32,9 @@ using support::JsonValue;
 /// that a typo ("machne") fails loudly instead of being ignored.
 constexpr const char* kKnownKeys[] = {
     "id",          "stats",      "clear_cache",
-    "builtin",     "kernel_file", "kernel",
-    "machine",     "machine_file", "machine_spec",
-    "registers",   "modify_range",
+    "metrics",     "builtin",    "kernel_file",
+    "kernel",      "machine",    "machine_file",
+    "machine_spec", "registers", "modify_range",
     "modify_registers", "iterations", "phase2",
     "phase2_jobs", "time_budget_ms", "stop_after",
     "layout",      "strategy",
@@ -169,11 +172,11 @@ engine::Request request_from_json(const JsonValue& json,
   return request;
 }
 
-/// What one input line asks for. Control lines (stats, clear_cache)
-/// observe or mutate the whole engine, so the pipeline drains before
-/// they run — that is what keeps their counters deterministic whatever
-/// the --jobs level.
-enum class RequestKind { kPipeline, kStats, kClearCache };
+/// What one input line asks for. Control lines (stats, clear_cache,
+/// metrics) observe or mutate the whole engine, so the pipeline drains
+/// before they run — that is what keeps their counters deterministic
+/// whatever the --jobs level.
+enum class RequestKind { kPipeline, kStats, kClearCache, kMetrics };
 
 RequestKind classify(const JsonValue& json) {
   const JsonValue* stats = json.find("stats");
@@ -183,6 +186,10 @@ RequestKind classify(const JsonValue& json) {
   const JsonValue* clear_cache = json.find("clear_cache");
   if (clear_cache != nullptr && clear_cache->as_bool()) {
     return RequestKind::kClearCache;
+  }
+  const JsonValue* metrics = json.find("metrics");
+  if (metrics != nullptr && metrics->as_bool()) {
+    return RequestKind::kMetrics;
   }
   return RequestKind::kPipeline;
 }
@@ -244,8 +251,31 @@ std::string control_response(const JsonValue& request_json,
                   "stats request cannot carry field '" + member.first +
                       "'");
       }
-      response.set("stats",
-                   engine::cache_stats_to_json(engine.cache_stats()));
+      JsonValue stats =
+          engine::cache_stats_to_json(engine.cache_stats());
+      // Aggregate phase-2 work alongside the cache counters — both are
+      // deterministic in the request sequence (single-flight), so the
+      // whole stats line stays byte-identical across --jobs levels.
+      stats.set("phase2",
+                engine::phase2_totals_to_json(engine.phase2_totals()));
+      if (engine.store() != nullptr) {
+        stats.set("store",
+                  engine::store_stats_to_json(engine.store()->stats()));
+      }
+      response.set("stats", std::move(stats));
+    } else if (kind == RequestKind::kMetrics) {
+      for (const JsonValue::Member& member : request_json.members()) {
+        check_arg(member.first == "metrics" || member.first == "id",
+                  "metrics request cannot carry field '" + member.first +
+                      "'");
+      }
+      const store::StoreStats store_stats =
+          engine.store() != nullptr ? engine.store()->stats()
+                                    : store::StoreStats{};
+      response.set("metrics",
+                   engine::metrics_report_json(
+                       engine.metrics()->snapshot(), engine.cache_stats(),
+                       engine.store() != nullptr ? &store_stats : nullptr));
     } else {
       // The control mirror of {"stats": true}: long sessions drop the
       // result cache in-band instead of restarting the process.
@@ -284,8 +314,28 @@ class JoinGuard {
 
 int run_serve(std::istream& in, std::ostream& out,
               const ServeOptions& options) {
-  engine::Engine engine(
-      engine::Engine::Options{options.cache_capacity});
+  // One registry for the whole session: the engine registers its
+  // instruments first (construction), the transport's own follow — a
+  // fixed registration order, so the metrics schema is deterministic.
+  engine::Engine::Options engine_options;
+  engine_options.cache_capacity = options.cache_capacity;
+  engine_options.metrics = std::make_shared<obs::Registry>();
+  if (!options.store_path.empty()) {
+    // A bad store path (unwritable, foreign version) fails the whole
+    // command loudly before any request is read — it cannot silently
+    // degrade to RAM-only.
+    engine_options.store = std::make_shared<store::ResultStore>(
+        store::ResultStore::Options{options.store_path,
+                                    options.store_fsync});
+  }
+  engine::Engine engine(std::move(engine_options));
+  obs::Counter& requests_total =
+      engine.metrics()->counter("serve.requests");
+  obs::Counter& control_total =
+      engine.metrics()->counter("serve.control_lines");
+  obs::Gauge& inflight_gauge = engine.metrics()->gauge("serve.inflight");
+  obs::Gauge& queue_depth_gauge =
+      engine.metrics()->gauge("serve.queue_depth");
   const std::size_t jobs = options.jobs < 1 ? 1 : options.jobs;
   // The in-flight window: requests submitted but not yet written. It
   // bounds both the task queue and the results parked in the ordered
@@ -316,6 +366,7 @@ int run_serve(std::istream& in, std::ostream& out,
         {
           std::lock_guard<std::mutex> lock(flight_mutex);
           --in_flight;
+          inflight_gauge.record(static_cast<std::int64_t>(in_flight));
         }
         flight_freed.notify_all();
       }
@@ -348,6 +399,7 @@ int run_serve(std::istream& in, std::ostream& out,
       flight_freed.wait_for(lock, std::chrono::milliseconds(50));
     }
     ++in_flight;
+    inflight_gauge.record(static_cast<std::int64_t>(in_flight));
   };
   const auto drain = [&] {
     std::unique_lock<std::mutex> lock(flight_mutex);
@@ -389,10 +441,12 @@ int run_serve(std::istream& in, std::ostream& out,
       // settled cache: the counters then depend only on the request
       // sequence, never on worker interleaving.
       drain();
+      control_total.add();
       acquire_slot();
       collector.push(seq++, control_response(request_json, kind, engine));
       continue;
     }
+    requests_total.add();
     acquire_slot();
     const std::size_t my_seq = seq++;
     pool.submit([&collector, &engine, my_seq, max_iterations =
@@ -413,10 +467,16 @@ int run_serve(std::istream& in, std::ostream& out,
       }
       collector.push(my_seq, std::move(response));
     });
+    queue_depth_gauge.record(
+        static_cast<std::int64_t>(pool.queue_depth()));
   }
 
   drain();
   collector.close();
+
+  if (!options.metrics_csv.empty()) {
+    engine::write_metrics_csv(options.metrics_csv, engine);
+  }
   return 0;
 }
 

@@ -30,9 +30,22 @@
 //   special (drains the pipeline first, so counters are settled):
 //     {"stats": true}              answers {"stats": {hits, misses,
 //                                  evictions, entries, capacity,
-//                                  shards: [...]}} instead
-//     {"clear_cache": true}        drops the result cache; answers
+//                                  shards: [...], phase2: {...},
+//                                  store: {...} (with --store)}}
+//     {"clear_cache": true}        drops the RAM result cache; answers
 //                                  {"cleared": true, "dropped": <n>}
+//                                  (the --store log is untouched)
+//     {"metrics": true}            answers {"metrics": {counters,
+//                                  gauges, histograms, cache, store}}
+//                                  — engine/serialize.hpp
+//                                  metrics_report_json; schema
+//                                  deterministic, values wall-clock
+//
+// With --store=PATH the engine runs two-tier: RAM LRU over the
+// persistent result log (store/result_store.hpp), so a restarted serve
+// session answers previously-seen requests from disk, byte-identically
+// and with zero phase-2 work. --metrics-csv=PATH dumps the metrics
+// registry as CSV when the session ends.
 //
 // Responses carry the engine::Result schema of engine/serialize.hpp
 // (plus the "id" echo). A malformed request produces

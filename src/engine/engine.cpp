@@ -6,6 +6,7 @@
 #include "agu/codegen.hpp"
 #include "agu/metrics.hpp"
 #include "engine/fingerprint.hpp"
+#include "engine/result_codec.hpp"
 #include "engine/strategy.hpp"
 #include "ir/layout.hpp"
 #include "support/check.hpp"
@@ -18,6 +19,10 @@ using Clock = std::chrono::steady_clock;
 double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
+}
+
+std::uint64_t to_us(double ms) {
+  return ms <= 0.0 ? 0 : static_cast<std::uint64_t>(ms * 1000.0);
 }
 
 constexpr const char* kStageNames[kStageCount] = {
@@ -36,6 +41,31 @@ std::optional<Stage> stage_from_name(std::string_view name) {
     }
   }
   return std::nullopt;
+}
+
+Engine::Engine(Options options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_shards),
+      store_(options_.store),
+      metrics_(options_.metrics ? options_.metrics
+                                : std::make_shared<obs::Registry>()) {
+  // Fixed registration order: stage histograms in stage order, then
+  // tiers, then counters — the deterministic schema the metrics JSON
+  // and CSV surfaces promise.
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    stage_us_[i] = &metrics_->histogram(
+        std::string("engine.stage_us.") + kStageNames[i]);
+  }
+  request_us_cold_ = &metrics_->histogram("engine.request_us.cold");
+  request_us_ram_hit_ = &metrics_->histogram("engine.request_us.ram_hit");
+  request_us_store_hit_ = &metrics_->histogram("engine.request_us.store_hit");
+  phase2_proven_ = &metrics_->counter("engine.phase2.proven");
+  phase2_nodes_ = &metrics_->counter("engine.phase2.nodes");
+  phase2_windows_ = &metrics_->counter("engine.phase2.windows");
+  phase2_windows_proven_ = &metrics_->counter("engine.phase2.windows_proven");
+  phase2_subtree_tasks_ = &metrics_->counter("engine.phase2.subtree_tasks");
+  store_decode_errors_ = &metrics_->counter("engine.store.decode_errors");
+  store_append_errors_ = &metrics_->counter("engine.store.append_errors");
 }
 
 bool Result::stage_done(Stage stage) const {
@@ -69,7 +99,9 @@ Result Engine::run(const Request& request) {
       result.error = StageError{stage, e.what()};
       ok = false;
     }
-    result.stage_ms[static_cast<std::size_t>(stage)] = ms_since(stage_start);
+    const double stage_ms = ms_since(stage_start);
+    result.stage_ms[static_cast<std::size_t>(stage)] = stage_ms;
+    stage_us_[static_cast<std::size_t>(stage)]->record_us(to_us(stage_ms));
     return ok &&
            static_cast<int>(stage) < static_cast<int>(request.stop_after);
   };
@@ -92,6 +124,7 @@ Result Engine::run(const Request& request) {
   });
   if (result.error.has_value()) {
     result.total_ms = ms_since(start);
+    request_us_cold_->record_us(to_us(result.total_ms));
     return result;
   }
 
@@ -174,7 +207,40 @@ Result Engine::run(const Request& request) {
     out.machine = request.machine;
     out.cache_hit = true;
     out.total_ms = ms_since(start);
+    request_us_ram_hit_->record_us(to_us(out.total_ms));
     return out;
+  }
+
+  // This thread leads the key. With a disk tier attached, probe it
+  // before computing: a prior boot (or a RAM-evicted entry) may carry
+  // the answer. A hit is decoded, promoted into the RAM tier and
+  // served with zero phase-2 work expended; a record that fails to
+  // decode (foreign codec version, torn semantics the CRC cannot see)
+  // is counted, recomputed, and the re-append below shadows it.
+  if (store_ != nullptr) {
+    if (const std::optional<std::string> stored = store_->get(key)) {
+      std::optional<Result> decoded;
+      try {
+        decoded = decode_result(*stored);
+      } catch (const std::exception&) {
+        store_decode_errors_->add();
+      }
+      if (decoded.has_value()) {
+        try {
+          cache_.publish(key, std::make_shared<const Result>(*decoded));
+        } catch (...) {
+          cache_.abort(key);
+          throw;
+        }
+        Result out = std::move(*decoded);
+        out.kernel = request.kernel;
+        out.machine = request.machine;
+        out.store_hit = true;
+        out.total_ms = ms_since(start);
+        request_us_store_hit_->record_us(to_us(out.total_ms));
+        return out;
+      }
+    }
   }
 
   try {
@@ -187,14 +253,49 @@ Result Engine::run(const Request& request) {
     throw;
   }
 
+  // Phase-2 totals accumulate on computed runs only; hits of either
+  // tier add nothing (see Phase2Totals).
+  if (result.stage_done(Stage::kAllocate)) {
+    if (result.stats.phase2_proven) {
+      phase2_proven_->add();
+    }
+    phase2_nodes_->add(result.stats.phase2_nodes);
+    phase2_windows_->add(result.stats.phase2_windows);
+    phase2_windows_proven_->add(result.stats.phase2_windows_proven);
+    phase2_subtree_tasks_->add(result.stats.phase2_subtree_tasks);
+  }
+
   result.total_ms = ms_since(start);
+  request_us_cold_->record_us(to_us(result.total_ms));
   try {
     cache_.publish(key, std::make_shared<const Result>(result));
   } catch (...) {
     cache_.abort(key);
     throw;
   }
+  // Write-through after publishing, so single-flight waiters are never
+  // held behind disk I/O. Only ok() results persist — failures are
+  // cheap to recompute and should not fossilize. Append errors (disk
+  // full, permissions) degrade the store to read-only rather than
+  // failing the request.
+  if (store_ != nullptr && result.ok()) {
+    try {
+      store_->append(key, encode_result(result));
+    } catch (const std::exception&) {
+      store_append_errors_->add();
+    }
+  }
   return result;
+}
+
+Phase2Totals Engine::phase2_totals() const {
+  Phase2Totals totals;
+  totals.proven = phase2_proven_->value();
+  totals.nodes = phase2_nodes_->value();
+  totals.windows = phase2_windows_->value();
+  totals.windows_proven = phase2_windows_proven_->value();
+  totals.subtree_tasks = phase2_subtree_tasks_->value();
+  return totals;
 }
 
 CacheStats Engine::cache_stats() const {

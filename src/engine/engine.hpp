@@ -45,7 +45,9 @@
 #include "core/modify_registers.hpp"
 #include "engine/strategy.hpp"
 #include "ir/kernel.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/sharded_cache.hpp"
+#include "store/result_store.hpp"
 
 namespace dspaddr::engine {
 
@@ -153,8 +155,12 @@ struct Result {
   /// saved); `total_ms` is always this call's wall time.
   std::array<double, kStageCount> stage_ms{};
   double total_ms = 0.0;
-  /// True when this call was answered from the result cache.
+  /// True when this call was answered from the RAM result cache.
   bool cache_hit = false;
+  /// True when this call was answered from the persistent store (the
+  /// disk tier under the RAM cache): the result was decoded from the
+  /// log instead of recomputed, and promoted into the RAM tier.
+  bool store_hit = false;
 
   bool ok() const { return !error.has_value(); }
 
@@ -174,6 +180,20 @@ struct CacheStats {
   std::vector<runtime::CacheCounters> shards;
 };
 
+/// Aggregate phase-2 counters over every result this engine *computed*
+/// (RAM and store hits add nothing — nothing was searched). Because the
+/// cache is single-flight, each unique fingerprint is computed exactly
+/// once, so these totals are deterministic across jobs levels (node
+/// counts additionally require phase2_jobs == 1, the documented
+/// sequential-determinism caveat).
+struct Phase2Totals {
+  std::uint64_t proven = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t windows_proven = 0;
+  std::uint64_t subtree_tasks = 0;
+};
+
 /// Thread-safe pipeline runner with a fingerprint-keyed result cache.
 /// One Engine is meant to be shared: by all batch workers, by the
 /// whole lifetime of a serve process. The cache is mutex-striped
@@ -185,17 +205,32 @@ struct CacheStats {
 class Engine {
 public:
   struct Options {
+    Options() = default;
+    /// Cache sizing shorthand — Options{capacity} / Options{capacity,
+    /// shards}; store and metrics are set member-wise.
+    explicit Options(std::size_t capacity, std::size_t shards = 8)
+        : cache_capacity(capacity), cache_shards(shards) {}
+
     /// Maximum cached results; 0 disables caching entirely.
     std::size_t cache_capacity = 256;
     /// Mutex stripes of the cache (clamped to [1, cache_capacity]).
     /// More shards, less lock contention; eviction is per-shard LRU.
     std::size_t cache_shards = 8;
+    /// Persistent disk tier under the RAM cache (store/result_store):
+    /// single-flight misses probe it before computing and write freshly
+    /// computed ok() results through; null runs RAM-only. Shared so
+    /// several engines (e.g. successive boots in one test) can hand the
+    /// store around.
+    std::shared_ptr<store::ResultStore> store;
+    /// Metrics registry the engine registers its instruments in
+    /// (obs/metrics.hpp); null gives the engine a private registry —
+    /// instrumentation is always on. Pass a shared registry so one
+    /// surface (serve) can aggregate engine and transport metrics.
+    std::shared_ptr<obs::Registry> metrics;
   };
 
   Engine() : Engine(Options{}) {}
-  explicit Engine(Options options)
-      : options_(options),
-        cache_(options.cache_capacity, options.cache_shards) {}
+  explicit Engine(Options options);
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -207,8 +242,18 @@ public:
 
   CacheStats cache_stats() const;
 
-  /// Drops every cached result; returns how many entries were dropped.
-  /// Counters keep their lifetime totals.
+  /// Phase-2 work actually performed by this engine (see Phase2Totals).
+  Phase2Totals phase2_totals() const;
+
+  /// The disk tier, when attached (Options::store).
+  const std::shared_ptr<store::ResultStore>& store() const { return store_; }
+
+  /// The registry holding the engine's instruments (never null).
+  const std::shared_ptr<obs::Registry>& metrics() const { return metrics_; }
+
+  /// Drops every cached RAM entry; returns how many entries were
+  /// dropped. Counters keep their lifetime totals; the disk tier is
+  /// untouched (it re-fills the RAM tier on the next miss).
   std::size_t clear_cache();
 
 private:
@@ -218,6 +263,24 @@ private:
   /// refcount under a shard lock; the (potentially large) Result copy
   /// for the caller happens outside the lock.
   runtime::ShardedLruCache<Result> cache_;
+
+  std::shared_ptr<store::ResultStore> store_;
+  std::shared_ptr<obs::Registry> metrics_;
+
+  // Instruments resolved once at construction (references are stable
+  // for the registry's lifetime), so the hot path never locks the
+  // registry.
+  std::array<obs::Histogram*, kStageCount> stage_us_{};
+  obs::Histogram* request_us_cold_ = nullptr;
+  obs::Histogram* request_us_ram_hit_ = nullptr;
+  obs::Histogram* request_us_store_hit_ = nullptr;
+  obs::Counter* phase2_proven_ = nullptr;
+  obs::Counter* phase2_nodes_ = nullptr;
+  obs::Counter* phase2_windows_ = nullptr;
+  obs::Counter* phase2_windows_proven_ = nullptr;
+  obs::Counter* phase2_subtree_tasks_ = nullptr;
+  obs::Counter* store_decode_errors_ = nullptr;
+  obs::Counter* store_append_errors_ = nullptr;
 };
 
 }  // namespace dspaddr::engine

@@ -1,0 +1,359 @@
+#include "engine/result_codec.hpp"
+
+#include <utility>
+
+#include "support/check.hpp"
+#include "support/json.hpp"
+
+namespace dspaddr::engine {
+namespace {
+
+using support::JsonValue;
+
+constexpr std::int64_t kCodecVersion = 1;
+
+JsonValue from_size(std::size_t value) {
+  return JsonValue::number(static_cast<std::int64_t>(value));
+}
+
+JsonValue from_u64(std::uint64_t value) {
+  return JsonValue::number(static_cast<std::int64_t>(value));
+}
+
+JsonValue from_int(int value) {
+  return JsonValue::number(static_cast<std::int64_t>(value));
+}
+
+// Instructions are dense: one array [op, reg, value, access,
+// next_iteration, mr] per instruction, opcodes/addressing as integers.
+// The codec version (not names) gates compatibility — this is a
+// node-local cache format, not an interchange format.
+JsonValue instruction_to_json(const agu::Instruction& instruction) {
+  JsonValue json = JsonValue::array();
+  json.push_back(from_int(static_cast<int>(instruction.op)));
+  json.push_back(from_size(instruction.reg));
+  json.push_back(JsonValue::number(instruction.value));
+  json.push_back(from_size(instruction.access));
+  json.push_back(JsonValue::boolean(instruction.next_iteration));
+  json.push_back(from_int(instruction.mr));
+  return json;
+}
+
+agu::Instruction instruction_from_json(const JsonValue& json) {
+  check_arg(json.is_array() && json.items().size() == 6,
+            "result codec: instruction must be a 6-element array");
+  const auto& items = json.items();
+  agu::Instruction instruction;
+  const std::int64_t op = items[0].as_int();
+  check_arg(op >= 0 && op <= static_cast<std::int64_t>(agu::Opcode::kLdmr),
+            "result codec: unknown opcode");
+  instruction.op = static_cast<agu::Opcode>(op);
+  instruction.reg = static_cast<std::size_t>(items[1].as_int());
+  instruction.value = items[2].as_int();
+  instruction.access = static_cast<std::size_t>(items[3].as_int());
+  instruction.next_iteration = items[4].as_bool();
+  instruction.mr = static_cast<std::int32_t>(items[5].as_int());
+  return instruction;
+}
+
+JsonValue program_to_json(const agu::Program& program) {
+  JsonValue json = JsonValue::object();
+  JsonValue setup = JsonValue::array();
+  for (const agu::Instruction& instruction : program.setup) {
+    setup.push_back(instruction_to_json(instruction));
+  }
+  json.set("setup", std::move(setup));
+  JsonValue body = JsonValue::array();
+  for (const agu::Instruction& instruction : program.body) {
+    body.push_back(instruction_to_json(instruction));
+  }
+  json.set("body", std::move(body));
+  json.set("registers", from_size(program.register_count));
+  json.set("modify_registers", from_size(program.modify_register_count));
+  json.set("addressing", from_int(static_cast<int>(program.addressing)));
+  return json;
+}
+
+agu::Program program_from_json(const JsonValue& json) {
+  check_arg(json.is_object(), "result codec: 'program' must be an object");
+  agu::Program program;
+  const JsonValue* setup = json.find("setup");
+  const JsonValue* body = json.find("body");
+  check_arg(setup != nullptr && setup->is_array() && body != nullptr &&
+                body->is_array(),
+            "result codec: program needs 'setup' and 'body' arrays");
+  for (const JsonValue& entry : setup->items()) {
+    program.setup.push_back(instruction_from_json(entry));
+  }
+  for (const JsonValue& entry : body->items()) {
+    program.body.push_back(instruction_from_json(entry));
+  }
+  const JsonValue* registers = json.find("registers");
+  const JsonValue* modify = json.find("modify_registers");
+  const JsonValue* addressing = json.find("addressing");
+  check_arg(registers != nullptr && modify != nullptr &&
+                addressing != nullptr,
+            "result codec: program needs registers/modify_registers/"
+            "addressing");
+  program.register_count = static_cast<std::size_t>(registers->as_int());
+  program.modify_register_count = static_cast<std::size_t>(modify->as_int());
+  const std::int64_t mode = addressing->as_int();
+  check_arg(mode >= 0 &&
+                mode <= static_cast<std::int64_t>(agu::Addressing::kPreModify),
+            "result codec: unknown addressing mode");
+  program.addressing = static_cast<agu::Addressing>(mode);
+  return program;
+}
+
+JsonValue stats_to_json(const core::AllocationStats& stats) {
+  JsonValue json = JsonValue::object();
+  json.set("k_tilde", stats.k_tilde.has_value() ? from_size(*stats.k_tilde)
+                                                : JsonValue::null());
+  json.set("lower_bound", from_size(stats.lower_bound));
+  json.set("upper_bound", stats.upper_bound.has_value()
+                              ? from_size(*stats.upper_bound)
+                              : JsonValue::null());
+  json.set("phase1_exact", JsonValue::boolean(stats.phase1_exact));
+  json.set("search_nodes", from_u64(stats.search_nodes));
+  json.set("merges", from_size(stats.merges));
+  json.set("phase2_exact", JsonValue::boolean(stats.phase2_exact));
+  json.set("phase2_proven", JsonValue::boolean(stats.phase2_proven));
+  json.set("phase2_nodes", from_u64(stats.phase2_nodes));
+  json.set("phase2_lower_bound", from_int(stats.phase2_lower_bound));
+  json.set("phase2_gap", from_int(stats.phase2_gap));
+  json.set("phase2_table_cap_hits", from_u64(stats.phase2_table_cap_hits));
+  json.set("phase2_subtree_tasks", from_u64(stats.phase2_subtree_tasks));
+  json.set("phase2_windows", from_size(stats.phase2_windows));
+  json.set("phase2_windows_proven", from_size(stats.phase2_windows_proven));
+  // phase2_nodes_per_sec is wall-clock derived: never serialized.
+  return json;
+}
+
+core::AllocationStats stats_from_json(const JsonValue& json) {
+  check_arg(json.is_object(), "result codec: 'stats' must be an object");
+  const auto required = [&](const char* key) -> const JsonValue& {
+    const JsonValue* value = json.find(key);
+    check_arg(value != nullptr,
+              std::string("result codec: stats missing '") + key + "'");
+    return *value;
+  };
+  core::AllocationStats stats;
+  const JsonValue& k_tilde = required("k_tilde");
+  if (!k_tilde.is_null()) {
+    stats.k_tilde = static_cast<std::size_t>(k_tilde.as_int());
+  }
+  stats.lower_bound =
+      static_cast<std::size_t>(required("lower_bound").as_int());
+  const JsonValue& upper_bound = required("upper_bound");
+  if (!upper_bound.is_null()) {
+    stats.upper_bound = static_cast<std::size_t>(upper_bound.as_int());
+  }
+  stats.phase1_exact = required("phase1_exact").as_bool();
+  stats.search_nodes =
+      static_cast<std::uint64_t>(required("search_nodes").as_int());
+  stats.merges = static_cast<std::size_t>(required("merges").as_int());
+  stats.phase2_exact = required("phase2_exact").as_bool();
+  stats.phase2_proven = required("phase2_proven").as_bool();
+  stats.phase2_nodes =
+      static_cast<std::uint64_t>(required("phase2_nodes").as_int());
+  stats.phase2_lower_bound =
+      static_cast<int>(required("phase2_lower_bound").as_int());
+  stats.phase2_gap = static_cast<int>(required("phase2_gap").as_int());
+  stats.phase2_table_cap_hits =
+      static_cast<std::uint64_t>(required("phase2_table_cap_hits").as_int());
+  stats.phase2_subtree_tasks =
+      static_cast<std::uint64_t>(required("phase2_subtree_tasks").as_int());
+  stats.phase2_windows =
+      static_cast<std::size_t>(required("phase2_windows").as_int());
+  stats.phase2_windows_proven =
+      static_cast<std::size_t>(required("phase2_windows_proven").as_int());
+  return stats;
+}
+
+JsonValue plan_to_json(const core::ModifyRegisterPlan& plan) {
+  JsonValue json = JsonValue::object();
+  JsonValue values = JsonValue::array();
+  for (const core::ModifyRegister& mr : plan.values) {
+    JsonValue entry = JsonValue::array();
+    entry.push_back(JsonValue::number(mr.value));
+    entry.push_back(from_int(mr.covered));
+    values.push_back(std::move(entry));
+  }
+  json.set("values", std::move(values));
+  json.set("covered_per_iteration", from_int(plan.covered_per_iteration));
+  json.set("residual_cost", from_int(plan.residual_cost));
+  return json;
+}
+
+core::ModifyRegisterPlan plan_from_json(const JsonValue& json) {
+  check_arg(json.is_object(), "result codec: 'plan' must be an object");
+  core::ModifyRegisterPlan plan;
+  const JsonValue* values = json.find("values");
+  const JsonValue* covered = json.find("covered_per_iteration");
+  const JsonValue* residual = json.find("residual_cost");
+  check_arg(values != nullptr && values->is_array() && covered != nullptr &&
+                residual != nullptr,
+            "result codec: plan needs values/covered_per_iteration/"
+            "residual_cost");
+  for (const JsonValue& entry : values->items()) {
+    check_arg(entry.is_array() && entry.items().size() == 2,
+              "result codec: plan value must be a [value, covered] pair");
+    core::ModifyRegister mr;
+    mr.value = entry.items()[0].as_int();
+    mr.covered = static_cast<int>(entry.items()[1].as_int());
+    plan.values.push_back(mr);
+  }
+  plan.covered_per_iteration = static_cast<int>(covered->as_int());
+  plan.residual_cost = static_cast<int>(residual->as_int());
+  return plan;
+}
+
+JsonValue sim_to_json(const agu::SimResult& sim) {
+  JsonValue json = JsonValue::object();
+  json.set("verified", JsonValue::boolean(sim.verified));
+  if (!sim.failure.empty()) {
+    json.set("failure", JsonValue::string(sim.failure));
+  }
+  json.set("iterations", from_u64(sim.iterations));
+  json.set("accesses_executed", from_u64(sim.accesses_executed));
+  json.set("setup_instructions", from_u64(sim.setup_instructions));
+  json.set("extra_instructions", from_u64(sim.extra_instructions));
+  json.set("address_cycles", from_u64(sim.address_cycles));
+  // The trace is only recorded under Simulator::Options::record_trace,
+  // which the engine never enables: not serialized.
+  return json;
+}
+
+agu::SimResult sim_from_json(const JsonValue& json) {
+  check_arg(json.is_object(), "result codec: 'sim' must be an object");
+  const auto required = [&](const char* key) -> const JsonValue& {
+    const JsonValue* value = json.find(key);
+    check_arg(value != nullptr,
+              std::string("result codec: sim missing '") + key + "'");
+    return *value;
+  };
+  agu::SimResult sim;
+  sim.verified = required("verified").as_bool();
+  if (const JsonValue* failure = json.find("failure")) {
+    sim.failure = failure->as_string();
+  }
+  sim.iterations = static_cast<std::uint64_t>(required("iterations").as_int());
+  sim.accesses_executed =
+      static_cast<std::uint64_t>(required("accesses_executed").as_int());
+  sim.setup_instructions =
+      static_cast<std::uint64_t>(required("setup_instructions").as_int());
+  sim.extra_instructions =
+      static_cast<std::uint64_t>(required("extra_instructions").as_int());
+  sim.address_cycles =
+      static_cast<std::uint64_t>(required("address_cycles").as_int());
+  return sim;
+}
+
+}  // namespace
+
+std::string encode_result(const Result& result) {
+  JsonValue json = JsonValue::object();
+  json.set("v", JsonValue::number(kCodecVersion));
+  json.set("stop_after", JsonValue::string(stage_name(result.stop_after)));
+  json.set("layout", JsonValue::string(result.layout));
+  json.set("strategy", JsonValue::string(result.strategy));
+  if (result.error.has_value()) {
+    JsonValue error = JsonValue::object();
+    error.set("stage", JsonValue::string(stage_name(result.error->stage)));
+    error.set("message", JsonValue::string(result.error->message));
+    json.set("error", std::move(error));
+  }
+  json.set("accesses", from_size(result.accesses));
+  json.set("layout_extent", JsonValue::number(result.layout_extent));
+  json.set("k_tilde", result.k_tilde.has_value() ? from_size(*result.k_tilde)
+                                                 : JsonValue::null());
+  json.set("stats", stats_to_json(result.stats));
+  json.set("allocation_cost", from_int(result.allocation_cost));
+  json.set("intra_cost", from_int(result.intra_cost));
+  json.set("wrap_cost", from_int(result.wrap_cost));
+  json.set("allocation_text", JsonValue::string(result.allocation_text));
+  json.set("plan", plan_to_json(result.plan));
+  json.set("program", program_to_json(result.program));
+  json.set("iterations", from_u64(result.iterations));
+  json.set("sim", sim_to_json(result.sim));
+  json.set("verified", JsonValue::boolean(result.verified));
+  JsonValue metrics = JsonValue::object();
+  metrics.set("baseline_size_words",
+              JsonValue::number(result.baseline_size_words));
+  metrics.set("baseline_cycles", JsonValue::number(result.baseline_cycles));
+  metrics.set("optimized_size_words",
+              JsonValue::number(result.optimized_size_words));
+  metrics.set("optimized_cycles", JsonValue::number(result.optimized_cycles));
+  metrics.set("size_reduction_percent",
+              JsonValue::number(result.size_reduction_percent));
+  metrics.set("speed_reduction_percent",
+              JsonValue::number(result.speed_reduction_percent));
+  json.set("metrics", std::move(metrics));
+  return json.dump();
+}
+
+Result decode_result(std::string_view encoded) {
+  const JsonValue json = JsonValue::parse(encoded);
+  check_arg(json.is_object(), "result codec: expected a JSON object");
+  const auto required = [&](const char* key) -> const JsonValue& {
+    const JsonValue* value = json.find(key);
+    check_arg(value != nullptr,
+              std::string("result codec: missing '") + key + "'");
+    return *value;
+  };
+  check_arg(required("v").as_int() == kCodecVersion,
+            "result codec: foreign codec version");
+
+  Result result;
+  const std::optional<Stage> stop_after =
+      stage_from_name(required("stop_after").as_string());
+  check_arg(stop_after.has_value(), "result codec: unknown stop_after stage");
+  result.stop_after = *stop_after;
+  result.layout = required("layout").as_string();
+  result.strategy = required("strategy").as_string();
+  if (const JsonValue* error = json.find("error")) {
+    const JsonValue* stage = error->find("stage");
+    const JsonValue* message = error->find("message");
+    check_arg(stage != nullptr && message != nullptr,
+              "result codec: error needs 'stage' and 'message'");
+    const std::optional<Stage> error_stage =
+        stage_from_name(stage->as_string());
+    check_arg(error_stage.has_value(), "result codec: unknown error stage");
+    result.error = StageError{*error_stage, message->as_string()};
+  }
+  result.accesses = static_cast<std::size_t>(required("accesses").as_int());
+  result.layout_extent = required("layout_extent").as_int();
+  const JsonValue& k_tilde = required("k_tilde");
+  if (!k_tilde.is_null()) {
+    result.k_tilde = static_cast<std::size_t>(k_tilde.as_int());
+  }
+  result.stats = stats_from_json(required("stats"));
+  result.allocation_cost = static_cast<int>(required("allocation_cost").as_int());
+  result.intra_cost = static_cast<int>(required("intra_cost").as_int());
+  result.wrap_cost = static_cast<int>(required("wrap_cost").as_int());
+  result.allocation_text = required("allocation_text").as_string();
+  result.plan = plan_from_json(required("plan"));
+  result.program = program_from_json(required("program"));
+  result.iterations =
+      static_cast<std::uint64_t>(required("iterations").as_int());
+  result.sim = sim_from_json(required("sim"));
+  result.verified = required("verified").as_bool();
+  const JsonValue& metrics = required("metrics");
+  check_arg(metrics.is_object(), "result codec: 'metrics' must be an object");
+  const auto metric = [&](const char* key) -> const JsonValue& {
+    const JsonValue* value = metrics.find(key);
+    check_arg(value != nullptr,
+              std::string("result codec: metrics missing '") + key + "'");
+    return *value;
+  };
+  result.baseline_size_words = metric("baseline_size_words").as_int();
+  result.baseline_cycles = metric("baseline_cycles").as_int();
+  result.optimized_size_words = metric("optimized_size_words").as_int();
+  result.optimized_cycles = metric("optimized_cycles").as_int();
+  result.size_reduction_percent = metric("size_reduction_percent").as_double();
+  result.speed_reduction_percent =
+      metric("speed_reduction_percent").as_double();
+  return result;
+}
+
+}  // namespace dspaddr::engine

@@ -1,0 +1,42 @@
+// Full-fidelity serialization of engine::Result for the persistent
+// result store (store/result_store.hpp).
+//
+// This codec is NOT the response schema (engine/serialize.hpp renders
+// that summary view): it round-trips every field a later process needs
+// to serve the result as if it had just been computed — allocation
+// text, the modify-register plan, the complete address program, the
+// simulation verdict and the paper metrics. Three kinds of fields are
+// deliberately excluded:
+//
+//  * kernel and machine: the fingerprint key ignores their names, so
+//    the engine re-applies the *requesting* kernel/machine on a store
+//    hit, exactly as it does on a RAM hit;
+//  * wall-clock measurements (stage_ms, total_ms,
+//    stats.phase2_nodes_per_sec): never serialized, so a store-served
+//    response is byte-identical to the cold response (see
+//    engine/serialize.hpp and README);
+//  * per-call flags (cache_hit, store_hit): properties of the lookup,
+//    not the result.
+//
+// The encoding is versioned ("v") independently of the store's record
+// framing; decode_result throws dspaddr::Error on any malformed or
+// foreign-version value, which the engine treats as a miss and
+// recomputes (the re-append then shadows the bad record).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "engine/engine.hpp"
+
+namespace dspaddr::engine {
+
+/// Compact JSON line carrying every non-excluded field of `result`.
+std::string encode_result(const Result& result);
+
+/// Inverse of encode_result. The returned Result carries an empty
+/// kernel/machine (the caller re-decorates from its request). Throws
+/// dspaddr::Error on malformed input or a foreign codec version.
+Result decode_result(std::string_view encoded);
+
+}  // namespace dspaddr::engine

@@ -1,5 +1,7 @@
 #include "engine/serialize.hpp"
 
+#include <fstream>
+
 #include "agu/machine_desc.hpp"
 #include "support/check.hpp"
 
@@ -194,6 +196,138 @@ support::JsonValue cache_stats_to_json(const CacheStats& stats) {
   }
   json.set("shards", std::move(shards));
   return json;
+}
+
+support::JsonValue phase2_totals_to_json(const Phase2Totals& totals) {
+  JsonValue json = JsonValue::object();
+  json.set("proven", from_u64(totals.proven));
+  json.set("nodes", from_u64(totals.nodes));
+  json.set("windows", from_u64(totals.windows));
+  json.set("windows_proven", from_u64(totals.windows_proven));
+  json.set("subtree_tasks", from_u64(totals.subtree_tasks));
+  return json;
+}
+
+support::JsonValue store_stats_to_json(const store::StoreStats& stats) {
+  JsonValue json = JsonValue::object();
+  json.set("records", from_size(stats.records));
+  json.set("bytes", from_u64(stats.bytes));
+  json.set("recovered_records", from_size(stats.recovered_records));
+  json.set("appended_records", from_u64(stats.appended_records));
+  json.set("appended_bytes", from_u64(stats.appended_bytes));
+  json.set("truncated_bytes", from_u64(stats.truncated_bytes));
+  json.set("hits", from_u64(stats.hits));
+  json.set("misses", from_u64(stats.misses));
+  return json;
+}
+
+namespace {
+
+JsonValue histogram_summary(const obs::HistogramSnapshot& snapshot) {
+  JsonValue json = JsonValue::object();
+  json.set("count", from_u64(snapshot.count));
+  json.set("sum_us", from_u64(snapshot.sum_us));
+  json.set("max_us", from_u64(snapshot.max_us));
+  json.set("p50_us", from_u64(snapshot.percentile_us(50.0)));
+  json.set("p95_us", from_u64(snapshot.percentile_us(95.0)));
+  json.set("p99_us", from_u64(snapshot.percentile_us(99.0)));
+  return json;
+}
+
+}  // namespace
+
+support::JsonValue metrics_report_json(const obs::RegistrySnapshot& snapshot,
+                                       const CacheStats& cache,
+                                       const store::StoreStats* store) {
+  JsonValue json = JsonValue::object();
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.set(name, from_u64(value));
+  }
+  json.set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, levels] : snapshot.gauges) {
+    JsonValue gauge = JsonValue::object();
+    gauge.set("value", JsonValue::number(levels.first));
+    gauge.set("max", JsonValue::number(levels.second));
+    gauges.set(name, std::move(gauge));
+  }
+  json.set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [name, hist] : snapshot.histograms) {
+    histograms.set(name, histogram_summary(hist));
+  }
+  json.set("histograms", std::move(histograms));
+  // The tier counters ride along so one probe answers "where did my
+  // requests go" without a second round trip; shards are a stats-level
+  // detail and stay out.
+  JsonValue tier = JsonValue::object();
+  tier.set("hits", from_u64(cache.hits));
+  tier.set("misses", from_u64(cache.misses));
+  tier.set("evictions", from_u64(cache.evictions));
+  tier.set("entries", from_size(cache.entries));
+  tier.set("capacity", from_size(cache.capacity));
+  json.set("cache", std::move(tier));
+  if (store != nullptr) {
+    json.set("store", store_stats_to_json(*store));
+  }
+  return json;
+}
+
+std::string metrics_report_csv(const obs::RegistrySnapshot& snapshot,
+                               const CacheStats& cache,
+                               const store::StoreStats* store) {
+  std::string csv =
+      "kind,name,count,sum_us,max_us,p50_us,p95_us,p99_us,value,max\n";
+  const auto counter_row = [&](const std::string& name,
+                               std::uint64_t value) {
+    csv += "counter," + name + "," + std::to_string(value) + ",,,,,,,\n";
+  };
+  for (const auto& [name, value] : snapshot.counters) {
+    counter_row(name, value);
+  }
+  for (const auto& [name, levels] : snapshot.gauges) {
+    csv += "gauge," + name + ",,,,,,," + std::to_string(levels.first) + "," +
+           std::to_string(levels.second) + "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    csv += "histogram," + name + "," + std::to_string(hist.count) + "," +
+           std::to_string(hist.sum_us) + "," + std::to_string(hist.max_us) +
+           "," + std::to_string(hist.percentile_us(50.0)) + "," +
+           std::to_string(hist.percentile_us(95.0)) + "," +
+           std::to_string(hist.percentile_us(99.0)) + ",,\n";
+  }
+  counter_row("cache.hits", cache.hits);
+  counter_row("cache.misses", cache.misses);
+  counter_row("cache.evictions", cache.evictions);
+  counter_row("cache.entries", cache.entries);
+  counter_row("cache.capacity", cache.capacity);
+  if (store != nullptr) {
+    counter_row("store.records", store->records);
+    counter_row("store.bytes", store->bytes);
+    counter_row("store.recovered_records", store->recovered_records);
+    counter_row("store.appended_records", store->appended_records);
+    counter_row("store.appended_bytes", store->appended_bytes);
+    counter_row("store.truncated_bytes", store->truncated_bytes);
+    counter_row("store.hits", store->hits);
+    counter_row("store.misses", store->misses);
+  }
+  return csv;
+}
+
+void write_metrics_csv(const std::string& path, const Engine& engine) {
+  const std::optional<store::StoreStats> store_stats =
+      engine.store() != nullptr
+          ? std::optional<store::StoreStats>(engine.store()->stats())
+          : std::nullopt;
+  std::ofstream file(path, std::ios::trunc);
+  check_arg(file.good(),
+            "--metrics-csv: cannot open '" + path + "' for writing");
+  file << metrics_report_csv(
+      engine.metrics()->snapshot(), engine.cache_stats(),
+      store_stats.has_value() ? &*store_stats : nullptr);
+  file.flush();
+  check_arg(file.good(), "--metrics-csv: failed writing '" + path + "'");
 }
 
 ir::Kernel kernel_from_json(const support::JsonValue& json) {

@@ -54,6 +54,41 @@ support::JsonValue result_to_json(const Result& result);
 /// "capacity"} plus a "shards" array with the same fields per shard.
 support::JsonValue cache_stats_to_json(const CacheStats& stats);
 
+/// Aggregate phase-2 work as a JSON object: {"proven", "nodes",
+/// "windows", "windows_proven", "subtree_tasks"}. Deterministic across
+/// jobs levels (see engine::Phase2Totals).
+support::JsonValue phase2_totals_to_json(const Phase2Totals& totals);
+
+/// Persistent-store counters as a JSON object: {"records", "bytes",
+/// "recovered_records", "appended_records", "appended_bytes",
+/// "truncated_bytes", "hits", "misses"}.
+support::JsonValue store_stats_to_json(const store::StoreStats& stats);
+
+/// The serve `{"metrics":true}` response body: {"counters": {name:
+/// value}, "gauges": {name: {"value", "max"}}, "histograms": {name:
+/// {"count", "sum_us", "max_us", "p50_us", "p95_us", "p99_us"}},
+/// "cache": cache_stats_to_json (sans shards), "store":
+/// store_stats_to_json (only when `store` is non-null)}. Member order
+/// follows instrument registration order — the schema is deterministic;
+/// the values are wall-clock measurements and are never byte-compared.
+support::JsonValue metrics_report_json(const obs::RegistrySnapshot& snapshot,
+                                       const CacheStats& cache,
+                                       const store::StoreStats* store);
+
+/// The --metrics-csv rendering of the same report: header
+/// `kind,name,count,sum_us,max_us,p50_us,p95_us,p99_us,value,max`, one
+/// row per instrument (unused columns empty), then cache.* / store.*
+/// counters as counter rows. Ends with a newline.
+std::string metrics_report_csv(const obs::RegistrySnapshot& snapshot,
+                               const CacheStats& cache,
+                               const store::StoreStats* store);
+
+/// Writes metrics_report_csv for `engine` (registry snapshot, cache
+/// counters, store counters when attached) to `path` — the shared
+/// implementation of every surface's --metrics-csv flag. Throws Error
+/// when the file cannot be written.
+void write_metrics_csv(const std::string& path, const Engine& engine);
+
 /// Compact one-line rendering of result_to_json (no trailing newline).
 std::string result_to_json_line(const Result& result);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/serialize.hpp"
 #include "engine/strategy.hpp"
 #include "runtime/task_pool.hpp"
 #include "support/check.hpp"
@@ -156,8 +157,17 @@ BatchResult run_batch(const BatchConfig& config) {
                                          config.layouts.size(), 1) *
                                      std::max<std::size_t>(
                                          config.strategies.size(), 1));
-  engine::Engine engine(engine::Engine::Options{cells});
-  return run_batch(config, engine);
+  engine::Engine::Options options;
+  options.cache_capacity = cells;
+  options.store = config.store;
+  engine::Engine engine(std::move(options));
+  const BatchResult result = run_batch(config, engine);
+  // Dumped here, not by the CLI layer, because the engine (and its
+  // registry) is scoped to this call.
+  if (!config.metrics_csv.empty()) {
+    engine::write_metrics_csv(config.metrics_csv, engine);
+  }
+  return result;
 }
 
 namespace {

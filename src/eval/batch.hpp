@@ -43,6 +43,14 @@ struct BatchConfig {
   /// nonzero time budget trades byte-identical reruns for a wall-clock
   /// cap; the node budget alone keeps the CSV deterministic.
   core::Phase2Options phase2;
+  /// Persistent result store for the sweep's engine (--store); null =
+  /// none. A later sweep over the same file answers repeated cells
+  /// from disk. Ignored by the caller-owned-engine overload.
+  std::shared_ptr<store::ResultStore> store;
+  /// Write the sweep engine's metrics registry as CSV to this path
+  /// before the engine dies (--metrics-csv); empty = no dump. Ignored
+  /// by the caller-owned-engine overload.
+  std::string metrics_csv;
 };
 
 /// One grid cell's outcome. When a pipeline stage fails (e.g. a

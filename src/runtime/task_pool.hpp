@@ -53,6 +53,14 @@ class TaskPool {
 
   std::size_t worker_count() const { return workers_.size(); }
 
+  /// Tasks queued but not yet picked up by a worker — the
+  /// backpressure level a metrics gauge samples. An instant, not a
+  /// state.
+  std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
   /// How many tasks have thrown so far.
   std::size_t failure_count() const;
 

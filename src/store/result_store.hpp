@@ -1,0 +1,148 @@
+// store::ResultStore — the persistent fingerprint→result log under the
+// engine's RAM cache.
+//
+// An append-only, versioned key/value log on disk: each record frames
+// one (fingerprint, serialized result) pair behind a CRC-32 so the
+// reader can tell a complete record from a torn one. The file survives
+// process restarts — a serve fleet bounced under load warm-starts from
+// the log instead of recompiling its whole traffic mix — and survives
+// crashes mid-append: on open the log is scanned record by record, the
+// in-memory index is rebuilt, and a truncated or corrupt tail (the
+// partially flushed final record of a killed writer) is measured,
+// dropped and truncated away so the next append starts on a clean
+// frame boundary. Every record that was fully written before the crash
+// is recovered.
+//
+// Layout (all integers little-endian, as written by the host — the log
+// is a node-local cache, not an interchange format):
+//
+//   header   : 8-byte magic "DSPADDRL", u32 format version, u32 zero
+//   record   : u32 key_len, u32 value_len, u32 crc32(key||value),
+//              key bytes, value bytes
+//
+// Reads go through one mmap of the file as it existed at open();
+// records appended later are served from the in-memory index (they
+// are also what the RAM tier just computed, so the double-home is
+// cheap). Appends take a mutex (one writer at a time), optionally
+// fsync per record (Options::fsync_each_append — durability against
+// power loss at a syscall per result), and a later record for an
+// existing key simply shadows the earlier one, so re-computation after
+// a decode failure self-heals the log.
+//
+// The store is deliberately generic (string keys, string values): the
+// engine keys it by fingerprint v3 (engine/fingerprint.hpp), so a
+// machine-spec or strategy change can never alias a stale result, and
+// serializes results via engine/result_codec.hpp. One process per log
+// file — the store does no cross-process locking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace dspaddr::store {
+
+/// CRC-32 (IEEE 802.3, reflected) over `data` — the per-record frame
+/// checksum. Exposed so tests can craft corrupt records byte by byte.
+std::uint32_t crc32(std::string_view data);
+
+/// Operational counters of one store, for `{"stats":true}` /
+/// `{"metrics":true}` and the --metrics-csv dump.
+struct StoreStats {
+  /// Distinct keys currently resolvable (shadowed duplicates count
+  /// once).
+  std::size_t records = 0;
+  /// Current log file size in bytes (header + every retained record).
+  std::uint64_t bytes = 0;
+  /// Complete records recovered by the open() scan.
+  std::size_t recovered_records = 0;
+  /// Records appended since open().
+  std::uint64_t appended_records = 0;
+  /// Bytes appended since open().
+  std::uint64_t appended_bytes = 0;
+  /// Bytes of torn/corrupt tail dropped by the open() scan (0 after a
+  /// clean shutdown).
+  std::uint64_t truncated_bytes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+class ResultStore {
+ public:
+  /// Bumped whenever the record framing or the result codec changes
+  /// incompatibly; a file with any other version is refused loudly.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  struct Options {
+    std::string path;
+    /// fsync after every append: durable against power loss, one
+    /// syscall per new result. Off by default — the log is a cache,
+    /// and a torn tail is recovered on the next open anyway.
+    bool fsync_each_append = false;
+  };
+
+  /// Opens (or creates) the log at `options.path`, scans it, builds
+  /// the index and maps the scanned region. Throws dspaddr::Error when
+  /// the file cannot be opened/created or carries a foreign version.
+  explicit ResultStore(Options options);
+  ~ResultStore();
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// The value most recently appended under `key`, or nullopt. Counts
+  /// a hit or a miss.
+  std::optional<std::string> get(const std::string& key);
+
+  /// Appends one record and indexes it (shadowing any earlier record
+  /// with the same key). Throws dspaddr::Error on write failure.
+  void append(const std::string& key, std::string_view value);
+
+  StoreStats stats() const;
+
+  const std::string& path() const { return options_.path; }
+
+ private:
+  struct Location {
+    /// Offset of the value bytes inside the mapped region (valid when
+    /// !appended).
+    std::uint64_t offset = 0;
+    std::uint32_t length = 0;
+    /// Index into appended_values_ when the record postdates open().
+    bool appended = false;
+    std::size_t appended_index = 0;
+  };
+
+  /// Scans the file, fills the index, returns the offset of the first
+  /// byte past the last complete record.
+  std::uint64_t scan_and_index(std::uint64_t file_size);
+
+  Options options_;
+  int fd_ = -1;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Location> index_;
+  /// Values appended since open(), addressed by Location::appended_index.
+  std::deque<std::string> appended_values_;
+
+  /// The file's bytes as of open(); reads of recovered records come
+  /// from here. Null when the file held no records at open (or mmap is
+  /// unavailable), in which case recovered reads fall back to pread.
+  const char* map_ = nullptr;
+  std::uint64_t map_size_ = 0;
+
+  std::uint64_t append_offset_ = 0;
+  std::size_t recovered_records_ = 0;
+  std::uint64_t truncated_bytes_ = 0;
+  std::uint64_t appended_records_ = 0;
+  std::uint64_t appended_bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dspaddr::store

@@ -2,6 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "agu/machine_desc.hpp"
@@ -270,6 +273,42 @@ TEST(CliOptions, ServeFlags) {
                cli::UsageError);
 }
 
+TEST(CliOptions, StoreAndMetricsFlagsOnRunBatchServe) {
+  const cli::RunOptions run = cli::parse_run_options(
+      {"--kernel", "f.c", "--store", "cache.log", "--store-fsync",
+       "--metrics-csv", "m.csv"});
+  EXPECT_EQ(run.store_path, "cache.log");
+  EXPECT_TRUE(run.store_fsync);
+  EXPECT_EQ(run.metrics_csv, "m.csv");
+
+  const cli::BatchOptions batch = cli::parse_batch_options(
+      {"--builtin", "fir", "--store=cache.log", "--metrics-csv=m.csv"});
+  EXPECT_EQ(batch.store_path, "cache.log");
+  EXPECT_FALSE(batch.store_fsync);
+  EXPECT_EQ(batch.metrics_csv, "m.csv");
+
+  const cli::ServeOptions serve = cli::parse_serve_options(
+      {"--store", "cache.log", "--store-fsync", "--metrics-csv=m.csv"});
+  EXPECT_EQ(serve.store_path, "cache.log");
+  EXPECT_TRUE(serve.store_fsync);
+  EXPECT_EQ(serve.metrics_csv, "m.csv");
+
+  // Defaults: no store, no fsync, no dump.
+  EXPECT_TRUE(cli::parse_serve_options({}).store_path.empty());
+  EXPECT_FALSE(cli::parse_serve_options({}).store_fsync);
+  EXPECT_TRUE(cli::parse_serve_options({}).metrics_csv.empty());
+
+  // --store-fsync is meaningless without a store on every command.
+  EXPECT_THROW(
+      cli::parse_run_options({"--kernel", "f.c", "--store-fsync"}),
+      cli::UsageError);
+  EXPECT_THROW(
+      cli::parse_batch_options({"--builtin", "fir", "--store-fsync"}),
+      cli::UsageError);
+  EXPECT_THROW(cli::parse_serve_options({"--store-fsync"}),
+               cli::UsageError);
+}
+
 TEST(CliOptions, JobsDefaultAndValidationAreSharedAcrossCommands) {
   // One helper backs --jobs on batch and serve: same default (the
   // hardware concurrency, at least 1) and the same rejections.
@@ -448,6 +487,67 @@ TEST(CliApp, RunJsonSurfacesExactSolverDiagnostics) {
   ASSERT_NE(phase2->find("table_cap_hits"), nullptr) << out;
   ASSERT_NE(phase2->find("subtree_tasks"), nullptr) << out;
   EXPECT_GE(phase2->find("nodes")->as_int(), 1);
+}
+
+TEST(CliApp, RunJsonCarriesTimings) {
+  std::string out;
+  std::string err;
+  const int code = run({"run", "--kernel", kRoot + "paper_example.c",
+                        "--registers", "2", "--format", "json"},
+                       out, err);
+  EXPECT_EQ(code, 0) << err;
+  const support::JsonValue json = support::JsonValue::parse(out);
+  const support::JsonValue* timings = json.find("timings");
+  ASSERT_NE(timings, nullptr) << out;
+  EXPECT_EQ(timings->find("tier")->as_string(), "cold");
+  ASSERT_NE(timings->find("total_ms"), nullptr);
+  const support::JsonValue* stage_ms = timings->find("stage_ms");
+  ASSERT_NE(stage_ms, nullptr);
+  for (const char* stage :
+       {"lower", "allocate", "plan", "codegen", "simulate", "metrics"}) {
+    ASSERT_NE(stage_ms->find(stage), nullptr) << stage;
+  }
+}
+
+TEST(CliApp, RunStoreWarmsAcrossInvocations) {
+  const std::string store_path =
+      testing::TempDir() + "dspaddr_cli_run_store.log";
+  const std::string csv_path =
+      testing::TempDir() + "dspaddr_cli_run_metrics.csv";
+  std::remove(store_path.c_str());
+  std::remove(csv_path.c_str());
+  const std::vector<std::string> args = {
+      "run",     "--kernel",    kRoot + "paper_example.c",
+      "--registers", "2",       "--format",
+      "json",    "--store",     store_path};
+  std::string cold_out;
+  std::string warm_out;
+  std::string err;
+  EXPECT_EQ(run(args, cold_out, err), 0) << err;
+  // Second invocation = a fresh process in real life: same binary,
+  // same flags, new engine. The answer comes from the store.
+  std::vector<std::string> warm_args = args;
+  warm_args.push_back("--metrics-csv");
+  warm_args.push_back(csv_path);
+  EXPECT_EQ(run(warm_args, warm_out, err), 0) << err;
+  const support::JsonValue cold = support::JsonValue::parse(cold_out);
+  const support::JsonValue warm = support::JsonValue::parse(warm_out);
+  EXPECT_EQ(cold.find("timings")->find("tier")->as_string(), "cold");
+  EXPECT_EQ(warm.find("timings")->find("tier")->as_string(), "store_hit");
+  // Identical result, modulo the wall-clock timings member.
+  EXPECT_EQ(warm.find("stages")->dump(), cold.find("stages")->dump());
+  // The metrics dump exists and shows the store hit.
+  std::ifstream csv(csv_path);
+  ASSERT_TRUE(csv.good()) << csv_path;
+  std::string contents((std::istreambuf_iterator<char>(csv)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("histogram,engine.request_us.store_hit,1,"),
+            std::string::npos)
+      << contents;
+  EXPECT_NE(contents.find("counter,store.hits,1"), std::string::npos)
+      << contents;
+  std::remove(store_path.c_str());
+  std::remove(csv_path.c_str());
 }
 
 TEST(CliApp, BatchIsDeterministicAcrossJobs) {

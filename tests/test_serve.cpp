@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <random>
 #include <sstream>
 #include <string>
@@ -443,6 +446,176 @@ TEST(Serve, CacheCapacityZeroDisablesHits) {
   const JsonValue stats = JsonValue::parse(lines[2]);
   EXPECT_EQ(stats.find("stats")->find("hits")->as_int(), 0);
   EXPECT_EQ(stats.find("stats")->find("capacity")->as_int(), 0);
+}
+
+TEST(Serve, StatsCarriesPhase2TotalsDeterministicallyAcrossJobs) {
+  // The aggregate phase-2 block only counts *computed* runs, and
+  // single-flight makes each unique fingerprint compute exactly once —
+  // so the whole stats line is byte-identical at every jobs level.
+  const std::string input =
+      "{\"builtin\":\"fir\",\"registers\":2,\"phase2\":\"exact\","
+      "\"stop_after\":\"allocate\"}\n"
+      "{\"builtin\":\"fir\",\"registers\":2,\"phase2\":\"exact\","
+      "\"stop_after\":\"allocate\"}\n"
+      "{\"builtin\":\"biquad\",\"registers\":2,\"phase2\":\"tiled\","
+      "\"stop_after\":\"allocate\"}\n"
+      "{\"stats\":true}\n";
+  cli::ServeOptions serial;
+  serial.jobs = 1;
+  cli::ServeOptions parallel;
+  parallel.jobs = 8;
+  const std::vector<std::string> expected = serve_lines(input, serial);
+  const std::vector<std::string> actual = serve_lines(input, parallel);
+  ASSERT_EQ(expected.size(), 4u);
+  ASSERT_EQ(actual.size(), 4u);
+  EXPECT_EQ(actual[3], expected[3]);
+  const JsonValue stats = JsonValue::parse(expected[3]);
+  const JsonValue* phase2 = stats.find("stats")->find("phase2");
+  ASSERT_NE(phase2, nullptr) << expected[3];
+  // Two exact-solver kernels computed once each (the repeat is a hit).
+  EXPECT_GE(phase2->find("proven")->as_int(), 1);
+  EXPECT_GE(phase2->find("nodes")->as_int(), 1);
+  EXPECT_GE(phase2->find("windows")->as_int(), 1);
+  ASSERT_NE(phase2->find("windows_proven"), nullptr);
+  ASSERT_NE(phase2->find("subtree_tasks"), nullptr);
+  // The legacy grep contract: "hits" is still the first stats member.
+  EXPECT_NE(expected[3].find("\"stats\":{\"hits\":"), std::string::npos);
+}
+
+TEST(Serve, RestartOverSameStoreAnswersByteIdenticallyFromDisk) {
+  // The acceptance contract: a serve restarted against the same
+  // --store file answers previously-seen requests from the persistent
+  // tier — byte-identical to the cold boot, with zero phase-2 nodes
+  // searched on the second boot.
+  const std::string path =
+      testing::TempDir() + "dspaddr_serve_restart.log";
+  std::remove(path.c_str());
+  const std::string fixture =
+      "{\"id\":1,\"builtin\":\"fir\",\"machine\":\"wide4\"}\n"
+      "{\"id\":2,\"builtin\":\"biquad\",\"registers\":2,"
+      "\"phase2\":\"exact\"}\n"
+      "{\"id\":3,\"builtin\":\"matmul\",\"stop_after\":\"plan\"}\n";
+  cli::ServeOptions options;
+  options.store_path = path;
+  const std::vector<std::string> first =
+      serve_lines(fixture + "{\"stats\":true}\n", options);
+  ASSERT_EQ(first.size(), 4u);
+  const JsonValue cold_stats = JsonValue::parse(first[3]);
+  EXPECT_GE(cold_stats.find("stats")->find("phase2")->find("nodes")->as_int(),
+            1);
+  ASSERT_NE(cold_stats.find("stats")->find("store"), nullptr);
+
+  const std::vector<std::string> second =
+      serve_lines(fixture + "{\"stats\":true}\n", options);
+  ASSERT_EQ(second.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(second[i], first[i]) << "request " << (i + 1);
+  }
+  const JsonValue warm_stats = JsonValue::parse(second[3]);
+  const JsonValue* store = warm_stats.find("stats")->find("store");
+  ASSERT_NE(store, nullptr) << second[3];
+  EXPECT_EQ(store->find("hits")->as_int(), 3);
+  EXPECT_EQ(store->find("recovered_records")->as_int(), 3);
+  EXPECT_EQ(store->find("truncated_bytes")->as_int(), 0);
+  // Nothing was searched on the warm boot.
+  const JsonValue* phase2 = warm_stats.find("stats")->find("phase2");
+  EXPECT_EQ(phase2->find("nodes")->as_int(), 0);
+  EXPECT_EQ(phase2->find("proven")->as_int(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Serve, ClearCacheLeavesTheStoreTier) {
+  const std::string path = testing::TempDir() + "dspaddr_serve_clear.log";
+  std::remove(path.c_str());
+  cli::ServeOptions options;
+  options.store_path = path;
+  const std::vector<std::string> lines = serve_lines(
+      "{\"id\":1,\"builtin\":\"fir\"}\n"
+      "{\"id\":2,\"clear_cache\":true}\n"
+      "{\"id\":3,\"builtin\":\"fir\"}\n"
+      "{\"id\":4,\"stats\":true}\n",
+      options);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(JsonValue::parse(lines[0]).find("stages")->dump(),
+            JsonValue::parse(lines[2]).find("stages")->dump());
+  const JsonValue stats = JsonValue::parse(lines[3]);
+  // The rerun after clear_cache was answered from disk, not recomputed.
+  EXPECT_EQ(stats.find("stats")->find("store")->find("hits")->as_int(), 1);
+  EXPECT_EQ(stats.find("stats")->find("phase2")->find("proven")->as_int(),
+            1);
+  std::remove(path.c_str());
+}
+
+TEST(Serve, MetricsControlLineReportsTheRegistry) {
+  const std::vector<std::string> lines = serve_lines(
+      "{\"builtin\":\"fir\",\"machine\":\"wide4\"}\n"
+      "{\"builtin\":\"fir\",\"machine\":\"wide4\"}\n"
+      "{\"id\":9,\"metrics\":true}\n"
+      "{\"metrics\":true,\"builtin\":\"fir\"}\n"
+      "{\"metrics\":false,\"builtin\":\"fir\"}\n");
+  ASSERT_EQ(lines.size(), 5u);
+  const JsonValue response = JsonValue::parse(lines[2]);
+  EXPECT_EQ(response.find("id")->as_int(), 9);
+  const JsonValue* metrics = response.find("metrics");
+  ASSERT_NE(metrics, nullptr) << lines[2];
+  // Schema: engine instruments, serve transport instruments, cache
+  // tier counters — all present with the documented names.
+  const JsonValue* counters = metrics->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->find("engine.phase2.proven"), nullptr);
+  EXPECT_EQ(counters->find("serve.requests")->as_int(), 2);
+  const JsonValue* histograms = metrics->find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  for (const char* name :
+       {"engine.stage_us.lower", "engine.stage_us.allocate",
+        "engine.stage_us.simulate", "engine.request_us.cold",
+        "engine.request_us.ram_hit", "engine.request_us.store_hit"}) {
+    const JsonValue* histogram = histograms->find(name);
+    ASSERT_NE(histogram, nullptr) << name;
+    ASSERT_NE(histogram->find("p99_us"), nullptr) << name;
+  }
+  EXPECT_EQ(histograms->find("engine.request_us.cold")->find("count")
+                ->as_int(),
+            1);
+  EXPECT_EQ(histograms->find("engine.request_us.ram_hit")->find("count")
+                ->as_int(),
+            1);
+  const JsonValue* gauges = metrics->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_NE(gauges->find("serve.inflight"), nullptr);
+  EXPECT_GE(gauges->find("serve.inflight")->find("max")->as_int(), 1);
+  const JsonValue* cache = metrics->find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->find("hits")->as_int(), 1);
+  // No store attached: the store block is absent, not null.
+  EXPECT_EQ(metrics->find("store"), nullptr);
+  // metrics is a control line: extra fields are in-band errors, and a
+  // false value means "not a control line".
+  EXPECT_NE(JsonValue::parse(lines[3]).find("error"), nullptr);
+  EXPECT_EQ(JsonValue::parse(lines[4]).find("error"), nullptr);
+  EXPECT_NE(JsonValue::parse(lines[4]).find("stages"), nullptr);
+}
+
+TEST(Serve, MetricsCsvIsWrittenOnExit) {
+  const std::string csv_path =
+      testing::TempDir() + "dspaddr_serve_metrics.csv";
+  std::remove(csv_path.c_str());
+  cli::ServeOptions options;
+  options.metrics_csv = csv_path;
+  serve_lines("{\"builtin\":\"fir\"}\n{\"builtin\":\"fir\"}\n", options);
+  std::ifstream csv(csv_path);
+  ASSERT_TRUE(csv.good()) << csv_path;
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header,
+            "kind,name,count,sum_us,max_us,p50_us,p95_us,p99_us,value,max");
+  std::string body((std::istreambuf_iterator<char>(csv)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(body.find("histogram,engine.request_us.cold,"),
+            std::string::npos);
+  EXPECT_NE(body.find("counter,serve.requests,"), std::string::npos);
+  EXPECT_NE(body.find("counter,cache.hits,"), std::string::npos);
+  std::remove(csv_path.c_str());
 }
 
 }  // namespace

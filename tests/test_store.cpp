@@ -1,0 +1,487 @@
+// store::ResultStore — the persistent result log: framing, crash
+// recovery, shadowing, and the engine's two-tier (RAM over disk)
+// cache behaviour built on top of it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "agu/machines.hpp"
+#include "engine/engine.hpp"
+#include "engine/fingerprint.hpp"
+#include "engine/result_codec.hpp"
+#include "engine/serialize.hpp"
+#include "engine/strategy.hpp"
+#include "ir/kernels.hpp"
+#include "ir/layout.hpp"
+#include "store/result_store.hpp"
+#include "support/check.hpp"
+
+namespace dspaddr {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const std::string path = testing::TempDir() + "dspaddr_store_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+store::ResultStore::Options store_options(const std::string& path) {
+  store::ResultStore::Options options;
+  options.path = path;
+  return options;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  EXPECT_TRUE(file.good()) << "cannot open " << path;
+  return std::string(std::istreambuf_iterator<char>(file),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(file.good()) << "cannot open " << path;
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(file.good());
+}
+
+void append_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream file(path, std::ios::binary | std::ios::app);
+  ASSERT_TRUE(file.good()) << "cannot open " << path;
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(file.good());
+}
+
+std::string le32(std::uint32_t v) {
+  std::string out(4, '\0');
+  out[0] = static_cast<char>(v & 0xFF);
+  out[1] = static_cast<char>((v >> 8) & 0xFF);
+  out[2] = static_cast<char>((v >> 16) & 0xFF);
+  out[3] = static_cast<char>((v >> 24) & 0xFF);
+  return out;
+}
+
+/// A byte-exact record frame, as the store itself would write it.
+std::string frame_record(const std::string& key, const std::string& value) {
+  return le32(static_cast<std::uint32_t>(key.size())) +
+         le32(static_cast<std::uint32_t>(value.size())) +
+         le32(store::crc32(key + value)) + key + value;
+}
+
+// ------------------------------------------------------------------ crc
+
+TEST(Store, Crc32MatchesReferenceVectors) {
+  // The IEEE 802.3 check value: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(store::crc32(""), 0u);
+  EXPECT_EQ(store::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(store::crc32("a"), 0xE8B7BE43u);
+  EXPECT_NE(store::crc32("abc"), store::crc32("abd"));
+}
+
+// ------------------------------------------------------------ basic API
+
+TEST(Store, PutGetRoundTripsAndCounts) {
+  const std::string path = temp_path("roundtrip.log");
+  store::ResultStore db(store_options(path));
+  EXPECT_FALSE(db.get("k").has_value());
+  db.append("k", "value-1");
+  db.append("other", std::string(100000, 'x'));
+  EXPECT_EQ(db.get("k"), std::optional<std::string>("value-1"));
+  EXPECT_EQ(db.get("other"), std::optional<std::string>(std::string(100000, 'x')));
+
+  const store::StoreStats stats = db.stats();
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.appended_records, 2u);
+  EXPECT_EQ(stats.recovered_records, 0u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_GT(stats.bytes, 100000u);
+}
+
+TEST(Store, ReopenRecoversEveryRecord) {
+  const std::string path = temp_path("reopen.log");
+  {
+    store::ResultStore db(store_options(path));
+    db.append("alpha", "one");
+    db.append("beta", "two");
+    db.append("gamma", std::string(4096, 'g'));
+  }
+  store::ResultStore db(store_options(path));
+  EXPECT_EQ(db.get("alpha"), std::optional<std::string>("one"));
+  EXPECT_EQ(db.get("beta"), std::optional<std::string>("two"));
+  EXPECT_EQ(db.get("gamma"), std::optional<std::string>(std::string(4096, 'g')));
+  const store::StoreStats stats = db.stats();
+  EXPECT_EQ(stats.records, 3u);
+  EXPECT_EQ(stats.recovered_records, 3u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+}
+
+TEST(Store, LaterRecordShadowsEarlier) {
+  const std::string path = temp_path("shadow.log");
+  {
+    store::ResultStore db(store_options(path));
+    db.append("k", "old");
+    db.append("k", "new");
+    EXPECT_EQ(db.get("k"), std::optional<std::string>("new"));
+    EXPECT_EQ(db.stats().records, 1u);
+  }
+  // The shadowing survives a reopen: the scan applies records in file
+  // order, so the later one wins again.
+  store::ResultStore db(store_options(path));
+  EXPECT_EQ(db.get("k"), std::optional<std::string>("new"));
+  const store::StoreStats stats = db.stats();
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_EQ(stats.recovered_records, 2u);
+}
+
+TEST(Store, FsyncOptionStillRoundTrips) {
+  const std::string path = temp_path("fsync.log");
+  store::ResultStore::Options options = store_options(path);
+  options.fsync_each_append = true;
+  store::ResultStore db(options);
+  db.append("k", "durable");
+  EXPECT_EQ(db.get("k"), std::optional<std::string>("durable"));
+}
+
+// --------------------------------------------------------- crash safety
+
+TEST(Store, TornFinalRecordIsDroppedAndTruncated) {
+  const std::string path = temp_path("torn.log");
+  {
+    store::ResultStore db(store_options(path));
+    db.append("kept-1", "value-1");
+    db.append("kept-2", "value-2");
+  }
+  // Simulate a crash mid-append: a full frame header claiming a large
+  // value, but only half the body present.
+  const std::string torn = frame_record("lost", std::string(512, 'z'));
+  append_bytes(path, torn.substr(0, torn.size() / 2));
+  const std::uint64_t dirty_size = read_bytes(path).size();
+
+  store::ResultStore db(store_options(path));
+  EXPECT_EQ(db.get("kept-1"), std::optional<std::string>("value-1"));
+  EXPECT_EQ(db.get("kept-2"), std::optional<std::string>("value-2"));
+  EXPECT_FALSE(db.get("lost").has_value());
+  const store::StoreStats stats = db.stats();
+  EXPECT_EQ(stats.recovered_records, 2u);
+  EXPECT_EQ(stats.truncated_bytes, torn.size() / 2);
+  // The tail really was cut off the file, so the next append starts on
+  // a clean frame boundary.
+  EXPECT_EQ(read_bytes(path).size(), dirty_size - torn.size() / 2);
+  db.append("after", "crash");
+  EXPECT_EQ(db.get("after"), std::optional<std::string>("crash"));
+}
+
+TEST(Store, CorruptTailCrcIsDropped) {
+  const std::string path = temp_path("corrupt.log");
+  {
+    store::ResultStore db(store_options(path));
+    db.append("kept", "value");
+    db.append("flipped", "payload-bytes");
+  }
+  // Flip one byte inside the final record's value.
+  std::string bytes = read_bytes(path);
+  bytes[bytes.size() - 1] = static_cast<char>(bytes[bytes.size() - 1] ^ 0x40);
+  write_bytes(path, bytes);
+
+  store::ResultStore db(store_options(path));
+  EXPECT_EQ(db.get("kept"), std::optional<std::string>("value"));
+  EXPECT_FALSE(db.get("flipped").has_value());
+  const store::StoreStats stats = db.stats();
+  EXPECT_EQ(stats.recovered_records, 1u);
+  EXPECT_GT(stats.truncated_bytes, 0u);
+}
+
+TEST(Store, TruncatedHeaderMeansFreshLog) {
+  const std::string path = temp_path("short_header.log");
+  write_bytes(path, "DSPADDR");  // shorter than the 16-byte header
+  store::ResultStore db(store_options(path));
+  EXPECT_EQ(db.stats().records, 0u);
+  EXPECT_EQ(db.stats().truncated_bytes, 7u);
+  db.append("k", "v");
+  EXPECT_EQ(db.get("k"), std::optional<std::string>("v"));
+}
+
+TEST(Store, ForeignMagicIsRefused) {
+  const std::string path = temp_path("magic.log");
+  write_bytes(path, std::string("NOTADSPL") + le32(1) + le32(0));
+  EXPECT_THROW(store::ResultStore db(store_options(path)), Error);
+}
+
+TEST(Store, ForeignVersionIsRefused) {
+  const std::string path = temp_path("version.log");
+  write_bytes(path, std::string("DSPADDRL") + le32(999) + le32(0));
+  EXPECT_THROW(store::ResultStore db(store_options(path)), Error);
+}
+
+// ----------------------------------------------------------- threading
+
+TEST(Store, ConcurrentGetAndAppendAreSafe) {
+  // Writers append disjoint key ranges while readers poll them; run
+  // under TSan in CI. Values are self-describing so any cross-wiring
+  // of index entries would surface as a mismatch.
+  const std::string path = temp_path("concurrent.log");
+  {
+    store::ResultStore db(store_options(path));
+    for (int i = 0; i < 32; ++i) {
+      db.append("warm-" + std::to_string(i), "warm-value-" + std::to_string(i));
+    }
+  }
+  store::ResultStore db(store_options(path));
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 64;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&db, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const std::string key =
+            "w" + std::to_string(w) + "-" + std::to_string(i);
+        db.append(key, "value:" + key);
+        const std::optional<std::string> back = db.get(key);
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, "value:" + key);
+      }
+    });
+  }
+  // Readers hammer the warm-started (mmap-backed) records concurrently.
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&db] {
+      for (int round = 0; round < 200; ++round) {
+        const std::string key = "warm-" + std::to_string(round % 32);
+        const std::optional<std::string> value = db.get(key);
+        ASSERT_TRUE(value.has_value());
+        EXPECT_EQ(*value, "warm-value-" + std::to_string(round % 32));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(db.stats().records, 32u + kWriters * kPerWriter);
+}
+
+// ------------------------------------------------------ engine two-tier
+
+engine::Request fir_request() {
+  engine::Request request;
+  request.kernel = ir::builtin_kernel("fir");
+  request.machine = agu::builtin_machine("wide4");
+  return request;
+}
+
+/// The exact key the engine stores `request` under: fingerprint v3 of
+/// the lowered sequence (replicates the engine's lower step).
+std::string engine_key(const engine::Request& request) {
+  const engine::LayoutStrategy* layout_strategy =
+      engine::StrategyRegistry::builtin().layout(request.layout);
+  check_arg(layout_strategy != nullptr, "unknown layout");
+  const ir::ArrayLayout layout =
+      layout_strategy->place(request.kernel, request.machine);
+  return engine::request_fingerprint(request,
+                                     ir::lower(request.kernel, layout));
+}
+
+TEST(StoreEngine, SecondBootAnswersFromStoreByteIdentically) {
+  const std::string path = temp_path("two_tier.log");
+  std::string cold_json;
+  {
+    engine::Engine::Options options;
+    options.store =
+        std::make_shared<store::ResultStore>(store_options(path));
+    engine::Engine engine(std::move(options));
+    const engine::Result cold = engine.run(fir_request());
+    ASSERT_TRUE(cold.ok());
+    EXPECT_FALSE(cold.cache_hit);
+    EXPECT_FALSE(cold.store_hit);
+    cold_json = engine::result_to_json_line(cold);
+  }
+  // "Restart": a fresh engine (empty RAM tier) over the same log.
+  engine::Engine::Options options;
+  options.store = std::make_shared<store::ResultStore>(store_options(path));
+  engine::Engine engine(std::move(options));
+  const engine::Result warm = engine.run(fir_request());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.store_hit);
+  EXPECT_FALSE(warm.cache_hit);
+  EXPECT_EQ(engine::result_to_json_line(warm), cold_json);
+  // Nothing was searched on the second boot.
+  const engine::Phase2Totals totals = engine.phase2_totals();
+  EXPECT_EQ(totals.nodes, 0u);
+  EXPECT_EQ(totals.proven, 0u);
+  // The store hit was promoted into the RAM tier: the next call is a
+  // plain RAM hit, still byte-identical.
+  const engine::Result ram = engine.run(fir_request());
+  EXPECT_TRUE(ram.cache_hit);
+  EXPECT_FALSE(ram.store_hit);
+  EXPECT_EQ(engine::result_to_json_line(ram), cold_json);
+}
+
+TEST(StoreEngine, CapacityZeroStillUsesTheStore) {
+  // `run --store` uses a capacity-0 engine: every repeat within and
+  // across invocations must come from the disk tier.
+  const std::string path = temp_path("cap0.log");
+  const auto db = std::make_shared<store::ResultStore>(store_options(path));
+  engine::Engine::Options options;
+  options.cache_capacity = 0;
+  options.store = db;
+  engine::Engine engine(std::move(options));
+  const engine::Result cold = engine.run(fir_request());
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold.store_hit);
+  const engine::Result warm = engine.run(fir_request());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.store_hit);
+  EXPECT_FALSE(warm.cache_hit);
+  EXPECT_EQ(engine::result_to_json_line(warm),
+            engine::result_to_json_line(cold));
+}
+
+TEST(StoreEngine, ErroredResultsAreNotPersisted) {
+  const std::string path = temp_path("errors.log");
+  const auto db = std::make_shared<store::ResultStore>(store_options(path));
+  engine::Engine::Options options;
+  options.store = db;
+  engine::Engine engine(std::move(options));
+  engine::Request broken = fir_request();
+  broken.machine.set_address_registers(0);
+  const engine::Result result = engine.run(broken);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(db->stats().appended_records, 0u);
+}
+
+TEST(StoreEngine, UndecodableRecordIsRecomputedAndHealed) {
+  const std::string path = temp_path("heal.log");
+  const engine::Request request = fir_request();
+  const std::string key = engine_key(request);
+  std::string reference;
+  {
+    engine::Engine engine;
+    reference = engine::result_to_json_line(engine.run(request));
+  }
+  {
+    // Poison the log: a structurally valid record whose value is not a
+    // codec payload.
+    store::ResultStore db(store_options(path));
+    db.append(key, "{\"not\":\"a result\"}");
+  }
+  engine::Engine::Options options;
+  options.store = std::make_shared<store::ResultStore>(store_options(path));
+  engine::Engine engine(std::move(options));
+  const engine::Result result = engine.run(request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.store_hit);  // decode failed -> recomputed
+  EXPECT_EQ(engine::result_to_json_line(result), reference);
+  EXPECT_EQ(engine.metrics()->snapshot().counters.empty(), false);
+  // The decode failure was counted and the recomputed result shadows
+  // the poisoned record, so the *next* boot store-hits cleanly.
+  std::uint64_t decode_errors = 0;
+  for (const auto& [name, value] : engine.metrics()->snapshot().counters) {
+    if (name == "engine.store.decode_errors") decode_errors = value;
+  }
+  EXPECT_EQ(decode_errors, 1u);
+
+  engine::Engine::Options reopen_options;
+  reopen_options.store =
+      std::make_shared<store::ResultStore>(store_options(path));
+  engine::Engine second(std::move(reopen_options));
+  const engine::Result healed = second.run(request);
+  EXPECT_TRUE(healed.store_hit);
+  EXPECT_EQ(engine::result_to_json_line(healed), reference);
+}
+
+TEST(StoreEngine, WarmStartWhileWritingIsSafe) {
+  // One engine serves store hits (mmap reads) while another appends
+  // fresh results to the same shared store object; run under TSan in
+  // CI. (Two *engines*, one store — the store itself is the shared
+  // resource; one process per file still holds.)
+  const std::string path = temp_path("warm_write.log");
+  const char* kernels[] = {"fir", "biquad", "matmul", "dotprod"};
+  {
+    engine::Engine::Options options;
+    options.store =
+        std::make_shared<store::ResultStore>(store_options(path));
+    engine::Engine engine(std::move(options));
+    engine::Request request = fir_request();
+    request.kernel = ir::builtin_kernel("fir");
+    engine.run(request);
+  }
+  const auto db = std::make_shared<store::ResultStore>(store_options(path));
+  engine::Engine::Options options;
+  options.store = db;
+  engine::Engine engine(std::move(options));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&engine, &kernels, t] {
+      for (int round = 0; round < 8; ++round) {
+        engine::Request request;
+        request.kernel = ir::builtin_kernel(kernels[(t + round) % 4]);
+        request.machine = agu::builtin_machine("wide4");
+        const engine::Result result = engine.run(request);
+        EXPECT_TRUE(result.ok());
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(db->stats().records, 4u);
+}
+
+// ----------------------------------------------------------- the codec
+
+TEST(StoreCodec, EncodeDecodeRoundTripsAllStages) {
+  engine::Engine engine;
+  const engine::Result result = engine.run(fir_request());
+  ASSERT_TRUE(result.ok());
+  engine::Result decoded = engine::decode_result(engine::encode_result(result));
+  // The codec drops the request echo (kernel/machine) — re-apply it as
+  // the engine does, then the JSON rendering must match exactly.
+  decoded.kernel = result.kernel;
+  decoded.machine = result.machine;
+  EXPECT_EQ(engine::result_to_json_line(decoded),
+            engine::result_to_json_line(result));
+  // Wall-clock is never serialized.
+  for (double ms : decoded.stage_ms) {
+    EXPECT_EQ(ms, 0.0);
+  }
+}
+
+TEST(StoreCodec, PrefixAndErroredResultsRoundTrip) {
+  engine::Engine engine;
+  engine::Request prefix = fir_request();
+  prefix.stop_after = engine::Stage::kAllocate;
+  const engine::Result result = engine.run(prefix);
+  ASSERT_TRUE(result.ok());
+  engine::Result decoded = engine::decode_result(engine::encode_result(result));
+  decoded.kernel = result.kernel;
+  decoded.machine = result.machine;
+  EXPECT_EQ(engine::result_to_json_line(decoded),
+            engine::result_to_json_line(result));
+
+  engine::Request broken = fir_request();
+  broken.machine.set_address_registers(0);
+  const engine::Result errored = engine.run(broken);
+  ASSERT_FALSE(errored.ok());
+  engine::Result decoded_error =
+      engine::decode_result(engine::encode_result(errored));
+  decoded_error.kernel = errored.kernel;
+  decoded_error.machine = errored.machine;
+  EXPECT_EQ(engine::result_to_json_line(decoded_error),
+            engine::result_to_json_line(errored));
+}
+
+TEST(StoreCodec, GarbageIsRejected) {
+  EXPECT_THROW(engine::decode_result("not json"), Error);
+  EXPECT_THROW(engine::decode_result("{}"), Error);
+  EXPECT_THROW(engine::decode_result("{\"v\":999}"), Error);
+}
+
+}  // namespace
+}  // namespace dspaddr
