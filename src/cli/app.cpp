@@ -11,6 +11,7 @@
 #include "cli/options.hpp"
 #include "cli/pipeline.hpp"
 #include "cli/serve.hpp"
+#include "engine/portfolio.hpp"
 #include "engine/serialize.hpp"
 #include "engine/strategy.hpp"
 #include "eval/batch.hpp"
@@ -26,6 +27,25 @@ namespace dspaddr::cli {
 namespace {
 
 constexpr const char* kVersion = "0.1.0";
+
+/// The `--format=json` rendering of a portfolio race: the compare-style
+/// rows plus the race's own decisions.
+support::JsonValue portfolio_race_json(const engine::PortfolioReport& race,
+                                       const std::string& kernel,
+                                       const std::string& machine) {
+  support::JsonValue json = support::JsonValue::object();
+  json.set("winner_layout", support::JsonValue::string(race.winner_layout));
+  json.set("winner_strategy",
+           support::JsonValue::string(race.winner_strategy));
+  json.set("learned_hit", support::JsonValue::boolean(race.learned_hit));
+  json.set("short_circuit",
+           support::JsonValue::boolean(race.short_circuit));
+  json.set("reraced", support::JsonValue::boolean(race.reraced));
+  json.set("race",
+           eval::compare_to_json(
+               eval::compare_from_portfolio(race, kernel, machine)));
+  return json;
+}
 
 int command_run(const std::vector<std::string>& args, std::ostream& out) {
   const RunOptions options = parse_run_options(args);
@@ -46,9 +66,26 @@ int command_run(const std::vector<std::string>& args, std::ostream& out) {
                                     options.store_fsync});
   }
   engine::Engine engine(std::move(engine_options));
-  const engine::Result report =
-      run_pipeline(kernel, machine, options.iterations, phase2,
-                   options.layout, options.strategy, engine);
+  engine::Request request;
+  request.kernel = kernel;
+  request.machine = machine;
+  request.layout = options.layout;
+  request.strategy = options.strategy;
+  request.phase2 = phase2;
+  request.iterations = options.iterations;
+
+  engine::Result report;
+  engine::PortfolioReport race;
+  const bool raced = engine::Portfolio::is_auto(request);
+  if (raced) {
+    engine::PortfolioOptions portfolio_options;
+    portfolio_options.jobs = options.jobs;
+    portfolio_options.race_budget_ms = options.race_budget_ms;
+    engine::Portfolio portfolio(engine, portfolio_options);
+    report = portfolio.run(request, &race);
+  } else {
+    report = engine.run(request);
+  }
   if (!options.metrics_csv.empty()) {
     engine::write_metrics_csv(options.metrics_csv, engine);
   }
@@ -71,6 +108,10 @@ int command_run(const std::vector<std::string>& args, std::ostream& out) {
                             : report.store_hit ? "store_hit"
                                                : "cold"));
     json.set("timings", std::move(timings));
+    if (raced) {
+      json.set("portfolio",
+               portfolio_race_json(race, kernel.name(), machine.name));
+    }
     out << json.dump() << "\n";
     return report.ok() && report.verified ? 0 : 1;
   }
@@ -82,6 +123,16 @@ int command_run(const std::vector<std::string>& args, std::ostream& out) {
     out << report_to_csv(report);
   } else {
     out << report_to_text(report, options.show_program);
+    if (raced) {
+      out << "\nportfolio race (winner " << race.winner_layout << "/"
+          << race.winner_strategy
+          << (race.short_circuit ? ", learned short-circuit" : "")
+          << (race.reraced ? ", drift re-race" : "")
+          << "; deltas vs winner, * marks the cost minimum):\n\n"
+          << eval::compare_to_table(eval::compare_from_portfolio(
+                                        race, kernel.name(), machine.name))
+                 .to_string();
+    }
   }
   return report.verified ? 0 : 1;
 }
@@ -115,6 +166,7 @@ int command_batch(const std::vector<std::string>& args, std::ostream& out) {
   config.layouts = options.layouts;
   config.strategies = options.strategies;
   config.jobs = options.jobs;
+  config.race_budget_ms = options.race_budget_ms;
   config.phase2.mode = options.phase2;
   config.phase2.time_budget_ms = options.time_budget_ms;
   config.phase2.jobs = options.phase2_jobs;
@@ -162,6 +214,12 @@ ir::Kernel load_kernel_file_or_builtin(const std::string& name) {
   }
 }
 
+/// True when a compare axis list is the single value "auto" (the parse
+/// step already rejects "auto" mixed with other names).
+bool is_auto_axis(const std::vector<std::string>& names) {
+  return names.size() == 1 && names.front() == engine::kAutoStrategy;
+}
+
 int command_compare(const std::vector<std::string>& args,
                     std::ostream& out) {
   const CompareOptions options = parse_compare_options(args);
@@ -174,16 +232,50 @@ int command_compare(const std::vector<std::string>& args,
   config.phase2.mode = options.phase2;
   config.phase2.time_budget_ms = options.time_budget_ms;
   config.iterations = options.iterations;
+  config.jobs = options.jobs;
 
-  const eval::CompareResult result = eval::run_compare(config);
+  eval::CompareResult result;
+  bool raced = false;
+  engine::PortfolioReport race;
+  if (is_auto_axis(options.layouts) || is_auto_axis(options.strategies)) {
+    // An auto axis races instead of gridding: losers get cancelled the
+    // moment their lower bound crosses the incumbent, so the table
+    // arrives at the winner's latency, not the grid's.
+    engine::Request request;
+    request.kernel = config.kernel;
+    request.machine = config.machine;
+    request.layout = is_auto_axis(options.layouts)
+                         ? std::string(engine::kAutoStrategy)
+                         : options.layouts.empty() ? engine::kDefaultLayout
+                                                   : options.layouts.front();
+    request.strategy = is_auto_axis(options.strategies)
+                           ? std::string(engine::kAutoStrategy)
+                           : options.strategies.empty()
+                               ? engine::kDefaultStrategy
+                               : options.strategies.front();
+    request.phase2 = config.phase2;
+    request.iterations = options.iterations;
+    engine::Engine engine;
+    engine::PortfolioOptions portfolio_options;
+    portfolio_options.jobs = options.jobs;
+    portfolio_options.race_budget_ms = options.race_budget_ms;
+    engine::Portfolio portfolio(engine, portfolio_options);
+    portfolio.run(request, &race);
+    result = eval::compare_from_portfolio(race, config.kernel.name(),
+                                          config.machine.name);
+    raced = true;
+  } else {
+    result = eval::run_compare(config);
+  }
   if (options.format == OutputFormat::kJson) {
     out << eval::compare_to_json(result).dump() << "\n";
   } else if (options.format == OutputFormat::kCsv) {
     out << eval::compare_to_csv(result).to_string();
   } else {
     out << "compare: " << result.kernel << " on " << result.machine
-        << " (deltas vs " << result.reference_layout << "/"
-        << result.reference_strategy << "; * marks the cost minimum)\n\n"
+        << (raced ? " (raced; deltas vs winner " : " (deltas vs ")
+        << result.reference_layout << "/" << result.reference_strategy
+        << "; * marks the cost minimum)\n\n"
         << eval::compare_to_table(result).to_string();
   }
   return result.failures == 0 ? 0 : 1;
@@ -324,10 +416,12 @@ commands:
               --modify-registers <L> modify registers (overrides)
               --iterations <n>       simulated iterations (default: kernel)
               --layout <name>        memory-layout strategy (contiguous,
-                                     declaration-padded, soa-liao, goa)
+                                     declaration-padded, soa-liao, goa,
+                                     or auto to race them)
               --strategy <name>      allocation strategy (two-phase, exact,
                                      naive, random-merge, round-robin,
-                                     greedy-online)
+                                     greedy-online, or auto to race them;
+                                     see README "Portfolio racing")
               --phase2 <mode>        auto|exact|heuristic|tiled phase-2
                                      solver (default: auto — exact for
                                      small kernels; tiled = windowed
@@ -337,6 +431,14 @@ commands:
                                      identical at any level)
               --time-budget-ms <ms>  wall-clock cap of the exact search
                                      (default: 0 = node budget only)
+              --jobs <n>             racers in flight when an axis is
+                                     auto (default: all hardware
+                                     threads; the winner is identical
+                                     at any level)
+              --race-budget-ms <ms>  wall-clock deadline of an auto
+                                     race (default: 0 = run every
+                                     racer to completion or early
+                                     bound-cancellation)
               --format table|csv|json
                                      output format (default: table); json
                                      uses the serve response schema plus
@@ -359,10 +461,16 @@ commands:
               --registers <list>     K values, comma list
               --modify-range <list>  M values, comma list
               --layout <list>        layout strategies, comma list
+                                     (auto entries race per cell)
               --strategy <list>      allocation strategies, comma list
+                                     (auto entries race per cell)
               --jobs <n>             worker threads (default: all
                                      hardware threads; CSV bytes never
                                      depend on the level)
+              --race-budget-ms <ms>  wall-clock deadline of each auto
+                                     cell's race (default: 0; nonzero
+                                     trades deterministic auto rows
+                                     for a latency cap)
               --phase2 <mode>        auto|exact|heuristic|tiled phase-2
                                      solver
               --phase2-jobs <n>      phase-2 search threads per row
@@ -381,8 +489,17 @@ commands:
               --kernel <name|file>   builtin kernel or workload file [required]
               --machine/--machine-file/--registers/--modify-range/
               --modify-registers     as in run
-              --layout <list>        layouts to compare (default: contiguous)
-              --strategy <list>      strategies (default: all registered)
+              --layout <list>        layouts to compare (default:
+                                     contiguous); auto (alone) races
+                                     every layout instead of gridding
+              --strategy <list>      strategies (default: all
+                                     registered); auto (alone) races
+              --jobs <n>             grid worker threads, or racers in
+                                     flight of an auto race (default:
+                                     all hardware threads; grid bytes
+                                     identical at any level)
+              --race-budget-ms <ms>  wall-clock deadline of an auto
+                                     race (default: 0 = none)
               --phase2, --time-budget-ms, --iterations as in run
               --format table|csv|json (default: table)
   serve     JSON-lines service loop: one request object per stdin line,
@@ -397,6 +514,10 @@ commands:
                                      iterations (default: 10000000);
                                      larger requests are rejected
                                      in-band
+              --race-budget-ms <ms>  wall-clock deadline of each
+                                     "auto" request's race (default:
+                                     0; requests can override with a
+                                     "race_budget_ms" member)
               --store <file>         persistent result store under the
                                      RAM cache: a restarted serve
                                      answers previously-seen requests

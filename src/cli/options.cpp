@@ -3,6 +3,7 @@
 #include <limits>
 #include <thread>
 
+#include "engine/portfolio.hpp"
 #include "support/strings.hpp"
 
 namespace dspaddr::cli {
@@ -90,20 +91,28 @@ OutputFormat parse_format(const std::string& text) {
 
 namespace {
 
-/// Validates one layout name against the engine registry.
+/// Validates one layout name against the engine registry; "auto" asks
+/// the portfolio engine to race every registered layout.
 std::string parse_layout_name(const std::string& text) {
+  if (text == engine::kAutoStrategy) {
+    return text;
+  }
   if (engine::StrategyRegistry::builtin().layout(text) == nullptr) {
     throw UsageError("--layout: unknown layout strategy '" + text +
-                     "' (" + engine::known_layout_names() + ")");
+                     "' (auto, " + engine::known_layout_names() + ")");
   }
   return text;
 }
 
-/// Validates one allocation-strategy name against the engine registry.
+/// Validates one allocation-strategy name against the engine registry;
+/// "auto" races every registered allocator.
 std::string parse_strategy_name(const std::string& text) {
+  if (text == engine::kAutoStrategy) {
+    return text;
+  }
   if (engine::StrategyRegistry::builtin().allocation(text) == nullptr) {
     throw UsageError("--strategy: unknown allocation strategy '" + text +
-                     "' (" + engine::known_strategy_names() + ")");
+                     "' (auto, " + engine::known_strategy_names() + ")");
   }
   return text;
 }
@@ -220,6 +229,10 @@ RunOptions parse_run_options(const std::vector<std::string>& args) {
       options.phase2_jobs = parse_size(value, "--phase2-jobs", 1);
     } else if (match_flag(arg, "--time-budget-ms", cursor, value)) {
       options.time_budget_ms = parse_int(value, "--time-budget-ms", 0);
+    } else if (match_flag(arg, "--jobs", cursor, value)) {
+      options.jobs = parse_jobs(value);
+    } else if (match_flag(arg, "--race-budget-ms", cursor, value)) {
+      options.race_budget_ms = parse_int(value, "--race-budget-ms", 0);
     } else if (match_flag(arg, "--format", cursor, value)) {
       options.format = parse_format(value);
     } else if (arg == "--program") {
@@ -275,6 +288,8 @@ BatchOptions parse_batch_options(const std::vector<std::string>& args) {
       options.phase2_jobs = parse_size(value, "--phase2-jobs", 1);
     } else if (match_flag(arg, "--time-budget-ms", cursor, value)) {
       options.time_budget_ms = parse_int(value, "--time-budget-ms", 0);
+    } else if (match_flag(arg, "--race-budget-ms", cursor, value)) {
+      options.race_budget_ms = parse_int(value, "--race-budget-ms", 0);
     } else if (match_flag(arg, "--format", cursor, value)) {
       options.format = parse_format(value);
     } else if (match_flag(arg, "--out", cursor, value)) {
@@ -334,6 +349,10 @@ CompareOptions parse_compare_options(const std::vector<std::string>& args) {
       options.phase2 = parse_phase2_mode(value);
     } else if (match_flag(arg, "--time-budget-ms", cursor, value)) {
       options.time_budget_ms = parse_int(value, "--time-budget-ms", 0);
+    } else if (match_flag(arg, "--jobs", cursor, value)) {
+      options.jobs = parse_jobs(value);
+    } else if (match_flag(arg, "--race-budget-ms", cursor, value)) {
+      options.race_budget_ms = parse_int(value, "--race-budget-ms", 0);
     } else if (match_flag(arg, "--format", cursor, value)) {
       options.format = parse_format(value);
     } else {
@@ -342,6 +361,20 @@ CompareOptions parse_compare_options(const std::vector<std::string>& args) {
   }
   if (options.kernel.empty()) {
     throw UsageError("compare: --kernel <file-or-builtin> is required");
+  }
+  // An "auto" axis already races every candidate; gridding it against
+  // other names would double-run the same cells ambiguously.
+  for (const std::vector<std::string>* list :
+       {&options.layouts, &options.strategies}) {
+    if (list->size() > 1) {
+      for (const std::string& name : *list) {
+        if (name == engine::kAutoStrategy) {
+          throw UsageError(
+              "compare: 'auto' must be the only value of its list (it "
+              "already covers every registered candidate)");
+        }
+      }
+    }
   }
   return options;
 }
@@ -358,6 +391,8 @@ ServeOptions parse_serve_options(const std::vector<std::string>& args) {
       options.jobs = parse_jobs(value);
     } else if (match_flag(arg, "--max-iterations", cursor, value)) {
       options.max_iterations = parse_int(value, "--max-iterations", 1);
+    } else if (match_flag(arg, "--race-budget-ms", cursor, value)) {
+      options.race_budget_ms = parse_int(value, "--race-budget-ms", 0);
     } else if (match_flag(arg, "--store", cursor, value)) {
       options.store_path = value;
     } else if (arg == "--store-fsync") {

@@ -60,9 +60,10 @@ struct RunOptions {
   std::optional<std::size_t> modify_registers;
   /// Simulated loop iterations (default: the kernel's own count).
   std::optional<std::uint64_t> iterations;
-  /// Memory-layout strategy (engine registry name).
+  /// Memory-layout strategy (engine registry name, or "auto" to race
+  /// every registered layout through the portfolio engine).
   std::string layout = engine::kDefaultLayout;
-  /// Allocation strategy (engine registry name).
+  /// Allocation strategy (engine registry name, or "auto").
   std::string strategy = engine::kDefaultStrategy;
   /// Phase-2 solver selection (auto: exact for small kernels).
   core::Phase2Options::Mode phase2 = core::Phase2Options::Mode::kAuto;
@@ -72,6 +73,12 @@ struct RunOptions {
   /// --jobs): > 1 fans subtree tasks onto a TaskPool. Costs are
   /// identical at any level; node counts may vary.
   std::size_t phase2_jobs = 1;
+  /// Racers in flight when a layout/strategy axis is "auto". The
+  /// winner is identical at any level; only the wall clock moves.
+  std::size_t jobs = default_jobs();
+  /// Wall-clock deadline of an "auto" race in milliseconds; 0 = every
+  /// racer runs to completion (or early bound-cancellation).
+  std::int64_t race_budget_ms = 0;
   OutputFormat format = OutputFormat::kTable;
   /// Also print the generated address program.
   bool show_program = false;
@@ -101,11 +108,17 @@ struct BatchOptions {
   /// M values to sweep; empty = each machine's own M.
   std::vector<std::int64_t> modify_ranges;
   /// Layout strategies to sweep (comma list); empty = default layout.
+  /// "auto" entries race every registered layout per cell.
   std::vector<std::string> layouts;
-  /// Allocation strategies to sweep; empty = default strategy.
+  /// Allocation strategies to sweep; empty = default strategy. "auto"
+  /// entries race every registered allocator per cell.
   std::vector<std::string> strategies;
   /// Worker threads of the grid runner; never affects the CSV bytes.
   std::size_t jobs = default_jobs();
+  /// Wall-clock deadline of each cell's "auto" race; 0 = none. A
+  /// deadline makes which racers finish timing-dependent, so it is the
+  /// one batch flag that can change the CSV bytes of auto cells.
+  std::int64_t race_budget_ms = 0;
   /// Phase-2 solver selection (auto: exact for small kernels).
   core::Phase2Options::Mode phase2 = core::Phase2Options::Mode::kAuto;
   /// Wall-clock budget of the exact phase-2 search; 0 = node cap only.
@@ -141,12 +154,20 @@ struct CompareOptions {
   std::optional<std::int64_t> modify_range;
   std::optional<std::size_t> modify_registers;
   std::optional<std::uint64_t> iterations;
-  /// Layouts to compare (comma list); empty = default layout.
+  /// Layouts to compare (comma list); empty = default layout. "auto"
+  /// (alone) races every registered layout instead of gridding.
   std::vector<std::string> layouts;
-  /// Allocation strategies to compare; empty = all registered.
+  /// Allocation strategies to compare; empty = all registered. "auto"
+  /// (alone) races every registered allocator instead of gridding.
   std::vector<std::string> strategies;
   core::Phase2Options::Mode phase2 = core::Phase2Options::Mode::kAuto;
   std::int64_t time_budget_ms = 0;
+  /// Worker threads of the grid (or racers in flight of an "auto"
+  /// race). Grid output bytes are identical at any level; an auto
+  /// race's winner is too, but which losers show as cancelled is not.
+  std::size_t jobs = default_jobs();
+  /// Wall-clock deadline of an "auto" race; 0 = none.
+  std::int64_t race_budget_ms = 0;
   OutputFormat format = OutputFormat::kTable;
 };
 
@@ -162,6 +183,9 @@ struct ServeOptions {
   /// larger requests are rejected as in-band request errors so one
   /// huge request cannot stall the whole pipeline window.
   std::int64_t max_iterations = 10'000'000;
+  /// Wall-clock deadline of each "auto" request's race (overridable
+  /// per request by a "race_budget_ms" member); 0 = none.
+  std::int64_t race_budget_ms = 0;
   /// Persistent result store under the RAM cache (--store=PATH); empty
   /// = RAM-only. A restarted serve against the same file warm-starts
   /// from it.

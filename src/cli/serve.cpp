@@ -12,6 +12,7 @@
 #include "cli/kernel_io.hpp"
 #include "cli/machine_resolve.hpp"
 #include "engine/engine.hpp"
+#include "engine/portfolio.hpp"
 #include "engine/serialize.hpp"
 #include "engine/strategy.hpp"
 #include "ir/kernels.hpp"
@@ -37,7 +38,7 @@ constexpr const char* kKnownKeys[] = {
     "machine_spec", "registers", "modify_range",
     "modify_registers", "iterations", "phase2",
     "phase2_jobs", "time_budget_ms", "stop_after",
-    "layout",      "strategy",
+    "layout",      "strategy",   "race_budget_ms",
 };
 
 void check_known_keys(const JsonValue& json) {
@@ -123,18 +124,24 @@ engine::Request request_from_json(const JsonValue& json,
   }
   if (const JsonValue* layout = json.find("layout")) {
     request.layout = layout->as_string();
-    check_arg(engine::StrategyRegistry::builtin().layout(request.layout) !=
-                  nullptr,
-              "layout: unknown strategy '" + request.layout + "' (" +
+    check_arg(request.layout == engine::kAutoStrategy ||
+                  engine::StrategyRegistry::builtin().layout(
+                      request.layout) != nullptr,
+              "layout: unknown strategy '" + request.layout + "' (auto, " +
                   engine::known_layout_names() + ")");
   }
   if (const JsonValue* strategy = json.find("strategy")) {
     request.strategy = strategy->as_string();
-    check_arg(engine::StrategyRegistry::builtin().allocation(
-                  request.strategy) != nullptr,
-              "strategy: unknown strategy '" + request.strategy + "' (" +
-                  engine::known_strategy_names() + ")");
+    check_arg(request.strategy == engine::kAutoStrategy ||
+                  engine::StrategyRegistry::builtin().allocation(
+                      request.strategy) != nullptr,
+              "strategy: unknown strategy '" + request.strategy +
+                  "' (auto, " + engine::known_strategy_names() + ")");
   }
+  check_arg(json.find("race_budget_ms") == nullptr ||
+                engine::Portfolio::is_auto(request),
+            "race_budget_ms: only meaningful when layout or strategy is "
+            "'auto'");
   if (const JsonValue* phase2 = json.find("phase2")) {
     request.phase2.mode = parse_phase2_mode(phase2->as_string());
   }
@@ -210,6 +217,7 @@ JsonValue error_response(const JsonValue* id, const std::string& message) {
 /// every failure is folded into the in-band error member.
 std::string pipeline_response(const JsonValue& request_json,
                               engine::Engine& engine,
+                              engine::Portfolio& portfolio,
                               std::int64_t max_iterations) {
   JsonValue response = JsonValue::object();
   try {
@@ -221,7 +229,20 @@ std::string pipeline_response(const JsonValue& request_json,
     check_known_keys(request_json);
     const engine::Request request =
         request_from_json(request_json, max_iterations);
-    const engine::Result result = engine.run(request);
+    engine::Result result;
+    if (engine::Portfolio::is_auto(request)) {
+      // An auto request races through the shared portfolio (which
+      // learns across the session's traffic); the response carries the
+      // winner's result, with the resolved layout/strategy members
+      // showing what "auto" picked.
+      std::optional<std::int64_t> budget;
+      if (request_json.find("race_budget_ms") != nullptr) {
+        budget = int_field(request_json, "race_budget_ms", 0, 0);
+      }
+      result = portfolio.run(request, nullptr, budget);
+    } else {
+      result = engine.run(request);
+    }
     // Inline the result members so the response carries exactly the
     // --format=json schema (plus the "id" echo above).
     const JsonValue result_json = engine::result_to_json(result);
@@ -237,7 +258,8 @@ std::string pipeline_response(const JsonValue& request_json,
 /// Handles a stats / clear_cache control line (reader-side, after the
 /// pipeline drained). Never throws.
 std::string control_response(const JsonValue& request_json,
-                             RequestKind kind, engine::Engine& engine) {
+                             RequestKind kind, engine::Engine& engine,
+                             engine::Portfolio& portfolio) {
   JsonValue response = JsonValue::object();
   try {
     if (const JsonValue* id = request_json.find("id")) {
@@ -262,6 +284,11 @@ std::string control_response(const JsonValue& request_json,
         stats.set("store",
                   engine::store_stats_to_json(engine.store()->stats()));
       }
+      // Portfolio counters are deterministic in the request sequence
+      // like the rest of the stats line (races and short-circuits are
+      // decided by traffic, not scheduling).
+      stats.set("portfolio",
+                engine::portfolio_stats_to_json(portfolio.stats()));
       response.set("stats", std::move(stats));
     } else if (kind == RequestKind::kMetrics) {
       for (const JsonValue::Member& member : request_json.members()) {
@@ -329,6 +356,14 @@ int run_serve(std::istream& in, std::ostream& out,
                                     options.store_fsync});
   }
   engine::Engine engine(std::move(engine_options));
+  // The session's one portfolio: auto requests race through it and it
+  // learns winners across the whole traffic mix. Registered after the
+  // engine's instruments and before the transport's, so the metrics
+  // schema stays registration-order deterministic.
+  engine::PortfolioOptions portfolio_options;
+  portfolio_options.jobs = options.jobs < 1 ? 1 : options.jobs;
+  portfolio_options.race_budget_ms = options.race_budget_ms;
+  engine::Portfolio portfolio(engine, portfolio_options);
   obs::Counter& requests_total =
       engine.metrics()->counter("serve.requests");
   obs::Counter& control_total =
@@ -443,13 +478,14 @@ int run_serve(std::istream& in, std::ostream& out,
       drain();
       control_total.add();
       acquire_slot();
-      collector.push(seq++, control_response(request_json, kind, engine));
+      collector.push(seq++,
+                     control_response(request_json, kind, engine, portfolio));
       continue;
     }
     requests_total.add();
     acquire_slot();
     const std::size_t my_seq = seq++;
-    pool.submit([&collector, &engine, my_seq, max_iterations =
+    pool.submit([&collector, &engine, &portfolio, my_seq, max_iterations =
                      options.max_iterations,
                  request = std::move(request_json)] {
       // my_seq must reach the collector: a skipped index gaps the
@@ -459,7 +495,8 @@ int run_serve(std::istream& in, std::ostream& out,
       // captures it and the reader's waits rethrow it loudly.
       std::string response;
       try {
-        response = pipeline_response(request, engine, max_iterations);
+        response =
+            pipeline_response(request, engine, portfolio, max_iterations);
       } catch (...) {
         response =
             "{\"error\":{\"stage\":\"request\","

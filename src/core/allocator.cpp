@@ -112,6 +112,7 @@ Allocation RegisterAllocator::run(const ir::AccessSequence& seq) const {
     options.time_budget_ms = phase2.time_budget_ms;
     options.jobs = phase2.jobs;
     options.warm_start = paths;
+    options.abort = phase2.abort;
     const auto search_start = std::chrono::steady_clock::now();
     const ExactResult exact = exact_min_cost_allocation(
         seq, model, config_.registers, options);
@@ -126,6 +127,7 @@ Allocation RegisterAllocator::run(const ir::AccessSequence& seq) const {
     stats.phase2_gap = exact.gap();
     stats.phase2_table_cap_hits = exact.table_cap_hits;
     stats.phase2_subtree_tasks = exact.subtree_tasks;
+    stats.phase2_external_abort = exact.external_abort;
     if (search_seconds > 0.0) {
       stats.phase2_nodes_per_sec =
           static_cast<double>(exact.nodes) / search_seconds;
@@ -143,6 +145,7 @@ Allocation RegisterAllocator::run(const ir::AccessSequence& seq) const {
     options.max_nodes = phase2.max_nodes;
     options.time_budget_ms = phase2.time_budget_ms;
     options.jobs = phase2.jobs;
+    options.abort = phase2.abort;
     const auto search_start = std::chrono::steady_clock::now();
     const TiledResult tiled = tiled_min_cost_allocation(
         seq, model, config_.registers, options);
@@ -161,6 +164,7 @@ Allocation RegisterAllocator::run(const ir::AccessSequence& seq) const {
     stats.phase2_subtree_tasks = tiled.subtree_tasks;
     stats.phase2_windows = tiled.windows;
     stats.phase2_windows_proven = tiled.windows_proven;
+    stats.phase2_external_abort = tiled.external_abort;
     if (search_seconds > 0.0) {
       stats.phase2_nodes_per_sec =
           static_cast<double>(tiled.nodes) / search_seconds;

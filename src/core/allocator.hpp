@@ -19,6 +19,7 @@
 
 #include "core/branch_and_bound.hpp"
 #include "core/cost_model.hpp"
+#include "core/exact.hpp"
 #include "core/merging.hpp"
 #include "core/path.hpp"
 #include "ir/access_sequence.hpp"
@@ -59,6 +60,11 @@ struct Phase2Options {
   /// Window geometry of kTiled (TiledOptions).
   std::size_t tile_width = 20;
   std::size_t tile_overlap = 6;
+  /// External cancellation, forwarded to the exact/tiled phase-2 solve
+  /// (core::SearchAbortHook). A cancelled solve keeps the heuristic
+  /// allocation (or the best incumbent) and reports
+  /// AllocationStats::phase2_external_abort.
+  SearchAbortHook abort;
 };
 
 /// Full configuration of one allocation problem.
@@ -125,6 +131,10 @@ struct AllocationStats {
   /// their boundary (both 0 outside kTiled).
   std::size_t phase2_windows = 0;
   std::size_t phase2_windows_proven = 0;
+  /// True when Phase2Options::abort cancelled the phase-2 solve
+  /// (portfolio racing). Such a result is a valid allocation but not a
+  /// contender — the engine never caches or persists it.
+  bool phase2_external_abort = false;
 };
 
 /// The result: an assignment of every access to one address register.

@@ -190,6 +190,15 @@ struct SearchContext {
   std::atomic<std::uint64_t> nodes{0};
   std::atomic<std::uint64_t> cap_hits{0};
   std::atomic<bool> aborted{false};
+  /// Set (alongside `aborted`) when ExactOptions::abort cancelled the
+  /// solve — either the shared stop flag or the external cost bound.
+  std::atomic<bool> external_abort{false};
+  /// The admissible root bound, frozen before the search starts — the
+  /// proven lower bound the external cost-bound check compares against
+  /// (a tighter per-node bound would make cancellation timing depend
+  /// on traversal order; the root bound keeps it a pure function of
+  /// the problem and the bound value).
+  int root_lb = 0;
 
   /// Frozen dominance shard from the frontier expansion, read-only
   /// during the parallel phase (lookups only — no cross-task writes).
@@ -451,6 +460,12 @@ class Searcher {
     if ((local_nodes_ & 1023) == 0) {
       flush();
       if (ctx_.has_deadline && Clock::now() > ctx_.deadline) {
+        abort_solve();
+        return false;
+      }
+      if (ctx_.options.abort.armed() &&
+          ctx_.options.abort.should_abort(ctx_.root_lb)) {
+        ctx_.external_abort.store(true, std::memory_order_relaxed);
         abort_solve();
         return false;
       }
@@ -805,16 +820,24 @@ ExactResult run_search(const ir::AccessSequence& seq, const CostModel& model,
   // baseline must enumerate to prove, as the pre-rebuild DFS did.
   const int root_lb =
       ctx.bounds.has_value() ? ctx.bounds->root_lower_bound(registers) : 0;
+  ctx.root_lb = root_lb;
   std::uint64_t subtree_tasks = 0;
   if (!options.use_bounds ||
       ctx.best_cost.load(std::memory_order_relaxed) > root_lb) {
-    ctx.arm_deadline();
-    const std::size_t jobs = std::max<std::size_t>(1, options.jobs);
-    if (jobs == 1) {
-      Searcher searcher(ctx, ctx.table_cap);
-      searcher.run(options.pinned_prefix);
+    // An externally cancelled racer dies before its first node — not
+    // just at the 1024-node cadence — so a hopeless solve costs ~zero.
+    if (options.abort.armed() && options.abort.should_abort(root_lb)) {
+      ctx.external_abort.store(true, std::memory_order_relaxed);
+      ctx.aborted.store(true, std::memory_order_relaxed);
     } else {
-      subtree_tasks = run_parallel(ctx, jobs);
+      ctx.arm_deadline();
+      const std::size_t jobs = std::max<std::size_t>(1, options.jobs);
+      if (jobs == 1) {
+        Searcher searcher(ctx, ctx.table_cap);
+        searcher.run(options.pinned_prefix);
+      } else {
+        subtree_tasks = run_parallel(ctx, jobs);
+      }
     }
   }
 
@@ -826,6 +849,7 @@ ExactResult run_search(const ir::AccessSequence& seq, const CostModel& model,
       result.proven ? result.cost : std::min(root_lb, result.cost);
   result.table_cap_hits = ctx.cap_hits.load(std::memory_order_relaxed);
   result.subtree_tasks = subtree_tasks;
+  result.external_abort = ctx.external_abort.load(std::memory_order_relaxed);
   std::vector<std::vector<std::size_t>> groups(registers);
   for (std::size_t i = 0; i < seq.size(); ++i) {
     groups[ctx.best_assignment[i]].push_back(i);

@@ -40,6 +40,7 @@
 // optimality gap against the root lower bound.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -48,6 +49,36 @@
 #include "ir/access_sequence.hpp"
 
 namespace dspaddr::core {
+
+/// External cancellation for a search racing other work (the portfolio
+/// engine, engine/portfolio.hpp). Both pointers are optional and read
+/// with relaxed loads on the same ~1024-node cadence as the wall clock:
+///  * `stop` — a shared kill switch; once true the search aborts and
+///    returns its incumbent with `external_abort` set.
+///  * `cost_bound` — the racing incumbent's cost. The search aborts as
+///    soon as its proven lower bound *exceeds* the bound (strictly:
+///    `lower_bound > *cost_bound`), because it can then never beat —
+///    or even tie — a result someone else already has. The strict
+///    comparison is what keeps portfolio winner selection
+///    deterministic: a racer whose final cost ties the eventual
+///    minimum is never bound-cancelled.
+/// The pointed-to atomics must outlive the solve.
+struct SearchAbortHook {
+  const std::atomic<bool>* stop = nullptr;
+  const std::atomic<int>* cost_bound = nullptr;
+
+  bool armed() const { return stop != nullptr || cost_bound != nullptr; }
+
+  /// True when the hook demands an abort for a search whose best
+  /// proven lower bound is `lower_bound`.
+  bool should_abort(int lower_bound) const {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return cost_bound != nullptr &&
+           lower_bound > cost_bound->load(std::memory_order_relaxed);
+  }
+};
 
 struct ExactOptions {
   /// Hard cap on search nodes; hitting it degrades `proven` to false
@@ -86,6 +117,9 @@ struct ExactOptions {
   /// result) that agrees with `pinned_prefix`. The search then only
   /// explores improvements on it.
   std::vector<Path> warm_start;
+  /// External cancellation (portfolio racing). Like the wall clock, an
+  /// external abort keeps the best incumbent and degrades `proven`.
+  SearchAbortHook abort;
 };
 
 struct ExactResult {
@@ -106,6 +140,10 @@ struct ExactResult {
   /// when the frontier expansion already finished the search). A
   /// deterministic function of the problem and `jobs`.
   std::uint64_t subtree_tasks = 0;
+  /// True when ExactOptions::abort cancelled the search (stop flag
+  /// raised, or the root lower bound exceeded the external cost
+  /// bound). The incumbent is still valid, just not proven.
+  bool external_abort = false;
 
   /// Optimality gap of the incumbent (0 when proven).
   int gap() const { return cost - lower_bound; }

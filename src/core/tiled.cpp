@@ -120,6 +120,7 @@ TiledResult tiled_min_cost_allocation(const ir::AccessSequence& seq,
     exact_options.max_nodes = nodes_per_window;
     exact_options.jobs = options.jobs;
     exact_options.pinned_prefix = pinned;
+    exact_options.abort = options.abort;
     if (options.time_budget_ms > 0) {
       const std::int64_t elapsed_ms =
           std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -138,6 +139,7 @@ TiledResult tiled_min_cost_allocation(const ir::AccessSequence& seq,
     result.subtree_tasks += window_result.subtree_tasks;
     if (window_result.proven) ++result.windows_proven;
     result.window_gap_total += window_result.gap();
+    result.external_abort |= window_result.external_abort;
 
     // Local register r owns result.paths[r]: the solver groups accesses
     // by register index and the fresh rule keeps used indices

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/cost_model.hpp"
+#include "core/exact.hpp"
 #include "core/path.hpp"
 #include "ir/access_sequence.hpp"
 
@@ -44,6 +45,10 @@ struct TiledOptions {
   std::int64_t time_budget_ms = 0;
   /// Worker threads of each window's search (ExactOptions::jobs).
   std::size_t jobs = 1;
+  /// External cancellation, forwarded to every window's exact solve
+  /// (SearchAbortHook). A cancelled sweep keeps the stitched allocation
+  /// built so far plus the heuristic completion of the rest.
+  SearchAbortHook abort;
 };
 
 struct TiledResult {
@@ -62,6 +67,9 @@ struct TiledResult {
   std::size_t windows_proven = 0;
   /// Sum of the per-window anytime gaps (0 when every window proved).
   int window_gap_total = 0;
+  /// True when TiledOptions::abort cancelled at least one window's
+  /// solve (ExactResult::external_abort).
+  bool external_abort = false;
 };
 
 /// Tiled allocation of `seq` onto at most `registers` address registers

@@ -253,6 +253,21 @@ Result Engine::run(const Request& request) {
     throw;
   }
 
+  // An externally cancelled phase-2 solve (portfolio racing,
+  // Phase2Options::abort) produced a valid allocation but not *the*
+  // answer for this fingerprint — the hook is not part of the key, so
+  // publishing or persisting it would let a cancelled racer's
+  // incumbent impersonate the deterministic result. Abort the flight
+  // (a concurrent waiter takes over leadership and computes for real)
+  // and hand the partial result back without counting its phase-2
+  // work.
+  if (result.stats.phase2_external_abort) {
+    cache_.abort(key);
+    result.total_ms = ms_since(start);
+    request_us_cold_->record_us(to_us(result.total_ms));
+    return result;
+  }
+
   // Phase-2 totals accumulate on computed runs only; hits of either
   // tier add nothing (see Phase2Totals).
   if (result.stage_done(Stage::kAllocate)) {

@@ -1,5 +1,9 @@
 #include "engine/fingerprint.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
 #include "engine/engine.hpp"
 
 namespace dspaddr::engine {
@@ -55,6 +59,50 @@ std::string request_fingerprint(const Request& request,
   key += std::to_string(request.phase2.tile_width);
   key += ',';
   key += std::to_string(request.phase2.tile_overlap);
+  key += "|stop=";
+  key += std::to_string(static_cast<int>(request.stop_after));
+  return key;
+}
+
+std::string request_feature_key(const Request& request,
+                                const ir::AccessSequence& lowered) {
+  // The stride profile: distinct |stride| magnitudes in ascending
+  // order, capped so pathological kernels cannot blow up the key. Two
+  // kernels sweeping the same array shapes at different bases share a
+  // profile — which is exactly the aliasing the learned table wants.
+  constexpr std::size_t kMaxProfile = 8;
+  std::vector<std::int64_t> profile;
+  for (const ir::Access& access : lowered.accesses()) {
+    profile.push_back(std::llabs(access.stride));
+  }
+  std::sort(profile.begin(), profile.end());
+  profile.erase(std::unique(profile.begin(), profile.end()), profile.end());
+  if (profile.size() > kMaxProfile) profile.resize(kMaxProfile);
+
+  std::string key;
+  key.reserve(96);
+  key += "pf1|n=";
+  key += std::to_string(lowered.size());
+  key += "|k=";
+  key += std::to_string(request.machine.address_registers());
+  key += "|l=";
+  key += std::to_string(request.machine.modify_registers());
+  key += "|w=";
+  key += std::to_string(request.machine.modify_lo);
+  key += ':';
+  key += std::to_string(request.machine.modify_hi);
+  key += "|free=";
+  for (const std::int64_t width : request.machine.free_widths) {
+    key += std::to_string(width);
+    key += ',';
+  }
+  key += "|strides=";
+  for (const std::int64_t stride : profile) {
+    key += std::to_string(stride);
+    key += ',';
+  }
+  key += "|p2=";
+  key += std::to_string(static_cast<int>(request.phase2.mode));
   key += "|stop=";
   key += std::to_string(static_cast<int>(request.stop_after));
   return key;

@@ -27,4 +27,14 @@ struct Request;
 std::string request_fingerprint(const Request& request,
                                 const ir::AccessSequence& lowered);
 
+/// Feature key of `request` for the portfolio's learned-winner table
+/// (engine/portfolio.hpp): the problem *shape* — access count, machine
+/// resources (K, modify window, free widths) and the stride profile of
+/// `lowered` — deliberately excluding the strategy pair (the table maps
+/// shapes to winning pairs) and the exact offsets (so similar kernels
+/// share a lesson). Callers pass the sequence lowered under one fixed
+/// layout so the key is layout-independent.
+std::string request_feature_key(const Request& request,
+                                const ir::AccessSequence& lowered);
+
 }  // namespace dspaddr::engine

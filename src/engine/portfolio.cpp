@@ -1,0 +1,480 @@
+#include "engine/portfolio.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <utility>
+
+#include "engine/fingerprint.hpp"
+#include "engine/strategy.hpp"
+#include "ir/layout.hpp"
+#include "runtime/task_pool.hpp"
+#include "support/check.hpp"
+
+namespace dspaddr::engine {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t us_since(Clock::time_point start) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - start);
+  return us.count() <= 0 ? 0 : static_cast<std::uint64_t>(us.count());
+}
+
+struct Candidate {
+  std::string layout;
+  std::string strategy;
+};
+
+/// Expands the request's `auto` axes against the builtin registry in
+/// canonical (layout-major registration) order — the tie-break order
+/// of winner selection.
+std::vector<Candidate> expand_candidates(const Request& request) {
+  const StrategyRegistry& registry = StrategyRegistry::builtin();
+  const std::vector<std::string> layouts =
+      request.layout == kAutoStrategy
+          ? registry.layout_names()
+          : std::vector<std::string>{request.layout};
+  const std::vector<std::string> strategies =
+      request.strategy == kAutoStrategy
+          ? registry.allocation_names()
+          : std::vector<std::string>{request.strategy};
+  std::vector<Candidate> candidates;
+  candidates.reserve(layouts.size() * strategies.size());
+  for (const std::string& layout : layouts) {
+    for (const std::string& strategy : strategies) {
+      candidates.push_back(Candidate{layout, strategy});
+    }
+  }
+  return candidates;
+}
+
+/// The learned-table key: the problem shape under the fixed default
+/// layout, so one key covers every candidate of the race.
+std::string feature_key_of(const Request& request) {
+  const LayoutStrategy* layout =
+      StrategyRegistry::builtin().layout(kDefaultLayout);
+  check_invariant(layout != nullptr,
+                  "portfolio: default layout missing from the registry");
+  const ir::ArrayLayout placed =
+      layout->place(request.kernel, request.machine);
+  const ir::AccessSequence lowered = ir::lower(request.kernel, placed);
+  return request_feature_key(request, lowered);
+}
+
+/// Serialized learned record: "layout\nstrategy\nstreak".
+std::string encode_learned(const std::string& layout,
+                           const std::string& strategy,
+                           std::uint64_t streak) {
+  return layout + "\n" + strategy + "\n" + std::to_string(streak);
+}
+
+bool decode_learned(const std::string& value, std::string& layout,
+                    std::string& strategy, std::uint64_t& streak) {
+  const std::size_t first = value.find('\n');
+  if (first == std::string::npos) return false;
+  const std::size_t second = value.find('\n', first + 1);
+  if (second == std::string::npos) return false;
+  layout = value.substr(0, first);
+  strategy = value.substr(first + 1, second - first - 1);
+  try {
+    streak = std::stoull(value.substr(second + 1));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return layout.find('\n') == std::string::npos && !layout.empty() &&
+         !strategy.empty();
+}
+
+}  // namespace
+
+Portfolio::Portfolio(Engine& engine, PortfolioOptions options)
+    : engine_(engine), options_(options) {
+  // Fixed registration order (counters, histogram, then the win grid
+  // in registry order) — the deterministic schema promise of
+  // obs::Registry.
+  obs::Registry& metrics = *engine_.metrics();
+  races_ = &metrics.counter("engine.portfolio.races");
+  racers_launched_ = &metrics.counter("engine.portfolio.racers_launched");
+  racers_cancelled_ = &metrics.counter("engine.portfolio.racers_cancelled");
+  short_circuits_ = &metrics.counter("engine.portfolio.short_circuits");
+  reraces_ = &metrics.counter("engine.portfolio.reraces");
+  race_us_ = &metrics.histogram("engine.portfolio.race_us");
+  const StrategyRegistry& registry = StrategyRegistry::builtin();
+  for (const std::string& layout : registry.layout_names()) {
+    for (const std::string& strategy : registry.allocation_names()) {
+      const std::string pair = layout + "/" + strategy;
+      wins_[pair] = &metrics.counter("engine.portfolio.wins." + pair);
+    }
+  }
+}
+
+bool Portfolio::lookup_learned(const std::string& key, LearnedEntry& out) {
+  {
+    const std::lock_guard<std::mutex> lock(learned_mutex_);
+    const auto it = learned_.find(key);
+    if (it != learned_.end()) {
+      out = it->second;
+      return true;
+    }
+  }
+  // RAM miss: a prior boot may have persisted the lesson. The store is
+  // shared with result records; feature keys live under their own
+  // "pf1|" prefix so the namespaces never collide.
+  const std::shared_ptr<store::ResultStore>& store = engine_.store();
+  if (store == nullptr) return false;
+  const std::optional<std::string> value = store->get(key);
+  if (!value.has_value()) return false;
+  LearnedEntry entry;
+  if (!decode_learned(*value, entry.layout, entry.strategy, entry.streak)) {
+    return false;
+  }
+  const std::lock_guard<std::mutex> lock(learned_mutex_);
+  const auto [it, inserted] = learned_.emplace(key, entry);
+  out = it->second;
+  return true;
+}
+
+void Portfolio::record_win(const std::string& key, const std::string& layout,
+                           const std::string& strategy) {
+  std::uint64_t streak = 1;
+  {
+    const std::lock_guard<std::mutex> lock(learned_mutex_);
+    LearnedEntry& entry = learned_[key];
+    if (entry.layout == layout && entry.strategy == strategy) {
+      streak = ++entry.streak;
+    } else {
+      entry.layout = layout;
+      entry.strategy = strategy;
+      entry.streak = 1;
+    }
+    entry.uses = 0;
+  }
+  const std::shared_ptr<store::ResultStore>& store = engine_.store();
+  if (store != nullptr) {
+    try {
+      store->append(key, encode_learned(layout, strategy, streak));
+    } catch (const std::exception&) {
+      // Append errors degrade learning to RAM-only, like the engine's
+      // own write-through.
+    }
+  }
+}
+
+Result Portfolio::run(const Request& request, PortfolioReport* report,
+                      std::optional<std::int64_t> race_budget_ms) {
+  const std::int64_t budget_ms =
+      race_budget_ms.value_or(options_.race_budget_ms);
+  const Clock::time_point start = Clock::now();
+  PortfolioReport local;
+  PortfolioReport& rep = report != nullptr ? *report : local;
+  rep = PortfolioReport{};
+
+  const std::vector<Candidate> candidates = expand_candidates(request);
+  check_invariant(!candidates.empty(), "portfolio: no candidates");
+
+  // A one-candidate "race" (both axes fixed) — and any request that
+  // stops before allocation, where cost does not exist to compare —
+  // is a plain engine call.
+  if (candidates.size() == 1 ||
+      static_cast<int>(request.stop_after) <
+          static_cast<int>(Stage::kAllocate)) {
+    Request fixed = request;
+    fixed.layout = candidates.front().layout;
+    fixed.strategy = candidates.front().strategy;
+    Result result = engine_.run(fixed);
+    RacerReport racer;
+    racer.layout = fixed.layout;
+    racer.strategy = fixed.strategy;
+    if (result.ok()) {
+      racer.completed = true;
+      racer.winner = true;
+      racer.cost = result.allocation_cost;
+      racer.proven = result.stats.phase2_proven;
+      racer.verified = result.verified;
+      racer.accesses = result.accesses;
+      racer.layout_extent = result.layout_extent;
+      racer.residual_cost = result.plan.residual_cost;
+      racer.optimized_size_words = result.optimized_size_words;
+      racer.optimized_cycles = result.optimized_cycles;
+      rep.winner_layout = fixed.layout;
+      rep.winner_strategy = fixed.strategy;
+    } else {
+      racer.error = std::string(stage_name(result.error->stage)) + ": " +
+                    result.error->message;
+    }
+    rep.racers.push_back(std::move(racer));
+    rep.launched = 1;
+    return result;
+  }
+
+  std::string feature_key;
+  if (options_.learn) {
+    try {
+      feature_key = feature_key_of(request);
+    } catch (const std::exception&) {
+      // A kernel that cannot lower has no shape to learn from; the
+      // race below surfaces the error through its racers.
+    }
+  }
+  rep.feature_key = feature_key;
+
+  LearnedEntry learned;
+  bool have_learned = false;
+  if (options_.learn && !feature_key.empty() &&
+      lookup_learned(feature_key, learned)) {
+    // The lesson only applies when the remembered pair is actually in
+    // this race (a fixed axis may exclude it).
+    for (const Candidate& candidate : candidates) {
+      if (candidate.layout == learned.layout &&
+          candidate.strategy == learned.strategy) {
+        have_learned = true;
+        break;
+      }
+    }
+  }
+  rep.learned_hit = have_learned;
+
+  bool rerace_due = false;
+  if (have_learned && learned.streak >= options_.confidence) {
+    rerace_due = options_.rerace_interval > 0 &&
+                 learned.uses >= options_.rerace_interval;
+    if (!rerace_due) {
+      // Confident short-circuit: the hot path runs exactly one
+      // strategy. A failed run falls through to a full race rather
+      // than fossilizing a broken lesson.
+      Request fixed = request;
+      fixed.layout = learned.layout;
+      fixed.strategy = learned.strategy;
+      Result result = engine_.run(fixed);
+      if (result.ok()) {
+        {
+          const std::lock_guard<std::mutex> lock(learned_mutex_);
+          ++learned_[feature_key].uses;
+        }
+        short_circuits_->add();
+        racers_launched_->add();
+        RacerReport racer;
+        racer.layout = fixed.layout;
+        racer.strategy = fixed.strategy;
+        racer.completed = true;
+        racer.winner = true;
+        racer.cost = result.allocation_cost;
+        racer.proven = result.stats.phase2_proven;
+        racer.verified = result.verified;
+        racer.accesses = result.accesses;
+        racer.layout_extent = result.layout_extent;
+        racer.residual_cost = result.plan.residual_cost;
+        racer.optimized_size_words = result.optimized_size_words;
+        racer.optimized_cycles = result.optimized_cycles;
+        rep.racers.push_back(std::move(racer));
+        rep.winner_layout = fixed.layout;
+        rep.winner_strategy = fixed.strategy;
+        rep.short_circuit = true;
+        rep.launched = 1;
+        race_us_->record_us(us_since(start));
+        return result;
+      }
+    }
+  }
+  if (rerace_due) {
+    rep.reraced = true;
+    reraces_->add();
+  }
+
+  // --- The full race. ---
+  races_->add();
+  const std::size_t n = candidates.size();
+
+  // Race order: the remembered winner first (it sets a tight incumbent
+  // bound early, so losers die at their root), then canonical order.
+  // Winner selection below ignores this order entirely.
+  std::vector<std::size_t> race_order(n);
+  for (std::size_t i = 0; i < n; ++i) race_order[i] = i;
+  if (have_learned) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (candidates[i].layout == learned.layout &&
+          candidates[i].strategy == learned.strategy) {
+        std::rotate(race_order.begin(), race_order.begin() + i,
+                    race_order.begin() + i + 1);
+        break;
+      }
+    }
+  }
+
+  struct Slot {
+    Result result;
+    bool ran = false;
+  };
+  std::vector<Slot> slots(n);
+  std::atomic<bool> stop{false};
+  std::atomic<int> bound{std::numeric_limits<int>::max()};
+
+  // One racer: a plain engine run with the shared hook armed. The
+  // anchor (first in race order) ignores the stop flag so a deadline
+  // always leaves at least one finished result; the strict cost-bound
+  // cut applies to everyone (a racer it kills could never have won or
+  // tied, see the header).
+  const auto run_racer = [&](std::size_t index, bool anchor) {
+    Request racer_request = request;
+    racer_request.layout = candidates[index].layout;
+    racer_request.strategy = candidates[index].strategy;
+    racer_request.phase2.abort.stop = anchor ? nullptr : &stop;
+    racer_request.phase2.abort.cost_bound = &bound;
+    Result result = engine_.run(racer_request);
+    if (result.ok() && !result.stats.phase2_external_abort &&
+        result.stage_done(Stage::kAllocate)) {
+      int cost = result.allocation_cost;
+      int current = bound.load(std::memory_order_relaxed);
+      while (cost < current && !bound.compare_exchange_weak(
+                                   current, cost, std::memory_order_relaxed)) {
+      }
+    }
+    slots[index].result = std::move(result);
+    slots[index].ran = true;
+  };
+
+  if (options_.jobs > 1) {
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining = n;
+    {
+      runtime::TaskPool pool(std::min(options_.jobs, n), n);
+      for (std::size_t position = 0; position < n; ++position) {
+        const std::size_t index = race_order[position];
+        const bool anchor = position == 0;
+        pool.submit([&, index, anchor] {
+          run_racer(index, anchor);
+          const std::lock_guard<std::mutex> lock(done_mutex);
+          --remaining;
+          done_cv.notify_all();
+        });
+      }
+      if (budget_ms > 0) {
+        std::unique_lock<std::mutex> lock(done_mutex);
+        if (!done_cv.wait_for(lock, std::chrono::milliseconds(budget_ms),
+                              [&] { return remaining == 0; })) {
+          // Deadline: every non-anchor racer dies at its next budget
+          // check; the anchor runs on so the race never returns empty.
+          stop.store(true, std::memory_order_relaxed);
+        }
+      }
+      pool.shutdown();
+      pool.rethrow_first_failure();
+    }
+  } else {
+    // Sequential race: the incumbent bound from earlier finishers cuts
+    // later candidates at their root. The deadline here skips racers
+    // not yet started (a running solve is only bounded by its own
+    // phase-2 budgets — nothing concurrent can flip the stop flag).
+    const bool deadline_armed = budget_ms > 0;
+    const Clock::time_point deadline =
+        start + std::chrono::milliseconds(budget_ms);
+    bool have_result = false;
+    for (std::size_t position = 0; position < n; ++position) {
+      const std::size_t index = race_order[position];
+      if (have_result && deadline_armed && Clock::now() >= deadline) {
+        continue;  // skipped: reported below as such
+      }
+      run_racer(index, !have_result);
+      const Slot& slot = slots[index];
+      have_result = have_result ||
+                    (slot.result.ok() &&
+                     !slot.result.stats.phase2_external_abort);
+    }
+  }
+
+  // Winner: minimum cost among completed racers, ties to the first in
+  // canonical candidate order — a pure function of the completed
+  // costs, independent of jobs and race order (see the header for why
+  // bound-cancelled racers can never have tied the minimum).
+  std::size_t winner = n;
+  int best_cost = std::numeric_limits<int>::max();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!slots[i].ran) continue;
+    const Result& result = slots[i].result;
+    if (!result.ok() || result.stats.phase2_external_abort) continue;
+    if (result.allocation_cost < best_cost) {
+      best_cost = result.allocation_cost;
+      winner = i;
+    }
+  }
+
+  rep.racers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RacerReport racer;
+    racer.layout = candidates[i].layout;
+    racer.strategy = candidates[i].strategy;
+    if (!slots[i].ran) {
+      racer.skipped = true;
+      ++rep.skipped;
+    } else {
+      ++rep.launched;
+      const Result& result = slots[i].result;
+      if (!result.ok()) {
+        racer.error = std::string(stage_name(result.error->stage)) + ": " +
+                      result.error->message;
+      } else if (result.stats.phase2_external_abort) {
+        racer.cancelled = true;
+        ++rep.cancelled;
+      } else {
+        racer.completed = true;
+        racer.cost = result.allocation_cost;
+        racer.proven = result.stats.phase2_proven;
+        racer.verified = result.verified;
+        racer.accesses = result.accesses;
+        racer.layout_extent = result.layout_extent;
+        racer.residual_cost = result.plan.residual_cost;
+        racer.optimized_size_words = result.optimized_size_words;
+        racer.optimized_cycles = result.optimized_cycles;
+      }
+    }
+    racer.winner = i == winner;
+    rep.racers.push_back(std::move(racer));
+  }
+
+  racers_launched_->add(rep.launched);
+  racers_cancelled_->add(rep.cancelled);
+  race_us_->record_us(us_since(start));
+
+  if (winner == n) {
+    // Every racer errored (the anchor always runs, so something ran):
+    // surface the first error in canonical order.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (slots[i].ran) return std::move(slots[i].result);
+    }
+    Request fixed = request;
+    fixed.layout = candidates.front().layout;
+    fixed.strategy = candidates.front().strategy;
+    return engine_.run(fixed);
+  }
+
+  rep.winner_layout = candidates[winner].layout;
+  rep.winner_strategy = candidates[winner].strategy;
+  const auto win_counter =
+      wins_.find(candidates[winner].layout + "/" + candidates[winner].strategy);
+  if (win_counter != wins_.end()) {
+    win_counter->second->add();
+  }
+  if (options_.learn && !feature_key.empty()) {
+    record_win(feature_key, candidates[winner].layout,
+               candidates[winner].strategy);
+  }
+  return std::move(slots[winner].result);
+}
+
+PortfolioStats Portfolio::stats() const {
+  PortfolioStats stats;
+  stats.races = races_->value();
+  stats.short_circuits = short_circuits_->value();
+  stats.reraces = reraces_->value();
+  {
+    const std::lock_guard<std::mutex> lock(learned_mutex_);
+    stats.learned_entries = learned_.size();
+  }
+  return stats;
+}
+
+}  // namespace dspaddr::engine

@@ -216,8 +216,20 @@ support::JsonValue store_stats_to_json(const store::StoreStats& stats) {
   json.set("appended_records", from_u64(stats.appended_records));
   json.set("appended_bytes", from_u64(stats.appended_bytes));
   json.set("truncated_bytes", from_u64(stats.truncated_bytes));
+  json.set("shadowed_bytes", from_u64(stats.shadowed_bytes));
+  json.set("compactions", from_u64(stats.compactions));
+  json.set("compacted_bytes", from_u64(stats.compacted_bytes));
   json.set("hits", from_u64(stats.hits));
   json.set("misses", from_u64(stats.misses));
+  return json;
+}
+
+support::JsonValue portfolio_stats_to_json(const PortfolioStats& stats) {
+  JsonValue json = JsonValue::object();
+  json.set("races", from_u64(stats.races));
+  json.set("short_circuits", from_u64(stats.short_circuits));
+  json.set("reraces", from_u64(stats.reraces));
+  json.set("learned_entries", from_size(stats.learned_entries));
   return json;
 }
 
@@ -309,6 +321,9 @@ std::string metrics_report_csv(const obs::RegistrySnapshot& snapshot,
     counter_row("store.appended_records", store->appended_records);
     counter_row("store.appended_bytes", store->appended_bytes);
     counter_row("store.truncated_bytes", store->truncated_bytes);
+    counter_row("store.shadowed_bytes", store->shadowed_bytes);
+    counter_row("store.compactions", store->compactions);
+    counter_row("store.compacted_bytes", store->compacted_bytes);
     counter_row("store.hits", store->hits);
     counter_row("store.misses", store->misses);
   }

@@ -41,6 +41,7 @@
 #include <string>
 
 #include "engine/engine.hpp"
+#include "engine/portfolio.hpp"
 #include "ir/kernel.hpp"
 #include "support/json.hpp"
 
@@ -61,8 +62,15 @@ support::JsonValue phase2_totals_to_json(const Phase2Totals& totals);
 
 /// Persistent-store counters as a JSON object: {"records", "bytes",
 /// "recovered_records", "appended_records", "appended_bytes",
-/// "truncated_bytes", "hits", "misses"}.
+/// "truncated_bytes", "shadowed_bytes", "compactions",
+/// "compacted_bytes", "hits", "misses"}.
 support::JsonValue store_stats_to_json(const store::StoreStats& stats);
+
+/// Portfolio counters as a JSON object: {"races", "short_circuits",
+/// "reraces", "learned_entries"} — the deterministic subset (see
+/// engine::PortfolioStats); cancellation counts are timing-dependent
+/// and live only in the metrics registry.
+support::JsonValue portfolio_stats_to_json(const PortfolioStats& stats);
 
 /// The serve `{"metrics":true}` response body: {"counters": {name:
 /// value}, "gauges": {name: {"value", "max"}}, "histograms": {name:

@@ -1,7 +1,9 @@
 #include "eval/batch.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "engine/portfolio.hpp"
 #include "engine/serialize.hpp"
 #include "engine/strategy.hpp"
 #include "runtime/task_pool.hpp"
@@ -109,6 +111,25 @@ BatchResult run_batch(const BatchConfig& config, engine::Engine& engine) {
   BatchResult result;
   result.rows.resize(tasks.size());
 
+  // Auto cells race through one shared portfolio. Sequential racing
+  // (jobs=1 — the grid already parallelizes across cells) with
+  // learning off keeps each cell's winner a pure function of the cell,
+  // so the CSV stays order- and jobs-independent.
+  std::unique_ptr<engine::Portfolio> portfolio;
+  const bool any_auto = std::any_of(
+      tasks.begin(), tasks.end(), [](const BatchTask& task) {
+        return task.layout == engine::kAutoStrategy ||
+               task.strategy == engine::kAutoStrategy;
+      });
+  if (any_auto) {
+    engine::PortfolioOptions portfolio_options;
+    portfolio_options.jobs = 1;
+    portfolio_options.learn = false;
+    portfolio_options.race_budget_ms = config.race_budget_ms;
+    portfolio = std::make_unique<engine::Portfolio>(engine,
+                                                    portfolio_options);
+  }
+
   // One runtime::TaskPool task per grid cell, each writing its own
   // pre-sized row slot; the output order is the grid order whatever
   // the interleaving. The engine is shared: cells differing only in
@@ -120,14 +141,18 @@ BatchResult run_batch(const BatchConfig& config, engine::Engine& engine) {
       config.jobs, std::max<std::size_t>(tasks.size(), 1));
   runtime::TaskPool pool(workers, 2 * workers);
   for (std::size_t i = 0; i < tasks.size(); ++i) {
-    pool.submit([&engine, &result, &tasks, i] {
+    pool.submit([&engine, &result, &tasks, &portfolio, i] {
       engine::Request request;
       request.kernel = *tasks[i].kernel;
       request.machine = tasks[i].machine;
       request.layout = tasks[i].layout;
       request.strategy = tasks[i].strategy;
       request.phase2 = tasks[i].phase2;
-      result.rows[i] = row_from_result(engine.run(request));
+      // An auto cell's row is the race winner's: layout/strategy show
+      // what "auto" resolved to for that cell.
+      result.rows[i] = row_from_result(engine::Portfolio::is_auto(request)
+                                           ? portfolio->run(request)
+                                           : engine.run(request));
     });
   }
   pool.wait_idle();

@@ -34,11 +34,18 @@ struct BatchConfig {
   /// Modify ranges M to sweep (empty: each machine's M).
   std::vector<std::int64_t> modify_ranges;
   /// Layout strategies to sweep (empty: just engine::kDefaultLayout).
+  /// An "auto" entry races every registered layout for that cell
+  /// through the portfolio engine; the cell's row is the winner's.
   std::vector<std::string> layouts;
   /// Allocation strategies to sweep (empty: engine::kDefaultStrategy).
+  /// "auto" entries race like layout ones.
   std::vector<std::string> strategies;
   /// Worker threads (>= 1). Never affects results, only wall time.
   std::size_t jobs = 1;
+  /// Wall-clock deadline of each auto cell's race; 0 = none. Auto
+  /// cells race sequentially with learning off, so with no deadline
+  /// their rows stay byte-identical across jobs levels and reruns.
+  std::int64_t race_budget_ms = 0;
   /// Phase-2 solver selection and budgets, applied to every cell. A
   /// nonzero time budget trades byte-identical reruns for a wall-clock
   /// cap; the node budget alone keeps the CSV deterministic.

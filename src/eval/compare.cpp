@@ -1,8 +1,10 @@
 #include "eval/compare.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "engine/strategy.hpp"
+#include "runtime/task_pool.hpp"
 #include "support/check.hpp"
 
 namespace dspaddr::eval {
@@ -14,56 +16,45 @@ std::string delta_field(std::int64_t delta) {
   return delta > 0 ? "+" + std::to_string(delta) : std::to_string(delta);
 }
 
-}  // namespace
+/// Computes one grid cell into a finished row (minus the deltas, which
+/// need the full grid).
+CompareRow run_cell(const CompareConfig& config, engine::Engine& engine,
+                    const std::string& layout, const std::string& strategy) {
+  engine::Request request;
+  request.kernel = config.kernel;
+  request.machine = config.machine;
+  request.layout = layout;
+  request.strategy = strategy;
+  request.phase2 = config.phase2;
+  request.iterations = config.iterations;
+  const engine::Result run = engine.run(request);
 
-CompareResult run_compare(const CompareConfig& config,
-                          engine::Engine& engine) {
-  const std::vector<std::string> layouts =
-      config.layouts.empty()
-          ? std::vector<std::string>{engine::kDefaultLayout}
-          : config.layouts;
-  const std::vector<std::string> strategies =
-      config.strategies.empty()
-          ? engine::StrategyRegistry::builtin().allocation_names()
-          : config.strategies;
-
-  CompareResult result;
-  result.kernel = config.kernel.name();
-  result.machine = config.machine.name;
-
-  for (const std::string& layout : layouts) {
-    for (const std::string& strategy : strategies) {
-      engine::Request request;
-      request.kernel = config.kernel;
-      request.machine = config.machine;
-      request.layout = layout;
-      request.strategy = strategy;
-      request.phase2 = config.phase2;
-      request.iterations = config.iterations;
-      const engine::Result run = engine.run(request);
-
-      CompareRow row;
-      row.layout = layout;
-      row.strategy = strategy;
-      if (run.ok()) {
-        row.accesses = run.accesses;
-        row.layout_extent = run.layout_extent;
-        row.allocation_cost = run.allocation_cost;
-        row.residual_cost = run.plan.residual_cost;
-        row.optimized_size_words = run.optimized_size_words;
-        row.optimized_cycles = run.optimized_cycles;
-        row.verified = run.verified;
-      } else {
-        row.error = std::string(engine::stage_name(run.error->stage)) +
-                    ": " + run.error->message;
-        ++result.failures;
-      }
-      result.rows.push_back(std::move(row));
-    }
+  CompareRow row;
+  row.layout = layout;
+  row.strategy = strategy;
+  if (run.ok()) {
+    row.accesses = run.accesses;
+    row.layout_extent = run.layout_extent;
+    row.allocation_cost = run.allocation_cost;
+    row.residual_cost = run.plan.residual_cost;
+    row.optimized_size_words = run.optimized_size_words;
+    row.optimized_cycles = run.optimized_cycles;
+    row.verified = run.verified;
+  } else {
+    row.error = std::string(engine::stage_name(run.error->stage)) + ": " +
+                run.error->message;
   }
+  return row;
+}
 
-  // The delta reference: the default pair when present, else the first
-  // healthy cell, else plain cell 0.
+/// The shared finalize step over fully populated rows: pick the delta
+/// reference (the default pair when present, else the first healthy
+/// row), fill the deltas, mark the best-cost rows and count failures.
+void finalize_rows(CompareResult& result) {
+  result.failures = 0;
+  for (const CompareRow& row : result.rows) {
+    if (!row.ok()) ++result.failures;
+  }
   std::size_t reference = 0;
   bool found_default = false;
   for (std::size_t i = 0; i < result.rows.size(); ++i) {
@@ -100,12 +91,129 @@ CompareResult run_compare(const CompareConfig& config,
       row.best_cost = row.ok() && row.allocation_cost == best;
     }
   }
+}
+
+}  // namespace
+
+CompareResult run_compare(const CompareConfig& config,
+                          engine::Engine& engine) {
+  const std::vector<std::string> layouts =
+      config.layouts.empty()
+          ? std::vector<std::string>{engine::kDefaultLayout}
+          : config.layouts;
+  const std::vector<std::string> strategies =
+      config.strategies.empty()
+          ? engine::StrategyRegistry::builtin().allocation_names()
+          : config.strategies;
+
+  CompareResult result;
+  result.kernel = config.kernel.name();
+  result.machine = config.machine.name;
+
+  // The (layout, strategy) grid in layout-major request order. Each
+  // cell lands in its pre-sized slot, so the parallel path below fills
+  // exactly the rows the sequential loop would — byte-identical output
+  // at any jobs level (the engine cache is single-flight, so even
+  // duplicate cells compute once either way).
+  std::vector<std::pair<std::size_t, std::size_t>> cells;
+  cells.reserve(layouts.size() * strategies.size());
+  for (std::size_t l = 0; l < layouts.size(); ++l) {
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      cells.emplace_back(l, s);
+    }
+  }
+  result.rows.resize(cells.size());
+
+  if (config.jobs <= 1 || cells.size() <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      result.rows[i] = run_cell(config, engine, layouts[cells[i].first],
+                                strategies[cells[i].second]);
+    }
+  } else {
+    const std::size_t workers = std::min(config.jobs, cells.size());
+    runtime::TaskPool pool(workers, 2 * workers);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      pool.submit([&config, &engine, &result, &layouts, &strategies, &cells,
+                   i] {
+        result.rows[i] = run_cell(config, engine, layouts[cells[i].first],
+                                  strategies[cells[i].second]);
+      });
+    }
+    pool.wait_idle();
+    pool.shutdown();
+    pool.rethrow_first_failure();
+  }
+
+  finalize_rows(result);
   return result;
 }
 
 CompareResult run_compare(const CompareConfig& config) {
   engine::Engine engine;
   return run_compare(config, engine);
+}
+
+CompareResult compare_from_portfolio(const engine::PortfolioReport& report,
+                                     const std::string& kernel,
+                                     const std::string& machine) {
+  CompareResult result;
+  result.kernel = kernel;
+  result.machine = machine;
+  result.rows.reserve(report.racers.size());
+  for (const engine::RacerReport& racer : report.racers) {
+    CompareRow row;
+    row.layout = racer.layout;
+    row.strategy = racer.strategy;
+    if (racer.completed) {
+      row.accesses = racer.accesses;
+      row.layout_extent = racer.layout_extent;
+      row.allocation_cost = racer.cost;
+      row.residual_cost = racer.residual_cost;
+      row.optimized_size_words = racer.optimized_size_words;
+      row.optimized_cycles = racer.optimized_cycles;
+      row.verified = racer.verified;
+    } else if (racer.cancelled) {
+      row.error = "cancelled (lost the race)";
+    } else if (racer.skipped) {
+      row.error = "skipped (race deadline)";
+    } else {
+      row.error = racer.error;
+    }
+    result.rows.push_back(std::move(row));
+  }
+  // Deltas against the *winner* — the portfolio's question is "how
+  // much worse is each alternative", not "how far from the paper's
+  // default". Cancelled/skipped racers are the race working as
+  // designed, not failures; only genuine per-racer errors count.
+  result.failures = 0;
+  for (const engine::RacerReport& racer : report.racers) {
+    if (!racer.completed && !racer.cancelled && !racer.skipped) {
+      ++result.failures;
+    }
+  }
+  const CompareRow* winner_row = nullptr;
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    if (report.racers[i].winner && result.rows[i].ok()) {
+      winner_row = &result.rows[i];
+      break;
+    }
+  }
+  if (winner_row != nullptr) {
+    result.reference_layout = winner_row->layout;
+    result.reference_strategy = winner_row->strategy;
+    int best = std::numeric_limits<int>::max();
+    for (CompareRow& row : result.rows) {
+      if (!row.ok()) continue;
+      row.cost_delta = row.allocation_cost - winner_row->allocation_cost;
+      row.cycle_delta =
+          row.optimized_cycles - winner_row->optimized_cycles;
+      best = std::min(best, row.allocation_cost);
+    }
+    for (CompareRow& row : result.rows) {
+      row.best_cost = row.ok() && row.allocation_cost == best;
+    }
+  }
+  return result;
 }
 
 support::Table compare_to_table(const CompareResult& result) {

@@ -17,6 +17,7 @@
 #include "agu/machines.hpp"
 #include "core/allocator.hpp"
 #include "engine/engine.hpp"
+#include "engine/portfolio.hpp"
 #include "ir/kernel.hpp"
 #include "support/csv.hpp"
 #include "support/json.hpp"
@@ -34,6 +35,10 @@ struct CompareConfig {
   std::vector<std::string> strategies;
   core::Phase2Options phase2;
   std::optional<std::uint64_t> iterations;
+  /// Worker threads for the (layouts x strategies) grid; 1 runs
+  /// sequentially. Cells land in pre-sized slots and the engine cache
+  /// is single-flight, so the output is byte-identical at any level.
+  std::size_t jobs = 1;
 };
 
 /// One (layout, strategy) cell. Deltas are "this row minus the
@@ -78,6 +83,16 @@ CompareResult run_compare(const CompareConfig& config,
 
 /// Same, through a private engine.
 CompareResult run_compare(const CompareConfig& config);
+
+/// The delta table of a portfolio race (engine::Portfolio): one row
+/// per racer in canonical candidate order, deltas against the winning
+/// pair, the winner's row(s) marked best. Cancelled and skipped racers
+/// render as non-ok rows ("cancelled (lost the race)" / "skipped
+/// (race deadline)") — which racers those are is timing-dependent, so
+/// their rows deliberately carry no cost.
+CompareResult compare_from_portfolio(const engine::PortfolioReport& report,
+                                     const std::string& kernel,
+                                     const std::string& machine);
 
 /// Delta table; the best-cost row(s) are marked with '*'.
 support::Table compare_to_table(const CompareResult& result);

@@ -5,9 +5,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "support/check.hpp"
@@ -178,6 +181,13 @@ ResultStore::ResultStore(Options options) : options_(std::move(options)) {
           ::ftruncate(fd_, static_cast<off_t>(append_offset_)) == 0,
           "store '" + options_.path + "': cannot truncate torn tail");
     }
+    // Enough dead weight (shadowed records + the tail just dropped)?
+    // Rewrite the live records and swap atomically before serving.
+    if (options_.compact_min_bytes > 0 &&
+        shadowed_bytes_ + truncated_bytes_ >= options_.compact_min_bytes &&
+        shadowed_bytes_ > 0) {
+      compact();
+    }
   } catch (...) {
     if (map_ != nullptr) {
       ::munmap(const_cast<char*>(map_), map_size_);
@@ -233,12 +243,111 @@ std::uint64_t ResultStore::scan_and_index(std::uint64_t file_size) {
     location.offset = offset + kFrameSize + key_len;
     location.length = value_len;
     // Later records shadow earlier ones — the log is append-only, so
-    // "update" is simply "append again".
-    index_[std::string(body_bytes, key_len)] = location;
+    // "update" is simply "append again". A shadowed record is dead
+    // weight; its full frame size feeds the compaction decision.
+    std::string key(body_bytes, key_len);
+    const auto existing = index_.find(key);
+    if (existing != index_.end()) {
+      shadowed_bytes_ +=
+          kFrameSize + key.size() + existing->second.length;
+    }
+    index_[std::move(key)] = location;
     ++recovered_records_;
     offset += kFrameSize + body;
   }
   return offset;
+}
+
+void ResultStore::compact() {
+  // Live records in original log order (ascending value offset), so
+  // the compacted file reads like the log always had exactly one
+  // record per key. Constructor-only: everything is pre-open, mapped
+  // (or pread-able) state.
+  std::vector<std::pair<const std::string*, const Location*>> live;
+  live.reserve(index_.size());
+  for (const auto& entry : index_) {
+    live.emplace_back(&entry.first, &entry.second);
+  }
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) {
+              return a.second->offset < b.second->offset;
+            });
+
+  const std::string temp_path = options_.path + ".compact";
+  const int temp_fd =
+      ::open(temp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (temp_fd < 0) {
+    return;  // best-effort: keep serving the uncompacted log
+  }
+
+  try {
+    std::string header(kMagic, sizeof(kMagic));
+    put_u32(header, kFormatVersion);
+    put_u32(header, 0);
+    write_all(temp_fd, header.data(), header.size(), 0, temp_path);
+
+    std::unordered_map<std::string, Location> new_index;
+    new_index.reserve(live.size());
+    std::uint64_t offset = kHeaderSize;
+    std::string value;
+    for (const auto& [key, location] : live) {
+      if (map_ != nullptr) {
+        value.assign(map_ + location->offset, location->length);
+      } else {
+        value.resize(location->length);
+        read_all(fd_, value.data(), location->length, location->offset,
+                 options_.path);
+      }
+      std::string frame;
+      frame.reserve(kFrameSize + key->size() + value.size());
+      put_u32(frame, static_cast<std::uint32_t>(key->size()));
+      put_u32(frame, static_cast<std::uint32_t>(value.size()));
+      put_u32(frame, crc32(*key + value));
+      frame += *key;
+      frame += value;
+      write_all(temp_fd, frame.data(), frame.size(), offset, temp_path);
+      Location new_location;
+      new_location.offset = offset + kFrameSize + key->size();
+      new_location.length = static_cast<std::uint32_t>(value.size());
+      new_index.emplace(*key, new_location);
+      offset += frame.size();
+    }
+    if (::fsync(temp_fd) != 0) {
+      throw Error("store '" + temp_path +
+                  "': fsync failed: " + std::strerror(errno));
+    }
+    if (::rename(temp_path.c_str(), options_.path.c_str()) != 0) {
+      throw Error("store '" + options_.path +
+                  "': rename failed: " + std::strerror(errno));
+    }
+
+    // The swap is durable; retire the old file's map and descriptor
+    // and serve from the compacted one.
+    if (map_ != nullptr) {
+      ::munmap(const_cast<char*>(map_), map_size_);
+      map_ = nullptr;
+      map_size_ = 0;
+    }
+    ::close(fd_);
+    fd_ = temp_fd;
+    if (offset > 0) {
+      void* mapped =
+          ::mmap(nullptr, offset, PROT_READ, MAP_PRIVATE, temp_fd, 0);
+      if (mapped != MAP_FAILED) {
+        map_ = static_cast<const char*>(mapped);
+        map_size_ = offset;
+      }
+    }
+    compacted_bytes_ += (append_offset_ - offset);
+    append_offset_ = offset;
+    index_ = std::move(new_index);
+    shadowed_bytes_ = 0;
+    ++compactions_;
+  } catch (...) {
+    ::close(temp_fd);
+    ::unlink(temp_path.c_str());
+    // The original file, map and index are untouched — keep serving.
+  }
 }
 
 std::optional<std::string> ResultStore::get(const std::string& key) {
@@ -293,6 +402,10 @@ void ResultStore::append(const std::string& key, std::string_view value) {
   location.appended = true;
   location.appended_index = appended_values_.size();
   appended_values_.emplace_back(value);
+  const auto existing = index_.find(key);
+  if (existing != index_.end()) {
+    shadowed_bytes_ += kFrameSize + key.size() + existing->second.length;
+  }
   index_[key] = location;
 }
 
@@ -305,6 +418,9 @@ StoreStats ResultStore::stats() const {
   stats.appended_records = appended_records_;
   stats.appended_bytes = appended_bytes_;
   stats.truncated_bytes = truncated_bytes_;
+  stats.shadowed_bytes = shadowed_bytes_;
+  stats.compactions = compactions_;
+  stats.compacted_bytes = compacted_bytes_;
   stats.hits = hits_;
   stats.misses = misses_;
   return stats;

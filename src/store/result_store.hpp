@@ -68,6 +68,13 @@ struct StoreStats {
   /// Bytes of torn/corrupt tail dropped by the open() scan (0 after a
   /// clean shutdown).
   std::uint64_t truncated_bytes = 0;
+  /// Bytes currently held by shadowed (re-appended) records — dead
+  /// weight a compaction would reclaim.
+  std::uint64_t shadowed_bytes = 0;
+  /// Log rewrites performed by open() (Options::compact_min_bytes).
+  std::uint64_t compactions = 0;
+  /// Bytes reclaimed by those rewrites.
+  std::uint64_t compacted_bytes = 0;
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
 };
@@ -84,6 +91,12 @@ class ResultStore {
     /// syscall per new result. Off by default — the log is a cache,
     /// and a torn tail is recovered on the next open anyway.
     bool fsync_each_append = false;
+    /// Compaction threshold: when the open() scan finds at least this
+    /// many dead bytes (shadowed records + dropped torn tail), the
+    /// live records are rewritten in log order to `<path>.compact` and
+    /// atomically swapped in. 0 disables compaction. Best-effort: a
+    /// rewrite failure keeps serving the uncompacted log.
+    std::uint64_t compact_min_bytes = 1 << 20;
   };
 
   /// Opens (or creates) the log at `options.path`, scans it, builds
@@ -122,6 +135,12 @@ class ResultStore {
   /// byte past the last complete record.
   std::uint64_t scan_and_index(std::uint64_t file_size);
 
+  /// Rewrites the live records (in log order) to `<path>.compact`,
+  /// fsyncs, renames over the log and re-opens the compacted file.
+  /// Constructor-only (no locking). Best-effort: on any failure the
+  /// original file, map and index stay in service.
+  void compact();
+
   Options options_;
   int fd_ = -1;
 
@@ -139,6 +158,9 @@ class ResultStore {
   std::uint64_t append_offset_ = 0;
   std::size_t recovered_records_ = 0;
   std::uint64_t truncated_bytes_ = 0;
+  std::uint64_t shadowed_bytes_ = 0;
+  std::uint64_t compactions_ = 0;
+  std::uint64_t compacted_bytes_ = 0;
   std::uint64_t appended_records_ = 0;
   std::uint64_t appended_bytes_ = 0;
   std::uint64_t hits_ = 0;

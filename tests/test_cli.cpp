@@ -770,5 +770,67 @@ TEST(CliApp, HelpAndVersion) {
   EXPECT_NE(out.find("fir"), std::string::npos);
 }
 
+TEST(CliOptions, PortfolioRacingFlags) {
+  const cli::RunOptions run = cli::parse_run_options(
+      {"--kernel", "f.c", "--strategy", "auto", "--layout", "auto",
+       "--jobs", "3", "--race-budget-ms", "25"});
+  EXPECT_EQ(run.strategy, "auto");
+  EXPECT_EQ(run.layout, "auto");
+  EXPECT_EQ(run.jobs, 3u);
+  EXPECT_EQ(run.race_budget_ms, 25);
+
+  const cli::CompareOptions compare = cli::parse_compare_options(
+      {"--kernel", "fir", "--strategy", "auto", "--jobs", "4",
+       "--race-budget-ms", "10"});
+  ASSERT_EQ(compare.strategies.size(), 1u);
+  EXPECT_EQ(compare.strategies[0], "auto");
+  EXPECT_EQ(compare.jobs, 4u);
+  EXPECT_EQ(compare.race_budget_ms, 10);
+
+  const cli::BatchOptions batch = cli::parse_batch_options(
+      {"--builtin", "fir", "--strategy", "auto,two-phase",
+       "--race-budget-ms", "7"});
+  EXPECT_EQ(batch.race_budget_ms, 7);
+
+  const cli::ServeOptions serve =
+      cli::parse_serve_options({"--race-budget-ms", "15"});
+  EXPECT_EQ(serve.race_budget_ms, 15);
+
+  // Defaults: the deadline is off everywhere.
+  EXPECT_EQ(cli::parse_run_options({"--kernel", "f.c"}).race_budget_ms, 0);
+  EXPECT_EQ(cli::parse_serve_options({}).race_budget_ms, 0);
+}
+
+TEST(CliOptions, PortfolioFlagErrors) {
+  // A negative or malformed deadline is a usage error.
+  EXPECT_THROW(cli::parse_run_options(
+                   {"--kernel", "f.c", "--race-budget-ms", "-1"}),
+               cli::UsageError);
+  EXPECT_THROW(cli::parse_run_options(
+                   {"--kernel", "f.c", "--race-budget-ms", "soon"}),
+               cli::UsageError);
+  // compare: "auto" already covers every candidate, so mixing it into
+  // a multi-element list is contradictory.
+  EXPECT_THROW(cli::parse_compare_options(
+                   {"--kernel", "fir", "--strategy", "auto,naive"}),
+               cli::UsageError);
+  EXPECT_THROW(cli::parse_compare_options(
+                   {"--kernel", "fir", "--layout", "contiguous,auto"}),
+               cli::UsageError);
+}
+
+TEST(CliApp, RunAutoRaceRendersThePortfolioTable) {
+  std::string out;
+  std::string err;
+  EXPECT_EQ(run({"run", "--kernel", kRoot + "paper_example.c",
+                 "--registers", "2", "--strategy", "auto", "--layout",
+                 "auto"},
+                out, err),
+            0)
+      << err;
+  EXPECT_NE(out.find("portfolio race (winner "), std::string::npos) << out;
+  EXPECT_NE(out.find("deltas vs winner"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dspaddr

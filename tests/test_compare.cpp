@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "agu/machines.hpp"
+#include "engine/engine.hpp"
+#include "engine/portfolio.hpp"
 #include "engine/strategy.hpp"
 #include "eval/compare.hpp"
 #include "ir/kernels.hpp"
@@ -141,6 +143,69 @@ TEST(Compare, ReferenceFallsBackWhenDefaultPairAbsent) {
   const eval::CompareResult result = eval::run_compare(config);
   EXPECT_EQ(result.reference_strategy, "round-robin");
   EXPECT_EQ(result.rows[0].cost_delta, 0);
+}
+
+TEST(Compare, ParallelGridIsByteIdenticalToSequential) {
+  // The full layouts x strategies grid, rendered in every format, must
+  // not depend on --jobs: cells land in pre-sized slots and deltas are
+  // computed after the barrier.
+  eval::CompareConfig config = paper_config();
+  config.layouts = engine::StrategyRegistry::builtin().layout_names();
+  const eval::CompareResult serial = eval::run_compare(config);
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
+    eval::CompareConfig parallel_config = config;
+    parallel_config.jobs = jobs;
+    const eval::CompareResult parallel = eval::run_compare(parallel_config);
+    EXPECT_EQ(eval::compare_to_csv(parallel).to_string(),
+              eval::compare_to_csv(serial).to_string())
+        << "jobs=" << jobs;
+    EXPECT_EQ(eval::compare_to_table(parallel).to_string(),
+              eval::compare_to_table(serial).to_string())
+        << "jobs=" << jobs;
+    EXPECT_EQ(eval::compare_to_json(parallel).dump(),
+              eval::compare_to_json(serial).dump())
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(Compare, PortfolioReportRendersAsWinnerReferencedGrid) {
+  eval::CompareConfig config = paper_config();
+  engine::Engine engine(engine::Engine::Options{0});
+  engine::PortfolioOptions options;
+  options.learn = false;
+  engine::Portfolio portfolio(engine, options);
+  engine::Request request;
+  request.kernel = config.kernel;
+  request.machine = config.machine;
+  request.layout = engine::kAutoStrategy;
+  request.strategy = engine::kAutoStrategy;
+  request.stop_after = engine::Stage::kPlan;
+  engine::PortfolioReport report;
+  ASSERT_TRUE(portfolio.run(request, &report).ok());
+
+  const eval::CompareResult result = eval::compare_from_portfolio(
+      report, config.kernel.name(), config.machine.name);
+  EXPECT_EQ(result.rows.size(), report.racers.size());
+  // Deltas are against the race winner, so the winner's row is zero
+  // and marked best; no completed row beats it.
+  EXPECT_EQ(result.reference_layout, report.winner_layout);
+  EXPECT_EQ(result.reference_strategy, report.winner_strategy);
+  bool winner_row_seen = false;
+  for (const eval::CompareRow& row : result.rows) {
+    if (row.layout == report.winner_layout &&
+        row.strategy == report.winner_strategy) {
+      winner_row_seen = true;
+      EXPECT_EQ(row.cost_delta, 0);
+      EXPECT_TRUE(row.best_cost);
+    }
+    if (row.error.empty()) {
+      EXPECT_GE(row.cost_delta, 0);
+    }
+  }
+  EXPECT_TRUE(winner_row_seen);
+  // Cancelled and skipped racers are rendered but are not failures —
+  // compare's exit code must stay 0 for a successful race.
+  EXPECT_EQ(result.failures, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,364 @@
+// engine::Portfolio — strategy racing: deterministic winner selection
+// at any jobs level, early cancellation under a race deadline, and the
+// learned short-circuit / re-race lifecycle (RAM and store-backed).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "agu/machines.hpp"
+#include "engine/engine.hpp"
+#include "engine/portfolio.hpp"
+#include "engine/strategy.hpp"
+#include "ir/kernels.hpp"
+#include "store/result_store.hpp"
+
+namespace dspaddr {
+namespace {
+
+engine::Request auto_request(const ir::Kernel& kernel,
+                             const std::string& machine = "minimal2") {
+  engine::Request request;
+  request.kernel = kernel;
+  request.machine = agu::builtin_machine(machine);
+  request.layout = engine::kAutoStrategy;
+  request.strategy = engine::kAutoStrategy;
+  request.stop_after = engine::Stage::kPlan;
+  return request;
+}
+
+/// The reference winner: brute-force the fixed grid through a fresh
+/// engine and take the minimum cost, ties to the first candidate in
+/// canonical (layout-major registration) order.
+std::pair<std::string, int> reference_winner(const engine::Request& base) {
+  const engine::StrategyRegistry& registry =
+      engine::StrategyRegistry::builtin();
+  engine::Engine engine(engine::Engine::Options{0});
+  std::string winner;
+  int best = std::numeric_limits<int>::max();
+  for (const std::string& layout : registry.layout_names()) {
+    for (const std::string& strategy : registry.allocation_names()) {
+      engine::Request request = base;
+      request.layout = layout;
+      request.strategy = strategy;
+      const engine::Result result = engine.run(request);
+      if (result.ok() && result.allocation_cost < best) {
+        best = result.allocation_cost;
+        winner = layout + "/" + strategy;
+      }
+    }
+  }
+  return {winner, best};
+}
+
+/// Every structural invariant one PortfolioReport must satisfy.
+void check_report(const engine::PortfolioReport& report) {
+  std::size_t launched = 0, cancelled = 0, skipped = 0, winners = 0;
+  for (const engine::RacerReport& racer : report.racers) {
+    const int states = (racer.completed ? 1 : 0) + (racer.cancelled ? 1 : 0) +
+                       (racer.skipped ? 1 : 0) + (racer.ok() ? 0 : 1);
+    EXPECT_LE(states, 1) << racer.layout << "/" << racer.strategy;
+    if (!racer.skipped) ++launched;
+    if (racer.cancelled) ++cancelled;
+    if (racer.skipped) ++skipped;
+    if (racer.winner) {
+      ++winners;
+      EXPECT_TRUE(racer.completed);
+      EXPECT_EQ(racer.layout, report.winner_layout);
+      EXPECT_EQ(racer.strategy, report.winner_strategy);
+    }
+  }
+  EXPECT_EQ(launched, report.launched);
+  EXPECT_EQ(cancelled, report.cancelled);
+  EXPECT_EQ(skipped, report.skipped);
+  EXPECT_EQ(winners, 1u);
+}
+
+TEST(Portfolio, WinnerMatchesBruteForceGrid) {
+  for (const char* name : {"paper_example", "biquad", "matmul"}) {
+    const ir::Kernel kernel = ir::builtin_kernel(name);
+    const engine::Request request = auto_request(kernel);
+    const auto [expected_pair, expected_cost] = reference_winner(request);
+
+    engine::Engine engine(engine::Engine::Options{0});
+    engine::PortfolioOptions options;
+    options.learn = false;
+    engine::Portfolio portfolio(engine, options);
+    engine::PortfolioReport report;
+    const engine::Result result = portfolio.run(request, &report);
+    ASSERT_TRUE(result.ok()) << result.error->message;
+    EXPECT_EQ(report.winner_layout + "/" + report.winner_strategy,
+              expected_pair)
+        << name;
+    EXPECT_EQ(result.allocation_cost, expected_cost) << name;
+    check_report(report);
+  }
+}
+
+TEST(Portfolio, WinnerIdenticalAcrossJobsLevels) {
+  const ir::Kernel kernel = ir::builtin_kernel("fft_butterfly");
+  const engine::Request request = auto_request(kernel);
+  std::string first_winner;
+  int first_cost = 0;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4},
+                                 std::size_t{8}}) {
+    engine::Engine engine(engine::Engine::Options{0});
+    engine::PortfolioOptions options;
+    options.jobs = jobs;
+    options.learn = false;
+    engine::Portfolio portfolio(engine, options);
+    engine::PortfolioReport report;
+    const engine::Result result = portfolio.run(request, &report);
+    ASSERT_TRUE(result.ok()) << "jobs=" << jobs;
+    check_report(report);
+    const std::string winner =
+        report.winner_layout + "/" + report.winner_strategy;
+    if (jobs == 1) {
+      first_winner = winner;
+      first_cost = result.allocation_cost;
+    } else {
+      EXPECT_EQ(winner, first_winner) << "jobs=" << jobs;
+      EXPECT_EQ(result.allocation_cost, first_cost) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(Portfolio, TiesBreakToCanonicalCandidateOrder) {
+  // On the paper example several pairs tie at the minimum cost; the
+  // winner must be the first of them in layout-major registry order —
+  // which is also what the brute-force reference (same iteration
+  // order, strict <) selects.
+  const ir::Kernel kernel = ir::builtin_kernel("paper_example");
+  const engine::Request request = auto_request(kernel);
+  const auto [expected_pair, expected_cost] = reference_winner(request);
+
+  engine::Engine engine(engine::Engine::Options{0});
+  engine::PortfolioOptions options;
+  options.learn = false;
+  engine::Portfolio portfolio(engine, options);
+  engine::PortfolioReport report;
+  const engine::Result result = portfolio.run(request, &report);
+  ASSERT_TRUE(result.ok());
+  std::size_t ties = 0;
+  for (const engine::RacerReport& racer : report.racers) {
+    if (racer.completed && racer.cost == expected_cost) ++ties;
+  }
+  EXPECT_GE(ties, 2u) << "kernel no longer exercises the tie-break";
+  EXPECT_EQ(report.winner_layout + "/" + report.winner_strategy,
+            expected_pair);
+}
+
+TEST(Portfolio, OneAxisAutoRacesOnlyThatAxis) {
+  const ir::Kernel kernel = ir::builtin_kernel("biquad");
+  engine::Request request = auto_request(kernel);
+  request.layout = "contiguous";
+  ASSERT_TRUE(engine::Portfolio::is_auto(request));
+
+  engine::Engine engine(engine::Engine::Options{0});
+  engine::PortfolioOptions options;
+  options.learn = false;
+  engine::Portfolio portfolio(engine, options);
+  engine::PortfolioReport report;
+  const engine::Result result = portfolio.run(request, &report);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(report.racers.size(),
+            engine::StrategyRegistry::builtin().allocation_names().size());
+  EXPECT_EQ(report.winner_layout, "contiguous");
+  check_report(report);
+}
+
+TEST(Portfolio, FixedRequestIsAPlainEngineCall) {
+  const ir::Kernel kernel = ir::builtin_kernel("fir");
+  engine::Request request = auto_request(kernel);
+  request.layout = "contiguous";
+  request.strategy = "two-phase";
+  EXPECT_FALSE(engine::Portfolio::is_auto(request));
+
+  engine::Engine engine(engine::Engine::Options{0});
+  engine::Portfolio portfolio(engine);
+  engine::PortfolioReport report;
+  const engine::Result result = portfolio.run(request, &report);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(report.racers.size(), 1u);
+  EXPECT_EQ(portfolio.stats().races, 0u);
+  EXPECT_EQ(engine.metrics()->counter("engine.portfolio.races").value(), 0u);
+}
+
+TEST(Portfolio, DeadlineRaceStaysSoundAndAnchorFinishes) {
+  // A 1ms budget on the largest builtin kernel: whether any racer is
+  // actually skipped is machine-dependent, but the result must stay a
+  // valid winner, the canonical-first anchor must never be cancelled
+  // or skipped (sequential race, no learned seed), and the report must
+  // stay structurally consistent.
+  const ir::Kernel kernel = ir::builtin_kernel("filter2d_3x3");
+  const engine::Request request = auto_request(kernel);
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    engine::Engine engine(engine::Engine::Options{0});
+    engine::PortfolioOptions options;
+    options.jobs = jobs;
+    options.learn = false;
+    options.race_budget_ms = 1;
+    engine::Portfolio portfolio(engine, options);
+    engine::PortfolioReport report;
+    const engine::Result result = portfolio.run(request, &report);
+    ASSERT_TRUE(result.ok()) << "jobs=" << jobs;
+    check_report(report);
+    if (jobs == 1) {
+      EXPECT_TRUE(report.racers.front().completed);
+    }
+    // The winner is the cost minimum over everything that completed —
+    // cancelled and skipped racers never outrank it.
+    for (const engine::RacerReport& racer : report.racers) {
+      if (racer.completed) {
+        EXPECT_GE(racer.cost, result.allocation_cost);
+      }
+    }
+  }
+}
+
+TEST(Portfolio, PerRunBudgetOverridesConstructedDeadline) {
+  const ir::Kernel kernel = ir::builtin_kernel("fir");
+  const engine::Request request = auto_request(kernel);
+  engine::Engine engine(engine::Engine::Options{0});
+  engine::PortfolioOptions options;
+  options.learn = false;
+  options.race_budget_ms = 1;
+  engine::Portfolio portfolio(engine, options);
+  engine::PortfolioReport report;
+  // Overriding with 0 disables the deadline: nothing may be skipped.
+  const engine::Result result = portfolio.run(request, &report, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(report.skipped, 0u);
+  check_report(report);
+}
+
+TEST(Portfolio, SecondIdenticalRequestShortCircuitsToOneStrategy) {
+  const ir::Kernel kernel = ir::builtin_kernel("biquad");
+  const engine::Request request = auto_request(kernel);
+  engine::Engine engine(engine::Engine::Options{0});
+  engine::Portfolio portfolio(engine);  // learn on, confidence 1
+  obs::Registry& metrics = *engine.metrics();
+
+  engine::PortfolioReport cold;
+  ASSERT_TRUE(portfolio.run(request, &cold).ok());
+  EXPECT_FALSE(cold.short_circuit);
+  EXPECT_FALSE(cold.learned_hit);
+  EXPECT_FALSE(cold.feature_key.empty());
+  const std::uint64_t launched_after_race =
+      metrics.counter("engine.portfolio.racers_launched").value();
+  EXPECT_EQ(launched_after_race, cold.launched);
+
+  engine::PortfolioReport warm;
+  const engine::Result result = portfolio.run(request, &warm);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(warm.short_circuit);
+  EXPECT_TRUE(warm.learned_hit);
+  EXPECT_EQ(warm.launched, 1u);
+  EXPECT_EQ(warm.racers.size(), 1u);
+  EXPECT_EQ(warm.winner_layout, cold.winner_layout);
+  EXPECT_EQ(warm.winner_strategy, cold.winner_strategy);
+  // Exactly one more strategy executed, through the portfolio's own
+  // metrics: the acceptance check of the learned hot path.
+  EXPECT_EQ(metrics.counter("engine.portfolio.racers_launched").value(),
+            launched_after_race + 1);
+  EXPECT_EQ(metrics.counter("engine.portfolio.short_circuits").value(), 1u);
+  EXPECT_EQ(metrics.counter("engine.portfolio.races").value(), 1u);
+
+  const engine::PortfolioStats stats = portfolio.stats();
+  EXPECT_EQ(stats.races, 1u);
+  EXPECT_EQ(stats.short_circuits, 1u);
+  EXPECT_EQ(stats.learned_entries, 1u);
+}
+
+TEST(Portfolio, ReraceIntervalForcesPeriodicFullRace) {
+  const ir::Kernel kernel = ir::builtin_kernel("dotprod");
+  const engine::Request request = auto_request(kernel);
+  engine::Engine engine(engine::Engine::Options{0});
+  engine::PortfolioOptions options;
+  options.rerace_interval = 2;
+  engine::Portfolio portfolio(engine, options);
+
+  ASSERT_TRUE(portfolio.run(request).ok());  // race 1 (learns)
+  engine::PortfolioReport report;
+  ASSERT_TRUE(portfolio.run(request, &report).ok());  // short-circuit 1
+  EXPECT_TRUE(report.short_circuit);
+  ASSERT_TRUE(portfolio.run(request, &report).ok());  // short-circuit 2
+  EXPECT_TRUE(report.short_circuit);
+  ASSERT_TRUE(portfolio.run(request, &report).ok());  // drift re-race
+  EXPECT_FALSE(report.short_circuit);
+  EXPECT_TRUE(report.reraced);
+  ASSERT_TRUE(portfolio.run(request, &report).ok());  // uses reset: SC again
+  EXPECT_TRUE(report.short_circuit);
+
+  const engine::PortfolioStats stats = portfolio.stats();
+  EXPECT_EQ(stats.races, 2u);
+  EXPECT_EQ(stats.short_circuits, 3u);
+  EXPECT_EQ(stats.reraces, 1u);
+  EXPECT_EQ(engine.metrics()->counter("engine.portfolio.reraces").value(),
+            1u);
+}
+
+TEST(Portfolio, LearnOffNeverShortCircuits) {
+  const ir::Kernel kernel = ir::builtin_kernel("fir");
+  const engine::Request request = auto_request(kernel);
+  engine::Engine engine(engine::Engine::Options{0});
+  engine::PortfolioOptions options;
+  options.learn = false;
+  engine::Portfolio portfolio(engine, options);
+
+  engine::PortfolioReport report;
+  ASSERT_TRUE(portfolio.run(request, &report).ok());
+  ASSERT_TRUE(portfolio.run(request, &report).ok());
+  EXPECT_FALSE(report.short_circuit);
+  EXPECT_FALSE(report.learned_hit);
+  const engine::PortfolioStats stats = portfolio.stats();
+  EXPECT_EQ(stats.races, 2u);
+  EXPECT_EQ(stats.short_circuits, 0u);
+  EXPECT_EQ(stats.learned_entries, 0u);
+}
+
+TEST(Portfolio, LessonPersistsThroughTheResultStore) {
+  const std::string path = testing::TempDir() + "dspaddr_portfolio_store";
+  std::remove(path.c_str());
+  const ir::Kernel kernel = ir::builtin_kernel("biquad");
+  const engine::Request request = auto_request(kernel);
+
+  std::string winner;
+  {
+    store::ResultStore::Options store_options;
+    store_options.path = path;
+    engine::Engine::Options engine_options;
+    engine_options.store =
+        std::make_shared<store::ResultStore>(store_options);
+    engine::Engine engine(engine_options);
+    engine::Portfolio portfolio(engine);
+    engine::PortfolioReport report;
+    ASSERT_TRUE(portfolio.run(request, &report).ok());
+    EXPECT_FALSE(report.short_circuit);
+    winner = report.winner_layout + "/" + report.winner_strategy;
+  }
+
+  // A fresh process image over the same log: the very first identical
+  // request short-circuits off the persisted lesson (no race at all).
+  store::ResultStore::Options store_options;
+  store_options.path = path;
+  engine::Engine::Options engine_options;
+  engine_options.store = std::make_shared<store::ResultStore>(store_options);
+  engine::Engine engine(engine_options);
+  engine::Portfolio portfolio(engine);
+  engine::PortfolioReport report;
+  const engine::Result result = portfolio.run(request, &report);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(report.short_circuit);
+  EXPECT_TRUE(report.learned_hit);
+  EXPECT_EQ(report.winner_layout + "/" + report.winner_strategy, winner);
+  const engine::PortfolioStats stats = portfolio.stats();
+  EXPECT_EQ(stats.races, 0u);
+  EXPECT_EQ(stats.short_circuits, 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dspaddr

@@ -618,5 +618,85 @@ TEST(Serve, MetricsCsvIsWrittenOnExit) {
   std::remove(csv_path.c_str());
 }
 
+TEST(Serve, AutoStrategyRacesAndLearnsAcrossRequests) {
+  // One worker, so the requests are strictly sequential: the first
+  // auto request runs a full race, the identical second one
+  // short-circuits to the learned winner and answers byte-identically.
+  cli::ServeOptions options;
+  options.jobs = 1;
+  const std::vector<std::string> lines = serve_lines(
+      "{\"id\":1,\"builtin\":\"biquad\",\"registers\":2,"
+      "\"strategy\":\"auto\",\"layout\":\"auto\","
+      "\"stop_after\":\"plan\"}\n"
+      "{\"id\":2,\"builtin\":\"biquad\",\"registers\":2,"
+      "\"strategy\":\"auto\",\"layout\":\"auto\","
+      "\"stop_after\":\"plan\"}\n"
+      "{\"stats\":true}\n",
+      options);
+  ASSERT_EQ(lines.size(), 3u);
+  const JsonValue first = JsonValue::parse(lines[0]);
+  ASSERT_EQ(first.find("error"), nullptr) << lines[0];
+  // The answer carries the resolved winner, not the literal "auto".
+  EXPECT_NE(first.find("strategy")->as_string(), "auto");
+  EXPECT_NE(first.find("layout")->as_string(), "auto");
+  const std::string strip_id_first = lines[0].substr(lines[0].find(','));
+  const std::string strip_id_second = lines[1].substr(lines[1].find(','));
+  EXPECT_EQ(strip_id_first, strip_id_second);
+
+  const JsonValue stats = JsonValue::parse(lines[2]);
+  const JsonValue* portfolio = stats.find("stats")->find("portfolio");
+  ASSERT_NE(portfolio, nullptr) << lines[2];
+  EXPECT_EQ(portfolio->find("races")->as_int(), 1);
+  EXPECT_EQ(portfolio->find("short_circuits")->as_int(), 1);
+  EXPECT_EQ(portfolio->find("reraces")->as_int(), 0);
+  EXPECT_EQ(portfolio->find("learned_entries")->as_int(), 1);
+}
+
+TEST(Serve, PortfolioMetricsAppearInTheRegistry) {
+  const std::vector<std::string> lines = serve_lines(
+      "{\"builtin\":\"fir\",\"strategy\":\"auto\","
+      "\"stop_after\":\"plan\"}\n"
+      "{\"metrics\":true}\n");
+  ASSERT_EQ(lines.size(), 2u);
+  const JsonValue metrics = JsonValue::parse(lines[1]);
+  const JsonValue* counters = metrics.find("metrics")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("engine.portfolio.races")->as_int(), 1);
+  EXPECT_GE(counters->find("engine.portfolio.racers_launched")->as_int(),
+            1);
+}
+
+TEST(Serve, RaceBudgetRequiresAnAutoAxis) {
+  const std::vector<std::string> lines = serve_lines(
+      "{\"id\":1,\"builtin\":\"fir\",\"race_budget_ms\":5}\n"
+      "{\"id\":2,\"builtin\":\"fir\",\"strategy\":\"auto\","
+      "\"race_budget_ms\":0,\"stop_after\":\"plan\"}\n");
+  ASSERT_EQ(lines.size(), 2u);
+  const JsonValue fixed = JsonValue::parse(lines[0]);
+  ASSERT_NE(fixed.find("error"), nullptr) << lines[0];
+  EXPECT_EQ(fixed.find("error")->find("stage")->as_string(), "request");
+  const JsonValue raced = JsonValue::parse(lines[1]);
+  EXPECT_EQ(raced.find("error"), nullptr) << lines[1];
+  EXPECT_NE(raced.find("strategy")->as_string(), "auto");
+}
+
+TEST(Serve, AutoRequestsStayDeterministicAcrossJobs) {
+  const std::string fixture =
+      "{\"builtin\":\"paper_example\",\"registers\":2,"
+      "\"strategy\":\"auto\",\"layout\":\"auto\","
+      "\"stop_after\":\"plan\"}\n";
+  cli::ServeOptions serial;
+  serial.jobs = 1;
+  const std::vector<std::string> one = serve_lines(fixture, serial);
+  cli::ServeOptions parallel;
+  parallel.jobs = 4;
+  const std::vector<std::string> four = serve_lines(fixture, parallel);
+  ASSERT_EQ(one.size(), 1u);
+  ASSERT_EQ(four.size(), 1u);
+  // One request per session: the race winner (and so the whole answer)
+  // is independent of the worker count.
+  EXPECT_EQ(one[0], four[0]);
+}
+
 }  // namespace
 }  // namespace dspaddr

@@ -267,6 +267,111 @@ TEST(Store, ConcurrentGetAndAppendAreSafe) {
   EXPECT_EQ(db.stats().records, 32u + kWriters * kPerWriter);
 }
 
+// --------------------------------------------------------- compaction
+
+TEST(StoreCompaction, OpenRewritesLogWhenDeadBytesExceedThreshold) {
+  const std::string path = temp_path("compact.log");
+  {
+    store::ResultStore db(store_options(path));
+    for (int round = 0; round < 8; ++round) {
+      for (int key = 0; key < 4; ++key) {
+        db.append("key-" + std::to_string(key),
+                  "value-" + std::to_string(key) + "-round-" +
+                      std::to_string(round));
+      }
+    }
+    // 7 of 8 rounds are shadowed dead weight.
+    EXPECT_GT(db.stats().shadowed_bytes, 0u);
+    EXPECT_EQ(db.stats().compactions, 0u);
+  }
+  const std::uint64_t fat_size = read_bytes(path).size();
+
+  store::ResultStore::Options options = store_options(path);
+  options.compact_min_bytes = 1;  // any dead byte triggers the rewrite
+  store::ResultStore db(options);
+  const store::StoreStats stats = db.stats();
+  EXPECT_EQ(stats.compactions, 1u);
+  EXPECT_GT(stats.compacted_bytes, 0u);
+  EXPECT_EQ(stats.shadowed_bytes, 0u);
+  EXPECT_EQ(stats.records, 4u);
+  EXPECT_LT(stats.bytes, fat_size);
+  EXPECT_EQ(read_bytes(path).size(), stats.bytes);
+  // Every key still resolves to its most recent value.
+  for (int key = 0; key < 4; ++key) {
+    const std::optional<std::string> value =
+        db.get("key-" + std::to_string(key));
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, "value-" + std::to_string(key) + "-round-7");
+  }
+  // Appends after the rewrite land on a clean frame boundary.
+  db.append("key-0", "post-compact");
+  EXPECT_EQ(db.get("key-0").value(), "post-compact");
+}
+
+TEST(StoreCompaction, CleanLogBelowThresholdIsLeftAlone) {
+  const std::string path = temp_path("compact_clean.log");
+  {
+    store::ResultStore db(store_options(path));
+    for (int key = 0; key < 4; ++key) {
+      db.append("key-" + std::to_string(key), "value");
+    }
+  }
+  const std::string before = read_bytes(path);
+
+  // No shadowed records: even a 1-byte threshold must not rewrite.
+  store::ResultStore::Options options = store_options(path);
+  options.compact_min_bytes = 1;
+  store::ResultStore db(options);
+  EXPECT_EQ(db.stats().compactions, 0u);
+  EXPECT_EQ(db.stats().records, 4u);
+  EXPECT_EQ(read_bytes(path), before);
+}
+
+TEST(StoreCompaction, DefaultThresholdIgnoresSmallShadowing) {
+  const std::string path = temp_path("compact_small.log");
+  {
+    store::ResultStore db(store_options(path));
+    db.append("key", "first");
+    db.append("key", "second");
+  }
+  // A few dead bytes are nowhere near the 1 MiB default threshold.
+  store::ResultStore db(store_options(path));
+  EXPECT_EQ(db.stats().compactions, 0u);
+  EXPECT_GT(db.stats().shadowed_bytes, 0u);
+  EXPECT_EQ(db.get("key").value(), "second");
+}
+
+TEST(StoreCompaction, CompactedLogRoundTripsByteIdenticalReads) {
+  const std::string path = temp_path("compact_identity.log");
+  std::vector<std::string> expected;
+  {
+    store::ResultStore db(store_options(path));
+    for (int key = 0; key < 16; ++key) {
+      db.append("stale-" + std::to_string(key), std::string(64, 'x'));
+    }
+    for (int key = 0; key < 16; ++key) {
+      const std::string value =
+          "payload-" + std::to_string(key) + "-" +
+          std::string(static_cast<std::size_t>(key) * 7, 'y');
+      db.append("stale-" + std::to_string(key), value);
+      expected.push_back(value);
+    }
+  }
+  store::ResultStore::Options options = store_options(path);
+  options.compact_min_bytes = 1;
+  store::ResultStore compacted(options);
+  ASSERT_EQ(compacted.stats().compactions, 1u);
+  for (int key = 0; key < 16; ++key) {
+    EXPECT_EQ(compacted.get("stale-" + std::to_string(key)).value(),
+              expected[static_cast<std::size_t>(key)]);
+  }
+  // And the rewritten file is itself a clean, recoverable log.
+  store::ResultStore reopened(store_options(path));
+  EXPECT_EQ(reopened.stats().records, 16u);
+  EXPECT_EQ(reopened.stats().truncated_bytes, 0u);
+  EXPECT_EQ(reopened.stats().shadowed_bytes, 0u);
+}
+
 // ------------------------------------------------------ engine two-tier
 
 engine::Request fir_request() {
