@@ -23,11 +23,18 @@
 //  * the scaling table — prefixes of the unrolled stencil at growing N
 //    under a fixed wall-clock budget, sequential vs parallel, with the
 //    max proven N per jobs level and a gate (the parallel solver must
-//    prove at least as deep as the sequential one). Pass
-//    --scaling-csv=PATH to also write the rows (nodes/sec, max proven
-//    N) as a CSV artifact for CI.
+//    prove at least as deep as the sequential one);
+//  * the steal table — the deep-unbalanced skewed-strided family at
+//    jobs 1/2/8, reporting splits, steals, the steal rate and the
+//    worker-idle fraction, with a throughput gate (jobs=8 must match
+//    jobs=1 nodes/sec on hosts with >= 4 hardware threads — this is
+//    the workload work-stealing exists for).
+// Pass --scaling-csv=PATH to also write every scaling and steal row
+// (nodes/sec, max proven N, steal diagnostics) as one CSV artifact for
+// CI, and --quick to shrink the tables to a CI-budget smoke run.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -35,6 +42,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "baselines/baselines.hpp"
 #include "core/allocator.hpp"
@@ -52,13 +60,20 @@ namespace {
 
 using namespace dspaddr;
 
+// --quick shrinks every table to a CI-budget smoke run: same gates,
+// same output markers, fewer sizes and trials.
+bool g_quick = false;
+
 void print_gap_table() {
-  constexpr std::size_t kTrials = 40;
+  const std::size_t kTrials = g_quick ? 10 : 40;
   const core::CostModel model{1, core::WrapPolicy::kCyclic};
 
   support::Table table({"N", "K", "naive", "heuristic", "optimal",
                         "heuristic optimal in", "captured"});
-  for (const std::size_t n : {8u, 10u, 12u, 14u}) {
+  const std::vector<std::size_t> sizes =
+      g_quick ? std::vector<std::size_t>{8, 12}
+              : std::vector<std::size_t>{8, 10, 12, 14};
+  for (const std::size_t n : sizes) {
     for (const std::size_t k : {2u, 3u}) {
       support::RunningStats naive_stats, heuristic_stats, optimal_stats;
       std::size_t hit_optimal = 0;
@@ -111,7 +126,7 @@ void print_gap_table() {
 }
 
 void print_solver_table() {
-  constexpr std::size_t kTrials = 10;
+  const std::size_t kTrials = g_quick ? 3 : 10;
   // Enough for the pruned search on every instance below; the legacy
   // DFS aborts on most N >= 16 instances under the same cap.
   constexpr std::uint64_t kNodeCap = 3'000'000;
@@ -120,7 +135,10 @@ void print_solver_table() {
   support::Table table({"N", "K", "family", "solved old", "solved new",
                         "nodes old", "nodes new", "node reduction"});
   std::size_t cost_mismatches = 0;
-  for (const std::size_t n : {12u, 16u, 20u}) {
+  const std::vector<std::size_t> sizes =
+      g_quick ? std::vector<std::size_t>{12, 16}
+              : std::vector<std::size_t>{12, 16, 20};
+  for (const std::size_t n : sizes) {
     for (const std::size_t k : {2u, 4u}) {
       for (const eval::PatternFamily family :
            {eval::PatternFamily::kUniform,
@@ -264,16 +282,84 @@ void print_workload_ladder() {
             << hw << ".\n\n";
 }
 
-/// One scaling measurement: the exact solver on an N-access prefix of
-/// the unrolled stencil at a fixed wall-clock budget.
+/// One scaling measurement: the exact solver on one instance (workload
+/// prefix or generated pattern) at a fixed wall-clock budget. Rows
+/// from the scaling and steal tables share the CSV artifact.
 struct ScalingRow {
+  std::string workload;
   std::size_t n = 0;
   std::size_t jobs = 0;
   core::ExactResult result;
   double nodes_per_sec = 0.0;
+  double wall_seconds = 0.0;
+  std::size_t max_proven_n = 0;
 };
 
-void print_scaling_table(const std::string& csv_path) {
+/// Stolen-per-donated ratio: how much of the published work thieves
+/// actually picked up (the rest was popped back by the donor).
+double steal_rate(const core::ExactResult& result) {
+  return result.splits == 0
+             ? 0.0
+             : static_cast<double>(result.steals) /
+                   static_cast<double>(result.splits);
+}
+
+/// Fraction of worker-seconds the pool spent parked rather than
+/// searching: 1 - busy / (jobs * wall). Negative clamp guards clock
+/// granularity. Meaningless for the sequential path (no pool).
+double idle_fraction(const ScalingRow& row) {
+  if (row.jobs <= 1 || row.wall_seconds <= 0.0) {
+    return 0.0;
+  }
+  const double busy =
+      static_cast<double>(row.result.worker_busy_us) / 1e6;
+  const double capacity =
+      static_cast<double>(row.jobs) * row.wall_seconds;
+  return std::max(0.0, 1.0 - busy / capacity);
+}
+
+void write_scaling_csv(const std::string& csv_path,
+                       const std::vector<ScalingRow>& rows) {
+  if (csv_path.empty()) return;
+  support::CsvWriter csv({"workload", "n", "k", "jobs", "budget_ms",
+                          "proven", "cost", "lower_bound", "nodes",
+                          "nodes_per_sec", "subtree_tasks", "splits",
+                          "steals", "steal_attempts", "steal_rate",
+                          "idle_frac", "table_cap_hits",
+                          "max_proven_n"});
+  for (const ScalingRow& row : rows) {
+    csv.add_row({
+        row.workload,
+        std::to_string(row.n),
+        "3",
+        std::to_string(row.jobs),
+        std::to_string(kWorkloadBudgetMs),
+        row.result.proven ? "yes" : "no",
+        std::to_string(row.result.cost),
+        std::to_string(row.result.lower_bound),
+        std::to_string(row.result.nodes),
+        support::format_fixed(row.nodes_per_sec, 0),
+        std::to_string(row.result.subtree_tasks),
+        std::to_string(row.result.splits),
+        std::to_string(row.result.steals),
+        std::to_string(row.result.steal_attempts),
+        support::format_fixed(steal_rate(row.result), 3),
+        support::format_fixed(idle_fraction(row), 3),
+        std::to_string(row.result.table_cap_hits),
+        std::to_string(row.max_proven_n),
+    });
+  }
+  std::ofstream out(csv_path);
+  if (!out.good()) {
+    std::cerr << "cannot write scaling CSV to " << csv_path << "\n";
+    std::exit(1);
+  }
+  csv.write(out);
+  std::cout << "scaling CSV written to " << csv_path << " ("
+            << rows.size() << " rows)\n\n";
+}
+
+void print_scaling_table(std::vector<ScalingRow>& csv_rows) {
   constexpr std::size_t kRegisters = 3;
   const char* kWorkload = "stencil3x3_unroll8.kern";
   const core::CostModel model{1, core::WrapPolicy::kCyclic};
@@ -286,7 +372,10 @@ void print_scaling_table(const std::string& csv_path) {
   std::size_t cost_mismatches = 0;
   support::Table table({"N", "jobs", "proven", "cost", "nodes",
                         "nodes/sec", "subtree tasks"});
-  for (const std::size_t n : {24u, 32u, 40u, 48u, 56u, 64u, 72u}) {
+  const std::vector<std::size_t> sizes =
+      g_quick ? std::vector<std::size_t>{24, 40, 56}
+              : std::vector<std::size_t>{24, 32, 40, 48, 56, 64, 72};
+  for (const std::size_t n : sizes) {
     if (n > full.size()) continue;
     const ir::AccessSequence seq = sequence_prefix(full, n);
     ScalingRow seq_row, par_row;
@@ -297,17 +386,19 @@ void print_scaling_table(const std::string& csv_path) {
       options.jobs = jobs;
       const auto start = std::chrono::steady_clock::now();
       ScalingRow row;
+      row.workload = kWorkload;
       row.n = n;
       row.jobs = jobs;
       row.result =
           core::exact_min_cost_allocation(seq, model, kRegisters, options);
-      const double seconds =
+      row.wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
               .count();
       row.nodes_per_sec =
-          seconds > 0.0 ? static_cast<double>(row.result.nodes) / seconds
-                        : 0.0;
+          row.wall_seconds > 0.0
+              ? static_cast<double>(row.result.nodes) / row.wall_seconds
+              : 0.0;
       if (row.result.proven) {
         if (jobs == 1) {
           max_proven_seq = std::max(max_proven_seq, n);
@@ -358,35 +449,125 @@ void print_scaling_table(const std::string& csv_path) {
               << " < sequential " << max_proven_seq << " (REGRESSION)\n\n";
   }
 
-  if (csv_path.empty()) return;
-  support::CsvWriter csv({"workload", "n", "k", "jobs", "budget_ms",
-                          "proven", "cost", "lower_bound", "nodes",
-                          "nodes_per_sec", "subtree_tasks",
-                          "table_cap_hits", "max_proven_n"});
-  for (const ScalingRow& row : rows) {
-    csv.add_row({
-        kWorkload,
-        std::to_string(row.n),
-        std::to_string(kRegisters),
-        std::to_string(row.jobs),
-        std::to_string(kWorkloadBudgetMs),
-        row.result.proven ? "yes" : "no",
-        std::to_string(row.result.cost),
-        std::to_string(row.result.lower_bound),
-        std::to_string(row.result.nodes),
-        support::format_fixed(row.nodes_per_sec, 0),
-        std::to_string(row.result.subtree_tasks),
-        std::to_string(row.result.table_cap_hits),
-        std::to_string(row.jobs == 1 ? max_proven_seq : max_proven_par),
-    });
+  for (ScalingRow& row : rows) {
+    row.max_proven_n = row.jobs == 1 ? max_proven_seq : max_proven_par;
+    csv_rows.push_back(std::move(row));
   }
-  std::ofstream out(csv_path);
-  if (!out.good()) {
-    std::cerr << "cannot write scaling CSV to " << csv_path << "\n";
-    std::exit(1);
+}
+
+/// The work-stealing table: the deep-unbalanced skewed-strided family
+/// (long dominant ramps, rare far jumps — one subtree dwarfs its
+/// siblings, so a static decomposition starves every worker but one)
+/// at jobs 1, 2 and 8, with the schedule diagnostics that show the
+/// scheduler actually moved work: splits, steals, the steal rate and
+/// the worker-idle fraction.
+void print_steal_table(std::vector<ScalingRow>& csv_rows) {
+  constexpr std::size_t kRegisters = 3;
+  const core::CostModel model{1, core::WrapPolicy::kCyclic};
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  support::Table table({"N", "jobs", "proven", "cost", "nodes",
+                        "nodes/sec", "splits", "steals", "steal rate",
+                        "idle frac"});
+  std::size_t cost_mismatches = 0;
+  double seq_nodes_per_sec = 0.0;
+  double par_nodes_per_sec = 0.0;
+  std::size_t measurements = 0;
+  const std::vector<std::size_t> sizes =
+      g_quick ? std::vector<std::size_t>{28, 34}
+              : std::vector<std::size_t>{28, 34, 40};
+  for (const std::size_t n : sizes) {
+    support::Rng rng(0x57EA1 ^ (n * 7919));
+    eval::PatternSpec spec;
+    spec.accesses = n;
+    spec.offset_range = 8;
+    spec.family = eval::PatternFamily::kSkewedStrided;
+    const ir::AccessSequence seq = eval::generate_pattern(spec, rng);
+
+    int proven_cost = 0;
+    bool have_proven_cost = false;
+    for (const std::size_t jobs :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      core::ExactOptions options;
+      options.time_budget_ms = kWorkloadBudgetMs;
+      options.max_nodes = 1'000'000'000;
+      options.jobs = jobs;
+      const auto start = std::chrono::steady_clock::now();
+      ScalingRow row;
+      row.workload = "skewed-strided";
+      row.n = n;
+      row.jobs = jobs;
+      row.result =
+          core::exact_min_cost_allocation(seq, model, kRegisters, options);
+      row.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      row.nodes_per_sec =
+          row.wall_seconds > 0.0
+              ? static_cast<double>(row.result.nodes) / row.wall_seconds
+              : 0.0;
+      if (row.result.proven) {
+        if (have_proven_cost && row.result.cost != proven_cost) {
+          ++cost_mismatches;
+        }
+        proven_cost = row.result.cost;
+        have_proven_cost = true;
+        row.max_proven_n = n;
+      }
+      if (jobs == 1) {
+        seq_nodes_per_sec += row.nodes_per_sec;
+        ++measurements;
+      } else if (jobs == 8) {
+        par_nodes_per_sec += row.nodes_per_sec;
+      }
+      table.add_row({
+          std::to_string(n),
+          std::to_string(jobs),
+          row.result.proven ? "yes" : "no",
+          std::to_string(row.result.cost),
+          std::to_string(row.result.nodes),
+          support::format_fixed(row.nodes_per_sec / 1e6, 2) + "M",
+          std::to_string(row.result.splits),
+          std::to_string(row.result.steals),
+          support::format_fixed(steal_rate(row.result), 2),
+          jobs == 1 ? "-" : support::format_fixed(idle_fraction(row), 2),
+      });
+      csv_rows.push_back(std::move(row));
+    }
   }
-  csv.write(out);
-  std::cout << "scaling CSV written to " << csv_path << "\n\n";
+
+  const double seq_mean =
+      measurements > 0 ? seq_nodes_per_sec / measurements : 0.0;
+  const double par_mean =
+      measurements > 0 ? par_nodes_per_sec / measurements : 0.0;
+  std::cout << "Work-stealing on deep-unbalanced skewed-strided trees "
+               "(K = "
+            << kRegisters << ", M = 1, " << kWorkloadBudgetMs
+            << " ms budget, " << hw << " hardware threads)\n\n";
+  table.write(std::cout);
+  std::cout << "\nsteal rate = steals / splits (thief pickup share); "
+               "idle frac = parked worker-seconds / capacity.\n";
+  std::cout << "proven-cost mismatches across jobs levels: "
+            << cost_mismatches << " (must be 0)\n";
+  std::cout << "mean nodes/sec: jobs=1 "
+            << support::format_fixed(seq_mean / 1e6, 2) << "M, jobs=8 "
+            << support::format_fixed(par_mean / 1e6, 2) << "M\n";
+  // The CI gate: with real cores behind the pool, stealing must not
+  // lose throughput on the very family it targets. Single-core hosts
+  // time-slice the workers, so the gate is informational there.
+  if (cost_mismatches == 0 && par_mean >= seq_mean) {
+    std::cout << "steal scaling gate: jobs=8 nodes/sec >= jobs=1 (OK)\n\n";
+  } else if (hw < 4) {
+    std::cout << "steal scaling gate not enforced (" << hw
+              << " hardware threads)\n\n";
+  } else {
+    std::cout << "steal scaling gate: jobs=8 "
+              << support::format_fixed(par_mean / 1e6, 2)
+              << "M < jobs=1 "
+              << support::format_fixed(seq_mean / 1e6, 2)
+              << "M nodes/sec (REGRESSION)\n\n";
+  }
 }
 
 void BM_ExactAllocator(benchmark::State& state) {
@@ -425,14 +606,16 @@ BENCHMARK(BM_ExactAllocatorLegacy)->Arg(8)->Arg(12)->Arg(16);
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Pull out our own flag before Google Benchmark sees (and rejects)
-  // it.
+  // Pull out our own flags before Google Benchmark sees (and rejects)
+  // them.
   std::string scaling_csv;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     constexpr const char* kFlag = "--scaling-csv=";
     if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
       scaling_csv = argv[i] + std::strlen(kFlag);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      g_quick = true;
     } else {
       argv[kept++] = argv[i];
     }
@@ -442,7 +625,15 @@ int main(int argc, char** argv) {
   print_gap_table();
   print_solver_table();
   print_workload_ladder();
-  print_scaling_table(scaling_csv);
+  std::vector<ScalingRow> csv_rows;
+  print_scaling_table(csv_rows);
+  print_steal_table(csv_rows);
+  write_scaling_csv(scaling_csv, csv_rows);
+  if (g_quick) {
+    // The microbenchmarks add nothing the tables have not already
+    // gated on; skip them inside the CI time budget.
+    return 0;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -227,6 +227,15 @@ RunOptions parse_run_options(const std::vector<std::string>& args) {
       options.phase2 = parse_phase2_mode(value);
     } else if (match_flag(arg, "--phase2-jobs", cursor, value)) {
       options.phase2_jobs = parse_size(value, "--phase2-jobs", 1);
+    } else if (match_flag(arg, "--phase2-steal-grain", cursor, value)) {
+      options.phase2_steal_grain =
+          parse_size(value, "--phase2-steal-grain", 1);
+    } else if (match_flag(arg, "--phase2-window", cursor, value)) {
+      if (value == "auto") {
+        options.phase2_window_auto = true;
+      } else {
+        options.phase2_window = parse_size(value, "--phase2-window", 8);
+      }
     } else if (match_flag(arg, "--time-budget-ms", cursor, value)) {
       options.time_budget_ms = parse_int(value, "--time-budget-ms", 0);
     } else if (match_flag(arg, "--jobs", cursor, value)) {
@@ -286,6 +295,15 @@ BatchOptions parse_batch_options(const std::vector<std::string>& args) {
       options.phase2 = parse_phase2_mode(value);
     } else if (match_flag(arg, "--phase2-jobs", cursor, value)) {
       options.phase2_jobs = parse_size(value, "--phase2-jobs", 1);
+    } else if (match_flag(arg, "--phase2-steal-grain", cursor, value)) {
+      options.phase2_steal_grain =
+          parse_size(value, "--phase2-steal-grain", 1);
+    } else if (match_flag(arg, "--phase2-window", cursor, value)) {
+      if (value == "auto") {
+        options.phase2_window_auto = true;
+      } else {
+        options.phase2_window = parse_size(value, "--phase2-window", 8);
+      }
     } else if (match_flag(arg, "--time-budget-ms", cursor, value)) {
       options.time_budget_ms = parse_int(value, "--time-budget-ms", 0);
     } else if (match_flag(arg, "--race-budget-ms", cursor, value)) {

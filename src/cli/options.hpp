@@ -70,9 +70,17 @@ struct RunOptions {
   /// Wall-clock budget of the exact phase-2 search; 0 = node cap only.
   std::int64_t time_budget_ms = 0;
   /// Worker threads of the phase-2 search itself (not the grid runner's
-  /// --jobs): > 1 fans subtree tasks onto a TaskPool. Costs are
+  /// --jobs): > 1 runs the search on a work-stealing pool. Costs are
   /// identical at any level; node counts may vary.
   std::size_t phase2_jobs = 1;
+  /// Donated-subtree grain of the parallel phase-2 search
+  /// (--phase2-steal-grain); 0 = the built-in default. Tuning it never
+  /// changes costs.
+  std::size_t phase2_steal_grain = 0;
+  /// Tiled window width (--phase2-window): 0 keeps the default fixed
+  /// width; N >= 8 sets it; "auto" enables per-window auto-tuning.
+  std::size_t phase2_window = 0;
+  bool phase2_window_auto = false;
   /// Racers in flight when a layout/strategy axis is "auto". The
   /// winner is identical at any level; only the wall clock moves.
   std::size_t jobs = default_jobs();
@@ -127,6 +135,13 @@ struct BatchOptions {
   /// --jobs parallelizes across rows instead). Costs are identical at
   /// any level, so the CSV cost columns never depend on it.
   std::size_t phase2_jobs = 1;
+  /// Donated-subtree grain of each row's parallel phase-2 search
+  /// (--phase2-steal-grain); 0 = the built-in default.
+  std::size_t phase2_steal_grain = 0;
+  /// Tiled window width (--phase2-window): 0 = default fixed width,
+  /// N >= 8 sets it, "auto" tunes per window.
+  std::size_t phase2_window = 0;
+  bool phase2_window_auto = false;
   OutputFormat format = OutputFormat::kCsv;
   /// Output file; empty = stdout.
   std::string output_path;

@@ -123,10 +123,20 @@ std::string report_to_text(const engine::Result& report, bool show_program) {
     if (report.stats.phase2_windows > 0) {
       out << "; tiled " << report.stats.phase2_windows_proven << "/"
           << report.stats.phase2_windows << " window(s) proven";
+      if (!report.stats.phase2_window_widths.empty()) {
+        out << ", widths";
+        for (const std::size_t width : report.stats.phase2_window_widths) {
+          out << ' ' << width;
+        }
+      }
     }
     if (report.stats.phase2_subtree_tasks > 0) {
       out << ", " << report.stats.phase2_subtree_tasks
           << " subtree task(s)";
+    }
+    if (report.stats.phase2_steals > 0) {
+      out << ", " << report.stats.phase2_steals << " steal(s) over "
+          << report.stats.phase2_splits << " split(s)";
     }
     if (report.stats.phase2_table_cap_hits > 0) {
       out << ", " << report.stats.phase2_table_cap_hits

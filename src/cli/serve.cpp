@@ -37,7 +37,8 @@ constexpr const char* kKnownKeys[] = {
     "kernel",      "machine",    "machine_file",
     "machine_spec", "registers", "modify_range",
     "modify_registers", "iterations", "phase2",
-    "phase2_jobs", "time_budget_ms", "stop_after",
+    "phase2_jobs", "phase2_steal_grain", "phase2_window",
+    "time_budget_ms", "stop_after",
     "layout",      "strategy",   "race_budget_ms",
 };
 
@@ -150,6 +151,21 @@ engine::Request request_from_json(const JsonValue& json,
   // unless a request opts in.
   request.phase2.jobs =
       static_cast<std::size_t>(int_field(json, "phase2_jobs", 1, 1));
+  request.phase2.steal_grain =
+      static_cast<std::size_t>(int_field(json, "phase2_steal_grain", 0, 0));
+  // "phase2_window": a width (>= 8) or the string "auto" — the same
+  // surface as the CLI's --phase2-window.
+  if (const JsonValue* window = json.find("phase2_window")) {
+    if (window->is_string()) {
+      check_arg(window->as_string() == "auto",
+                "phase2_window: expected a width >= 8 or \"auto\"");
+      request.phase2.tile_width_auto = true;
+    } else {
+      const std::int64_t width = window->as_int();
+      check_arg(width >= 8, "phase2_window: expected a width >= 8");
+      request.phase2.tile_width = static_cast<std::size_t>(width);
+    }
+  }
   request.phase2.time_budget_ms = int_field(json, "time_budget_ms", 0, 0);
   if (const JsonValue* stop_after = json.find("stop_after")) {
     const std::optional<engine::Stage> stage =

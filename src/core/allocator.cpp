@@ -111,6 +111,7 @@ Allocation RegisterAllocator::run(const ir::AccessSequence& seq) const {
     options.max_nodes = phase2.max_nodes;
     options.time_budget_ms = phase2.time_budget_ms;
     options.jobs = phase2.jobs;
+    options.steal_grain = phase2.steal_grain;
     options.warm_start = paths;
     options.abort = phase2.abort;
     const auto search_start = std::chrono::steady_clock::now();
@@ -127,6 +128,9 @@ Allocation RegisterAllocator::run(const ir::AccessSequence& seq) const {
     stats.phase2_gap = exact.gap();
     stats.phase2_table_cap_hits = exact.table_cap_hits;
     stats.phase2_subtree_tasks = exact.subtree_tasks;
+    stats.phase2_steals = exact.steals;
+    stats.phase2_steal_attempts = exact.steal_attempts;
+    stats.phase2_splits = exact.splits;
     stats.phase2_external_abort = exact.external_abort;
     if (search_seconds > 0.0) {
       stats.phase2_nodes_per_sec =
@@ -142,9 +146,11 @@ Allocation RegisterAllocator::run(const ir::AccessSequence& seq) const {
     TiledOptions options;
     options.tile_width = phase2.tile_width;
     options.tile_overlap = phase2.tile_overlap;
+    options.auto_width = phase2.tile_width_auto;
     options.max_nodes = phase2.max_nodes;
     options.time_budget_ms = phase2.time_budget_ms;
     options.jobs = phase2.jobs;
+    options.steal_grain = phase2.steal_grain;
     options.abort = phase2.abort;
     const auto search_start = std::chrono::steady_clock::now();
     const TiledResult tiled = tiled_min_cost_allocation(
@@ -162,8 +168,12 @@ Allocation RegisterAllocator::run(const ir::AccessSequence& seq) const {
     stats.phase2_gap = tiled.proven ? 0 : tiled.window_gap_total;
     stats.phase2_table_cap_hits = tiled.table_cap_hits;
     stats.phase2_subtree_tasks = tiled.subtree_tasks;
+    stats.phase2_steals = tiled.steals;
+    stats.phase2_steal_attempts = tiled.steal_attempts;
+    stats.phase2_splits = tiled.splits;
     stats.phase2_windows = tiled.windows;
     stats.phase2_windows_proven = tiled.windows_proven;
+    stats.phase2_window_widths = tiled.window_widths;
     stats.phase2_external_abort = tiled.external_abort;
     if (search_seconds > 0.0) {
       stats.phase2_nodes_per_sec =

@@ -54,12 +54,20 @@ struct Phase2Options {
   /// 0 when byte-identical reruns matter (batch determinism).
   std::int64_t time_budget_ms = 0;
   /// Worker threads of the phase-2 search (ExactOptions::jobs): 1 runs
-  /// the exact sequential search, > 1 fans subtree tasks onto a
-  /// TaskPool. Proven costs are identical at any level.
+  /// the exact sequential search, > 1 runs it on a work-stealing pool
+  /// (runtime::StealPool). Proven costs are identical at any level.
   std::size_t jobs = 1;
+  /// Minimum unassigned-suffix length of a donated subtree when
+  /// `jobs > 1` (ExactOptions::steal_grain); 0 uses the built-in
+  /// default. Any value yields the same proven cost.
+  std::size_t steal_grain = 0;
   /// Window geometry of kTiled (TiledOptions).
   std::size_t tile_width = 20;
   std::size_t tile_overlap = 6;
+  /// kTiled window-width auto-tuning (TiledOptions::auto_width,
+  /// `--phase2-window=auto`): start at `tile_width`, then re-size each
+  /// window from the previous one's measured search effort.
+  bool tile_width_auto = false;
   /// External cancellation, forwarded to the exact/tiled phase-2 solve
   /// (core::SearchAbortHook). A cancelled solve keeps the heuristic
   /// allocation (or the best incumbent) and reports
@@ -120,9 +128,17 @@ struct AllocationStats {
   /// at its entry cap (insertion refused) — nonzero means a larger
   /// table could have pruned more (ExactResult::table_cap_hits).
   std::uint64_t phase2_table_cap_hits = 0;
-  /// Subtree tasks the parallel search fanned onto the pool (0 for a
-  /// sequential solve).
+  /// Tasks the parallel search's work-stealing pool executed — the
+  /// root plus every donated subtree (0 for a sequential solve;
+  /// schedule-dependent above jobs = 1, unlike the cost/proof).
   std::uint64_t phase2_subtree_tasks = 0;
+  /// Work-stealing diagnostics of the parallel phase-2 search: subtrees
+  /// donated by busy workers (`splits`), tasks stolen by idle workers
+  /// (`steals`), and victim-deque probes (`steal_attempts`). All
+  /// exactly 0 at jobs = 1 and schedule-dependent above it.
+  std::uint64_t phase2_steals = 0;
+  std::uint64_t phase2_steal_attempts = 0;
+  std::uint64_t phase2_splits = 0;
   /// Search throughput of the phase-2 solve (0 when it did not run).
   /// Wall-clock derived — diagnostic only, never serialized into
   /// byte-compared outputs.
@@ -131,6 +147,10 @@ struct AllocationStats {
   /// their boundary (both 0 outside kTiled).
   std::size_t phase2_windows = 0;
   std::size_t phase2_windows_proven = 0;
+  /// Tiled mode: the width of each swept window in order — constant
+  /// for a fixed-width sweep, the tuner's choices under
+  /// `tile_width_auto` (empty outside kTiled).
+  std::vector<std::size_t> phase2_window_widths;
   /// True when Phase2Options::abort cancelled the phase-2 solve
   /// (portfolio racing). Such a result is a valid allocation but not a
   /// contender — the engine never caches or persists it.

@@ -5,7 +5,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <mutex>
 #include <optional>
@@ -15,7 +14,7 @@
 
 #include "core/bounds.hpp"
 #include "core/validate.hpp"
-#include "runtime/task_pool.hpp"
+#include "runtime/steal_pool.hpp"
 #include "support/check.hpp"
 
 namespace dspaddr::core {
@@ -32,15 +31,12 @@ constexpr std::size_t kDefaultTableCap = std::size_t{1} << 21;
 /// Covers the whole builtin machine catalog (max K = 8).
 constexpr std::size_t kMaxDominanceRegisters = 8;
 
-/// The parallel frontier targets this many subtree tasks per worker —
-/// enough slack for the pool to balance uneven subtrees.
-constexpr std::size_t kFrontierTasksPerJob = 8;
-
-/// Breadth-first frontier expansion stops at this depth below the
-/// pinned prefix and after this many expansions — the tree is wide
-/// enough long before either limit on any instance worth fanning out.
-constexpr std::size_t kMaxFrontierDepth = 32;
-constexpr std::size_t kMaxFrontierExpansions = 4096;
+/// Default ExactOptions::steal_grain: a donated subtree must still
+/// have at least this many accesses to assign. Small enough that work
+/// remains stealable close to the leaves of a skewed tree, large
+/// enough that a stolen task amortizes its replay + scheduling cost
+/// over hundreds of nodes.
+constexpr std::size_t kDefaultStealGrain = 8;
 
 /// Fixed-size, allocation-free transposition key: the next access in
 /// words[0], then one (first << 32 | last) word per used register in
@@ -70,14 +66,6 @@ using Clock = std::chrono::steady_clock;
 using Table = std::unordered_map<StateKey, int, StateKeyHash>;
 
 constexpr std::size_t kUnassigned = std::numeric_limits<std::size_t>::max();
-
-/// A suspended search node of the breadth-first frontier expansion:
-/// the register of every access in [0, prefix.size()) plus the partial
-/// cost of those transitions.
-struct FrontierEntry {
-  std::vector<std::size_t> prefix;
-  int cost = 0;
-};
 
 /// Transposition table shared by every subtree task of a parallel
 /// solve, striped-mutexed so pruning decisions see the states *all*
@@ -138,7 +126,9 @@ struct SearchContext {
         use_dominance(opts.use_dominance &&
                       register_count <= kMaxDominanceRegisters),
         legacy(!opts.use_bounds && !opts.use_dominance),
-        max_nodes(opts.max_nodes) {
+        max_nodes(opts.max_nodes),
+        steal_grain(opts.steal_grain == 0 ? kDefaultStealGrain
+                                          : opts.steal_grain) {
     // Only the bounded solver reads the O(N^2) tables; the legacy
     // baseline must not pay for (or benefit from) their construction.
     if (options.use_bounds) {
@@ -200,24 +190,39 @@ struct SearchContext {
   /// the problem and the bound value).
   int root_lb = 0;
 
-  /// Frozen dominance shard from the frontier expansion, read-only
-  /// during the parallel phase (lookups only — no cross-task writes).
-  const Table* frozen_table = nullptr;
   /// Cross-task dominance table of the parallel phase (null for a
   /// sequential solve, which keeps its faster lock-free private table).
   SharedTable* shared_table = nullptr;
+  /// Work-stealing pool of a parallel solve (null sequentially). A
+  /// searcher polls pool->hungry() every ~1024 nodes and donates its
+  /// shallowest untried subtrees while workers are starving.
+  runtime::StealPool* pool = nullptr;
+  /// Minimum unassigned-suffix length of a donated subtree.
+  const std::size_t steal_grain;
 };
+
+/// Runs one pinned-prefix subtree task on the shared context. This is
+/// the steal boundary: a solve that was cancelled (externally via
+/// SearchAbortHook, or by budget/clock) must not start stolen
+/// subtrees, so both flags are checked before any node is expanded —
+/// a raced portfolio loser dies here instead of burning a 1024-node
+/// cadence per stolen task.
+void search_subtree(SearchContext& ctx, const std::vector<std::size_t>& prefix);
 
 /// One flat branch-and-bound task: an explicit frame stack over a move
 /// arena explores every completion of a pinned prefix — no recursion,
 /// no per-node allocation. Node counts flush to the shared context
-/// every 1024 nodes; the wall clock and the cross-task abort flag are
-/// checked at the same cadence, while the node cap is checked per node
-/// (so `max_nodes = 10` still aborts after exactly 10 nodes
-/// sequentially). A sequential solve owns a private lock-free
+/// every 1024 nodes; the wall clock, the cross-task abort flag and the
+/// pool's hunger signal are checked at the same cadence, while the
+/// node cap is checked per node (so `max_nodes = 10` still aborts
+/// after exactly 10 nodes sequentially). When the pool reports hungry
+/// workers the searcher donates its shallowest untried subtrees: the
+/// last candidate move of a shallow frame is removed from the owner's
+/// range and republished as a pinned-prefix task, so the owner and the
+/// thief partition the tree exactly — no node is searched twice and
+/// none is lost. A sequential solve owns a private lock-free
 /// transposition table; parallel tasks share the context's striped
-/// table (and read the frozen root shard), so nothing unsynchronized
-/// is written cross-task.
+/// table, so nothing unsynchronized is written cross-task.
 class Searcher {
  public:
   Searcher(SearchContext& ctx, std::size_t table_cap)
@@ -237,57 +242,6 @@ class Searcher {
       loop();
     }
     flush();
-  }
-
-  /// Expands one frontier entry in place of searching it: performs the
-  /// visit steps on the entry's own node (bound, count, leaf,
-  /// dominance against the expansion-shared `table`), then appends one
-  /// child entry per surviving move. Returns false when the solve
-  /// aborted (budget or clock).
-  bool expand(const FrontierEntry& entry, Table* table,
-              std::deque<FrontierEntry>& queue) {
-    if (ctx_.aborted.load(std::memory_order_relaxed)) return false;
-    const int cost = replay_prefix(entry.prefix);
-    const std::size_t next = entry.prefix.size();
-    if (lower_bound(next, cost) >=
-        ctx_.best_cost.load(std::memory_order_relaxed)) {
-      return true;
-    }
-    if (!count_node()) return false;
-    if (next == n_) {
-      record_leaf(cost);
-      return true;
-    }
-    if (table != nullptr) {
-      const StateKey key = state_key(next);
-      const auto it = table->find(key);
-      if (it != table->end()) {
-        if (it->second <= cost) return true;
-        it->second = cost;
-      } else if (table->size() < table_cap_) {
-        table->emplace(key, cost);
-      } else {
-        ++local_cap_hits_;
-      }
-    }
-    push_frame(next, cost);
-    const Frame frame = frames_.back();
-    for (std::uint32_t m = frame.move_begin; m < frame.move_end; ++m) {
-      FrontierEntry child;
-      child.prefix = entry.prefix;
-      child.prefix.push_back(arena_[m].reg);
-      child.cost = cost + arena_[m].step;
-      queue.push_back(std::move(child));
-    }
-    frames_.pop_back();
-    arena_.resize(frame.move_begin);
-    return true;
-  }
-
-  /// Canonical transposition key of a replayed prefix (frontier dedup).
-  StateKey key_of_prefix(const std::vector<std::size_t>& prefix) {
-    replay_prefix(prefix);
-    return state_key(prefix.size());
   }
 
   /// Publishes any locally buffered node / cap-hit counts.
@@ -419,19 +373,12 @@ class Searcher {
 
   /// True when the subtree can be cut because the same state was
   /// already reached at no higher cost; records the new cost
-  /// otherwise. The frozen root shard is consulted read-only: a hit
-  /// there means another task owns that subtree. Parallel tasks share
-  /// one striped table (every sibling's states prune here too);
-  /// a sequential solve keeps its lock-free private table.
+  /// otherwise. Parallel tasks share one striped table (every
+  /// sibling's states prune here too); a sequential solve keeps its
+  /// lock-free private table.
   bool dominated(std::size_t next, int cost) {
     if (!ctx_.use_dominance) return false;
     const StateKey key = state_key(next);
-    if (ctx_.frozen_table != nullptr) {
-      const auto frozen = ctx_.frozen_table->find(key);
-      if (frozen != ctx_.frozen_table->end() && frozen->second <= cost) {
-        return true;
-      }
-    }
     if (ctx_.shared_table != nullptr) {
       return ctx_.shared_table->dominated(key, cost, local_cap_hits_);
     }
@@ -449,8 +396,9 @@ class Searcher {
     return false;
   }
 
-  /// Per-node accounting: the node cap is exact, the wall clock and
-  /// the cross-task abort flag are read every 1024 nodes.
+  /// Per-node accounting: the node cap is exact; the wall clock, the
+  /// cross-task abort flag and the pool's hunger signal are read every
+  /// 1024 nodes.
   bool count_node() {
     ++local_nodes_;
     if (flushed_total_ + local_nodes_ > ctx_.max_nodes) {
@@ -473,8 +421,46 @@ class Searcher {
         aborted_ = true;
         return false;
       }
+      if (ctx_.pool != nullptr && ctx_.pool->hungry()) {
+        donate_subtrees();
+      }
     }
     return true;
+  }
+
+  /// Feeds starving workers: scanning from the shallowest frame — the
+  /// biggest pending subtrees — republish the *last* untried move of
+  /// any frame whose subtree still has at least `steal_grain`
+  /// unassigned accesses as a stealable pinned-prefix task, removing
+  /// it from the owner's candidate range. Taking from the cheap-first
+  /// range's tail keeps the owner on the likeliest-best moves; the
+  /// shallow-first scan makes stolen work as large as possible.
+  /// Donation mutates only this searcher's own frames, so it is safe
+  /// at any point of the flat loop.
+  void donate_subtrees() {
+    runtime::StealPool& pool = *ctx_.pool;
+    for (std::size_t f = 0; f < frames_.size() && pool.hungry(); ++f) {
+      Frame& frame = frames_[f];
+      if (n_ - frame.next < ctx_.steal_grain) {
+        break;  // deeper frames have even shorter suffixes
+      }
+      while (frame.move_cursor < frame.move_end && pool.hungry()) {
+        --frame.move_end;
+        const Move move = arena_[frame.move_end];
+        // Accesses [0, frame.next) are all assigned (each shallower
+        // frame has its move applied), and a fresh move's register
+        // index was fixed against exactly this prefix at push time —
+        // so the donated prefix is a valid fresh-rule pin.
+        std::vector<std::size_t> prefix(
+            assignment_.begin(),
+            assignment_.begin() + static_cast<std::ptrdiff_t>(frame.next));
+        prefix.push_back(move.reg);
+        SearchContext& ctx = ctx_;
+        pool.donate([&ctx, donated = std::move(prefix)] {
+          search_subtree(ctx, donated);
+        });
+      }
+    }
   }
 
   void abort_solve() {
@@ -633,6 +619,19 @@ class Searcher {
   bool aborted_ = false;
 };
 
+void search_subtree(SearchContext& ctx,
+                    const std::vector<std::size_t>& prefix) {
+  if (ctx.aborted.load(std::memory_order_relaxed)) return;
+  if (ctx.options.abort.armed() &&
+      ctx.options.abort.should_abort(ctx.root_lb)) {
+    ctx.external_abort.store(true, std::memory_order_relaxed);
+    ctx.aborted.store(true, std::memory_order_relaxed);
+    return;
+  }
+  Searcher searcher(ctx, ctx.table_cap);
+  searcher.run(prefix);
+}
+
 /// Cheap left-to-right sweep (place each access on the register with
 /// the cheapest transition, honoring any pinned prefix) to start the
 /// search with a finite incumbent; dramatically improves pruning.
@@ -729,85 +728,38 @@ void seed_incumbent_with_warm_start(SearchContext& ctx) {
   ctx.best_assignment = std::move(assignment);
 }
 
-/// Fans the shallow frontier onto a TaskPool: a deterministic
-/// breadth-first expansion (always the shallowest entry, the same
-/// move order as the search) grows the root into ~8 subtree tasks per
-/// worker, the expansion's dominance shard is frozen read-only, and
-/// every task searches its pinned prefix against the shared incumbent.
-/// Returns the task count (0 when the expansion finished the search by
-/// itself).
-std::uint64_t run_parallel(SearchContext& ctx, std::size_t jobs) {
-  const std::size_t target = jobs * kFrontierTasksPerJob;
-  const std::size_t depth_limit =
-      ctx.options.pinned_prefix.size() + kMaxFrontierDepth;
-
-  std::deque<FrontierEntry> queue;
-  queue.push_back(FrontierEntry{ctx.options.pinned_prefix, 0});
-  Table expansion_table;
-  Table* expansion = ctx.use_dominance ? &expansion_table : nullptr;
-  Searcher scout(ctx, ctx.table_cap);
-  std::size_t expansions = 0;
-  bool expansion_aborted = false;
-  while (!queue.empty() && queue.size() < target &&
-         expansions < kMaxFrontierExpansions &&
-         queue.front().prefix.size() < depth_limit) {
-    const FrontierEntry entry = std::move(queue.front());
-    queue.pop_front();
-    ++expansions;
-    if (!scout.expand(entry, expansion, queue)) {
-      expansion_aborted = true;
-      break;
-    }
-  }
-  scout.flush();
-  if (expansion_aborted || queue.empty()) return 0;
-
-  // Distinct prefixes can reach identical states; their subtrees are
-  // isomorphic, so keep only the cheapest task per state (first wins
-  // ties — deterministic).
-  std::vector<FrontierEntry> tasks(std::make_move_iterator(queue.begin()),
-                                   std::make_move_iterator(queue.end()));
-  if (ctx.use_dominance) {
-    std::unordered_map<StateKey, std::size_t, StateKeyHash> seen;
-    std::vector<FrontierEntry> unique;
-    unique.reserve(tasks.size());
-    for (FrontierEntry& entry : tasks) {
-      const StateKey key = scout.key_of_prefix(entry.prefix);
-      const auto [it, inserted] = seen.emplace(key, unique.size());
-      if (inserted) {
-        unique.push_back(std::move(entry));
-      } else if (entry.cost < unique[it->second].cost) {
-        unique[it->second] = std::move(entry);
-      }
-    }
-    tasks = std::move(unique);
-  }
-
-  // Cheapest prefixes first: the likeliest improvements to the greedy
-  // incumbent are found early, so expensive subtrees prune at their
-  // root. Deterministic (stable order on cost ties).
-  std::stable_sort(tasks.begin(), tasks.end(),
-                   [](const FrontierEntry& a, const FrontierEntry& b) {
-                     return a.cost < b.cost;
-                   });
-
+/// Runs the solve on a work-stealing pool: one root task explores the
+/// whole tree, and donation (Searcher::donate_subtrees, driven by
+/// StealPool::hungry()) keeps carving stealable subtrees off busy
+/// workers for as long as any worker is starving — so deep unbalanced
+/// trees rebalance continuously instead of once at the root. All
+/// tasks share the incumbent, node budget and a striped transposition
+/// table. Fills the pool's schedule-dependent diagnostics into
+/// `result`; the proven cost is identical at any jobs level.
+void run_parallel(SearchContext& ctx, std::size_t jobs,
+                  ExactResult& result) {
   SharedTable shared(ctx.table_cap);
-  ctx.frozen_table = expansion;
   if (ctx.use_dominance) ctx.shared_table = &shared;
   {
-    runtime::TaskPool pool(std::min(jobs, tasks.size()), tasks.size());
-    for (const FrontierEntry& entry : tasks) {
-      pool.submit([&ctx, &entry] {
-        Searcher searcher(ctx, ctx.table_cap);
-        searcher.run(entry.prefix);
-      });
-    }
-    pool.shutdown();
+    runtime::StealPool pool(jobs);
+    ctx.pool = &pool;
+    std::vector<std::size_t> root = ctx.options.pinned_prefix;
+    pool.submit([&ctx, seed = std::move(root)] {
+      search_subtree(ctx, seed);
+    });
+    pool.wait_done();
+    // All tasks have finished, so no worker can donate or read the
+    // pool pointer anymore.
+    ctx.pool = nullptr;
+    const runtime::StealPoolStats stats = pool.stats();
+    result.subtree_tasks = stats.executed;
+    result.steals = stats.steals;
+    result.steal_attempts = stats.steal_attempts;
+    result.splits = stats.donated;
+    result.worker_busy_us = stats.busy_us;
     pool.rethrow_first_failure();
   }
   ctx.shared_table = nullptr;
-  ctx.frozen_table = nullptr;
-  return tasks.size();
 }
 
 ExactResult run_search(const ir::AccessSequence& seq, const CostModel& model,
@@ -821,7 +773,7 @@ ExactResult run_search(const ir::AccessSequence& seq, const CostModel& model,
   const int root_lb =
       ctx.bounds.has_value() ? ctx.bounds->root_lower_bound(registers) : 0;
   ctx.root_lb = root_lb;
-  std::uint64_t subtree_tasks = 0;
+  ExactResult result;
   if (!options.use_bounds ||
       ctx.best_cost.load(std::memory_order_relaxed) > root_lb) {
     // An externally cancelled racer dies before its first node — not
@@ -836,19 +788,17 @@ ExactResult run_search(const ir::AccessSequence& seq, const CostModel& model,
         Searcher searcher(ctx, ctx.table_cap);
         searcher.run(options.pinned_prefix);
       } else {
-        subtree_tasks = run_parallel(ctx, jobs);
+        run_parallel(ctx, jobs, result);
       }
     }
   }
 
-  ExactResult result;
   result.proven = !ctx.aborted.load(std::memory_order_relaxed);
   result.nodes = ctx.nodes.load(std::memory_order_relaxed);
   result.cost = ctx.best_cost.load(std::memory_order_relaxed);
   result.lower_bound =
       result.proven ? result.cost : std::min(root_lb, result.cost);
   result.table_cap_hits = ctx.cap_hits.load(std::memory_order_relaxed);
-  result.subtree_tasks = subtree_tasks;
   result.external_abort = ctx.external_abort.load(std::memory_order_relaxed);
   std::vector<std::vector<std::size_t>> groups(registers);
   for (std::size_t i = 0; i < seq.size(); ++i) {

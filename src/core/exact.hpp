@@ -28,12 +28,17 @@
 //    already-seen state at no lower cost;
 //  * move ordering: cheapest transition first, so good incumbents
 //    appear early and the incumbent bound bites sooner.
-// With `jobs > 1` the shallow frontier is expanded breadth-first
-// (deterministically) into subtree tasks fanned onto a
-// runtime::TaskPool sharing an atomic incumbent: the *cost* of the
+// With `jobs > 1` the search runs on a work-stealing
+// runtime::StealPool: one root task explores the tree, and whenever
+// the pool reports hungry workers a busy searcher donates its
+// shallowest untried subtree (as a pinned prefix, at least
+// `steal_grain` accesses deep) onto its own deque for an idle worker
+// to steal — so deep unbalanced trees keep every worker fed instead of
+// idling after a one-shot frontier wave. All tasks share the atomic
+// incumbent and a striped transposition table: the *cost* of the
 // result (and the proof) is identical at any jobs level, while the
-// witness assignment may differ among cost ties and node counts vary
-// with scheduling.
+// witness assignment may differ among cost ties and node / steal /
+// split counts vary with scheduling.
 // The search is *anytime*: it is seeded with a greedy incumbent (or the
 // caller's warm start), honors node and wall-clock budgets, and on
 // abort returns the best incumbent with `proven == false` and the
@@ -97,10 +102,18 @@ struct ExactOptions {
   /// K > 8, where the fixed-size state key no longer fits).
   bool use_dominance = true;
   /// Worker threads of the search itself. 1 (the default) runs the
-  /// exact sequential search; > 1 fans the shallow frontier onto a
-  /// TaskPool. Proven costs are identical at any level; the witness
-  /// assignment may differ among cost ties and node counts vary.
+  /// exact sequential search; > 1 runs it on a work-stealing pool
+  /// (runtime::StealPool) seeded with one root task that donates
+  /// subtrees on demand. Proven costs are identical at any level; the
+  /// witness assignment may differ among cost ties and node counts
+  /// vary.
   std::size_t jobs = 1;
+  /// Minimum unassigned-suffix length of a donated subtree: a busy
+  /// worker only splits off subtrees that still have at least this
+  /// many accesses to assign, so stolen tasks carry real work instead
+  /// of scheduler overhead. 0 uses the built-in default (8). Only read
+  /// when `jobs > 1`; any value yields the same proven cost.
+  std::size_t steal_grain = 0;
   /// Transposition-table entry cap; 0 uses the built-in default
   /// (2^21). Lookups past the cap still prune (and are counted in
   /// ExactResult::table_cap_hits), only insertion stops.
@@ -136,10 +149,22 @@ struct ExactResult {
   /// entry cap (insertion refused) — nonzero means a larger table
   /// could have pruned more.
   std::uint64_t table_cap_hits = 0;
-  /// Subtree tasks fanned onto the pool (0 for a sequential solve or
-  /// when the frontier expansion already finished the search). A
-  /// deterministic function of the problem and `jobs`.
+  /// Tasks the work-stealing pool executed: the root task plus every
+  /// donated subtree (0 for a sequential solve). Schedule-dependent at
+  /// `jobs > 1` — donations happen exactly when workers go hungry —
+  /// unlike the cost/proof, which never varies.
   std::uint64_t subtree_tasks = 0;
+  /// Work-stealing diagnostics of a parallel solve, all exactly 0 at
+  /// `jobs == 1` and schedule-dependent above it: subtrees donated by
+  /// busy workers (`splits`), tasks idle workers took from a victim's
+  /// deque (`steals`), and victim-deque probes (`steal_attempts`).
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t splits = 0;
+  /// Wall microseconds workers spent inside tasks, summed across the
+  /// pool (0 sequentially). With the solve's wall time this yields the
+  /// worker-idle fraction; machine-dependent, never serialized.
+  std::uint64_t worker_busy_us = 0;
   /// True when ExactOptions::abort cancelled the search (stop flag
   /// raised, or the root lower bound exceeded the external cost
   /// bound). The incumbent is still valid, just not proven.

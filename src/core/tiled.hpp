@@ -34,10 +34,25 @@ namespace dspaddr::core {
 struct TiledOptions {
   /// Accesses per window (>= 2). Sequences at most this long are
   /// solved as a single window under the real model — a full proof.
+  /// With `auto_width` this is only the starting width.
   std::size_t tile_width = 20;
   /// Accesses shared between consecutive windows (< tile_width); the
   /// overlap is pinned to the previous window's assignment.
   std::size_t tile_overlap = 6;
+  /// Window-width auto-tuning (`--phase2-window=auto`): the sweep
+  /// starts at `tile_width` and re-sizes every subsequent window from
+  /// measured effort — a window that proved using under a quarter of
+  /// its node slice (or, under a wall budget, of the nodes the
+  /// measured nodes/ms says the next slice can afford) widens the
+  /// next one ~50%, an unproven window narrows it ~33% — within
+  /// [min_width, max_width] (clamped to stay above the overlap). The
+  /// chosen widths are reported in TiledResult::window_widths.
+  /// Deterministic for a fixed problem when `time_budget_ms == 0` and
+  /// `jobs == 1`; the wall-clock calibration is machine-dependent by
+  /// nature.
+  bool auto_width = false;
+  std::size_t min_width = 10;
+  std::size_t max_width = 48;
   /// Node budget, split evenly across windows.
   std::uint64_t max_nodes = 2'000'000;
   /// Wall-clock budget in milliseconds (0 disables), split across the
@@ -45,6 +60,9 @@ struct TiledOptions {
   std::int64_t time_budget_ms = 0;
   /// Worker threads of each window's search (ExactOptions::jobs).
   std::size_t jobs = 1;
+  /// Donated-subtree grain of each window's parallel search
+  /// (ExactOptions::steal_grain); 0 uses the built-in default.
+  std::size_t steal_grain = 0;
   /// External cancellation, forwarded to every window's exact solve
   /// (SearchAbortHook). A cancelled sweep keeps the stitched allocation
   /// built so far plus the heuristic completion of the rest.
@@ -61,7 +79,19 @@ struct TiledResult {
   std::uint64_t nodes = 0;
   std::uint64_t table_cap_hits = 0;
   std::uint64_t subtree_tasks = 0;
+  /// Work-stealing diagnostics summed over every window's solve
+  /// (see ExactResult; all 0 at jobs == 1, schedule-dependent above).
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t splits = 0;
+  /// Summed ExactResult::worker_busy_us (machine-dependent, never
+  /// serialized).
+  std::uint64_t worker_busy_us = 0;
   std::size_t windows = 0;
+  /// Width (in accesses, overlap included) of each window the sweep
+  /// actually solved, in order — the auto-tuner's decisions made
+  /// observable (fixed-width sweeps report the constant width).
+  std::vector<std::size_t> window_widths;
   /// Windows whose exact solve completed (proved optimal *within the
   /// window*, given its pinned boundary).
   std::size_t windows_proven = 0;

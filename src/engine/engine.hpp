@@ -192,6 +192,12 @@ struct Phase2Totals {
   std::uint64_t windows = 0;
   std::uint64_t windows_proven = 0;
   std::uint64_t subtree_tasks = 0;
+  /// Work-stealing totals of parallel phase-2 solves. Deterministic at
+  /// phase2_jobs == 1 (exactly 0, like node counts); schedule-dependent
+  /// above it — donations happen exactly when workers go hungry.
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t splits = 0;
 };
 
 /// Thread-safe pipeline runner with a fingerprint-keyed result cache.
@@ -279,6 +285,9 @@ private:
   obs::Counter* phase2_windows_ = nullptr;
   obs::Counter* phase2_windows_proven_ = nullptr;
   obs::Counter* phase2_subtree_tasks_ = nullptr;
+  obs::Counter* phase2_steals_ = nullptr;
+  obs::Counter* phase2_steal_attempts_ = nullptr;
+  obs::Counter* phase2_splits_ = nullptr;
   obs::Counter* store_decode_errors_ = nullptr;
   obs::Counter* store_append_errors_ = nullptr;
 };

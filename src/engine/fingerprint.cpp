@@ -49,16 +49,21 @@ std::string request_fingerprint(const Request& request,
   key += std::to_string(request.phase2.max_nodes);
   key += ',';
   key += std::to_string(request.phase2.time_budget_ms);
-  // The jobs level never changes costs, but the serialized diagnostics
-  // (node counts, subtree tasks) do vary with it — and the tile
-  // geometry changes the allocation itself — so none of them may alias
-  // in the cache.
+  // The jobs level (and steal grain) never changes costs, but the
+  // serialized diagnostics (node counts, subtree tasks, steal counts)
+  // do vary with them — and the tile geometry, auto-width included,
+  // changes the allocation itself — so none of them may alias in the
+  // cache.
   key += ',';
   key += std::to_string(request.phase2.jobs);
+  key += ',';
+  key += std::to_string(request.phase2.steal_grain);
   key += ',';
   key += std::to_string(request.phase2.tile_width);
   key += ',';
   key += std::to_string(request.phase2.tile_overlap);
+  key += ',';
+  key += request.phase2.tile_width_auto ? "auto" : "fixed";
   key += "|stop=";
   key += std::to_string(static_cast<int>(request.stop_after));
   return key;

@@ -123,8 +123,16 @@ JsonValue stats_to_json(const core::AllocationStats& stats) {
   json.set("phase2_gap", from_int(stats.phase2_gap));
   json.set("phase2_table_cap_hits", from_u64(stats.phase2_table_cap_hits));
   json.set("phase2_subtree_tasks", from_u64(stats.phase2_subtree_tasks));
+  json.set("phase2_steals", from_u64(stats.phase2_steals));
+  json.set("phase2_steal_attempts", from_u64(stats.phase2_steal_attempts));
+  json.set("phase2_splits", from_u64(stats.phase2_splits));
   json.set("phase2_windows", from_size(stats.phase2_windows));
   json.set("phase2_windows_proven", from_size(stats.phase2_windows_proven));
+  JsonValue widths = JsonValue::array();
+  for (const std::size_t width : stats.phase2_window_widths) {
+    widths.push_back(from_size(width));
+  }
+  json.set("phase2_window_widths", std::move(widths));
   // phase2_nodes_per_sec is wall-clock derived: never serialized.
   return json;
 }
@@ -163,10 +171,28 @@ core::AllocationStats stats_from_json(const JsonValue& json) {
       static_cast<std::uint64_t>(required("phase2_table_cap_hits").as_int());
   stats.phase2_subtree_tasks =
       static_cast<std::uint64_t>(required("phase2_subtree_tasks").as_int());
+  // Records written before the work-stealing fields existed fail the
+  // required() check above on an *earlier* key only if that key is
+  // also absent; these three are new, so they get the same strict
+  // treatment — a stale store entry decodes as corrupt and the engine
+  // self-heals by recomputing and re-appending.
+  stats.phase2_steals =
+      static_cast<std::uint64_t>(required("phase2_steals").as_int());
+  stats.phase2_steal_attempts =
+      static_cast<std::uint64_t>(required("phase2_steal_attempts").as_int());
+  stats.phase2_splits =
+      static_cast<std::uint64_t>(required("phase2_splits").as_int());
   stats.phase2_windows =
       static_cast<std::size_t>(required("phase2_windows").as_int());
   stats.phase2_windows_proven =
       static_cast<std::size_t>(required("phase2_windows_proven").as_int());
+  const JsonValue& widths = required("phase2_window_widths");
+  check_arg(widths.is_array(),
+            "result codec: 'phase2_window_widths' must be an array");
+  for (const JsonValue& width : widths.items()) {
+    stats.phase2_window_widths.push_back(
+        static_cast<std::size_t>(width.as_int()));
+  }
   return stats;
 }
 

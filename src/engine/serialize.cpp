@@ -60,10 +60,23 @@ JsonValue allocate_stage(const Result& result) {
   phase2.set("nodes", from_u64(result.stats.phase2_nodes));
   phase2.set("table_cap_hits", from_u64(result.stats.phase2_table_cap_hits));
   phase2.set("subtree_tasks", from_u64(result.stats.phase2_subtree_tasks));
+  // Like subtree_tasks and node counts, the work-stealing counters are
+  // schedule-dependent at phase2_jobs > 1 (and exactly 0 at jobs == 1);
+  // the cost/proof fields above never vary with jobs.
+  phase2.set("steals", from_u64(result.stats.phase2_steals));
+  phase2.set("steal_attempts",
+             from_u64(result.stats.phase2_steal_attempts));
+  phase2.set("splits", from_u64(result.stats.phase2_splits));
   phase2.set("windows", from_size(result.stats.phase2_windows));
   phase2.set("windows_proven",
              from_size(result.stats.phase2_windows_proven));
-  // phase2_nodes_per_sec is wall-clock derived and deliberately NOT
+  JsonValue widths = JsonValue::array();
+  for (const std::size_t width : result.stats.phase2_window_widths) {
+    widths.push_back(from_size(width));
+  }
+  phase2.set("window_widths", std::move(widths));
+  // phase2_nodes_per_sec (and the worker busy time behind the bench's
+  // idle fraction) is wall-clock derived and deliberately NOT
   // serialized: responses stay byte-identical across reruns and jobs
   // levels (modulo the documented node-count variance).
   json.set("phase2", std::move(phase2));
@@ -205,6 +218,9 @@ support::JsonValue phase2_totals_to_json(const Phase2Totals& totals) {
   json.set("windows", from_u64(totals.windows));
   json.set("windows_proven", from_u64(totals.windows_proven));
   json.set("subtree_tasks", from_u64(totals.subtree_tasks));
+  json.set("steals", from_u64(totals.steals));
+  json.set("steal_attempts", from_u64(totals.steal_attempts));
+  json.set("splits", from_u64(totals.splits));
   return json;
 }
 

@@ -16,6 +16,8 @@ const char* to_string(PatternFamily family) {
       return "strided";
     case PatternFamily::kSortedNoise:
       return "sorted-noise";
+    case PatternFamily::kSkewedStrided:
+      return "skewed-strided";
   }
   return "unknown";
 }
@@ -85,6 +87,31 @@ ir::AccessSequence generate_pattern(const PatternSpec& spec,
         std::size_t b = rng.index(offsets.size() - 1);
         if (b >= a) ++b;
         std::swap(offsets[a], offsets[b]);
+      }
+      break;
+    }
+    case PatternFamily::kSkewedStrided: {
+      // Three stride-1 ramps anchored at -r, 0 and +r. Each access
+      // continues the current ramp with high probability, but the
+      // switch distribution is skewed: ramp 0 gets most of the stream,
+      // the others only occasional visits. The result is a handful of
+      // long monotone runs broken by large jumps — the "deep
+      // unbalanced tree" workload for the parallel exact solver.
+      const std::size_t ramps = 3;
+      std::vector<std::int64_t> cursor = {-r, 0, r > 0 ? r : 0};
+      std::size_t current = 0;
+      for (auto& offset : offsets) {
+        // 1-in-4 chance to switch ramps; of the switches, three
+        // quarters return to the dominant ramp 0.
+        if (rng.index(4) == 0) {
+          const std::size_t draw = rng.index(8);
+          current = draw < 6 ? 0 : 1 + (draw - 6) % (ramps - 1);
+        }
+        offset = std::clamp(cursor[current], -r, r);
+        ++cursor[current];
+        if (cursor[current] > r) {
+          cursor[current] = -r;  // wrap the ramp inside the range
+        }
       }
       break;
     }

@@ -26,6 +26,12 @@ enum class PatternFamily {
   kStrided,
   /// A sorted ramp with random transpositions (almost-monotone sweeps).
   kSortedNoise,
+  /// A few stride-1 ramps at far-apart bases, interleaved with a heavy
+  /// skew toward one ramp. The far jumps defeat cheap suffix bounds
+  /// early while the dominant ramp keeps one branch much deeper than
+  /// its siblings, so branch-and-bound trees come out deep and
+  /// unbalanced — the workload the work-stealing scheduler is for.
+  kSkewedStrided,
 };
 
 const char* to_string(PatternFamily family);

@@ -1,0 +1,220 @@
+#include "runtime/steal_pool.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace dspaddr::runtime {
+
+namespace {
+
+// Which pool (if any) the current thread is a worker of, and its slot
+// index there. donate() uses this to reach the caller's own deque;
+// a thread can only ever be a worker of one pool at a time.
+thread_local const StealPool* tls_pool = nullptr;
+thread_local std::size_t tls_worker = 0;
+
+}  // namespace
+
+void StealDeque::push_bottom(Task task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  items_.push_back(std::move(task));
+}
+
+bool StealDeque::pop_bottom(Task& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (items_.empty()) {
+    return false;
+  }
+  out = std::move(items_.back());
+  items_.pop_back();
+  return true;
+}
+
+bool StealDeque::steal_top(Task& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (items_.empty()) {
+    return false;
+  }
+  out = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
+std::size_t StealDeque::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+StealPool::StealPool(std::size_t workers) {
+  check_arg(workers >= 1, "StealPool: needs at least one worker");
+  slots_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+StealPool::~StealPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+void StealPool::submit(Task task) {
+  check_arg(task != nullptr, "StealPool: cannot submit an empty task");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    check_arg(!stopping_, "StealPool: submit after shutdown");
+  }
+  const std::size_t target =
+      next_seed_.fetch_add(1, std::memory_order_relaxed) % slots_.size();
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  queued_.fetch_add(1, std::memory_order_relaxed);
+  slots_[target]->deque.push_bottom(std::move(task));
+  // Pairing the notify with the mutex closes the sleep race: a parker
+  // re-checks queued_ under this mutex before waiting, so it either
+  // sees our increment or is already in wait() when we notify.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+  }
+  work_ready_.notify_one();
+}
+
+void StealPool::donate(Task task) {
+  if (tls_pool != this) {
+    submit(std::move(task));
+    return;
+  }
+  donated_.fetch_add(1, std::memory_order_relaxed);
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  queued_.fetch_add(1, std::memory_order_relaxed);
+  slots_[tls_worker]->deque.push_bottom(std::move(task));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+  }
+  work_ready_.notify_one();
+}
+
+bool StealPool::hungry() const {
+  return idle_.load(std::memory_order_relaxed) >
+         queued_.load(std::memory_order_relaxed);
+}
+
+void StealPool::wait_done() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+StealPoolStats StealPool::stats() const {
+  StealPoolStats stats;
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  stats.steal_attempts = steal_attempts_.load(std::memory_order_relaxed);
+  stats.donated = donated_.load(std::memory_order_relaxed);
+  stats.executed = executed_.load(std::memory_order_relaxed);
+  stats.busy_us = busy_us_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::size_t StealPool::failure_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failures_.size();
+}
+
+void StealPool::rethrow_first_failure() {
+  std::exception_ptr first;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!failures_.empty()) {
+      first = failures_.front();
+    }
+  }
+  if (first) {
+    std::rethrow_exception(first);
+  }
+}
+
+bool StealPool::try_steal(std::size_t thief, Task& out) {
+  // Deterministic probe order: the next worker ring-wise, then the
+  // one after, so contention spreads instead of piling on slot 0.
+  for (std::size_t step = 1; step < slots_.size(); ++step) {
+    const std::size_t victim = (thief + step) % slots_.size();
+    steal_attempts_.fetch_add(1, std::memory_order_relaxed);
+    if (slots_[victim]->deque.steal_top(out)) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void StealPool::run_task(Task& task) {
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    failures_.push_back(std::current_exception());
+  }
+  // Release the closure's captures before reporting completion: a
+  // caller returning from wait_done() must not race task destructors.
+  task = nullptr;
+  const auto end = std::chrono::steady_clock::now();
+  busy_us_.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+              .count()),
+      std::memory_order_relaxed);
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    all_done_.notify_all();
+  }
+}
+
+void StealPool::worker_loop(std::size_t index) {
+  tls_pool = this;
+  tls_worker = index;
+  for (;;) {
+    Task task;
+    bool got = slots_[index]->deque.pop_bottom(task);
+    if (!got) {
+      got = try_steal(index, task);
+    }
+    if (got) {
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      run_task(task);
+      continue;
+    }
+    // Nothing anywhere: park. The re-check of queued_ under the mutex
+    // pairs with the notify in submit()/donate(), so a task published
+    // between our failed probes and the wait cannot be slept through.
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_ && queued_.load(std::memory_order_relaxed) == 0) {
+      return;
+    }
+    if (queued_.load(std::memory_order_relaxed) > 0) {
+      continue;  // re-probe without parking
+    }
+    idle_.fetch_add(1, std::memory_order_relaxed);
+    work_ready_.wait(lock, [this] {
+      return stopping_ || queued_.load(std::memory_order_relaxed) > 0;
+    });
+    idle_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace dspaddr::runtime

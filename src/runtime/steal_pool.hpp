@@ -1,0 +1,144 @@
+// runtime::StealPool — a work-stealing pool for irregular tree
+// searches, complementing the FIFO TaskPool. Every worker owns a
+// Chase–Lev-style deque: the owner pushes and pops at the *bottom*
+// (LIFO, so its own work stays depth-first and cache-hot) while idle
+// workers steal from the *top* (FIFO, so a thief takes the oldest —
+// and for a branch-and-bound search the shallowest, largest — donated
+// subtree). Victims are probed in a deterministic order (owner+1,
+// owner+2, … mod N), so the only nondeterminism is which donations
+// exist at steal time, never the probe sequence.
+//
+// The pool is demand-driven: a busy worker consults hungry() — "are
+// more workers idle than tasks queued?" — and donates work only when
+// it would actually be picked up, which keeps task-creation overhead
+// proportional to the number of steals rather than the tree size.
+// Exceptions are captured per task (TaskPool discipline) and
+// rethrow_first_failure() surfaces the earliest one after wait_done().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dspaddr::runtime {
+
+/// One worker's task deque. The owner pushes/pops at the bottom;
+/// thieves take from the top. A small mutex serializes the ends — the
+/// deque holds whole subtree searches, so operations are rare compared
+/// to the work they carry and lock-free CAS choreography would buy
+/// nothing but audit burden here.
+class StealDeque {
+ public:
+  using Task = std::function<void()>;
+
+  /// Owner end: newest work last.
+  void push_bottom(Task task);
+
+  /// Owner end: returns the most recently pushed task, or false when
+  /// the deque is empty.
+  bool pop_bottom(Task& out);
+
+  /// Thief end: returns the oldest task, or false when empty.
+  bool steal_top(Task& out);
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Task> items_;
+};
+
+/// Schedule-dependent counters (meaningful totals, not invariants):
+/// how often workers went hunting, how often they scored, and how
+/// much work was donated. busy_us sums wall time spent inside tasks
+/// across all workers, so 1 - busy_us / (workers * wall_us) is the
+/// pool's idle fraction over a solve.
+struct StealPoolStats {
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t donated = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t busy_us = 0;
+};
+
+class StealPool {
+ public:
+  using Task = std::function<void()>;
+
+  explicit StealPool(std::size_t workers);
+
+  StealPool(const StealPool&) = delete;
+  StealPool& operator=(const StealPool&) = delete;
+
+  /// Finishes every accepted task, then joins.
+  ~StealPool();
+
+  /// Seeds work from outside the pool; tasks are dealt round-robin
+  /// across worker deques. Throws InvalidArgument after shutdown.
+  void submit(Task task);
+
+  /// Called from a worker thread mid-task to publish a stealable
+  /// subtask onto its own deque (falls back to submit() semantics off
+  /// a worker thread). The donation is immediately visible to thieves.
+  void donate(Task task);
+
+  /// True while more workers are idle than tasks are queued — the
+  /// signal a busy worker polls to decide whether donating would
+  /// actually feed anyone. Approximate by design (both counters move
+  /// concurrently); a false positive costs one cheap extra task.
+  bool hungry() const;
+
+  /// Blocks until every accepted task (submitted or donated) has
+  /// finished. Safe to call repeatedly.
+  void wait_done();
+
+  std::size_t worker_count() const { return slots_.size(); }
+
+  StealPoolStats stats() const;
+
+  std::size_t failure_count() const;
+
+  /// Rethrows the earliest captured task exception, if any. Call
+  /// after wait_done(); the failure list is kept across calls.
+  void rethrow_first_failure();
+
+ private:
+  struct Slot {
+    StealDeque deque;
+  };
+
+  void worker_loop(std::size_t index);
+  bool try_steal(std::size_t thief, Task& out);
+  void run_task(Task& task);
+
+  // Stable addresses for per-worker deques.
+  std::vector<std::unique_ptr<Slot>> slots_;
+
+  std::atomic<std::size_t> queued_{0};     // in a deque, not yet picked
+  std::atomic<std::size_t> in_flight_{0};  // queued + running
+  std::atomic<std::size_t> idle_{0};       // parked workers
+  std::atomic<std::size_t> next_seed_{0};  // round-robin submit target
+
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> steal_attempts_{0};
+  std::atomic<std::uint64_t> donated_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> busy_us_{0};
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;  // a task was enqueued / stopping
+  std::condition_variable all_done_;    // in_flight_ hit zero
+  std::vector<std::exception_ptr> failures_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dspaddr::runtime

@@ -140,6 +140,47 @@ TEST(CliOptions, Phase2JobsAndTiledFlags) {
       cli::UsageError);
 }
 
+TEST(CliOptions, StealGrainAndWindowFlags) {
+  const cli::RunOptions defaults =
+      cli::parse_run_options({"--kernel", "f.c"});
+  EXPECT_EQ(defaults.phase2_steal_grain, 0u);
+  EXPECT_EQ(defaults.phase2_window, 0u);
+  EXPECT_FALSE(defaults.phase2_window_auto);
+
+  const cli::RunOptions run = cli::parse_run_options(
+      {"--kernel", "f.c", "--phase2", "tiled", "--phase2-jobs", "4",
+       "--phase2-steal-grain", "12", "--phase2-window", "24"});
+  EXPECT_EQ(run.phase2_steal_grain, 12u);
+  EXPECT_EQ(run.phase2_window, 24u);
+  EXPECT_FALSE(run.phase2_window_auto);
+
+  // "auto" turns the tuner on and leaves the starting width at its
+  // default.
+  const cli::RunOptions tuned = cli::parse_run_options(
+      {"--kernel", "f.c", "--phase2=tiled", "--phase2-window=auto"});
+  EXPECT_TRUE(tuned.phase2_window_auto);
+  EXPECT_EQ(tuned.phase2_window, 0u);
+
+  const cli::BatchOptions batch = cli::parse_batch_options(
+      {"--builtin", "fir", "--phase2=tiled", "--phase2-window=auto",
+       "--phase2-steal-grain=4"});
+  EXPECT_TRUE(batch.phase2_window_auto);
+  EXPECT_EQ(batch.phase2_steal_grain, 4u);
+
+  EXPECT_THROW(cli::parse_run_options(
+                   {"--kernel", "f.c", "--phase2-steal-grain", "0"}),
+               cli::UsageError);
+  EXPECT_THROW(
+      cli::parse_run_options({"--kernel", "f.c", "--phase2-window", "4"}),
+      cli::UsageError);  // below the minimum width of 8
+  EXPECT_THROW(cli::parse_run_options(
+                   {"--kernel", "f.c", "--phase2-window", "wide"}),
+               cli::UsageError);
+  EXPECT_THROW(
+      cli::parse_batch_options({"--builtin", "fir", "--phase2-window=0"}),
+      cli::UsageError);
+}
+
 TEST(CliOptions, RunRejectsBadInput) {
   EXPECT_THROW(cli::parse_run_options({}), cli::UsageError);
   EXPECT_THROW(cli::parse_run_options({"--kernel"}), cli::UsageError);

@@ -31,6 +31,18 @@ AccessSequence hard_pattern(std::size_t accesses, std::uint64_t seed) {
   return eval::generate_pattern(spec, rng);
 }
 
+AccessSequence skewed_pattern(std::size_t accesses, std::uint64_t seed) {
+  // Deep-unbalanced workload: long dominant ramps with rare far jumps
+  // make one branch of the search tree much heavier than its siblings,
+  // which is exactly the shape work-stealing exists for.
+  support::Rng rng(seed);
+  eval::PatternSpec spec;
+  spec.accesses = accesses;
+  spec.offset_range = 8;
+  spec.family = eval::PatternFamily::kSkewedStrided;
+  return eval::generate_pattern(spec, rng);
+}
+
 TEST(ParallelExact, ProvenCostsMatchSequentialAcrossJobs) {
   for (const std::uint64_t seed : {1u, 2u, 3u}) {
     const AccessSequence seq = hard_pattern(24, 0xA11E ^ seed);
@@ -86,9 +98,34 @@ TEST(ParallelExact, FullBuiltinMachineCatalogAgreesAcrossJobsLevels) {
   }
 }
 
-TEST(ParallelExact, SubtreeTasksAreDeterministicAndRepeatable) {
-  // The frontier expansion is breadth-first with a deterministic move
-  // order, so the fan-out itself (not just the answer) repeats exactly.
+TEST(ParallelExact, ProvenCostsMatchAcrossJobsOnSkewedStridedTrees) {
+  // The work-stealing scheduler's contract on the workload it was
+  // built for: deep unbalanced trees are split and stolen at whatever
+  // schedule the OS produces, and the proven cost never moves.
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    const AccessSequence seq = skewed_pattern(26, 0x5EED ^ seed);
+    const ExactResult serial = exact_min_cost_allocation(seq, kM1, 3);
+    ASSERT_TRUE(serial.proven) << "seed " << seed;
+    for (const std::size_t jobs : {2u, 8u}) {
+      ExactOptions options;
+      options.jobs = jobs;
+      const ExactResult parallel =
+          exact_min_cost_allocation(seq, kM1, 3, options);
+      ASSERT_TRUE(parallel.proven) << "seed " << seed << " jobs " << jobs;
+      EXPECT_EQ(parallel.cost, serial.cost)
+          << "seed " << seed << " jobs " << jobs;
+      EXPECT_EQ(parallel.lower_bound, serial.lower_bound);
+      validate_allocation(seq, parallel.paths, 3);
+      EXPECT_EQ(total_cost(seq, parallel.paths, kM1), parallel.cost);
+    }
+  }
+}
+
+TEST(ParallelExact, StealCountersAccountForEveryDonatedSubtree) {
+  // Steal/split counts are schedule-dependent, but the accounting
+  // identity is not: the pool executes the root task plus exactly one
+  // task per donated split, and attempts dominate successes. The
+  // answer repeats exactly even though the schedule does not.
   const AccessSequence seq = hard_pattern(32, 7);
   ExactOptions options;
   options.jobs = 4;
@@ -97,9 +134,48 @@ TEST(ParallelExact, SubtreeTasksAreDeterministicAndRepeatable) {
       exact_min_cost_allocation(seq, kM1, 3, options);
   ASSERT_TRUE(first.proven);
   ASSERT_TRUE(second.proven);
-  EXPECT_GT(first.subtree_tasks, 0u);
-  EXPECT_EQ(first.subtree_tasks, second.subtree_tasks);
+  EXPECT_EQ(first.subtree_tasks, first.splits + 1);
+  EXPECT_EQ(second.subtree_tasks, second.splits + 1);
+  EXPECT_GE(first.steal_attempts, first.steals);
   EXPECT_EQ(first.cost, second.cost);
+  EXPECT_EQ(first.lower_bound, second.lower_bound);
+}
+
+TEST(ParallelExact, DeepUnbalancedTreesActuallyGetStolen) {
+  // Donation is demand-driven (only when a worker is hungry), so a
+  // single run can in principle finish before any thief wakes up; over
+  // several deep skewed instances at jobs=8 the pool must both split
+  // and steal at least once in aggregate.
+  std::uint64_t total_splits = 0;
+  std::uint64_t total_steals = 0;
+  for (const std::uint64_t seed : {31u, 32u, 33u}) {
+    const AccessSequence seq = skewed_pattern(30, 0xDEE9 ^ seed);
+    ExactOptions options;
+    options.jobs = 8;
+    const ExactResult r = exact_min_cost_allocation(seq, kM1, 3, options);
+    ASSERT_TRUE(r.proven) << "seed " << seed;
+    total_splits += r.splits;
+    total_steals += r.steals;
+  }
+  EXPECT_GT(total_splits, 0u);
+  EXPECT_GT(total_steals, 0u);
+}
+
+TEST(ParallelExact, StealGrainNeverChangesTheProvenCost) {
+  // The grain bounds how shallow a donated subtree may be; it is a
+  // throughput knob, never a correctness knob.
+  const AccessSequence seq = skewed_pattern(24, 0x96A1);
+  const ExactResult serial = exact_min_cost_allocation(seq, kM1, 3);
+  ASSERT_TRUE(serial.proven);
+  for (const std::size_t grain : {1u, 4u, 32u}) {
+    ExactOptions options;
+    options.jobs = 4;
+    options.steal_grain = grain;
+    const ExactResult r = exact_min_cost_allocation(seq, kM1, 3, options);
+    ASSERT_TRUE(r.proven) << "grain " << grain;
+    EXPECT_EQ(r.cost, serial.cost) << "grain " << grain;
+    EXPECT_EQ(r.lower_bound, serial.lower_bound) << "grain " << grain;
+  }
 }
 
 TEST(ParallelExact, SequentialSolveReportsNoSubtreeTasks) {
@@ -107,6 +183,9 @@ TEST(ParallelExact, SequentialSolveReportsNoSubtreeTasks) {
   const ExactResult r = exact_min_cost_allocation(seq, kM1, 3);
   ASSERT_TRUE(r.proven);
   EXPECT_EQ(r.subtree_tasks, 0u);
+  EXPECT_EQ(r.steals, 0u);
+  EXPECT_EQ(r.steal_attempts, 0u);
+  EXPECT_EQ(r.splits, 0u);
 }
 
 TEST(ParallelExact, NodeBudgetAbortKeepsValidIncumbent) {
@@ -156,8 +235,9 @@ TEST(ParallelExact, WarmStartIsSharedWithEveryTask) {
 }
 
 TEST(ParallelExact, ManyJobsOnTinySequencesDegradeToSequential) {
-  // When the whole tree fits in the frontier expansion, the parallel
-  // path answers without fanning out — and still proves.
+  // A tiny tree is never worth donating (every frame sits below the
+  // steal grain), so the root task solves it alone: one executed task,
+  // zero splits, and the sequential answer.
   const AccessSequence seq = AccessSequence::from_offsets({1, 0, 2, -1});
   ExactOptions options;
   options.jobs = 16;
@@ -166,6 +246,8 @@ TEST(ParallelExact, ManyJobsOnTinySequencesDegradeToSequential) {
   const ExactResult serial = exact_min_cost_allocation(seq, kM1, 2);
   ASSERT_TRUE(parallel.proven);
   EXPECT_EQ(parallel.cost, serial.cost);
+  EXPECT_EQ(parallel.subtree_tasks, 1u);
+  EXPECT_EQ(parallel.splits, 0u);
 }
 
 }  // namespace

@@ -112,6 +112,107 @@ TEST(Tiled, ParallelWindowsMatchSequentialWhenProven) {
   validate_allocation(seq, parallel.paths, 3);
 }
 
+TEST(Tiled, FixedSweepReportsTheConstantWindowWidths) {
+  const AccessSequence seq = pattern(60, 43);
+  TiledOptions options;
+  options.tile_width = 16;
+  options.tile_overlap = 4;
+  const TiledResult r = tiled_min_cost_allocation(seq, kM1, 3, options);
+  ASSERT_EQ(r.window_widths.size(), r.windows);
+  ASSERT_GT(r.windows, 1u);
+  // Every window is tile_width wide except possibly the final stub.
+  for (std::size_t w = 0; w + 1 < r.window_widths.size(); ++w) {
+    EXPECT_EQ(r.window_widths[w], 16u) << "window " << w;
+  }
+  EXPECT_LE(r.window_widths.back(), 16u);
+}
+
+TEST(Tiled, AutoWidthSweepIsValidAndRecordsItsDecisions) {
+  const AccessSequence seq = pattern(70, 47);
+  TiledOptions options;
+  options.tile_width = 12;
+  options.tile_overlap = 4;
+  options.auto_width = true;
+  options.min_width = 10;
+  options.max_width = 24;
+  const TiledResult r = tiled_min_cost_allocation(seq, kM1, 3, options);
+  EXPECT_GT(r.windows, 1u);
+  ASSERT_EQ(r.window_widths.size(), r.windows);
+  for (const std::size_t width : r.window_widths) {
+    EXPECT_LE(width, 24u);
+    EXPECT_GE(width, 2u);
+  }
+  validate_allocation(seq, r.paths, 3);
+  EXPECT_EQ(total_cost(seq, r.paths, kM1), r.cost);
+}
+
+TEST(Tiled, AutoWidthIsDeterministicWithoutAClock) {
+  // With no wall budget and one worker the tuner's inputs (nodes per
+  // window, proof status) are pure functions of the problem, so two
+  // sweeps make identical decisions.
+  const AccessSequence seq = pattern(64, 53);
+  TiledOptions options;
+  options.tile_width = 12;
+  options.tile_overlap = 4;
+  options.auto_width = true;
+  const TiledResult first = tiled_min_cost_allocation(seq, kM1, 3, options);
+  const TiledResult second = tiled_min_cost_allocation(seq, kM1, 3, options);
+  EXPECT_EQ(first.window_widths, second.window_widths);
+  EXPECT_EQ(first.cost, second.cost);
+  EXPECT_EQ(first.nodes, second.nodes);
+  EXPECT_EQ(first.windows_proven, second.windows_proven);
+}
+
+TEST(Tiled, AutoWidthNarrowsWhenWindowsStopProving) {
+  // A starving node budget leaves windows unproven; the tuner must
+  // react by narrowing toward min_width, never below it.
+  const AccessSequence seq = pattern(80, 59);
+  TiledOptions options;
+  options.tile_width = 24;
+  options.tile_overlap = 4;
+  options.auto_width = true;
+  options.min_width = 10;
+  options.max_width = 32;
+  options.max_nodes = 400;  // a handful of nodes per window
+  const TiledResult r = tiled_min_cost_allocation(seq, kM1, 3, options);
+  ASSERT_GT(r.windows, 1u);
+  ASSERT_EQ(r.window_widths.size(), r.windows);
+  EXPECT_LT(r.windows_proven, r.windows);
+  // The opening window cannot prove 24 accesses on ~100 nodes, so the
+  // very next window must already be narrower (and the tuner never
+  // exceeds max_width anywhere).
+  EXPECT_LT(r.window_widths[1], r.window_widths[0]);
+  for (const std::size_t width : r.window_widths) {
+    EXPECT_LE(width, 32u);
+  }
+  validate_allocation(seq, r.paths, 3);
+}
+
+TEST(Tiled, AllocatorSurfacesAutoWindowWidths) {
+  const AccessSequence seq = pattern(56, 61);
+  ProblemConfig config;
+  config.modify_range = 1;
+  config.registers = 3;
+  config.phase2.mode = Phase2Options::Mode::kTiled;
+  config.phase2.tile_width = 12;
+  config.phase2.tile_overlap = 3;
+  config.phase2.tile_width_auto = true;
+  const Allocation a = RegisterAllocator(config).run(seq);
+  const AllocationStats& stats = a.stats();
+  EXPECT_GT(stats.phase2_windows, 1u);
+  EXPECT_EQ(stats.phase2_window_widths.size(), stats.phase2_windows);
+}
+
+TEST(Tiled, AutoWidthRejectsInvertedBounds) {
+  const AccessSequence seq = pattern(20, 67);
+  TiledOptions options;
+  options.auto_width = true;
+  options.min_width = 24;
+  options.max_width = 12;
+  EXPECT_THROW(tiled_min_cost_allocation(seq, kM1, 3, options),
+               dspaddr::InvalidArgument);
+}
+
 TEST(Tiled, RejectsDegenerateOptions) {
   const AccessSequence seq = pattern(10, 41);
   TiledOptions narrow;

@@ -3,17 +3,22 @@
 // learned short-circuit / re-race lifecycle (RAM and store-backed).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "agu/machines.hpp"
+#include "core/exact.hpp"
+#include "core/validate.hpp"
 #include "engine/engine.hpp"
 #include "engine/portfolio.hpp"
 #include "engine/strategy.hpp"
+#include "eval/patterns.hpp"
 #include "ir/kernels.hpp"
 #include "store/result_store.hpp"
+#include "support/rng.hpp"
 
 namespace dspaddr {
 namespace {
@@ -358,6 +363,35 @@ TEST(Portfolio, LessonPersistsThroughTheResultStore) {
   EXPECT_EQ(stats.races, 0u);
   EXPECT_EQ(stats.short_circuits, 1u);
   std::remove(path.c_str());
+}
+
+TEST(Portfolio, PreRaisedStopFlagCutsStolenSubtreesPromptly) {
+  // The racer-cancellation path under work-stealing: every donated
+  // subtree re-checks the abort hook before it starts searching, so a
+  // stop flag raised before the solve (a racer already lost) must cut
+  // the whole jobs=8 pool after at most one ~1024-node cadence per
+  // worker — not after the stolen subtrees run to completion.
+  support::Rng rng(0xAB047);
+  eval::PatternSpec spec;
+  spec.accesses = 30;
+  spec.offset_range = 8;
+  spec.family = eval::PatternFamily::kSkewedStrided;
+  const ir::AccessSequence seq = eval::generate_pattern(spec, rng);
+
+  const std::atomic<bool> stop{true};
+  core::ExactOptions options;
+  options.jobs = 8;
+  options.abort.stop = &stop;
+  const core::CostModel model{1, core::WrapPolicy::kCyclic};
+  const core::ExactResult r =
+      core::exact_min_cost_allocation(seq, model, 3, options);
+  EXPECT_TRUE(r.external_abort);
+  EXPECT_FALSE(r.proven);
+  // One cadence per worker is the most the pool may burn after the
+  // flag is already up.
+  EXPECT_LT(r.nodes, 8u * 1100u);
+  // The warm incumbent survives the abort: still a valid allocation.
+  core::validate_allocation(seq, r.paths, 3);
 }
 
 }  // namespace

@@ -1,7 +1,8 @@
 // The shared concurrent runtime: TaskPool (bounded queue,
-// backpressure, exception capture, deterministic shutdown),
-// OrderedCollector (re-sequencing out-of-order completions) and
-// ShardedLruCache (striped counters, single-flight misses).
+// backpressure, exception capture, deterministic shutdown), StealPool
+// (per-worker deques, demand-driven donation, deterministic victim
+// order), OrderedCollector (re-sequencing out-of-order completions)
+// and ShardedLruCache (striped counters, single-flight misses).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -18,6 +19,7 @@
 
 #include "runtime/ordered_collector.hpp"
 #include "runtime/sharded_cache.hpp"
+#include "runtime/steal_pool.hpp"
 #include "runtime/task_pool.hpp"
 #include "support/check.hpp"
 
@@ -148,6 +150,183 @@ TEST(TaskPool, RejectsDegenerateConfigurations) {
   EXPECT_THROW(runtime::TaskPool(0, 1), Error);
   EXPECT_THROW(runtime::TaskPool(1, 0), Error);
   runtime::TaskPool pool(1, 1);
+  EXPECT_THROW(pool.submit(nullptr), Error);
+  EXPECT_EQ(pool.worker_count(), 1u);
+}
+
+// ------------------------------------------------------------ StealDeque
+
+TEST(StealDeque, OwnerPopsNewestWhileThievesTakeOldest) {
+  runtime::StealDeque deque;
+  std::vector<int> log;
+  for (int i = 1; i <= 3; ++i) {
+    deque.push_bottom([&log, i] { log.push_back(i); });
+  }
+  EXPECT_EQ(deque.size(), 3u);
+  runtime::StealDeque::Task task;
+  ASSERT_TRUE(deque.steal_top(task));  // thief end: oldest first
+  task();
+  ASSERT_TRUE(deque.pop_bottom(task));  // owner end: newest first
+  task();
+  ASSERT_TRUE(deque.pop_bottom(task));
+  task();
+  EXPECT_EQ(log, (std::vector<int>{1, 3, 2}));
+  EXPECT_FALSE(deque.pop_bottom(task));
+  EXPECT_FALSE(deque.steal_top(task));
+  EXPECT_EQ(deque.size(), 0u);
+}
+
+TEST(StealDeque, OwnerAndConcurrentThievesPartitionEveryTask) {
+  // One owner pushes and pops at the bottom while three thieves hammer
+  // the top, including long stretches where the deque is empty: every
+  // task must run exactly once and nothing may be lost or doubled.
+  constexpr std::size_t kTasks = 2000;
+  runtime::StealDeque deque;
+  std::vector<std::atomic<int>> runs(kTasks);
+  for (auto& run : runs) {
+    run = 0;
+  }
+  std::atomic<std::size_t> executed{0};
+  std::atomic<bool> owner_done{false};
+
+  std::vector<std::thread> thieves;
+  for (std::size_t t = 0; t < 3; ++t) {
+    thieves.emplace_back([&] {
+      runtime::StealDeque::Task task;
+      while (executed.load() < kTasks) {
+        if (deque.steal_top(task)) {
+          task();
+          executed.fetch_add(1);
+        } else if (owner_done.load()) {
+          // Owner finished pushing and the deque read empty: only
+          // in-flight tasks remain, keep polling the counter.
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  runtime::StealDeque::Task task;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    deque.push_bottom([&runs, &executed, i] {
+      runs[i].fetch_add(1);
+    });
+    // Every few pushes the owner takes work back from the bottom, so
+    // both ends contend on the same underlying deque.
+    if (i % 4 == 3 && deque.pop_bottom(task)) {
+      task();
+      executed.fetch_add(1);
+    }
+  }
+  owner_done = true;
+  while (deque.pop_bottom(task)) {
+    task();
+    executed.fetch_add(1);
+  }
+  for (std::thread& thief : thieves) {
+    thief.join();
+  }
+  EXPECT_EQ(executed.load(), kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+}
+
+// ------------------------------------------------------------- StealPool
+
+TEST(StealPool, ExecutesSubmittedAndDonatedTasks) {
+  runtime::StealPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  std::atomic<std::size_t> executed{0};
+  pool.submit([&] {
+    executed.fetch_add(1);
+    // Donations from a worker thread land on that worker's own deque
+    // and are either popped back or stolen — all must run.
+    for (int i = 0; i < 8; ++i) {
+      pool.donate([&] { executed.fetch_add(1); });
+    }
+  });
+  pool.wait_done();
+  EXPECT_EQ(executed.load(), 9u);
+  const runtime::StealPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.executed, 9u);
+  EXPECT_EQ(stats.donated, 8u);
+  EXPECT_GE(stats.steal_attempts, stats.steals);
+  EXPECT_EQ(pool.failure_count(), 0u);
+}
+
+TEST(StealPool, DonateOffAWorkerThreadFallsBackToSubmit) {
+  runtime::StealPool pool(2);
+  std::atomic<int> executed{0};
+  pool.donate([&] { executed.fetch_add(1); });  // caller is not a worker
+  pool.wait_done();
+  EXPECT_EQ(executed.load(), 1);
+  // Routed through submit(): counted as executed, not as a donation.
+  EXPECT_EQ(pool.stats().donated, 0u);
+  EXPECT_EQ(pool.stats().executed, 1u);
+}
+
+TEST(StealPool, ReportsHungerOnlyWhileWorkersOutnumberQueuedTasks) {
+  runtime::StealPool pool(2);
+  // Freshly idle pool: workers park and the pool reports hunger.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!pool.hungry() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(pool.hungry());
+}
+
+TEST(StealPool, WaitDoneIsImmediateWithNoWorkAndRepeatable) {
+  runtime::StealPool pool(2);
+  pool.wait_done();
+  std::atomic<int> executed{0};
+  pool.submit([&] { executed.fetch_add(1); });
+  pool.wait_done();
+  pool.wait_done();
+  EXPECT_EQ(executed.load(), 1);
+}
+
+TEST(StealPool, CapturesTaskExceptionsAndRethrowsTheFirst) {
+  runtime::StealPool pool(2);
+  std::atomic<int> executed{0};
+  pool.submit([] { throw Error("stolen task blew up"); });
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&] { executed.fetch_add(1); });
+  }
+  pool.wait_done();
+  EXPECT_EQ(executed.load(), 4);
+  EXPECT_EQ(pool.failure_count(), 1u);
+  EXPECT_THROW(pool.rethrow_first_failure(), Error);
+  // The failure list survives: rethrowing is repeatable.
+  EXPECT_THROW(pool.rethrow_first_failure(), Error);
+}
+
+TEST(StealPool, ManySubmittersSaturateAllWorkers) {
+  runtime::StealPool pool(4);
+  constexpr std::size_t kSubmitters = 4;
+  constexpr std::size_t kTasksEach = 250;
+  std::atomic<std::size_t> executed{0};
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (std::size_t i = 0; i < kTasksEach; ++i) {
+        pool.submit([&] { executed.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) {
+    submitter.join();
+  }
+  pool.wait_done();
+  EXPECT_EQ(executed.load(), kSubmitters * kTasksEach);
+  EXPECT_EQ(pool.stats().executed, kSubmitters * kTasksEach);
+  EXPECT_EQ(pool.failure_count(), 0u);
+}
+
+TEST(StealPool, RejectsDegenerateConfigurations) {
+  EXPECT_THROW(runtime::StealPool(0), Error);
+  runtime::StealPool pool(1);
   EXPECT_THROW(pool.submit(nullptr), Error);
   EXPECT_EQ(pool.worker_count(), 1u);
 }
